@@ -1,0 +1,37 @@
+//! Tiera — the single-DC multi-tiered storage instance (Middleware'14),
+//! the substrate Wiera builds on.
+//!
+//! A [`TieraInstance`] encapsulates a stack of cloud storage tiers inside
+//! one data center behind a simple PUT/GET API, and runs an event→response
+//! policy engine over them:
+//!
+//! * [`object`] — the versioned object model of §2.2/§3.2.1: immutable
+//!   objects, multiple versions with full metadata (size, access count,
+//!   dirty bit, created/modified/accessed times, location, tags).
+//! * [`metastore`] — the BerkeleyDB stand-in persisting that metadata
+//!   (snapshot/restore to a byte image).
+//! * [`transform`] — functional `compress`/`encrypt` responses (RLE and a
+//!   keyed XOR stream cipher), round-trippable.
+//! * [`instance`] — the instance itself: Table 2's versioning API, tier
+//!   management, and execution of compiled policy rules (write-through,
+//!   write-back, capacity-triggered backup, cold-data migration, grow).
+//! * [`engine`] — the background event engine: timer rules, tier-filled
+//!   checks and cold-data scans running on dedicated threads against the
+//!   shared clock.
+//!
+//! Instances are deliberately network-free: geo-replication, forwarding and
+//! consistency live one layer up in the `wiera` crate, which wraps instances
+//! in mesh endpoints — mirroring the paper's split where "Tiera is
+//! responsible for managing data on multiple storage tiers within a single
+//! DC" while "Wiera manages data placement and movement across Tiera
+//! instances".
+
+pub mod engine;
+pub mod instance;
+pub mod metastore;
+pub mod object;
+pub mod transform;
+
+pub use instance::{InstanceConfig, OpOutcome, TieraError, TieraInstance};
+pub use metastore::MetaStore;
+pub use object::{ObjectMeta, VersionId, VersionMeta};

@@ -1,0 +1,190 @@
+//! Object-metadata store — the BerkeleyDB stand-in.
+//!
+//! The paper stores and persists all object metadata in BerkeleyDB (§4.2).
+//! Here the store is an in-memory map with snapshot/restore to a serialized
+//! byte image, which is what instance recovery needs from it.
+
+use crate::object::{ObjectMeta, VersionId, VersionMeta};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use wiera_sim::SimInstant;
+
+/// Thread-safe metadata store for one instance.
+#[derive(Default)]
+pub struct MetaStore {
+    objects: RwLock<BTreeMap<String, ObjectMeta>>,
+}
+
+impl MetaStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `f` over the object's metadata, creating the entry if absent.
+    pub fn with_mut<R>(&self, key: &str, f: impl FnOnce(&mut ObjectMeta) -> R) -> R {
+        let mut map = self.objects.write();
+        f(map.entry(key.to_string()).or_default())
+    }
+
+    /// Run `f` over existing metadata; `None` if the key is unknown.
+    pub fn with<R>(&self, key: &str, f: impl FnOnce(&ObjectMeta) -> R) -> Option<R> {
+        self.objects.read().get(key).map(f)
+    }
+
+    pub fn contains(&self, key: &str) -> bool {
+        self.objects.read().contains_key(key)
+    }
+
+    pub fn remove(&self, key: &str) -> Option<ObjectMeta> {
+        self.objects.write().remove(key)
+    }
+
+    /// Remove one version; drops the whole entry when no versions remain.
+    /// Returns the removed version's metadata.
+    pub fn remove_version(&self, key: &str, version: VersionId) -> Option<VersionMeta> {
+        let mut map = self.objects.write();
+        let obj = map.get_mut(key)?;
+        let meta = obj.versions.remove(&version);
+        if obj.versions.is_empty() {
+            map.remove(key);
+        }
+        meta
+    }
+
+    pub fn keys(&self) -> Vec<String> {
+        self.objects.read().keys().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.objects.read().is_empty()
+    }
+
+    /// Snapshot of `(key, version)` pairs whose last access is older than
+    /// `cutoff` — the ColdDataMonitoring scan (§4.3).
+    pub fn cold_versions(&self, cutoff: SimInstant) -> Vec<(String, VersionId)> {
+        let map = self.objects.read();
+        let mut out = Vec::new();
+        for (k, obj) in map.iter() {
+            for (v, meta) in &obj.versions {
+                if meta.last_access < cutoff {
+                    out.push((k.clone(), *v));
+                }
+            }
+        }
+        out
+    }
+
+    /// All `(key, version)` pairs (for policy sweeps).
+    pub fn all_versions(&self) -> Vec<(String, VersionId)> {
+        let map = self.objects.read();
+        map.iter()
+            .flat_map(|(k, o)| o.versions.keys().map(move |v| (k.clone(), *v)))
+            .collect()
+    }
+
+    /// Serialize to a persistent image (the "BerkeleyDB file").
+    pub fn snapshot(&self) -> Vec<u8> {
+        serde_json::to_vec(&*self.objects.read()).expect("metadata serializes")
+    }
+
+    /// Restore from an image produced by [`MetaStore::snapshot`].
+    pub fn restore(image: &[u8]) -> Result<Self, String> {
+        let objects: BTreeMap<String, ObjectMeta> =
+            serde_json::from_slice(image).map_err(|e| e.to_string())?;
+        Ok(MetaStore { objects: RwLock::new(objects) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiera_sim::SimDuration;
+
+    fn t(s: u64) -> SimInstant {
+        SimInstant::EPOCH + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn with_mut_creates_entry() {
+        let ms = MetaStore::new();
+        assert!(!ms.contains("k"));
+        let v = ms.with_mut("k", |o| {
+            let v = o.next_version();
+            o.versions.insert(v, VersionMeta::new(v, 8, t(0), "tier1"));
+            v
+        });
+        assert_eq!(v, 1);
+        assert!(ms.contains("k"));
+        assert_eq!(ms.with("k", |o| o.latest_version()).flatten(), Some(1));
+    }
+
+    #[test]
+    fn remove_version_drops_empty_entry() {
+        let ms = MetaStore::new();
+        ms.with_mut("k", |o| {
+            o.versions.insert(1, VersionMeta::new(1, 8, t(0), "tier1"));
+            o.versions.insert(2, VersionMeta::new(2, 8, t(1), "tier1"));
+        });
+        assert!(ms.remove_version("k", 1).is_some());
+        assert!(ms.contains("k"));
+        assert!(ms.remove_version("k", 2).is_some());
+        assert!(!ms.contains("k"), "entry vanishes with its last version");
+        assert!(ms.remove_version("k", 2).is_none());
+    }
+
+    #[test]
+    fn cold_scan_finds_stale_versions() {
+        let ms = MetaStore::new();
+        ms.with_mut("hot", |o| {
+            o.versions.insert(1, VersionMeta::new(1, 8, t(100), "tier1"));
+        });
+        ms.with_mut("cold", |o| {
+            o.versions.insert(1, VersionMeta::new(1, 8, t(1), "tier1"));
+        });
+        let cold = ms.cold_versions(t(50));
+        assert_eq!(cold, vec![("cold".to_string(), 1)]);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let ms = MetaStore::new();
+        ms.with_mut("a", |o| {
+            o.tags.insert("tmp".into());
+            let mut m = VersionMeta::new(1, 100, t(3), "tier2");
+            m.dirty = true;
+            m.replicas.insert("tier3".into());
+            o.versions.insert(1, m);
+        });
+        let image = ms.snapshot();
+        let back = MetaStore::restore(&image).unwrap();
+        assert_eq!(back.len(), 1);
+        back.with("a", |o| {
+            assert!(o.tags.contains("tmp"));
+            let m = o.latest().unwrap();
+            assert!(m.dirty);
+            assert_eq!(m.location, "tier2");
+            assert!(m.replicas.contains("tier3"));
+        })
+        .unwrap();
+        assert!(MetaStore::restore(b"not json").is_err());
+    }
+
+    #[test]
+    fn all_versions_enumerates_everything() {
+        let ms = MetaStore::new();
+        for k in ["a", "b"] {
+            ms.with_mut(k, |o| {
+                o.versions.insert(1, VersionMeta::new(1, 8, t(0), "tier1"));
+                o.versions.insert(2, VersionMeta::new(2, 8, t(1), "tier1"));
+            });
+        }
+        let mut all = ms.all_versions();
+        all.sort();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0], ("a".to_string(), 1));
+    }
+}

@@ -1,0 +1,122 @@
+//! Functional `compress` and `encrypt` responses.
+//!
+//! Tiera's response vocabulary includes `compress` and `encrypt` (§2.1).
+//! The paper never evaluates them, so these are deliberately simple but
+//! *real* (round-trippable) implementations: byte-level run-length encoding
+//! and a keyed xorshift stream cipher. DESIGN.md §6 records this choice.
+
+use bytes::Bytes;
+
+/// Run-length encode: `(count, byte)` pairs, count ≤ 255.
+pub fn compress(data: &[u8]) -> Bytes {
+    let mut out = Vec::with_capacity(data.len() / 2 + 8);
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == b && run < 255 {
+            run += 1;
+        }
+        out.push(run as u8);
+        out.push(b);
+        i += run;
+    }
+    Bytes::from(out)
+}
+
+/// Inverse of [`compress`]. Fails on truncated input.
+pub fn decompress(data: &[u8]) -> Result<Bytes, String> {
+    if data.len() % 2 != 0 {
+        return Err("truncated RLE stream".into());
+    }
+    let mut out = Vec::with_capacity(data.len() * 2);
+    for pair in data.chunks_exact(2) {
+        let (count, byte) = (pair[0], pair[1]);
+        if count == 0 {
+            return Err("zero-length run".into());
+        }
+        out.extend(std::iter::repeat(byte).take(count as usize));
+    }
+    Ok(Bytes::from(out))
+}
+
+fn keystream(key: u64) -> impl FnMut() -> u8 {
+    let mut state = key ^ 0x9E3779B97F4A7C15;
+    move || {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545F4914F6CDD1D) >> 56) as u8
+    }
+}
+
+/// Symmetric stream cipher: `encrypt(encrypt(x)) == x` for the same key.
+pub fn encrypt(data: &[u8], key: u64) -> Bytes {
+    let mut ks = keystream(key);
+    Bytes::from(data.iter().map(|&b| b ^ ks()).collect::<Vec<u8>>())
+}
+
+/// Alias of [`encrypt`] for readability at call sites.
+pub fn decrypt(data: &[u8], key: u64) -> Bytes {
+    encrypt(data, key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rle_roundtrip_basic() {
+        let data = b"aaaabbbcccccccd";
+        let c = compress(data);
+        assert!(c.len() < data.len());
+        assert_eq!(decompress(&c).unwrap().as_ref(), data);
+    }
+
+    #[test]
+    fn rle_handles_long_runs_and_empty() {
+        let data = vec![7u8; 1000];
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap().as_ref(), &data[..]);
+        assert_eq!(decompress(&compress(b"")).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn rle_rejects_bad_streams() {
+        assert!(decompress(&[1]).is_err());
+        assert!(decompress(&[0, 42]).is_err());
+    }
+
+    #[test]
+    fn cipher_roundtrip_and_key_sensitivity() {
+        let data = b"the quick brown fox";
+        let e = encrypt(data, 42);
+        assert_ne!(e.as_ref(), data.as_ref());
+        assert_eq!(decrypt(&e, 42).as_ref(), data.as_ref());
+        assert_ne!(decrypt(&e, 43).as_ref(), data.as_ref());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rle_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let c = compress(&data);
+            let d = decompress(&c).unwrap();
+            prop_assert_eq!(d.as_ref(), &data[..]);
+        }
+
+        #[test]
+        fn prop_cipher_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048), key: u64) {
+            let e = encrypt(&data, key);
+            let d = decrypt(&e, key);
+            prop_assert_eq!(d.as_ref(), &data[..]);
+        }
+
+        #[test]
+        fn prop_compressible_data_shrinks(byte: u8, len in 64usize..512) {
+            let data = vec![byte; len];
+            prop_assert!(compress(&data).len() <= data.len() / 16 + 2);
+        }
+    }
+}

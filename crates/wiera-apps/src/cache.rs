@@ -1,0 +1,164 @@
+//! A byte-bounded LRU used by both the FS page cache and the RUBiS
+//! (MySQL-like) buffer pool.
+
+use bytes::Bytes;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// LRU keyed by `K`, bounded by total cached bytes.
+pub struct ByteLru<K: Eq + Hash + Clone> {
+    map: HashMap<K, Bytes>,
+    order: VecDeque<K>,
+    bytes: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone> ByteLru<K> {
+    pub fn new(capacity: usize) -> Self {
+        ByteLru {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            bytes: 0,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn get(&mut self, key: &K) -> Option<Bytes> {
+        match self.map.get(key) {
+            Some(v) => {
+                self.hits += 1;
+                // Move to the back (most recent). O(n) but caches are small
+                // relative to the op counts we run.
+                if let Some(pos) = self.order.iter().position(|k| k == key) {
+                    let k = self.order.remove(pos).expect("present");
+                    self.order.push_back(k);
+                }
+                Some(v.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    pub fn insert(&mut self, key: K, value: Bytes) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(old) = self.map.insert(key.clone(), value.clone()) {
+            self.bytes -= old.len();
+            if let Some(pos) = self.order.iter().position(|k| *k == key) {
+                self.order.remove(pos);
+            }
+        }
+        self.order.push_back(key);
+        self.bytes += value.len();
+        while self.bytes > self.capacity {
+            let Some(victim) = self.order.pop_front() else { break };
+            if let Some(evicted) = self.map.remove(&victim) {
+                self.bytes -= evicted.len();
+            }
+        }
+    }
+
+    pub fn invalidate(&mut self, key: &K) {
+        if let Some(old) = self.map.remove(key) {
+            self.bytes -= old.len();
+            if let Some(pos) = self.order.iter().position(|k| k == key) {
+                self.order.remove(pos);
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(n: usize) -> Bytes {
+        Bytes::from(vec![0u8; n])
+    }
+
+    #[test]
+    fn basic_get_insert() {
+        let mut c = ByteLru::new(100);
+        assert!(c.get(&1).is_none());
+        c.insert(1, b(10));
+        assert_eq!(c.get(&1).unwrap().len(), 10);
+        assert_eq!(c.bytes(), 10);
+    }
+
+    #[test]
+    fn evicts_lru_at_capacity() {
+        let mut c = ByteLru::new(30);
+        c.insert(1, b(10));
+        c.insert(2, b(10));
+        c.insert(3, b(10));
+        c.get(&1); // 1 becomes most-recent; 2 is LRU
+        c.insert(4, b(10));
+        assert!(c.get(&2).is_none(), "LRU victim evicted");
+        assert!(c.get(&1).is_some());
+        assert!(c.get(&3).is_some());
+        assert!(c.get(&4).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_bytes() {
+        let mut c = ByteLru::new(100);
+        c.insert(1, b(40));
+        c.insert(1, b(10));
+        assert_eq!(c.bytes(), 10);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = ByteLru::new(100);
+        c.insert(1, b(10));
+        c.invalidate(&1);
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c = ByteLru::new(0);
+        c.insert(1, b(10));
+        assert!(c.get(&1).is_none());
+    }
+
+    #[test]
+    fn hit_rate_tracks() {
+        let mut c = ByteLru::new(100);
+        c.insert(1, b(1));
+        c.get(&1);
+        c.get(&2);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,285 @@
+//! The FUSE substitute: POSIX-style files over a PUT/GET store.
+//!
+//! Files are chunked into fixed-size blocks, each stored as one object
+//! (`fs:<path>#<block>`); a tiny metadata object tracks length. An optional
+//! page cache absorbs repeated reads; opening with O_DIRECT bypasses it,
+//! exactly as the paper configures SysBench and MySQL "to avoid double
+//! cache effects".
+
+use crate::cache::ByteLru;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wiera_sim::SimDuration;
+use wiera_workload::KvStore;
+
+/// File-layer configuration.
+#[derive(Debug, Clone)]
+pub struct FsConfig {
+    /// Block size; SysBench's default file-io block is 16 KiB.
+    pub block_size: usize,
+    /// Bypass the page cache (the O_DIRECT flag).
+    pub direct_io: bool,
+    /// Page-cache capacity in bytes (ignored when `direct_io`).
+    pub cache_bytes: usize,
+}
+
+impl Default for FsConfig {
+    fn default() -> Self {
+        FsConfig { block_size: 16 * 1024, direct_io: false, cache_bytes: 64 << 20 }
+    }
+}
+
+impl FsConfig {
+    pub fn direct(block_size: usize) -> Self {
+        FsConfig { block_size, direct_io: true, cache_bytes: 0 }
+    }
+}
+
+/// A file system instance over a KV store.
+pub struct WieraFs {
+    store: Arc<dyn KvStore>,
+    pub config: FsConfig,
+    lengths: Mutex<HashMap<String, u64>>,
+    cache: Mutex<ByteLru<(String, u64)>>,
+}
+
+/// Latency of a page-cache hit.
+const CACHE_HIT: SimDuration = SimDuration::from_micros(80);
+
+impl WieraFs {
+    pub fn new(store: Arc<dyn KvStore>, config: FsConfig) -> Arc<Self> {
+        let cache_cap = if config.direct_io { 0 } else { config.cache_bytes };
+        Arc::new(WieraFs {
+            store,
+            config,
+            lengths: Mutex::new(HashMap::new()),
+            cache: Mutex::new(ByteLru::new(cache_cap)),
+        })
+    }
+
+    fn block_key(path: &str, block: u64) -> String {
+        format!("fs:{path}#{block}")
+    }
+
+    pub fn file_len(&self, path: &str) -> u64 {
+        self.lengths.lock().get(path).copied().unwrap_or(0)
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.lengths.lock().contains_key(path)
+    }
+
+    /// Create (or truncate) a file of `len` bytes filled with `fill`,
+    /// writing every block. Returns total modeled time.
+    pub fn create_filled(&self, path: &str, len: u64, fill: u8) -> Result<SimDuration, String> {
+        let bs = self.config.block_size as u64;
+        let blocks = len.div_ceil(bs);
+        let mut total = SimDuration::ZERO;
+        for b in 0..blocks {
+            let this = if (b + 1) * bs <= len { bs } else { len - b * bs } as usize;
+            let data = Bytes::from(vec![fill; this]);
+            let s = self.store.kv_put(&Self::block_key(path, b), data)?;
+            total += s.latency;
+        }
+        self.lengths.lock().insert(path.to_string(), len);
+        Ok(total)
+    }
+
+    pub fn remove(&self, path: &str) {
+        self.lengths.lock().remove(path);
+        // Blocks are left for the store's GC; a real FS would unlink them.
+    }
+
+    /// Read `len` bytes at `offset`. Returns data and modeled latency.
+    pub fn read_at(&self, path: &str, offset: u64, len: usize) -> Result<(Bytes, SimDuration), String> {
+        let file_len = self.file_len(path);
+        if offset >= file_len {
+            return Ok((Bytes::new(), SimDuration::ZERO));
+        }
+        let len = len.min((file_len - offset) as usize);
+        let bs = self.config.block_size as u64;
+        let first = offset / bs;
+        let last = (offset + len as u64 - 1) / bs;
+        let mut out = Vec::with_capacity(len);
+        let mut total = SimDuration::ZERO;
+        for b in first..=last {
+            let (block, lat) = self.read_block(path, b)?;
+            total += lat;
+            let bstart = b * bs;
+            let from = offset.max(bstart) - bstart;
+            let to = ((offset + len as u64).min(bstart + block.len() as u64)) - bstart;
+            out.extend_from_slice(&block[from as usize..to as usize]);
+        }
+        Ok((Bytes::from(out), total))
+    }
+
+    fn read_block(&self, path: &str, b: u64) -> Result<(Bytes, SimDuration), String> {
+        let key = (path.to_string(), b);
+        if !self.config.direct_io {
+            if let Some(hit) = self.cache.lock().get(&key) {
+                return Ok((hit, CACHE_HIT));
+            }
+        }
+        let (data, lat) = self.fetch_block(path, b)?;
+        if !self.config.direct_io {
+            self.cache.lock().insert(key, data.clone());
+        }
+        Ok((data, lat))
+    }
+
+    fn fetch_block(&self, path: &str, b: u64) -> Result<(Bytes, SimDuration), String> {
+        // Dedicated value-returning fetch via the KvStore extension.
+        self.store
+            .kv_get_value(&Self::block_key(path, b))
+            .map(|(data, s)| (data, s.latency))
+    }
+
+    /// Write `data` at `offset`. Partial blocks are read-modify-written.
+    /// Returns modeled latency.
+    pub fn write_at(&self, path: &str, offset: u64, data: &[u8]) -> Result<SimDuration, String> {
+        if data.is_empty() {
+            return Ok(SimDuration::ZERO);
+        }
+        let bs = self.config.block_size as u64;
+        let first = offset / bs;
+        let last = (offset + data.len() as u64 - 1) / bs;
+        let mut total = SimDuration::ZERO;
+        for b in first..=last {
+            let bstart = b * bs;
+            let from = offset.max(bstart);
+            let to = (offset + data.len() as u64).min(bstart + bs);
+            let slice = &data[(from - offset) as usize..(to - offset) as usize];
+
+            let block = if slice.len() as u64 == bs {
+                Bytes::copy_from_slice(slice)
+            } else {
+                // Read-modify-write of a partial block.
+                let (existing, lat) = match self.fetch_block(path, b) {
+                    Ok(ok) => ok,
+                    Err(_) => (Bytes::new(), SimDuration::ZERO),
+                };
+                total += lat;
+                let mut buf = vec![0u8; ((to - bstart) as usize).max(existing.len())];
+                buf[..existing.len()].copy_from_slice(&existing);
+                buf[(from - bstart) as usize..(to - bstart) as usize].copy_from_slice(slice);
+                Bytes::from(buf)
+            };
+            let key = (path.to_string(), b);
+            let s = self.store.kv_put(&Self::block_key(path, b), block.clone())?;
+            total += s.latency;
+            if !self.config.direct_io {
+                // Write-through: keep the cache coherent.
+                let mut cache = self.cache.lock();
+                cache.invalidate(&key);
+                cache.insert(key, block);
+            }
+        }
+        let mut lengths = self.lengths.lock();
+        let e = lengths.entry(path.to_string()).or_insert(0);
+        *e = (*e).max(offset + data.len() as u64);
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::MapStore;
+
+    fn fs(direct: bool) -> (Arc<WieraFs>, Arc<MapStore>) {
+        let store = MapStore::shared(SimDuration::from_millis(2), SimDuration::from_millis(3));
+        let cfg = FsConfig { block_size: 1024, direct_io: direct, cache_bytes: 16 * 1024 };
+        (WieraFs::new(store.clone(), cfg), store)
+    }
+
+    #[test]
+    fn create_read_roundtrip() {
+        let (fs, _) = fs(true);
+        fs.create_filled("/data", 2500, 7).unwrap();
+        assert_eq!(fs.file_len("/data"), 2500);
+        let (data, lat) = fs.read_at("/data", 0, 2500).unwrap();
+        assert_eq!(data.len(), 2500);
+        assert!(data.iter().all(|&b| b == 7));
+        assert!(lat > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn read_past_eof_clamps() {
+        let (fs, _) = fs(true);
+        fs.create_filled("/f", 100, 1).unwrap();
+        let (data, _) = fs.read_at("/f", 50, 500).unwrap();
+        assert_eq!(data.len(), 50);
+        let (empty, lat) = fs.read_at("/f", 200, 10).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(lat, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn write_spanning_blocks() {
+        let (fs, _) = fs(true);
+        fs.create_filled("/f", 4096, 0).unwrap();
+        let payload: Vec<u8> = (0..2000u32).map(|i| (i % 251) as u8).collect();
+        fs.write_at("/f", 500, &payload).unwrap();
+        let (data, _) = fs.read_at("/f", 500, 2000).unwrap();
+        assert_eq!(data.as_ref(), &payload[..]);
+        // Bytes around the write are untouched.
+        let (before, _) = fs.read_at("/f", 0, 500).unwrap();
+        assert!(before.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn write_extends_file() {
+        let (fs, _) = fs(true);
+        fs.write_at("/new", 0, &[1, 2, 3]).unwrap();
+        assert_eq!(fs.file_len("/new"), 3);
+        fs.write_at("/new", 1000, &[9]).unwrap();
+        assert_eq!(fs.file_len("/new"), 1001);
+    }
+
+    #[test]
+    fn page_cache_accelerates_repeat_reads() {
+        let (fs, _) = fs(false);
+        fs.create_filled("/hot", 1024, 5).unwrap();
+        let (_, cold) = fs.read_at("/hot", 0, 1024).unwrap();
+        let (_, warm) = fs.read_at("/hot", 0, 1024).unwrap();
+        assert!(
+            warm.as_millis_f64() < cold.as_millis_f64() / 5.0,
+            "cold {cold}, warm {warm}"
+        );
+    }
+
+    #[test]
+    fn direct_io_never_caches() {
+        let (fs, store) = fs(true);
+        fs.create_filled("/d", 1024, 5).unwrap();
+        fs.read_at("/d", 0, 1024).unwrap();
+        let gets_before = store.gets();
+        fs.read_at("/d", 0, 1024).unwrap();
+        assert!(store.gets() > gets_before, "O_DIRECT must hit the store every time");
+    }
+
+    #[test]
+    fn cache_stays_coherent_after_write() {
+        let (fs, _) = fs(false);
+        fs.create_filled("/c", 1024, 1).unwrap();
+        fs.read_at("/c", 0, 1024).unwrap(); // warm the cache
+        fs.write_at("/c", 0, &[42; 1024]).unwrap();
+        let (data, _) = fs.read_at("/c", 0, 1024).unwrap();
+        assert!(data.iter().all(|&b| b == 42), "stale cache after write");
+    }
+
+    #[test]
+    fn cache_evicts_at_capacity() {
+        let (fs, store) = fs(false); // cache 16 KiB = 16 blocks of 1 KiB
+        fs.create_filled("/big", 32 * 1024, 3).unwrap();
+        // Read all 32 blocks: the first ones must be evicted.
+        for b in 0..32u64 {
+            fs.read_at("/big", b * 1024, 1024).unwrap();
+        }
+        let before = store.gets();
+        fs.read_at("/big", 0, 1024).unwrap(); // block 0 was evicted
+        assert!(store.gets() > before);
+    }
+}

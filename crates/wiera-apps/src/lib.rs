@@ -1,0 +1,31 @@
+//! Application substrates for §5.4's "unmodified applications" experiments.
+//!
+//! The paper runs SysBench and RUBiS against Wiera through a FUSE-based
+//! POSIX shim, "so that all application requests are forwarded to Wiera
+//! through FUSE. Thus, applications that require a POSIX interface can run
+//! on top of Wiera without any modification." This crate rebuilds that
+//! stack:
+//!
+//! * [`fs`] — the FUSE substitute: a block-mapped file layer (`WieraFs`)
+//!   over any [`KvStore`], with an optional page cache and an O_DIRECT mode
+//!   matching the paper's cache-defeating configuration.
+//! * [`sysbench`] — a SysBench-fileio-like random-I/O benchmark reporting
+//!   IOPS (Fig. 11).
+//! * [`rubis`] — a RUBiS-like auction workload (users, items, bids,
+//!   comments; browse/bid/sell transaction mix) running on a MySQL-like
+//!   record store with a 16 MB buffer pool over the file layer, reporting
+//!   requests/second (Fig. 12).
+//!
+//! [`KvStore`]: wiera_workload::KvStore
+
+pub mod cache;
+pub mod fs;
+pub mod rubis;
+pub mod store;
+pub mod sysbench;
+pub mod testutil;
+
+pub use fs::{FsConfig, WieraFs};
+pub use rubis::{Rubis, RubisConfig, RubisReport};
+pub use store::TierStore;
+pub use sysbench::{Sysbench, SysbenchConfig, SysbenchReport};

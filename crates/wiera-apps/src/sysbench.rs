@@ -1,0 +1,296 @@
+//! SysBench-fileio stand-in (Fig. 11).
+//!
+//! Random block I/O against a [`WieraFs`] file: a pool of closed-loop
+//! threads issuing block-aligned reads and writes (O_DIRECT, like the
+//! paper's configuration) for a fixed amount of *modeled* time, reporting
+//! IOPS. Each thread tracks its own modeled clock from the latencies the
+//! stack returns, so results are reproducible and independent of wall-clock
+//! noise.
+
+use crate::fs::WieraFs;
+use std::sync::Arc;
+use wiera_sim::{derive_seed, Histogram, SimDuration, SimRng, Summary};
+
+/// Benchmark parameters (defaults follow sysbench fileio's conventions).
+#[derive(Debug, Clone)]
+pub struct SysbenchConfig {
+    /// Total file size.
+    pub file_bytes: u64,
+    /// I/O unit (sysbench default 16 KiB).
+    pub block_size: usize,
+    /// Concurrent worker threads.
+    pub threads: usize,
+    /// Fraction of operations that are writes (rndrw is 2 reads : 1 write).
+    pub write_frac: f64,
+    /// Modeled run duration per thread.
+    pub duration: SimDuration,
+    pub seed: u64,
+}
+
+impl Default for SysbenchConfig {
+    fn default() -> Self {
+        SysbenchConfig {
+            file_bytes: 64 << 20,
+            block_size: 16 * 1024,
+            threads: 4,
+            write_frac: 1.0 / 3.0,
+            duration: SimDuration::from_secs(30),
+            seed: 1,
+        }
+    }
+}
+
+/// Results of one run.
+#[derive(Debug, Clone)]
+pub struct SysbenchReport {
+    pub reads: u64,
+    pub writes: u64,
+    pub iops: f64,
+    pub read_latency: Summary,
+    pub write_latency: Summary,
+    pub modeled_secs: f64,
+}
+
+pub struct Sysbench;
+
+impl Sysbench {
+    pub const TEST_FILE: &'static str = "/sysbench/test_file";
+
+    /// Create the test file (sysbench `prepare`).
+    pub fn prepare(fs: &Arc<WieraFs>, cfg: &SysbenchConfig) -> Result<SimDuration, String> {
+        fs.create_filled(Self::TEST_FILE, cfg.file_bytes, 0xA5)
+    }
+
+    /// Run random I/O (sysbench `run`). The file must have been prepared.
+    pub fn run(fs: &Arc<WieraFs>, cfg: &SysbenchConfig) -> Result<SysbenchReport, String> {
+        if !fs.exists(Self::TEST_FILE) {
+            return Err("test file not prepared".into());
+        }
+        let blocks = cfg.file_bytes / cfg.block_size as u64;
+        if blocks == 0 {
+            return Err("file smaller than one block".into());
+        }
+        let results: Vec<ThreadResult> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..cfg.threads)
+                .map(|t| {
+                    let fs = fs.clone();
+                    let cfg = cfg.clone();
+                    s.spawn(move || Self::worker(&fs, &cfg, t, blocks))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        });
+
+        let mut reads = 0;
+        let mut writes = 0;
+        let mut rhist = Histogram::new();
+        let mut whist = Histogram::new();
+        for r in results {
+            reads += r.reads;
+            writes += r.writes;
+            rhist.merge(&r.read_hist);
+            whist.merge(&r.write_hist);
+        }
+        let secs = cfg.duration.as_secs_f64();
+        Ok(SysbenchReport {
+            reads,
+            writes,
+            iops: (reads + writes) as f64 / secs,
+            read_latency: rhist.summary(),
+            write_latency: whist.summary(),
+            modeled_secs: secs,
+        })
+    }
+
+    /// Clock-paced variant: workers run until the shared clock reaches the
+    /// deadline and IOPS is measured on the clock's modeled axis. Use this
+    /// when the storage stack *sleeps* its modeled latencies (live Wiera
+    /// deployments, paced tier stores): shared-resource throttles — disk
+    /// IOPS caps, NIC caps — then see true aggregate demand.
+    pub fn run_paced(
+        fs: &Arc<WieraFs>,
+        cfg: &SysbenchConfig,
+        clock: &wiera_sim::SharedClock,
+    ) -> Result<SysbenchReport, String> {
+        if !fs.exists(Self::TEST_FILE) {
+            return Err("test file not prepared".into());
+        }
+        let blocks = cfg.file_bytes / cfg.block_size as u64;
+        if blocks == 0 {
+            return Err("file smaller than one block".into());
+        }
+        let start = clock.now();
+        let deadline = start + cfg.duration;
+        let results: Vec<ThreadResult> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..cfg.threads)
+                .map(|t| {
+                    let fs = fs.clone();
+                    let cfg = cfg.clone();
+                    let clock = clock.clone();
+                    s.spawn(move || {
+                        let mut rng =
+                            SimRng::new(derive_seed(cfg.seed, &format!("sysbench:{t}")));
+                        let mut out = ThreadResult::default();
+                        let mut buf = vec![0u8; cfg.block_size];
+                        while clock.now() < deadline {
+                            Sysbench::one_op(&fs, &cfg, &mut rng, &mut buf, blocks, &mut out);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        });
+        let modeled = clock.now().elapsed_since(start).as_secs_f64().max(1e-9);
+        let mut reads = 0;
+        let mut writes = 0;
+        let mut rhist = Histogram::new();
+        let mut whist = Histogram::new();
+        for r in results {
+            reads += r.reads;
+            writes += r.writes;
+            rhist.merge(&r.read_hist);
+            whist.merge(&r.write_hist);
+        }
+        Ok(SysbenchReport {
+            reads,
+            writes,
+            iops: (reads + writes) as f64 / modeled,
+            read_latency: rhist.summary(),
+            write_latency: whist.summary(),
+            modeled_secs: modeled,
+        })
+    }
+
+    fn one_op(
+        fs: &Arc<WieraFs>,
+        cfg: &SysbenchConfig,
+        rng: &mut SimRng,
+        buf: &mut [u8],
+        blocks: u64,
+        out: &mut ThreadResult,
+    ) {
+        let block = rng.gen_range_usize(0, blocks as usize) as u64;
+        let offset = block * cfg.block_size as u64;
+        if rng.gen_bool(cfg.write_frac) {
+            rng.fill(buf);
+            if let Ok(lat) = fs.write_at(Sysbench::TEST_FILE, offset, buf) {
+                out.writes += 1;
+                out.write_hist.record(lat);
+            }
+        } else if let Ok((_, lat)) = fs.read_at(Sysbench::TEST_FILE, offset, cfg.block_size) {
+            out.reads += 1;
+            out.read_hist.record(lat);
+        }
+    }
+
+    fn worker(fs: &Arc<WieraFs>, cfg: &SysbenchConfig, index: usize, blocks: u64) -> ThreadResult {
+        let mut rng = SimRng::new(derive_seed(cfg.seed, &format!("sysbench:{index}")));
+        let mut elapsed = SimDuration::ZERO;
+        let mut out = ThreadResult::default();
+        let mut buf = vec![0u8; cfg.block_size];
+        while elapsed < cfg.duration {
+            let block = rng.gen_range_usize(0, blocks as usize) as u64;
+            let offset = block * cfg.block_size as u64;
+            if rng.gen_bool(cfg.write_frac) {
+                rng.fill(&mut buf);
+                match fs.write_at(Sysbench::TEST_FILE, offset, &buf) {
+                    Ok(lat) => {
+                        out.writes += 1;
+                        out.write_hist.record(lat);
+                        elapsed += lat;
+                    }
+                    Err(_) => elapsed += SimDuration::from_millis(1),
+                }
+            } else {
+                match fs.read_at(Sysbench::TEST_FILE, offset, cfg.block_size) {
+                    Ok((_, lat)) => {
+                        out.reads += 1;
+                        out.read_hist.record(lat);
+                        elapsed += lat;
+                    }
+                    Err(_) => elapsed += SimDuration::from_millis(1),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct ThreadResult {
+    reads: u64,
+    writes: u64,
+    read_hist: Histogram,
+    write_hist: Histogram,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::FsConfig;
+    use crate::testutil::MapStore;
+
+    fn direct_fs(get_ms: u64, put_ms: u64) -> Arc<WieraFs> {
+        let store = MapStore::shared(
+            SimDuration::from_millis(get_ms),
+            SimDuration::from_millis(put_ms),
+        );
+        WieraFs::new(store, FsConfig::direct(16 * 1024))
+    }
+
+    fn small_cfg() -> SysbenchConfig {
+        SysbenchConfig {
+            file_bytes: 1 << 20,
+            threads: 2,
+            duration: SimDuration::from_secs(5),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn run_requires_prepare() {
+        let fs = direct_fs(2, 2);
+        assert!(Sysbench::run(&fs, &small_cfg()).is_err());
+    }
+
+    #[test]
+    fn iops_matches_modeled_latency() {
+        // Every op costs 2 ms → each thread does ~500 ops/s → 2 threads
+        // ≈ 1000 IOPS.
+        let fs = direct_fs(2, 2);
+        let cfg = small_cfg();
+        Sysbench::prepare(&fs, &cfg).unwrap();
+        let report = Sysbench::run(&fs, &cfg).unwrap();
+        assert!((report.iops - 1000.0).abs() < 100.0, "iops {}", report.iops);
+        assert!(report.reads > 0 && report.writes > 0);
+        let wf = report.writes as f64 / (report.reads + report.writes) as f64;
+        assert!((wf - 1.0 / 3.0).abs() < 0.05, "write fraction {wf}");
+    }
+
+    #[test]
+    fn slower_store_lowers_iops() {
+        let fast = direct_fs(1, 1);
+        let slow = direct_fs(10, 10);
+        let cfg = small_cfg();
+        Sysbench::prepare(&fast, &cfg).unwrap();
+        Sysbench::prepare(&slow, &cfg).unwrap();
+        let f = Sysbench::run(&fast, &cfg).unwrap();
+        let s = Sysbench::run(&slow, &cfg).unwrap();
+        assert!(f.iops > s.iops * 5.0, "fast {} vs slow {}", f.iops, s.iops);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = small_cfg();
+        let mk = || {
+            let fs = direct_fs(2, 3);
+            Sysbench::prepare(&fs, &cfg).unwrap();
+            Sysbench::run(&fs, &cfg).unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.reads, b.reads);
+        assert_eq!(a.writes, b.writes);
+    }
+}

@@ -1,0 +1,68 @@
+//! Shared test double: an in-memory [`KvStore`] with fixed modeled
+//! latencies and op counters. Used by the fs/sysbench/rubis unit tests and
+//! available to downstream benches for calibration runs.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wiera_sim::SimDuration;
+use wiera_workload::{KvStore, OpSample};
+
+/// Map-backed store with constant modeled get/put latencies.
+pub struct MapStore {
+    data: Mutex<HashMap<String, (Bytes, u64)>>,
+    get_latency: SimDuration,
+    put_latency: SimDuration,
+    gets: AtomicU64,
+    puts: AtomicU64,
+}
+
+impl MapStore {
+    pub fn shared(get_latency: SimDuration, put_latency: SimDuration) -> Arc<Self> {
+        Arc::new(MapStore {
+            data: Mutex::new(HashMap::new()),
+            get_latency,
+            put_latency,
+            gets: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+        })
+    }
+
+    pub fn gets(&self) -> u64 {
+        self.gets.load(Ordering::Relaxed)
+    }
+
+    pub fn puts(&self) -> u64 {
+        self.puts.load(Ordering::Relaxed)
+    }
+}
+
+impl KvStore for MapStore {
+    fn kv_put(&self, key: &str, value: Bytes) -> Result<OpSample, String> {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        let mut m = self.data.lock();
+        let e = m.entry(key.to_string()).or_insert((Bytes::new(), 0));
+        e.1 += 1;
+        let version = e.1;
+        e.0 = value;
+        Ok(OpSample { latency: self.put_latency, version })
+    }
+
+    fn kv_get(&self, key: &str) -> Result<OpSample, String> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        let m = self.data.lock();
+        m.get(key)
+            .map(|(_, v)| OpSample { latency: self.get_latency, version: *v })
+            .ok_or_else(|| format!("object '{key}' not found"))
+    }
+
+    fn kv_get_value(&self, key: &str) -> Result<(Bytes, OpSample), String> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        let m = self.data.lock();
+        m.get(key)
+            .map(|(b, v)| (b.clone(), OpSample { latency: self.get_latency, version: *v }))
+            .ok_or_else(|| format!("object '{key}' not found"))
+    }
+}

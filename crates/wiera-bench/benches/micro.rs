@@ -1,0 +1,121 @@
+//! Criterion microbenchmarks for the hot paths of the reproduction:
+//! policy parsing/compilation (run per instance launch), tier backend
+//! operations (run per object access), the network model (run per
+//! message), and the measurement plumbing itself (run per sample).
+//!
+//! These complement the figure harnesses: the figures check *shapes*, these
+//! guard the substrate's constant factors (the paper quotes <2% Tiera
+//! overhead; our policy evaluation must stay far below tier latencies).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use tiera::{InstanceConfig, TieraInstance};
+use wiera_net::{Fabric, Region};
+use wiera_policy::{compile, parse};
+use wiera_sim::{Histogram, ManualClock, SimDuration, SimRng};
+use wiera_tiers::{SimTier, TierKind, TierSpec};
+use wiera_workload::KeyChooser;
+
+fn bench_policy(c: &mut Criterion) {
+    let src = wiera_policy::canned::MULTI_PRIMARIES_CONSISTENCY;
+    c.bench_function("policy/parse_multi_primaries", |b| {
+        b.iter(|| parse(black_box(src)).unwrap())
+    });
+    let spec = parse(src).unwrap();
+    c.bench_function("policy/compile_multi_primaries", |b| {
+        b.iter(|| compile(black_box(&spec)).unwrap())
+    });
+    c.bench_function("policy/parse_all_canned", |b| {
+        b.iter(|| {
+            for (_, _, s) in wiera_policy::canned::ALL {
+                black_box(parse(s).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_tier(c: &mut Criterion) {
+    let clock = ManualClock::new();
+    let tier = SimTier::new(TierSpec::of(TierKind::EbsSsd), 1 << 30, clock, 7);
+    let payload = Bytes::from(vec![0u8; 4096]);
+    let mut i = 0u64;
+    c.bench_function("tier/put_4k", |b| {
+        b.iter(|| {
+            i += 1;
+            tier.put(&format!("k{}", i % 10_000), payload.clone()).unwrap()
+        })
+    });
+    tier.put("hot", payload.clone()).unwrap();
+    c.bench_function("tier/get_4k", |b| b.iter(|| tier.get(black_box("hot")).unwrap()));
+}
+
+fn bench_instance(c: &mut Criterion) {
+    let compiled =
+        compile(&parse(wiera_policy::canned::LOW_LATENCY_INSTANCE).unwrap()).unwrap();
+    let cfg = InstanceConfig::new("bench", Region::UsEast)
+        .with_tier("tier1", "Memcached", 1 << 30)
+        .with_tier("tier2", "EBS", 1 << 30)
+        .with_rules(compiled.rules);
+    let inst = TieraInstance::build(cfg, ManualClock::new()).unwrap();
+    let payload = Bytes::from(vec![0u8; 4096]);
+    let mut i = 0u64;
+    c.bench_function("instance/put_writeback_4k", |b| {
+        b.iter(|| {
+            i += 1;
+            inst.put(&format!("k{}", i % 10_000), payload.clone()).unwrap()
+        })
+    });
+    inst.put("hot", payload.clone()).unwrap();
+    c.bench_function("instance/get_4k", |b| b.iter(|| inst.get(black_box("hot")).unwrap()));
+}
+
+fn bench_net(c: &mut Criterion) {
+    let fabric = Fabric::multicloud(9);
+    c.bench_function("net/one_way_4k", |b| {
+        b.iter(|| fabric.one_way(Region::UsEast, Region::EuWest, black_box(4096)))
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    c.bench_function("metrics/histogram_record", |b| {
+        b.iter_batched(
+            Histogram::new,
+            |mut h| {
+                for i in 0..1000u64 {
+                    h.record(SimDuration::from_micros(i * 37 + 1));
+                }
+                h
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut full = Histogram::new();
+    for i in 0..100_000u64 {
+        full.record(SimDuration::from_micros(i % 50_000 + 1));
+    }
+    c.bench_function("metrics/histogram_p99", |b| b.iter(|| full.quantile(black_box(0.99))));
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let chooser = KeyChooser::zipfian(100_000);
+    let mut rng = SimRng::new(3);
+    c.bench_function("workload/zipfian_next", |b| b.iter(|| chooser.next(&mut rng)));
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let data = vec![42u8; 4096];
+    c.bench_function("transform/rle_compress_4k", |b| {
+        b.iter(|| tiera::transform::compress(black_box(&data)))
+    });
+    c.bench_function("transform/xor_encrypt_4k", |b| {
+        b.iter(|| tiera::transform::encrypt(black_box(&data), 0xDEAD))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_policy, bench_tier, bench_instance, bench_net, bench_metrics, bench_workload, bench_transform
+}
+criterion_main!(benches);

@@ -1,0 +1,266 @@
+//! Ablation: what each piece of the strong-consistency put costs.
+//!
+//! The paper attributes MultiPrimaries' ≈400 ms puts to "getting (and
+//! releasing) the global lock for a key, broadcasting updates to all other
+//! instances synchronously, and internal operations". This ablation
+//! decomposes that claim along three axes the paper fixes:
+//!
+//! 1. **Replica fan-out** — put latency under each protocol as the
+//!    deployment grows from 2 to 4 regions. MultiPrimaries and synchronous
+//!    primary-backup pay the *slowest* replica; eventual stays flat.
+//! 2. **Lock placement** — MultiPrimaries put latency from US-West with the
+//!    coordination service hosted in each region. Co-locating the
+//!    coordinator with the writer removes one WAN round trip (the paper
+//!    always co-locates it with Wiera in US-East).
+//! 3. **Queue flush interval** — eventual consistency's staleness window
+//!    (time until a remote replica can serve a write) as the flush interval
+//!    grows; put latency stays constant while convergence degrades — the
+//!    knob §3.3.1 leaves to the application.
+
+use bytes::Bytes;
+use serde::Serialize;
+use std::sync::Arc;
+use wiera::client::WieraClient;
+use wiera::controller::ControllerConfig;
+use wiera::deployment::DeploymentConfig;
+use wiera::testkit::{bodies, Cluster};
+use wiera_net::Region;
+
+const SCALE: f64 = 2000.0;
+const ALL_REGIONS: [(&str, Region); 4] = [
+    ("US-West", Region::UsWest),
+    ("US-East", Region::UsEast),
+    ("EU-West", Region::EuWest),
+    ("Asia-East", Region::AsiaEast),
+];
+
+#[derive(Serialize)]
+struct FanoutRow {
+    replicas: usize,
+    multi_primaries_ms: f64,
+    primary_backup_sync_ms: f64,
+    eventual_ms: f64,
+}
+
+#[derive(Serialize)]
+struct LockRow {
+    coordinator_region: String,
+    put_ms: f64,
+}
+
+#[derive(Serialize)]
+struct FlushRow {
+    flush_ms: f64,
+    put_ms: f64,
+    convergence_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Record {
+    experiment: &'static str,
+    fanout: Vec<FanoutRow>,
+    lock_placement: Vec<LockRow>,
+    flush: Vec<FlushRow>,
+}
+
+fn mean_put(cluster: &Cluster, dep: &Arc<wiera::deployment::WieraDeployment>, n: usize) -> f64 {
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsWest,
+        "probe",
+        dep.replicas(),
+    );
+    let mut total = 0.0;
+    for i in 0..n {
+        let view = client.put(&format!("k{i}"), Bytes::from(vec![0u8; 1024])).unwrap();
+        total += view.latency.as_millis_f64();
+    }
+    total / n as f64
+}
+
+fn fanout(seed: u64) -> Vec<FanoutRow> {
+    let mut rows = Vec::new();
+    for k in 2..=ALL_REGIONS.len() {
+        let regions: Vec<Region> = ALL_REGIONS[..k].iter().map(|(_, r)| *r).collect();
+        let decls: Vec<(&str, bool)> =
+            ALL_REGIONS[..k].iter().map(|(n, _)| (*n, false)).collect();
+        let mut decls_pb = decls.clone();
+        decls_pb[0].1 = true; // US-West primary
+
+        let cluster = Cluster::launch(&regions, SCALE, seed);
+        cluster.register_policy_over("mp", &decls, bodies::MULTI_PRIMARIES).unwrap();
+        cluster.register_policy_over("pb", &decls_pb, bodies::PRIMARY_BACKUP_SYNC).unwrap();
+        cluster.register_policy_over("ev", &decls, bodies::EVENTUAL).unwrap();
+        let mp = cluster.controller.start_instances("mp", "mp", DeploymentConfig::default()).unwrap();
+        let pb = cluster.controller.start_instances("pb", "pb", DeploymentConfig::default()).unwrap();
+        let ev = cluster.controller.start_instances("ev", "ev", DeploymentConfig::default()).unwrap();
+        rows.push(FanoutRow {
+            replicas: k,
+            multi_primaries_ms: mean_put(&cluster, &mp, 20),
+            primary_backup_sync_ms: mean_put(&cluster, &pb, 20),
+            eventual_ms: mean_put(&cluster, &ev, 20),
+        });
+        cluster.shutdown();
+    }
+    rows
+}
+
+fn lock_placement(seed: u64) -> Vec<LockRow> {
+    let mut rows = Vec::new();
+    for (name, coord_region) in ALL_REGIONS {
+        let regions: Vec<Region> = ALL_REGIONS.iter().map(|(_, r)| *r).collect();
+        let decls: Vec<(&str, bool)> = ALL_REGIONS.iter().map(|(n, _)| (*n, false)).collect();
+        // Host controller + coordination service in `coord_region`.
+        let cluster = Cluster::launch_with(
+            &regions,
+            SCALE,
+            seed,
+            ControllerConfig { region: coord_region, ..Default::default() },
+        );
+        cluster.register_policy_over("mp", &decls, bodies::MULTI_PRIMARIES).unwrap();
+        let mp = cluster.controller.start_instances("mp", "mp", DeploymentConfig::default()).unwrap();
+        rows.push(LockRow {
+            coordinator_region: name.to_string(),
+            put_ms: mean_put(&cluster, &mp, 20),
+        });
+        cluster.shutdown();
+    }
+    rows
+}
+
+fn flush(seed: u64) -> Vec<FlushRow> {
+    let mut rows = Vec::new();
+    for flush_ms in [200.0, 1000.0, 4000.0, 8000.0] {
+        let cluster = Cluster::launch(&[Region::UsWest, Region::AsiaEast], SCALE, seed);
+        cluster
+            .register_policy_over(
+                "ev",
+                &[("US-West", false), ("Asia-East", false)],
+                bodies::EVENTUAL,
+            )
+            .unwrap();
+        let dep = cluster
+            .controller
+            .start_instances("ev", "ev", DeploymentConfig { flush_ms, ..Default::default() })
+            .unwrap();
+        let client = WieraClient::connect(
+            cluster.data_mesh.clone(),
+            Region::UsWest,
+            "probe",
+            dep.replicas(),
+        );
+        let replicas = cluster.deployment_replicas("ev");
+        let tokyo = replicas.iter().find(|r| r.node.region == Region::AsiaEast).unwrap();
+
+        let mut put_ms = 0.0;
+        let mut conv_ms = 0.0;
+        let n = 6;
+        for i in 0..n {
+            let key = format!("conv-{i}");
+            let t0 = cluster.clock.now();
+            let view = client.put(&key, Bytes::from(vec![1u8; 512])).unwrap();
+            put_ms += view.latency.as_millis_f64();
+            // Wall-wait until Tokyo can serve it; convergence measured in
+            // modeled time.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+            while tokyo.instance().get(&key).is_err() {
+                assert!(std::time::Instant::now() < deadline, "never converged");
+                std::thread::sleep(std::time::Duration::from_micros(300));
+            }
+            conv_ms += cluster.clock.now().elapsed_since(t0).as_millis_f64();
+        }
+        rows.push(FlushRow {
+            flush_ms,
+            put_ms: put_ms / n as f64,
+            convergence_ms: conv_ms / n as f64,
+        });
+        cluster.shutdown();
+    }
+    rows
+}
+
+fn main() {
+    let seed = wiera_bench::default_seed();
+
+    let fanout_rows = fanout(seed);
+    wiera_bench::print_table(
+        "Ablation A: put latency vs replica fan-out (from US-West, ms)",
+        &["Replicas", "MultiPrimaries", "PB-sync", "Eventual"],
+        &fanout_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.replicas.to_string(),
+                    format!("{:.1}", r.multi_primaries_ms),
+                    format!("{:.1}", r.primary_backup_sync_ms),
+                    format!("{:.1}", r.eventual_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    // Strong protocols pay the slowest replica; eventual is flat.
+    assert!(
+        fanout_rows.last().unwrap().multi_primaries_ms
+            > fanout_rows.first().unwrap().multi_primaries_ms,
+        "adding farther replicas must raise the strong put"
+    );
+    for r in &fanout_rows {
+        assert!(r.eventual_ms < 10.0, "eventual stays local: {}", r.eventual_ms);
+        assert!(
+            r.multi_primaries_ms > r.primary_backup_sync_ms,
+            "the global lock costs an extra round trip over PB-sync"
+        );
+    }
+
+    let lock_rows = lock_placement(seed);
+    wiera_bench::print_table(
+        "Ablation B: MultiPrimaries put (from US-West) vs coordinator placement",
+        &["Coordinator", "Put (ms)"],
+        &lock_rows
+            .iter()
+            .map(|r| vec![r.coordinator_region.clone(), format!("{:.1}", r.put_ms)])
+            .collect::<Vec<_>>(),
+    );
+    let by = |n: &str| lock_rows.iter().find(|r| r.coordinator_region == n).unwrap().put_ms;
+    assert!(
+        by("US-West") < by("Asia-East"),
+        "a writer-local coordinator must beat a trans-Pacific one"
+    );
+
+    let flush_rows = flush(seed);
+    wiera_bench::print_table(
+        "Ablation C: eventual consistency — flush interval vs convergence",
+        &["Flush (ms)", "Put (ms)", "Convergence at Tokyo (ms)"],
+        &flush_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.0}", r.flush_ms),
+                    format!("{:.1}", r.put_ms),
+                    format!("{:.0}", r.convergence_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        flush_rows.last().unwrap().convergence_ms > flush_rows.first().unwrap().convergence_ms * 2.0,
+        "longer flush interval must delay convergence"
+    );
+    for w in flush_rows.windows(2) {
+        assert!(
+            (w[0].put_ms - w[1].put_ms).abs() < 5.0,
+            "put latency is independent of the flush interval"
+        );
+    }
+
+    println!("\nshape-check: fan-out raises strong puts; lock placement matters; flush trades convergence only  [OK]");
+    wiera_bench::emit(
+        "ablation_consistency",
+        &Record {
+            experiment: "ablation",
+            fanout: fanout_rows,
+            lock_placement: lock_rows,
+            flush: flush_rows,
+        },
+    );
+}

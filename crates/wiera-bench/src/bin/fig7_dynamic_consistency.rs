@@ -1,0 +1,246 @@
+//! Fig. 7: changing consistency at run time.
+//!
+//! The paper's headline dynamism experiment: instances in four regions run
+//! MultiPrimaries consistency under an update-heavy workload; delays are
+//! injected into the network. Sustained delays (a) and (b) violate the
+//! DynamicConsistency policy's (800 ms, 30 s) condition, so Wiera switches
+//! the deployment to Eventual (puts drop from ≈400 ms to <10 ms); when the
+//! delay clears and the network monitor sees strong puts would again be
+//! affordable for 30 s, it switches back. The transient delay (c) is
+//! shorter than the period threshold and is ignored.
+//!
+//! Output: the put-latency timeline at US-West (the paper's plotted
+//! region), consistency-change events, and per-phase latency summaries.
+
+use bytes::Bytes;
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use wiera::client::WieraClient;
+use wiera::deployment::DeploymentConfig;
+use wiera::testkit::{bodies, Cluster};
+use wiera_net::Region;
+use wiera_policy::ConsistencyModel;
+use wiera_sim::{SimDuration, SimInstant, SimRng, TimeSeries};
+
+#[derive(Serialize, Debug)]
+struct Event {
+    t_secs: f64,
+    consistency: String,
+}
+
+#[derive(Serialize)]
+struct Phase {
+    label: String,
+    from_secs: f64,
+    to_secs: f64,
+    mean_put_ms: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct Record {
+    experiment: &'static str,
+    threshold_ms: f64,
+    period_secs: f64,
+    delays: Vec<(f64, f64, f64)>, // (start, end, one-way ms)
+    events: Vec<Event>,
+    phases: Vec<Phase>,
+    series: Vec<(f64, f64)>, // (t secs, put ms) decimated
+}
+
+const SCALE: f64 = 300.0;
+const END: u64 = 420;
+
+fn main() {
+    let seed = wiera_bench::default_seed();
+    let cluster = Cluster::launch(
+        &[Region::UsWest, Region::UsEast, Region::EuWest, Region::AsiaEast],
+        SCALE,
+        seed,
+    );
+    cluster
+        .register_policy_over(
+            "mp-four",
+            &[
+                ("US-West", false),
+                ("US-East", false),
+                ("EU-West", false),
+                ("Asia-East", false),
+            ],
+            bodies::MULTI_PRIMARIES,
+        )
+        .unwrap();
+    let dep = cluster
+        .controller
+        .start_instances(
+            "fig7",
+            "mp-four",
+            DeploymentConfig::default().with_dynamic_consistency(800.0, 30_000.0),
+        )
+        .unwrap();
+
+    let clock = cluster.clock.clone();
+    let t0 = clock.now();
+    let at = |secs: u64| t0 + SimDuration::from_secs(secs);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Update-heavy writers in every region (YCSB-A-shaped: we record puts,
+    // which are what the figure plots). The US-West client's samples feed
+    // the timeline.
+    let series = TimeSeries::new();
+    let mut writers = Vec::new();
+    for region in [Region::UsWest, Region::UsEast, Region::EuWest, Region::AsiaEast] {
+        let client = WieraClient::connect(
+            cluster.data_mesh.clone(),
+            region,
+            format!("app-{region}"),
+            dep.replicas(),
+        );
+        let clock = clock.clone();
+        let stop = stop.clone();
+        let series = if region == Region::UsWest { Some(series.clone()) } else { None };
+        writers.push(std::thread::spawn(move || {
+            let mut rng = SimRng::new(wiera_sim::derive_seed(1, &format!("w{region}")));
+            let mut i = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let key = format!("k{}", rng.gen_range_usize(0, 64));
+                if let Ok(view) = client.put(&key, Bytes::from(vec![i as u8; 1024])) {
+                    if let Some(s) = &series {
+                        s.push(clock.now(), view.latency.as_millis_f64());
+                    }
+                }
+                i += 1;
+                clock.sleep(SimDuration::from_millis(500));
+            }
+        }));
+    }
+
+    // Injected delays: (a) and (b) sustained, (c) transient.
+    let delays = [(40u64, 110u64, 700.0f64), (200, 260, 1000.0), (330, 345, 700.0)];
+    for (start, end, ms) in delays {
+        while clock.now() < at(start) {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        cluster.fabric.inject_node_delay(Region::EuWest, SimDuration::from_millis_f64(ms));
+        while clock.now() < at(end) {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        cluster.fabric.clear_node_delay(Region::EuWest);
+    }
+    while clock.now() < at(END) {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    stop.store(true, Ordering::Release);
+    for w in writers {
+        w.join().unwrap();
+    }
+
+    // Derive consistency-change events from the latency regime shifts in
+    // the put series (the application-visible signal the figure plots).
+    let pts = series.sorted();
+    let rel = |t: SimInstant| t.elapsed_since(t0).as_secs_f64();
+
+    // Detect switches by observing the deployment's consistency at the end
+    // plus the latency regime changes in the series.
+    let mut events_out: Vec<Event> = Vec::new();
+    let mut in_eventual = false;
+    for w in pts.windows(4) {
+        let all_fast = w.iter().all(|(_, ms)| *ms < 50.0);
+        let all_slow = w.iter().all(|(_, ms)| *ms > 100.0);
+        if all_fast && !in_eventual {
+            in_eventual = true;
+            events_out.push(Event { t_secs: rel(w[0].0), consistency: "Eventual".into() });
+        } else if all_slow && in_eventual {
+            in_eventual = false;
+            events_out.push(Event {
+                t_secs: rel(w[0].0),
+                consistency: "MultiPrimaries".into(),
+            });
+        }
+    }
+
+    // Phase summaries around the schedule.
+    let phase = |label: &str, a: u64, b: u64| Phase {
+        label: label.into(),
+        from_secs: a as f64,
+        to_secs: b as f64,
+        mean_put_ms: series.mean_in(at(a), at(b)),
+    };
+    let phases = vec![
+        phase("initial strong", 5, 40),
+        phase("delay (a) active", 45, 105),
+        phase("eventual after (a)", 80, 110),
+        phase("restored strong", 150, 200),
+        phase("eventual after (b)", 240, 260),
+        phase("strong through transient (c)", 350, 420),
+    ];
+
+    let rows: Vec<Vec<String>> = phases
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.clone(),
+                format!("{:.0}-{:.0}s", p.from_secs, p.to_secs),
+                p.mean_put_ms.map(|m| format!("{m:.1} ms")).unwrap_or("-".into()),
+            ]
+        })
+        .collect();
+    wiera_bench::print_table(
+        "Fig. 7: put latency phases at US-West (MultiPrimaries <-> Eventual)",
+        &["Phase", "Window", "Mean put"],
+        &rows,
+    );
+    for e in &events_out {
+        println!("  t={:.1}s  -> {}", e.t_secs, e.consistency);
+    }
+    // ---- shape checks -------------------------------------------------------
+    let initial = phases[0].mean_put_ms.expect("initial samples");
+    assert!(
+        (150.0..700.0).contains(&initial),
+        "strong puts should cost hundreds of ms, got {initial}"
+    );
+    let eventual_a = phases[2].mean_put_ms.expect("eventual samples after (a)");
+    assert!(eventual_a < 30.0, "eventual puts should be fast, got {eventual_a}");
+    let restored = phases[3].mean_put_ms.expect("restored strong samples");
+    assert!(restored > 100.0, "strong restored after (a): {restored}");
+    let tail = phases[5].mean_put_ms.expect("tail samples");
+    assert!(
+        tail > 100.0,
+        "transient delay (c) must NOT trigger a switch; tail mean {tail}"
+    );
+    let to_eventual = events_out.iter().filter(|e| e.consistency == "Eventual").count();
+    let to_strong = events_out.iter().filter(|e| e.consistency == "MultiPrimaries").count();
+    assert_eq!(to_eventual, 2, "exactly two switches to eventual: {events_out:?}");
+    assert_eq!(to_strong, 2, "exactly two switches back: {events_out:?}");
+    assert_eq!(dep.consistency(), ConsistencyModel::MultiPrimaries);
+    // No switch events after the transient delay (c) begins.
+    assert!(
+        events_out.iter().all(|e| e.t_secs < 330.0),
+        "no switches may follow the transient delay: {events_out:?}"
+    );
+
+    println!("\nshape-check: 2 switches out + 2 back, transient (c) ignored  [OK]");
+
+    // Decimate the series for the record.
+    let series_out: Vec<(f64, f64)> = pts
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % (pts.len() / 400 + 1) == 0)
+        .map(|(_, (t, ms))| (rel(*t), *ms))
+        .collect();
+
+    wiera_bench::emit(
+        "fig7_dynamic_consistency",
+        &Record {
+            experiment: "fig7",
+            threshold_ms: 800.0,
+            period_secs: 30.0,
+            delays: delays.iter().map(|&(a, b, ms)| (a as f64, b as f64, ms)).collect(),
+            events: events_out,
+            phases,
+            series: series_out,
+        },
+    );
+
+    cluster.shutdown();
+}

@@ -1,0 +1,254 @@
+//! Fig. 8 + Table 3: changing the primary instance with user location.
+//!
+//! §5.2 reproduces a Tuba-style reconfiguration: primary-backup with
+//! asynchronous (queued) propagation, instances in US-West, EU-West and
+//! Asia-East, 10 clients per region whose active population follows a
+//! normal distribution staggered Asia → EU → US. With a *static* primary
+//! (Asia-East), most get operations far from the primary return outdated
+//! data (paper: 69 %) and put latency is dominated by forwarding
+//! (Table 3's static row). With the RequestsMonitoring policy moving the
+//! primary toward whichever region forwards the most puts, staleness drops
+//! (paper: 39 %) and overall put latency falls (Table 3's changing row).
+
+use bytes::Bytes;
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use wiera::client::WieraClient;
+use wiera::deployment::DeploymentConfig;
+use wiera::testkit::{bodies, Cluster};
+use wiera_net::Region;
+use wiera_sim::{Histogram, SimDuration, SimRng};
+use wiera_workload::{ActiveSchedule, Ledger};
+
+const SCALE: f64 = 200.0;
+const REGIONS: [Region; 3] = [Region::AsiaEast, Region::EuWest, Region::UsWest];
+const CLIENTS_PER_REGION: usize = 10;
+const KEYS: usize = 15;
+/// Staggering between regional activity peaks.
+const STAGGER_SECS: u64 = 600;
+/// Total experiment length: three staggered bells.
+const END_SECS: u64 = 1950;
+
+#[derive(Serialize, Clone)]
+struct RunResult {
+    label: String,
+    stale_fraction: f64,
+    fresh_reads: u64,
+    stale_reads: u64,
+    put_mean_ms_by_region: Vec<(String, f64)>,
+    overall_put_mean_ms: f64,
+    final_primary_region: String,
+}
+
+#[derive(Serialize)]
+struct Record {
+    experiment: &'static str,
+    static_run: RunResult,
+    changing_run: RunResult,
+}
+
+fn run(label: &str, changing: bool, seed: u64) -> RunResult {
+    let cluster = Cluster::launch(&REGIONS, SCALE, seed);
+    cluster
+        .register_policy_over(
+            "pb-async-3",
+            &[("Asia-East", true), ("EU-West", false), ("US-West", false)],
+            bodies::PRIMARY_BACKUP_ASYNC,
+        )
+        .unwrap();
+    let mut config = DeploymentConfig { flush_ms: 8_000.0, ..Default::default() };
+    if changing {
+        // Paper: compare over the last 30 s of put history, check every 15 s.
+        config = config.with_change_primary(30_000.0, 15_000.0);
+    }
+    let dep = cluster.controller.start_instances("fig8", "pb-async-3", config).unwrap();
+
+    let clock = cluster.clock.clone();
+    let t0 = clock.now();
+    let end = t0 + SimDuration::from_secs(END_SECS);
+    let stop = Arc::new(AtomicBool::new(false));
+    let ledger = Arc::new(Ledger::new());
+
+    // Per-region aggregation.
+    let put_hists: Vec<Arc<parking_lot::Mutex<Histogram>>> =
+        REGIONS.iter().map(|_| Arc::new(parking_lot::Mutex::new(Histogram::new()))).collect();
+    let fresh = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let stale = Arc::new(std::sync::atomic::AtomicU64::new(0));
+
+    // Activity bells staggered in the paper's order (Asia, EU, US).
+    let schedules = ActiveSchedule::staggered(CLIENTS_PER_REGION, REGIONS.len(), SimDuration::from_secs(STAGGER_SECS));
+
+    let mut handles = Vec::new();
+    for (ri, &region) in REGIONS.iter().enumerate() {
+        let sched = schedules[ri].clone();
+        for c in 0..CLIENTS_PER_REGION {
+            let client = WieraClient::connect(
+                cluster.data_mesh.clone(),
+                region,
+                format!("cli-{region}-{c}"),
+                dep.replicas(),
+            );
+            let clock = clock.clone();
+            let stop = stop.clone();
+            let ledger = ledger.clone();
+            let hist = put_hists[ri].clone();
+            let fresh = fresh.clone();
+            let stale = stale.clone();
+            let sched = sched.clone();
+            let seed = wiera_sim::derive_seed(seed, &format!("{region}:{c}"));
+            handles.push(std::thread::spawn(move || {
+                let mut rng = SimRng::new(seed);
+                let keys = wiera_workload::KeyChooser::zipfian(KEYS);
+                while !stop.load(Ordering::Acquire) {
+                    let now = clock.now();
+                    if now >= end {
+                        return;
+                    }
+                    // The activity bell is shifted to this run's origin.
+                    let rel = wiera_sim::SimInstant::EPOCH + (now - t0);
+                    if !sched.client_active(c, rel) {
+                        clock.sleep(SimDuration::from_secs(10));
+                        continue;
+                    }
+                    // Read-mostly: 5% put / 95% get (the §5.2 mix), zipfian
+                    // keys so hot objects see frequent overwrites.
+                    let key = format!("user{:04}", keys.next(&mut rng));
+                    if rng.gen_bool(0.05) {
+                        if let Ok(view) = client.put(&key, Bytes::from(vec![1u8; 512])) {
+                            hist.lock().record(view.latency);
+                            ledger.on_put(&key, view.version);
+                        }
+                    } else {
+                        let expected = ledger.latest(&key);
+                        if let Ok(view) = client.get(&key) {
+                            if expected > 0 {
+                                if Ledger::is_fresh(view.version, expected) {
+                                    fresh.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    stale.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    clock.sleep(SimDuration::from_millis(500));
+                }
+            }));
+        }
+    }
+
+    while clock.now() < end {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    stop.store(true, Ordering::Release);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let fresh = fresh.load(Ordering::Relaxed);
+    let stale = stale.load(Ordering::Relaxed);
+    let mut by_region = Vec::new();
+    let mut overall = Histogram::new();
+    for (ri, region) in REGIONS.iter().enumerate() {
+        let h = put_hists[ri].lock();
+        by_region.push((region.to_string(), h.summary().mean_ms));
+        overall.merge(&h);
+    }
+    let final_primary = dep
+        .primary()
+        .map(|p| p.region.to_string())
+        .unwrap_or_else(|| "-".into());
+    cluster.shutdown();
+
+    RunResult {
+        label: label.to_string(),
+        stale_fraction: stale as f64 / (fresh + stale).max(1) as f64,
+        fresh_reads: fresh,
+        stale_reads: stale,
+        put_mean_ms_by_region: by_region,
+        overall_put_mean_ms: overall.summary().mean_ms,
+        final_primary_region: final_primary,
+    }
+}
+
+fn main() {
+    let seed = wiera_bench::default_seed();
+    let static_run = run("static", false, seed);
+    let changing_run = run("changing", true, seed + 1);
+
+    // Fig. 8.
+    wiera_bench::print_table(
+        "Fig. 8: chance of seeing latest (Strong) vs outdated (Eventual) data",
+        &["Primary placement", "Latest %", "Outdated %", "final primary"],
+        &[
+            vec![
+                "Static (Asia-East)".into(),
+                format!("{:.0}%", (1.0 - static_run.stale_fraction) * 100.0),
+                format!("{:.0}%", static_run.stale_fraction * 100.0),
+                static_run.final_primary_region.clone(),
+            ],
+            vec![
+                "Changing (Wiera)".into(),
+                format!("{:.0}%", (1.0 - changing_run.stale_fraction) * 100.0),
+                format!("{:.0}%", changing_run.stale_fraction * 100.0),
+                changing_run.final_primary_region.clone(),
+            ],
+        ],
+    );
+
+    // Table 3.
+    let mut rows = Vec::new();
+    for (i, (region, _)) in static_run.put_mean_ms_by_region.iter().enumerate() {
+        rows.push(vec![
+            region.clone(),
+            format!("{:.1}", static_run.put_mean_ms_by_region[i].1),
+            format!("{:.1}", changing_run.put_mean_ms_by_region[i].1),
+        ]);
+    }
+    rows.push(vec![
+        "Overall".into(),
+        format!("{:.1}", static_run.overall_put_mean_ms),
+        format!("{:.1}", changing_run.overall_put_mean_ms),
+    ]);
+    wiera_bench::print_table(
+        "Table 3: average put operation latency (ms)",
+        &["Region", "Static", "Changing"],
+        &rows,
+    );
+
+    // ---- shape checks -------------------------------------------------------
+    assert!(
+        static_run.stale_fraction > changing_run.stale_fraction + 0.08,
+        "changing primary must reduce staleness: static {:.2} vs changing {:.2}",
+        static_run.stale_fraction,
+        changing_run.stale_fraction
+    );
+    assert!(
+        static_run.stale_fraction > 0.15,
+        "static far-primary reads should be substantially stale: {:.2}",
+        static_run.stale_fraction
+    );
+    let static_asia = static_run.put_mean_ms_by_region[0].1;
+    let static_us = static_run.put_mean_ms_by_region[2].1;
+    assert!(
+        static_asia < 10.0,
+        "static: Asia clients sit next to the primary (<5-10ms): {static_asia}"
+    );
+    assert!(static_us > 80.0, "static: US-West forwards across the Pacific: {static_us}");
+    assert!(
+        changing_run.overall_put_mean_ms < static_run.overall_put_mean_ms,
+        "changing primary must lower overall put latency: {} vs {}",
+        changing_run.overall_put_mean_ms,
+        static_run.overall_put_mean_ms
+    );
+    assert_eq!(
+        changing_run.final_primary_region, "US-West",
+        "the primary should have followed the activity wave to US-West"
+    );
+    println!("\nshape-check: staleness drops, overall put latency drops, primary migrates  [OK]");
+
+    wiera_bench::emit(
+        "fig8_table3_change_primary",
+        &Record { experiment: "fig8_table3", static_run, changing_run },
+    );
+}

@@ -1,0 +1,56 @@
+//! Run every paper experiment in sequence.
+//!
+//! ```sh
+//! cargo run --release -p wiera-bench --bin run_all
+//! ```
+//!
+//! Each experiment is a separate binary (so they can also be run and
+//! tweaked individually); this driver executes them all, stops on the
+//! first failure, and summarizes. JSON results land in `results/`.
+
+use std::process::Command;
+
+const EXPERIMENTS: [(&str, &str); 9] = [
+    ("table4_costs", "Table 4: storage tier prices"),
+    ("fig9_tier_latency", "Fig. 9: per-tier 4KB latency"),
+    ("fig10_centralized_latency", "Fig. 10: centralized S3-IA latency"),
+    ("sec53_cost_savings", "§5.3: cold-data cost savings"),
+    ("fig7_dynamic_consistency", "Fig. 7: run-time consistency switching"),
+    ("fig8_table3_change_primary", "Fig. 8 + Table 3: changing primary"),
+    ("fig11_sysbench_iops", "Fig. 11: SysBench local disk vs remote memory"),
+    ("fig12_rubis_throughput", "Fig. 12: RUBiS local disk vs remote memory"),
+    ("ablation_consistency", "Ablations: fan-out, lock placement, flush interval"),
+];
+
+fn main() {
+    let self_exe = std::env::current_exe().expect("own path");
+    let bin_dir = self_exe.parent().expect("bin dir").to_path_buf();
+    let mut failures = Vec::new();
+    let started = std::time::Instant::now();
+
+    for (bin, what) in EXPERIMENTS {
+        println!("\n────────────────────────────────────────────────────────");
+        println!("▶ {bin}: {what}");
+        println!("────────────────────────────────────────────────────────");
+        let path = bin_dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            failures.push(bin);
+            eprintln!("✗ {bin} FAILED ({status})");
+        }
+    }
+
+    println!("\n════════════════════════════════════════════════════════");
+    if failures.is_empty() {
+        println!(
+            "all {} experiments reproduced their paper shapes in {:.0?}",
+            EXPERIMENTS.len(),
+            started.elapsed()
+        );
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

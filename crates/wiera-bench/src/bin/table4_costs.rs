@@ -1,0 +1,43 @@
+//! Table 4: storage tiers' prices in AWS (US-East).
+//!
+//! Regenerates the paper's price table from the cost model that every cost
+//! experiment (§5.3) bills against.
+
+use serde::Serialize;
+use wiera_tiers::cost::{price_table, PriceRow};
+
+#[derive(Serialize)]
+struct Record {
+    experiment: &'static str,
+    rows: Vec<PriceRow>,
+}
+
+fn main() {
+    let rows = price_table();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.tier.to_string(),
+                format!("${}", r.storage_gb_month),
+                format!("${}", r.put_per_10k),
+                format!("${}", r.get_per_10k),
+                format!("${}", r.network_within_dc_gb),
+                format!("${}", r.network_to_internet_gb),
+            ]
+        })
+        .collect();
+    wiera_bench::print_table(
+        "Table 4: Storage Tiers' Price in AWS (US East)",
+        &[
+            "Tier",
+            "Storage $/GB-mo",
+            "Put $/10k",
+            "Get $/10k",
+            "Net $/GB (in-DC)",
+            "Net $/GB (internet)",
+        ],
+        &table,
+    );
+    wiera_bench::emit("table4_costs", &Record { experiment: "table4", rows });
+}

@@ -1,0 +1,93 @@
+//! Benchmark harness utilities shared by the per-figure experiment
+//! binaries (`src/bin/fig*.rs`, `table*.rs`, `sec*.rs`).
+//!
+//! Every experiment prints a human-readable table mirroring the paper's
+//! figure/table and writes a machine-readable JSON record under
+//! `results/`, which EXPERIMENTS.md summarizes.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Where experiment outputs land (workspace-relative).
+pub fn results_dir() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates/
+    p.pop(); // workspace root
+    p.push("results");
+    p
+}
+
+/// Write `record` as pretty JSON to `results/<name>.json`.
+pub fn emit<T: Serialize>(name: &str, record: &T) {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(record).expect("serializable record");
+    let mut f = std::fs::File::create(&path).expect("create result file");
+    f.write_all(json.as_bytes()).expect("write result file");
+    println!("\n[results written to {}]", path.display());
+}
+
+/// Render a simple aligned table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Time-compression factor used by the heavier experiments. High enough to
+/// run minutes of modeled time in wall seconds, low enough that monitor
+/// check loops (sub-second modeled periods) are not starved on small hosts.
+pub fn default_scale() -> f64 {
+    std::env::var("WIERA_TIME_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(600.0)
+}
+
+/// Root RNG seed for experiments (override with WIERA_SEED).
+pub fn default_seed() -> u64 {
+    std::env::var("WIERA_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_writes_json() {
+        #[derive(Serialize)]
+        struct R {
+            x: u32,
+        }
+        emit("selftest", &R { x: 7 });
+        let body = std::fs::read_to_string(results_dir().join("selftest.json")).unwrap();
+        assert!(body.contains("\"x\": 7"));
+        std::fs::remove_file(results_dir().join("selftest.json")).ok();
+    }
+
+    #[test]
+    fn defaults_parse_env() {
+        assert!(default_scale() > 0.0);
+        let _ = default_seed();
+    }
+}

@@ -1,0 +1,33 @@
+//! Network-layer errors.
+
+use crate::mesh::NodeId;
+use std::fmt;
+
+/// Errors surfaced by the transport. Higher layers translate these into
+/// failover decisions (§4.4: "if the closest instance is down, try the
+/// second closest", replica repair, etc.).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Destination is not registered on the mesh (node never started or was
+    /// stopped).
+    UnknownNode(NodeId),
+    /// Destination site is partitioned away or the node crashed mid-call.
+    Unreachable(NodeId),
+    /// RPC did not complete within the caller's modeled timeout.
+    Timeout(NodeId),
+    /// The remote handler dropped the reply slot without answering.
+    NoReply(NodeId),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetError::Unreachable(n) => write!(f, "node {n} unreachable"),
+            NetError::Timeout(n) => write!(f, "rpc to {n} timed out"),
+            NetError::NoReply(n) => write!(f, "node {n} dropped the request"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

@@ -1,0 +1,36 @@
+//! Simulated geo-distributed network substrate.
+//!
+//! The paper runs Wiera on AWS EC2 instances in four regions plus Azure VMs,
+//! connected by the public Internet. This crate stands in for all of that:
+//!
+//! * [`region`] — the fixed set of data-center sites used by the paper's
+//!   evaluation (AWS US-East/US-West/EU-West/Asia-East, a second US-West DC,
+//!   and an Azure US-East DC).
+//! * [`topology`] — base RTT and bandwidth between every pair of sites,
+//!   seeded from public inter-region measurements consistent with the
+//!   latencies the paper reports (≈2 ms AWS↔Azure within US-East, ≈170 ms
+//!   US-East↔Asia-East, …).
+//! * [`fabric`] — the live network model: samples per-message latency,
+//!   applies runtime *delay injection* (Fig. 7's (a)–(c) events), partitions,
+//!   and per-site egress caps (Azure VM-size network throttling, Fig. 11/12).
+//! * [`mesh`] — a typed message transport between named nodes with modeled
+//!   latency accounting: blocking RPC for synchronous protocol steps and
+//!   delayed one-way delivery for asynchronous (queued) replication.
+//!
+//! All latencies returned are **modeled** [`SimDuration`]s; wall-clock
+//! behaviour is compressed through the shared [`Clock`].
+//!
+//! [`SimDuration`]: wiera_sim::SimDuration
+//! [`Clock`]: wiera_sim::Clock
+
+pub mod error;
+pub mod fabric;
+pub mod mesh;
+pub mod region;
+pub mod topology;
+
+pub use error::NetError;
+pub use fabric::Fabric;
+pub use mesh::{Delivery, Mesh, NodeId, ReplySlot, RpcReply};
+pub use region::{Provider, Region};
+pub use topology::Topology;

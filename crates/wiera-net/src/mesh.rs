@@ -1,0 +1,508 @@
+//! Typed message transport between named nodes.
+//!
+//! A [`Mesh<M>`] connects nodes (Tiera instances, the Wiera controller, the
+//! coordination service, clients) with two primitives:
+//!
+//! * [`Mesh::rpc`] — blocking request/response, used for every synchronous
+//!   protocol step (forward-to-primary, synchronous `copy`, lock acquisition).
+//!   The caller's thread pays the modeled round-trip (compressed through the
+//!   shared clock) and gets the modeled cost back for latency accounting.
+//! * [`Mesh::send`] — one-way delivery after the modeled one-way latency,
+//!   used for asynchronous replication (the `queue` response) and heartbeats.
+//!   A background dispatcher thread releases messages when their modeled
+//!   arrival time is reached, so eventually-consistent replicas genuinely lag
+//!   — which is what the Fig. 8 staleness measurements observe.
+//!
+//! Each service builds its own `Mesh` over a shared [`Fabric`], mirroring how
+//! the paper's components each run their own Thrift server over one network.
+
+use crate::error::NetError;
+use crate::fabric::Fabric;
+use crate::region::Region;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use wiera_sim::{SharedClock, SimDuration, SimInstant};
+
+/// Identity of a node on the mesh: the site it runs in plus a name unique
+/// within the deployment (e.g. `"tiera@US-East"`, `"wiera-controller"`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId {
+    pub region: Region,
+    pub name: Arc<str>,
+}
+
+impl NodeId {
+    pub fn new(region: Region, name: impl Into<Arc<str>>) -> Self {
+        NodeId { region, name: name.into() }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.name, self.region)
+    }
+}
+
+/// What a registered node receives from its mesh inbox.
+pub struct Delivery<M> {
+    pub from: NodeId,
+    pub msg: M,
+    /// Modeled one-way network latency this message experienced.
+    pub net_delay: SimDuration,
+    /// Present when the sender is blocked in [`Mesh::rpc`]; the handler must
+    /// call [`ReplySlot::reply`] (dropping it fails the RPC with `NoReply`).
+    pub reply: Option<ReplySlot<M>>,
+}
+
+/// One-shot reply channel handed to RPC handlers.
+pub struct ReplySlot<M> {
+    tx: Sender<(M, SimDuration, u64)>,
+}
+
+impl<M> ReplySlot<M> {
+    /// Answer the RPC. `processing` is the modeled time the handler spent
+    /// (storage accesses, nested RPCs, locking); `bytes` is the reply payload
+    /// size, which determines the response's network serialization time.
+    pub fn reply(self, msg: M, processing: SimDuration, bytes: u64) {
+        let _ = self.tx.send((msg, processing, bytes));
+    }
+}
+
+/// Result of a successful RPC, with the modeled cost breakdown.
+#[derive(Debug)]
+pub struct RpcReply<M> {
+    pub msg: M,
+    /// Modeled processing time at the remote node.
+    pub remote_time: SimDuration,
+    /// Modeled network time (request + response legs).
+    pub net_time: SimDuration,
+}
+
+impl<M> RpcReply<M> {
+    /// Total modeled round-trip latency of the call.
+    pub fn total(&self) -> SimDuration {
+        self.remote_time + self.net_time
+    }
+}
+
+struct DelayedMsg<M> {
+    deliver_at: SimInstant,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+    net_delay: SimDuration,
+}
+
+impl<M> PartialEq for DelayedMsg<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for DelayedMsg<M> {}
+impl<M> PartialOrd for DelayedMsg<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for DelayedMsg<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+struct MeshInner<M> {
+    endpoints: RwLock<HashMap<NodeId, Sender<Delivery<M>>>>,
+    queue: Mutex<BinaryHeap<Reverse<DelayedMsg<M>>>>,
+    queue_cond: Condvar,
+    shutdown: AtomicBool,
+    seq: AtomicU64,
+}
+
+/// The transport. Clone the `Arc<Mesh<M>>` into every node.
+pub struct Mesh<M: Send + 'static> {
+    pub fabric: Arc<Fabric>,
+    pub clock: SharedClock,
+    inner: Arc<MeshInner<M>>,
+}
+
+impl<M: Send + 'static> Mesh<M> {
+    pub fn new(fabric: Arc<Fabric>, clock: SharedClock) -> Arc<Self> {
+        let inner = Arc::new(MeshInner {
+            endpoints: RwLock::new(HashMap::new()),
+            queue: Mutex::new(BinaryHeap::new()),
+            queue_cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+        });
+        let mesh = Arc::new(Mesh { fabric, clock: clock.clone(), inner: inner.clone() });
+        // Dispatcher thread releasing delayed one-way messages. Holds a weak
+        // ref via the shutdown flag; exits when the mesh shuts down.
+        {
+            let inner = inner.clone();
+            let clock = clock.clone();
+            std::thread::Builder::new()
+                .name("mesh-dispatch".into())
+                .spawn(move || Self::dispatch_loop(inner, clock))
+                .expect("spawn mesh dispatcher");
+        }
+        mesh
+    }
+
+    fn dispatch_loop(inner: Arc<MeshInner<M>>, clock: SharedClock) {
+        loop {
+            if inner.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let mut due: Vec<DelayedMsg<M>> = Vec::new();
+            let wait_hint;
+            {
+                let mut q = inner.queue.lock();
+                let now = clock.now();
+                while let Some(Reverse(head)) = q.peek() {
+                    if head.deliver_at <= now {
+                        due.push(q.pop().unwrap().0);
+                    } else {
+                        break;
+                    }
+                }
+                // Correctness comes from re-checking clock.now(); the wall
+                // wait below is only a hint, clamped so that ManualClock
+                // tests (where scale has no wall meaning) still make progress.
+                wait_hint = match q.peek() {
+                    Some(Reverse(head)) => (head.deliver_at - now)
+                        .to_wall(clock.scale())
+                        .clamp(
+                            std::time::Duration::from_micros(50),
+                            std::time::Duration::from_millis(2),
+                        ),
+                    None => std::time::Duration::from_millis(2),
+                };
+                if due.is_empty() {
+                    inner.queue_cond.wait_for(&mut q, wait_hint);
+                }
+            }
+            for m in due {
+                let eps = inner.endpoints.read();
+                if let Some(tx) = eps.get(&m.to) {
+                    let _ = tx.send(Delivery {
+                        from: m.from,
+                        msg: m.msg,
+                        net_delay: m.net_delay,
+                        reply: None,
+                    });
+                }
+                // Unknown destination: the node stopped while the message was
+                // in flight. Drop it, like the real network would.
+            }
+        }
+    }
+
+    /// Attach a node; returns its inbox.
+    pub fn register(&self, node: NodeId) -> Receiver<Delivery<M>> {
+        let (tx, rx) = unbounded();
+        self.inner.endpoints.write().insert(node, tx);
+        rx
+    }
+
+    pub fn unregister(&self, node: &NodeId) {
+        self.inner.endpoints.write().remove(node);
+    }
+
+    pub fn is_registered(&self, node: &NodeId) -> bool {
+        self.inner.endpoints.read().contains_key(node)
+    }
+
+    /// Stop the dispatcher thread. In-flight delayed messages are dropped.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.queue_cond.notify_all();
+    }
+
+    /// One-way send: the message arrives at `to`'s inbox after the modeled
+    /// one-way latency. Returns that latency (the sender does not wait).
+    pub fn send(&self, from: &NodeId, to: &NodeId, msg: M, bytes: u64) -> Result<SimDuration, NetError> {
+        if !self.fabric.is_reachable(from.region, to.region) {
+            return Err(NetError::Unreachable(to.clone()));
+        }
+        if !self.is_registered(to) {
+            return Err(NetError::UnknownNode(to.clone()));
+        }
+        let delay = self.fabric.one_way_at(from.region, to.region, bytes, self.clock.now());
+        let deliver_at = self.clock.now() + delay;
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        self.inner.queue.lock().push(Reverse(DelayedMsg {
+            deliver_at,
+            seq,
+            from: from.clone(),
+            to: to.clone(),
+            msg,
+            net_delay: delay,
+        }));
+        self.inner.queue_cond.notify_one();
+        Ok(delay)
+    }
+
+    /// Blocking RPC. The caller's thread sleeps the modeled network time (so
+    /// wall-clock interleavings track modeled time) and receives the modeled
+    /// cost breakdown for latency accounting.
+    ///
+    /// `timeout` bounds the modeled wait for the remote handler.
+    pub fn rpc(
+        &self,
+        from: &NodeId,
+        to: &NodeId,
+        msg: M,
+        bytes: u64,
+        timeout: SimDuration,
+    ) -> Result<RpcReply<M>, NetError> {
+        if !self.fabric.is_reachable(from.region, to.region) {
+            return Err(NetError::Unreachable(to.clone()));
+        }
+        let req_lat = self.fabric.one_way_at(from.region, to.region, bytes, self.clock.now());
+        let (tx, rx) = unbounded();
+        {
+            let eps = self.inner.endpoints.read();
+            let Some(inbox) = eps.get(to) else {
+                return Err(NetError::UnknownNode(to.clone()));
+            };
+            inbox
+                .send(Delivery {
+                    from: from.clone(),
+                    msg,
+                    net_delay: req_lat,
+                    reply: Some(ReplySlot { tx }),
+                })
+                .map_err(|_| NetError::Unreachable(to.clone()))?;
+        }
+        // Wall-clock bound on the wait: the modeled timeout compressed by the
+        // clock scale, floored generously so slow CI machines don't produce
+        // spurious timeouts.
+        let wall_timeout = timeout.to_wall(self.clock.scale()).max(std::time::Duration::from_millis(250));
+        let (reply, processing, reply_bytes) = match rx.recv_timeout(wall_timeout) {
+            Ok(r) => r,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                return Err(NetError::Timeout(to.clone()));
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                return Err(NetError::NoReply(to.clone()));
+            }
+        };
+        if !self.fabric.is_reachable(to.region, from.region) {
+            // Partitioned while the call was in flight: the reply is lost.
+            return Err(NetError::Unreachable(to.clone()));
+        }
+        let resp_lat = self.fabric.one_way_at(to.region, from.region, reply_bytes, self.clock.now());
+        let net_time = req_lat + resp_lat;
+        // Pay the network time on this thread so wall time tracks modeled
+        // time. (The remote's processing time was already paid by the remote
+        // thread while we blocked in recv.)
+        self.clock.sleep(net_time);
+        Ok(RpcReply { msg: reply, remote_time: processing, net_time })
+    }
+}
+
+impl<M> Drop for MeshInner<M> {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.queue_cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiera_sim::ScaledClock;
+    use Region::*;
+
+    type TestMesh = Arc<Mesh<String>>;
+
+    fn mesh() -> TestMesh {
+        let fabric = Arc::new(Fabric::multicloud(1).without_jitter());
+        Mesh::new(fabric, ScaledClock::shared(2000.0))
+    }
+
+    /// Spawn an echo server on `node` that prefixes replies with "re:".
+    fn spawn_echo(mesh: &TestMesh, node: NodeId) -> std::thread::JoinHandle<()> {
+        let rx = mesh.register(node);
+        std::thread::spawn(move || {
+            while let Ok(d) = rx.recv() {
+                if d.msg == "stop" {
+                    if let Some(r) = d.reply {
+                        r.reply("stopped".into(), SimDuration::ZERO, 0);
+                    }
+                    return;
+                }
+                if let Some(r) = d.reply {
+                    r.reply(format!("re:{}", d.msg), SimDuration::from_millis(3), 64);
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn rpc_roundtrip_and_accounting() {
+        let m = mesh();
+        let server = NodeId::new(EuWest, "srv");
+        let client = NodeId::new(UsEast, "cli");
+        let h = spawn_echo(&m, server.clone());
+        let reply = m
+            .rpc(&client, &server, "hello".into(), 128, SimDuration::from_secs(10))
+            .unwrap();
+        assert_eq!(reply.msg, "re:hello");
+        assert_eq!(reply.remote_time, SimDuration::from_millis(3));
+        // Two 40ms one-way legs plus tiny serialization.
+        let net_ms = reply.net_time.as_millis_f64();
+        assert!((net_ms - 80.0).abs() < 1.0, "net {net_ms}ms");
+        assert!((reply.total().as_millis_f64() - 83.0).abs() < 1.0);
+        m.rpc(&client, &server, "stop".into(), 0, SimDuration::from_secs(10)).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn rpc_to_unknown_node_errors() {
+        let m = mesh();
+        let client = NodeId::new(UsEast, "cli");
+        let ghost = NodeId::new(EuWest, "ghost");
+        match m.rpc(&client, &ghost, "x".into(), 0, SimDuration::from_secs(1)) {
+            Err(NetError::UnknownNode(n)) => assert_eq!(n, ghost),
+            other => panic!("expected UnknownNode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rpc_to_partitioned_node_errors() {
+        let m = mesh();
+        let server = NodeId::new(AsiaEast, "srv");
+        let client = NodeId::new(UsEast, "cli");
+        let h = spawn_echo(&m, server.clone());
+        m.fabric.set_partitioned(AsiaEast, true);
+        match m.rpc(&client, &server, "x".into(), 0, SimDuration::from_secs(1)) {
+            Err(NetError::Unreachable(_)) => {}
+            other => panic!("expected Unreachable, got {other:?}"),
+        }
+        m.fabric.set_partitioned(AsiaEast, false);
+        m.rpc(&client, &server, "stop".into(), 0, SimDuration::from_secs(10)).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn rpc_handler_dropping_slot_is_noreply() {
+        let m = mesh();
+        let server = NodeId::new(EuWest, "drop");
+        let client = NodeId::new(UsEast, "cli");
+        let rx = m.register(server.clone());
+        let h = std::thread::spawn(move || {
+            let d = rx.recv().unwrap();
+            drop(d.reply); // never answer
+        });
+        match m.rpc(&client, &server, "x".into(), 0, SimDuration::from_secs(5)) {
+            Err(NetError::NoReply(_)) => {}
+            other => panic!("expected NoReply, got {other:?}"),
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn one_way_send_arrives_with_delay_metadata() {
+        let m = mesh();
+        let server = NodeId::new(UsWest, "srv");
+        let client = NodeId::new(UsEast, "cli");
+        let rx = m.register(server.clone());
+        let sent_delay = m.send(&client, &server, "async".into(), 256).unwrap();
+        let d = rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap();
+        assert_eq!(d.msg, "async");
+        assert_eq!(d.net_delay, sent_delay);
+        assert!(d.reply.is_none());
+        assert!((sent_delay.as_millis_f64() - 35.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn one_way_sends_preserve_modeled_order() {
+        let m = mesh();
+        let server = NodeId::new(UsEast, "srv");
+        let near = NodeId::new(AzureUsEast, "near"); // 1ms one-way
+        let far = NodeId::new(AsiaEast, "far"); // 85ms one-way
+        let rx = m.register(server.clone());
+        m.register(near.clone());
+        m.register(far.clone());
+        // The far message is sent first but must arrive second.
+        m.send(&far, &server, "far".into(), 0).unwrap();
+        m.send(&near, &server, "near".into(), 0).unwrap();
+        let first = rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap();
+        let second = rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap();
+        assert_eq!(first.msg, "near");
+        assert_eq!(second.msg, "far");
+    }
+
+    #[test]
+    fn send_to_unregistered_errors() {
+        let m = mesh();
+        let client = NodeId::new(UsEast, "cli");
+        let ghost = NodeId::new(EuWest, "ghost");
+        assert!(matches!(
+            m.send(&client, &ghost, "x".into(), 0),
+            Err(NetError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn unregister_stops_delivery() {
+        let m = mesh();
+        let server = NodeId::new(UsWest, "srv");
+        let client = NodeId::new(UsEast, "cli");
+        let rx = m.register(server.clone());
+        m.send(&client, &server, "first".into(), 0).unwrap();
+        let _ = rx.recv_timeout(std::time::Duration::from_secs(2)).unwrap();
+        m.unregister(&server);
+        assert!(matches!(
+            m.send(&client, &server, "second".into(), 0),
+            Err(NetError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn rpc_times_out_when_handler_stalls() {
+        let m = mesh();
+        let server = NodeId::new(EuWest, "slow");
+        let client = NodeId::new(UsEast, "cli");
+        let rx = m.register(server.clone());
+        let h = std::thread::spawn(move || {
+            let d = rx.recv().unwrap();
+            // Stall past the caller's wall-clock bound before replying.
+            std::thread::sleep(std::time::Duration::from_millis(400));
+            if let Some(r) = d.reply {
+                r.reply("late".into(), SimDuration::ZERO, 0);
+            }
+        });
+        match m.rpc(&client, &server, "x".into(), 0, SimDuration::from_millis(100)) {
+            Err(NetError::Timeout(n)) => assert_eq!(n, server),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn send_to_partitioned_region_fails_fast() {
+        let m = mesh();
+        let server = NodeId::new(AsiaEast, "srv");
+        let client = NodeId::new(UsEast, "cli");
+        let _rx = m.register(server.clone());
+        m.fabric.set_partitioned(AsiaEast, true);
+        assert!(matches!(
+            m.send(&client, &server, "x".into(), 0),
+            Err(NetError::Unreachable(_))
+        ));
+    }
+
+    #[test]
+    fn node_display() {
+        let n = NodeId::new(UsEast, "tiera-1");
+        assert_eq!(n.to_string(), "tiera-1@US-East");
+    }
+}

@@ -1,0 +1,136 @@
+//! Data-center sites.
+//!
+//! The paper's evaluation uses AWS US-East (Virginia), US-West (N. California),
+//! EU-West (Ireland) and Asia-East (Tokyo), plus Azure VMs in US-East. The
+//! SimplerConsistency policy (§3.3.3) additionally uses several DCs *within*
+//! the same region, modeled here as `UsWest2`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Cloud provider owning a site. Wiera's selling point is spanning both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Provider {
+    Aws,
+    Azure,
+}
+
+impl fmt::Display for Provider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Provider::Aws => write!(f, "AWS"),
+            Provider::Azure => write!(f, "Azure"),
+        }
+    }
+}
+
+/// A data-center site. Two sites can be in the same *geographic region*
+/// (e.g. [`Region::UsWest`] and [`Region::UsWest2`]) and still be distinct
+/// DCs with a small non-zero RTT between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    /// AWS US-East (N. Virginia) — where the paper hosts Wiera + ZooKeeper.
+    UsEast,
+    /// AWS US-West (N. California).
+    UsWest,
+    /// A second DC within the US-West geographic region (§3.3.3).
+    UsWest2,
+    /// AWS EU-West (Ireland).
+    EuWest,
+    /// AWS Asia-East (Tokyo).
+    AsiaEast,
+    /// Azure US-East (Virginia) — ≈2 ms from AWS US-East (§5.4).
+    AzureUsEast,
+}
+
+impl Region {
+    /// All sites, in a stable order.
+    pub const ALL: [Region; 6] = [
+        Region::UsEast,
+        Region::UsWest,
+        Region::UsWest2,
+        Region::EuWest,
+        Region::AsiaEast,
+        Region::AzureUsEast,
+    ];
+
+    /// The four AWS regions the paper's §5.1 experiment spans.
+    pub const PAPER_FOUR: [Region; 4] =
+        [Region::UsWest, Region::UsEast, Region::EuWest, Region::AsiaEast];
+
+    pub fn provider(self) -> Provider {
+        match self {
+            Region::AzureUsEast => Provider::Azure,
+            _ => Provider::Aws,
+        }
+    }
+
+    /// Stable index for table-building.
+    pub fn index(self) -> usize {
+        Region::ALL.iter().position(|&r| r == self).expect("region in ALL")
+    }
+
+    /// Geographic area — sites in the same area are "nearby DCs" in the
+    /// paper's sense (a couple of ms apart).
+    pub fn area(self) -> &'static str {
+        match self {
+            Region::UsEast | Region::AzureUsEast => "us-east",
+            Region::UsWest | Region::UsWest2 => "us-west",
+            Region::EuWest => "eu-west",
+            Region::AsiaEast => "asia-east",
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::UsEast => "US-East",
+            Region::UsWest => "US-West",
+            Region::UsWest2 => "US-West-2",
+            Region::EuWest => "EU-West",
+            Region::AsiaEast => "Asia-East",
+            Region::AzureUsEast => "Azure-US-East",
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn providers() {
+        assert_eq!(Region::AzureUsEast.provider(), Provider::Azure);
+        for r in [Region::UsEast, Region::UsWest, Region::EuWest, Region::AsiaEast] {
+            assert_eq!(r.provider(), Provider::Aws);
+        }
+    }
+
+    #[test]
+    fn areas_group_nearby_dcs() {
+        assert_eq!(Region::UsEast.area(), Region::AzureUsEast.area());
+        assert_eq!(Region::UsWest.area(), Region::UsWest2.area());
+        assert_ne!(Region::UsEast.area(), Region::UsWest.area());
+    }
+
+    #[test]
+    fn indices_are_unique_and_dense() {
+        let mut seen = vec![false; Region::ALL.len()];
+        for r in Region::ALL {
+            assert!(!seen[r.index()]);
+            seen[r.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Region::AsiaEast.to_string(), "Asia-East");
+        assert_eq!(Region::AzureUsEast.to_string(), "Azure-US-East");
+    }
+}

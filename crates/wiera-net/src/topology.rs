@@ -1,0 +1,160 @@
+//! Base network topology: RTT and bandwidth between every pair of sites.
+//!
+//! Values are representative public-internet numbers for the paper's era and
+//! consistent with what the paper itself reports: ≈2 ms between AWS and Azure
+//! within US-East (§5.4.1), ≈170 ms US-East↔Tokyo (so a cold-data get from
+//! Asia-East against a centralized US-East S3-IA lands near the paper's
+//! ≈200 ms, Fig. 10).
+
+use crate::region::Region;
+use serde::{Deserialize, Serialize};
+
+/// Static base topology. Runtime dynamics (delay injection, throttles,
+/// partitions) live in [`crate::fabric::Fabric`], not here.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    /// Round-trip time in ms, indexed by `[Region::index()][Region::index()]`.
+    rtt_ms: Vec<Vec<f64>>,
+    /// Available bandwidth in Mbit/s for a single transfer between two sites.
+    bw_mbps: Vec<Vec<f64>>,
+    /// RTT within a single DC (client VM to storage VM), ms.
+    pub intra_dc_rtt_ms: f64,
+    /// Bandwidth within a single DC, Mbit/s.
+    pub intra_dc_bw_mbps: f64,
+}
+
+impl Topology {
+    /// The multi-cloud topology used by every experiment in this repository.
+    pub fn multicloud() -> Self {
+        use Region::*;
+        let n = Region::ALL.len();
+        let mut rtt = vec![vec![0.0; n]; n];
+        let mut bw = vec![vec![0.0; n]; n];
+
+        let mut set = |a: Region, b: Region, r: f64, w: f64| {
+            rtt[a.index()][b.index()] = r;
+            rtt[b.index()][a.index()] = r;
+            bw[a.index()][b.index()] = w;
+            bw[b.index()][a.index()] = w;
+        };
+
+        // WAN links (RTT ms, bandwidth Mbps). Bandwidths are per-flow
+        // achievable throughput, not link capacity.
+        set(UsEast, UsWest, 70.0, 300.0);
+        set(UsEast, EuWest, 80.0, 300.0);
+        set(UsEast, AsiaEast, 170.0, 150.0);
+        set(UsWest, EuWest, 145.0, 150.0);
+        set(UsWest, AsiaEast, 110.0, 150.0);
+        set(EuWest, AsiaEast, 230.0, 100.0);
+
+        // Nearby-DC links within a geographic area.
+        set(UsWest, UsWest2, 2.0, 1000.0);
+        set(UsEast, AzureUsEast, 2.0, 1000.0);
+
+        // Remaining pairs via the AWS site in the same area.
+        set(UsWest2, UsEast, 71.0, 300.0);
+        set(UsWest2, EuWest, 146.0, 150.0);
+        set(UsWest2, AsiaEast, 111.0, 150.0);
+        set(UsWest2, AzureUsEast, 72.0, 300.0);
+        set(AzureUsEast, UsWest, 72.0, 300.0);
+        set(AzureUsEast, EuWest, 82.0, 300.0);
+        set(AzureUsEast, AsiaEast, 172.0, 150.0);
+
+        Topology { rtt_ms: rtt, bw_mbps: bw, intra_dc_rtt_ms: 0.5, intra_dc_bw_mbps: 4000.0 }
+    }
+
+    /// Base round-trip time between two sites in ms (intra-DC if equal).
+    pub fn rtt_ms(&self, a: Region, b: Region) -> f64 {
+        if a == b {
+            self.intra_dc_rtt_ms
+        } else {
+            self.rtt_ms[a.index()][b.index()]
+        }
+    }
+
+    /// Base bandwidth between two sites in Mbit/s (intra-DC if equal).
+    pub fn bw_mbps(&self, a: Region, b: Region) -> f64 {
+        if a == b {
+            self.intra_dc_bw_mbps
+        } else {
+            self.bw_mbps[a.index()][b.index()]
+        }
+    }
+
+    /// Override a link (both directions).
+    pub fn set_link(&mut self, a: Region, b: Region, rtt_ms: f64, bw_mbps: f64) {
+        assert!(a != b, "use intra_dc fields for the local link");
+        self.rtt_ms[a.index()][b.index()] = rtt_ms;
+        self.rtt_ms[b.index()][a.index()] = rtt_ms;
+        self.bw_mbps[a.index()][b.index()] = bw_mbps;
+        self.bw_mbps[b.index()][a.index()] = bw_mbps;
+    }
+
+    /// The site in `candidates` with the lowest RTT from `from`
+    /// (used for "closest instance" client routing, §4.1 step 8).
+    pub fn closest(&self, from: Region, candidates: &[Region]) -> Option<Region> {
+        candidates
+            .iter()
+            .copied()
+            .min_by(|&a, &b| self.rtt_ms(from, a).partial_cmp(&self.rtt_ms(from, b)).unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Region::*;
+
+    #[test]
+    fn symmetric_and_complete() {
+        let t = Topology::multicloud();
+        for a in Region::ALL {
+            for b in Region::ALL {
+                assert_eq!(t.rtt_ms(a, b), t.rtt_ms(b, a));
+                assert!(t.rtt_ms(a, b) > 0.0, "missing rtt {a}-{b}");
+                assert!(t.bw_mbps(a, b) > 0.0, "missing bw {a}-{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_anchor_values() {
+        let t = Topology::multicloud();
+        // §5.4.1: "the latency between DCs is around 2 ms" (AWS↔Azure US-East).
+        assert_eq!(t.rtt_ms(UsEast, AzureUsEast), 2.0);
+        // Fig. 10: Asia-East → US-East dominates its ≈200 ms get latency.
+        assert!((150.0..200.0).contains(&t.rtt_ms(UsEast, AsiaEast)));
+        // Nearby DCs are far closer than cross-country.
+        assert!(t.rtt_ms(UsWest, UsWest2) < 10.0);
+        assert!(t.rtt_ms(UsWest, UsEast) > 50.0);
+    }
+
+    #[test]
+    fn intra_dc_is_fastest() {
+        let t = Topology::multicloud();
+        for a in Region::ALL {
+            for b in Region::ALL {
+                if a != b {
+                    assert!(t.rtt_ms(a, a) < t.rtt_ms(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closest_picks_min_rtt() {
+        let t = Topology::multicloud();
+        let c = t.closest(AsiaEast, &[UsEast, UsWest, EuWest]).unwrap();
+        assert_eq!(c, UsWest, "Tokyo's nearest of the three is US-West");
+        assert_eq!(t.closest(UsEast, &[UsEast, EuWest]).unwrap(), UsEast);
+        assert_eq!(t.closest(UsEast, &[]), None);
+    }
+
+    #[test]
+    fn set_link_overrides_both_directions() {
+        let mut t = Topology::multicloud();
+        t.set_link(UsEast, EuWest, 99.0, 42.0);
+        assert_eq!(t.rtt_ms(EuWest, UsEast), 99.0);
+        assert_eq!(t.bw_mbps(UsEast, EuWest), 42.0);
+    }
+}

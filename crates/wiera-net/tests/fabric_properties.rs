@@ -1,0 +1,76 @@
+//! Property tests on the network model's invariants.
+
+use proptest::prelude::*;
+use wiera_net::{Fabric, Region};
+use wiera_sim::{SimDuration, SimInstant};
+
+fn regions() -> impl Strategy<Value = Region> {
+    prop::sample::select(Region::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Latency is monotone in message size on every link.
+    #[test]
+    fn prop_latency_monotone_in_bytes(a in regions(), b in regions(), bytes in 0u64..10_000_000) {
+        let f = Fabric::multicloud(1).without_jitter();
+        let small = f.one_way(a, b, bytes);
+        let bigger = f.one_way(a, b, bytes + 1_000_000);
+        prop_assert!(bigger >= small);
+    }
+
+    /// Injected node delay adds exactly once per one-way hop and clears.
+    #[test]
+    fn prop_injection_adds_and_clears(a in regions(), b in regions(), extra_ms in 1u64..5_000) {
+        prop_assume!(a != b);
+        let f = Fabric::multicloud(2).without_jitter();
+        let base = f.one_way(a, b, 0);
+        f.inject_node_delay(b, SimDuration::from_millis(extra_ms));
+        let slowed = f.one_way(a, b, 0);
+        prop_assert_eq!(slowed, base + SimDuration::from_millis(extra_ms));
+        f.clear_node_delay(b);
+        prop_assert_eq!(f.one_way(a, b, 0), base);
+    }
+
+    /// Effective RTT is symmetric under injection, and reachability is an
+    /// equivalence on healthy fabrics.
+    #[test]
+    fn prop_rtt_symmetry(a in regions(), b in regions(), extra_ms in 0u64..2_000) {
+        let f = Fabric::multicloud(3).without_jitter();
+        if extra_ms > 0 {
+            f.inject_link_delay(a, b, SimDuration::from_millis(extra_ms));
+        }
+        prop_assert_eq!(f.effective_rtt(a, b), f.effective_rtt(b, a));
+        prop_assert!(f.is_reachable(a, b));
+    }
+
+    /// The NIC token bucket never reorders a site's transfers backwards:
+    /// issuing at a later `now` never yields an earlier completion.
+    #[test]
+    fn prop_nic_queue_completion_monotone(cap in 10.0f64..500.0, sizes in prop::collection::vec(1u64..1_000_000, 1..20)) {
+        let f = Fabric::multicloud(4).without_jitter();
+        f.set_egress_cap_mbps(Region::AzureUsEast, Some(cap));
+        let now = SimInstant::EPOCH;
+        let mut last_completion = SimDuration::ZERO;
+        for s in sizes {
+            let d = f.one_way_at(Region::AzureUsEast, Region::UsEast, s, now);
+            prop_assert!(
+                d >= last_completion.saturating_sub(SimDuration::from_millis(2)),
+                "completion went backwards: {last_completion} then {d}"
+            );
+            last_completion = d;
+        }
+    }
+
+    /// Partitioning any site never affects reachability between two other
+    /// healthy sites.
+    #[test]
+    fn prop_partition_is_local(victim in regions(), a in regions(), b in regions()) {
+        prop_assume!(a != victim && b != victim);
+        let f = Fabric::multicloud(5);
+        f.set_partitioned(victim, true);
+        prop_assert!(f.is_reachable(a, b));
+        prop_assert!(!f.is_reachable(a, victim) || a == victim);
+    }
+}

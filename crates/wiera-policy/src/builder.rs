@@ -1,0 +1,347 @@
+//! Programmatic policy construction.
+//!
+//! The DSL is the paper's interface, but embedders often want to build
+//! policies in code (e.g. generating the region list from service
+//! discovery). [`PolicyBuilder`] produces the same [`PolicySpec`] the
+//! parser does — so everything downstream (compilation, consistency
+//! recognition, pretty-printing) is shared, and a built policy can be
+//! printed back out as DSL text.
+//!
+//! ```
+//! use wiera_policy::builder::PolicyBuilder;
+//! use wiera_policy::{compile, ConsistencyModel};
+//!
+//! let spec = PolicyBuilder::wiera("MyPolicy")
+//!     .region("Region1", "US-East", true, &[("tier1", "Memcached", "2G")])
+//!     .region("Region2", "EU-West", false, &[("tier1", "Memcached", "2G")])
+//!     .primary_backup(true)
+//!     .cold_data_rule(72, "tier1", "tier1")
+//!     .build();
+//! let compiled = compile(&spec).unwrap();
+//! assert_eq!(compiled.consistency, Some(ConsistencyModel::PrimaryBackup { sync: true }));
+//! ```
+
+use crate::ast::{BinOp, EventRule, Expr, Param, PolicySpec, RegionDecl, SpecKind, Stmt, TierDecl};
+use crate::units::Unit;
+use std::collections::BTreeMap;
+
+/// Fluent builder for [`PolicySpec`]s.
+pub struct PolicyBuilder {
+    spec: PolicySpec,
+}
+
+fn size_expr(size: &str) -> Expr {
+    // Accept "5G", "512M", "1024" (bytes).
+    let split = size.find(|c: char| !c.is_ascii_digit() && c != '.').unwrap_or(size.len());
+    let value: f64 = size[..split].parse().unwrap_or(0.0);
+    let unit = Unit::parse(&size[split..]);
+    Expr::Num { value, unit }
+}
+
+fn tier_decl(label: &str, kind: &str, size: &str) -> TierDecl {
+    let mut attrs = BTreeMap::new();
+    attrs.insert("name".to_string(), Expr::path(&[kind]));
+    if !size.is_empty() {
+        attrs.insert("size".to_string(), size_expr(size));
+    }
+    TierDecl { label: label.to_string(), attrs }
+}
+
+impl PolicyBuilder {
+    pub fn wiera(name: &str) -> Self {
+        PolicyBuilder {
+            spec: PolicySpec {
+                kind: SpecKind::Wiera,
+                name: name.to_string(),
+                params: Vec::new(),
+                tiers: Vec::new(),
+                regions: Vec::new(),
+                events: Vec::new(),
+            },
+        }
+    }
+
+    pub fn tiera(name: &str) -> Self {
+        PolicyBuilder {
+            spec: PolicySpec {
+                kind: SpecKind::Tiera,
+                name: name.to_string(),
+                params: Vec::new(),
+                tiers: Vec::new(),
+                regions: Vec::new(),
+                events: Vec::new(),
+            },
+        }
+    }
+
+    pub fn param(mut self, ty: &str, name: &str) -> Self {
+        self.spec.params.push(Param { ty: ty.to_string(), name: name.to_string() });
+        self
+    }
+
+    /// Declare a local tier (Tiera specs): `("tier1", "Memcached", "5G")`.
+    /// Pass `""` for size to leave the tier provider-managed.
+    pub fn tier(mut self, label: &str, kind: &str, size: &str) -> Self {
+        self.spec.tiers.push(tier_decl(label, kind, size));
+        self
+    }
+
+    /// Declare a region (Wiera specs) with its tier stack.
+    pub fn region(
+        mut self,
+        label: &str,
+        region: &str,
+        primary: bool,
+        tiers: &[(&str, &str, &str)],
+    ) -> Self {
+        let mut attrs = BTreeMap::new();
+        attrs.insert("name".to_string(), Expr::path(&["LowLatencyInstance"]));
+        attrs.insert("region".to_string(), Expr::path(&[region]));
+        if primary {
+            attrs.insert("primary".to_string(), Expr::Bool(true));
+        }
+        self.spec.regions.push(RegionDecl {
+            label: label.to_string(),
+            attrs,
+            tiers: tiers.iter().map(|(l, k, s)| tier_decl(l, k, s)).collect(),
+        });
+        self
+    }
+
+    fn insert_event(mut self, body: Vec<Stmt>) -> Self {
+        self.spec.events.push(EventRule { event: Expr::path(&["insert", "into"]), body });
+        self
+    }
+
+    fn call(name: &str, args: &[(&str, Expr)]) -> Stmt {
+        Stmt::Call {
+            name: name.to_string(),
+            args: args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        }
+    }
+
+    /// Fig. 3(a): lock + store + synchronous broadcast + release.
+    pub fn multi_primaries(self) -> Self {
+        self.insert_event(vec![
+            Self::call("lock", &[("what", Expr::path(&["insert", "key"]))]),
+            Self::call(
+                "store",
+                &[
+                    ("what", Expr::path(&["insert", "object"])),
+                    ("to", Expr::path(&["local_instance"])),
+                ],
+            ),
+            Self::call(
+                "copy",
+                &[
+                    ("what", Expr::path(&["insert", "object"])),
+                    ("to", Expr::path(&["all_regions"])),
+                ],
+            ),
+            Self::call("release", &[("what", Expr::path(&["insert", "key"]))]),
+        ])
+    }
+
+    /// Fig. 3(b): forward to primary; `sync` picks copy vs queue propagation.
+    pub fn primary_backup(self, sync: bool) -> Self {
+        let propagate = if sync { "copy" } else { "queue" };
+        self.insert_event(vec![Stmt::If {
+            cond: Expr::Binary {
+                op: BinOp::Eq,
+                lhs: Box::new(Expr::path(&["local_instance", "isPrimary"])),
+                rhs: Box::new(Expr::Bool(true)),
+            },
+            then: vec![
+                Self::call(
+                    "store",
+                    &[
+                        ("what", Expr::path(&["insert", "object"])),
+                        ("to", Expr::path(&["local_instance"])),
+                    ],
+                ),
+                Self::call(
+                    propagate,
+                    &[
+                        ("what", Expr::path(&["insert", "object"])),
+                        ("to", Expr::path(&["all_regions"])),
+                    ],
+                ),
+            ],
+            otherwise: vec![Self::call(
+                "forward",
+                &[
+                    ("what", Expr::path(&["insert", "object"])),
+                    ("to", Expr::path(&["primary_instance"])),
+                ],
+            )],
+        }])
+    }
+
+    /// Fig. 4: local store + queued distribution.
+    pub fn eventual(self) -> Self {
+        self.insert_event(vec![
+            Self::call(
+                "store",
+                &[
+                    ("what", Expr::path(&["insert", "object"])),
+                    ("to", Expr::path(&["local_instance"])),
+                ],
+            ),
+            Self::call(
+                "queue",
+                &[
+                    ("what", Expr::path(&["insert", "object"])),
+                    ("to", Expr::path(&["all_regions"])),
+                ],
+            ),
+        ])
+    }
+
+    /// Fig. 6(a): move data idle for `hours` from `from_tier` to `to_tier`.
+    pub fn cold_data_rule(mut self, hours: u64, from_tier: &str, to_tier: &str) -> Self {
+        self.spec.events.push(EventRule {
+            event: Expr::Binary {
+                op: BinOp::Gt,
+                lhs: Box::new(Expr::path(&["object", "lastAccessedTime"])),
+                rhs: Box::new(Expr::Num { value: hours as f64, unit: Some(Unit::Hours) }),
+            },
+            body: vec![Self::call(
+                "move",
+                &[
+                    (
+                        "what",
+                        Expr::Binary {
+                            op: BinOp::Eq,
+                            lhs: Box::new(Expr::path(&["object", "location"])),
+                            rhs: Box::new(Expr::path(&[from_tier])),
+                        },
+                    ),
+                    ("to", Expr::path(&[to_tier])),
+                ],
+            )],
+        });
+        self
+    }
+
+    /// Write-back flush on a timer (Fig. 1(a)'s second rule).
+    pub fn writeback_rule(mut self, period_secs: u64, from_tier: &str, to_tier: &str) -> Self {
+        self.spec.events.push(EventRule {
+            event: Expr::Binary {
+                op: BinOp::Eq,
+                lhs: Box::new(Expr::path(&["time"])),
+                rhs: Box::new(Expr::Num { value: period_secs as f64, unit: Some(Unit::Seconds) }),
+            },
+            body: vec![Self::call(
+                "copy",
+                &[
+                    (
+                        "what",
+                        Expr::Binary {
+                            op: BinOp::And,
+                            lhs: Box::new(Expr::Binary {
+                                op: BinOp::Eq,
+                                lhs: Box::new(Expr::path(&["object", "location"])),
+                                rhs: Box::new(Expr::path(&[from_tier])),
+                            }),
+                            rhs: Box::new(Expr::Binary {
+                                op: BinOp::Eq,
+                                lhs: Box::new(Expr::path(&["object", "dirty"])),
+                                rhs: Box::new(Expr::Bool(true)),
+                            }),
+                        },
+                    ),
+                    ("to", Expr::path(&[to_tier])),
+                ],
+            )],
+        });
+        self
+    }
+
+    /// Append a raw event rule (escape hatch).
+    pub fn rule(mut self, rule: EventRule) -> Self {
+        self.spec.events.push(rule);
+        self
+    }
+
+    pub fn build(self) -> PolicySpec {
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, ConsistencyModel, EventKind};
+    use crate::parser::parse;
+
+    #[test]
+    fn built_policies_compile_with_expected_consistency() {
+        let mp = PolicyBuilder::wiera("Mp")
+            .region("Region1", "US-East", false, &[("tier1", "Memcached", "1G")])
+            .multi_primaries()
+            .build();
+        assert_eq!(compile(&mp).unwrap().consistency, Some(ConsistencyModel::MultiPrimaries));
+
+        let pb = PolicyBuilder::wiera("Pb")
+            .region("Region1", "US-East", true, &[("tier1", "Memcached", "1G")])
+            .primary_backup(false)
+            .build();
+        assert_eq!(
+            compile(&pb).unwrap().consistency,
+            Some(ConsistencyModel::PrimaryBackup { sync: false })
+        );
+
+        let ev = PolicyBuilder::wiera("Ev")
+            .region("Region1", "US-East", false, &[("tier1", "Memcached", "1G")])
+            .eventual()
+            .build();
+        assert_eq!(compile(&ev).unwrap().consistency, Some(ConsistencyModel::Eventual));
+    }
+
+    #[test]
+    fn built_policy_pretty_prints_to_parseable_dsl() {
+        let spec = PolicyBuilder::wiera("RoundTrip")
+            .region(
+                "Region1",
+                "US-West",
+                true,
+                &[("tier1", "Memcached", "2G"), ("tier2", "EBS-SSD", "10G")],
+            )
+            .region("Region2", "EU-West", false, &[("tier1", "Memcached", "2G")])
+            .primary_backup(true)
+            .cold_data_rule(120, "tier2", "tier2")
+            .build();
+        let printed = spec.to_string();
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+        assert_eq!(spec, reparsed);
+    }
+
+    #[test]
+    fn tiera_builder_with_local_rules() {
+        let spec = PolicyBuilder::tiera("Local")
+            .param("time", "t")
+            .tier("tier1", "Memcached", "5G")
+            .tier("tier2", "EBS-SSD", "5G")
+            .writeback_rule(30, "tier1", "tier2")
+            .cold_data_rule(120, "tier2", "tier2")
+            .build();
+        let compiled = compile(&spec).unwrap();
+        assert_eq!(compiled.tiers.len(), 2);
+        assert_eq!(compiled.tiers[0].size_bytes, 5 << 30);
+        assert!(matches!(compiled.rules[0].event, EventKind::Timer { period_ms: Some(p) } if p == 30_000.0));
+        assert!(matches!(compiled.rules[1].event, EventKind::ColdData { .. }));
+    }
+
+    #[test]
+    fn size_parsing_variants() {
+        let spec = PolicyBuilder::tiera("Sizes")
+            .tier("tier1", "S3", "")
+            .tier("tier2", "EBS-SSD", "512M")
+            .tier("tier3", "EBS-HDD", "1024")
+            .build();
+        let c = compile(&spec).unwrap();
+        assert_eq!(c.tiers[0].size_bytes, 0);
+        assert_eq!(c.tiers[1].size_bytes, 512 << 20);
+        assert_eq!(c.tiers[2].size_bytes, 1024);
+    }
+}

@@ -1,0 +1,32 @@
+//! Policy-language errors with source positions.
+
+use std::fmt;
+
+/// Error from parsing or compiling a policy specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyError {
+    pub message: String,
+    /// 1-based line in the source text, when known.
+    pub line: Option<usize>,
+}
+
+impl PolicyError {
+    pub fn at(line: usize, message: impl Into<String>) -> Self {
+        PolicyError { message: message.into(), line: Some(line) }
+    }
+
+    pub fn general(message: impl Into<String>) -> Self {
+        PolicyError { message: message.into(), line: None }
+    }
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(l) => write!(f, "line {l}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}

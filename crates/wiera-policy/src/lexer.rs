@@ -1,0 +1,379 @@
+//! Tokenizer for the policy notation.
+//!
+//! Notable quirks inherited from the paper's figures:
+//!
+//! * `%` starts a line comment — *except* immediately after a number, where
+//!   it is the percent unit (`tier2.filled == 50%`).
+//! * Identifiers may contain hyphens when the hyphen is directly followed by
+//!   an alphanumeric character (`US-West`, `US-West-1`), since the language
+//!   has no arithmetic.
+//! * Units may be attached to the number (`5G`, `40KB/s`) or be the next
+//!   word (`800 ms`, `30 seconds`); the lexer handles the attached form and
+//!   the parser merges the spaced form.
+
+use crate::error::PolicyError;
+use crate::units::Unit;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Num { value: f64, unit: Option<Unit> },
+    Str(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Colon,
+    Semi,
+    Comma,
+    Dot,
+    Assign, // =
+    Eq,     // ==
+    Ne,     // !=
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+}
+
+/// Token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+pub fn lex(src: &str) -> Result<Vec<Token>, PolicyError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let n = chars.len();
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '%' => {
+                // Comment (the number-adjacent percent case is consumed by
+                // the number lexer below and never reaches here).
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                out.push(Token { tok: Tok::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                out.push(Token { tok: Tok::RBrace, line });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { tok: Tok::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { tok: Tok::RParen, line });
+                i += 1;
+            }
+            ':' => {
+                out.push(Token { tok: Tok::Colon, line });
+                i += 1;
+            }
+            ';' => {
+                out.push(Token { tok: Tok::Semi, line });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { tok: Tok::Comma, line });
+                i += 1;
+            }
+            '.' => {
+                out.push(Token { tok: Tok::Dot, line });
+                i += 1;
+            }
+            '=' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    out.push(Token { tok: Tok::Eq, line });
+                    i += 2;
+                } else {
+                    out.push(Token { tok: Tok::Assign, line });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    out.push(Token { tok: Tok::Ne, line });
+                    i += 2;
+                } else {
+                    return Err(PolicyError::at(line, "unexpected '!'"));
+                }
+            }
+            '<' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    out.push(Token { tok: Tok::Le, line });
+                    i += 2;
+                } else {
+                    out.push(Token { tok: Tok::Lt, line });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    out.push(Token { tok: Tok::Ge, line });
+                    i += 2;
+                } else {
+                    out.push(Token { tok: Tok::Gt, line });
+                    i += 1;
+                }
+            }
+            '&' => {
+                if i + 1 < n && chars[i + 1] == '&' {
+                    out.push(Token { tok: Tok::AndAnd, line });
+                    i += 2;
+                } else {
+                    return Err(PolicyError::at(line, "unexpected '&' (use '&&')"));
+                }
+            }
+            '|' => {
+                if i + 1 < n && chars[i + 1] == '|' {
+                    out.push(Token { tok: Tok::OrOr, line });
+                    i += 2;
+                } else {
+                    return Err(PolicyError::at(line, "unexpected '|' (use '||')"));
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < n && chars[j] != '"' {
+                    if chars[j] == '\n' {
+                        return Err(PolicyError::at(line, "unterminated string"));
+                    }
+                    j += 1;
+                }
+                if j >= n {
+                    return Err(PolicyError::at(line, "unterminated string"));
+                }
+                out.push(Token {
+                    tok: Tok::Str(chars[start..j].iter().collect()),
+                    line,
+                });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    // A dot followed by a non-digit ends the number (it's a
+                    // path separator, though numbers never start paths here).
+                    if chars[i] == '.' && (i + 1 >= n || !chars[i + 1].is_ascii_digit()) {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| PolicyError::at(line, format!("bad number '{text}'")))?;
+                // Attached unit suffix: letters optionally followed by "/s",
+                // or a '%' directly after the digits.
+                let mut unit = None;
+                if i < n && chars[i] == '%' {
+                    unit = Some(Unit::Percent);
+                    i += 1;
+                } else if i < n && chars[i].is_ascii_alphabetic() {
+                    let ustart = i;
+                    let mut j = i;
+                    while j < n && chars[j].is_ascii_alphabetic() {
+                        j += 1;
+                    }
+                    if j + 1 < n && chars[j] == '/' && chars[j + 1] == 's' {
+                        j += 2;
+                    }
+                    let utext: String = chars[ustart..j].iter().collect();
+                    if let Some(u) = Unit::parse(&utext) {
+                        unit = Some(u);
+                        i = j;
+                    }
+                    // Not a unit: leave it for the identifier lexer (e.g.
+                    // a key like `5foo` would be odd, but don't swallow it).
+                }
+                out.push(Token { tok: Tok::Num { value, unit }, line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n {
+                    let ch = chars[i];
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        i += 1;
+                    } else if ch == '-'
+                        && i + 1 < n
+                        && (chars[i + 1].is_ascii_alphanumeric())
+                    {
+                        // Hyphenated identifier (US-West, S3-IA).
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.push(Token { tok: Tok::Ident(text), line });
+            }
+            other => {
+                return Err(PolicyError::at(line, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_symbols_and_idents() {
+        assert_eq!(
+            toks("tier1: {name: Memcached, size: 5G};"),
+            vec![
+                Tok::Ident("tier1".into()),
+                Tok::Colon,
+                Tok::LBrace,
+                Tok::Ident("name".into()),
+                Tok::Colon,
+                Tok::Ident("Memcached".into()),
+                Tok::Comma,
+                Tok::Ident("size".into()),
+                Tok::Colon,
+                Tok::Num { value: 5.0, unit: Some(Unit::GiB) },
+                Tok::RBrace,
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn percent_after_number_vs_comment() {
+        assert_eq!(
+            toks("tier2.filled == 50%"),
+            vec![
+                Tok::Ident("tier2".into()),
+                Tok::Dot,
+                Tok::Ident("filled".into()),
+                Tok::Eq,
+                Tok::Num { value: 50.0, unit: Some(Unit::Percent) },
+            ]
+        );
+        // '%' elsewhere starts a comment.
+        assert_eq!(
+            toks("a % this is a comment\nb"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn hyphenated_identifiers() {
+        assert_eq!(toks("US-West-1"), vec![Tok::Ident("US-West-1".into())]);
+        assert_eq!(toks("S3-IA"), vec![Tok::Ident("S3-IA".into())]);
+    }
+
+    #[test]
+    fn attached_rate_unit() {
+        assert_eq!(
+            toks("bandwidth:40KB/s"),
+            vec![
+                Tok::Ident("bandwidth".into()),
+                Tok::Colon,
+                Tok::Num { value: 40.0, unit: Some(Unit::KiBPerSec) },
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a == b != c <= d >= e < f > g = h"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Eq,
+                Tok::Ident("b".into()),
+                Tok::Ne,
+                Tok::Ident("c".into()),
+                Tok::Le,
+                Tok::Ident("d".into()),
+                Tok::Ge,
+                Tok::Ident("e".into()),
+                Tok::Lt,
+                Tok::Ident("f".into()),
+                Tok::Gt,
+                Tok::Ident("g".into()),
+                Tok::Assign,
+                Tok::Ident("h".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        assert_eq!(
+            toks("a && b || c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::AndAnd,
+                Tok::Ident("b".into()),
+                Tok::OrOr,
+                Tok::Ident("c".into()),
+            ]
+        );
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn decimal_numbers_and_paths() {
+        assert_eq!(
+            toks("x = 2.5"),
+            vec![Tok::Ident("x".into()), Tok::Assign, Tok::Num { value: 2.5, unit: None }]
+        );
+        // Trailing dot is a path separator, not a decimal point.
+        assert_eq!(
+            toks("insert.object"),
+            vec![Tok::Ident("insert".into()), Tok::Dot, Tok::Ident("object".into())]
+        );
+    }
+
+    #[test]
+    fn line_numbers_reported() {
+        let tokens = lex("a\nb\n  c").unwrap();
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[1].line, 2);
+        assert_eq!(tokens[2].line, 3);
+    }
+
+    #[test]
+    fn quoted_strings() {
+        assert_eq!(toks("\"hello world\""), vec![Tok::Str("hello world".into())]);
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn spaced_unit_stays_separate_token() {
+        // "800 ms": the parser merges these; the lexer keeps them separate.
+        assert_eq!(
+            toks("800 ms"),
+            vec![Tok::Num { value: 800.0, unit: None }, Tok::Ident("ms".into())]
+        );
+    }
+}

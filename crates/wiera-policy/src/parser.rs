@@ -1,0 +1,572 @@
+//! Recursive-descent parser for policy specifications.
+//!
+//! Accepts the notation exactly as the paper's figures write it, including:
+//! `:` or `=` between attribute keys and values, optional semicolons,
+//! spaced units (`800 ms`), and brace-less `if`/`else if`/`else` bodies
+//! (a brace-less `if` branch extends to the next `else` or the end of the
+//! enclosing response block, which is how every figure uses it; braces are
+//! also accepted for unambiguous nesting).
+
+use crate::ast::{BinOp, EventRule, Expr, Param, PolicySpec, RegionDecl, SpecKind, Stmt, TierDecl};
+use crate::error::PolicyError;
+use crate::lexer::{lex, Tok, Token};
+use crate::units::Unit;
+use std::collections::BTreeMap;
+
+/// Parse one policy specification from source text.
+pub fn parse(src: &str) -> Result<PolicySpec, PolicyError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let spec = p.spec()?;
+    if !p.at_end() {
+        return Err(p.err("trailing input after specification"));
+    }
+    Ok(spec)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|t| &t.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> PolicyError {
+        PolicyError::at(self.line(), msg)
+    }
+
+    fn next(&mut self) -> Result<Tok, PolicyError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .map(|t| t.tok.clone())
+            .ok_or_else(|| PolicyError::general("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), PolicyError> {
+        let got = self.next()?;
+        if &got == want {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {got:?}")))
+        }
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, PolicyError> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    // ---- grammar -----------------------------------------------------------
+
+    fn spec(&mut self) -> Result<PolicySpec, PolicyError> {
+        let kind = match self.ident("'Tiera' or 'Wiera'")?.as_str() {
+            "Tiera" => SpecKind::Tiera,
+            "Wiera" => SpecKind::Wiera,
+            other => return Err(self.err(format!("expected 'Tiera' or 'Wiera', found '{other}'"))),
+        };
+        let name = self.ident("policy name")?;
+        self.expect(&Tok::LParen, "'('")?;
+        let mut params = Vec::new();
+        while self.peek() != Some(&Tok::RParen) {
+            let ty = self.ident("parameter type")?;
+            let pname = self.ident("parameter name")?;
+            params.push(Param { ty, name: pname });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen, "')'")?;
+        self.expect(&Tok::LBrace, "'{'")?;
+
+        let mut tiers = Vec::new();
+        let mut regions = Vec::new();
+        let mut events = Vec::new();
+
+        while self.peek() != Some(&Tok::RBrace) {
+            match self.peek() {
+                Some(Tok::Ident(id)) if id == "event" && self.peek2() == Some(&Tok::LParen) => {
+                    events.push(self.event_rule()?);
+                }
+                Some(Tok::Ident(_)) => {
+                    let label = self.ident("declaration label")?;
+                    if !self.eat(&Tok::Colon) && !self.eat(&Tok::Assign) {
+                        return Err(self.err(format!("expected ':' or '=' after '{label}'")));
+                    }
+                    let (attrs, nested) = self.attr_block()?;
+                    self.eat(&Tok::Semi);
+                    if label.to_ascii_lowercase().starts_with("tier") {
+                        if !nested.is_empty() {
+                            return Err(self.err("tier declarations cannot nest tiers"));
+                        }
+                        tiers.push(TierDecl { label, attrs });
+                    } else {
+                        regions.push(RegionDecl { label, attrs, tiers: nested });
+                    }
+                }
+                other => return Err(self.err(format!("unexpected token {other:?} in body"))),
+            }
+        }
+        self.expect(&Tok::RBrace, "'}'")?;
+        Ok(PolicySpec { kind, name, params, tiers, regions, events })
+    }
+
+    /// `{ key (:|=) (value | { ... }) , ... }` — nested blocks become tiers.
+    fn attr_block(&mut self) -> Result<(BTreeMap<String, Expr>, Vec<TierDecl>), PolicyError> {
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut attrs = BTreeMap::new();
+        let mut nested = Vec::new();
+        loop {
+            if self.eat(&Tok::RBrace) {
+                break;
+            }
+            let key = self.ident("attribute key")?;
+            if !self.eat(&Tok::Colon) && !self.eat(&Tok::Assign) {
+                return Err(self.err(format!("expected ':' or '=' after attribute '{key}'")));
+            }
+            if self.peek() == Some(&Tok::LBrace) {
+                let (tattrs, deeper) = self.attr_block()?;
+                if !deeper.is_empty() {
+                    return Err(self.err("attribute blocks nest at most one level"));
+                }
+                nested.push(TierDecl { label: key, attrs: tattrs });
+            } else {
+                let value = self.expr()?;
+                attrs.insert(key, value);
+            }
+            if !self.eat(&Tok::Comma) {
+                self.expect(&Tok::RBrace, "'}' or ','")?;
+                break;
+            }
+        }
+        Ok((attrs, nested))
+    }
+
+    fn event_rule(&mut self) -> Result<EventRule, PolicyError> {
+        let kw = self.ident("'event'")?;
+        debug_assert_eq!(kw, "event");
+        self.expect(&Tok::LParen, "'('")?;
+        let event = self.expr()?;
+        self.expect(&Tok::RParen, "')'")?;
+        self.expect(&Tok::Colon, "':'")?;
+        let resp = self.ident("'response'")?;
+        if resp != "response" {
+            return Err(self.err(format!("expected 'response', found '{resp}'")));
+        }
+        self.expect(&Tok::LBrace, "'{'")?;
+        let body = self.stmts_until_rbrace()?;
+        self.expect(&Tok::RBrace, "'}'")?;
+        Ok(EventRule { event, body })
+    }
+
+    /// Statements up to (not consuming) the enclosing `}`.
+    fn stmts_until_rbrace(&mut self) -> Result<Vec<Stmt>, PolicyError> {
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unexpected end of input in response body")),
+                Some(Tok::RBrace) => return Ok(stmts),
+                Some(Tok::Ident(id)) if id == "else" => return Ok(stmts),
+                _ => stmts.push(self.stmt()?),
+            }
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, PolicyError> {
+        match self.peek() {
+            Some(Tok::Ident(id)) if id == "if" => self.if_stmt(),
+            Some(Tok::Ident(_)) => {
+                // Either `name(args)` (call) or `a.b.c = expr` (assignment).
+                let first = self.ident("statement")?;
+                if self.peek() == Some(&Tok::LParen) {
+                    self.pos += 1; // consume '('
+                    let mut args = Vec::new();
+                    while self.peek() != Some(&Tok::RParen) {
+                        let key = self.ident("argument name")?;
+                        self.expect(&Tok::Colon, "':'")?;
+                        let value = self.expr()?;
+                        args.push((key, value));
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Tok::RParen, "')'")?;
+                    self.eat(&Tok::Semi);
+                    Ok(Stmt::Call { name: first, args })
+                } else {
+                    let mut target = vec![first];
+                    while self.eat(&Tok::Dot) {
+                        target.push(self.ident("path segment")?);
+                    }
+                    self.expect(&Tok::Assign, "'='")?;
+                    let value = self.expr()?;
+                    self.eat(&Tok::Semi);
+                    Ok(Stmt::Assign { target, value })
+                }
+            }
+            other => Err(self.err(format!("unexpected token {other:?} in statement"))),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, PolicyError> {
+        let kw = self.ident("'if'")?;
+        debug_assert_eq!(kw, "if");
+        self.expect(&Tok::LParen, "'('")?;
+        let cond = self.expr()?;
+        self.expect(&Tok::RParen, "')'")?;
+
+        let then = self.branch_body()?;
+        let mut otherwise = Vec::new();
+        if let Some(Tok::Ident(id)) = self.peek() {
+            if id == "else" {
+                self.pos += 1;
+                if let Some(Tok::Ident(id2)) = self.peek() {
+                    if id2 == "if" {
+                        // else-if chain.
+                        otherwise.push(self.if_stmt()?);
+                        return Ok(Stmt::If { cond, then, otherwise });
+                    }
+                }
+                otherwise = self.branch_body()?;
+            }
+        }
+        Ok(Stmt::If { cond, then, otherwise })
+    }
+
+    /// An if/else branch: `{ stmts }` or brace-less statements running to
+    /// the next `else` or the end of the enclosing block.
+    fn branch_body(&mut self) -> Result<Vec<Stmt>, PolicyError> {
+        if self.eat(&Tok::LBrace) {
+            let stmts = self.stmts_until_rbrace()?;
+            self.expect(&Tok::RBrace, "'}'")?;
+            Ok(stmts)
+        } else {
+            self.stmts_until_rbrace()
+        }
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, PolicyError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, PolicyError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Tok::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, PolicyError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&Tok::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, PolicyError> {
+        let lhs = self.primary()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => Some(BinOp::Eq),
+            // The figures use a bare '=' in conditions (`event(time=t)`).
+            Some(Tok::Assign) => Some(BinOp::Eq),
+            Some(Tok::Ne) => Some(BinOp::Ne),
+            Some(Tok::Lt) => Some(BinOp::Lt),
+            Some(Tok::Le) => Some(BinOp::Le),
+            Some(Tok::Gt) => Some(BinOp::Gt),
+            Some(Tok::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.primary()?;
+            Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, PolicyError> {
+        match self.next()? {
+            Tok::Num { value, unit } => {
+                // Merge a spaced unit word: `800 ms`, `30 seconds`.
+                if unit.is_none() {
+                    if let Some(Tok::Ident(word)) = self.peek() {
+                        if let Some(u) = Unit::parse(word) {
+                            self.pos += 1;
+                            return Ok(Expr::Num { value, unit: Some(u) });
+                        }
+                    }
+                }
+                Ok(Expr::Num { value, unit })
+            }
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::Ident(first) => match first.as_str() {
+                "True" | "true" => Ok(Expr::Bool(true)),
+                "False" | "false" => Ok(Expr::Bool(false)),
+                _ => {
+                    let mut path = vec![first];
+                    while self.eat(&Tok::Dot) {
+                        path.push(self.ident("path segment")?);
+                    }
+                    Ok(Expr::Path(path))
+                }
+            },
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal_tiera_spec() {
+        let spec = parse(
+            "Tiera Simple() {
+                tier1: {name: Memcached, size: 5G};
+                event(insert.into) : response {
+                    store(what:insert.object, to:tier1);
+                }
+            }",
+        )
+        .unwrap();
+        assert_eq!(spec.kind, SpecKind::Tiera);
+        assert_eq!(spec.name, "Simple");
+        assert_eq!(spec.tiers.len(), 1);
+        assert_eq!(spec.tiers[0].label, "tier1");
+        assert_eq!(spec.tiers[0].attr("name").unwrap().as_ident(), Some("Memcached"));
+        assert_eq!(spec.events.len(), 1);
+        match &spec.events[0].body[0] {
+            Stmt::Call { name, args } => {
+                assert_eq!(name, "store");
+                assert_eq!(args.len(), 2);
+                assert_eq!(args[0].0, "what");
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_params_and_timer_event() {
+        let spec = parse(
+            "Tiera WriteBack(time t) {
+                tier1: {name: Memcached, size: 5G};
+                event(time=t) : response {
+                    copy(what: object.location == tier1 && object.dirty == true, to:tier2);
+                }
+            }",
+        )
+        .unwrap();
+        assert_eq!(spec.params.len(), 1);
+        assert_eq!(spec.params[0].ty, "time");
+        assert_eq!(spec.params[0].name, "t");
+        // `time=t` parses as equality comparison.
+        match &spec.events[0].event {
+            Expr::Binary { op: BinOp::Eq, lhs, .. } => {
+                assert_eq!(lhs.as_ident(), Some("time"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The `what:` argument is a conjunction.
+        match &spec.events[0].body[0] {
+            Stmt::Call { args, .. } => match &args[0].1 {
+                Expr::Binary { op: BinOp::And, .. } => {}
+                other => panic!("expected &&, got {other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_region_decl_with_nested_tiers() {
+        let spec = parse(
+            "Wiera G() {
+                Region1 = {name:LowLatencyInstance, region:US-West, primary:True,
+                    tier1 = {name:LocalMemory, size=5G},
+                    tier2 = {name:LocalDisk, size=5G} }
+                event(insert.into) : response {
+                    store(what:insert.object, to:local_instance)
+                }
+            }",
+        )
+        .unwrap();
+        assert_eq!(spec.kind, SpecKind::Wiera);
+        assert_eq!(spec.regions.len(), 1);
+        let r = &spec.regions[0];
+        assert_eq!(r.label, "Region1");
+        assert_eq!(r.attr("region").unwrap().as_ident(), Some("US-West"));
+        assert_eq!(r.attr("primary").unwrap().as_bool(), Some(true));
+        assert_eq!(r.tiers.len(), 2);
+        assert_eq!(r.tiers[1].attr("name").unwrap().as_ident(), Some("LocalDisk"));
+    }
+
+    #[test]
+    fn parse_braceless_if_else() {
+        let spec = parse(
+            "Wiera PB() {
+                event(insert.into) : response {
+                    if(local_instance.isPrimary == True)
+                        store(what:insert.object, to:local_instance)
+                        copy(what:insert.object, to:all_regions)
+                    else
+                        forward(what:insert.object, to:primary_instance)
+                }
+            }",
+        )
+        .unwrap();
+        match &spec.events[0].body[0] {
+            Stmt::If { then, otherwise, .. } => {
+                assert_eq!(then.len(), 2);
+                assert_eq!(otherwise.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_else_if_chain() {
+        let spec = parse(
+            "Wiera Dyn() {
+                event(threshold.type == put) : response {
+                    if(threshold.latency > 800 ms && threshold.period > 30 seconds)
+                        change_policy(what:consistency, to:EventualConsistency);
+                    else if (threshold.latency <= 800 ms && threshold.period > 30 seconds)
+                        change_policy(what:consistency, to:MultiPrimariesConsistency);
+                }
+            }",
+        )
+        .unwrap();
+        match &spec.events[0].body[0] {
+            Stmt::If { then, otherwise, cond } => {
+                assert_eq!(then.len(), 1);
+                assert_eq!(otherwise.len(), 1);
+                assert!(matches!(otherwise[0], Stmt::If { .. }));
+                // 800 ms merged into a single unit-carrying literal.
+                match cond {
+                    Expr::Binary { op: BinOp::And, lhs, .. } => match lhs.as_ref() {
+                        Expr::Binary { rhs, .. } => {
+                            assert_eq!(rhs.as_num(), Some((800.0, Some(Unit::Millis))));
+                        }
+                        other => panic!("{other:?}"),
+                    },
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_assignment_statement() {
+        let spec = parse(
+            "Tiera T() {
+                event(insert.into) : response {
+                    insert.object.dirty = true;
+                    store(what:insert.object, to:tier1);
+                }
+            }",
+        )
+        .unwrap();
+        match &spec.events[0].body[0] {
+            Stmt::Assign { target, value } => {
+                assert_eq!(target, &["insert", "object", "dirty"]);
+                assert_eq!(value.as_bool(), Some(true));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_percent_threshold_event() {
+        let spec = parse(
+            "Tiera T() {
+                event(tier2.filled == 50%) : response {
+                    copy(what:object.location == tier2, to:tier3, bandwidth:40KB/s);
+                }
+            }",
+        )
+        .unwrap();
+        match &spec.events[0].event {
+            Expr::Binary { op: BinOp::Eq, rhs, .. } => {
+                assert_eq!(rhs.as_num(), Some((50.0, Some(Unit::Percent))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse("Tiera {").is_err());
+        assert!(parse("Frobnicate X() {}").is_err());
+        assert!(parse("Tiera X() { tier1: }").is_err());
+        assert!(parse("Tiera X() { event() response {} }").is_err());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("Tiera X() {\n  tier1: }\n}").unwrap_err();
+        // Reported at or just past the offending token.
+        assert!(matches!(err.line, Some(2) | Some(3)), "{err}");
+    }
+
+    #[test]
+    fn pretty_print_roundtrip() {
+        let src = "Wiera PB() {
+            Region1 = {name:LowLatencyInstance, region:US-West, primary:True,
+                tier1 = {name:LocalMemory, size=5G}}
+            event(insert.into) : response {
+                if(local_instance.isPrimary == True)
+                    store(what:insert.object, to:local_instance)
+                else
+                    forward(what:insert.object, to:primary_instance)
+            }
+        }";
+        let spec = parse(src).unwrap();
+        let printed = spec.to_string();
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(spec, reparsed);
+    }
+}

@@ -1,0 +1,173 @@
+//! Value units used by policy specifications.
+//!
+//! The paper's figures attach units directly to numbers: `5G` (size),
+//! `800 ms` / `30 seconds` / `120 hours` (durations), `40KB/s` (bandwidth),
+//! `50%` (fill fraction). This module normalizes them: sizes to bytes,
+//! durations to milliseconds, rates to bytes/second, percent to a fraction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A unit suffix attached to a numeric literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Unit {
+    // sizes
+    Bytes,
+    KiB,
+    MiB,
+    GiB,
+    TiB,
+    // durations
+    Millis,
+    Seconds,
+    Minutes,
+    Hours,
+    // rates
+    BytesPerSec,
+    KiBPerSec,
+    MiBPerSec,
+    // fraction
+    Percent,
+}
+
+impl Unit {
+    /// Parse a unit suffix token (already stripped of the number).
+    pub fn parse(s: &str) -> Option<Unit> {
+        let norm = s.trim().to_ascii_lowercase();
+        Some(match norm.as_str() {
+            "b" | "bytes" => Unit::Bytes,
+            "k" | "kb" | "kib" => Unit::KiB,
+            "m" | "mb" | "mib" => Unit::MiB,
+            "g" | "gb" | "gib" => Unit::GiB,
+            "t" | "tb" | "tib" => Unit::TiB,
+            "ms" | "millis" | "milliseconds" => Unit::Millis,
+            "s" | "sec" | "secs" | "second" | "seconds" => Unit::Seconds,
+            "min" | "mins" | "minute" | "minutes" => Unit::Minutes,
+            "h" | "hr" | "hrs" | "hour" | "hours" => Unit::Hours,
+            "b/s" | "bps" => Unit::BytesPerSec,
+            "kb/s" | "kib/s" => Unit::KiBPerSec,
+            "mb/s" | "mib/s" => Unit::MiBPerSec,
+            "%" | "percent" => Unit::Percent,
+            _ => return None,
+        })
+    }
+
+    pub fn is_size(self) -> bool {
+        matches!(self, Unit::Bytes | Unit::KiB | Unit::MiB | Unit::GiB | Unit::TiB)
+    }
+
+    pub fn is_duration(self) -> bool {
+        matches!(self, Unit::Millis | Unit::Seconds | Unit::Minutes | Unit::Hours)
+    }
+
+    pub fn is_rate(self) -> bool {
+        matches!(self, Unit::BytesPerSec | Unit::KiBPerSec | Unit::MiBPerSec)
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Unit::Bytes => "B",
+            Unit::KiB => "KB",
+            Unit::MiB => "MB",
+            Unit::GiB => "G",
+            Unit::TiB => "T",
+            Unit::Millis => "ms",
+            Unit::Seconds => "seconds",
+            Unit::Minutes => "minutes",
+            Unit::Hours => "hours",
+            Unit::BytesPerSec => "B/s",
+            Unit::KiBPerSec => "KB/s",
+            Unit::MiBPerSec => "MB/s",
+            Unit::Percent => "%",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Bytes represented by `v` with size unit `u`.
+pub fn to_bytes(v: f64, u: Unit) -> Option<u64> {
+    let mult: f64 = match u {
+        Unit::Bytes => 1.0,
+        Unit::KiB => 1024.0,
+        Unit::MiB => 1024.0 * 1024.0,
+        Unit::GiB => 1024.0 * 1024.0 * 1024.0,
+        Unit::TiB => 1024.0f64 * 1024.0 * 1024.0 * 1024.0,
+        _ => return None,
+    };
+    Some((v * mult) as u64)
+}
+
+/// Milliseconds represented by `v` with duration unit `u`.
+pub fn to_millis(v: f64, u: Unit) -> Option<f64> {
+    let mult = match u {
+        Unit::Millis => 1.0,
+        Unit::Seconds => 1e3,
+        Unit::Minutes => 60e3,
+        Unit::Hours => 3600e3,
+        _ => return None,
+    };
+    Some(v * mult)
+}
+
+/// Bytes/second represented by `v` with rate unit `u`.
+pub fn to_bytes_per_sec(v: f64, u: Unit) -> Option<f64> {
+    let mult = match u {
+        Unit::BytesPerSec => 1.0,
+        Unit::KiBPerSec => 1024.0,
+        Unit::MiBPerSec => 1024.0 * 1024.0,
+        _ => return None,
+    };
+    Some(v * mult)
+}
+
+/// Fraction (0..1) represented by `v` with unit `u` (percent only).
+pub fn to_fraction(v: f64, u: Unit) -> Option<f64> {
+    match u {
+        Unit::Percent => Some(v / 100.0),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_suffixes() {
+        assert_eq!(Unit::parse("G"), Some(Unit::GiB));
+        assert_eq!(Unit::parse("ms"), Some(Unit::Millis));
+        assert_eq!(Unit::parse("seconds"), Some(Unit::Seconds));
+        assert_eq!(Unit::parse("hours"), Some(Unit::Hours));
+        assert_eq!(Unit::parse("KB/s"), Some(Unit::KiBPerSec));
+        assert_eq!(Unit::parse("%"), Some(Unit::Percent));
+        assert_eq!(Unit::parse("parsecs"), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(to_bytes(5.0, Unit::GiB), Some(5 * 1024 * 1024 * 1024));
+        assert_eq!(to_bytes(1.5, Unit::KiB), Some(1536));
+        assert_eq!(to_millis(30.0, Unit::Seconds), Some(30_000.0));
+        assert_eq!(to_millis(120.0, Unit::Hours), Some(432_000_000.0));
+        assert_eq!(to_bytes_per_sec(40.0, Unit::KiBPerSec), Some(40.0 * 1024.0));
+        assert_eq!(to_fraction(50.0, Unit::Percent), Some(0.5));
+    }
+
+    #[test]
+    fn wrong_category_returns_none() {
+        assert_eq!(to_bytes(5.0, Unit::Seconds), None);
+        assert_eq!(to_millis(5.0, Unit::GiB), None);
+        assert_eq!(to_bytes_per_sec(5.0, Unit::Percent), None);
+        assert_eq!(to_fraction(5.0, Unit::GiB), None);
+    }
+
+    #[test]
+    fn category_predicates() {
+        assert!(Unit::GiB.is_size());
+        assert!(Unit::Hours.is_duration());
+        assert!(Unit::KiBPerSec.is_rate());
+        assert!(!Unit::Percent.is_size());
+    }
+}

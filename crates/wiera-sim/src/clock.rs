@@ -1,0 +1,239 @@
+//! Clock abstraction over the modeled-time axis.
+//!
+//! Every component that needs "now" or "sleep" — policy timers, monitor
+//! threads, heartbeats, workload drivers — takes a [`SharedClock`] so the same
+//! code runs against:
+//!
+//! * [`ScaledClock`]: modeled time derived from wall time compressed by a
+//!   constant factor. Real threads and real sleeps, so lock contention and
+//!   queueing behave like the live system, but a 10-minute experiment
+//!   finishes in seconds.
+//! * [`ManualClock`]: time only moves when a test calls
+//!   [`ManualClock::advance`]; `sleep` blocks until the clock reaches the
+//!   deadline. Fully deterministic for unit tests.
+
+use crate::time::{SimDuration, SimInstant};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Source of modeled time. See the module docs for the two implementations.
+pub trait Clock: Send + Sync {
+    /// Current point on the modeled-time axis.
+    fn now(&self) -> SimInstant;
+    /// Block the calling thread until `d` of modeled time has passed.
+    fn sleep(&self, d: SimDuration);
+    /// The time-compression factor (modeled seconds per wall second).
+    fn scale(&self) -> f64 {
+        1.0
+    }
+}
+
+/// A reference-counted clock handle, cloned into every component.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// Wall-clock-backed clock with time compression.
+pub struct ScaledClock {
+    origin: std::time::Instant,
+    scale: f64,
+}
+
+impl ScaledClock {
+    /// `scale` = how many modeled seconds pass per wall-clock second.
+    /// A scale of 100 runs the Fig. 7 experiment (several modeled minutes)
+    /// in a couple of wall seconds.
+    pub fn new(scale: f64) -> Self {
+        assert!(scale > 0.0, "time scale must be positive");
+        ScaledClock { origin: std::time::Instant::now(), scale }
+    }
+
+    /// Real-time clock (scale 1.0).
+    pub fn realtime() -> Self {
+        Self::new(1.0)
+    }
+
+    pub fn shared(scale: f64) -> SharedClock {
+        Arc::new(Self::new(scale))
+    }
+}
+
+impl Clock for ScaledClock {
+    fn now(&self) -> SimInstant {
+        SimInstant::from_micros((self.origin.elapsed().as_secs_f64() * self.scale * 1e6) as u64)
+    }
+
+    fn sleep(&self, d: SimDuration) {
+        if !d.is_zero() {
+            std::thread::sleep(d.to_wall(self.scale));
+        }
+    }
+
+    fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+/// A clock that never advances: `now()` is constant and `sleep` returns
+/// (almost) immediately.
+///
+/// Used by closed-loop throughput benchmarks where each worker accounts
+/// modeled time itself from the latencies the stack returns: token-bucket
+/// throttles (disk IOPS caps, NIC caps) then build their backlog purely in
+/// modeled time, so aggregate throughput converges to the modeled cap
+/// regardless of wall-clock scheduling. `sleep` yields a tiny wall pause so
+/// background threads (flushers, monitors) don't busy-spin.
+pub struct FrozenClock {
+    at: SimInstant,
+}
+
+impl FrozenClock {
+    pub fn shared() -> SharedClock {
+        Arc::new(FrozenClock { at: SimInstant::EPOCH })
+    }
+
+    pub fn shared_at(at: SimInstant) -> SharedClock {
+        Arc::new(FrozenClock { at })
+    }
+}
+
+impl Clock for FrozenClock {
+    fn now(&self) -> SimInstant {
+        self.at
+    }
+
+    fn sleep(&self, d: SimDuration) {
+        if !d.is_zero() {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+    }
+}
+
+/// Deterministic clock for tests: time moves only via [`ManualClock::advance`].
+pub struct ManualClock {
+    state: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl ManualClock {
+    pub fn new() -> Arc<Self> {
+        Arc::new(ManualClock { state: Mutex::new(0), cond: Condvar::new() })
+    }
+
+    /// Move time forward, waking any sleeper whose deadline has been reached.
+    pub fn advance(&self, d: SimDuration) {
+        let mut t = self.state.lock();
+        *t += d.as_micros();
+        self.cond.notify_all();
+    }
+
+    /// Set the absolute modeled time (must not move backwards).
+    pub fn set(&self, at: SimInstant) {
+        let mut t = self.state.lock();
+        assert!(at.as_micros() >= *t, "manual clock cannot move backwards");
+        *t = at.as_micros();
+        self.cond.notify_all();
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> SimInstant {
+        SimInstant::from_micros(*self.state.lock())
+    }
+
+    fn sleep(&self, d: SimDuration) {
+        let deadline = {
+            let t = self.state.lock();
+            *t + d.as_micros()
+        };
+        let mut t = self.state.lock();
+        while *t < deadline {
+            self.cond.wait(&mut t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn scaled_clock_advances() {
+        let c = ScaledClock::new(1000.0);
+        let t0 = c.now();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let t1 = c.now();
+        assert!(t1 > t0);
+        // 5ms wall at 1000x is ~5 modeled seconds.
+        let elapsed = t1.elapsed_since(t0);
+        assert!(elapsed >= SimDuration::from_secs(4), "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn scaled_clock_sleep_compresses() {
+        let c = ScaledClock::new(1000.0);
+        let w0 = std::time::Instant::now();
+        c.sleep(SimDuration::from_secs(1)); // 1ms wall
+        assert!(w0.elapsed() < std::time::Duration::from_millis(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = ScaledClock::new(0.0);
+    }
+
+    #[test]
+    fn manual_clock_now_and_advance() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), SimInstant::EPOCH);
+        c.advance(SimDuration::from_secs(3));
+        assert_eq!(c.now(), SimInstant::EPOCH + SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn manual_clock_sleep_blocks_until_advanced() {
+        let c = ManualClock::new();
+        let woke = Arc::new(AtomicBool::new(false));
+        let (c2, woke2) = (c.clone(), woke.clone());
+        let h = std::thread::spawn(move || {
+            c2.sleep(SimDuration::from_secs(10));
+            woke2.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!woke.load(Ordering::SeqCst), "sleeper must not wake before time advances");
+        c.advance(SimDuration::from_secs(10));
+        h.join().unwrap();
+        assert!(woke.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn manual_clock_rejects_backwards() {
+        let c = ManualClock::new();
+        c.advance(SimDuration::from_secs(5));
+        c.set(SimInstant::from_micros(1));
+    }
+
+    #[test]
+    fn zero_sleep_returns_immediately() {
+        let c = ManualClock::new();
+        c.sleep(SimDuration::ZERO); // must not deadlock
+        let s = ScaledClock::new(10.0);
+        s.sleep(SimDuration::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod frozen_tests {
+    use super::*;
+
+    #[test]
+    fn frozen_clock_never_advances_but_sleep_returns() {
+        let c = FrozenClock::shared();
+        let t0 = c.now();
+        c.sleep(SimDuration::from_hours(5));
+        assert_eq!(c.now(), t0);
+        let c2 = FrozenClock::shared_at(SimInstant::from_micros(99));
+        assert_eq!(c2.now(), SimInstant::from_micros(99));
+    }
+}

@@ -1,0 +1,173 @@
+//! Latency distributions.
+//!
+//! Network and storage-tier models draw per-operation latencies from these.
+//! The shapes are chosen to match what the paper's live measurements show:
+//! storage-service latencies are right-skewed (log-normal), WAN RTTs are
+//! tight around the speed-of-light floor (normal with small sigma).
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use rand_distr::{Distribution, LogNormal, Normal};
+use serde::{Deserialize, Serialize};
+
+/// A distribution over operation latencies, in milliseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LatencyDist {
+    /// Always exactly `ms`.
+    Constant { ms: f64 },
+    /// Uniform in `[lo_ms, hi_ms)`.
+    Uniform { lo_ms: f64, hi_ms: f64 },
+    /// Normal(mean, std), truncated below at `floor_ms`.
+    Normal { mean_ms: f64, std_ms: f64, floor_ms: f64 },
+    /// LogNormal parameterized by its *median* and a shape sigma
+    /// (sigma of the underlying normal), truncated below at `floor_ms`.
+    LogNormal { median_ms: f64, sigma: f64, floor_ms: f64 },
+}
+
+impl LatencyDist {
+    pub fn constant(ms: f64) -> Self {
+        LatencyDist::Constant { ms }
+    }
+
+    /// Normal with std = 5% of mean and floor = 50% of mean — the default
+    /// jitter model for WAN RTTs.
+    pub fn rtt(mean_ms: f64) -> Self {
+        LatencyDist::Normal { mean_ms, std_ms: mean_ms * 0.05, floor_ms: mean_ms * 0.5 }
+    }
+
+    /// LogNormal with the given median and a mild right skew — the default
+    /// model for cloud storage service latencies.
+    pub fn storage(median_ms: f64) -> Self {
+        LatencyDist::LogNormal { median_ms, sigma: 0.25, floor_ms: median_ms * 0.4 }
+    }
+
+    /// Draw one latency.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        let ms = match *self {
+            LatencyDist::Constant { ms } => ms,
+            LatencyDist::Uniform { lo_ms, hi_ms } => rng.gen_range_f64(lo_ms, hi_ms),
+            LatencyDist::Normal { mean_ms, std_ms, floor_ms } => {
+                let n = Normal::new(mean_ms, std_ms.max(1e-9)).expect("valid normal");
+                n.sample(rng.inner()).max(floor_ms)
+            }
+            LatencyDist::LogNormal { median_ms, sigma, floor_ms } => {
+                let mu = median_ms.max(1e-9).ln();
+                let ln = LogNormal::new(mu, sigma.max(1e-9)).expect("valid lognormal");
+                ln.sample(rng.inner()).max(floor_ms)
+            }
+        };
+        SimDuration::from_millis_f64(ms)
+    }
+
+    /// The central tendency of the distribution (used for capacity planning
+    /// and documentation, not sampling).
+    pub fn typical_ms(&self) -> f64 {
+        match *self {
+            LatencyDist::Constant { ms } => ms,
+            LatencyDist::Uniform { lo_ms, hi_ms } => (lo_ms + hi_ms) / 2.0,
+            LatencyDist::Normal { mean_ms, .. } => mean_ms,
+            LatencyDist::LogNormal { median_ms, .. } => median_ms,
+        }
+    }
+
+    /// Scale the distribution's location by `factor` (used when injecting
+    /// slowdowns into a tier or link).
+    pub fn scaled(&self, factor: f64) -> LatencyDist {
+        match *self {
+            LatencyDist::Constant { ms } => LatencyDist::Constant { ms: ms * factor },
+            LatencyDist::Uniform { lo_ms, hi_ms } => {
+                LatencyDist::Uniform { lo_ms: lo_ms * factor, hi_ms: hi_ms * factor }
+            }
+            LatencyDist::Normal { mean_ms, std_ms, floor_ms } => LatencyDist::Normal {
+                mean_ms: mean_ms * factor,
+                std_ms: std_ms * factor,
+                floor_ms: floor_ms * factor,
+            },
+            LatencyDist::LogNormal { median_ms, sigma, floor_ms } => LatencyDist::LogNormal {
+                median_ms: median_ms * factor,
+                sigma,
+                floor_ms: floor_ms * factor,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(d: &LatencyDist, n: usize) -> f64 {
+        let mut rng = SimRng::new(7);
+        (0..n).map(|_| d.sample(&mut rng).as_millis_f64()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = LatencyDist::constant(12.5);
+        let mut rng = SimRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), SimDuration::from_micros(12_500));
+        }
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let d = LatencyDist::Uniform { lo_ms: 3.0, hi_ms: 9.0 };
+        let mut rng = SimRng::new(2);
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng).as_millis_f64();
+            assert!((3.0..9.0).contains(&s), "sample {s} out of range");
+        }
+    }
+
+    #[test]
+    fn normal_respects_floor() {
+        let d = LatencyDist::Normal { mean_ms: 1.0, std_ms: 10.0, floor_ms: 0.5 };
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng).as_millis_f64() >= 0.5);
+        }
+    }
+
+    #[test]
+    fn rtt_mean_close_to_target() {
+        let d = LatencyDist::rtt(80.0);
+        let m = mean_of(&d, 5000);
+        assert!((m - 80.0).abs() < 2.0, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_median_close_to_target() {
+        let d = LatencyDist::storage(10.0);
+        let mut rng = SimRng::new(4);
+        let mut v: Vec<f64> = (0..5001).map(|_| d.sample(&mut rng).as_millis_f64()).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        assert!((median - 10.0).abs() < 1.0, "median {median}");
+    }
+
+    #[test]
+    fn lognormal_is_right_skewed() {
+        let d = LatencyDist::storage(10.0);
+        let m = mean_of(&d, 5000);
+        assert!(m > 10.0, "lognormal mean {m} should exceed median");
+    }
+
+    #[test]
+    fn scaled_scales_location() {
+        let d = LatencyDist::rtt(40.0).scaled(3.0);
+        assert!((d.typical_ms() - 120.0).abs() < 1e-9);
+        let c = LatencyDist::constant(2.0).scaled(5.0);
+        assert_eq!(c.typical_ms(), 10.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = LatencyDist::storage(8.0);
+        let mut a = SimRng::new(11);
+        let mut b = SimRng::new(11);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Simulation substrate for the Wiera reproduction.
+//!
+//! The paper evaluates a live system whose interesting latencies are measured
+//! in wall-clock milliseconds-to-minutes on real clouds. This crate provides
+//! the time, randomness and measurement machinery that lets the rest of the
+//! workspace run those experiments quickly and reproducibly:
+//!
+//! * [`time`] — `SimDuration` / `SimInstant`, an explicit *modeled time* axis
+//!   kept distinct from wall time so a 600-second experiment can run in
+//!   seconds of real time.
+//! * [`clock`] — the [`Clock`] trait with a wall-time-backed [`ScaledClock`]
+//!   (real threads, compressed time) and a fully deterministic
+//!   [`ManualClock`] for unit tests.
+//! * [`rng`] — seed derivation and a small deterministic RNG façade so every
+//!   experiment is reproducible from a single `u64` seed.
+//! * [`dist`] — latency distributions (constant / uniform / normal /
+//!   log-normal) used by the network and storage-tier models.
+//! * [`metrics`] — histograms with percentile summaries, counters and
+//!   time-series recorders used by every benchmark harness.
+
+pub mod clock;
+pub mod dist;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+
+pub use clock::{Clock, FrozenClock, ManualClock, ScaledClock, SharedClock};
+pub use dist::LatencyDist;
+pub use metrics::{Counter, Histogram, LatencyRecorder, Summary, TimeSeries};
+pub use rng::{derive_seed, SimRng};
+pub use time::{SimDuration, SimInstant};

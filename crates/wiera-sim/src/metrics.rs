@@ -1,0 +1,390 @@
+//! Measurement primitives used by every benchmark harness.
+//!
+//! * [`Histogram`] — log-bucketed latency histogram with percentile queries
+//!   (HdrHistogram-style, 1 µs to ~1.2 hours range).
+//! * [`LatencyRecorder`] — thread-safe histogram handle shared between
+//!   workload driver threads.
+//! * [`Counter`] — atomic event counter.
+//! * [`TimeSeries`] — (instant, value) recorder for timeline figures (Fig. 7).
+
+use crate::time::{SimDuration, SimInstant};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const BUCKETS_PER_OCTAVE: usize = 16;
+const OCTAVES: usize = 32; // 1us .. 2^32 us (~71.6 min)
+const NUM_BUCKETS: usize = BUCKETS_PER_OCTAVE * OCTAVES;
+
+/// Log-bucketed histogram over `SimDuration`s.
+///
+/// Relative error is bounded by one bucket width (~6% per sample), which is
+/// far below the run-to-run variance of the systems being modeled.
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_us: u128,
+    max_us: u64,
+    min_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+            min_us: u64::MAX,
+        }
+    }
+
+    fn bucket_index(us: u64) -> usize {
+        if us < 1 {
+            return 0;
+        }
+        let octave = 63 - us.leading_zeros() as usize; // floor(log2(us))
+        let base = 1u64 << octave;
+        // Position within the octave, split into BUCKETS_PER_OCTAVE slots.
+        let frac = ((us - base) as u128 * BUCKETS_PER_OCTAVE as u128 / base as u128) as usize;
+        (octave * BUCKETS_PER_OCTAVE + frac).min(NUM_BUCKETS - 1)
+    }
+
+    fn bucket_value(idx: usize) -> u64 {
+        let octave = idx / BUCKETS_PER_OCTAVE;
+        let frac = idx % BUCKETS_PER_OCTAVE;
+        let base = 1u64 << octave;
+        // Midpoint of the bucket.
+        base + (base as u128 * (2 * frac as u128 + 1) / (2 * BUCKETS_PER_OCTAVE as u128)) as u64
+    }
+
+    pub fn record(&mut self, d: SimDuration) {
+        let us = d.as_micros();
+        self.buckets[Self::bucket_index(us)] += 1;
+        self.count += 1;
+        self.sum_us += us as u128;
+        self.max_us = self.max_us.max(us);
+        self.min_us = self.min_us.min(us);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_micros((self.sum_us / self.count as u128) as u64)
+    }
+
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_micros(self.max_us)
+    }
+
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(self.min_us)
+        }
+    }
+
+    /// Quantile in `[0, 1]`; returns the midpoint of the containing bucket.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return SimDuration::from_micros(Self::bucket_value(i).min(self.max_us));
+            }
+        }
+        self.max()
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+        self.min_us = self.min_us.min(other.min_us);
+    }
+
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean_ms: self.mean().as_millis_f64(),
+            p50_ms: self.quantile(0.50).as_millis_f64(),
+            p95_ms: self.quantile(0.95).as_millis_f64(),
+            p99_ms: self.quantile(0.99).as_millis_f64(),
+            min_ms: self.min().as_millis_f64(),
+            max_ms: self.max().as_millis_f64(),
+        }
+    }
+}
+
+/// Scalar summary of a histogram, serializable for experiment reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub count: u64,
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub min_ms: f64,
+    pub max_ms: f64,
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2}ms p50={:.2}ms p95={:.2}ms p99={:.2}ms max={:.2}ms",
+            self.count, self.mean_ms, self.p50_ms, self.p95_ms, self.p99_ms, self.max_ms
+        )
+    }
+}
+
+/// Thread-safe histogram shared across workload driver threads.
+#[derive(Clone, Default)]
+pub struct LatencyRecorder {
+    inner: Arc<Mutex<Histogram>>,
+}
+
+impl LatencyRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&self, d: SimDuration) {
+        self.inner.lock().record(d);
+    }
+
+    pub fn snapshot(&self) -> Histogram {
+        self.inner.lock().clone()
+    }
+
+    pub fn summary(&self) -> Summary {
+        self.inner.lock().summary()
+    }
+
+    pub fn reset(&self) {
+        *self.inner.lock() = Histogram::new();
+    }
+}
+
+/// Atomic event counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+    pub fn inc(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+    pub fn add(&self, n: u64) -> u64 {
+        self.0.fetch_add(n, Ordering::Relaxed) + n
+    }
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+    pub fn reset(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// A labeled point series on the modeled-time axis, e.g. "put latency over
+/// time" for the Fig. 7 timeline. Thread-safe; points need not be appended
+/// in time order (they are sorted on export).
+#[derive(Clone, Default)]
+pub struct TimeSeries {
+    points: Arc<Mutex<Vec<(SimInstant, f64)>>>,
+}
+
+impl TimeSeries {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&self, at: SimInstant, value: f64) {
+        self.points.lock().push((at, value));
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.lock().is_empty()
+    }
+
+    /// Sorted copy of the points.
+    pub fn sorted(&self) -> Vec<(SimInstant, f64)> {
+        let mut v = self.points.lock().clone();
+        v.sort_by_key(|(t, _)| *t);
+        v
+    }
+
+    /// Mean of values with `t` in `[from, to)`.
+    pub fn mean_in(&self, from: SimInstant, to: SimInstant) -> Option<f64> {
+        let pts = self.points.lock();
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &(t, v) in pts.iter() {
+            if t >= from && t < to {
+                sum += v;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.quantile(0.5), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_value_summary() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_millis(10));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), SimDuration::from_millis(10));
+        assert_eq!(h.max(), SimDuration::from_millis(10));
+        let p50 = h.quantile(0.5).as_millis_f64();
+        assert!((p50 - 10.0).abs() / 10.0 < 0.07, "p50 {p50} within bucket error");
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDuration::from_micros(i * 37));
+        }
+        let qs: Vec<_> = [0.1, 0.5, 0.9, 0.99, 1.0].iter().map(|&q| h.quantile(q)).collect();
+        for w in qs.windows(2) {
+            assert!(w[0] <= w[1], "quantiles must be monotone: {:?}", qs);
+        }
+    }
+
+    #[test]
+    fn quantile_accuracy_bounded() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(SimDuration::from_micros(i));
+        }
+        let p50 = h.quantile(0.5).as_micros() as f64;
+        assert!((p50 - 5000.0).abs() / 5000.0 < 0.07, "p50 {p50}");
+        let p99 = h.quantile(0.99).as_micros() as f64;
+        assert!((p99 - 9900.0).abs() / 9900.0 < 0.07, "p99 {p99}");
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(SimDuration::from_millis(1));
+        b.record(SimDuration::from_millis(100));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), SimDuration::from_millis(100));
+        assert_eq!(a.min(), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn recorder_is_shared_across_clones() {
+        let r = LatencyRecorder::new();
+        let r2 = r.clone();
+        r.record(SimDuration::from_millis(5));
+        r2.record(SimDuration::from_millis(7));
+        assert_eq!(r.snapshot().count(), 2);
+        r.reset();
+        assert_eq!(r2.snapshot().count(), 0);
+    }
+
+    #[test]
+    fn recorder_concurrent_records() {
+        let r = LatencyRecorder::new();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for j in 0..1000 {
+                        r.record(SimDuration::from_micros(i * 1000 + j));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.snapshot().count(), 8000);
+    }
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        assert_eq!(c.inc(), 1);
+        assert_eq!(c.add(4), 5);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.reset(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn timeseries_sorted_and_window_mean() {
+        let ts = TimeSeries::new();
+        let t = SimInstant::EPOCH;
+        ts.push(t + SimDuration::from_secs(2), 20.0);
+        ts.push(t + SimDuration::from_secs(1), 10.0);
+        ts.push(t + SimDuration::from_secs(3), 30.0);
+        let s = ts.sorted();
+        assert_eq!(s.len(), 3);
+        assert!(s.windows(2).all(|w| w[0].0 <= w[1].0));
+        let m = ts
+            .mean_in(t + SimDuration::from_secs(1), t + SimDuration::from_secs(3))
+            .unwrap();
+        assert_eq!(m, 15.0);
+        assert!(ts.mean_in(t + SimDuration::from_secs(10), t + SimDuration::from_secs(20)).is_none());
+    }
+
+    #[test]
+    fn bucket_roundtrip_error_bounded() {
+        for us in [1u64, 3, 17, 999, 12_345, 1_000_000, 123_456_789] {
+            let idx = Histogram::bucket_index(us);
+            let mid = Histogram::bucket_value(idx);
+            let err = (mid as f64 - us as f64).abs() / us as f64;
+            assert!(err < 0.07, "us={us} mid={mid} err={err}");
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! The live tier backend.
+//!
+//! A [`SimTier`] behaves like one storage service inside one DC: it stores
+//! real bytes, charges modeled latency per operation (sampled from the
+//! tier's [`TierSpec`]), enforces capacity (with LRU eviction for volatile
+//! cache tiers, like Memcached does), applies IOPS token-bucket throttling
+//! (Azure's 500-IOPS disk), meters cost, and supports the failure and
+//! degradation injection the Wiera monitors react to.
+//!
+//! Operations return their modeled duration; callers (the Tiera instance)
+//! decide whether to also sleep the scaled wall time.
+
+use crate::cost::CostMeter;
+use crate::spec::TierSpec;
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use wiera_sim::{SharedClock, SimDuration, SimInstant, SimRng};
+
+/// Errors a storage tier can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TierError {
+    /// Object absent.
+    NotFound(String),
+    /// Non-evicting tier has no room for the object.
+    Full { capacity: u64, used: u64, need: u64 },
+    /// Object larger than the whole tier.
+    TooLarge { capacity: u64, need: u64 },
+    /// Service is down (crash / maintenance injection).
+    Down,
+}
+
+impl std::fmt::Display for TierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TierError::NotFound(k) => write!(f, "object '{k}' not found"),
+            TierError::Full { capacity, used, need } => {
+                write!(f, "tier full: capacity={capacity} used={used} need={need}")
+            }
+            TierError::TooLarge { capacity, need } => {
+                write!(f, "object ({need}B) exceeds tier capacity ({capacity}B)")
+            }
+            TierError::Down => write!(f, "tier is down"),
+        }
+    }
+}
+
+impl std::error::Error for TierError {}
+
+pub type TierResult<T> = Result<T, TierError>;
+
+/// Operation counters for one tier.
+#[derive(Debug, Default)]
+pub struct TierStats {
+    pub puts: AtomicU64,
+    pub gets: AtomicU64,
+    pub deletes: AtomicU64,
+    pub evictions: AtomicU64,
+    pub cache_hits: AtomicU64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierStatsSnapshot {
+    pub puts: u64,
+    pub gets: u64,
+    pub deletes: u64,
+    pub evictions: u64,
+    pub cache_hits: u64,
+}
+
+impl TierStats {
+    pub fn snapshot(&self) -> TierStatsSnapshot {
+        TierStatsSnapshot {
+            puts: self.puts.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Slot {
+    data: Bytes,
+    last_access: SimInstant,
+}
+
+/// One simulated storage service instance.
+pub struct SimTier {
+    spec: TierSpec,
+    capacity: AtomicU64,
+    clock: SharedClock,
+    rng: Mutex<SimRng>,
+    slots: RwLock<HashMap<Arc<str>, Slot>>,
+    used: AtomicU64,
+    /// Token-bucket state for IOPS throttling: earliest time the next
+    /// operation may start.
+    next_free: Mutex<SimInstant>,
+    /// Latency multiplier ≥ 1.0 for degradation injection.
+    degraded: Mutex<f64>,
+    down: AtomicBool,
+    /// Runtime page-cache toggle (in addition to the spec's static flag):
+    /// models freeing/consuming the VM's memory at run time.
+    page_cache_on: AtomicBool,
+    pub stats: TierStats,
+    meter: CostMeter,
+}
+
+impl SimTier {
+    pub fn new(spec: TierSpec, capacity: u64, clock: SharedClock, seed: u64) -> Arc<Self> {
+        let now = clock.now();
+        let spec_page_cache = spec.page_cache;
+        Arc::new(SimTier {
+            rng: Mutex::new(SimRng::new(seed).child(&format!("tier:{}", spec.kind))),
+            spec,
+            capacity: AtomicU64::new(capacity),
+            clock: clock.clone(),
+            slots: RwLock::new(HashMap::new()),
+            used: AtomicU64::new(0),
+            next_free: Mutex::new(now),
+            degraded: Mutex::new(1.0),
+            down: AtomicBool::new(false),
+            page_cache_on: AtomicBool::new(spec_page_cache),
+            stats: TierStats::default(),
+            meter: CostMeter::new(now),
+        })
+    }
+
+    pub fn spec(&self) -> &TierSpec {
+        &self.spec
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Enlarge the tier (the `grow` response from the Tiera vocabulary).
+    pub fn grow(&self, by: u64) {
+        self.capacity.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Toggle the OS page cache at run time (the paper throttles VM memory
+    /// to turn it off; freeing memory turns it back on).
+    pub fn set_page_cache(&self, on: bool) {
+        self.page_cache_on.store(on, Ordering::Relaxed);
+    }
+
+    pub fn used_bytes(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    pub fn filled_fraction(&self) -> f64 {
+        if self.capacity() == 0 {
+            0.0
+        } else {
+            self.used_bytes() as f64 / self.capacity() as f64
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.read().is_empty()
+    }
+
+    pub fn meter(&self) -> &CostMeter {
+        &self.meter
+    }
+
+    /// Sampled native latency for an op of `bytes`, including degradation.
+    fn native_latency(&self, read: bool, bytes: u64) -> SimDuration {
+        let dist = if read { &self.spec.get_latency } else { &self.spec.put_latency };
+        let base = dist.sample(&mut self.rng.lock());
+        let xfer =
+            SimDuration::from_millis_f64(self.spec.per_mib_ms * bytes as f64 / (1024.0 * 1024.0));
+        (base + xfer) * *self.degraded.lock()
+    }
+
+    /// Apply the IOPS token bucket; returns queueing delay.
+    fn throttle(&self) -> SimDuration {
+        let Some(iops) = self.spec.iops_cap else {
+            return SimDuration::ZERO;
+        };
+        let gap = SimDuration::from_secs_f64(1.0 / iops.max(1e-9));
+        let now = self.clock.now();
+        let mut nf = self.next_free.lock();
+        let start = if *nf > now { *nf } else { now };
+        *nf = start + gap;
+        start - now
+    }
+
+    fn check_up(&self) -> TierResult<()> {
+        if self.down.load(Ordering::Acquire) {
+            Err(TierError::Down)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Store an object (overwrite allowed). Returns modeled latency.
+    pub fn put(&self, key: &str, val: Bytes) -> TierResult<SimDuration> {
+        self.check_up()?;
+        let need = val.len() as u64;
+        let capacity = self.capacity();
+        if need > capacity {
+            return Err(TierError::TooLarge { capacity, need });
+        }
+        let lat = self.throttle() + self.native_latency(false, need);
+        let now = self.clock.now();
+        {
+            let mut slots = self.slots.write();
+            let freed = slots.get(key).map(|s| s.data.len() as u64).unwrap_or(0);
+            let mut used = self.used.load(Ordering::Relaxed) - freed;
+            if used + need > capacity {
+                if self.spec.kind.volatile() {
+                    // Memcached-style LRU eviction to make room.
+                    let mut victims: Vec<(Arc<str>, SimInstant, u64)> = slots
+                        .iter()
+                        .filter(|(k, _)| k.as_ref() != key)
+                        .map(|(k, s)| (k.clone(), s.last_access, s.data.len() as u64))
+                        .collect();
+                    victims.sort_by_key(|(_, at, _)| *at);
+                    for (vk, _, vsize) in victims {
+                        if used + need <= capacity {
+                            break;
+                        }
+                        slots.remove(&vk);
+                        used -= vsize;
+                        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if used + need > capacity {
+                        return Err(TierError::Full { capacity: capacity, used, need });
+                    }
+                } else {
+                    return Err(TierError::Full { capacity, used, need });
+                }
+            }
+            slots.insert(Arc::from(key), Slot { data: val, last_access: now });
+            let total: u64 = slots.values().map(|s| s.data.len() as u64).sum();
+            self.used.store(total, Ordering::Relaxed);
+            self.meter.set_bytes(total, now);
+        }
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.meter.note_put();
+        Ok(lat)
+    }
+
+    /// Fetch an object. Returns the bytes and modeled latency.
+    pub fn get(&self, key: &str) -> TierResult<(Bytes, SimDuration)> {
+        self.check_up()?;
+        let now = self.clock.now();
+        let data = {
+            let mut slots = self.slots.write();
+            let slot = slots.get_mut(key).ok_or_else(|| TierError::NotFound(key.into()))?;
+            slot.last_access = now;
+            slot.data.clone()
+        };
+        let lat = if self.page_cache_on.load(Ordering::Relaxed) {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.spec.cache_hit_latency.sample(&mut self.rng.lock())
+        } else {
+            self.throttle() + self.native_latency(true, data.len() as u64)
+        };
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        self.meter.note_get();
+        Ok((data, lat))
+    }
+
+    /// Remove an object. Removing a missing key is not an error (idempotent,
+    /// like S3 DELETE).
+    pub fn delete(&self, key: &str) -> TierResult<SimDuration> {
+        self.check_up()?;
+        let now = self.clock.now();
+        {
+            let mut slots = self.slots.write();
+            if slots.remove(key).is_some() {
+                let total: u64 = slots.values().map(|s| s.data.len() as u64).sum();
+                self.used.store(total, Ordering::Relaxed);
+                self.meter.set_bytes(total, now);
+            }
+        }
+        self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        Ok(self.native_latency(false, 0) * 0.5)
+    }
+
+    pub fn contains(&self, key: &str) -> bool {
+        self.slots.read().contains_key(key)
+    }
+
+    /// Keys currently stored (unordered).
+    pub fn keys(&self) -> Vec<Arc<str>> {
+        self.slots.read().keys().cloned().collect()
+    }
+
+    /// Modeled time the object at `key` was last read or written.
+    pub fn last_access(&self, key: &str) -> Option<SimInstant> {
+        self.slots.read().get(key).map(|s| s.last_access)
+    }
+
+    // ---- failure / degradation injection ---------------------------------
+
+    /// Take the service down (ops fail with [`TierError::Down`]). Volatile
+    /// tiers lose their contents, like a crashed Memcached node.
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::Release);
+        if down && self.spec.kind.volatile() {
+            self.wipe();
+        }
+    }
+
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::Acquire)
+    }
+
+    /// Multiply all native latencies by `factor` (≥ 1.0): a "poorly
+    /// performing data tier" for dynamic policies to react to.
+    pub fn set_degraded(&self, factor: f64) {
+        *self.degraded.lock() = factor.max(1.0);
+    }
+
+    /// Drop all contents (volatile-tier crash, or test reset).
+    pub fn wipe(&self) {
+        let now = self.clock.now();
+        self.slots.write().clear();
+        self.used.store(0, Ordering::Relaxed);
+        self.meter.set_bytes(0, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::TierKind;
+    use wiera_sim::{Clock, ManualClock};
+
+    fn mem(capacity: u64) -> Arc<SimTier> {
+        SimTier::new(TierSpec::of(TierKind::Memcached), capacity, ManualClock::new(), 1)
+    }
+
+    fn ssd(capacity: u64) -> Arc<SimTier> {
+        SimTier::new(TierSpec::of(TierKind::EbsSsd), capacity, ManualClock::new(), 1)
+    }
+
+    fn payload(n: usize) -> Bytes {
+        Bytes::from(vec![0xABu8; n])
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let t = ssd(1 << 20);
+        let lat = t.put("k1", payload(4096)).unwrap();
+        assert!(lat > SimDuration::ZERO);
+        let (data, glat) = t.get("k1").unwrap();
+        assert_eq!(data.len(), 4096);
+        assert!(glat > SimDuration::ZERO);
+        assert_eq!(t.used_bytes(), 4096);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn get_missing_is_not_found() {
+        let t = ssd(1 << 20);
+        assert!(matches!(t.get("nope"), Err(TierError::NotFound(_))));
+    }
+
+    #[test]
+    fn overwrite_replaces_and_accounts() {
+        let t = ssd(1 << 20);
+        t.put("k", payload(1000)).unwrap();
+        t.put("k", payload(500)).unwrap();
+        assert_eq!(t.used_bytes(), 500);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn delete_is_idempotent() {
+        let t = ssd(1 << 20);
+        t.put("k", payload(100)).unwrap();
+        t.delete("k").unwrap();
+        assert_eq!(t.used_bytes(), 0);
+        t.delete("k").unwrap(); // no error
+        assert!(!t.contains("k"));
+    }
+
+    #[test]
+    fn durable_tier_rejects_when_full() {
+        let t = ssd(1000);
+        t.put("a", payload(800)).unwrap();
+        match t.put("b", payload(400)) {
+            Err(TierError::Full { used, need, .. }) => {
+                assert_eq!(used, 800);
+                assert_eq!(need, 400);
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_object_rejected() {
+        let t = ssd(1000);
+        assert!(matches!(t.put("a", payload(2000)), Err(TierError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn volatile_tier_evicts_lru() {
+        let clock = ManualClock::new();
+        let t = SimTier::new(TierSpec::of(TierKind::Memcached), 1000, clock.clone(), 1);
+        t.put("old", payload(400)).unwrap();
+        clock.advance(SimDuration::from_secs(1));
+        t.put("newer", payload(400)).unwrap();
+        clock.advance(SimDuration::from_secs(1));
+        // Touch "old" so "newer" becomes the LRU victim.
+        t.get("old").unwrap();
+        clock.advance(SimDuration::from_secs(1));
+        t.put("third", payload(400)).unwrap();
+        assert!(t.contains("old"));
+        assert!(!t.contains("newer"), "LRU victim should be evicted");
+        assert!(t.contains("third"));
+        assert_eq!(t.stats.snapshot().evictions, 1);
+    }
+
+    #[test]
+    fn latency_ordering_matches_fig9() {
+        let clock = ManualClock::new();
+        let mk = |k: TierKind| SimTier::new(TierSpec::of(k), 1 << 30, clock.clone(), 7);
+        let tiers = [
+            mk(TierKind::EbsSsd),
+            mk(TierKind::EbsHdd),
+            mk(TierKind::S3),
+            mk(TierKind::S3Ia),
+        ];
+        let mut means = Vec::new();
+        for t in &tiers {
+            let mut total = SimDuration::ZERO;
+            for i in 0..200 {
+                let key = format!("k{i}");
+                t.put(&key, payload(4096)).unwrap();
+                let (_, lat) = t.get(&key).unwrap();
+                total += lat;
+            }
+            means.push(total.as_millis_f64() / 200.0);
+        }
+        assert!(means[0] < means[1], "SSD {} < HDD {}", means[0], means[1]);
+        assert!(means[1] < means[2], "HDD {} < S3 {}", means[1], means[2]);
+        assert!(means[2] <= means[3] * 1.2, "S3 {} ~<= S3-IA {}", means[2], means[3]);
+    }
+
+    #[test]
+    fn page_cache_short_circuits_reads() {
+        let clock = ManualClock::new();
+        let spec = TierSpec::of(TierKind::EbsHdd).with_page_cache(true);
+        let t = SimTier::new(spec, 1 << 20, clock, 3);
+        t.put("k", payload(4096)).unwrap();
+        let (_, lat) = t.get("k").unwrap();
+        assert!(lat.as_millis_f64() < 1.0, "cached read {lat} should be <1ms");
+        assert_eq!(t.stats.snapshot().cache_hits, 1);
+    }
+
+    #[test]
+    fn iops_cap_throttles_throughput() {
+        let clock = ManualClock::new();
+        let t = SimTier::new(TierSpec::of(TierKind::AzureDisk), 1 << 30, clock.clone(), 5);
+        // Issue 100 back-to-back ops at the same modeled instant: the token
+        // bucket must spread them at 1/500s intervals, so total queue delay
+        // for the Nth op approaches N * 2ms.
+        let mut last = SimDuration::ZERO;
+        for i in 0..100 {
+            let lat = t.put(&format!("k{i}"), payload(128)).unwrap();
+            last = lat;
+        }
+        // 99 ops ahead in the queue → ≥ 99 * 2ms of queueing.
+        assert!(last.as_millis_f64() > 99.0 * 2.0, "100th op latency {last}");
+    }
+
+    #[test]
+    fn down_tier_fails_and_volatile_loses_data() {
+        let t = mem(1 << 20);
+        t.put("k", payload(10)).unwrap();
+        t.set_down(true);
+        assert!(matches!(t.get("k"), Err(TierError::Down)));
+        assert!(matches!(t.put("x", payload(1)), Err(TierError::Down)));
+        t.set_down(false);
+        assert!(!t.contains("k"), "memcached crash loses contents");
+    }
+
+    #[test]
+    fn durable_tier_survives_downtime() {
+        let t = ssd(1 << 20);
+        t.put("k", payload(10)).unwrap();
+        t.set_down(true);
+        t.set_down(false);
+        assert!(t.contains("k"));
+    }
+
+    #[test]
+    fn degradation_multiplies_latency() {
+        let t = ssd(1 << 20);
+        t.put("k", payload(4096)).unwrap();
+        let (_, base) = t.get("k").unwrap();
+        t.set_degraded(10.0);
+        let (_, slow) = t.get("k").unwrap();
+        assert!(slow.as_millis_f64() > base.as_millis_f64() * 3.0, "{base} -> {slow}");
+    }
+
+    #[test]
+    fn filled_fraction_tracks_usage() {
+        let t = ssd(1000);
+        assert_eq!(t.filled_fraction(), 0.0);
+        t.put("a", payload(500)).unwrap();
+        assert!((t.filled_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_counts_requests() {
+        let clock = ManualClock::new();
+        let t = SimTier::new(TierSpec::of(TierKind::S3), 1 << 20, clock.clone(), 1);
+        t.put("k", payload(10)).unwrap();
+        t.get("k").unwrap();
+        t.get("k").unwrap();
+        let u = t.meter().usage(clock.now());
+        assert_eq!(u.puts, 1);
+        assert_eq!(u.gets, 2);
+    }
+
+    #[test]
+    fn last_access_updates_on_get() {
+        let clock = ManualClock::new();
+        let t = SimTier::new(TierSpec::of(TierKind::EbsSsd), 1 << 20, clock.clone(), 1);
+        t.put("k", payload(10)).unwrap();
+        let t1 = t.last_access("k").unwrap();
+        clock.advance(SimDuration::from_hours(5));
+        t.get("k").unwrap();
+        let t2 = t.last_access("k").unwrap();
+        assert_eq!(t2.elapsed_since(t1), SimDuration::from_hours(5));
+        assert_eq!(t.last_access("missing"), None);
+    }
+}

@@ -1,0 +1,136 @@
+//! The storage-tier vocabulary used across the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A cloud storage service kind. One [`crate::SimTier`] instantiates one of
+/// these inside a particular data center.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TierKind {
+    /// ElastiCache / Memcached: in-memory, volatile, fastest.
+    Memcached,
+    /// EBS gp2 (general-purpose SSD).
+    EbsSsd,
+    /// EBS magnetic (HDD).
+    EbsHdd,
+    /// S3 standard object storage.
+    S3,
+    /// S3 Infrequent Access: cheapest always-online storage, priciest requests.
+    S3Ia,
+    /// Glacier: archival; retrievals take hours.
+    Glacier,
+    /// Azure VM local disk (throttled to 500 IOPS regardless of VM size, §5.4.1).
+    AzureDisk,
+    /// Azure Blob storage (S3 analogue, for cross-provider policies).
+    AzureBlob,
+}
+
+impl TierKind {
+    pub const ALL: [TierKind; 8] = [
+        TierKind::Memcached,
+        TierKind::EbsSsd,
+        TierKind::EbsHdd,
+        TierKind::S3,
+        TierKind::S3Ia,
+        TierKind::Glacier,
+        TierKind::AzureDisk,
+        TierKind::AzureBlob,
+    ];
+
+    /// Does the tier lose its contents when the hosting VM dies?
+    pub fn volatile(self) -> bool {
+        matches!(self, TierKind::Memcached)
+    }
+
+    /// Durability as "number of nines" (9 → 99.999999999%).
+    pub fn durability_nines(self) -> u8 {
+        match self {
+            TierKind::Memcached => 0,
+            TierKind::EbsSsd | TierKind::EbsHdd | TierKind::AzureDisk => 5,
+            TierKind::S3 | TierKind::S3Ia | TierKind::AzureBlob => 11,
+            TierKind::Glacier => 11,
+        }
+    }
+
+    /// Archival tiers are excluded from synchronous read paths.
+    pub fn archival(self) -> bool {
+        matches!(self, TierKind::Glacier)
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            TierKind::Memcached => "Memcached",
+            TierKind::EbsSsd => "EBS-SSD",
+            TierKind::EbsHdd => "EBS-HDD",
+            TierKind::S3 => "S3",
+            TierKind::S3Ia => "S3-IA",
+            TierKind::Glacier => "Glacier",
+            TierKind::AzureDisk => "AzureDisk",
+            TierKind::AzureBlob => "AzureBlob",
+        }
+    }
+}
+
+impl fmt::Display for TierKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl FromStr for TierKind {
+    type Err = String;
+
+    /// Parse the names used in policy specifications. Accepts both this
+    /// crate's canonical names and the aliases the paper's figures use
+    /// (`LocalMemory`, `LocalDisk`, `CheapestArchival`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_ascii_lowercase().replace(['-', '_'], "");
+        Ok(match norm.as_str() {
+            "memcached" | "elasticache" | "localmemory" | "memory" => TierKind::Memcached,
+            "ebsssd" | "ebs" | "ssd" | "localdisk" | "disk" => TierKind::EbsSsd,
+            "ebshdd" | "hdd" | "magnetic" => TierKind::EbsHdd,
+            "s3" => TierKind::S3,
+            "s3ia" | "s3infrequent" => TierKind::S3Ia,
+            "glacier" | "cheapestarchival" | "archival" => TierKind::Glacier,
+            "azuredisk" => TierKind::AzureDisk,
+            "azureblob" => TierKind::AzureBlob,
+            _ => return Err(format!("unknown storage tier '{s}'")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_memory_is_volatile() {
+        for k in TierKind::ALL {
+            assert_eq!(k.volatile(), k == TierKind::Memcached, "{k}");
+        }
+    }
+
+    #[test]
+    fn object_stores_are_most_durable() {
+        assert!(TierKind::S3.durability_nines() > TierKind::EbsSsd.durability_nines());
+        assert!(TierKind::EbsSsd.durability_nines() > TierKind::Memcached.durability_nines());
+    }
+
+    #[test]
+    fn parse_canonical_and_paper_aliases() {
+        assert_eq!("Memcached".parse::<TierKind>().unwrap(), TierKind::Memcached);
+        assert_eq!("LocalMemory".parse::<TierKind>().unwrap(), TierKind::Memcached);
+        assert_eq!("LocalDisk".parse::<TierKind>().unwrap(), TierKind::EbsSsd);
+        assert_eq!("EBS".parse::<TierKind>().unwrap(), TierKind::EbsSsd);
+        assert_eq!("S3-IA".parse::<TierKind>().unwrap(), TierKind::S3Ia);
+        assert_eq!("CheapestArchival".parse::<TierKind>().unwrap(), TierKind::Glacier);
+        assert!("floppy".parse::<TierKind>().is_err());
+    }
+
+    #[test]
+    fn glacier_is_archival() {
+        assert!(TierKind::Glacier.archival());
+        assert!(!TierKind::S3Ia.archival());
+    }
+}

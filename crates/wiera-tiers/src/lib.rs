@@ -1,0 +1,27 @@
+//! Simulated cloud storage tiers.
+//!
+//! The paper composes real cloud storage services — ElastiCache/Memcached,
+//! EBS (SSD and HDD), S3, S3-Infrequent-Access, Glacier, and Azure local
+//! disks — each with its own latency, durability, price, and throttling
+//! behaviour. This crate reproduces those services as in-process backends
+//! whose *characteristics* are calibrated to the paper's own measurements
+//! (Fig. 9 latencies, Table 4 prices, Azure's 500-IOPS disk cap in Fig. 11):
+//!
+//! * [`kind`] — the tier vocabulary ([`TierKind`]).
+//! * [`spec`] — per-kind performance/durability model ([`TierSpec`]),
+//!   including the OS-page-cache effect the paper notes for EBS.
+//! * [`cost`] — Table 4's price book, a running [`CostMeter`], and the pure
+//!   [`cost::monthly_cost_gb`] arithmetic behind the §5.3 savings claims.
+//! * [`backend`] — [`SimTier`], the live backend: stores real bytes, samples
+//!   modeled latencies, enforces capacity and IOPS caps, meters cost, and
+//!   supports failure/degradation injection.
+
+pub mod backend;
+pub mod cost;
+pub mod kind;
+pub mod spec;
+
+pub use backend::{SimTier, TierError, TierResult, TierStats};
+pub use cost::{CostMeter, CostReport, CostSpec};
+pub use kind::TierKind;
+pub use spec::TierSpec;

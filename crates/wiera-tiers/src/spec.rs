@@ -1,0 +1,141 @@
+//! Per-kind performance model.
+//!
+//! Latency constants are calibrated so that the Fig. 9 experiment (4 KB
+//! operations against each tier from within US-East) reproduces the paper's
+//! ordering and rough magnitudes: EBS-SSD fastest among durable tiers,
+//! EBS-HDD in between, S3 slowest, S3-IA like S3 with pricier requests —
+//! and "<1 ms regardless of EBS type" when the OS page cache is warm.
+
+use crate::cost::CostSpec;
+use crate::kind::TierKind;
+use serde::{Deserialize, Serialize};
+use wiera_sim::LatencyDist;
+
+/// Performance + cost model for one tier kind.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TierSpec {
+    pub kind: TierKind,
+    /// Per-operation latency for reads (excludes size-dependent transfer).
+    pub get_latency: LatencyDist,
+    /// Per-operation latency for writes.
+    pub put_latency: LatencyDist,
+    /// Size-dependent cost, milliseconds per MiB transferred.
+    pub per_mib_ms: f64,
+    /// Hard cap on operations per second (token-bucket), if the service
+    /// throttles — Azure disks are capped at 500 IOPS (§5.4.1 / Fig. 11).
+    pub iops_cap: Option<f64>,
+    /// When true, reads served from the OS page cache short-circuit the
+    /// native latency. The paper disables this with O_DIRECT for SysBench
+    /// and MySQL, and notes "<1 ms regardless of EBS type" when it is on.
+    pub page_cache: bool,
+    /// Latency of a page-cache hit.
+    pub cache_hit_latency: LatencyDist,
+    pub cost: CostSpec,
+}
+
+impl TierSpec {
+    /// The calibrated default model for a tier kind.
+    pub fn of(kind: TierKind) -> TierSpec {
+        let (get_ms, put_ms, per_mib_ms, iops_cap) = match kind {
+            // In-memory: sub-millisecond, fast transfer.
+            TierKind::Memcached => (0.35, 0.35, 2.0, None),
+            // EBS gp2: ~1.5 ms native access, 125 MiB/s.
+            TierKind::EbsSsd => (1.5, 1.8, 8.0, None),
+            // EBS magnetic: ~9 ms seek-bound.
+            TierKind::EbsHdd => (9.0, 10.0, 12.0, None),
+            // S3: tens of ms per request.
+            TierKind::S3 => (24.0, 38.0, 25.0, None),
+            // S3-IA: same service path as S3, slightly slower.
+            TierKind::S3Ia => (28.0, 42.0, 25.0, None),
+            // Glacier: puts are S3-like, retrieval takes hours.
+            TierKind::Glacier => (3.5 * 3600.0 * 1000.0, 45.0, 25.0, None),
+            // Azure local disk: SSD-class latency, hard 500 IOPS cap.
+            TierKind::AzureDisk => (1.6, 1.9, 8.0, Some(500.0)),
+            // Azure Blob: S3-class.
+            TierKind::AzureBlob => (26.0, 40.0, 25.0, None),
+        };
+        TierSpec {
+            kind,
+            get_latency: LatencyDist::storage(get_ms),
+            put_latency: LatencyDist::storage(put_ms),
+            per_mib_ms,
+            iops_cap,
+            page_cache: false,
+            cache_hit_latency: LatencyDist::storage(0.2),
+            cost: CostSpec::of(kind),
+        }
+    }
+
+    /// Enable the OS page cache (the default EBS behaviour when the VM has
+    /// free memory; the paper's experiments throttle memory to disable it).
+    pub fn with_page_cache(mut self, enabled: bool) -> Self {
+        self.page_cache = enabled;
+        self
+    }
+
+    /// Typical (median) latency for a `bytes`-sized read, ignoring caching
+    /// and throttling. Used for documentation and planning, not simulation.
+    pub fn typical_get_ms(&self, bytes: u64) -> f64 {
+        self.get_latency.typical_ms() + self.per_mib_ms * bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    pub fn typical_put_ms(&self, bytes: u64) -> f64 {
+        self.put_latency.typical_ms() + self.per_mib_ms * bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 9's ordering: SSD < HDD < S3 ≤ S3-IA for 4 KB operations.
+    #[test]
+    fn fig9_latency_ordering() {
+        let b = 4096;
+        let ssd = TierSpec::of(TierKind::EbsSsd).typical_get_ms(b);
+        let hdd = TierSpec::of(TierKind::EbsHdd).typical_get_ms(b);
+        let s3 = TierSpec::of(TierKind::S3).typical_get_ms(b);
+        let s3ia = TierSpec::of(TierKind::S3Ia).typical_get_ms(b);
+        assert!(ssd < hdd && hdd < s3 && s3 <= s3ia, "{ssd} {hdd} {s3} {s3ia}");
+    }
+
+    #[test]
+    fn memcached_is_fastest() {
+        let b = 4096;
+        let mem = TierSpec::of(TierKind::Memcached).typical_get_ms(b);
+        for k in TierKind::ALL {
+            if k != TierKind::Memcached {
+                assert!(mem < TierSpec::of(k).typical_get_ms(b), "{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn glacier_reads_take_hours() {
+        let g = TierSpec::of(TierKind::Glacier);
+        assert!(g.typical_get_ms(4096) > 3600.0 * 1000.0);
+        // but writes are cheap
+        assert!(g.typical_put_ms(4096) < 100.0);
+    }
+
+    #[test]
+    fn azure_disk_is_capped_at_500_iops() {
+        assert_eq!(TierSpec::of(TierKind::AzureDisk).iops_cap, Some(500.0));
+        assert_eq!(TierSpec::of(TierKind::EbsSsd).iops_cap, None);
+    }
+
+    #[test]
+    fn page_cache_hit_is_submillisecond() {
+        let s = TierSpec::of(TierKind::EbsSsd).with_page_cache(true);
+        assert!(s.page_cache);
+        assert!(s.cache_hit_latency.typical_ms() < 1.0);
+    }
+
+    #[test]
+    fn transfer_component_scales() {
+        let s = TierSpec::of(TierKind::S3);
+        let small = s.typical_get_ms(4096);
+        let big = s.typical_get_ms(100 * 1024 * 1024);
+        assert!(big > small + 2000.0, "100MiB from S3 should add seconds");
+    }
+}

@@ -1,0 +1,110 @@
+//! The §5.2 active-client model.
+//!
+//! "10 clients are running per each region and the number of active clients
+//! are modeled with a normal distribution to mimic the workload in
+//! different regions of the world. The mean of the normal distribution is
+//! 7.5 minutes and variance is set to 5 minutes. The number of active
+//! clients will increase and decrease in the following order: Asia East,
+//! EU West and US West."
+
+use wiera_sim::{SimDuration, SimInstant};
+
+/// Gaussian activity curve for one region's client population.
+#[derive(Debug, Clone)]
+pub struct ActiveSchedule {
+    pub max_clients: usize,
+    /// When this region's activity peaks.
+    pub peak: SimInstant,
+    /// Spread of the activity bell.
+    pub sigma: SimDuration,
+}
+
+impl ActiveSchedule {
+    pub fn new(max_clients: usize, peak: SimInstant, sigma: SimDuration) -> Self {
+        ActiveSchedule { max_clients, peak, sigma }
+    }
+
+    /// The paper's parameters: peak at `offset + 7.5 min`, σ derived from a
+    /// "variance of 5 minutes" (read as σ = 5 min for a visible bell).
+    pub fn paper(max_clients: usize, offset: SimDuration) -> Self {
+        ActiveSchedule {
+            max_clients,
+            peak: SimInstant::EPOCH + offset + SimDuration::from_secs(450),
+            sigma: SimDuration::from_mins(5),
+        }
+    }
+
+    /// Staggered schedules in the paper's order (Asia-East first, then
+    /// EU-West, then US-West), one peak every `stagger`.
+    pub fn staggered(max_clients: usize, regions: usize, stagger: SimDuration) -> Vec<Self> {
+        (0..regions)
+            .map(|i| Self::paper(max_clients, stagger * i as u64))
+            .collect()
+    }
+
+    /// How many clients are active at time `t`.
+    pub fn active_at(&self, t: SimInstant) -> usize {
+        let sigma_s = self.sigma.as_secs_f64().max(1e-9);
+        let dt = if t >= self.peak {
+            t.elapsed_since(self.peak).as_secs_f64()
+        } else {
+            self.peak.elapsed_since(t).as_secs_f64()
+        };
+        let f = (-0.5 * (dt / sigma_s).powi(2)).exp();
+        (self.max_clients as f64 * f).round() as usize
+    }
+
+    /// Is client index `i` (0-based) active at `t`? Clients activate in
+    /// index order, so client 0 is active the longest.
+    pub fn client_active(&self, i: usize, t: SimInstant) -> bool {
+        i < self.active_at(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mins(m: u64) -> SimInstant {
+        SimInstant::EPOCH + SimDuration::from_mins(m)
+    }
+
+    #[test]
+    fn bell_peaks_at_peak() {
+        let s = ActiveSchedule::paper(10, SimDuration::ZERO);
+        let at_peak = s.active_at(s.peak);
+        assert_eq!(at_peak, 10);
+        assert!(s.active_at(mins(40)) < 3, "long after the peak, few clients");
+        // Symmetric-ish rise and fall.
+        let before = s.active_at(s.peak - SimDuration::from_mins(5));
+        let after = s.active_at(s.peak + SimDuration::from_mins(5));
+        assert_eq!(before, after);
+        assert!(before < 10 && before > 0);
+    }
+
+    #[test]
+    fn staggered_order_matches_paper() {
+        let scheds = ActiveSchedule::staggered(10, 3, SimDuration::from_mins(10));
+        // Asia peaks first, then EU, then US.
+        assert!(scheds[0].peak < scheds[1].peak);
+        assert!(scheds[1].peak < scheds[2].peak);
+        // At Asia's peak, Asia dominates.
+        let t = scheds[0].peak;
+        assert!(scheds[0].active_at(t) > scheds[1].active_at(t));
+        assert!(scheds[1].active_at(t) > scheds[2].active_at(t));
+        // At US's peak, the order is reversed.
+        let t = scheds[2].peak;
+        assert!(scheds[2].active_at(t) > scheds[0].active_at(t));
+    }
+
+    #[test]
+    fn client_activation_is_ordered() {
+        let s = ActiveSchedule::paper(10, SimDuration::ZERO);
+        let t = s.peak + SimDuration::from_mins(5);
+        let active = s.active_at(t);
+        assert!(active > 0 && active < 10);
+        for i in 0..10 {
+            assert_eq!(s.client_active(i, t), i < active);
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Closed-loop client drivers.
+
+use crate::ledger::Ledger;
+use crate::spec::{OpKind, WorkloadSpec};
+use bytes::Bytes;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use wiera_sim::{LatencyRecorder, SharedClock, SimDuration, SimRng};
+
+/// What one operation observed.
+#[derive(Debug, Clone)]
+pub struct OpSample {
+    pub latency: SimDuration,
+    pub version: u64,
+}
+
+/// Anything a driver can load: `WieraClient` implements this, and the app
+/// substrates provide their own adapters.
+pub trait KvStore: Send + Sync {
+    fn kv_put(&self, key: &str, value: Bytes) -> Result<OpSample, String>;
+    fn kv_get(&self, key: &str) -> Result<OpSample, String>;
+    /// Get that also returns the object bytes (used by the file layer).
+    fn kv_get_value(&self, key: &str) -> Result<(Bytes, OpSample), String>;
+}
+
+impl KvStore for wiera::client::WieraClient {
+    fn kv_put(&self, key: &str, value: Bytes) -> Result<OpSample, String> {
+        let view = self.put(key, value).map_err(|e| e.to_string())?;
+        Ok(OpSample { latency: view.latency, version: view.version })
+    }
+
+    fn kv_get(&self, key: &str) -> Result<OpSample, String> {
+        let view = self.get(key).map_err(|e| e.to_string())?;
+        Ok(OpSample { latency: view.latency, version: view.version })
+    }
+
+    fn kv_get_value(&self, key: &str) -> Result<(Bytes, OpSample), String> {
+        let view = self.get(key).map_err(|e| e.to_string())?;
+        let sample = OpSample { latency: view.latency, version: view.version };
+        Ok((view.value.unwrap_or_default(), sample))
+    }
+}
+
+/// Aggregated results of a driver run.
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    pub ops: u64,
+    pub errors: u64,
+    pub put_latency: wiera_sim::Summary,
+    pub get_latency: wiera_sim::Summary,
+    pub fresh_reads: u64,
+    pub stale_reads: u64,
+}
+
+impl DriverReport {
+    /// Fraction of reads that returned outdated data (Fig. 8's "Eventual").
+    pub fn stale_fraction(&self) -> f64 {
+        let total = self.fresh_reads + self.stale_reads;
+        if total == 0 {
+            0.0
+        } else {
+            self.stale_reads as f64 / total as f64
+        }
+    }
+}
+
+/// A closed-loop client issuing one operation after another, with optional
+/// modeled think time between operations.
+pub struct ClientDriver {
+    pub spec: WorkloadSpec,
+    pub ledger: Arc<Ledger>,
+    pub think: SimDuration,
+    put_rec: LatencyRecorder,
+    get_rec: LatencyRecorder,
+    ops: AtomicU64,
+    errors: AtomicU64,
+    fresh: AtomicU64,
+    stale: AtomicU64,
+}
+
+impl ClientDriver {
+    pub fn new(spec: WorkloadSpec, ledger: Arc<Ledger>, think: SimDuration) -> Arc<Self> {
+        Arc::new(ClientDriver {
+            spec,
+            ledger,
+            think,
+            put_rec: LatencyRecorder::new(),
+            get_rec: LatencyRecorder::new(),
+            ops: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            fresh: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+        })
+    }
+
+    /// Issue exactly `n` operations against `store`.
+    pub fn run_ops(&self, store: &dyn KvStore, clock: &SharedClock, rng: &mut SimRng, n: u64) {
+        for _ in 0..n {
+            self.step(store, rng);
+            if !self.think.is_zero() {
+                clock.sleep(self.think);
+            }
+        }
+    }
+
+    /// Keep issuing operations until `stop` is set.
+    pub fn run_until(
+        &self,
+        store: &dyn KvStore,
+        clock: &SharedClock,
+        rng: &mut SimRng,
+        stop: &AtomicBool,
+    ) {
+        while !stop.load(Ordering::Acquire) {
+            self.step(store, rng);
+            if !self.think.is_zero() {
+                clock.sleep(self.think);
+            }
+        }
+    }
+
+    /// One operation: draw kind + key, execute, record.
+    pub fn step(&self, store: &dyn KvStore, rng: &mut SimRng) {
+        let kind = self.spec.next_op(rng);
+        let key = self.spec.next_key(rng);
+        match kind {
+            OpKind::Put => self.do_put(store, rng, &key),
+            OpKind::Get => self.do_get(store, &key),
+            OpKind::Rmw => {
+                self.do_get(store, &key);
+                self.do_put(store, rng, &key);
+            }
+        }
+        self.ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn do_put(&self, store: &dyn KvStore, rng: &mut SimRng, key: &str) {
+        let mut buf = vec![0u8; self.spec.value_bytes];
+        rng.fill(&mut buf);
+        match store.kv_put(key, Bytes::from(buf)) {
+            Ok(s) => {
+                self.put_rec.record(s.latency);
+                self.ledger.on_put(key, s.version);
+            }
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn do_get(&self, store: &dyn KvStore, key: &str) {
+        let expected = self.ledger.latest(key);
+        match store.kv_get(key) {
+            Ok(s) => {
+                self.get_rec.record(s.latency);
+                if expected > 0 {
+                    if Ledger::is_fresh(s.version, expected) {
+                        self.fresh.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.stale.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) => {
+                // Reading a key nobody has written yet is not an error of
+                // interest for the workload.
+                if !e.contains("not found") {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    pub fn report(&self) -> DriverReport {
+        DriverReport {
+            ops: self.ops.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            put_latency: self.put_rec.summary(),
+            get_latency: self.get_rec.summary(),
+            fresh_reads: self.fresh.load(Ordering::Relaxed),
+            stale_reads: self.stale.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Merge several drivers' reports (e.g. one per region).
+    pub fn merged_report(drivers: &[Arc<ClientDriver>]) -> DriverReport {
+        let mut put = wiera_sim::Histogram::new();
+        let mut get = wiera_sim::Histogram::new();
+        let mut ops = 0;
+        let mut errors = 0;
+        let mut fresh = 0;
+        let mut stale = 0;
+        for d in drivers {
+            put.merge(&d.put_rec.snapshot());
+            get.merge(&d.get_rec.snapshot());
+            ops += d.ops.load(Ordering::Relaxed);
+            errors += d.errors.load(Ordering::Relaxed);
+            fresh += d.fresh.load(Ordering::Relaxed);
+            stale += d.stale.load(Ordering::Relaxed);
+        }
+        DriverReport {
+            ops,
+            errors,
+            put_latency: put.summary(),
+            get_latency: get.summary(),
+            fresh_reads: fresh,
+            stale_reads: stale,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+    use wiera_sim::ManualClock;
+
+    /// A KvStore that stores locally but serves stale versions on demand.
+    struct FakeStore {
+        data: Mutex<HashMap<String, u64>>,
+        lag: u64,
+    }
+
+    impl KvStore for FakeStore {
+        fn kv_put(&self, key: &str, _value: Bytes) -> Result<OpSample, String> {
+            let mut m = self.data.lock();
+            let v = m.entry(key.to_string()).or_insert(0);
+            *v += 1;
+            Ok(OpSample { latency: SimDuration::from_millis(2), version: *v })
+        }
+
+        fn kv_get(&self, key: &str) -> Result<OpSample, String> {
+            let m = self.data.lock();
+            match m.get(key) {
+                Some(&v) => Ok(OpSample {
+                    latency: SimDuration::from_millis(1),
+                    version: v.saturating_sub(self.lag),
+                }),
+                None => Err(format!("object '{key}' not found")),
+            }
+        }
+
+        fn kv_get_value(&self, key: &str) -> Result<(Bytes, OpSample), String> {
+            self.kv_get(key).map(|s| (Bytes::new(), s))
+        }
+    }
+
+    #[test]
+    fn driver_runs_mix_and_reports() {
+        let clock: SharedClock = ManualClock::new();
+        let store = FakeStore { data: Mutex::new(HashMap::new()), lag: 0 };
+        let ledger = Arc::new(Ledger::new());
+        let driver =
+            ClientDriver::new(WorkloadSpec::ycsb_a(50, 32), ledger, SimDuration::ZERO);
+        let mut rng = SimRng::new(1);
+        driver.run_ops(&store, &clock, &mut rng, 500);
+        let r = driver.report();
+        assert_eq!(r.ops, 500);
+        assert_eq!(r.errors, 0);
+        assert!(r.put_latency.count > 150, "puts {}", r.put_latency.count);
+        assert!(r.get_latency.count > 0);
+        assert_eq!(r.stale_reads, 0, "no lag → no staleness");
+    }
+
+    #[test]
+    fn staleness_detected_with_lagging_store() {
+        let clock: SharedClock = ManualClock::new();
+        let store = FakeStore { data: Mutex::new(HashMap::new()), lag: 1 };
+        let ledger = Arc::new(Ledger::new());
+        let driver =
+            ClientDriver::new(WorkloadSpec::ycsb_a(10, 32), ledger, SimDuration::ZERO);
+        let mut rng = SimRng::new(2);
+        driver.run_ops(&store, &clock, &mut rng, 1000);
+        let r = driver.report();
+        assert!(r.stale_reads > 0, "lagging store must show stale reads");
+        assert!(r.stale_fraction() > 0.5, "every versioned read lags: {}", r.stale_fraction());
+    }
+
+    #[test]
+    fn missing_keys_are_not_errors() {
+        let clock: SharedClock = ManualClock::new();
+        let store = FakeStore { data: Mutex::new(HashMap::new()), lag: 0 };
+        let ledger = Arc::new(Ledger::new());
+        // Read-only workload on an empty store: all gets miss.
+        let driver = ClientDriver::new(WorkloadSpec::ycsb_c(10, 32), ledger, SimDuration::ZERO);
+        let mut rng = SimRng::new(3);
+        driver.run_ops(&store, &clock, &mut rng, 100);
+        assert_eq!(driver.report().errors, 0);
+    }
+
+    #[test]
+    fn merged_report_combines() {
+        let clock: SharedClock = ManualClock::new();
+        let store = FakeStore { data: Mutex::new(HashMap::new()), lag: 0 };
+        let ledger = Arc::new(Ledger::new());
+        let d1 = ClientDriver::new(WorkloadSpec::ycsb_a(10, 32), ledger.clone(), SimDuration::ZERO);
+        let d2 = ClientDriver::new(WorkloadSpec::ycsb_a(10, 32), ledger, SimDuration::ZERO);
+        let mut rng = SimRng::new(4);
+        d1.run_ops(&store, &clock, &mut rng, 100);
+        d2.run_ops(&store, &clock, &mut rng, 100);
+        let merged = ClientDriver::merged_report(&[d1, d2]);
+        assert_eq!(merged.ops, 200);
+    }
+}

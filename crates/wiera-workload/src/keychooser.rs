@@ -1,0 +1,152 @@
+//! Request-key distributions, following YCSB's generators.
+
+use wiera_sim::SimRng;
+
+/// How a client picks which record to operate on.
+#[derive(Debug, Clone)]
+pub enum KeyChooser {
+    /// Every record equally likely.
+    Uniform { records: usize },
+    /// YCSB's zipfian generator: popularity follows a Zipf law with
+    /// exponent `theta` (YCSB default 0.99). "Huge fraction of data is
+    /// accessed infrequently or not at all" — §5.3's Facebook observation.
+    Zipfian { records: usize, theta: f64, zeta_n: f64 },
+    /// Skewed toward the most recently inserted records.
+    Latest { records: usize, theta: f64, zeta_n: f64 },
+}
+
+fn zeta(n: usize, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+impl KeyChooser {
+    pub fn uniform(records: usize) -> Self {
+        KeyChooser::Uniform { records: records.max(1) }
+    }
+
+    pub fn zipfian(records: usize) -> Self {
+        Self::zipfian_theta(records, 0.99)
+    }
+
+    pub fn zipfian_theta(records: usize, theta: f64) -> Self {
+        let n = records.max(1);
+        KeyChooser::Zipfian { records: n, theta, zeta_n: zeta(n, theta) }
+    }
+
+    pub fn latest(records: usize) -> Self {
+        let n = records.max(1);
+        KeyChooser::Latest { records: n, theta: 0.99, zeta_n: zeta(n, theta_default()) }
+    }
+
+    pub fn records(&self) -> usize {
+        match self {
+            KeyChooser::Uniform { records }
+            | KeyChooser::Zipfian { records, .. }
+            | KeyChooser::Latest { records, .. } => *records,
+        }
+    }
+
+    /// Draw a record index in `[0, records)`. Rank 0 is the most popular
+    /// (zipfian) / most recent (latest).
+    pub fn next(&self, rng: &mut SimRng) -> usize {
+        match self {
+            KeyChooser::Uniform { records } => rng.gen_range_usize(0, *records),
+            KeyChooser::Zipfian { records, theta, zeta_n }
+            | KeyChooser::Latest { records, theta, zeta_n } => {
+                zipf_sample(rng, *records, *theta, *zeta_n)
+            }
+        }
+    }
+}
+
+fn theta_default() -> f64 {
+    0.99
+}
+
+/// Inverse-CDF zipf sampling (the YCSB algorithm, simplified).
+fn zipf_sample(rng: &mut SimRng, n: usize, theta: f64, zeta_n: f64) -> usize {
+    let u = rng.gen_range_f64(0.0, 1.0);
+    let target = u * zeta_n;
+    let mut acc = 0.0;
+    // Popular ranks are hit with high probability, so the linear scan's
+    // expected cost is tiny; fall through to the tail rarely.
+    for i in 0..n {
+        acc += 1.0 / ((i + 1) as f64).powf(theta);
+        if acc >= target {
+            return i;
+        }
+    }
+    n - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_the_space() {
+        let c = KeyChooser::uniform(100);
+        let mut rng = SimRng::new(1);
+        let mut seen = vec![false; 100];
+        for _ in 0..5000 {
+            seen[c.next(&mut rng)] = true;
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert!(covered > 95, "covered {covered}/100");
+    }
+
+    #[test]
+    fn zipfian_is_heavily_skewed() {
+        let c = KeyChooser::zipfian(1000);
+        let mut rng = SimRng::new(2);
+        let mut counts = vec![0usize; 1000];
+        let draws = 20_000;
+        for _ in 0..draws {
+            counts[c.next(&mut rng)] += 1;
+        }
+        let top10: usize = counts[..10].iter().sum();
+        assert!(
+            top10 as f64 > draws as f64 * 0.3,
+            "top-10 records should take >30% of accesses, got {top10}/{draws}"
+        );
+        // And a long cold tail: the bottom half of the records carries only
+        // a small share of accesses — the premise of §5.3's cold-data policy.
+        let bottom_half: usize = counts[500..].iter().sum();
+        assert!(
+            (bottom_half as f64) < draws as f64 * 0.25,
+            "bottom half took {bottom_half}/{draws}"
+        );
+    }
+
+    #[test]
+    fn zipf_rank_ordering() {
+        let c = KeyChooser::zipfian(100);
+        let mut rng = SimRng::new(3);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[c.next(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[50]);
+    }
+
+    #[test]
+    fn draws_stay_in_range() {
+        for c in [KeyChooser::uniform(7), KeyChooser::zipfian(7), KeyChooser::latest(7)] {
+            let mut rng = SimRng::new(4);
+            for _ in 0..1000 {
+                assert!(c.next(&mut rng) < 7);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = KeyChooser::zipfian(500);
+        let mut a = SimRng::new(9);
+        let mut b = SimRng::new(9);
+        for _ in 0..100 {
+            assert_eq!(c.next(&mut a), c.next(&mut b));
+        }
+    }
+}

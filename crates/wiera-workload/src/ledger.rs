@@ -1,0 +1,71 @@
+//! Staleness ground truth.
+//!
+//! Fig. 8 reports "the chance that the clients will see the latest data
+//! (Strong) and outdated data (Eventual)". To measure it we keep a global
+//! ledger of the highest version ever *acknowledged* for each key; a read
+//! that returns a lower version than the ledger held when the read started
+//! observed outdated data.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Global (cross-client) version ledger.
+#[derive(Default)]
+pub struct Ledger {
+    latest: Mutex<HashMap<String, u64>>,
+}
+
+impl Ledger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an acknowledged write.
+    pub fn on_put(&self, key: &str, version: u64) {
+        let mut m = self.latest.lock();
+        let e = m.entry(key.to_string()).or_insert(0);
+        if version > *e {
+            *e = version;
+        }
+    }
+
+    /// Highest acked version for `key` (0 if never written).
+    pub fn latest(&self, key: &str) -> u64 {
+        self.latest.lock().get(key).copied().unwrap_or(0)
+    }
+
+    /// Was a read returning `seen` fresh, given the ledger state sampled at
+    /// read start (`expected`)?
+    pub fn is_fresh(seen: u64, expected: u64) -> bool {
+        seen >= expected
+    }
+
+    pub fn tracked_keys(&self) -> usize {
+        self.latest.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_tracks_monotone_max() {
+        let l = Ledger::new();
+        assert_eq!(l.latest("k"), 0);
+        l.on_put("k", 3);
+        l.on_put("k", 2); // lower ack never regresses the ledger
+        assert_eq!(l.latest("k"), 3);
+        l.on_put("k", 5);
+        assert_eq!(l.latest("k"), 5);
+        assert_eq!(l.tracked_keys(), 1);
+    }
+
+    #[test]
+    fn freshness_rule() {
+        assert!(Ledger::is_fresh(5, 5));
+        assert!(Ledger::is_fresh(6, 5), "newer than expected is fresh");
+        assert!(!Ledger::is_fresh(4, 5));
+        assert!(Ledger::is_fresh(0, 0), "unwritten key reads are fresh");
+    }
+}

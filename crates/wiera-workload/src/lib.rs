@@ -1,0 +1,31 @@
+//! Workload generation — the YCSB stand-in plus the paper's custom drivers.
+//!
+//! §5 generates client load with the Yahoo Cloud Serving Benchmark and "our
+//! own benchmarks". This crate reproduces the pieces the evaluation uses:
+//!
+//! * [`keychooser`] — YCSB's request distributions: uniform, zipfian
+//!   (Facebook-style skew, §3.3.3/§5.3) and latest.
+//! * [`spec`] — workload mixes: the standard YCSB A–D/F presets plus the
+//!   read-mostly (95 % get / 5 % put) mix §5.2 calls "workload A".
+//! * [`ledger`] — the staleness ground truth: tracks the globally latest
+//!   acked version per key so Fig. 8's "saw latest (Strong) vs outdated
+//!   (Eventual)" percentages can be measured.
+//! * [`driver`] — closed-loop client drivers against any [`KvStore`]
+//!   (implemented for `WieraClient`), with latency recording and staleness
+//!   probes.
+//! * [`diurnal`] — the §5.2 active-client model: per-region client counts
+//!   following a normal distribution over time, peaks staggered
+//!   Asia-East → EU-West → US-West "to mimic the workload in different
+//!   regions of the world".
+
+pub mod diurnal;
+pub mod driver;
+pub mod keychooser;
+pub mod ledger;
+pub mod spec;
+
+pub use diurnal::ActiveSchedule;
+pub use driver::{ClientDriver, DriverReport, KvStore, OpSample};
+pub use keychooser::KeyChooser;
+pub use ledger::Ledger;
+pub use spec::{OpKind, WorkloadSpec};

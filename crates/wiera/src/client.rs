@@ -1,0 +1,125 @@
+//! The application-side client handle.
+//!
+//! §4.1 step 8: "the application can connect to the closest instance
+//! (placed at the head of the list) and send requests as in Tiera", and
+//! §4.4: "if the application observes that the closest instance is down
+//! then it tries to send requests to the second closest instance, and so
+//! on". Applications stay *unmodified*: this is the only integration point.
+
+use crate::msg::DataMsg;
+use crate::replica::{app_rpc, AppError, OpView};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::sync::Arc;
+use wiera_net::{Mesh, NodeId, Region};
+
+/// An application's connection to a Wiera deployment.
+pub struct WieraClient {
+    mesh: Arc<Mesh<DataMsg>>,
+    /// The application's own address (its region determines routing).
+    pub me: NodeId,
+    /// Candidate replicas, closest first.
+    replicas: RwLock<Vec<NodeId>>,
+}
+
+impl WieraClient {
+    /// Connect from `region`, ordering `replicas` closest-first by base RTT.
+    pub fn connect(
+        mesh: Arc<Mesh<DataMsg>>,
+        region: Region,
+        name: impl Into<String>,
+        mut replicas: Vec<NodeId>,
+    ) -> Arc<Self> {
+        replicas.sort_by(|a, b| {
+            let ra = mesh.fabric.base_rtt_ms(region, a.region);
+            let rb = mesh.fabric.base_rtt_ms(region, b.region);
+            ra.partial_cmp(&rb).unwrap()
+        });
+        Arc::new(WieraClient {
+            mesh,
+            me: NodeId::new(region, name.into()),
+            replicas: RwLock::new(replicas),
+        })
+    }
+
+    /// Refresh the candidate list (e.g. after `getInstances`).
+    pub fn update_replicas(&self, mut replicas: Vec<NodeId>) {
+        replicas.sort_by(|a, b| {
+            let ra = self.mesh.fabric.base_rtt_ms(self.me.region, a.region);
+            let rb = self.mesh.fabric.base_rtt_ms(self.me.region, b.region);
+            ra.partial_cmp(&rb).unwrap()
+        });
+        *self.replicas.write() = replicas;
+    }
+
+    pub fn closest(&self) -> Option<NodeId> {
+        self.replicas.read().first().cloned()
+    }
+
+    /// Issue an operation with closest-first failover: transport failures
+    /// move to the next-closest replica; semantic errors are final.
+    fn with_failover(&self, make: impl Fn() -> DataMsg) -> Result<OpView, AppError> {
+        let candidates = self.replicas.read().clone();
+        if candidates.is_empty() {
+            return Err(AppError::Remote("no replicas configured".into()));
+        }
+        let mut last: Option<AppError> = None;
+        for target in &candidates {
+            match app_rpc(&self.mesh, &self.me, target, make()) {
+                Ok(view) => return Ok(view),
+                Err(AppError::Net(e)) => last = Some(AppError::Net(e)),
+                Err(fatal @ AppError::Remote(_)) => return Err(fatal),
+            }
+        }
+        Err(last.unwrap_or_else(|| AppError::Remote("all replicas failed".into())))
+    }
+
+    pub fn put(&self, key: &str, value: Bytes) -> Result<OpView, AppError> {
+        self.with_failover(|| DataMsg::Put { key: key.to_string(), value: value.clone() })
+    }
+
+    pub fn get(&self, key: &str) -> Result<OpView, AppError> {
+        self.with_failover(|| DataMsg::Get { key: key.to_string() })
+    }
+
+    pub fn get_version(&self, key: &str, version: u64) -> Result<OpView, AppError> {
+        self.with_failover(|| DataMsg::GetVersion { key: key.to_string(), version })
+    }
+
+    pub fn get_version_list(&self, key: &str) -> Result<Vec<u64>, AppError> {
+        // The list itself comes back through the OpView translation; ask the
+        // closest replica directly for the full vector.
+        let candidates = self.replicas.read().clone();
+        let mut last: Option<AppError> = None;
+        for target in &candidates {
+            let msg = DataMsg::GetVersionList { key: key.to_string() };
+            let bytes = msg.wire_bytes();
+            match self.mesh.rpc(&self.me, target, msg, bytes, wiera_sim::SimDuration::from_secs(120))
+            {
+                Ok(r) => match r.msg {
+                    DataMsg::VersionList { versions } => return Ok(versions),
+                    DataMsg::Fail { why } => return Err(AppError::Remote(why)),
+                    other => return Err(AppError::Remote(format!("bad reply {other:?}"))),
+                },
+                Err(e) => last = Some(AppError::Net(e)),
+            }
+        }
+        Err(last.unwrap_or_else(|| AppError::Remote("no replicas configured".into())))
+    }
+
+    pub fn update(&self, key: &str, version: u64, value: Bytes) -> Result<OpView, AppError> {
+        self.with_failover(|| DataMsg::Update {
+            key: key.to_string(),
+            version,
+            value: value.clone(),
+        })
+    }
+
+    pub fn remove(&self, key: &str) -> Result<OpView, AppError> {
+        self.with_failover(|| DataMsg::Remove { key: key.to_string() })
+    }
+
+    pub fn remove_version(&self, key: &str, version: u64) -> Result<OpView, AppError> {
+        self.with_failover(|| DataMsg::RemoveVersion { key: key.to_string(), version })
+    }
+}

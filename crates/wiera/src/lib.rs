@@ -1,0 +1,80 @@
+//! Wiera — flexible multi-tiered geo-distributed cloud storage instances.
+//!
+//! This crate is the paper's primary contribution: the global layer that
+//! manages data placement, replication, and consistency *across* Tiera
+//! instances running in geo-distributed data centers, with first-class
+//! support for run-time dynamics.
+//!
+//! Architecture (paper Fig. 2):
+//!
+//! * [`controller`] — the Wiera process: the **WUI** application API
+//!   (`startInstances` / `stopInstances` / `getInstances`, Table 1), the
+//!   **Global Policy Manager** registering policies by id, and the **Tiera
+//!   Server Manager** tracking per-region Tiera servers by heartbeat.
+//! * [`server`] — a Tiera server per region, able to spawn instance replicas
+//!   on request.
+//! * [`replica`] — a Tiera instance wrapped in a mesh endpoint, running the
+//!   consistency protocols of §3.3.1: multi-primaries (global lock +
+//!   synchronous broadcast), primary-backup (forwarding, sync or async
+//!   propagation), and eventual (queued updates, last-write-wins).
+//! * [`deployment`] — the Tiera Instance Manager: one launched Wiera
+//!   instance spanning several replicas, supporting run-time consistency
+//!   switching (drain + block + swap, §3.3.2) and primary migration.
+//! * [`client`] — the application-side handle: routes to the closest
+//!   replica, fails over to the next-closest on failure (§4.4).
+//! * [`monitor`] — the dynamism machinery (§3.2.3/§4.3): latency
+//!   monitoring (switches consistency, Fig. 5(a)/Fig. 7), request
+//!   monitoring (moves the primary, Fig. 5(b)/Fig. 8), and the network
+//!   monitor that estimates strong-consistency feasibility while running
+//!   eventual.
+//!
+//! Wiera itself stays off the data path: all object bytes flow directly
+//! between clients and instances, and between instances — the controller
+//! only manages policies and membership, exactly as §4 describes.
+
+pub mod advisor;
+pub mod client;
+pub mod controller;
+pub mod deployment;
+pub mod monitor;
+pub mod msg;
+pub mod replica;
+pub mod server;
+pub mod testkit;
+
+pub use client::WieraClient;
+pub use controller::{ControllerConfig, WieraController};
+pub use deployment::{DeploymentConfig, WieraDeployment};
+pub use msg::DataMsg;
+pub use replica::ReplicaNode;
+pub use server::TieraServer;
+
+/// Map a policy-language region name to a fabric site.
+pub fn resolve_region(name: &str) -> Option<wiera_net::Region> {
+    use wiera_net::Region::*;
+    Some(match name.to_ascii_lowercase().as_str() {
+        "us-east" | "useast" | "us-east-1" => UsEast,
+        "us-west" | "uswest" | "us-west-1" => UsWest,
+        "us-west-2" | "us-west-n" => UsWest2,
+        "eu-west" | "euwest" | "europe-west" => EuWest,
+        "asia-east" | "asiaeast" | "asia-east-1" => AsiaEast,
+        "azure-us-east" | "azureuseast" => AzureUsEast,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiera_net::Region;
+
+    #[test]
+    fn region_names_resolve() {
+        assert_eq!(resolve_region("US-West"), Some(Region::UsWest));
+        assert_eq!(resolve_region("us-east"), Some(Region::UsEast));
+        assert_eq!(resolve_region("US-West-2"), Some(Region::UsWest2));
+        assert_eq!(resolve_region("Asia-East"), Some(Region::AsiaEast));
+        assert_eq!(resolve_region("Azure-US-East"), Some(Region::AzureUsEast));
+        assert_eq!(resolve_region("mars-north"), None);
+    }
+}

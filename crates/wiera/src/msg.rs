@@ -1,0 +1,204 @@
+//! Wire protocol of the Wiera system (the Thrift IDL stand-in).
+//!
+//! One message enum covers the three RPC surfaces the paper describes:
+//! application ↔ instance (PUT/GET and the Table 2 versioning API),
+//! instance ↔ instance (replication, forwarding, state sync), and
+//! controller ↔ instance (consistency switches, primary changes, health).
+
+use bytes::Bytes;
+use wiera_net::NodeId;
+use wiera_policy::ConsistencyModel;
+use wiera_sim::SimInstant;
+
+/// Everything that travels between Wiera nodes.
+#[derive(Debug, Clone)]
+pub enum DataMsg {
+    // ---- application ↔ instance (Table 2 API) ----
+    Put { key: String, value: Bytes },
+    Get { key: String },
+    GetVersion { key: String, version: u64 },
+    GetVersionList { key: String },
+    Update { key: String, version: u64, value: Bytes },
+    Remove { key: String },
+    RemoveVersion { key: String, version: u64 },
+
+    /// Successful write: the version written and where it landed.
+    PutAck { version: u64 },
+    /// Successful read.
+    GetReply { value: Bytes, version: u64, modified: SimInstant },
+    VersionList { versions: Vec<u64> },
+    Removed,
+    /// Request-level failure.
+    Fail { why: String },
+
+    // ---- instance ↔ instance ----
+    /// Propagate one version (synchronous `copy` or queued update).
+    Replicate { key: String, version: u64, modified: SimInstant, value: Bytes },
+    /// Last-write-wins outcome at the receiver (§4.2).
+    ReplicateAck { applied: bool },
+    /// A non-primary forwarding an application put to the primary.
+    ForwardPut { key: String, value: Bytes, origin: NodeId },
+    /// Full-state transfer for replica repair (§4.4).
+    SyncRequest,
+    SyncReply { objects: Vec<SyncObject> },
+
+    // ---- controller ↔ instance ----
+    /// Two-phase consistency switch (§3.3.2): drain queues, block new
+    /// requests, adopt the model, unblock. `epoch` guards against stale
+    /// control messages.
+    ChangeConsistency { to: ConsistencyModel, epoch: u64 },
+    /// Re-point every replica at a new primary (Fig. 5(b)).
+    ChangePrimary { new_primary: NodeId, epoch: u64 },
+    /// Install the peer list (TIM step 6 of §4.1).
+    SetPeers { peers: Vec<NodeId>, primary: Option<NodeId>, epoch: u64 },
+    /// Liveness probe (TSM heartbeat / network monitor ping).
+    Ping,
+    Pong,
+    /// Graceful stop.
+    Stop,
+    Ok,
+
+    // ---- Tiera server ↔ controller (TSM protocol, §4.1) ----
+    /// A Tiera server announcing itself to the TSM ("whenever a Tiera
+    /// server launches, it connects to the TSM first").
+    ServerHello { region: wiera_net::Region },
+    /// TSM asking a server to spawn an instance replica (step 3 of §4.1).
+    SpawnReplica { spec: ReplicaSpec },
+    /// The server's answer: the new replica's address (step 5).
+    Spawned { node: NodeId },
+    StopReplica { node: NodeId },
+    /// Bulk state install on a freshly repaired replica (§4.4).
+    LoadState { objects: Vec<SyncObject> },
+
+    // ---- instance → controller (monitor escalation, §4.3) ----
+    /// A monitor thread asking Wiera to change the deployment's policy
+    /// (the `change_policy()` response).
+    RequestChange { deployment: String, change: ChangeRequest },
+}
+
+/// What a monitor asks the controller to change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChangeRequest {
+    Consistency(ConsistencyModel),
+    Primary(NodeId),
+}
+
+/// Everything a Tiera server needs to spawn a replica.
+#[derive(Debug, Clone)]
+pub struct ReplicaSpec {
+    pub deployment: String,
+    /// Instance name, unique within the deployment (e.g. the region label).
+    pub name: String,
+    pub consistency: ConsistencyModel,
+    /// Queue distribution period, ms.
+    pub flush_ms: f64,
+    pub tiers: Vec<wiera_policy::TierLayout>,
+    pub rules: Vec<wiera_policy::Rule>,
+    pub max_versions: Option<usize>,
+    /// Monitor configuration (latency/requests), if dynamism is enabled.
+    pub monitors: MonitorSpec,
+    /// Whether the replica should take the multi-primaries lock path.
+    pub needs_coord: bool,
+}
+
+/// Which monitor threads a replica should run (§3.2.3 / §4.3).
+#[derive(Debug, Clone, Default)]
+pub struct MonitorSpec {
+    /// LatencyMonitoring: switch consistency on (threshold, period).
+    pub latency: Option<LatencySpec>,
+    /// RequestsMonitoring: move the primary toward forwarding hot spots.
+    pub requests: Option<RequestsSpec>,
+}
+
+#[derive(Debug, Clone)]
+pub struct LatencySpec {
+    /// Put-latency threshold in ms (the paper's 800 ms).
+    pub threshold_ms: f64,
+    /// Sustained-violation period in ms (the paper's 30 s).
+    pub period_ms: f64,
+    /// How often the dedicated thread evaluates, ms.
+    pub check_every_ms: f64,
+    /// The weak model to fall back to.
+    pub weak: ConsistencyModel,
+    /// The strong model to restore.
+    pub strong: ConsistencyModel,
+}
+
+#[derive(Debug, Clone)]
+pub struct RequestsSpec {
+    /// History window compared (the paper checks "the last 30 seconds").
+    pub window_ms: f64,
+    /// Evaluation period (the paper's 15 s).
+    pub check_every_ms: f64,
+}
+
+/// One object version in a state-sync transfer.
+#[derive(Debug, Clone)]
+pub struct SyncObject {
+    pub key: String,
+    pub version: u64,
+    pub modified: SimInstant,
+    pub value: Bytes,
+}
+
+impl DataMsg {
+    /// Approximate wire size for network modeling: header plus payload.
+    pub fn wire_bytes(&self) -> u64 {
+        const HDR: u64 = 64;
+        match self {
+            DataMsg::Put { key, value } => HDR + key.len() as u64 + value.len() as u64,
+            DataMsg::Update { key, value, .. } => HDR + key.len() as u64 + value.len() as u64,
+            DataMsg::Replicate { key, value, .. } => HDR + key.len() as u64 + value.len() as u64,
+            DataMsg::ForwardPut { key, value, .. } => {
+                HDR + key.len() as u64 + value.len() as u64
+            }
+            DataMsg::GetReply { value, .. } => HDR + value.len() as u64,
+            DataMsg::SyncReply { objects } => {
+                HDR + objects
+                    .iter()
+                    .map(|o| o.key.len() as u64 + o.value.len() as u64 + 32)
+                    .sum::<u64>()
+            }
+            DataMsg::Get { key } | DataMsg::Remove { key } | DataMsg::GetVersionList { key } => {
+                HDR + key.len() as u64
+            }
+            DataMsg::GetVersion { key, .. } | DataMsg::RemoveVersion { key, .. } => {
+                HDR + key.len() as u64
+            }
+            _ => HDR,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_tracks_payload() {
+        let small = DataMsg::Put { key: "k".into(), value: Bytes::from_static(b"x") };
+        let big = DataMsg::Put { key: "k".into(), value: Bytes::from(vec![0u8; 4096]) };
+        assert!(big.wire_bytes() > small.wire_bytes() + 4000);
+        assert_eq!(DataMsg::Ping.wire_bytes(), 64);
+    }
+
+    #[test]
+    fn sync_reply_counts_all_objects() {
+        let objects = vec![
+            SyncObject {
+                key: "a".into(),
+                version: 1,
+                modified: SimInstant::EPOCH,
+                value: Bytes::from(vec![0u8; 100]),
+            },
+            SyncObject {
+                key: "b".into(),
+                version: 2,
+                modified: SimInstant::EPOCH,
+                value: Bytes::from(vec![0u8; 200]),
+            },
+        ];
+        let m = DataMsg::SyncReply { objects };
+        assert!(m.wire_bytes() > 300);
+    }
+}

@@ -1,0 +1,82 @@
+//! Dynamic consistency (paper Fig. 5(a) / Fig. 7), live.
+//!
+//! ```sh
+//! cargo run --example dynamic_consistency
+//! ```
+//!
+//! A MultiPrimaries deployment over three regions with the
+//! DynamicConsistency monitor (800 ms threshold, 8 s period for a fast
+//! demo). We inject a sustained network delay at EU-West: strong puts blow
+//! past the threshold, Wiera switches the deployment to Eventual, the
+//! application's put latency collapses; once the delay clears, Wiera
+//! switches back — all while the application keeps issuing the same
+//! unmodified PUT calls.
+
+use bytes::Bytes;
+use wiera::client::WieraClient;
+use wiera::deployment::DeploymentConfig;
+use wiera::testkit::Cluster;
+use wiera_net::Region;
+use wiera_policy::ConsistencyModel;
+use wiera_sim::SimDuration;
+
+fn main() {
+    let cluster = Cluster::launch(&[Region::UsWest, Region::UsEast, Region::EuWest], 400.0, 7);
+    let dep = cluster
+        .controller
+        .start_instances(
+            "dyn",
+            "multi-primaries",
+            DeploymentConfig::default().with_dynamic_consistency(800.0, 8_000.0),
+        )
+        .unwrap();
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsWest,
+        "app",
+        dep.replicas(),
+    );
+
+    let put_once = |label: &str| {
+        let view = client.put("status", Bytes::from_static(b"ok")).unwrap();
+        println!(
+            "[{label:<22}] put -> {:>9}  (consistency: {})",
+            view.latency.to_string(),
+            dep.consistency()
+        );
+        view.latency
+    };
+
+    println!("--- healthy network, strong consistency ---");
+    for _ in 0..3 {
+        put_once("strong");
+        cluster.clock.sleep(SimDuration::from_secs(1));
+    }
+
+    println!("--- injecting 1s one-way delay at EU-West ---");
+    cluster.fabric.inject_node_delay(Region::EuWest, SimDuration::from_millis(1000));
+    // Keep writing; the monitor needs sustained violations for its period.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    while dep.consistency() != ConsistencyModel::Eventual {
+        put_once("degraded strong");
+        cluster.clock.sleep(SimDuration::from_secs(1));
+        assert!(std::time::Instant::now() < deadline, "switch never happened");
+    }
+    println!("--- Wiera switched to EVENTUAL ---");
+    let weak = put_once("eventual");
+    assert!(weak.as_millis_f64() < 50.0);
+
+    println!("--- clearing the delay ---");
+    cluster.fabric.clear_node_delay(Region::EuWest);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    while dep.consistency() != ConsistencyModel::MultiPrimaries {
+        put_once("recovering");
+        cluster.clock.sleep(SimDuration::from_secs(1));
+        assert!(std::time::Instant::now() < deadline, "switch-back never happened");
+    }
+    println!("--- Wiera restored MULTI-PRIMARIES ---");
+    put_once("strong again");
+
+    cluster.shutdown();
+    println!("done.");
+}

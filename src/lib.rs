@@ -1,0 +1,41 @@
+//! Wiera reproduction — facade crate.
+//!
+//! Re-exports the workspace's public surface so examples and downstream
+//! users can depend on a single crate. See the individual crates for the
+//! full documentation:
+//!
+//! * [`wiera`] — the geo-distributed storage system (controller, replicas,
+//!   deployments, clients, monitors).
+//! * [`tiera`] — the single-DC multi-tiered instance Wiera builds on.
+//! * [`wiera_policy`] — the policy specification language.
+//! * [`wiera_tiers`] — simulated cloud storage services with cost models.
+//! * [`wiera_net`] — the simulated multi-cloud WAN.
+//! * [`wiera_coord`] — the ZooKeeper-style coordination service.
+//! * [`wiera_workload`] — YCSB-style workload generation.
+//! * [`wiera_apps`] — application substrates (FS shim, SysBench, RUBiS).
+//! * [`wiera_sim`] — clocks, RNG, and measurement plumbing.
+
+pub use tiera;
+pub use wiera;
+pub use wiera_apps;
+pub use wiera_coord;
+pub use wiera_net;
+pub use wiera_policy;
+pub use wiera_sim;
+pub use wiera_tiers;
+pub use wiera_workload;
+
+/// Workspace version, for binaries that report it.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_align() {
+        // Types from different crates must be the same items through the
+        // facade (i.e., a single dependency graph, no duplicate versions).
+        let r: crate::wiera_net::Region = crate::wiera_net::Region::UsEast;
+        assert_eq!(r.to_string(), "US-East");
+        assert!(!crate::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Cross-crate end-to-end tests: the full pipeline from policy text to a
+//! live geo-distributed deployment serving workload generators and
+//! application substrates.
+
+use bytes::Bytes;
+use std::sync::Arc;
+use wiera::client::WieraClient;
+use wiera::deployment::DeploymentConfig;
+use wiera::testkit::{bodies, Cluster};
+use wiera_apps::fs::{FsConfig, WieraFs};
+use wiera_net::Region;
+use wiera_sim::{SimDuration, SimRng};
+use wiera_workload::{ClientDriver, Ledger, WorkloadSpec};
+
+#[test]
+fn policy_text_to_running_deployment() {
+    // The whole paper pipeline: write a policy in the figures' notation,
+    // register it via the GPM, launch via the WUI, use via a client.
+    let cluster = Cluster::launch(&[Region::UsEast, Region::UsWest], 2000.0, 21);
+    let policy = "
+    Wiera EndToEnd() {
+        Region1 = {name:LowLatencyInstance, region:US-East,
+            tier1 = {name:Memcached, size=1G},
+            tier2 = {name:EBS-SSD, size=1G} }
+        Region2 = {name:LowLatencyInstance, region:US-West,
+            tier1 = {name:Memcached, size=1G},
+            tier2 = {name:EBS-SSD, size=1G} }
+        event(insert.into) : response {
+            store(what:insert.object, to:local_instance)
+            queue(what:insert.object, to:all_regions)
+        }
+    }";
+    cluster.controller.register_policy("e2e", policy).unwrap();
+    let dep = cluster
+        .controller
+        .start_instances("e2e-dep", "e2e", DeploymentConfig { flush_ms: 100.0, ..Default::default() })
+        .unwrap();
+    let client =
+        WieraClient::connect(cluster.data_mesh.clone(), Region::UsEast, "app", dep.replicas());
+    for i in 0..20 {
+        client.put(&format!("k{i}"), Bytes::from(vec![i as u8; 256])).unwrap();
+    }
+    for i in 0..20 {
+        let got = client.get(&format!("k{i}")).unwrap();
+        assert_eq!(got.value.unwrap()[0], i as u8);
+    }
+    cluster.controller.stop_instances("e2e-dep").unwrap();
+    cluster.shutdown();
+}
+
+#[test]
+fn ycsb_driver_against_live_deployment() {
+    let cluster = Cluster::launch(&[Region::UsEast, Region::UsWest], 3000.0, 22);
+    cluster
+        .register_policy_over(
+            "ev2",
+            &[("US-East", false), ("US-West", false)],
+            bodies::EVENTUAL,
+        )
+        .unwrap();
+    let dep = cluster
+        .controller
+        .start_instances("ycsb", "ev2", DeploymentConfig { flush_ms: 100.0, ..Default::default() })
+        .unwrap();
+    let client =
+        WieraClient::connect(cluster.data_mesh.clone(), Region::UsEast, "ycsb", dep.replicas());
+    let ledger = Arc::new(Ledger::new());
+    let driver = ClientDriver::new(
+        WorkloadSpec::ycsb_a(50, 128),
+        ledger.clone(),
+        SimDuration::ZERO,
+    );
+    let mut rng = SimRng::new(5);
+    driver.run_ops(client.as_ref(), &cluster.clock, &mut rng, 300);
+    let report = driver.report();
+    assert_eq!(report.ops, 300);
+    assert_eq!(report.errors, 0);
+    assert!(report.put_latency.count > 80, "puts ran: {}", report.put_latency.count);
+    // Eventual puts via the local replica are fast.
+    assert!(report.put_latency.p50_ms < 10.0, "{}", report.put_latency);
+    assert!(ledger.tracked_keys() > 10);
+    cluster.shutdown();
+}
+
+#[test]
+fn posix_files_on_a_geo_deployment() {
+    // The "unmodified application" path: POSIX-ish file I/O through the
+    // FUSE stand-in onto a replicated Wiera deployment.
+    let cluster = Cluster::launch(&[Region::UsEast, Region::UsWest], 3000.0, 23);
+    cluster
+        .register_policy_over(
+            "fs-ev",
+            &[("US-East", false), ("US-West", false)],
+            bodies::EVENTUAL,
+        )
+        .unwrap();
+    let dep = cluster
+        .controller
+        .start_instances("fs", "fs-ev", DeploymentConfig { flush_ms: 100.0, ..Default::default() })
+        .unwrap();
+    let client =
+        WieraClient::connect(cluster.data_mesh.clone(), Region::UsEast, "fs-app", dep.replicas());
+    let fs = WieraFs::new(client, FsConfig::default());
+    fs.create_filled("/data/report.bin", 100_000, 0xCD).unwrap();
+    let (data, lat) = fs.read_at("/data/report.bin", 50_000, 10_000).unwrap();
+    assert_eq!(data.len(), 10_000);
+    assert!(data.iter().all(|&b| b == 0xCD));
+    assert!(lat > SimDuration::ZERO);
+    // Overwrite a range and read it back.
+    fs.write_at("/data/report.bin", 99_990, &[0xEE; 20]).unwrap();
+    assert_eq!(fs.file_len("/data/report.bin"), 100_010);
+    let (tail, _) = fs.read_at("/data/report.bin", 99_990, 20).unwrap();
+    assert!(tail.iter().all(|&b| b == 0xEE));
+    cluster.shutdown();
+}
+
+#[test]
+fn cost_meters_run_through_the_stack() {
+    // Cost accounting is visible end to end: after a burst of client
+    // operations, the replica's tier meters hold the request counts.
+    let cluster = Cluster::launch(&[Region::UsEast], 3000.0, 24);
+    cluster
+        .register_policy_over("solo", &[("US-East", false)], bodies::EVENTUAL)
+        .unwrap();
+    let dep = cluster
+        .controller
+        .start_instances("solo-dep", "solo", DeploymentConfig::default())
+        .unwrap();
+    let client =
+        WieraClient::connect(cluster.data_mesh.clone(), Region::UsEast, "app", dep.replicas());
+    for i in 0..25 {
+        client.put(&format!("k{i}"), Bytes::from(vec![0u8; 1024])).unwrap();
+    }
+    for _ in 0..10 {
+        client.get("k0").unwrap();
+    }
+    let replica = &cluster.deployment_replicas("solo-dep")[0];
+    let tier = replica.instance().tier("tier1").unwrap().as_local().unwrap();
+    let usage = tier.meter().usage(cluster.clock.now());
+    assert_eq!(usage.puts, 25);
+    assert!(usage.gets >= 10);
+    cluster.shutdown();
+}
+
+#[test]
+fn multi_deployment_isolation() {
+    // Two Wiera instances (deployments) on the same servers are isolated:
+    // same keys, different data.
+    let cluster = Cluster::launch(&[Region::UsEast, Region::UsWest], 3000.0, 25);
+    cluster
+        .register_policy_over("iso", &[("US-East", false), ("US-West", false)], bodies::EVENTUAL)
+        .unwrap();
+    let a = cluster
+        .controller
+        .start_instances("app-a", "iso", DeploymentConfig::default())
+        .unwrap();
+    let b = cluster
+        .controller
+        .start_instances("app-b", "iso", DeploymentConfig::default())
+        .unwrap();
+    let ca = WieraClient::connect(cluster.data_mesh.clone(), Region::UsEast, "a", a.replicas());
+    let cb = WieraClient::connect(cluster.data_mesh.clone(), Region::UsEast, "b", b.replicas());
+    ca.put("shared-key", Bytes::from_static(b"from-a")).unwrap();
+    cb.put("shared-key", Bytes::from_static(b"from-b")).unwrap();
+    assert_eq!(ca.get("shared-key").unwrap().value.unwrap().as_ref(), b"from-a");
+    assert_eq!(cb.get("shared-key").unwrap().value.unwrap().as_ref(), b"from-b");
+    cluster.shutdown();
+}
