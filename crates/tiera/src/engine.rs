@@ -69,10 +69,12 @@ impl InstanceEngine {
             );
         }
 
-        let has_maintenance = inst
-            .rules()
-            .iter()
-            .any(|r| matches!(r.event, EventKind::TierFilled { .. } | EventKind::ColdData { .. }));
+        let has_maintenance = inst.rules().iter().any(|r| {
+            matches!(
+                r.event,
+                EventKind::TierFilled { .. } | EventKind::ColdData { .. }
+            )
+        });
         if has_maintenance {
             let inst = inst.clone();
             let stop = stop.clone();
@@ -94,7 +96,11 @@ impl InstanceEngine {
             );
         }
 
-        InstanceEngine { stop, actions_taken, threads }
+        InstanceEngine {
+            stop,
+            actions_taken,
+            threads,
+        }
     }
 
     pub fn stop(&self) {
@@ -146,7 +152,10 @@ mod tests {
         // Wait up to 2 wall-seconds for the background flush.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
         let flushed = loop {
-            let dirty = inst.meta().with("k", |o| o.latest().unwrap().dirty).unwrap();
+            let dirty = inst
+                .meta()
+                .with("k", |o| o.latest().unwrap().dirty)
+                .unwrap();
             if !dirty {
                 break true;
             }
@@ -190,7 +199,10 @@ mod tests {
         let engine = InstanceEngine::start(inst.clone());
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(3);
         let migrated = loop {
-            let loc = inst.meta().with("c", |o| o.latest().unwrap().location.clone()).unwrap();
+            let loc = inst
+                .meta()
+                .with("c", |o| o.latest().unwrap().location.clone())
+                .unwrap();
             if loc == "tier2" {
                 break true;
             }

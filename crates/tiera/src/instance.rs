@@ -76,7 +76,10 @@ pub struct OpOutcome {
 /// a (typically read-only) tier.
 pub enum TierHandle {
     Local(Arc<SimTier>),
-    Instance { inst: Arc<TieraInstance>, read_only: bool },
+    Instance {
+        inst: Arc<TieraInstance>,
+        read_only: bool,
+    },
 }
 
 impl TierHandle {
@@ -232,8 +235,13 @@ impl TieraInstance {
                 .kind_name
                 .parse()
                 .map_err(|_| TieraError::NoSuchTier(layout.kind_name.clone()))?;
-            let capacity = if layout.size_bytes == 0 { u64::MAX } else { layout.size_bytes };
-            let seed = wiera_sim::derive_seed(config.seed, &format!("{}:{}", config.name, layout.label));
+            let capacity = if layout.size_bytes == 0 {
+                u64::MAX
+            } else {
+                layout.size_bytes
+            };
+            let seed =
+                wiera_sim::derive_seed(config.seed, &format!("{}:{}", config.name, layout.label));
             let tier = SimTier::new(TierSpec::of(kind), capacity, clock.clone(), seed);
             tiers.push((layout.label.clone(), TierHandle::Local(tier)));
         }
@@ -264,9 +272,10 @@ impl TieraInstance {
         for (l, h) in &self.tiers {
             let hh = match h {
                 TierHandle::Local(t) => TierHandle::Local(t.clone()),
-                TierHandle::Instance { inst, read_only } => {
-                    TierHandle::Instance { inst: inst.clone(), read_only: *read_only }
-                }
+                TierHandle::Instance { inst, read_only } => TierHandle::Instance {
+                    inst: inst.clone(),
+                    read_only: *read_only,
+                },
             };
             tiers.push((l.clone(), hh));
         }
@@ -321,11 +330,15 @@ impl TieraInstance {
     }
 
     fn tier_required(&self, label: &str) -> Result<&TierHandle, TieraError> {
-        self.tier(label).ok_or_else(|| TieraError::NoSuchTier(label.to_string()))
+        self.tier(label)
+            .ok_or_else(|| TieraError::NoSuchTier(label.to_string()))
     }
 
     fn default_tier_label(&self) -> &str {
-        self.tiers.first().map(|(l, _)| l.as_str()).unwrap_or("tier1")
+        self.tiers
+            .first()
+            .map(|(l, _)| l.as_str())
+            .unwrap_or("tier1")
     }
 
     fn maybe_sleep(&self, d: SimDuration) {
@@ -351,8 +364,17 @@ impl TieraInstance {
     ) -> Result<OpOutcome, TieraError> {
         self.stats.app_puts.fetch_add(1, Ordering::Relaxed);
         let outcome = self.ingest(key, value, tags, None, None)?;
+        self.note_op("put", outcome.latency);
         self.maybe_sleep(outcome.latency);
         Ok(outcome)
+    }
+
+    /// Record one instance-level op into the global metrics registry.
+    fn note_op(&self, op: &str, latency: SimDuration) {
+        let labels = [("instance", self.config.name.as_str()), ("op", op)];
+        let metrics = wiera_sim::MetricsRegistry::global();
+        metrics.inc("tiera_ops_total", &labels);
+        metrics.observe("tiera_op_latency", &labels, latency);
     }
 
     /// Apply an update replicated from another instance (§4.2): last-write-
@@ -372,7 +394,9 @@ impl TieraInstance {
         if !accept {
             return Ok(None);
         }
-        self.stats.replicated_updates.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .replicated_updates
+            .fetch_add(1, Ordering::Relaxed);
         let outcome = self.ingest(key, value, &[], Some(version), Some(modified))?;
         Ok(Some(outcome))
     }
@@ -477,9 +501,14 @@ impl TieraInstance {
             }
         }
 
-        Ok(OpOutcome { value: None, version, latency })
+        Ok(OpOutcome {
+            value: None,
+            version,
+            latency,
+        })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_insert_action(
         &self,
         action: &Action,
@@ -499,20 +528,30 @@ impl TieraInstance {
                 }
                 Ok(())
             }
-            Action::Store { what: Selector::InsertObject, to: Target::Tier(label) } => {
+            Action::Store {
+                what: Selector::InsertObject,
+                to: Target::Tier(label),
+            } => {
                 *latency += self.tier_required(label)?.put(skey, value.clone())?;
                 *location = Some(label.clone());
                 Ok(())
             }
             // `store(to:local_instance)` — the local leg of a global policy:
             // ingest through the default (first) tier.
-            Action::Store { what: Selector::InsertObject, to: Target::LocalInstance } => {
+            Action::Store {
+                what: Selector::InsertObject,
+                to: Target::LocalInstance,
+            } => {
                 let label = self.default_tier_label().to_string();
                 *latency += self.tier_required(&label)?.put(skey, value.clone())?;
                 *location = Some(label);
                 Ok(())
             }
-            Action::Copy { what: Selector::InsertObject, to: Target::Tier(label), .. } => {
+            Action::Copy {
+                what: Selector::InsertObject,
+                to: Target::Tier(label),
+                ..
+            } => {
                 *latency += self.tier_required(label)?.put(skey, value.clone())?;
                 replicas.insert(label.clone());
                 Ok(())
@@ -532,6 +571,7 @@ impl TieraInstance {
             .flatten()
             .ok_or_else(|| TieraError::NotFound(key.to_string()))?;
         let out = self.read_version(key, version)?;
+        self.note_op("get", out.latency);
         self.maybe_sleep(out.latency);
         Ok(out)
     }
@@ -540,6 +580,7 @@ impl TieraInstance {
     pub fn get_version(&self, key: &str, version: VersionId) -> Result<OpOutcome, TieraError> {
         self.stats.app_gets.fetch_add(1, Ordering::Relaxed);
         let out = self.read_version(key, version)?;
+        self.note_op("get", out.latency);
         self.maybe_sleep(out.latency);
         Ok(out)
     }
@@ -562,7 +603,9 @@ impl TieraInstance {
         let now = self.clock.now();
         let holders = self
             .meta
-            .with(key, |o| o.versions.get(&version).map(|m| m.location.clone()))
+            .with(key, |o| {
+                o.versions.get(&version).map(|m| m.location.clone())
+            })
             .flatten()
             .ok_or_else(|| TieraError::VersionNotFound(key.to_string(), version))?;
         let skey = storage_key(key, version);
@@ -577,13 +620,22 @@ impl TieraInstance {
                 m.replicas.clear();
             }
         });
+        self.note_op("update", latency);
         self.maybe_sleep(latency);
-        Ok(OpOutcome { value: None, version, latency })
+        Ok(OpOutcome {
+            value: None,
+            version,
+            latency,
+        })
     }
 
     /// Remove all versions of `key`.
     pub fn remove(&self, key: &str) -> Result<(), TieraError> {
-        let obj = self.meta.remove(key).ok_or_else(|| TieraError::NotFound(key.to_string()))?;
+        self.note_op("remove", SimDuration::ZERO);
+        let obj = self
+            .meta
+            .remove(key)
+            .ok_or_else(|| TieraError::NotFound(key.to_string()))?;
         for (v, m) in obj.versions {
             let sk = storage_key(key, v);
             for holder in m.holders() {
@@ -619,7 +671,10 @@ impl TieraInstance {
             .with(key, |o| {
                 o.versions.get(&version).map(|m| {
                     (
-                        m.holders().iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+                        m.holders()
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect::<Vec<_>>(),
                         m.compressed,
                         m.encrypted,
                     )
@@ -651,8 +706,7 @@ impl TieraInstance {
                         data = transform::decrypt(&data, self.config.encryption_key);
                     }
                     if compressed {
-                        data = transform::decompress(&data)
-                            .map_err(TieraError::Corrupt)?;
+                        data = transform::decompress(&data).map_err(TieraError::Corrupt)?;
                     }
                     // Heal metadata: forget holders that no longer have it.
                     if !lost.is_empty() {
@@ -672,7 +726,11 @@ impl TieraInstance {
                             m.touch(now);
                         }
                     });
-                    return Ok(OpOutcome { value: Some(data), version, latency });
+                    return Ok(OpOutcome {
+                        value: Some(data),
+                        version,
+                        latency,
+                    });
                 }
                 Err(_) => lost.push(label.clone()),
             }
@@ -715,8 +773,12 @@ impl TieraInstance {
             })
             .collect();
         for (idx, tier_label, frac, actions) in rules {
-            let Some(handle) = self.tier(&tier_label) else { continue };
-            let Some(tier) = handle.as_local() else { continue };
+            let Some(handle) = self.tier(&tier_label) else {
+                continue;
+            };
+            let Some(tier) = handle.as_local() else {
+                continue;
+            };
             let filled = tier.filled_fraction();
             let mut armed = self.filled_armed.lock();
             let was_armed = *armed.entry(idx).or_insert(true);
@@ -741,9 +803,7 @@ impl TieraInstance {
             .rules
             .iter()
             .filter_map(|r| match &r.event {
-                EventKind::ColdData { older_than_ms } => {
-                    Some((*older_than_ms, r.actions.clone()))
-                }
+                EventKind::ColdData { older_than_ms } => Some((*older_than_ms, r.actions.clone())),
                 _ => None,
             })
             .collect();
@@ -789,7 +849,13 @@ impl TieraInstance {
                     .with(k, |o| {
                         o.versions
                             .get(v)
-                            .map(|m| cond.eval(&ObjEnv { meta: m, tags: &o.tags, now }))
+                            .map(|m| {
+                                cond.eval(&ObjEnv {
+                                    meta: m,
+                                    tags: &o.tags,
+                                    now,
+                                })
+                            })
                             .unwrap_or(false)
                     })
                     .unwrap_or(false)
@@ -799,7 +865,11 @@ impl TieraInstance {
 
     fn run_sweep_action(&self, action: &Action, scope: Option<(&str, VersionId)>) -> usize {
         match action {
-            Action::Copy { what: Selector::Where(cond), to: Target::Tier(to), bandwidth_bps } => {
+            Action::Copy {
+                what: Selector::Where(cond),
+                to: Target::Tier(to),
+                bandwidth_bps,
+            } => {
                 let targets = self.matching_versions(cond, scope);
                 let n = targets.len();
                 for (k, v) in targets {
@@ -807,7 +877,11 @@ impl TieraInstance {
                 }
                 n
             }
-            Action::Move { what: Selector::Where(cond), to: Target::Tier(to), bandwidth_bps } => {
+            Action::Move {
+                what: Selector::Where(cond),
+                to: Target::Tier(to),
+                bandwidth_bps,
+            } => {
                 let targets = self.matching_versions(cond, scope);
                 let n = targets.len();
                 for (k, v) in targets {
@@ -815,7 +889,9 @@ impl TieraInstance {
                 }
                 n
             }
-            Action::Delete { what: Selector::Where(cond) } => {
+            Action::Delete {
+                what: Selector::Where(cond),
+            } => {
                 let targets = self.matching_versions(cond, scope);
                 let n = targets.len();
                 for (k, v) in targets {
@@ -823,7 +899,9 @@ impl TieraInstance {
                 }
                 n
             }
-            Action::Compress { what: Selector::Where(cond) } => {
+            Action::Compress {
+                what: Selector::Where(cond),
+            } => {
                 let targets = self.matching_versions(cond, scope);
                 let n = targets.len();
                 for (k, v) in targets {
@@ -831,7 +909,9 @@ impl TieraInstance {
                 }
                 n
             }
-            Action::Encrypt { what: Selector::Where(cond) } => {
+            Action::Encrypt {
+                what: Selector::Where(cond),
+            } => {
                 let targets = self.matching_versions(cond, scope);
                 let n = targets.len();
                 for (k, v) in targets {
@@ -847,7 +927,11 @@ impl TieraInstance {
                     0
                 }
             }
-            Action::If { cond, then, otherwise } => {
+            Action::If {
+                cond,
+                then,
+                otherwise,
+            } => {
                 // Instance-level conditions: evaluate against the sweep scope
                 // if any, else against an empty environment.
                 let now = self.clock.now();
@@ -857,7 +941,13 @@ impl TieraInstance {
                         .with(k, |o| {
                             o.versions
                                 .get(&v)
-                                .map(|m| cond.eval(&ObjEnv { meta: m, tags: &o.tags, now }))
+                                .map(|m| {
+                                    cond.eval(&ObjEnv {
+                                        meta: m,
+                                        tags: &o.tags,
+                                        now,
+                                    })
+                                })
                                 .unwrap_or(false)
                         })
                         .unwrap_or(false),
@@ -886,7 +976,9 @@ impl TieraInstance {
         let out = self.read_version(key, version)?;
         let data = out.value.expect("read returns bytes");
         let mut latency = out.latency;
-        latency += self.tier_required(to)?.put(&storage_key(key, version), data.clone())?;
+        latency += self
+            .tier_required(to)?
+            .put(&storage_key(key, version), data.clone())?;
         if let Some(bw) = bandwidth_bps {
             let limited = SimDuration::from_secs_f64(data.len() as f64 / bw.max(1.0));
             latency = latency.max(limited);
@@ -915,7 +1007,9 @@ impl TieraInstance {
         let out = self.read_version(key, version)?;
         let data = out.value.expect("read returns bytes");
         let mut latency = out.latency;
-        latency += self.tier_required(to)?.put(&storage_key(key, version), data.clone())?;
+        latency += self
+            .tier_required(to)?
+            .put(&storage_key(key, version), data.clone())?;
         if let Some(bw) = bandwidth_bps {
             let limited = SimDuration::from_secs_f64(data.len() as f64 / bw.max(1.0));
             latency = latency.max(limited);
@@ -975,7 +1069,11 @@ impl TieraInstance {
         // applied first by the policy.
         let (was_compressed, was_encrypted) = self
             .meta
-            .with(key, |o| o.versions.get(&version).map(|m| (m.compressed, m.encrypted)))
+            .with(key, |o| {
+                o.versions
+                    .get(&version)
+                    .map(|m| (m.compressed, m.encrypted))
+            })
             .flatten()
             .unwrap_or((false, false));
         let out = self.read_version(key, version)?;
@@ -1046,9 +1144,11 @@ impl Env for ObjEnv<'_> {
             "version" => EnvValue::Num(self.meta.version as f64),
             "accessCount" => EnvValue::Num(self.meta.access_count as f64),
             "ageMs" => EnvValue::Num(self.now.elapsed_since(self.meta.created).as_millis_f64()),
-            "idleMs" => {
-                EnvValue::Num(self.now.elapsed_since(self.meta.last_access).as_millis_f64())
-            }
+            "idleMs" => EnvValue::Num(
+                self.now
+                    .elapsed_since(self.meta.last_access)
+                    .as_millis_f64(),
+            ),
             _ => return None,
         })
     }
@@ -1115,7 +1215,11 @@ mod tests {
         inst.update("k", 1, Bytes::from_static(b"bbbb")).unwrap();
         let got = inst.get_version("k", 1).unwrap();
         assert_eq!(got.value.unwrap().as_ref(), b"bbbb");
-        assert_eq!(inst.get_version_list("k").unwrap(), vec![1], "no new version");
+        assert_eq!(
+            inst.get_version_list("k").unwrap(),
+            vec![1],
+            "no new version"
+        );
         assert!(matches!(
             inst.update("k", 7, bytes(1)),
             Err(TieraError::VersionNotFound(_, 7))
@@ -1159,11 +1263,20 @@ mod tests {
         .unwrap();
         let t5 = SimInstant::EPOCH + SimDuration::from_secs(5);
         let t9 = SimInstant::EPOCH + SimDuration::from_secs(9);
-        assert!(inst.apply_replicated("k", 3, t5, Bytes::from_static(b"r3")).unwrap().is_some());
+        assert!(inst
+            .apply_replicated("k", 3, t5, Bytes::from_static(b"r3"))
+            .unwrap()
+            .is_some());
         // Lower version loses.
-        assert!(inst.apply_replicated("k", 2, t9, Bytes::from_static(b"r2")).unwrap().is_none());
+        assert!(inst
+            .apply_replicated("k", 2, t9, Bytes::from_static(b"r2"))
+            .unwrap()
+            .is_none());
         // Same version, newer mtime wins.
-        assert!(inst.apply_replicated("k", 3, t9, Bytes::from_static(b"r3b")).unwrap().is_some());
+        assert!(inst
+            .apply_replicated("k", 3, t9, Bytes::from_static(b"r3b"))
+            .unwrap()
+            .is_some());
         assert_eq!(inst.get("k").unwrap().value.unwrap().as_ref(), b"r3b");
         // Local put after replication continues the version sequence.
         let out = inst.put("k", Bytes::from_static(b"local")).unwrap();
@@ -1172,7 +1285,8 @@ mod tests {
 
     #[test]
     fn low_latency_policy_stores_to_memory_with_dirty_bit() {
-        let compiled = compile(&parse(wiera_policy::canned::LOW_LATENCY_INSTANCE).unwrap()).unwrap();
+        let compiled =
+            compile(&parse(wiera_policy::canned::LOW_LATENCY_INSTANCE).unwrap()).unwrap();
         let cfg = InstanceConfig::new("ll", Region::UsEast)
             .with_tier("tier1", "Memcached", 1 << 30)
             .with_tier("tier2", "EBS", 1 << 30)
@@ -1180,7 +1294,11 @@ mod tests {
         let inst = TieraInstance::build(cfg, ManualClock::new()).unwrap();
         let out = inst.put("k", bytes(4096)).unwrap();
         // Stored in memory only, marked dirty, fast.
-        assert!(out.latency.as_millis_f64() < 5.0, "memory put {}", out.latency);
+        assert!(
+            out.latency.as_millis_f64() < 5.0,
+            "memory put {}",
+            out.latency
+        );
         inst.meta()
             .with("k", |o| {
                 let m = o.latest().unwrap();
@@ -1225,7 +1343,11 @@ mod tests {
         assert!(out.latency.as_millis_f64() > 1.0, "includes the EBS write");
         // Fill tier2 past 50%: backup rule copies tier2 objects to S3.
         inst.put("b", bytes(60_000)).unwrap();
-        assert_eq!(inst.run_filled_rules(), 0, "location is tier1; what: matches location==tier2");
+        assert_eq!(
+            inst.run_filled_rules(),
+            0,
+            "location is tier1; what: matches location==tier2"
+        );
         // The rule selects location==tier2; our objects live in tier1 with a
         // tier2 replica, so move one explicitly to exercise the filter.
         inst.move_version("a", 1, "tier2", None).unwrap();
@@ -1250,7 +1372,11 @@ mod tests {
         inst.put("a", bytes(300)).unwrap();
         assert_eq!(inst.run_filled_rules(), 0, "under threshold");
         inst.put("b", bytes(300)).unwrap();
-        assert_eq!(inst.run_filled_rules(), 2, "crossed: both tier1 objects backed up");
+        assert_eq!(
+            inst.run_filled_rules(),
+            2,
+            "crossed: both tier1 objects backed up"
+        );
         assert_eq!(inst.run_filled_rules(), 0, "edge-triggered, no refire");
         // Drop below, then cross again → re-arms.
         inst.remove("a").unwrap();
@@ -1399,11 +1525,16 @@ mod tests {
             clock.clone(),
         )
         .unwrap();
-        backing.put("dataset@v1", Bytes::from_static(b"raw")).unwrap();
+        backing
+            .put("dataset@v1", Bytes::from_static(b"raw"))
+            .unwrap();
 
         let front = TieraInstance::build(
-            InstanceConfig::new("intermediate", Region::UsEast)
-                .with_tier("tier1", "Memcached", 1 << 20),
+            InstanceConfig::new("intermediate", Region::UsEast).with_tier(
+                "tier1",
+                "Memcached",
+                1 << 20,
+            ),
             clock.clone(),
         )
         .unwrap();

@@ -95,7 +95,9 @@ impl MetaStore {
     pub fn restore(image: &[u8]) -> Result<Self, String> {
         let objects: BTreeMap<String, ObjectMeta> =
             serde_json::from_slice(image).map_err(|e| e.to_string())?;
-        Ok(MetaStore { objects: RwLock::new(objects) })
+        Ok(MetaStore {
+            objects: RwLock::new(objects),
+        })
     }
 }
 
@@ -140,7 +142,8 @@ mod tests {
     fn cold_scan_finds_stale_versions() {
         let ms = MetaStore::new();
         ms.with_mut("hot", |o| {
-            o.versions.insert(1, VersionMeta::new(1, 8, t(100), "tier1"));
+            o.versions
+                .insert(1, VersionMeta::new(1, 8, t(100), "tier1"));
         });
         ms.with_mut("cold", |o| {
             o.versions.insert(1, VersionMeta::new(1, 8, t(1), "tier1"));

@@ -53,7 +53,12 @@ impl VersionMeta {
     /// Every tier known to hold this version, authoritative first.
     pub fn holders(&self) -> Vec<&str> {
         let mut v = vec![self.location.as_str()];
-        v.extend(self.replicas.iter().map(|s| s.as_str()).filter(|s| *s != self.location));
+        v.extend(
+            self.replicas
+                .iter()
+                .map(|s| s.as_str())
+                .filter(|s| *s != self.location),
+        );
         v
     }
 
@@ -145,11 +150,20 @@ mod tests {
         let mut o = ObjectMeta::default();
         assert!(o.accepts_update(1, t(0)), "empty object accepts anything");
         o.versions.insert(3, VersionMeta::new(3, 10, t(5), "tier1"));
-        assert!(o.accepts_update(4, t(1)), "higher version wins regardless of time");
+        assert!(
+            o.accepts_update(4, t(1)),
+            "higher version wins regardless of time"
+        );
         assert!(!o.accepts_update(2, t(9)), "lower version always loses");
         assert!(o.accepts_update(3, t(6)), "same version, newer mtime wins");
-        assert!(!o.accepts_update(3, t(5)), "same version, same mtime loses (tie keeps local)");
-        assert!(!o.accepts_update(3, t(4)), "same version, older mtime loses");
+        assert!(
+            !o.accepts_update(3, t(5)),
+            "same version, same mtime loses (tie keeps local)"
+        );
+        assert!(
+            !o.accepts_update(3, t(4)),
+            "same version, older mtime loses"
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub fn compress(data: &[u8]) -> Bytes {
 
 /// Inverse of [`compress`]. Fails on truncated input.
 pub fn decompress(data: &[u8]) -> Result<Bytes, String> {
-    if data.len() % 2 != 0 {
+    if !data.len().is_multiple_of(2) {
         return Err("truncated RLE stream".into());
     }
     let mut out = Vec::with_capacity(data.len() * 2);
@@ -35,7 +35,7 @@ pub fn decompress(data: &[u8]) -> Result<Bytes, String> {
         if count == 0 {
             return Err("zero-length run".into());
         }
-        out.extend(std::iter::repeat(byte).take(count as usize));
+        out.extend(std::iter::repeat_n(byte, count as usize));
     }
     Ok(Bytes::from(out))
 }

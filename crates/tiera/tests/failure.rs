@@ -19,13 +19,21 @@ fn put_surfaces_down_tier() {
         ManualClock::new(),
     )
     .unwrap();
-    inst.tier("tier1").unwrap().as_local().unwrap().set_down(true);
+    inst.tier("tier1")
+        .unwrap()
+        .as_local()
+        .unwrap()
+        .set_down(true);
     match inst.put("k", payload(10)) {
         Err(TieraError::Tier(wiera_tiers::TierError::Down)) => {}
         other => panic!("expected Down, got {other:?}"),
     }
     // Back up: operations resume.
-    inst.tier("tier1").unwrap().as_local().unwrap().set_down(false);
+    inst.tier("tier1")
+        .unwrap()
+        .as_local()
+        .unwrap()
+        .set_down(false);
     inst.put("k", payload(10)).unwrap();
     assert!(inst.get("k").is_ok());
 }
@@ -73,7 +81,11 @@ fn read_fails_cleanly_when_all_holders_lost() {
     .unwrap();
     inst.put("k", payload(10)).unwrap();
     // Crash loses the only copy.
-    inst.tier("tier1").unwrap().as_local().unwrap().set_down(true);
+    inst.tier("tier1")
+        .unwrap()
+        .as_local()
+        .unwrap()
+        .set_down(true);
     assert!(matches!(inst.get("k"), Err(TieraError::NotFound(_))));
 }
 
@@ -86,7 +98,11 @@ fn degraded_tier_raises_instance_latency() {
     .unwrap();
     inst.put("k", payload(4096)).unwrap();
     let healthy = inst.get("k").unwrap().latency;
-    inst.tier("tier1").unwrap().as_local().unwrap().set_degraded(20.0);
+    inst.tier("tier1")
+        .unwrap()
+        .as_local()
+        .unwrap()
+        .set_degraded(20.0);
     let degraded = inst.get("k").unwrap().latency;
     assert!(
         degraded.as_millis_f64() > healthy.as_millis_f64() * 5.0,
@@ -132,7 +148,10 @@ fn full_tier_rejects_but_instance_stays_usable() {
     )
     .unwrap();
     inst.put("a", payload(800)).unwrap();
-    assert!(matches!(inst.put("b", payload(800)), Err(TieraError::Tier(_))));
+    assert!(matches!(
+        inst.put("b", payload(800)),
+        Err(TieraError::Tier(_))
+    ));
     // Existing data still readable; deleting makes room again.
     assert!(inst.get("a").is_ok());
     inst.remove("a").unwrap();
@@ -163,7 +182,9 @@ fn glacier_archival_is_cheap_to_write_and_slow_to_read() {
     clock.advance(SimDuration::from_hours(25));
     assert_eq!(inst.run_cold_rules(), 1);
     inst.meta()
-        .with("archive-me", |o| assert_eq!(o.latest().unwrap().location, "tier2"))
+        .with("archive-me", |o| {
+            assert_eq!(o.latest().unwrap().location, "tier2")
+        })
         .unwrap();
     // Retrieval pays the archival penalty: hours of modeled latency.
     let got = inst.get("archive-me").unwrap();

@@ -59,7 +59,9 @@ impl<K: Eq + Hash + Clone> ByteLru<K> {
         self.order.push_back(key);
         self.bytes += value.len();
         while self.bytes > self.capacity {
-            let Some(victim) = self.order.pop_front() else { break };
+            let Some(victim) = self.order.pop_front() else {
+                break;
+            };
             if let Some(evicted) = self.map.remove(&victim) {
                 self.bytes -= evicted.len();
             }

@@ -27,13 +27,21 @@ pub struct FsConfig {
 
 impl Default for FsConfig {
     fn default() -> Self {
-        FsConfig { block_size: 16 * 1024, direct_io: false, cache_bytes: 64 << 20 }
+        FsConfig {
+            block_size: 16 * 1024,
+            direct_io: false,
+            cache_bytes: 64 << 20,
+        }
     }
 }
 
 impl FsConfig {
     pub fn direct(block_size: usize) -> Self {
-        FsConfig { block_size, direct_io: true, cache_bytes: 0 }
+        FsConfig {
+            block_size,
+            direct_io: true,
+            cache_bytes: 0,
+        }
     }
 }
 
@@ -50,7 +58,11 @@ const CACHE_HIT: SimDuration = SimDuration::from_micros(80);
 
 impl WieraFs {
     pub fn new(store: Arc<dyn KvStore>, config: FsConfig) -> Arc<Self> {
-        let cache_cap = if config.direct_io { 0 } else { config.cache_bytes };
+        let cache_cap = if config.direct_io {
+            0
+        } else {
+            config.cache_bytes
+        };
         Arc::new(WieraFs {
             store,
             config,
@@ -78,7 +90,11 @@ impl WieraFs {
         let blocks = len.div_ceil(bs);
         let mut total = SimDuration::ZERO;
         for b in 0..blocks {
-            let this = if (b + 1) * bs <= len { bs } else { len - b * bs } as usize;
+            let this = if (b + 1) * bs <= len {
+                bs
+            } else {
+                len - b * bs
+            } as usize;
             let data = Bytes::from(vec![fill; this]);
             let s = self.store.kv_put(&Self::block_key(path, b), data)?;
             total += s.latency;
@@ -93,7 +109,12 @@ impl WieraFs {
     }
 
     /// Read `len` bytes at `offset`. Returns data and modeled latency.
-    pub fn read_at(&self, path: &str, offset: u64, len: usize) -> Result<(Bytes, SimDuration), String> {
+    pub fn read_at(
+        &self,
+        path: &str,
+        offset: u64,
+        len: usize,
+    ) -> Result<(Bytes, SimDuration), String> {
         let file_len = self.file_len(path);
         if offset >= file_len {
             return Ok((Bytes::new(), SimDuration::ZERO));
@@ -167,7 +188,9 @@ impl WieraFs {
                 Bytes::from(buf)
             };
             let key = (path.to_string(), b);
-            let s = self.store.kv_put(&Self::block_key(path, b), block.clone())?;
+            let s = self
+                .store
+                .kv_put(&Self::block_key(path, b), block.clone())?;
             total += s.latency;
             if !self.config.direct_io {
                 // Write-through: keep the cache coherent.
@@ -190,7 +213,11 @@ mod tests {
 
     fn fs(direct: bool) -> (Arc<WieraFs>, Arc<MapStore>) {
         let store = MapStore::shared(SimDuration::from_millis(2), SimDuration::from_millis(3));
-        let cfg = FsConfig { block_size: 1024, direct_io: direct, cache_bytes: 16 * 1024 };
+        let cfg = FsConfig {
+            block_size: 1024,
+            direct_io: direct,
+            cache_bytes: 16 * 1024,
+        };
         (WieraFs::new(store.clone(), cfg), store)
     }
 
@@ -257,7 +284,10 @@ mod tests {
         fs.read_at("/d", 0, 1024).unwrap();
         let gets_before = store.gets();
         fs.read_at("/d", 0, 1024).unwrap();
-        assert!(store.gets() > gets_before, "O_DIRECT must hit the store every time");
+        assert!(
+            store.gets() > gets_before,
+            "O_DIRECT must hit the store every time"
+        );
     }
 
     #[test]

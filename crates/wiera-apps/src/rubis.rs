@@ -126,7 +126,11 @@ const TABLES: [(u8, &str); 4] = [
 
 impl RecordStore {
     fn table_path(table: u8) -> &'static str {
-        TABLES.iter().find(|(t, _)| *t == table).expect("known table").1
+        TABLES
+            .iter()
+            .find(|(t, _)| *t == table)
+            .expect("known table")
+            .1
     }
 
     fn page_of(&self, row: u64) -> u64 {
@@ -140,7 +144,9 @@ impl RecordStore {
             return Ok(SimDuration::from_micros(20)); // pool hit
         }
         let offset = page * self.page_bytes as u64;
-        let (data, lat) = self.fs.read_at(Self::table_path(table), offset, self.page_bytes)?;
+        let (data, lat) = self
+            .fs
+            .read_at(Self::table_path(table), offset, self.page_bytes)?;
         self.pool.lock().insert((table, page), data);
         Ok(lat)
     }
@@ -282,7 +288,10 @@ impl Rubis {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("client")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client"))
+                .collect()
         });
         let mut requests = 0;
         let mut hist = Histogram::new();
@@ -307,8 +316,7 @@ impl Rubis {
             let handles: Vec<_> = (0..cfg.clients)
                 .map(|c| {
                     scope.spawn(move || {
-                        let mut rng =
-                            SimRng::new(derive_seed(cfg.seed, &format!("rubis:{c}")));
+                        let mut rng = SimRng::new(derive_seed(cfg.seed, &format!("rubis:{c}")));
                         let mut bid_seq = c as u64 * 1_000_000;
                         let mut elapsed = SimDuration::ZERO;
                         let total = cfg.ramp_up + cfg.measure + cfg.ramp_down;
@@ -332,7 +340,10 @@ impl Rubis {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("client")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client"))
+                .collect()
         });
         let mut requests = 0;
         let mut hist = Histogram::new();
@@ -430,6 +441,11 @@ mod tests {
         let a = rubis_on(2, 3, RubisConfig::small()).run();
         let b = rubis_on(2, 3, RubisConfig::small()).run();
         let diff = (a.requests as f64 - b.requests as f64).abs();
-        assert!(diff / (a.requests as f64) < 0.02, "{} vs {}", a.requests, b.requests);
+        assert!(
+            diff / (a.requests as f64) < 0.02,
+            "{} vs {}",
+            a.requests,
+            b.requests
+        );
     }
 }

@@ -24,11 +24,19 @@ pub struct TierStore {
 
 impl TierStore {
     pub fn new(tier: Arc<SimTier>) -> Arc<Self> {
-        Arc::new(TierStore { tier, versions: Mutex::new(HashMap::new()), pace: None })
+        Arc::new(TierStore {
+            tier,
+            versions: Mutex::new(HashMap::new()),
+            pace: None,
+        })
     }
 
     pub fn paced(tier: Arc<SimTier>, clock: SharedClock) -> Arc<Self> {
-        Arc::new(TierStore { tier, versions: Mutex::new(HashMap::new()), pace: Some(clock) })
+        Arc::new(TierStore {
+            tier,
+            versions: Mutex::new(HashMap::new()),
+            pace: Some(clock),
+        })
     }
 
     fn maybe_sleep(&self, d: SimDuration) {
@@ -45,7 +53,10 @@ impl KvStore for TierStore {
         let mut v = self.versions.lock();
         let e = v.entry(key.to_string()).or_insert(0);
         *e += 1;
-        Ok(OpSample { latency, version: *e })
+        Ok(OpSample {
+            latency,
+            version: *e,
+        })
     }
 
     fn kv_get(&self, key: &str) -> Result<OpSample, String> {
@@ -71,7 +82,12 @@ mod tests {
 
     #[test]
     fn roundtrip_and_versions() {
-        let tier = SimTier::new(TierSpec::of(TierKind::EbsSsd), 1 << 20, ManualClock::new(), 1);
+        let tier = SimTier::new(
+            TierSpec::of(TierKind::EbsSsd),
+            1 << 20,
+            ManualClock::new(),
+            1,
+        );
         let s = TierStore::new(tier);
         let p1 = s.kv_put("k", Bytes::from_static(b"a")).unwrap();
         let p2 = s.kv_put("k", Bytes::from_static(b"b")).unwrap();

@@ -78,7 +78,10 @@ impl Sysbench {
                     s.spawn(move || Self::worker(&fs, &cfg, t, blocks))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
         });
 
         let mut reads = 0;
@@ -128,8 +131,7 @@ impl Sysbench {
                     let cfg = cfg.clone();
                     let clock = clock.clone();
                     s.spawn(move || {
-                        let mut rng =
-                            SimRng::new(derive_seed(cfg.seed, &format!("sysbench:{t}")));
+                        let mut rng = SimRng::new(derive_seed(cfg.seed, &format!("sysbench:{t}")));
                         let mut out = ThreadResult::default();
                         let mut buf = vec![0u8; cfg.block_size];
                         while clock.now() < deadline {
@@ -139,7 +141,10 @@ impl Sysbench {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
         });
         let modeled = clock.now().elapsed_since(start).as_secs_f64().max(1e-9);
         let mut reads = 0;

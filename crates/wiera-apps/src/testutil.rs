@@ -47,14 +47,20 @@ impl KvStore for MapStore {
         e.1 += 1;
         let version = e.1;
         e.0 = value;
-        Ok(OpSample { latency: self.put_latency, version })
+        Ok(OpSample {
+            latency: self.put_latency,
+            version,
+        })
     }
 
     fn kv_get(&self, key: &str) -> Result<OpSample, String> {
         self.gets.fetch_add(1, Ordering::Relaxed);
         let m = self.data.lock();
         m.get(key)
-            .map(|(_, v)| OpSample { latency: self.get_latency, version: *v })
+            .map(|(_, v)| OpSample {
+                latency: self.get_latency,
+                version: *v,
+            })
             .ok_or_else(|| format!("object '{key}' not found"))
     }
 
@@ -62,7 +68,15 @@ impl KvStore for MapStore {
         self.gets.fetch_add(1, Ordering::Relaxed);
         let m = self.data.lock();
         m.get(key)
-            .map(|(b, v)| (b.clone(), OpSample { latency: self.get_latency, version: *v }))
+            .map(|(b, v)| {
+                (
+                    b.clone(),
+                    OpSample {
+                        latency: self.get_latency,
+                        version: *v,
+                    },
+                )
+            })
             .ok_or_else(|| format!("object '{key}' not found"))
     }
 }

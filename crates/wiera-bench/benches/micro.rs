@@ -43,16 +43,18 @@ fn bench_tier(c: &mut Criterion) {
     c.bench_function("tier/put_4k", |b| {
         b.iter(|| {
             i += 1;
-            tier.put(&format!("k{}", i % 10_000), payload.clone()).unwrap()
+            tier.put(&format!("k{}", i % 10_000), payload.clone())
+                .unwrap()
         })
     });
     tier.put("hot", payload.clone()).unwrap();
-    c.bench_function("tier/get_4k", |b| b.iter(|| tier.get(black_box("hot")).unwrap()));
+    c.bench_function("tier/get_4k", |b| {
+        b.iter(|| tier.get(black_box("hot")).unwrap())
+    });
 }
 
 fn bench_instance(c: &mut Criterion) {
-    let compiled =
-        compile(&parse(wiera_policy::canned::LOW_LATENCY_INSTANCE).unwrap()).unwrap();
+    let compiled = compile(&parse(wiera_policy::canned::LOW_LATENCY_INSTANCE).unwrap()).unwrap();
     let cfg = InstanceConfig::new("bench", Region::UsEast)
         .with_tier("tier1", "Memcached", 1 << 30)
         .with_tier("tier2", "EBS", 1 << 30)
@@ -63,11 +65,14 @@ fn bench_instance(c: &mut Criterion) {
     c.bench_function("instance/put_writeback_4k", |b| {
         b.iter(|| {
             i += 1;
-            inst.put(&format!("k{}", i % 10_000), payload.clone()).unwrap()
+            inst.put(&format!("k{}", i % 10_000), payload.clone())
+                .unwrap()
         })
     });
     inst.put("hot", payload.clone()).unwrap();
-    c.bench_function("instance/get_4k", |b| b.iter(|| inst.get(black_box("hot")).unwrap()));
+    c.bench_function("instance/get_4k", |b| {
+        b.iter(|| inst.get(black_box("hot")).unwrap())
+    });
 }
 
 fn bench_net(c: &mut Criterion) {
@@ -94,13 +99,17 @@ fn bench_metrics(c: &mut Criterion) {
     for i in 0..100_000u64 {
         full.record(SimDuration::from_micros(i % 50_000 + 1));
     }
-    c.bench_function("metrics/histogram_p99", |b| b.iter(|| full.quantile(black_box(0.99))));
+    c.bench_function("metrics/histogram_p99", |b| {
+        b.iter(|| full.quantile(black_box(0.99)))
+    });
 }
 
 fn bench_workload(c: &mut Criterion) {
     let chooser = KeyChooser::zipfian(100_000);
     let mut rng = SimRng::new(3);
-    c.bench_function("workload/zipfian_next", |b| b.iter(|| chooser.next(&mut rng)));
+    c.bench_function("workload/zipfian_next", |b| {
+        b.iter(|| chooser.next(&mut rng))
+    });
 }
 
 fn bench_transform(c: &mut Criterion) {

@@ -72,7 +72,9 @@ fn mean_put(cluster: &Cluster, dep: &Arc<wiera::deployment::WieraDeployment>, n:
     );
     let mut total = 0.0;
     for i in 0..n {
-        let view = client.put(&format!("k{i}"), Bytes::from(vec![0u8; 1024])).unwrap();
+        let view = client
+            .put(&format!("k{i}"), Bytes::from(vec![0u8; 1024]))
+            .unwrap();
         total += view.latency.as_millis_f64();
     }
     total / n as f64
@@ -82,18 +84,32 @@ fn fanout(seed: u64) -> Vec<FanoutRow> {
     let mut rows = Vec::new();
     for k in 2..=ALL_REGIONS.len() {
         let regions: Vec<Region> = ALL_REGIONS[..k].iter().map(|(_, r)| *r).collect();
-        let decls: Vec<(&str, bool)> =
-            ALL_REGIONS[..k].iter().map(|(n, _)| (*n, false)).collect();
+        let decls: Vec<(&str, bool)> = ALL_REGIONS[..k].iter().map(|(n, _)| (*n, false)).collect();
         let mut decls_pb = decls.clone();
         decls_pb[0].1 = true; // US-West primary
 
         let cluster = Cluster::launch(&regions, SCALE, seed);
-        cluster.register_policy_over("mp", &decls, bodies::MULTI_PRIMARIES).unwrap();
-        cluster.register_policy_over("pb", &decls_pb, bodies::PRIMARY_BACKUP_SYNC).unwrap();
-        cluster.register_policy_over("ev", &decls, bodies::EVENTUAL).unwrap();
-        let mp = cluster.controller.start_instances("mp", "mp", DeploymentConfig::default()).unwrap();
-        let pb = cluster.controller.start_instances("pb", "pb", DeploymentConfig::default()).unwrap();
-        let ev = cluster.controller.start_instances("ev", "ev", DeploymentConfig::default()).unwrap();
+        cluster
+            .register_policy_over("mp", &decls, bodies::MULTI_PRIMARIES)
+            .unwrap();
+        cluster
+            .register_policy_over("pb", &decls_pb, bodies::PRIMARY_BACKUP_SYNC)
+            .unwrap();
+        cluster
+            .register_policy_over("ev", &decls, bodies::EVENTUAL)
+            .unwrap();
+        let mp = cluster
+            .controller
+            .start_instances("mp", "mp", DeploymentConfig::default())
+            .unwrap();
+        let pb = cluster
+            .controller
+            .start_instances("pb", "pb", DeploymentConfig::default())
+            .unwrap();
+        let ev = cluster
+            .controller
+            .start_instances("ev", "ev", DeploymentConfig::default())
+            .unwrap();
         rows.push(FanoutRow {
             replicas: k,
             multi_primaries_ms: mean_put(&cluster, &mp, 20),
@@ -115,10 +131,18 @@ fn lock_placement(seed: u64) -> Vec<LockRow> {
             &regions,
             SCALE,
             seed,
-            ControllerConfig { region: coord_region, ..Default::default() },
+            ControllerConfig {
+                region: coord_region,
+                ..Default::default()
+            },
         );
-        cluster.register_policy_over("mp", &decls, bodies::MULTI_PRIMARIES).unwrap();
-        let mp = cluster.controller.start_instances("mp", "mp", DeploymentConfig::default()).unwrap();
+        cluster
+            .register_policy_over("mp", &decls, bodies::MULTI_PRIMARIES)
+            .unwrap();
+        let mp = cluster
+            .controller
+            .start_instances("mp", "mp", DeploymentConfig::default())
+            .unwrap();
         rows.push(LockRow {
             coordinator_region: name.to_string(),
             put_ms: mean_put(&cluster, &mp, 20),
@@ -141,7 +165,14 @@ fn flush(seed: u64) -> Vec<FlushRow> {
             .unwrap();
         let dep = cluster
             .controller
-            .start_instances("ev", "ev", DeploymentConfig { flush_ms, ..Default::default() })
+            .start_instances(
+                "ev",
+                "ev",
+                DeploymentConfig {
+                    flush_ms,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         let client = WieraClient::connect(
             cluster.data_mesh.clone(),
@@ -150,7 +181,10 @@ fn flush(seed: u64) -> Vec<FlushRow> {
             dep.replicas(),
         );
         let replicas = cluster.deployment_replicas("ev");
-        let tokyo = replicas.iter().find(|r| r.node.region == Region::AsiaEast).unwrap();
+        let tokyo = replicas
+            .iter()
+            .find(|r| r.node.region == Region::AsiaEast)
+            .unwrap();
 
         let mut put_ms = 0.0;
         let mut conv_ms = 0.0;
@@ -205,7 +239,11 @@ fn main() {
         "adding farther replicas must raise the strong put"
     );
     for r in &fanout_rows {
-        assert!(r.eventual_ms < 10.0, "eventual stays local: {}", r.eventual_ms);
+        assert!(
+            r.eventual_ms < 10.0,
+            "eventual stays local: {}",
+            r.eventual_ms
+        );
         assert!(
             r.multi_primaries_ms > r.primary_backup_sync_ms,
             "the global lock costs an extra round trip over PB-sync"
@@ -221,7 +259,13 @@ fn main() {
             .map(|r| vec![r.coordinator_region.clone(), format!("{:.1}", r.put_ms)])
             .collect::<Vec<_>>(),
     );
-    let by = |n: &str| lock_rows.iter().find(|r| r.coordinator_region == n).unwrap().put_ms;
+    let by = |n: &str| {
+        lock_rows
+            .iter()
+            .find(|r| r.coordinator_region == n)
+            .unwrap()
+            .put_ms
+    };
     assert!(
         by("US-West") < by("Asia-East"),
         "a writer-local coordinator must beat a trans-Pacific one"
@@ -243,7 +287,8 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     assert!(
-        flush_rows.last().unwrap().convergence_ms > flush_rows.first().unwrap().convergence_ms * 2.0,
+        flush_rows.last().unwrap().convergence_ms
+            > flush_rows.first().unwrap().convergence_ms * 2.0,
         "longer flush interval must delay convergence"
     );
     for w in flush_rows.windows(2) {

@@ -35,8 +35,15 @@ struct Record {
 
 const OBJ: usize = 4096;
 const SAMPLES: usize = 120;
+const SMOKE_SAMPLES: usize = 24;
 
 fn main() {
+    wiera_bench::reset_observability();
+    let samples = if wiera_bench::is_smoke() {
+        SMOKE_SAMPLES
+    } else {
+        SAMPLES
+    };
     let fabric = Arc::new(Fabric::multicloud(wiera_bench::default_seed()));
     let mesh = Mesh::new(fabric, ScaledClock::shared(4000.0));
 
@@ -58,27 +65,37 @@ fn main() {
 
     // Preload the cold objects.
     let loader = NodeId::new(Region::UsEast, "loader");
-    for i in 0..SAMPLES {
+    for i in 0..samples {
         app_rpc(
             &mesh,
             &loader,
             &central.node,
-            DataMsg::Put { key: format!("cold-{i}"), value: Bytes::from(vec![7u8; OBJ]) },
+            DataMsg::Put {
+                key: format!("cold-{i}"),
+                value: Bytes::from(vec![7u8; OBJ]),
+            },
         )
         .unwrap();
     }
 
     let mut regions = Vec::new();
-    for region in [Region::UsEast, Region::UsWest, Region::EuWest, Region::AsiaEast] {
+    for region in [
+        Region::UsEast,
+        Region::UsWest,
+        Region::EuWest,
+        Region::AsiaEast,
+    ] {
         let client = NodeId::new(region, format!("app-{region}"));
         let mut get = wiera_sim::Histogram::new();
         let mut put = wiera_sim::Histogram::new();
-        for i in 0..SAMPLES {
+        for i in 0..samples {
             let g = app_rpc(
                 &mesh,
                 &client,
                 &central.node,
-                DataMsg::Get { key: format!("cold-{i}") },
+                DataMsg::Get {
+                    key: format!("cold-{i}"),
+                },
             )
             .unwrap();
             get.record(g.latency);
@@ -86,7 +103,10 @@ fn main() {
                 &mesh,
                 &client,
                 &central.node,
-                DataMsg::Put { key: format!("w-{region}-{i}"), value: Bytes::from(vec![1u8; OBJ]) },
+                DataMsg::Put {
+                    key: format!("w-{region}-{i}"),
+                    value: Bytes::from(vec![1u8; OBJ]),
+                },
             )
             .unwrap();
             put.record(p.latency);
@@ -118,7 +138,14 @@ fn main() {
     );
 
     // Shape checks: local is cheapest, Asia-East worst with get ≈ 200 ms.
-    let mean = |name: &str| regions.iter().find(|r| r.region == name).unwrap().get.mean_ms;
+    let mean = |name: &str| {
+        regions
+            .iter()
+            .find(|r| r.region == name)
+            .unwrap()
+            .get
+            .mean_ms
+    };
     assert!(mean("US-East") < mean("US-West"));
     assert!(mean("US-West") < mean("Asia-East"));
     let asia = mean("Asia-East");
@@ -133,10 +160,11 @@ fn main() {
         &Record {
             experiment: "fig10",
             object_bytes: OBJ,
-            samples: SAMPLES,
+            samples,
             central_tier: "S3-IA",
             central_region: Region::UsEast.to_string(),
             regions,
         },
     );
+    wiera_bench::emit_metrics("fig10_centralized_latency");
 }

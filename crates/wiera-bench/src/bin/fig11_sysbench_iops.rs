@@ -30,8 +30,12 @@ use wiera_tiers::{SimTier, TierKind, TierSpec};
 /// still maps to a schedulable wall sleep.
 const PACE_SCALE: f64 = 4.0;
 
-const VM_SIZES: [(&str, f64); 4] =
-    [("Basic A2", 42.0), ("Standard D1", 58.0), ("Standard D2", 96.0), ("Standard D3", 100.0)];
+const VM_SIZES: [(&str, f64); 4] = [
+    ("Basic A2", 42.0),
+    ("Standard D1", 58.0),
+    ("Standard D2", 96.0),
+    ("Standard D3", 100.0),
+];
 
 #[derive(Serialize)]
 struct SizeResult {
@@ -52,12 +56,15 @@ struct Record {
 }
 
 fn bench_cfg(seed: u64) -> SysbenchConfig {
+    // Smoke mode measures a shorter window: enough to exercise the whole
+    // paced path, not enough for publication-grade IOPS numbers.
+    let secs = if wiera_bench::is_smoke() { 3 } else { 12 };
     SysbenchConfig {
         file_bytes: 8 << 20,
         block_size: 16 * 1024,
         threads: 8,
         write_frac: 1.0 / 3.0,
-        duration: SimDuration::from_secs(12),
+        duration: SimDuration::from_secs(secs),
         seed,
     }
 }
@@ -65,7 +72,12 @@ fn bench_cfg(seed: u64) -> SysbenchConfig {
 /// Local baseline: sysbench against the VM's own 500-IOPS disk, O_DIRECT.
 fn run_local(seed: u64) -> f64 {
     let clock = ScaledClock::shared(PACE_SCALE);
-    let tier = SimTier::new(TierSpec::of(TierKind::AzureDisk), 1 << 30, clock.clone(), seed);
+    let tier = SimTier::new(
+        TierSpec::of(TierKind::AzureDisk),
+        1 << 30,
+        clock.clone(),
+        seed,
+    );
     let store = TierStore::paced(tier, clock.clone());
     let fs = WieraFs::new(store, FsConfig::direct(16 * 1024));
     let cfg = bench_cfg(seed);
@@ -126,13 +138,26 @@ fn run_remote(nic_cap_mbps: f64, seed: u64) -> f64 {
 
     // Quiet shutdown.
     let ctrl = NodeId::new(Region::UsEast, "ctl");
-    let _ = mesh.rpc(&ctrl, &azure.node, DataMsg::Stop, 64, SimDuration::from_secs(5));
-    let _ = mesh.rpc(&ctrl, &aws.node, DataMsg::Stop, 64, SimDuration::from_secs(5));
+    let _ = mesh.rpc(
+        &ctrl,
+        &azure.node,
+        DataMsg::Stop,
+        64,
+        SimDuration::from_secs(5),
+    );
+    let _ = mesh.rpc(
+        &ctrl,
+        &aws.node,
+        DataMsg::Stop,
+        64,
+        SimDuration::from_secs(5),
+    );
     mesh.shutdown();
     iops
 }
 
 fn main() {
+    wiera_bench::reset_observability();
     let seed = wiera_bench::default_seed();
     let cfg = bench_cfg(seed);
     let mut sizes = Vec::new();
@@ -165,7 +190,9 @@ fn main() {
         &rows,
     );
 
-    // Shape checks mirroring the paper.
+    // Shape checks mirroring the paper. The short smoke window is too noisy
+    // for fine-grained ordering, so smoke keeps only the coarse assertions.
+    let smoke = wiera_bench::is_smoke();
     let by = |vm: &str| sizes.iter().find(|s| s.vm == vm).unwrap();
     for s in &sizes {
         assert!(
@@ -175,20 +202,26 @@ fn main() {
             s.vm
         );
     }
-    assert!(by("Basic A2").remote_memory_iops < by("Standard D1").remote_memory_iops);
-    assert!(by("Standard D1").remote_memory_iops < by("Standard D2").remote_memory_iops);
-    let d2 = by("Standard D2").remote_memory_iops;
-    let d3 = by("Standard D3").remote_memory_iops;
-    assert!((d2 - d3).abs() / d2 < 0.15, "D2 and D3 should look alike: {d2} vs {d3}");
-    assert!(
-        by("Standard D2").improvement > 0.2,
-        "D2 remote should beat the local disk clearly: {:+.0}%",
-        by("Standard D2").improvement * 100.0
-    );
-    assert!(
-        by("Basic A2").improvement < 0.0,
-        "A2's throttled network should lose to the local disk"
-    );
+    assert!(by("Basic A2").remote_memory_iops < by("Standard D2").remote_memory_iops);
+    if !smoke {
+        assert!(by("Basic A2").remote_memory_iops < by("Standard D1").remote_memory_iops);
+        assert!(by("Standard D1").remote_memory_iops < by("Standard D2").remote_memory_iops);
+        let d2 = by("Standard D2").remote_memory_iops;
+        let d3 = by("Standard D3").remote_memory_iops;
+        assert!(
+            (d2 - d3).abs() / d2 < 0.15,
+            "D2 and D3 should look alike: {d2} vs {d3}"
+        );
+        assert!(
+            by("Standard D2").improvement > 0.2,
+            "D2 remote should beat the local disk clearly: {:+.0}%",
+            by("Standard D2").improvement * 100.0
+        );
+        assert!(
+            by("Basic A2").improvement < 0.0,
+            "A2's throttled network should lose to the local disk"
+        );
+    }
     println!("\nshape-check: local flat ~500; remote A2 < D1 < D2 ~= D3; D2/D3 beat disk  [OK]");
 
     wiera_bench::emit(
@@ -201,4 +234,5 @@ fn main() {
             sizes,
         },
     );
+    wiera_bench::emit_metrics("fig11_sysbench_iops");
 }

@@ -52,9 +52,15 @@ const SCALE: f64 = 300.0;
 const END: u64 = 420;
 
 fn main() {
+    wiera_bench::reset_observability();
     let seed = wiera_bench::default_seed();
     let cluster = Cluster::launch(
-        &[Region::UsWest, Region::UsEast, Region::EuWest, Region::AsiaEast],
+        &[
+            Region::UsWest,
+            Region::UsEast,
+            Region::EuWest,
+            Region::AsiaEast,
+        ],
         SCALE,
         seed,
     );
@@ -89,7 +95,12 @@ fn main() {
     // the timeline.
     let series = TimeSeries::new();
     let mut writers = Vec::new();
-    for region in [Region::UsWest, Region::UsEast, Region::EuWest, Region::AsiaEast] {
+    for region in [
+        Region::UsWest,
+        Region::UsEast,
+        Region::EuWest,
+        Region::AsiaEast,
+    ] {
         let client = WieraClient::connect(
             cluster.data_mesh.clone(),
             region,
@@ -98,7 +109,11 @@ fn main() {
         );
         let clock = clock.clone();
         let stop = stop.clone();
-        let series = if region == Region::UsWest { Some(series.clone()) } else { None };
+        let series = if region == Region::UsWest {
+            Some(series.clone())
+        } else {
+            None
+        };
         writers.push(std::thread::spawn(move || {
             let mut rng = SimRng::new(wiera_sim::derive_seed(1, &format!("w{region}")));
             let mut i = 0u64;
@@ -116,12 +131,18 @@ fn main() {
     }
 
     // Injected delays: (a) and (b) sustained, (c) transient.
-    let delays = [(40u64, 110u64, 700.0f64), (200, 260, 1000.0), (330, 345, 700.0)];
+    let delays = [
+        (40u64, 110u64, 700.0f64),
+        (200, 260, 1000.0),
+        (330, 345, 700.0),
+    ];
     for (start, end, ms) in delays {
         while clock.now() < at(start) {
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
-        cluster.fabric.inject_node_delay(Region::EuWest, SimDuration::from_millis_f64(ms));
+        cluster
+            .fabric
+            .inject_node_delay(Region::EuWest, SimDuration::from_millis_f64(ms));
         while clock.now() < at(end) {
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
@@ -149,7 +170,10 @@ fn main() {
         let all_slow = w.iter().all(|(_, ms)| *ms > 100.0);
         if all_fast && !in_eventual {
             in_eventual = true;
-            events_out.push(Event { t_secs: rel(w[0].0), consistency: "Eventual".into() });
+            events_out.push(Event {
+                t_secs: rel(w[0].0),
+                consistency: "Eventual".into(),
+            });
         } else if all_slow && in_eventual {
             in_eventual = false;
             events_out.push(Event {
@@ -181,7 +205,9 @@ fn main() {
             vec![
                 p.label.clone(),
                 format!("{:.0}-{:.0}s", p.from_secs, p.to_secs),
-                p.mean_put_ms.map(|m| format!("{m:.1} ms")).unwrap_or("-".into()),
+                p.mean_put_ms
+                    .map(|m| format!("{m:.1} ms"))
+                    .unwrap_or("-".into()),
             ]
         })
         .collect();
@@ -200,7 +226,10 @@ fn main() {
         "strong puts should cost hundreds of ms, got {initial}"
     );
     let eventual_a = phases[2].mean_put_ms.expect("eventual samples after (a)");
-    assert!(eventual_a < 30.0, "eventual puts should be fast, got {eventual_a}");
+    assert!(
+        eventual_a < 30.0,
+        "eventual puts should be fast, got {eventual_a}"
+    );
     let restored = phases[3].mean_put_ms.expect("restored strong samples");
     assert!(restored > 100.0, "strong restored after (a): {restored}");
     let tail = phases[5].mean_put_ms.expect("tail samples");
@@ -208,9 +237,18 @@ fn main() {
         tail > 100.0,
         "transient delay (c) must NOT trigger a switch; tail mean {tail}"
     );
-    let to_eventual = events_out.iter().filter(|e| e.consistency == "Eventual").count();
-    let to_strong = events_out.iter().filter(|e| e.consistency == "MultiPrimaries").count();
-    assert_eq!(to_eventual, 2, "exactly two switches to eventual: {events_out:?}");
+    let to_eventual = events_out
+        .iter()
+        .filter(|e| e.consistency == "Eventual")
+        .count();
+    let to_strong = events_out
+        .iter()
+        .filter(|e| e.consistency == "MultiPrimaries")
+        .count();
+    assert_eq!(
+        to_eventual, 2,
+        "exactly two switches to eventual: {events_out:?}"
+    );
     assert_eq!(to_strong, 2, "exactly two switches back: {events_out:?}");
     assert_eq!(dep.consistency(), ConsistencyModel::MultiPrimaries);
     // No switch events after the transient delay (c) begins.
@@ -235,12 +273,16 @@ fn main() {
             experiment: "fig7",
             threshold_ms: 800.0,
             period_secs: 30.0,
-            delays: delays.iter().map(|&(a, b, ms)| (a as f64, b as f64, ms)).collect(),
+            delays: delays
+                .iter()
+                .map(|&(a, b, ms)| (a as f64, b as f64, ms))
+                .collect(),
             events: events_out,
             phases,
             series: series_out,
         },
     );
+    wiera_bench::emit_metrics("fig7_dynamic_consistency");
 
     cluster.shutdown();
 }

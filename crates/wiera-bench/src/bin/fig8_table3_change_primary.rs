@@ -49,7 +49,14 @@ struct Record {
 }
 
 fn run(label: &str, changing: bool, seed: u64) -> RunResult {
-    let cluster = Cluster::launch(&REGIONS, SCALE, seed);
+    // Smoke compresses time harder: the workload is entirely on the modeled
+    // axis, so the same three activity bells play out in ~1/3 the wall time.
+    let scale = if wiera_bench::is_smoke() {
+        SCALE * 3.0
+    } else {
+        SCALE
+    };
+    let cluster = Cluster::launch(&REGIONS, scale, seed);
     cluster
         .register_policy_over(
             "pb-async-3",
@@ -57,12 +64,18 @@ fn run(label: &str, changing: bool, seed: u64) -> RunResult {
             bodies::PRIMARY_BACKUP_ASYNC,
         )
         .unwrap();
-    let mut config = DeploymentConfig { flush_ms: 8_000.0, ..Default::default() };
+    let mut config = DeploymentConfig {
+        flush_ms: 8_000.0,
+        ..Default::default()
+    };
     if changing {
         // Paper: compare over the last 30 s of put history, check every 15 s.
         config = config.with_change_primary(30_000.0, 15_000.0);
     }
-    let dep = cluster.controller.start_instances("fig8", "pb-async-3", config).unwrap();
+    let dep = cluster
+        .controller
+        .start_instances("fig8", "pb-async-3", config)
+        .unwrap();
 
     let clock = cluster.clock.clone();
     let t0 = clock.now();
@@ -71,13 +84,19 @@ fn run(label: &str, changing: bool, seed: u64) -> RunResult {
     let ledger = Arc::new(Ledger::new());
 
     // Per-region aggregation.
-    let put_hists: Vec<Arc<parking_lot::Mutex<Histogram>>> =
-        REGIONS.iter().map(|_| Arc::new(parking_lot::Mutex::new(Histogram::new()))).collect();
+    let put_hists: Vec<Arc<parking_lot::Mutex<Histogram>>> = REGIONS
+        .iter()
+        .map(|_| Arc::new(parking_lot::Mutex::new(Histogram::new())))
+        .collect();
     let fresh = Arc::new(std::sync::atomic::AtomicU64::new(0));
     let stale = Arc::new(std::sync::atomic::AtomicU64::new(0));
 
     // Activity bells staggered in the paper's order (Asia, EU, US).
-    let schedules = ActiveSchedule::staggered(CLIENTS_PER_REGION, REGIONS.len(), SimDuration::from_secs(STAGGER_SECS));
+    let schedules = ActiveSchedule::staggered(
+        CLIENTS_PER_REGION,
+        REGIONS.len(),
+        SimDuration::from_secs(STAGGER_SECS),
+    );
 
     let mut handles = Vec::new();
     for (ri, &region) in REGIONS.iter().enumerate() {
@@ -172,6 +191,7 @@ fn run(label: &str, changing: bool, seed: u64) -> RunResult {
 }
 
 fn main() {
+    wiera_bench::reset_observability();
     let seed = wiera_bench::default_seed();
     let static_run = run("static", false, seed);
     let changing_run = run("changing", true, seed + 1);
@@ -179,7 +199,12 @@ fn main() {
     // Fig. 8.
     wiera_bench::print_table(
         "Fig. 8: chance of seeing latest (Strong) vs outdated (Eventual) data",
-        &["Primary placement", "Latest %", "Outdated %", "final primary"],
+        &[
+            "Primary placement",
+            "Latest %",
+            "Outdated %",
+            "final primary",
+        ],
         &[
             vec![
                 "Static (Asia-East)".into(),
@@ -234,7 +259,10 @@ fn main() {
         static_asia < 10.0,
         "static: Asia clients sit next to the primary (<5-10ms): {static_asia}"
     );
-    assert!(static_us > 80.0, "static: US-West forwards across the Pacific: {static_us}");
+    assert!(
+        static_us > 80.0,
+        "static: US-West forwards across the Pacific: {static_us}"
+    );
     assert!(
         changing_run.overall_put_mean_ms < static_run.overall_put_mean_ms,
         "changing primary must lower overall put latency: {} vs {}",
@@ -249,6 +277,11 @@ fn main() {
 
     wiera_bench::emit(
         "fig8_table3_change_primary",
-        &Record { experiment: "fig8_table3", static_run, changing_run },
+        &Record {
+            experiment: "fig8_table3",
+            static_run,
+            changing_run,
+        },
     );
+    wiera_bench::emit_metrics("fig8_table3_change_primary");
 }

@@ -34,12 +34,16 @@ const SAMPLES: usize = 300;
 
 fn measure(kind: &str, page_cache: bool, seed: u64) -> TierResult {
     let clock = ManualClock::new();
-    let cfg = InstanceConfig::new(format!("fig9-{kind}"), Region::UsEast)
-        .with_tier("tier1", kind, 0);
+    let cfg =
+        InstanceConfig::new(format!("fig9-{kind}"), Region::UsEast).with_tier("tier1", kind, 0);
     let inst: Arc<TieraInstance> = TieraInstance::build(cfg, clock).unwrap();
     // "Enough memory on EC2" → EBS reads hit the OS page cache; the paper
     // throttles memory (O_DIRECT-style) to measure the native device.
-    inst.tier("tier1").unwrap().as_local().unwrap().set_page_cache(page_cache);
+    inst.tier("tier1")
+        .unwrap()
+        .as_local()
+        .unwrap()
+        .set_page_cache(page_cache);
 
     let mut rng = SimRng::new(seed);
     let mut get = wiera_sim::Histogram::new();
@@ -62,6 +66,7 @@ fn measure(kind: &str, page_cache: bool, seed: u64) -> TierResult {
 }
 
 fn main() {
+    wiera_bench::reset_observability();
     let seed = wiera_bench::default_seed();
     let mut tiers = Vec::new();
     for kind in ["Memcached", "EBS-SSD", "EBS-HDD", "S3", "S3-IA"] {
@@ -89,7 +94,12 @@ fn main() {
         &rows,
     );
 
-    let record = Record { experiment: "fig9", object_bytes: OBJ, samples: SAMPLES, tiers };
+    let record = Record {
+        experiment: "fig9",
+        object_bytes: OBJ,
+        samples: SAMPLES,
+        tiers,
+    };
     // Shape checks mirroring the paper's claims.
     let mean = |name: &str, cached: bool| {
         record
@@ -106,4 +116,5 @@ fn main() {
     println!("\nshape-check: SSD < HDD < S3 <= S3-IA; cached EBS <1ms  [OK]");
 
     wiera_bench::emit("fig9_tier_latency", &record);
+    wiera_bench::emit_metrics("fig9_tier_latency");
 }

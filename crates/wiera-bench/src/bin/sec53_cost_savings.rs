@@ -113,7 +113,8 @@ fn live_run() -> LiveRun {
         }
         let inst: Arc<TieraInstance> = TieraInstance::build(cfg, clock.clone()).unwrap();
         for i in 0..OBJECTS {
-            inst.put(&format!("obj-{i}"), Bytes::from(vec![3u8; OBJ_BYTES])).unwrap();
+            inst.put(&format!("obj-{i}"), Bytes::from(vec![3u8; OBJ_BYTES]))
+                .unwrap();
         }
         // 20% of the data stays hot: touch it periodically. The rest goes
         // cold and (with the policy) migrates after 120 h.
@@ -180,10 +181,22 @@ fn main() {
         &[
             vec!["EBS-SSD only".into(), format!("{:.0}", fs.ssd_only_monthly)],
             vec!["EBS-HDD only".into(), format!("{:.0}", fs.hdd_only_monthly)],
-            vec!["SSD hot + S3-IA cold".into(), format!("{:.0}", fs.ssd_plus_ia_monthly)],
-            vec!["HDD hot + S3-IA cold".into(), format!("{:.0}", fs.hdd_plus_ia_monthly)],
-            vec!["saving vs SSD (paper: ~$700)".into(), format!("{:.0}", fs.saving_vs_ssd)],
-            vec!["saving vs HDD (paper: ~$300)".into(), format!("{:.0}", fs.saving_vs_hdd)],
+            vec![
+                "SSD hot + S3-IA cold".into(),
+                format!("{:.0}", fs.ssd_plus_ia_monthly),
+            ],
+            vec![
+                "HDD hot + S3-IA cold".into(),
+                format!("{:.0}", fs.hdd_plus_ia_monthly),
+            ],
+            vec![
+                "saving vs SSD (paper: ~$700)".into(),
+                format!("{:.0}", fs.saving_vs_ssd),
+            ],
+            vec![
+                "saving vs HDD (paper: ~$300)".into(),
+                format!("{:.0}", fs.saving_vs_hdd),
+            ],
             vec![
                 format!("centralize cold over {} regions (paper: ~$300)", fs.regions),
                 format!("{:.0}", fs.centralization_saving),
@@ -201,8 +214,14 @@ fn main() {
         &[
             vec!["objects".into(), live.objects.to_string()],
             vec!["cold objects migrated".into(), live.cold_moved.to_string()],
-            vec!["bill without policy ($)".into(), format!("{:.4}", live.bill_without_policy)],
-            vec!["bill with policy ($)".into(), format!("{:.4}", live.bill_with_policy)],
+            vec![
+                "bill without policy ($)".into(),
+                format!("{:.4}", live.bill_without_policy),
+            ],
+            vec![
+                "bill with policy ($)".into(),
+                format!("{:.4}", live.bill_with_policy),
+            ],
             vec![
                 "measured saving".into(),
                 format!("{:.1}%", live.measured_saving_fraction * 100.0),
@@ -223,6 +242,10 @@ fn main() {
 
     wiera_bench::emit(
         "sec53_cost_savings",
-        &Record { experiment: "sec53", full_scale: fs, live },
+        &Record {
+            experiment: "sec53",
+            full_scale: fs,
+            live,
+        },
     );
 }

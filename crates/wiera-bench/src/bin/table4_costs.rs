@@ -39,5 +39,11 @@ fn main() {
         ],
         &table,
     );
-    wiera_bench::emit("table4_costs", &Record { experiment: "table4", rows });
+    wiera_bench::emit(
+        "table4_costs",
+        &Record {
+            experiment: "table4",
+            rows,
+        },
+    );
 }

@@ -48,10 +48,39 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
+}
+
+/// Snapshot the global [`MetricsRegistry`] to `results/metrics_<name>.json`.
+///
+/// Experiment binaries call [`reset_observability`] before the run and this
+/// at exit, so the snapshot covers exactly one experiment. CI's bench-smoke
+/// job asserts invariants over these files.
+pub fn emit_metrics(name: &str) {
+    let snap = wiera_sim::MetricsRegistry::global().snapshot();
+    emit(&format!("metrics_{name}"), &snap);
+}
+
+/// Clear the global registry and tracer so a fresh run's exported metrics
+/// are not polluted by earlier work in the same process.
+pub fn reset_observability() {
+    wiera_sim::MetricsRegistry::global().reset();
+    wiera_sim::Tracer::global().clear();
+}
+
+/// True when running under `run_all --smoke` (CI's quick gate): experiments
+/// should shrink workloads to seconds of wall time while still exercising
+/// every code path they normally measure.
+pub fn is_smoke() -> bool {
+    std::env::var("WIERA_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Time-compression factor used by the heavier experiments. High enough to
@@ -66,7 +95,10 @@ pub fn default_scale() -> f64 {
 
 /// Root RNG seed for experiments (override with WIERA_SEED).
 pub fn default_seed() -> u64 {
-    std::env::var("WIERA_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+    std::env::var("WIERA_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
 }
 
 #[cfg(test)]

@@ -97,7 +97,13 @@ impl CoordClient {
                 })
                 .expect("spawn heartbeat");
         }
-        Ok(Arc::new(CoordClient { mesh, me, service, session, stop_hb }))
+        Ok(Arc::new(CoordClient {
+            mesh,
+            me,
+            service,
+            session,
+            stop_hb,
+        }))
     }
 
     pub fn session_id(&self) -> u64 {
@@ -110,9 +116,15 @@ impl CoordClient {
         self.stop_hb.store(true, Ordering::Release);
     }
 
-    fn call(&self, msg: CoordMsg, timeout: SimDuration) -> Result<(CoordMsg, SimDuration), CoordError> {
+    fn call(
+        &self,
+        msg: CoordMsg,
+        timeout: SimDuration,
+    ) -> Result<(CoordMsg, SimDuration), CoordError> {
         let bytes = msg.wire_bytes();
-        let reply = self.mesh.rpc(&self.me, &self.service, msg, bytes, timeout)?;
+        let reply = self
+            .mesh
+            .rpc(&self.me, &self.service, msg, bytes, timeout)?;
         let cost = reply.total();
         match reply.msg {
             CoordMsg::Error { what } => Err(CoordError::Rejected(what)),
@@ -124,13 +136,20 @@ impl CoordClient {
     /// guard and the modeled acquisition cost (RTT + queue wait).
     pub fn lock(self: &Arc<Self>, path: &str) -> Result<(LockGuard, SimDuration), CoordError> {
         let (msg, cost) = self.call(
-            CoordMsg::Acquire { session: self.session, path: path.to_string() },
+            CoordMsg::Acquire {
+                session: self.session,
+                path: path.to_string(),
+            },
             LOCK_TIMEOUT,
         )?;
         match msg {
-            CoordMsg::Granted { path } => {
-                Ok((LockGuard { client: self.clone(), path: Some(path) }, cost))
-            }
+            CoordMsg::Granted { path } => Ok((
+                LockGuard {
+                    client: self.clone(),
+                    path: Some(path),
+                },
+                cost,
+            )),
             other => Err(CoordError::Protocol(format!("{other:?}"))),
         }
     }
@@ -141,7 +160,10 @@ impl CoordClient {
     /// wait is the put's job, not the release's.)
     pub fn unlock_sync(&self, path: &str) -> Result<SimDuration, CoordError> {
         let (msg, cost) = self.call(
-            CoordMsg::Release { session: self.session, path: path.to_string() },
+            CoordMsg::Release {
+                session: self.session,
+                path: path.to_string(),
+            },
             CALL_TIMEOUT,
         )?;
         match msg {
@@ -154,7 +176,10 @@ impl CoordClient {
         let _ = self.mesh.send(
             &self.me,
             &self.service,
-            CoordMsg::Release { session: self.session, path },
+            CoordMsg::Release {
+                session: self.session,
+                path,
+            },
             64,
         );
     }
@@ -163,7 +188,11 @@ impl CoordClient {
 
     pub fn create_znode(&self, path: &str, ephemeral: bool) -> Result<SimDuration, CoordError> {
         let (msg, cost) = self.call(
-            CoordMsg::Create { session: self.session, path: path.into(), ephemeral },
+            CoordMsg::Create {
+                session: self.session,
+                path: path.into(),
+                ephemeral,
+            },
             CALL_TIMEOUT,
         )?;
         match msg {
@@ -182,7 +211,10 @@ impl CoordClient {
 
     pub fn delete_znode(&self, path: &str) -> Result<(), CoordError> {
         let (msg, _) = self.call(
-            CoordMsg::Delete { session: self.session, path: path.into() },
+            CoordMsg::Delete {
+                session: self.session,
+                path: path.into(),
+            },
             CALL_TIMEOUT,
         )?;
         match msg {
@@ -192,7 +224,12 @@ impl CoordClient {
     }
 
     pub fn list_children(&self, prefix: &str) -> Result<Vec<String>, CoordError> {
-        let (msg, _) = self.call(CoordMsg::ListChildren { prefix: prefix.into() }, CALL_TIMEOUT)?;
+        let (msg, _) = self.call(
+            CoordMsg::ListChildren {
+                prefix: prefix.into(),
+            },
+            CALL_TIMEOUT,
+        )?;
         match msg {
             CoordMsg::Children { paths } => Ok(paths),
             other => Err(CoordError::Protocol(format!("{other:?}"))),
@@ -206,7 +243,9 @@ impl Drop for CoordClient {
         let _ = self.mesh.send(
             &self.me,
             &self.service,
-            CoordMsg::CloseSession { session: self.session },
+            CoordMsg::CloseSession {
+                session: self.session,
+            },
             64,
         );
     }
@@ -269,11 +308,7 @@ mod tests {
             session_timeout: wiera_sim::SimDuration::from_secs(600),
             sweep_interval: wiera_sim::SimDuration::from_secs(5),
         };
-        let service = CoordService::spawn(
-            mesh.clone(),
-            NodeId::new(Region::UsEast, "zk"),
-            config,
-        );
+        let service = CoordService::spawn(mesh.clone(), NodeId::new(Region::UsEast, "zk"), config);
         Setup { mesh, service }
     }
 
@@ -320,7 +355,10 @@ mod tests {
         // Enqueue c2, then c3, waiting on the service's queue depth so the
         // FIFO order is deterministic regardless of scheduler timing.
         let mut handles = Vec::new();
-        for (i, (c, tag)) in [(c2.clone(), "c2"), (c3.clone(), "c3")].into_iter().enumerate() {
+        for (i, (c, tag)) in [(c2.clone(), "c2"), (c3.clone(), "c3")]
+            .into_iter()
+            .enumerate()
+        {
             let order = order.clone();
             handles.push(std::thread::spawn(move || {
                 let (g, cost) = c.lock("/k").unwrap();
@@ -334,7 +372,10 @@ mod tests {
             }));
             let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
             while s.service.lock_waiters("/k") < i + 1 {
-                assert!(std::time::Instant::now() < deadline, "waiter {tag} never queued");
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "waiter {tag} never queued"
+                );
                 std::thread::sleep(std::time::Duration::from_millis(2));
             }
         }
@@ -390,9 +431,12 @@ mod tests {
         let (g, _) = c1.lock("/k").unwrap();
         c1.pause_heartbeats(); // simulate a hung holder
         std::mem::forget(g); // never released explicitly
-        // c2 must eventually acquire once c1's session expires.
+                             // c2 must eventually acquire once c1's session expires.
         let (g2, cost) = c2.lock("/k").unwrap();
-        assert!(cost > SimDuration::from_millis(70), "had to wait for expiry: {cost}");
+        assert!(
+            cost > SimDuration::from_millis(70),
+            "had to wait for expiry: {cost}"
+        );
         drop(g2);
         assert_eq!(service.session_count(), 1, "expired session removed");
     }
@@ -412,7 +456,10 @@ mod tests {
         );
         drop(c1); // closes session → /servers/a removed, /config/x persists
         std::thread::sleep(std::time::Duration::from_millis(100));
-        assert_eq!(c2.list_children("/servers/").unwrap(), vec!["/servers/b".to_string()]);
+        assert_eq!(
+            c2.list_children("/servers/").unwrap(),
+            vec!["/servers/b".to_string()]
+        );
         assert!(c2.exists("/config/x").unwrap());
         c2.delete_znode("/config/x").unwrap();
         assert!(!c2.exists("/config/x").unwrap());

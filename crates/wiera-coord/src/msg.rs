@@ -7,31 +7,62 @@
 pub enum CoordMsg {
     // -- sessions --
     OpenSession,
-    SessionOpened { session: u64 },
-    Heartbeat { session: u64 },
+    SessionOpened {
+        session: u64,
+    },
+    Heartbeat {
+        session: u64,
+    },
     HeartbeatAck,
-    CloseSession { session: u64 },
+    CloseSession {
+        session: u64,
+    },
     SessionClosed,
 
     // -- global lock (Curator InterProcessMutex recipe) --
     /// Acquire the lock at `path`. The reply is withheld until granted.
-    Acquire { session: u64, path: String },
-    Granted { path: String },
-    Release { session: u64, path: String },
+    Acquire {
+        session: u64,
+        path: String,
+    },
+    Granted {
+        path: String,
+    },
+    Release {
+        session: u64,
+        path: String,
+    },
     Released,
 
     // -- ephemeral znodes --
-    Create { session: u64, path: String, ephemeral: bool },
+    Create {
+        session: u64,
+        path: String,
+        ephemeral: bool,
+    },
     Created,
-    Exists { path: String },
-    ExistsReply { exists: bool },
-    Delete { session: u64, path: String },
+    Exists {
+        path: String,
+    },
+    ExistsReply {
+        exists: bool,
+    },
+    Delete {
+        session: u64,
+        path: String,
+    },
     Deleted,
-    ListChildren { prefix: String },
-    Children { paths: Vec<String> },
+    ListChildren {
+        prefix: String,
+    },
+    Children {
+        paths: Vec<String>,
+    },
 
     /// Any request-level failure (bad session, double release, …).
-    Error { what: String },
+    Error {
+        what: String,
+    },
 }
 
 impl CoordMsg {

@@ -11,7 +11,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use wiera_net::{Delivery, Mesh, NodeId, ReplySlot};
-use wiera_sim::{SimDuration, SimInstant};
+use wiera_sim::{MetricsRegistry, SimDuration, SimInstant, Tracer};
 
 /// Tunables for the coordination service.
 #[derive(Debug, Clone)]
@@ -164,7 +164,12 @@ impl CoordService {
                     reply(d.reply, CoordMsg::HeartbeatAck);
                 } else {
                     drop(s);
-                    reply(d.reply, CoordMsg::Error { what: format!("no session {session}") });
+                    reply(
+                        d.reply,
+                        CoordMsg::Error {
+                            what: format!("no session {session}"),
+                        },
+                    );
                 }
             }
             CoordMsg::CloseSession { session } => {
@@ -176,19 +181,27 @@ impl CoordService {
                 let mut s = state.lock();
                 if !s.sessions.contains_key(&session) {
                     drop(s);
-                    reply(Some(slot), CoordMsg::Error { what: format!("no session {session}") });
+                    reply(
+                        Some(slot),
+                        CoordMsg::Error {
+                            what: format!("no session {session}"),
+                        },
+                    );
                     return;
                 }
-                let lock = s
-                    .locks
-                    .entry(path.clone())
-                    .or_insert_with(|| LockState { holder: None, queue: VecDeque::new() });
+                let lock = s.locks.entry(path.clone()).or_insert_with(|| LockState {
+                    holder: None,
+                    queue: VecDeque::new(),
+                });
                 match lock.holder {
                     None => {
                         lock.holder = Some(session);
                         s.held_by.entry(session).or_default().insert(path.clone());
                         drop(s);
                         // Immediate grant: only the service time is charged.
+                        let metrics = MetricsRegistry::global();
+                        metrics.inc("coord_lock_grants", &[("path", "immediate")]);
+                        metrics.observe("coord_lock_wait", &[], SimDuration::ZERO);
                         slot.reply(CoordMsg::Granted { path }, svc, 64);
                     }
                     Some(_) => {
@@ -198,6 +211,9 @@ impl CoordService {
                             enqueued_at: now,
                             path,
                         });
+                        MetricsRegistry::global()
+                            .gauge("coord_lock_queue_depth", &[])
+                            .inc();
                     }
                 }
             }
@@ -211,14 +227,24 @@ impl CoordService {
                     Err(e) => reply(d.reply, CoordMsg::Error { what: e }),
                 }
             }
-            CoordMsg::Create { session, path, ephemeral } => {
+            CoordMsg::Create {
+                session,
+                path,
+                ephemeral,
+            } => {
                 let mut s = state.lock();
                 if ephemeral && !s.sessions.contains_key(&session) {
                     drop(s);
-                    reply(d.reply, CoordMsg::Error { what: format!("no session {session}") });
+                    reply(
+                        d.reply,
+                        CoordMsg::Error {
+                            what: format!("no session {session}"),
+                        },
+                    );
                     return;
                 }
-                s.znodes.insert(path, if ephemeral { Some(session) } else { None });
+                s.znodes
+                    .insert(path, if ephemeral { Some(session) } else { None });
                 drop(s);
                 reply(d.reply, CoordMsg::Created);
             }
@@ -243,7 +269,12 @@ impl CoordService {
             }
             // Reply-only variants arriving as requests are protocol errors.
             other => {
-                reply(d.reply, CoordMsg::Error { what: format!("unexpected request {other:?}") });
+                reply(
+                    d.reply,
+                    CoordMsg::Error {
+                        what: format!("unexpected request {other:?}"),
+                    },
+                );
             }
         }
     }
@@ -251,23 +282,37 @@ impl CoordService {
     /// Release a lock and grant it to the next FIFO waiter (if any). The
     /// waiter's queue time is reported as its RPC processing time.
     fn do_release(s: &mut State, session: u64, path: &str, now: SimInstant) -> Result<(), String> {
-        let lock = s.locks.get_mut(path).ok_or_else(|| format!("no lock at {path}"))?;
+        let lock = s
+            .locks
+            .get_mut(path)
+            .ok_or_else(|| format!("no lock at {path}"))?;
         if lock.holder != Some(session) {
             return Err(format!("session {session} does not hold {path}"));
         }
         if let Some(held) = s.held_by.get_mut(&session) {
             held.remove(path);
         }
+        let metrics = MetricsRegistry::global();
         loop {
             match lock.queue.pop_front() {
                 Some(w) if s.sessions.contains_key(&w.session) => {
+                    metrics.gauge("coord_lock_queue_depth", &[]).dec();
                     lock.holder = Some(w.session);
-                    s.held_by.entry(w.session).or_default().insert(w.path.clone());
+                    s.held_by
+                        .entry(w.session)
+                        .or_default()
+                        .insert(w.path.clone());
                     let waited = now.elapsed_since(w.enqueued_at) + SimDuration::from_micros(200);
+                    metrics.inc("coord_lock_grants", &[("path", "queued")]);
+                    metrics.observe("coord_lock_wait", &[], waited);
                     w.slot.reply(CoordMsg::Granted { path: w.path }, waited, 64);
                     return Ok(());
                 }
-                Some(_) => continue, // waiter's session expired meanwhile; skip
+                Some(_) => {
+                    // Waiter's session expired meanwhile; skip it.
+                    metrics.gauge("coord_lock_queue_depth", &[]).dec();
+                    continue;
+                }
                 None => {
                     lock.holder = None;
                     return Ok(());
@@ -280,8 +325,11 @@ impl CoordService {
         let mut s = state.lock();
         s.sessions.remove(&session);
         // Release all locks the session held.
-        let held: Vec<String> =
-            s.held_by.remove(&session).map(|h| h.into_iter().collect()).unwrap_or_default();
+        let held: Vec<String> = s
+            .held_by
+            .remove(&session)
+            .map(|h| h.into_iter().collect())
+            .unwrap_or_default();
         for path in held {
             let _ = Self::do_release(&mut s, session, &path, now);
             // do_release removed from held_by already-removed map; holder
@@ -289,8 +337,16 @@ impl CoordService {
         }
         // Drop queued waiters belonging to the session (their RPC fails with
         // NoReply, which clients surface as a lost lock attempt).
+        let mut dropped_waiters = 0i64;
         for lock in s.locks.values_mut() {
+            let before = lock.queue.len();
             lock.queue.retain(|w| w.session != session);
+            dropped_waiters += (before - lock.queue.len()) as i64;
+        }
+        if dropped_waiters > 0 {
+            MetricsRegistry::global()
+                .gauge("coord_lock_queue_depth", &[])
+                .add(-dropped_waiters);
         }
         // Remove ephemeral znodes.
         s.znodes.retain(|_, owner| *owner != Some(session));
@@ -306,6 +362,13 @@ impl CoordService {
                 .collect()
         };
         for id in expired {
+            MetricsRegistry::global().inc("coord_session_expiries", &[]);
+            Tracer::global().point(
+                now,
+                "coord",
+                "session_expired",
+                Some(format!("session {id}")),
+            );
             Self::teardown_session(state, id, now);
         }
     }

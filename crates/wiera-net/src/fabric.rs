@@ -122,7 +122,11 @@ impl Fabric {
     pub fn effective_bw_mbps(&self, from: Region, to: Region) -> f64 {
         let base = self.topology.read().bw_mbps(from, to);
         let d = self.dyn_state.read();
-        let cap = d.egress_cap_mbps.get(&from).copied().unwrap_or(f64::INFINITY);
+        let cap = d
+            .egress_cap_mbps
+            .get(&from)
+            .copied()
+            .unwrap_or(f64::INFINITY);
         // The receiving side's cap applies to its inbound traffic too; Azure
         // throttles the VM NIC, which is direction-agnostic.
         let rcap = d.egress_cap_mbps.get(&to).copied().unwrap_or(f64::INFINITY);
@@ -203,7 +207,10 @@ impl Fabric {
 
     /// Add `extra` one-way delay to one link (both directions).
     pub fn inject_link_delay(&self, a: Region, b: Region, extra: SimDuration) {
-        self.dyn_state.write().link_delay.insert(link_key(a, b), extra);
+        self.dyn_state
+            .write()
+            .link_delay
+            .insert(link_key(a, b), extra);
     }
 
     pub fn clear_link_delay(&self, a: Region, b: Region) {

@@ -26,7 +26,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use wiera_sim::{SharedClock, SimDuration, SimInstant};
+use wiera_sim::{MetricsRegistry, SharedClock, SimDuration, SimInstant, Tracer};
 
 /// Identity of a node on the mesh: the site it runs in plus a name unique
 /// within the deployment (e.g. `"tiera@US-East"`, `"wiera-controller"`).
@@ -38,7 +38,10 @@ pub struct NodeId {
 
 impl NodeId {
     pub fn new(region: Region, name: impl Into<Arc<str>>) -> Self {
-        NodeId { region, name: name.into() }
+        NodeId {
+            region,
+            name: name.into(),
+        }
     }
 }
 
@@ -140,7 +143,11 @@ impl<M: Send + 'static> Mesh<M> {
             shutdown: AtomicBool::new(false),
             seq: AtomicU64::new(0),
         });
-        let mesh = Arc::new(Mesh { fabric, clock: clock.clone(), inner: inner.clone() });
+        let mesh = Arc::new(Mesh {
+            fabric,
+            clock: clock.clone(),
+            inner: inner.clone(),
+        });
         // Dispatcher thread releasing delayed one-way messages. Holds a weak
         // ref via the shutdown flag; exits when the mesh shuts down.
         {
@@ -175,12 +182,10 @@ impl<M: Send + 'static> Mesh<M> {
                 // wait below is only a hint, clamped so that ManualClock
                 // tests (where scale has no wall meaning) still make progress.
                 wait_hint = match q.peek() {
-                    Some(Reverse(head)) => (head.deliver_at - now)
-                        .to_wall(clock.scale())
-                        .clamp(
-                            std::time::Duration::from_micros(50),
-                            std::time::Duration::from_millis(2),
-                        ),
+                    Some(Reverse(head)) => (head.deliver_at - now).to_wall(clock.scale()).clamp(
+                        std::time::Duration::from_micros(50),
+                        std::time::Duration::from_millis(2),
+                    ),
                     None => std::time::Duration::from_millis(2),
                 };
                 if due.is_empty() {
@@ -196,9 +201,12 @@ impl<M: Send + 'static> Mesh<M> {
                         net_delay: m.net_delay,
                         reply: None,
                     });
+                } else {
+                    // Unknown destination: the node stopped while the message
+                    // was in flight. Drop it, like the real network would.
+                    let to = m.to.region.to_string();
+                    MetricsRegistry::global().inc("net_send_drops", &[("to", &to)]);
                 }
-                // Unknown destination: the node stopped while the message was
-                // in flight. Drop it, like the real network would.
             }
         }
     }
@@ -226,14 +234,22 @@ impl<M: Send + 'static> Mesh<M> {
 
     /// One-way send: the message arrives at `to`'s inbox after the modeled
     /// one-way latency. Returns that latency (the sender does not wait).
-    pub fn send(&self, from: &NodeId, to: &NodeId, msg: M, bytes: u64) -> Result<SimDuration, NetError> {
+    pub fn send(
+        &self,
+        from: &NodeId,
+        to: &NodeId,
+        msg: M,
+        bytes: u64,
+    ) -> Result<SimDuration, NetError> {
         if !self.fabric.is_reachable(from.region, to.region) {
             return Err(NetError::Unreachable(to.clone()));
         }
         if !self.is_registered(to) {
             return Err(NetError::UnknownNode(to.clone()));
         }
-        let delay = self.fabric.one_way_at(from.region, to.region, bytes, self.clock.now());
+        let delay = self
+            .fabric
+            .one_way_at(from.region, to.region, bytes, self.clock.now());
         let deliver_at = self.clock.now() + delay;
         let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
         self.inner.queue.lock().push(Reverse(DelayedMsg {
@@ -245,6 +261,11 @@ impl<M: Send + 'static> Mesh<M> {
             net_delay: delay,
         }));
         self.inner.queue_cond.notify_one();
+        let (from_r, to_r) = (from.region.to_string(), to.region.to_string());
+        let labels = [("from", from_r.as_str()), ("to", to_r.as_str())];
+        let metrics = MetricsRegistry::global();
+        metrics.inc("net_send_total", &labels);
+        metrics.counter("net_send_bytes", &labels).add(bytes);
         Ok(delay)
     }
 
@@ -261,14 +282,22 @@ impl<M: Send + 'static> Mesh<M> {
         bytes: u64,
         timeout: SimDuration,
     ) -> Result<RpcReply<M>, NetError> {
+        let started = self.clock.now();
+        let (from_r, to_r) = (from.region.to_string(), to.region.to_string());
+        let labels = [("from", from_r.as_str()), ("to", to_r.as_str())];
+        let metrics = MetricsRegistry::global();
         if !self.fabric.is_reachable(from.region, to.region) {
+            metrics.inc("net_rpc_errors", &labels);
             return Err(NetError::Unreachable(to.clone()));
         }
-        let req_lat = self.fabric.one_way_at(from.region, to.region, bytes, self.clock.now());
+        let req_lat = self
+            .fabric
+            .one_way_at(from.region, to.region, bytes, self.clock.now());
         let (tx, rx) = unbounded();
         {
             let eps = self.inner.endpoints.read();
             let Some(inbox) = eps.get(to) else {
+                metrics.inc("net_rpc_errors", &labels);
                 return Err(NetError::UnknownNode(to.clone()));
             };
             inbox
@@ -283,27 +312,52 @@ impl<M: Send + 'static> Mesh<M> {
         // Wall-clock bound on the wait: the modeled timeout compressed by the
         // clock scale, floored generously so slow CI machines don't produce
         // spurious timeouts.
-        let wall_timeout = timeout.to_wall(self.clock.scale()).max(std::time::Duration::from_millis(250));
+        let wall_timeout = timeout
+            .to_wall(self.clock.scale())
+            .max(std::time::Duration::from_millis(250));
         let (reply, processing, reply_bytes) = match rx.recv_timeout(wall_timeout) {
             Ok(r) => r,
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                metrics.inc("net_rpc_timeouts", &labels);
+                Tracer::global().point(
+                    self.clock.now(),
+                    "net",
+                    "rpc_timeout",
+                    Some(format!("{from} -> {to}")),
+                );
                 return Err(NetError::Timeout(to.clone()));
             }
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                metrics.inc("net_rpc_errors", &labels);
                 return Err(NetError::NoReply(to.clone()));
             }
         };
         if !self.fabric.is_reachable(to.region, from.region) {
             // Partitioned while the call was in flight: the reply is lost.
+            metrics.inc("net_rpc_errors", &labels);
             return Err(NetError::Unreachable(to.clone()));
         }
-        let resp_lat = self.fabric.one_way_at(to.region, from.region, reply_bytes, self.clock.now());
+        let resp_lat =
+            self.fabric
+                .one_way_at(to.region, from.region, reply_bytes, self.clock.now());
         let net_time = req_lat + resp_lat;
         // Pay the network time on this thread so wall time tracks modeled
         // time. (The remote's processing time was already paid by the remote
         // thread while we blocked in recv.)
         self.clock.sleep(net_time);
-        Ok(RpcReply { msg: reply, remote_time: processing, net_time })
+        let total = processing + net_time;
+        metrics.inc("net_rpc_total", &labels);
+        metrics.observe("net_rpc_latency", &labels, total);
+        Tracer::global()
+            .span(started, "net", "rpc")
+            .region(to_r.clone())
+            .node(to.name.as_ref())
+            .finish(started + total);
+        Ok(RpcReply {
+            msg: reply,
+            remote_time: processing,
+            net_time,
+        })
     }
 }
 
@@ -352,7 +406,13 @@ mod tests {
         let client = NodeId::new(UsEast, "cli");
         let h = spawn_echo(&m, server.clone());
         let reply = m
-            .rpc(&client, &server, "hello".into(), 128, SimDuration::from_secs(10))
+            .rpc(
+                &client,
+                &server,
+                "hello".into(),
+                128,
+                SimDuration::from_secs(10),
+            )
             .unwrap();
         assert_eq!(reply.msg, "re:hello");
         assert_eq!(reply.remote_time, SimDuration::from_millis(3));
@@ -360,7 +420,14 @@ mod tests {
         let net_ms = reply.net_time.as_millis_f64();
         assert!((net_ms - 80.0).abs() < 1.0, "net {net_ms}ms");
         assert!((reply.total().as_millis_f64() - 83.0).abs() < 1.0);
-        m.rpc(&client, &server, "stop".into(), 0, SimDuration::from_secs(10)).unwrap();
+        m.rpc(
+            &client,
+            &server,
+            "stop".into(),
+            0,
+            SimDuration::from_secs(10),
+        )
+        .unwrap();
         h.join().unwrap();
     }
 
@@ -387,7 +454,14 @@ mod tests {
             other => panic!("expected Unreachable, got {other:?}"),
         }
         m.fabric.set_partitioned(AsiaEast, false);
-        m.rpc(&client, &server, "stop".into(), 0, SimDuration::from_secs(10)).unwrap();
+        m.rpc(
+            &client,
+            &server,
+            "stop".into(),
+            0,
+            SimDuration::from_secs(10),
+        )
+        .unwrap();
         h.join().unwrap();
     }
 
@@ -480,7 +554,13 @@ mod tests {
                 r.reply("late".into(), SimDuration::ZERO, 0);
             }
         });
-        match m.rpc(&client, &server, "x".into(), 0, SimDuration::from_millis(100)) {
+        match m.rpc(
+            &client,
+            &server,
+            "x".into(),
+            0,
+            SimDuration::from_millis(100),
+        ) {
             Err(NetError::Timeout(n)) => assert_eq!(n, server),
             other => panic!("expected Timeout, got {other:?}"),
         }

@@ -55,8 +55,12 @@ impl Region {
     ];
 
     /// The four AWS regions the paper's §5.1 experiment spans.
-    pub const PAPER_FOUR: [Region; 4] =
-        [Region::UsWest, Region::UsEast, Region::EuWest, Region::AsiaEast];
+    pub const PAPER_FOUR: [Region; 4] = [
+        Region::UsWest,
+        Region::UsEast,
+        Region::EuWest,
+        Region::AsiaEast,
+    ];
 
     pub fn provider(self) -> Provider {
         match self {
@@ -67,7 +71,10 @@ impl Region {
 
     /// Stable index for table-building.
     pub fn index(self) -> usize {
-        Region::ALL.iter().position(|&r| r == self).expect("region in ALL")
+        Region::ALL
+            .iter()
+            .position(|&r| r == self)
+            .expect("region in ALL")
     }
 
     /// Geographic area — sites in the same area are "nearby DCs" in the
@@ -106,7 +113,12 @@ mod tests {
     #[test]
     fn providers() {
         assert_eq!(Region::AzureUsEast.provider(), Provider::Azure);
-        for r in [Region::UsEast, Region::UsWest, Region::EuWest, Region::AsiaEast] {
+        for r in [
+            Region::UsEast,
+            Region::UsWest,
+            Region::EuWest,
+            Region::AsiaEast,
+        ] {
             assert_eq!(r.provider(), Provider::Aws);
         }
     }

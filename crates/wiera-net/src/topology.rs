@@ -60,7 +60,12 @@ impl Topology {
         set(AzureUsEast, EuWest, 82.0, 300.0);
         set(AzureUsEast, AsiaEast, 172.0, 150.0);
 
-        Topology { rtt_ms: rtt, bw_mbps: bw, intra_dc_rtt_ms: 0.5, intra_dc_bw_mbps: 4000.0 }
+        Topology {
+            rtt_ms: rtt,
+            bw_mbps: bw,
+            intra_dc_rtt_ms: 0.5,
+            intra_dc_bw_mbps: 4000.0,
+        }
     }
 
     /// Base round-trip time between two sites in ms (intra-DC if equal).
@@ -93,10 +98,11 @@ impl Topology {
     /// The site in `candidates` with the lowest RTT from `from`
     /// (used for "closest instance" client routing, §4.1 step 8).
     pub fn closest(&self, from: Region, candidates: &[Region]) -> Option<Region> {
-        candidates
-            .iter()
-            .copied()
-            .min_by(|&a, &b| self.rtt_ms(from, a).partial_cmp(&self.rtt_ms(from, b)).unwrap())
+        candidates.iter().copied().min_by(|&a, &b| {
+            self.rtt_ms(from, a)
+                .partial_cmp(&self.rtt_ms(from, b))
+                .unwrap()
+        })
     }
 }
 

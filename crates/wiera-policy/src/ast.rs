@@ -86,10 +86,17 @@ pub enum Stmt {
     Assign { target: Vec<String>, value: Expr },
     /// `store(what: insert.object, to: tier1);` — a named response with
     /// keyword arguments.
-    Call { name: String, args: Vec<(String, Expr)> },
+    Call {
+        name: String,
+        args: Vec<(String, Expr)>,
+    },
     /// `if (cond) stmts [else if ... / else stmts]` (brace-less in the
     /// paper's figures; braces also accepted).
-    If { cond: Expr, then: Vec<Stmt>, otherwise: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then: Vec<Stmt>,
+        otherwise: Vec<Stmt>,
+    },
 }
 
 /// Binary operators in event conditions and if-conditions.
@@ -125,14 +132,21 @@ impl fmt::Display for BinOp {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Expr {
     /// Numeric literal with optional unit: `5G`, `800 ms`, `50%`.
-    Num { value: f64, unit: Option<Unit> },
+    Num {
+        value: f64,
+        unit: Option<Unit>,
+    },
     /// Bare or quoted string that is not a path: `US-West`.
     Str(String),
     Bool(bool),
     /// Dotted identifier path: `insert.object`, `object.location`,
     /// `threshold.latency`, `tier1`, `local_instance`, `all_regions`.
     Path(Vec<String>),
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
 }
 
 impl Expr {
@@ -199,11 +213,14 @@ impl fmt::Display for Stmt {
         match self {
             Stmt::Assign { target, value } => write!(f, "{} = {value};", target.join(".")),
             Stmt::Call { name, args } => {
-                let a: Vec<String> =
-                    args.iter().map(|(k, v)| format!("{k}:{v}")).collect();
+                let a: Vec<String> = args.iter().map(|(k, v)| format!("{k}:{v}")).collect();
                 write!(f, "{name}({});", a.join(", "))
             }
-            Stmt::If { cond, then, otherwise } => {
+            Stmt::If {
+                cond,
+                then,
+                otherwise,
+            } => {
                 writeln!(f, "if ({cond}) {{")?;
                 for s in then {
                     writeln!(f, "  {s}")?;
@@ -225,18 +242,20 @@ impl fmt::Display for PolicySpec {
     /// attribute keys and values). Reparsing the output yields an equal AST.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} {}(", self.kind, self.name)?;
-        let ps: Vec<String> = self.params.iter().map(|p| format!("{} {}", p.ty, p.name)).collect();
+        let ps: Vec<String> = self
+            .params
+            .iter()
+            .map(|p| format!("{} {}", p.ty, p.name))
+            .collect();
         writeln!(f, "{}) {{", ps.join(", "))?;
         for t in &self.tiers {
             let attrs: Vec<String> = t.attrs.iter().map(|(k, v)| format!("{k}: {v}")).collect();
             writeln!(f, "  {}: {{{}}};", t.label, attrs.join(", "))?;
         }
         for r in &self.regions {
-            let mut parts: Vec<String> =
-                r.attrs.iter().map(|(k, v)| format!("{k}: {v}")).collect();
+            let mut parts: Vec<String> = r.attrs.iter().map(|(k, v)| format!("{k}: {v}")).collect();
             for t in &r.tiers {
-                let attrs: Vec<String> =
-                    t.attrs.iter().map(|(k, v)| format!("{k}: {v}")).collect();
+                let attrs: Vec<String> = t.attrs.iter().map(|(k, v)| format!("{k}: {v}")).collect();
                 parts.push(format!("{} = {{{}}}", t.label, attrs.join(", ")));
             }
             writeln!(f, "  {} = {{{}}}", r.label, parts.join(", "))?;

@@ -32,7 +32,9 @@ pub struct PolicyBuilder {
 
 fn size_expr(size: &str) -> Expr {
     // Accept "5G", "512M", "1024" (bytes).
-    let split = size.find(|c: char| !c.is_ascii_digit() && c != '.').unwrap_or(size.len());
+    let split = size
+        .find(|c: char| !c.is_ascii_digit() && c != '.')
+        .unwrap_or(size.len());
     let value: f64 = size[..split].parse().unwrap_or(0.0);
     let unit = Unit::parse(&size[split..]);
     Expr::Num { value, unit }
@@ -44,7 +46,10 @@ fn tier_decl(label: &str, kind: &str, size: &str) -> TierDecl {
     if !size.is_empty() {
         attrs.insert("size".to_string(), size_expr(size));
     }
-    TierDecl { label: label.to_string(), attrs }
+    TierDecl {
+        label: label.to_string(),
+        attrs,
+    }
 }
 
 impl PolicyBuilder {
@@ -75,7 +80,10 @@ impl PolicyBuilder {
     }
 
     pub fn param(mut self, ty: &str, name: &str) -> Self {
-        self.spec.params.push(Param { ty: ty.to_string(), name: name.to_string() });
+        self.spec.params.push(Param {
+            ty: ty.to_string(),
+            name: name.to_string(),
+        });
         self
     }
 
@@ -109,14 +117,20 @@ impl PolicyBuilder {
     }
 
     fn insert_event(mut self, body: Vec<Stmt>) -> Self {
-        self.spec.events.push(EventRule { event: Expr::path(&["insert", "into"]), body });
+        self.spec.events.push(EventRule {
+            event: Expr::path(&["insert", "into"]),
+            body,
+        });
         self
     }
 
     fn call(name: &str, args: &[(&str, Expr)]) -> Stmt {
         Stmt::Call {
             name: name.to_string(),
-            args: args.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
         }
     }
 
@@ -203,7 +217,10 @@ impl PolicyBuilder {
             event: Expr::Binary {
                 op: BinOp::Gt,
                 lhs: Box::new(Expr::path(&["object", "lastAccessedTime"])),
-                rhs: Box::new(Expr::Num { value: hours as f64, unit: Some(Unit::Hours) }),
+                rhs: Box::new(Expr::Num {
+                    value: hours as f64,
+                    unit: Some(Unit::Hours),
+                }),
             },
             body: vec![Self::call(
                 "move",
@@ -229,7 +246,10 @@ impl PolicyBuilder {
             event: Expr::Binary {
                 op: BinOp::Eq,
                 lhs: Box::new(Expr::path(&["time"])),
-                rhs: Box::new(Expr::Num { value: period_secs as f64, unit: Some(Unit::Seconds) }),
+                rhs: Box::new(Expr::Num {
+                    value: period_secs as f64,
+                    unit: Some(Unit::Seconds),
+                }),
             },
             body: vec![Self::call(
                 "copy",
@@ -280,7 +300,10 @@ mod tests {
             .region("Region1", "US-East", false, &[("tier1", "Memcached", "1G")])
             .multi_primaries()
             .build();
-        assert_eq!(compile(&mp).unwrap().consistency, Some(ConsistencyModel::MultiPrimaries));
+        assert_eq!(
+            compile(&mp).unwrap().consistency,
+            Some(ConsistencyModel::MultiPrimaries)
+        );
 
         let pb = PolicyBuilder::wiera("Pb")
             .region("Region1", "US-East", true, &[("tier1", "Memcached", "1G")])
@@ -295,7 +318,10 @@ mod tests {
             .region("Region1", "US-East", false, &[("tier1", "Memcached", "1G")])
             .eventual()
             .build();
-        assert_eq!(compile(&ev).unwrap().consistency, Some(ConsistencyModel::Eventual));
+        assert_eq!(
+            compile(&ev).unwrap().consistency,
+            Some(ConsistencyModel::Eventual)
+        );
     }
 
     #[test]
@@ -328,8 +354,13 @@ mod tests {
         let compiled = compile(&spec).unwrap();
         assert_eq!(compiled.tiers.len(), 2);
         assert_eq!(compiled.tiers[0].size_bytes, 5 << 30);
-        assert!(matches!(compiled.rules[0].event, EventKind::Timer { period_ms: Some(p) } if p == 30_000.0));
-        assert!(matches!(compiled.rules[1].event, EventKind::ColdData { .. }));
+        assert!(
+            matches!(compiled.rules[0].event, EventKind::Timer { period_ms: Some(p) } if p == 30_000.0)
+        );
+        assert!(matches!(
+            compiled.rules[1].event,
+            EventKind::ColdData { .. }
+        ));
     }
 
     #[test]

@@ -193,14 +193,34 @@ Wiera SimplerConsistency() {
 pub const ALL: [(&str, &str, &str); 10] = [
     ("low-latency", "LowLatencyInstance", LOW_LATENCY_INSTANCE),
     ("persistent", "PersistentInstance", PERSISTENT_INSTANCE),
-    ("multi-primaries", "MultiPrimariesConsistency", MULTI_PRIMARIES_CONSISTENCY),
-    ("primary-backup", "PrimaryBackupConsistency", PRIMARY_BACKUP_CONSISTENCY),
-    ("primary-backup-async", "PrimaryBackupAsync", PRIMARY_BACKUP_ASYNC),
+    (
+        "multi-primaries",
+        "MultiPrimariesConsistency",
+        MULTI_PRIMARIES_CONSISTENCY,
+    ),
+    (
+        "primary-backup",
+        "PrimaryBackupConsistency",
+        PRIMARY_BACKUP_CONSISTENCY,
+    ),
+    (
+        "primary-backup-async",
+        "PrimaryBackupAsync",
+        PRIMARY_BACKUP_ASYNC,
+    ),
     ("eventual", "EventualConsistency", EVENTUAL_CONSISTENCY),
-    ("dynamic-consistency", "DynamicConsistency", DYNAMIC_CONSISTENCY),
+    (
+        "dynamic-consistency",
+        "DynamicConsistency",
+        DYNAMIC_CONSISTENCY,
+    ),
     ("change-primary", "ChangePrimary", CHANGE_PRIMARY),
     ("reduced-cost", "ReducedCostPolicy", REDUCED_COST_POLICY),
-    ("simpler-consistency", "SimplerConsistency", SIMPLER_CONSISTENCY),
+    (
+        "simpler-consistency",
+        "SimplerConsistency",
+        SIMPLER_CONSISTENCY,
+    ),
 ];
 
 /// Look up a canned policy's source text by id or by policy name.
@@ -228,7 +248,10 @@ mod tests {
     #[test]
     fn consistency_models_recognized() {
         let model = |src| compile(&parse(src).unwrap()).unwrap().consistency;
-        assert_eq!(model(MULTI_PRIMARIES_CONSISTENCY), Some(ConsistencyModel::MultiPrimaries));
+        assert_eq!(
+            model(MULTI_PRIMARIES_CONSISTENCY),
+            Some(ConsistencyModel::MultiPrimaries)
+        );
         assert_eq!(
             model(PRIMARY_BACKUP_CONSISTENCY),
             Some(ConsistencyModel::PrimaryBackup { sync: true })
@@ -237,7 +260,10 @@ mod tests {
             model(PRIMARY_BACKUP_ASYNC),
             Some(ConsistencyModel::PrimaryBackup { sync: false })
         );
-        assert_eq!(model(EVENTUAL_CONSISTENCY), Some(ConsistencyModel::Eventual));
+        assert_eq!(
+            model(EVENTUAL_CONSISTENCY),
+            Some(ConsistencyModel::Eventual)
+        );
         assert_eq!(
             model(SIMPLER_CONSISTENCY),
             Some(ConsistencyModel::PrimaryBackup { sync: false }),
@@ -262,7 +288,9 @@ mod tests {
         let c = compile(&parse(REDUCED_COST_POLICY).unwrap()).unwrap();
         assert_eq!(
             c.rules[0].event,
-            EventKind::ColdData { older_than_ms: 120.0 * 3_600_000.0 }
+            EventKind::ColdData {
+                older_than_ms: 120.0 * 3_600_000.0
+            }
         );
     }
 

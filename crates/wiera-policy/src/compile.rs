@@ -127,21 +127,61 @@ pub enum Target {
 /// A lowered response action.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Action {
-    Store { what: Selector, to: Target },
-    Copy { what: Selector, to: Target, bandwidth_bps: Option<f64> },
-    Move { what: Selector, to: Target, bandwidth_bps: Option<f64> },
-    Delete { what: Selector },
-    Forward { what: Selector, to: Target },
-    Queue { what: Selector, to: Target },
-    Lock { what: Selector },
-    Release { what: Selector },
-    ChangePolicy { what: Selector, to: Target },
+    Store {
+        what: Selector,
+        to: Target,
+    },
+    Copy {
+        what: Selector,
+        to: Target,
+        bandwidth_bps: Option<f64>,
+    },
+    Move {
+        what: Selector,
+        to: Target,
+        bandwidth_bps: Option<f64>,
+    },
+    Delete {
+        what: Selector,
+    },
+    Forward {
+        what: Selector,
+        to: Target,
+    },
+    Queue {
+        what: Selector,
+        to: Target,
+    },
+    Lock {
+        what: Selector,
+    },
+    Release {
+        what: Selector,
+    },
+    ChangePolicy {
+        what: Selector,
+        to: Target,
+    },
     /// `insert.object.dirty = true`
-    SetAttr { path: Vec<String>, value: CondValue },
-    Compress { what: Selector },
-    Encrypt { what: Selector },
-    Grow { tier: String, by_bytes: u64 },
-    If { cond: Condition, then: Vec<Action>, otherwise: Vec<Action> },
+    SetAttr {
+        path: Vec<String>,
+        value: CondValue,
+    },
+    Compress {
+        what: Selector,
+    },
+    Encrypt {
+        what: Selector,
+    },
+    Grow {
+        tier: String,
+        by_bytes: u64,
+    },
+    If {
+        cond: Condition,
+        then: Vec<Action>,
+        otherwise: Vec<Action>,
+    },
 }
 
 /// Comparison operators usable in conditions.
@@ -172,7 +212,11 @@ pub enum CondValue {
 pub enum Condition {
     And(Box<Condition>, Box<Condition>),
     Or(Box<Condition>, Box<Condition>),
-    Cmp { field: Vec<String>, op: CmpOp, value: CondValue },
+    Cmp {
+        field: Vec<String>,
+        op: CmpOp,
+        value: CondValue,
+    },
 }
 
 /// Values an evaluation environment can supply for a field.
@@ -205,7 +249,9 @@ impl Condition {
             Condition::And(a, b) => a.eval(env) && b.eval(env),
             Condition::Or(a, b) => a.eval(env) || b.eval(env),
             Condition::Cmp { field, op, value } => {
-                let Some(lhs) = env.lookup(field) else { return false };
+                let Some(lhs) = env.lookup(field) else {
+                    return false;
+                };
                 let rhs = match value {
                     CondValue::Num(n) => EnvValue::Num(*n),
                     CondValue::Bool(b) => EnvValue::Bool(*b),
@@ -213,7 +259,7 @@ impl Condition {
                     // field (`forwarded_requests >= updates_from_primary`),
                     // falling back to a symbolic string (`== tier1`).
                     CondValue::Ident(s) => env
-                        .lookup(&[s.clone()])
+                        .lookup(std::slice::from_ref(s))
                         .unwrap_or_else(|| EnvValue::Str(s.clone())),
                     CondValue::Field(p) => match env.lookup(p) {
                         Some(v) => v,
@@ -316,7 +362,10 @@ impl<'a> Compiler<'a> {
                 label: r.label.clone(),
                 region_name,
                 primary,
-                instance: InstanceLayout { name, tiers: rtiers },
+                instance: InstanceLayout {
+                    name,
+                    tiers: rtiers,
+                },
             });
         }
 
@@ -351,9 +400,9 @@ impl<'a> Compiler<'a> {
             .ok_or_else(|| PolicyError::general(format!("tier '{label}' missing 'name'")))?;
         let size_bytes = match attrs.get("size") {
             Some(e) => {
-                let (v, u) = e
-                    .as_num()
-                    .ok_or_else(|| PolicyError::general(format!("tier '{label}' size not numeric")))?;
+                let (v, u) = e.as_num().ok_or_else(|| {
+                    PolicyError::general(format!("tier '{label}' size not numeric"))
+                })?;
                 match u {
                     Some(u) => units::to_bytes(v, u).ok_or_else(|| {
                         PolicyError::general(format!("tier '{label}' size has non-size unit"))
@@ -363,7 +412,11 @@ impl<'a> Compiler<'a> {
             }
             None => 0, // unlimited / provider-managed (e.g. S3)
         };
-        Ok(TierLayout { label: label.to_string(), kind_name, size_bytes })
+        Ok(TierLayout {
+            label: label.to_string(),
+            kind_name,
+            size_bytes,
+        })
     }
 
     // ---- events -----------------------------------------------------------
@@ -380,15 +433,21 @@ impl<'a> Compiler<'a> {
             Expr::Path(p) if p == &["insert".to_string(), "into".to_string()] => {
                 Ok(EventKind::Insert { into: None })
             }
-            Expr::Binary { op: BinOp::Eq, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::Eq,
+                lhs,
+                rhs,
+            } => {
                 let lpath = lhs.as_path().map(|p| p.join("."));
                 match lpath.as_deref() {
                     // `insert.into == tier1`
                     Some("insert.into") => {
-                        let tier = rhs
-                            .as_ident()
-                            .ok_or_else(|| PolicyError::general("insert.into == <tier> expected"))?;
-                        Ok(EventKind::Insert { into: Some(tier.to_string()) })
+                        let tier = rhs.as_ident().ok_or_else(|| {
+                            PolicyError::general("insert.into == <tier> expected")
+                        })?;
+                        Ok(EventKind::Insert {
+                            into: Some(tier.to_string()),
+                        })
                     }
                     // `time = t` or `time = 30 seconds`
                     Some("time") => match rhs.as_ref() {
@@ -399,24 +458,28 @@ impl<'a> Compiler<'a> {
                                 })?,
                                 None => *value,
                             };
-                            Ok(EventKind::Timer { period_ms: Some(ms) })
+                            Ok(EventKind::Timer {
+                                period_ms: Some(ms),
+                            })
                         }
-                        Expr::Path(p) if p.len() == 1 => {
-                            Ok(EventKind::Timer { period_ms: self.params.get(&p[0]).copied() })
-                        }
+                        Expr::Path(p) if p.len() == 1 => Ok(EventKind::Timer {
+                            period_ms: self.params.get(&p[0]).copied(),
+                        }),
                         other => Err(PolicyError::general(format!("bad timer period {other}"))),
                     },
                     // `threshold.type == put|get|primary`
                     Some("threshold.type") => {
-                        let what = rhs
-                            .as_ident()
-                            .ok_or_else(|| PolicyError::general("threshold.type == <op> expected"))?;
+                        let what = rhs.as_ident().ok_or_else(|| {
+                            PolicyError::general("threshold.type == <op> expected")
+                        })?;
                         match what {
-                            "put" | "get" => Ok(EventKind::OpLatency { op: what.to_string() }),
+                            "put" | "get" => Ok(EventKind::OpLatency {
+                                op: what.to_string(),
+                            }),
                             "primary" => Ok(EventKind::Requests),
-                            other => {
-                                Err(PolicyError::general(format!("unknown threshold type '{other}'")))
-                            }
+                            other => Err(PolicyError::general(format!(
+                                "unknown threshold type '{other}'"
+                            ))),
                         }
                     }
                     // `tierX.filled == 50%`
@@ -437,7 +500,11 @@ impl<'a> Compiler<'a> {
                 }
             }
             // `object.lastAccessedTime > 120 hours`
-            Expr::Binary { op: BinOp::Gt, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::Gt,
+                lhs,
+                rhs,
+            } => {
                 let lpath = lhs.as_path().map(|p| p.join("."));
                 if lpath.as_deref() == Some("object.lastAccessedTime") {
                     let (v, u) = rhs
@@ -454,7 +521,9 @@ impl<'a> Compiler<'a> {
                     Err(PolicyError::general(format!("unrecognized event '{e}'")))
                 }
             }
-            other => Err(PolicyError::general(format!("unrecognized event '{other}'"))),
+            other => Err(PolicyError::general(format!(
+                "unrecognized event '{other}'"
+            ))),
         }
     }
 
@@ -470,7 +539,11 @@ impl<'a> Compiler<'a> {
                 path: target.clone(),
                 value: self.cond_value(value)?,
             }),
-            Stmt::If { cond, then, otherwise } => Ok(Action::If {
+            Stmt::If {
+                cond,
+                then,
+                otherwise,
+            } => Ok(Action::If {
                 cond: self.condition(cond)?,
                 then: self.actions(then, tiers)?,
                 otherwise: self.actions(otherwise, tiers)?,
@@ -492,7 +565,8 @@ impl<'a> Compiler<'a> {
             self.selector(e)
         };
         let to = |ts: &[&str]| -> Result<Target, PolicyError> {
-            let e = get("to").ok_or_else(|| PolicyError::general(format!("{name}() missing 'to:'")))?;
+            let e =
+                get("to").ok_or_else(|| PolicyError::general(format!("{name}() missing 'to:'")))?;
             self.target(e, ts)
         };
         let bandwidth = || -> Result<Option<f64>, PolicyError> {
@@ -513,17 +587,41 @@ impl<'a> Compiler<'a> {
         };
 
         // Normalize the paper's `chage_policy` typo.
-        let name_norm = if name == "chage_policy" { "change_policy" } else { name };
+        let name_norm = if name == "chage_policy" {
+            "change_policy"
+        } else {
+            name
+        };
         match name_norm {
-            "store" => Ok(Action::Store { what: what()?, to: to(tiers)? }),
-            "copy" => Ok(Action::Copy { what: what()?, to: to(tiers)?, bandwidth_bps: bandwidth()? }),
-            "move" => Ok(Action::Move { what: what()?, to: to(tiers)?, bandwidth_bps: bandwidth()? }),
+            "store" => Ok(Action::Store {
+                what: what()?,
+                to: to(tiers)?,
+            }),
+            "copy" => Ok(Action::Copy {
+                what: what()?,
+                to: to(tiers)?,
+                bandwidth_bps: bandwidth()?,
+            }),
+            "move" => Ok(Action::Move {
+                what: what()?,
+                to: to(tiers)?,
+                bandwidth_bps: bandwidth()?,
+            }),
             "delete" => Ok(Action::Delete { what: what()? }),
-            "forward" => Ok(Action::Forward { what: what()?, to: to(tiers)? }),
-            "queue" => Ok(Action::Queue { what: what()?, to: to(tiers)? }),
+            "forward" => Ok(Action::Forward {
+                what: what()?,
+                to: to(tiers)?,
+            }),
+            "queue" => Ok(Action::Queue {
+                what: what()?,
+                to: to(tiers)?,
+            }),
             "lock" => Ok(Action::Lock { what: what()? }),
             "release" => Ok(Action::Release { what: what()? }),
-            "change_policy" => Ok(Action::ChangePolicy { what: what()?, to: to(tiers)? }),
+            "change_policy" => Ok(Action::ChangePolicy {
+                what: what()?,
+                to: to(tiers)?,
+            }),
             "compress" => Ok(Action::Compress { what: what()? }),
             "encrypt" => Ok(Action::Encrypt { what: what()? }),
             "grow" => {
@@ -576,18 +674,28 @@ impl<'a> Compiler<'a> {
 
     fn condition(&self, e: &Expr) -> Result<Condition, PolicyError> {
         match e {
-            Expr::Binary { op: BinOp::And, lhs, rhs } => Ok(Condition::And(
+            Expr::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => Ok(Condition::And(
                 Box::new(self.condition(lhs)?),
                 Box::new(self.condition(rhs)?),
             )),
-            Expr::Binary { op: BinOp::Or, lhs, rhs } => Ok(Condition::Or(
+            Expr::Binary {
+                op: BinOp::Or,
+                lhs,
+                rhs,
+            } => Ok(Condition::Or(
                 Box::new(self.condition(lhs)?),
                 Box::new(self.condition(rhs)?),
             )),
             Expr::Binary { op, lhs, rhs } => {
                 let field = lhs
                     .as_path()
-                    .ok_or_else(|| PolicyError::general(format!("condition lhs must be a field: {e}")))?
+                    .ok_or_else(|| {
+                        PolicyError::general(format!("condition lhs must be a field: {e}"))
+                    })?
                     .to_vec();
                 let cmp = match op {
                     BinOp::Eq => CmpOp::Eq,
@@ -598,7 +706,11 @@ impl<'a> Compiler<'a> {
                     BinOp::Ge => CmpOp::Ge,
                     _ => unreachable!("and/or handled above"),
                 };
-                Ok(Condition::Cmp { field, op: cmp, value: self.cond_value(rhs)? })
+                Ok(Condition::Cmp {
+                    field,
+                    op: cmp,
+                    value: self.cond_value(rhs)?,
+                })
             }
             // Bare path: truthiness of a boolean field.
             Expr::Path(p) => Ok(Condition::Cmp {
@@ -636,12 +748,17 @@ impl<'a> Compiler<'a> {
 
 /// Recognize the paper's consistency protocols from the insert rule's shape.
 pub fn deduce_consistency(rules: &[Rule]) -> Option<ConsistencyModel> {
-    let insert = rules.iter().find(|r| matches!(r.event, EventKind::Insert { .. }))?;
+    let insert = rules
+        .iter()
+        .find(|r| matches!(r.event, EventKind::Insert { .. }))?;
 
     fn flat<'r>(actions: &'r [Action], out: &mut Vec<&'r Action>) {
         for a in actions {
             out.push(a);
-            if let Action::If { then, otherwise, .. } = a {
+            if let Action::If {
+                then, otherwise, ..
+            } = a
+            {
                 flat(then, out);
                 flat(otherwise, out);
             }
@@ -651,15 +768,33 @@ pub fn deduce_consistency(rules: &[Rule]) -> Option<ConsistencyModel> {
     flat(&insert.actions, &mut all);
 
     let has_lock = all.iter().any(|a| matches!(a, Action::Lock { .. }));
-    let has_forward = all
-        .iter()
-        .any(|a| matches!(a, Action::Forward { to: Target::PrimaryInstance, .. }));
-    let has_copy_all = all
-        .iter()
-        .any(|a| matches!(a, Action::Copy { to: Target::AllRegions, .. }));
-    let has_queue_all = all
-        .iter()
-        .any(|a| matches!(a, Action::Queue { to: Target::AllRegions, .. }));
+    let has_forward = all.iter().any(|a| {
+        matches!(
+            a,
+            Action::Forward {
+                to: Target::PrimaryInstance,
+                ..
+            }
+        )
+    });
+    let has_copy_all = all.iter().any(|a| {
+        matches!(
+            a,
+            Action::Copy {
+                to: Target::AllRegions,
+                ..
+            }
+        )
+    });
+    let has_queue_all = all.iter().any(|a| {
+        matches!(
+            a,
+            Action::Queue {
+                to: Target::AllRegions,
+                ..
+            }
+        )
+    });
 
     if has_lock && has_copy_all {
         Some(ConsistencyModel::MultiPrimaries)
@@ -723,7 +858,12 @@ mod tests {
             }",
         );
         assert_eq!(c.rules[0].event, EventKind::Insert { into: None });
-        assert_eq!(c.rules[1].event, EventKind::Insert { into: Some("tier1".into()) });
+        assert_eq!(
+            c.rules[1].event,
+            EventKind::Insert {
+                into: Some("tier1".into())
+            }
+        );
     }
 
     #[test]
@@ -739,12 +879,22 @@ mod tests {
         let mut params = BTreeMap::new();
         params.insert("t".to_string(), 5000.0);
         let bound = compile_with_params(&spec, &params).unwrap();
-        assert_eq!(bound.rules[0].event, EventKind::Timer { period_ms: Some(5000.0) });
+        assert_eq!(
+            bound.rules[0].event,
+            EventKind::Timer {
+                period_ms: Some(5000.0)
+            }
+        );
 
         let lit = compiled(
             "Tiera T() { event(time=30 seconds) : response { delete(what:object.dirty == true); } }",
         );
-        assert_eq!(lit.rules[0].event, EventKind::Timer { period_ms: Some(30_000.0) });
+        assert_eq!(
+            lit.rules[0].event,
+            EventKind::Timer {
+                period_ms: Some(30_000.0)
+            }
+        );
     }
 
     #[test]
@@ -759,7 +909,13 @@ mod tests {
                 }
             }",
         );
-        assert_eq!(c.rules[0].event, EventKind::TierFilled { tier: "tier2".into(), fraction: 0.5 });
+        assert_eq!(
+            c.rules[0].event,
+            EventKind::TierFilled {
+                tier: "tier2".into(),
+                fraction: 0.5
+            }
+        );
         match &c.rules[0].actions[0] {
             Action::Copy { bandwidth_bps, .. } => {
                 assert_eq!(*bandwidth_bps, Some(40.0 * 1024.0));
@@ -768,7 +924,9 @@ mod tests {
         }
         assert_eq!(
             c.rules[1].event,
-            EventKind::ColdData { older_than_ms: 120.0 * 3600.0 * 1000.0 }
+            EventKind::ColdData {
+                older_than_ms: 120.0 * 3600.0 * 1000.0
+            }
         );
     }
 
@@ -797,7 +955,10 @@ mod tests {
                 env.insert("threshold.latency".to_string(), EnvValue::Num(700.0));
                 assert!(!cond.eval(&env));
                 match &then[0] {
-                    Action::ChangePolicy { what: Selector::Consistency, to: Target::Policy(p) } => {
+                    Action::ChangePolicy {
+                        what: Selector::Consistency,
+                        to: Target::Policy(p),
+                    } => {
                         assert_eq!(p, "EventualConsistency");
                     }
                     other => panic!("{other:?}"),
@@ -806,7 +967,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         match &c.rules[1].actions[0] {
-            Action::ChangePolicy { what: Selector::PrimaryRole, to: Target::InstanceForwardMost } => {}
+            Action::ChangePolicy {
+                what: Selector::PrimaryRole,
+                to: Target::InstanceForwardMost,
+            } => {}
             other => panic!("{other:?}"),
         }
     }
@@ -839,7 +1003,10 @@ mod tests {
                 }
             }",
         );
-        assert_eq!(sync.consistency, Some(ConsistencyModel::PrimaryBackup { sync: true }));
+        assert_eq!(
+            sync.consistency,
+            Some(ConsistencyModel::PrimaryBackup { sync: true })
+        );
         let asynch = compiled(
             "Wiera PB() {
                 event(insert.into) : response {
@@ -851,7 +1018,10 @@ mod tests {
                 }
             }",
         );
-        assert_eq!(asynch.consistency, Some(ConsistencyModel::PrimaryBackup { sync: false }));
+        assert_eq!(
+            asynch.consistency,
+            Some(ConsistencyModel::PrimaryBackup { sync: false })
+        );
     }
 
     #[test]
@@ -887,7 +1057,10 @@ mod tests {
             }",
         );
         match &c.rules[0].actions[0] {
-            Action::Copy { what: Selector::Where(cond), .. } => {
+            Action::Copy {
+                what: Selector::Where(cond),
+                ..
+            } => {
                 let mut env = BTreeMap::new();
                 env.insert("object.location".to_string(), EnvValue::Str("tier1".into()));
                 env.insert("object.dirty".to_string(), EnvValue::Bool(true));
@@ -925,10 +1098,9 @@ mod tests {
 
     #[test]
     fn unknown_response_rejected() {
-        let spec = parse(
-            "Tiera T() { event(insert.into) : response { explode(what:insert.object); } }",
-        )
-        .unwrap();
+        let spec =
+            parse("Tiera T() { event(insert.into) : response { explode(what:insert.object); } }")
+                .unwrap();
         assert!(compile(&spec).is_err());
     }
 

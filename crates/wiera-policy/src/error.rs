@@ -12,11 +12,17 @@ pub struct PolicyError {
 
 impl PolicyError {
     pub fn at(line: usize, message: impl Into<String>) -> Self {
-        PolicyError { message: message.into(), line: Some(line) }
+        PolicyError {
+            message: message.into(),
+            line: Some(line),
+        }
     }
 
     pub fn general(message: impl Into<String>) -> Self {
-        PolicyError { message: message.into(), line: None }
+        PolicyError {
+            message: message.into(),
+            line: None,
+        }
     }
 }
 

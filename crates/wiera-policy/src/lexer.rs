@@ -69,35 +69,59 @@ pub fn lex(src: &str) -> Result<Vec<Token>, PolicyError> {
                 }
             }
             '{' => {
-                out.push(Token { tok: Tok::LBrace, line });
+                out.push(Token {
+                    tok: Tok::LBrace,
+                    line,
+                });
                 i += 1;
             }
             '}' => {
-                out.push(Token { tok: Tok::RBrace, line });
+                out.push(Token {
+                    tok: Tok::RBrace,
+                    line,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Token { tok: Tok::LParen, line });
+                out.push(Token {
+                    tok: Tok::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { tok: Tok::RParen, line });
+                out.push(Token {
+                    tok: Tok::RParen,
+                    line,
+                });
                 i += 1;
             }
             ':' => {
-                out.push(Token { tok: Tok::Colon, line });
+                out.push(Token {
+                    tok: Tok::Colon,
+                    line,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Token { tok: Tok::Semi, line });
+                out.push(Token {
+                    tok: Tok::Semi,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { tok: Tok::Comma, line });
+                out.push(Token {
+                    tok: Tok::Comma,
+                    line,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Token { tok: Tok::Dot, line });
+                out.push(Token {
+                    tok: Tok::Dot,
+                    line,
+                });
                 i += 1;
             }
             '=' => {
@@ -105,7 +129,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, PolicyError> {
                     out.push(Token { tok: Tok::Eq, line });
                     i += 2;
                 } else {
-                    out.push(Token { tok: Tok::Assign, line });
+                    out.push(Token {
+                        tok: Tok::Assign,
+                        line,
+                    });
                     i += 1;
                 }
             }
@@ -137,7 +164,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, PolicyError> {
             }
             '&' => {
                 if i + 1 < n && chars[i + 1] == '&' {
-                    out.push(Token { tok: Tok::AndAnd, line });
+                    out.push(Token {
+                        tok: Tok::AndAnd,
+                        line,
+                    });
                     i += 2;
                 } else {
                     return Err(PolicyError::at(line, "unexpected '&' (use '&&')"));
@@ -145,7 +175,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, PolicyError> {
             }
             '|' => {
                 if i + 1 < n && chars[i + 1] == '|' {
-                    out.push(Token { tok: Tok::OrOr, line });
+                    out.push(Token {
+                        tok: Tok::OrOr,
+                        line,
+                    });
                     i += 2;
                 } else {
                     return Err(PolicyError::at(line, "unexpected '|' (use '||')"));
@@ -206,7 +239,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, PolicyError> {
                     // Not a unit: leave it for the identifier lexer (e.g.
                     // a key like `5foo` would be odd, but don't swallow it).
                 }
-                out.push(Token { tok: Tok::Num { value, unit }, line });
+                out.push(Token {
+                    tok: Tok::Num { value, unit },
+                    line,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -214,10 +250,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, PolicyError> {
                     let ch = chars[i];
                     if ch.is_ascii_alphanumeric() || ch == '_' {
                         i += 1;
-                    } else if ch == '-'
-                        && i + 1 < n
-                        && (chars[i + 1].is_ascii_alphanumeric())
-                    {
+                    } else if ch == '-' && i + 1 < n && (chars[i + 1].is_ascii_alphanumeric()) {
                         // Hyphenated identifier (US-West, S3-IA).
                         i += 1;
                     } else {
@@ -225,10 +258,16 @@ pub fn lex(src: &str) -> Result<Vec<Token>, PolicyError> {
                     }
                 }
                 let text: String = chars[start..i].iter().collect();
-                out.push(Token { tok: Tok::Ident(text), line });
+                out.push(Token {
+                    tok: Tok::Ident(text),
+                    line,
+                });
             }
             other => {
-                return Err(PolicyError::at(line, format!("unexpected character '{other}'")));
+                return Err(PolicyError::at(
+                    line,
+                    format!("unexpected character '{other}'"),
+                ));
             }
         }
     }
@@ -257,7 +296,10 @@ mod tests {
                 Tok::Comma,
                 Tok::Ident("size".into()),
                 Tok::Colon,
-                Tok::Num { value: 5.0, unit: Some(Unit::GiB) },
+                Tok::Num {
+                    value: 5.0,
+                    unit: Some(Unit::GiB)
+                },
                 Tok::RBrace,
                 Tok::Semi,
             ]
@@ -273,7 +315,10 @@ mod tests {
                 Tok::Dot,
                 Tok::Ident("filled".into()),
                 Tok::Eq,
-                Tok::Num { value: 50.0, unit: Some(Unit::Percent) },
+                Tok::Num {
+                    value: 50.0,
+                    unit: Some(Unit::Percent)
+                },
             ]
         );
         // '%' elsewhere starts a comment.
@@ -296,7 +341,10 @@ mod tests {
             vec![
                 Tok::Ident("bandwidth".into()),
                 Tok::Colon,
-                Tok::Num { value: 40.0, unit: Some(Unit::KiBPerSec) },
+                Tok::Num {
+                    value: 40.0,
+                    unit: Some(Unit::KiBPerSec)
+                },
             ]
         );
     }
@@ -345,12 +393,23 @@ mod tests {
     fn decimal_numbers_and_paths() {
         assert_eq!(
             toks("x = 2.5"),
-            vec![Tok::Ident("x".into()), Tok::Assign, Tok::Num { value: 2.5, unit: None }]
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Num {
+                    value: 2.5,
+                    unit: None
+                }
+            ]
         );
         // Trailing dot is a path separator, not a decimal point.
         assert_eq!(
             toks("insert.object"),
-            vec![Tok::Ident("insert".into()), Tok::Dot, Tok::Ident("object".into())]
+            vec![
+                Tok::Ident("insert".into()),
+                Tok::Dot,
+                Tok::Ident("object".into())
+            ]
         );
     }
 
@@ -364,7 +423,10 @@ mod tests {
 
     #[test]
     fn quoted_strings() {
-        assert_eq!(toks("\"hello world\""), vec![Tok::Str("hello world".into())]);
+        assert_eq!(
+            toks("\"hello world\""),
+            vec![Tok::Str("hello world".into())]
+        );
         assert!(lex("\"unterminated").is_err());
     }
 
@@ -373,7 +435,13 @@ mod tests {
         // "800 ms": the parser merges these; the lexer keeps them separate.
         assert_eq!(
             toks("800 ms"),
-            vec![Tok::Num { value: 800.0, unit: None }, Tok::Ident("ms".into())]
+            vec![
+                Tok::Num {
+                    value: 800.0,
+                    unit: None
+                },
+                Tok::Ident("ms".into())
+            ]
         );
     }
 }

@@ -132,14 +132,25 @@ impl Parser {
                         }
                         tiers.push(TierDecl { label, attrs });
                     } else {
-                        regions.push(RegionDecl { label, attrs, tiers: nested });
+                        regions.push(RegionDecl {
+                            label,
+                            attrs,
+                            tiers: nested,
+                        });
                     }
                 }
                 other => return Err(self.err(format!("unexpected token {other:?} in body"))),
             }
         }
         self.expect(&Tok::RBrace, "'}'")?;
-        Ok(PolicySpec { kind, name, params, tiers, regions, events })
+        Ok(PolicySpec {
+            kind,
+            name,
+            params,
+            tiers,
+            regions,
+            events,
+        })
     }
 
     /// `{ key (:|=) (value | { ... }) , ... }` — nested blocks become tiers.
@@ -160,7 +171,10 @@ impl Parser {
                 if !deeper.is_empty() {
                     return Err(self.err("attribute blocks nest at most one level"));
                 }
-                nested.push(TierDecl { label: key, attrs: tattrs });
+                nested.push(TierDecl {
+                    label: key,
+                    attrs: tattrs,
+                });
             } else {
                 let value = self.expr()?;
                 attrs.insert(key, value);
@@ -255,13 +269,21 @@ impl Parser {
                     if id2 == "if" {
                         // else-if chain.
                         otherwise.push(self.if_stmt()?);
-                        return Ok(Stmt::If { cond, then, otherwise });
+                        return Ok(Stmt::If {
+                            cond,
+                            then,
+                            otherwise,
+                        });
                     }
                 }
                 otherwise = self.branch_body()?;
             }
         }
-        Ok(Stmt::If { cond, then, otherwise })
+        Ok(Stmt::If {
+            cond,
+            then,
+            otherwise,
+        })
     }
 
     /// An if/else branch: `{ stmts }` or brace-less statements running to
@@ -286,7 +308,11 @@ impl Parser {
         let mut lhs = self.and_expr()?;
         while self.eat(&Tok::OrOr) {
             let rhs = self.and_expr()?;
-            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -295,7 +321,11 @@ impl Parser {
         let mut lhs = self.cmp_expr()?;
         while self.eat(&Tok::AndAnd) {
             let rhs = self.cmp_expr()?;
-            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -316,7 +346,11 @@ impl Parser {
         if let Some(op) = op {
             self.pos += 1;
             let rhs = self.primary()?;
-            Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+            Ok(Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            })
         } else {
             Ok(lhs)
         }
@@ -330,7 +364,10 @@ impl Parser {
                     if let Some(Tok::Ident(word)) = self.peek() {
                         if let Some(u) = Unit::parse(word) {
                             self.pos += 1;
-                            return Ok(Expr::Num { value, unit: Some(u) });
+                            return Ok(Expr::Num {
+                                value,
+                                unit: Some(u),
+                            });
                         }
                     }
                 }
@@ -377,7 +414,10 @@ mod tests {
         assert_eq!(spec.name, "Simple");
         assert_eq!(spec.tiers.len(), 1);
         assert_eq!(spec.tiers[0].label, "tier1");
-        assert_eq!(spec.tiers[0].attr("name").unwrap().as_ident(), Some("Memcached"));
+        assert_eq!(
+            spec.tiers[0].attr("name").unwrap().as_ident(),
+            Some("Memcached")
+        );
         assert_eq!(spec.events.len(), 1);
         match &spec.events[0].body[0] {
             Stmt::Call { name, args } => {
@@ -405,7 +445,9 @@ mod tests {
         assert_eq!(spec.params[0].name, "t");
         // `time=t` parses as equality comparison.
         match &spec.events[0].event {
-            Expr::Binary { op: BinOp::Eq, lhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Eq, lhs, ..
+            } => {
                 assert_eq!(lhs.as_ident(), Some("time"));
             }
             other => panic!("{other:?}"),
@@ -440,7 +482,10 @@ mod tests {
         assert_eq!(r.attr("region").unwrap().as_ident(), Some("US-West"));
         assert_eq!(r.attr("primary").unwrap().as_bool(), Some(true));
         assert_eq!(r.tiers.len(), 2);
-        assert_eq!(r.tiers[1].attr("name").unwrap().as_ident(), Some("LocalDisk"));
+        assert_eq!(
+            r.tiers[1].attr("name").unwrap().as_ident(),
+            Some("LocalDisk")
+        );
     }
 
     #[test]
@@ -458,7 +503,9 @@ mod tests {
         )
         .unwrap();
         match &spec.events[0].body[0] {
-            Stmt::If { then, otherwise, .. } => {
+            Stmt::If {
+                then, otherwise, ..
+            } => {
                 assert_eq!(then.len(), 2);
                 assert_eq!(otherwise.len(), 1);
             }
@@ -480,13 +527,21 @@ mod tests {
         )
         .unwrap();
         match &spec.events[0].body[0] {
-            Stmt::If { then, otherwise, cond } => {
+            Stmt::If {
+                then,
+                otherwise,
+                cond,
+            } => {
                 assert_eq!(then.len(), 1);
                 assert_eq!(otherwise.len(), 1);
                 assert!(matches!(otherwise[0], Stmt::If { .. }));
                 // 800 ms merged into a single unit-carrying literal.
                 match cond {
-                    Expr::Binary { op: BinOp::And, lhs, .. } => match lhs.as_ref() {
+                    Expr::Binary {
+                        op: BinOp::And,
+                        lhs,
+                        ..
+                    } => match lhs.as_ref() {
                         Expr::Binary { rhs, .. } => {
                             assert_eq!(rhs.as_num(), Some((800.0, Some(Unit::Millis))));
                         }
@@ -530,7 +585,9 @@ mod tests {
         )
         .unwrap();
         match &spec.events[0].event {
-            Expr::Binary { op: BinOp::Eq, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Eq, rhs, ..
+            } => {
                 assert_eq!(rhs.as_num(), Some((50.0, Some(Unit::Percent))));
             }
             other => panic!("{other:?}"),

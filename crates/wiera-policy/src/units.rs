@@ -53,11 +53,17 @@ impl Unit {
     }
 
     pub fn is_size(self) -> bool {
-        matches!(self, Unit::Bytes | Unit::KiB | Unit::MiB | Unit::GiB | Unit::TiB)
+        matches!(
+            self,
+            Unit::Bytes | Unit::KiB | Unit::MiB | Unit::GiB | Unit::TiB
+        )
     }
 
     pub fn is_duration(self) -> bool {
-        matches!(self, Unit::Millis | Unit::Seconds | Unit::Minutes | Unit::Hours)
+        matches!(
+            self,
+            Unit::Millis | Unit::Seconds | Unit::Minutes | Unit::Hours
+        )
     }
 
     pub fn is_rate(self) -> bool {

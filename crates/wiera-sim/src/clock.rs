@@ -43,7 +43,10 @@ impl ScaledClock {
     /// in a couple of wall seconds.
     pub fn new(scale: f64) -> Self {
         assert!(scale > 0.0, "time scale must be positive");
-        ScaledClock { origin: std::time::Instant::now(), scale }
+        ScaledClock {
+            origin: std::time::Instant::now(),
+            scale,
+        }
     }
 
     /// Real-time clock (scale 1.0).
@@ -87,7 +90,9 @@ pub struct FrozenClock {
 
 impl FrozenClock {
     pub fn shared() -> SharedClock {
-        Arc::new(FrozenClock { at: SimInstant::EPOCH })
+        Arc::new(FrozenClock {
+            at: SimInstant::EPOCH,
+        })
     }
 
     pub fn shared_at(at: SimInstant) -> SharedClock {
@@ -115,7 +120,10 @@ pub struct ManualClock {
 
 impl ManualClock {
     pub fn new() -> Arc<Self> {
-        Arc::new(ManualClock { state: Mutex::new(0), cond: Condvar::new() })
+        Arc::new(ManualClock {
+            state: Mutex::new(0),
+            cond: Condvar::new(),
+        })
     }
 
     /// Move time forward, waking any sleeper whose deadline has been reached.
@@ -200,7 +208,10 @@ mod tests {
             woke2.store(true, Ordering::SeqCst);
         });
         std::thread::sleep(std::time::Duration::from_millis(20));
-        assert!(!woke.load(Ordering::SeqCst), "sleeper must not wake before time advances");
+        assert!(
+            !woke.load(Ordering::SeqCst),
+            "sleeper must not wake before time advances"
+        );
         c.advance(SimDuration::from_secs(10));
         h.join().unwrap();
         assert!(woke.load(Ordering::SeqCst));

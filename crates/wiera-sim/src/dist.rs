@@ -18,10 +18,18 @@ pub enum LatencyDist {
     /// Uniform in `[lo_ms, hi_ms)`.
     Uniform { lo_ms: f64, hi_ms: f64 },
     /// Normal(mean, std), truncated below at `floor_ms`.
-    Normal { mean_ms: f64, std_ms: f64, floor_ms: f64 },
+    Normal {
+        mean_ms: f64,
+        std_ms: f64,
+        floor_ms: f64,
+    },
     /// LogNormal parameterized by its *median* and a shape sigma
     /// (sigma of the underlying normal), truncated below at `floor_ms`.
-    LogNormal { median_ms: f64, sigma: f64, floor_ms: f64 },
+    LogNormal {
+        median_ms: f64,
+        sigma: f64,
+        floor_ms: f64,
+    },
 }
 
 impl LatencyDist {
@@ -32,13 +40,21 @@ impl LatencyDist {
     /// Normal with std = 5% of mean and floor = 50% of mean — the default
     /// jitter model for WAN RTTs.
     pub fn rtt(mean_ms: f64) -> Self {
-        LatencyDist::Normal { mean_ms, std_ms: mean_ms * 0.05, floor_ms: mean_ms * 0.5 }
+        LatencyDist::Normal {
+            mean_ms,
+            std_ms: mean_ms * 0.05,
+            floor_ms: mean_ms * 0.5,
+        }
     }
 
     /// LogNormal with the given median and a mild right skew — the default
     /// model for cloud storage service latencies.
     pub fn storage(median_ms: f64) -> Self {
-        LatencyDist::LogNormal { median_ms, sigma: 0.25, floor_ms: median_ms * 0.4 }
+        LatencyDist::LogNormal {
+            median_ms,
+            sigma: 0.25,
+            floor_ms: median_ms * 0.4,
+        }
     }
 
     /// Draw one latency.
@@ -46,11 +62,19 @@ impl LatencyDist {
         let ms = match *self {
             LatencyDist::Constant { ms } => ms,
             LatencyDist::Uniform { lo_ms, hi_ms } => rng.gen_range_f64(lo_ms, hi_ms),
-            LatencyDist::Normal { mean_ms, std_ms, floor_ms } => {
+            LatencyDist::Normal {
+                mean_ms,
+                std_ms,
+                floor_ms,
+            } => {
                 let n = Normal::new(mean_ms, std_ms.max(1e-9)).expect("valid normal");
                 n.sample(rng.inner()).max(floor_ms)
             }
-            LatencyDist::LogNormal { median_ms, sigma, floor_ms } => {
+            LatencyDist::LogNormal {
+                median_ms,
+                sigma,
+                floor_ms,
+            } => {
                 let mu = median_ms.max(1e-9).ln();
                 let ln = LogNormal::new(mu, sigma.max(1e-9)).expect("valid lognormal");
                 ln.sample(rng.inner()).max(floor_ms)
@@ -75,15 +99,24 @@ impl LatencyDist {
     pub fn scaled(&self, factor: f64) -> LatencyDist {
         match *self {
             LatencyDist::Constant { ms } => LatencyDist::Constant { ms: ms * factor },
-            LatencyDist::Uniform { lo_ms, hi_ms } => {
-                LatencyDist::Uniform { lo_ms: lo_ms * factor, hi_ms: hi_ms * factor }
-            }
-            LatencyDist::Normal { mean_ms, std_ms, floor_ms } => LatencyDist::Normal {
+            LatencyDist::Uniform { lo_ms, hi_ms } => LatencyDist::Uniform {
+                lo_ms: lo_ms * factor,
+                hi_ms: hi_ms * factor,
+            },
+            LatencyDist::Normal {
+                mean_ms,
+                std_ms,
+                floor_ms,
+            } => LatencyDist::Normal {
                 mean_ms: mean_ms * factor,
                 std_ms: std_ms * factor,
                 floor_ms: floor_ms * factor,
             },
-            LatencyDist::LogNormal { median_ms, sigma, floor_ms } => LatencyDist::LogNormal {
+            LatencyDist::LogNormal {
+                median_ms,
+                sigma,
+                floor_ms,
+            } => LatencyDist::LogNormal {
                 median_ms: median_ms * factor,
                 sigma,
                 floor_ms: floor_ms * factor,
@@ -98,7 +131,10 @@ mod tests {
 
     fn mean_of(d: &LatencyDist, n: usize) -> f64 {
         let mut rng = SimRng::new(7);
-        (0..n).map(|_| d.sample(&mut rng).as_millis_f64()).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| d.sample(&mut rng).as_millis_f64())
+            .sum::<f64>()
+            / n as f64
     }
 
     #[test]
@@ -112,7 +148,10 @@ mod tests {
 
     #[test]
     fn uniform_within_bounds() {
-        let d = LatencyDist::Uniform { lo_ms: 3.0, hi_ms: 9.0 };
+        let d = LatencyDist::Uniform {
+            lo_ms: 3.0,
+            hi_ms: 9.0,
+        };
         let mut rng = SimRng::new(2);
         for _ in 0..1000 {
             let s = d.sample(&mut rng).as_millis_f64();
@@ -122,7 +161,11 @@ mod tests {
 
     #[test]
     fn normal_respects_floor() {
-        let d = LatencyDist::Normal { mean_ms: 1.0, std_ms: 10.0, floor_ms: 0.5 };
+        let d = LatencyDist::Normal {
+            mean_ms: 1.0,
+            std_ms: 10.0,
+            floor_ms: 0.5,
+        };
         let mut rng = SimRng::new(3);
         for _ in 0..1000 {
             assert!(d.sample(&mut rng).as_millis_f64() >= 0.5);
@@ -140,7 +183,9 @@ mod tests {
     fn lognormal_median_close_to_target() {
         let d = LatencyDist::storage(10.0);
         let mut rng = SimRng::new(4);
-        let mut v: Vec<f64> = (0..5001).map(|_| d.sample(&mut rng).as_millis_f64()).collect();
+        let mut v: Vec<f64> = (0..5001)
+            .map(|_| d.sample(&mut rng).as_millis_f64())
+            .collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = v[v.len() / 2];
         assert!((median - 10.0).abs() < 1.0, "median {median}");

@@ -17,15 +17,24 @@
 //!   log-normal) used by the network and storage-tier models.
 //! * [`metrics`] — histograms with percentile summaries, counters and
 //!   time-series recorders used by every benchmark harness.
+//! * [`registry`] — the process-wide [`MetricsRegistry`] of named, labeled
+//!   counters/gauges/histograms every subsystem records into; snapshots
+//!   export deterministically as JSON for CI gating.
+//! * [`trace`] — bounded ring buffer of structured [`trace::TraceEvent`]s
+//!   stamped on the modeled-time axis, exportable as JSONL.
 
 pub mod clock;
 pub mod dist;
 pub mod metrics;
+pub mod registry;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
 pub use clock::{Clock, FrozenClock, ManualClock, ScaledClock, SharedClock};
 pub use dist::LatencyDist;
 pub use metrics::{Counter, Histogram, LatencyRecorder, Summary, TimeSeries};
+pub use registry::{MetricsRegistry, RegistrySnapshot};
 pub use rng::{derive_seed, SimRng};
 pub use time::{SimDuration, SimInstant};
+pub use trace::{Span, TraceEvent, Tracer};

@@ -21,7 +21,7 @@ const NUM_BUCKETS: usize = BUCKETS_PER_OCTAVE * OCTAVES;
 ///
 /// Relative error is bounded by one bucket width (~6% per sample), which is
 /// far below the run-to-run variance of the systems being modeled.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -282,7 +282,10 @@ mod tests {
         assert_eq!(h.mean(), SimDuration::from_millis(10));
         assert_eq!(h.max(), SimDuration::from_millis(10));
         let p50 = h.quantile(0.5).as_millis_f64();
-        assert!((p50 - 10.0).abs() / 10.0 < 0.07, "p50 {p50} within bucket error");
+        assert!(
+            (p50 - 10.0).abs() / 10.0 < 0.07,
+            "p50 {p50} within bucket error"
+        );
     }
 
     #[test]
@@ -291,7 +294,10 @@ mod tests {
         for i in 1..=1000u64 {
             h.record(SimDuration::from_micros(i * 37));
         }
-        let qs: Vec<_> = [0.1, 0.5, 0.9, 0.99, 1.0].iter().map(|&q| h.quantile(q)).collect();
+        let qs: Vec<_> = [0.1, 0.5, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
         for w in qs.windows(2) {
             assert!(w[0] <= w[1], "quantiles must be monotone: {:?}", qs);
         }
@@ -375,7 +381,12 @@ mod tests {
             .mean_in(t + SimDuration::from_secs(1), t + SimDuration::from_secs(3))
             .unwrap();
         assert_eq!(m, 15.0);
-        assert!(ts.mean_in(t + SimDuration::from_secs(10), t + SimDuration::from_secs(20)).is_none());
+        assert!(ts
+            .mean_in(
+                t + SimDuration::from_secs(10),
+                t + SimDuration::from_secs(20)
+            )
+            .is_none());
     }
 
     #[test]

@@ -1,0 +1,354 @@
+//! Workspace-wide metrics registry: named, labeled counters, gauges and
+//! latency histograms with lock-cheap sharded recording and deterministic
+//! snapshot export.
+//!
+//! Every subsystem (network mesh, storage tiers, coordination service,
+//! replicas, instances) records into one [`MetricsRegistry`] — usually the
+//! process-wide [`MetricsRegistry::global()`] — and benchmark binaries
+//! export a [`RegistrySnapshot`] to `results/metrics_<name>.json` at exit.
+//! CI's bench-smoke job asserts invariants over those exported counters.
+//!
+//! Design notes:
+//!
+//! * **Handles are cheap.** [`MetricsRegistry::counter`] /
+//!   [`MetricsRegistry::gauge`] / [`MetricsRegistry::histogram`] return
+//!   `Arc` handles resolved through a read-locked map; hot paths may also
+//!   cache the handle. Counters and gauges are single atomics; histograms
+//!   shard their buckets by thread so concurrent recording rarely contends
+//!   on one lock.
+//! * **Snapshots are deterministic.** Metrics are keyed by
+//!   `(name, sorted labels)` in `BTreeMap`s, so two runs with the same
+//!   events produce byte-identical JSON (the serde shim keeps object keys
+//!   sorted too).
+
+use crate::metrics::{Histogram, Summary};
+use crate::time::SimDuration;
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Number of histogram shards. Power of two; thread ids hash onto shards.
+const SHARDS: usize = 8;
+
+/// A metric identity: name plus sorted `key=value` labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Render as `name{k=v,...}` (or bare `name` when unlabeled).
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let inner: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        format!("{}{{{}}}", self.name, inner.join(","))
+    }
+}
+
+/// Monotonic event counter.
+#[derive(Debug, Default)]
+pub struct CounterHandle {
+    value: AtomicU64,
+}
+
+impl CounterHandle {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous level (queue depths, open sessions, bytes resident).
+#[derive(Debug, Default)]
+pub struct GaugeHandle {
+    value: AtomicI64,
+}
+
+impl GaugeHandle {
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Latency histogram with per-thread shard striping: recording locks only
+/// the caller's shard, so concurrent recorders on different threads do not
+/// serialize against each other.
+#[derive(Debug)]
+pub struct HistogramHandle {
+    shards: [Mutex<Histogram>; SHARDS],
+}
+
+impl Default for HistogramHandle {
+    fn default() -> Self {
+        HistogramHandle {
+            shards: std::array::from_fn(|_| Mutex::new(Histogram::new())),
+        }
+    }
+}
+
+fn shard_index() -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    (h.finish() as usize) % SHARDS
+}
+
+impl HistogramHandle {
+    pub fn record(&self, sample: SimDuration) {
+        self.shards[shard_index()].lock().record(sample);
+    }
+
+    /// Merge all shards into one histogram (snapshot path only).
+    pub fn merged(&self) -> Histogram {
+        let mut out = Histogram::new();
+        for shard in &self.shards {
+            out.merge(&shard.lock());
+        }
+        out
+    }
+}
+
+/// Exported form of one registry scrape. Keys are `name{k=v,...}` strings;
+/// all maps are ordered, so serialization is deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, Summary>,
+}
+
+impl RegistrySnapshot {
+    /// Sum of every counter whose bare name (label part stripped) matches.
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.as_str() == name || k.starts_with(&format!("{name}{{")))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Total sample count across every histogram matching the bare name.
+    pub fn histogram_count(&self, name: &str) -> u64 {
+        self.histograms
+            .iter()
+            .filter(|(k, _)| k.as_str() == name || k.starts_with(&format!("{name}{{")))
+            .map(|(_, s)| s.count)
+            .sum()
+    }
+}
+
+/// The registry proper. Cloneable handles, deterministic snapshots.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<MetricKey, Arc<CounterHandle>>>,
+    gauges: RwLock<BTreeMap<MetricKey, Arc<GaugeHandle>>>,
+    histograms: RwLock<BTreeMap<MetricKey, Arc<HistogramHandle>>>,
+}
+
+fn get_or_insert<H: Default>(map: &RwLock<BTreeMap<MetricKey, Arc<H>>>, key: MetricKey) -> Arc<H> {
+    if let Some(h) = map.read().get(&key) {
+        return Arc::clone(h);
+    }
+    Arc::clone(map.write().entry(key).or_default())
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry every subsystem records into by default.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<CounterHandle> {
+        get_or_insert(&self.counters, MetricKey::new(name, labels))
+    }
+
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<GaugeHandle> {
+        get_or_insert(&self.gauges, MetricKey::new(name, labels))
+    }
+
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<HistogramHandle> {
+        get_or_insert(&self.histograms, MetricKey::new(name, labels))
+    }
+
+    /// Convenience: bump a labeled counter by one.
+    pub fn inc(&self, name: &str, labels: &[(&str, &str)]) {
+        self.counter(name, labels).inc();
+    }
+
+    /// Convenience: record one latency sample.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], sample: SimDuration) {
+        self.histogram(name, labels).record(sample);
+    }
+
+    /// Drop every registered metric. Benchmark binaries call this before a
+    /// run so exported snapshots cover exactly that run.
+    pub fn reset(&self) {
+        self.counters.write().clear();
+        self.gauges.write().clear();
+        self.histograms.write().clear();
+    }
+
+    /// Scrape everything into an ordered, serializable snapshot.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let counters = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, h)| (k.render(), h.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, h)| (k.render(), h.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, h)| (k.render(), h.merged().summary()))
+            .collect();
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_handle_different_labels_distinct() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("rpc_total", &[("from", "UsEast"), ("to", "EuWest")]);
+        // Label order must not matter for identity.
+        let b = reg.counter("rpc_total", &[("to", "EuWest"), ("from", "UsEast")]);
+        let c = reg.counter("rpc_total", &[("from", "EuWest"), ("to", "UsEast")]);
+        a.inc();
+        b.add(2);
+        c.inc();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["rpc_total{from=UsEast,to=EuWest}"], 3);
+        assert_eq!(snap.counters["rpc_total{from=EuWest,to=UsEast}"], 1);
+        assert_eq!(snap.counter_sum("rpc_total"), 4);
+    }
+
+    #[test]
+    fn sharded_histogram_is_correct_under_concurrency() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let threads = 8;
+        let per_thread = 1_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let h = reg.histogram("op_latency", &[("tier", "ssd")]);
+                    for i in 0..per_thread {
+                        h.record(SimDuration::from_micros(t * per_thread + i + 1));
+                        reg.inc("ops_total", &[("tier", "ssd")]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_sum("ops_total"), threads * per_thread);
+        assert_eq!(snap.histogram_count("op_latency"), threads * per_thread);
+        let summary = &snap.histograms["op_latency{tier=ssd}"];
+        assert!(summary.max_ms >= summary.p99_ms && summary.p99_ms >= summary.p50_ms);
+    }
+
+    #[test]
+    fn snapshot_ordering_is_deterministic() {
+        let reg = MetricsRegistry::new();
+        reg.inc("zeta", &[]);
+        reg.inc("alpha", &[("r", "b")]);
+        reg.inc("alpha", &[("r", "a")]);
+        reg.gauge("depth", &[]).set(-3);
+        reg.observe("lat", &[], SimDuration::from_micros(5));
+        let a = serde_json::to_string(&reg.snapshot()).unwrap();
+        let b = serde_json::to_string(&reg.snapshot()).unwrap();
+        assert_eq!(a, b);
+        let snap = reg.snapshot();
+        let keys: Vec<&str> = snap.counters.keys().map(String::as_str).collect();
+        assert_eq!(keys, ["alpha{r=a}", "alpha{r=b}", "zeta"]);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let reg = MetricsRegistry::new();
+        reg.inc("c", &[("x", "1")]);
+        reg.gauge("g", &[]).set(7);
+        reg.observe("h", &[], SimDuration::from_millis(3));
+        let snap = reg.snapshot();
+        let text = serde_json::to_string_pretty(&snap).unwrap();
+        let back: RegistrySnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+        assert_eq!(back.histograms.len(), snap.histograms.len());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let reg = MetricsRegistry::new();
+        reg.inc("c", &[]);
+        reg.reset();
+        assert!(reg.snapshot().counters.is_empty());
+    }
+}

@@ -39,7 +39,10 @@ pub struct SimRng {
 
 impl SimRng {
     pub fn new(seed: u64) -> Self {
-        SimRng { seed, inner: StdRng::seed_from_u64(seed) }
+        SimRng {
+            seed,
+            inner: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Derive a child RNG for a named component.
@@ -108,7 +111,10 @@ mod tests {
         let _b = root.child("b"); // creating b must not perturb a's stream
         let mut a2 = SimRng::new(99).child("a");
         for _ in 0..50 {
-            assert_eq!(a1.gen_range_usize(0, 1 << 20), a2.gen_range_usize(0, 1 << 20));
+            assert_eq!(
+                a1.gen_range_usize(0, 1 << 20),
+                a2.gen_range_usize(0, 1 << 20)
+            );
         }
     }
 

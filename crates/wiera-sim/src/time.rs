@@ -12,7 +12,9 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// A span of modeled time with microsecond resolution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -134,7 +136,9 @@ impl fmt::Display for SimDuration {
 }
 
 /// A point on the modeled-time axis (microseconds since experiment start).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimInstant(u64);
 
 impl SimInstant {
@@ -226,7 +230,10 @@ mod tests {
         assert_eq!(t1.elapsed_since(t0), SimDuration::from_secs(2));
         assert_eq!(t1 - t0, SimDuration::from_secs(2));
         assert_eq!(t0 - t1, SimDuration::ZERO, "instant sub saturates");
-        assert_eq!(t1 - SimDuration::from_secs(1), t0 + SimDuration::from_secs(1));
+        assert_eq!(
+            t1 - SimDuration::from_secs(1),
+            t0 + SimDuration::from_secs(1)
+        );
     }
 
     #[test]

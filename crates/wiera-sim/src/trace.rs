@@ -1,0 +1,258 @@
+//! Structured, sim-clock-aware event tracing.
+//!
+//! A [`Tracer`] holds a bounded ring buffer of [`TraceEvent`]s stamped with
+//! *modeled* time (microseconds on the [`crate::SimInstant`] axis), so a
+//! trace of a compressed 600-second experiment reads in experiment time,
+//! not wall time. Spans measure an operation's modeled duration and record
+//! one event when closed.
+//!
+//! Events export as JSONL — one JSON object per line — which streams well
+//! and diffs well, and round-trips through the serde shim.
+
+use crate::time::SimInstant;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::OnceLock;
+
+/// One traced event on the modeled-time axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Modeled timestamp, µs since the simulation epoch.
+    pub t_us: u64,
+    /// Subsystem that recorded the event (`net`, `tiers`, `coord`, ...).
+    pub subsystem: String,
+    /// Operation or event name (`rpc`, `put`, `lock_acquire`, ...).
+    pub op: String,
+    /// Region the event happened in, if meaningful.
+    pub region: Option<String>,
+    /// Node / instance identifier, if meaningful.
+    pub node: Option<String>,
+    /// Modeled duration in µs for span-shaped events; `None` for points.
+    pub dur_us: Option<u64>,
+    /// Free-form detail (error kind, queue depth, object key, ...).
+    pub detail: Option<String>,
+}
+
+/// Bounded ring buffer of trace events. When full, the oldest events are
+/// dropped (and counted), so tracing never grows without bound.
+pub struct Tracer {
+    inner: Mutex<Ring>,
+}
+
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl Tracer {
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            inner: Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity.min(1024)),
+                capacity: capacity.max(1),
+                dropped: 0,
+                enabled: true,
+            }),
+        }
+    }
+
+    /// The process-wide tracer (64k events ≈ a few MB at peak).
+    pub fn global() -> &'static Tracer {
+        static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+        GLOBAL.get_or_init(|| Tracer::with_capacity(65_536))
+    }
+
+    /// Disable/enable recording (benchmarks that only want counters can
+    /// turn tracing off wholesale).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.lock().enabled = enabled;
+    }
+
+    pub fn record(&self, event: TraceEvent) {
+        let mut ring = self.inner.lock();
+        if !ring.enabled {
+            return;
+        }
+        if ring.events.len() == ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event);
+    }
+
+    /// Record a point event with just timestamps and identity labels.
+    pub fn point(&self, now: SimInstant, subsystem: &str, op: &str, detail: Option<String>) {
+        self.record(TraceEvent {
+            t_us: now.as_micros(),
+            subsystem: subsystem.to_string(),
+            op: op.to_string(),
+            region: None,
+            node: None,
+            dur_us: None,
+            detail,
+        });
+    }
+
+    /// Open a span starting now; closing it records one event.
+    pub fn span(&self, start: SimInstant, subsystem: &str, op: &str) -> Span<'_> {
+        Span {
+            tracer: self,
+            start,
+            subsystem: subsystem.to_string(),
+            op: op.to_string(),
+            region: None,
+            node: None,
+            detail: None,
+        }
+    }
+
+    /// Number of events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().events.iter().cloned().collect()
+    }
+
+    /// Drop all buffered events and reset the drop counter.
+    pub fn clear(&self) {
+        let mut ring = self.inner.lock();
+        ring.events.clear();
+        ring.dropped = 0;
+    }
+
+    /// Export as JSONL: one compact JSON object per line, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.inner.lock().events.iter() {
+            out.push_str(&serde_json::to_string(event).expect("trace event serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a JSONL export back into events (inverse of [`Self::to_jsonl`]).
+    pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| serde_json::from_str(l).map_err(|e| e.to_string()))
+            .collect()
+    }
+}
+
+/// An in-flight traced operation. Build it up with the labeling methods,
+/// then close it with [`Span::finish`] at the operation's modeled end time.
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    start: SimInstant,
+    subsystem: String,
+    op: String,
+    region: Option<String>,
+    node: Option<String>,
+    detail: Option<String>,
+}
+
+impl Span<'_> {
+    pub fn region(mut self, region: impl Into<String>) -> Self {
+        self.region = Some(region.into());
+        self
+    }
+
+    pub fn node(mut self, node: impl Into<String>) -> Self {
+        self.node = Some(node.into());
+        self
+    }
+
+    pub fn detail(mut self, detail: impl Into<String>) -> Self {
+        self.detail = Some(detail.into());
+        self
+    }
+
+    /// Close the span at `end`, recording one event whose duration is the
+    /// modeled elapsed time (saturating at zero if clocks ran backwards).
+    pub fn finish(self, end: SimInstant) {
+        let dur = end.elapsed_since(self.start);
+        self.tracer.record(TraceEvent {
+            t_us: self.start.as_micros(),
+            subsystem: self.subsystem,
+            op: self.op,
+            region: self.region,
+            node: self.node,
+            dur_us: Some(dur.as_micros()),
+            detail: self.detail,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn at(us: u64) -> SimInstant {
+        SimInstant::EPOCH + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn ring_caps_and_counts_drops() {
+        let tracer = Tracer::with_capacity(3);
+        for i in 0..5 {
+            tracer.point(at(i), "test", "tick", None);
+        }
+        assert_eq!(tracer.len(), 3);
+        assert_eq!(tracer.dropped(), 2);
+        let times: Vec<u64> = tracer.events().iter().map(|e| e.t_us).collect();
+        assert_eq!(times, [2, 3, 4]);
+    }
+
+    #[test]
+    fn span_records_modeled_duration() {
+        let tracer = Tracer::with_capacity(16);
+        tracer
+            .span(at(100), "net", "rpc")
+            .region("UsEast")
+            .node("replica-1")
+            .detail("Put")
+            .finish(at(350));
+        let events = tracer.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].t_us, 100);
+        assert_eq!(events[0].dur_us, Some(250));
+        assert_eq!(events[0].region.as_deref(), Some("UsEast"));
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let tracer = Tracer::with_capacity(16);
+        tracer.point(at(1), "coord", "session_expired", Some("s-42".into()));
+        tracer
+            .span(at(2), "tiers", "put")
+            .region("EuWest")
+            .finish(at(9));
+        let text = tracer.to_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        let back = Tracer::parse_jsonl(&text).unwrap();
+        assert_eq!(back, tracer.events());
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::with_capacity(4);
+        tracer.set_enabled(false);
+        tracer.point(at(5), "x", "y", None);
+        assert!(tracer.is_empty());
+    }
+}

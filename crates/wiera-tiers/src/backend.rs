@@ -17,7 +17,7 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use wiera_sim::{SharedClock, SimDuration, SimInstant, SimRng};
+use wiera_sim::{MetricsRegistry, SharedClock, SimDuration, SimInstant, SimRng};
 
 /// Errors a storage tier can surface.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,7 +36,11 @@ impl std::fmt::Display for TierError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TierError::NotFound(k) => write!(f, "object '{k}' not found"),
-            TierError::Full { capacity, used, need } => {
+            TierError::Full {
+                capacity,
+                used,
+                need,
+            } => {
                 write!(f, "tier full: capacity={capacity} used={used} need={need}")
             }
             TierError::TooLarge { capacity, need } => {
@@ -106,6 +110,8 @@ pub struct SimTier {
     page_cache_on: AtomicBool,
     pub stats: TierStats,
     meter: CostMeter,
+    /// Cached `{tier=<kind>}` label value for registry recording.
+    kind_label: String,
 }
 
 impl SimTier {
@@ -114,6 +120,7 @@ impl SimTier {
         let spec_page_cache = spec.page_cache;
         Arc::new(SimTier {
             rng: Mutex::new(SimRng::new(seed).child(&format!("tier:{}", spec.kind))),
+            kind_label: spec.kind.to_string(),
             spec,
             capacity: AtomicU64::new(capacity),
             clock: clock.clone(),
@@ -173,7 +180,11 @@ impl SimTier {
 
     /// Sampled native latency for an op of `bytes`, including degradation.
     fn native_latency(&self, read: bool, bytes: u64) -> SimDuration {
-        let dist = if read { &self.spec.get_latency } else { &self.spec.put_latency };
+        let dist = if read {
+            &self.spec.get_latency
+        } else {
+            &self.spec.put_latency
+        };
         let base = dist.sample(&mut self.rng.lock());
         let xfer =
             SimDuration::from_millis_f64(self.spec.per_mib_ms * bytes as f64 / (1024.0 * 1024.0));
@@ -190,7 +201,15 @@ impl SimTier {
         let mut nf = self.next_free.lock();
         let start = if *nf > now { *nf } else { now };
         *nf = start + gap;
-        start - now
+        let wait = start - now;
+        if wait > SimDuration::ZERO {
+            MetricsRegistry::global().observe(
+                "tier_throttle_wait",
+                &[("tier", &self.kind_label)],
+                wait,
+            );
+        }
+        wait
     }
 
     fn check_up(&self) -> TierResult<()> {
@@ -201,12 +220,25 @@ impl SimTier {
         }
     }
 
+    /// Record one completed operation into the shared registry.
+    fn note_op(&self, op: &str, lat: SimDuration) {
+        let metrics = MetricsRegistry::global();
+        let labels = [("tier", self.kind_label.as_str()), ("op", op)];
+        metrics.inc("tier_ops_total", &labels);
+        metrics.observe("tier_op_latency", &labels, lat);
+    }
+
+    fn note_capacity_rejection(&self) {
+        MetricsRegistry::global().inc("tier_capacity_rejections", &[("tier", &self.kind_label)]);
+    }
+
     /// Store an object (overwrite allowed). Returns modeled latency.
     pub fn put(&self, key: &str, val: Bytes) -> TierResult<SimDuration> {
         self.check_up()?;
         let need = val.len() as u64;
         let capacity = self.capacity();
         if need > capacity {
+            self.note_capacity_rejection();
             return Err(TierError::TooLarge { capacity, need });
         }
         let lat = self.throttle() + self.native_latency(false, need);
@@ -233,19 +265,36 @@ impl SimTier {
                         self.stats.evictions.fetch_add(1, Ordering::Relaxed);
                     }
                     if used + need > capacity {
-                        return Err(TierError::Full { capacity: capacity, used, need });
+                        self.note_capacity_rejection();
+                        return Err(TierError::Full {
+                            capacity,
+                            used,
+                            need,
+                        });
                     }
                 } else {
-                    return Err(TierError::Full { capacity, used, need });
+                    self.note_capacity_rejection();
+                    return Err(TierError::Full {
+                        capacity,
+                        used,
+                        need,
+                    });
                 }
             }
-            slots.insert(Arc::from(key), Slot { data: val, last_access: now });
+            slots.insert(
+                Arc::from(key),
+                Slot {
+                    data: val,
+                    last_access: now,
+                },
+            );
             let total: u64 = slots.values().map(|s| s.data.len() as u64).sum();
             self.used.store(total, Ordering::Relaxed);
             self.meter.set_bytes(total, now);
         }
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
         self.meter.note_put();
+        self.note_op("put", lat);
         Ok(lat)
     }
 
@@ -255,7 +304,9 @@ impl SimTier {
         let now = self.clock.now();
         let data = {
             let mut slots = self.slots.write();
-            let slot = slots.get_mut(key).ok_or_else(|| TierError::NotFound(key.into()))?;
+            let slot = slots
+                .get_mut(key)
+                .ok_or_else(|| TierError::NotFound(key.into()))?;
             slot.last_access = now;
             slot.data.clone()
         };
@@ -267,6 +318,7 @@ impl SimTier {
         };
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
         self.meter.note_get();
+        self.note_op("get", lat);
         Ok((data, lat))
     }
 
@@ -284,7 +336,9 @@ impl SimTier {
             }
         }
         self.stats.deletes.fetch_add(1, Ordering::Relaxed);
-        Ok(self.native_latency(false, 0) * 0.5)
+        let lat = self.native_latency(false, 0) * 0.5;
+        self.note_op("delete", lat);
+        Ok(lat)
     }
 
     pub fn contains(&self, key: &str) -> bool {
@@ -338,11 +392,21 @@ mod tests {
     use wiera_sim::{Clock, ManualClock};
 
     fn mem(capacity: u64) -> Arc<SimTier> {
-        SimTier::new(TierSpec::of(TierKind::Memcached), capacity, ManualClock::new(), 1)
+        SimTier::new(
+            TierSpec::of(TierKind::Memcached),
+            capacity,
+            ManualClock::new(),
+            1,
+        )
     }
 
     fn ssd(capacity: u64) -> Arc<SimTier> {
-        SimTier::new(TierSpec::of(TierKind::EbsSsd), capacity, ManualClock::new(), 1)
+        SimTier::new(
+            TierSpec::of(TierKind::EbsSsd),
+            capacity,
+            ManualClock::new(),
+            1,
+        )
     }
 
     fn payload(n: usize) -> Bytes {
@@ -402,7 +466,10 @@ mod tests {
     #[test]
     fn oversized_object_rejected() {
         let t = ssd(1000);
-        assert!(matches!(t.put("a", payload(2000)), Err(TierError::TooLarge { .. })));
+        assert!(matches!(
+            t.put("a", payload(2000)),
+            Err(TierError::TooLarge { .. })
+        ));
     }
 
     #[test]
@@ -446,7 +513,12 @@ mod tests {
         }
         assert!(means[0] < means[1], "SSD {} < HDD {}", means[0], means[1]);
         assert!(means[1] < means[2], "HDD {} < S3 {}", means[1], means[2]);
-        assert!(means[2] <= means[3] * 1.2, "S3 {} ~<= S3-IA {}", means[2], means[3]);
+        assert!(
+            means[2] <= means[3] * 1.2,
+            "S3 {} ~<= S3-IA {}",
+            means[2],
+            means[3]
+        );
     }
 
     #[test]
@@ -456,7 +528,10 @@ mod tests {
         let t = SimTier::new(spec, 1 << 20, clock, 3);
         t.put("k", payload(4096)).unwrap();
         let (_, lat) = t.get("k").unwrap();
-        assert!(lat.as_millis_f64() < 1.0, "cached read {lat} should be <1ms");
+        assert!(
+            lat.as_millis_f64() < 1.0,
+            "cached read {lat} should be <1ms"
+        );
         assert_eq!(t.stats.snapshot().cache_hits, 1);
     }
 
@@ -503,7 +578,10 @@ mod tests {
         let (_, base) = t.get("k").unwrap();
         t.set_degraded(10.0);
         let (_, slow) = t.get("k").unwrap();
-        assert!(slow.as_millis_f64() > base.as_millis_f64() * 3.0, "{base} -> {slow}");
+        assert!(
+            slow.as_millis_f64() > base.as_millis_f64() * 3.0,
+            "{base} -> {slow}"
+        );
     }
 
     #[test]

@@ -75,20 +75,25 @@ pub struct PriceRow {
 
 /// Regenerate Table 4 (the four tiers the paper tabulates).
 pub fn price_table() -> Vec<PriceRow> {
-    [TierKind::EbsSsd, TierKind::EbsHdd, TierKind::S3, TierKind::S3Ia]
-        .into_iter()
-        .map(|tier| {
-            let c = CostSpec::of(tier);
-            PriceRow {
-                tier,
-                storage_gb_month: c.storage_gb_month,
-                put_per_10k: c.put_per_10k,
-                get_per_10k: c.get_per_10k,
-                network_within_dc_gb: 0.0,
-                network_to_internet_gb: c.egress_internet_gb,
-            }
-        })
-        .collect()
+    [
+        TierKind::EbsSsd,
+        TierKind::EbsHdd,
+        TierKind::S3,
+        TierKind::S3Ia,
+    ]
+    .into_iter()
+    .map(|tier| {
+        let c = CostSpec::of(tier);
+        PriceRow {
+            tier,
+            storage_gb_month: c.storage_gb_month,
+            put_per_10k: c.put_per_10k,
+            get_per_10k: c.get_per_10k,
+            network_within_dc_gb: 0.0,
+            network_to_internet_gb: c.egress_internet_gb,
+        }
+    })
+    .collect()
 }
 
 /// Accumulated usage for one tier instance, integrated over modeled time.
@@ -248,10 +253,10 @@ mod tests {
     #[test]
     fn sec53_savings_arithmetic() {
         let cold_gb = 8000.0;
-        let ssd_saving = monthly_cost_gb(TierKind::EbsSsd, cold_gb)
-            - monthly_cost_gb(TierKind::S3Ia, cold_gb);
-        let hdd_saving = monthly_cost_gb(TierKind::EbsHdd, cold_gb)
-            - monthly_cost_gb(TierKind::S3Ia, cold_gb);
+        let ssd_saving =
+            monthly_cost_gb(TierKind::EbsSsd, cold_gb) - monthly_cost_gb(TierKind::S3Ia, cold_gb);
+        let hdd_saving =
+            monthly_cost_gb(TierKind::EbsHdd, cold_gb) - monthly_cost_gb(TierKind::S3Ia, cold_gb);
         assert!((ssd_saving - 700.0).abs() < 1.0, "ssd saving {ssd_saving}");
         assert!((hdd_saving - 300.0).abs() < 1.0, "hdd saving {hdd_saving}");
         // Dropping one 8 TB S3-IA replica saves ≈$100/region.
@@ -269,7 +274,11 @@ mod tests {
         assert!((u.gb_hours - 100.0 * 730.0).abs() < 1.0);
         let spec = CostSpec::of(TierKind::EbsSsd);
         let bill = CostReport::from_usage(&u, &spec);
-        assert!((bill.storage - 10.0).abs() < 0.01, "100GB-month of SSD = $10, got {}", bill.storage);
+        assert!(
+            (bill.storage - 10.0).abs() < 0.01,
+            "100GB-month of SSD = $10, got {}",
+            bill.storage
+        );
     }
 
     #[test]

@@ -119,12 +119,21 @@ mod tests {
 
     #[test]
     fn parse_canonical_and_paper_aliases() {
-        assert_eq!("Memcached".parse::<TierKind>().unwrap(), TierKind::Memcached);
-        assert_eq!("LocalMemory".parse::<TierKind>().unwrap(), TierKind::Memcached);
+        assert_eq!(
+            "Memcached".parse::<TierKind>().unwrap(),
+            TierKind::Memcached
+        );
+        assert_eq!(
+            "LocalMemory".parse::<TierKind>().unwrap(),
+            TierKind::Memcached
+        );
         assert_eq!("LocalDisk".parse::<TierKind>().unwrap(), TierKind::EbsSsd);
         assert_eq!("EBS".parse::<TierKind>().unwrap(), TierKind::EbsSsd);
         assert_eq!("S3-IA".parse::<TierKind>().unwrap(), TierKind::S3Ia);
-        assert_eq!("CheapestArchival".parse::<TierKind>().unwrap(), TierKind::Glacier);
+        assert_eq!(
+            "CheapestArchival".parse::<TierKind>().unwrap(),
+            TierKind::Glacier
+        );
         assert!("floppy".parse::<TierKind>().is_err());
     }
 

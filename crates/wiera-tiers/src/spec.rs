@@ -96,7 +96,10 @@ mod tests {
         let hdd = TierSpec::of(TierKind::EbsHdd).typical_get_ms(b);
         let s3 = TierSpec::of(TierKind::S3).typical_get_ms(b);
         let s3ia = TierSpec::of(TierKind::S3Ia).typical_get_ms(b);
-        assert!(ssd < hdd && hdd < s3 && s3 <= s3ia, "{ssd} {hdd} {s3} {s3ia}");
+        assert!(
+            ssd < hdd && hdd < s3 && s3 <= s3ia,
+            "{ssd} {hdd} {s3} {s3ia}"
+        );
     }
 
     #[test]

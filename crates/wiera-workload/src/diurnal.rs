@@ -21,7 +21,11 @@ pub struct ActiveSchedule {
 
 impl ActiveSchedule {
     pub fn new(max_clients: usize, peak: SimInstant, sigma: SimDuration) -> Self {
-        ActiveSchedule { max_clients, peak, sigma }
+        ActiveSchedule {
+            max_clients,
+            peak,
+            sigma,
+        }
     }
 
     /// The paper's parameters: peak at `offset + 7.5 min`, σ derived from a
@@ -74,7 +78,10 @@ mod tests {
         let s = ActiveSchedule::paper(10, SimDuration::ZERO);
         let at_peak = s.active_at(s.peak);
         assert_eq!(at_peak, 10);
-        assert!(s.active_at(mins(40)) < 3, "long after the peak, few clients");
+        assert!(
+            s.active_at(mins(40)) < 3,
+            "long after the peak, few clients"
+        );
         // Symmetric-ish rise and fall.
         let before = s.active_at(s.peak - SimDuration::from_mins(5));
         let after = s.active_at(s.peak + SimDuration::from_mins(5));

@@ -26,17 +26,26 @@ pub trait KvStore: Send + Sync {
 impl KvStore for wiera::client::WieraClient {
     fn kv_put(&self, key: &str, value: Bytes) -> Result<OpSample, String> {
         let view = self.put(key, value).map_err(|e| e.to_string())?;
-        Ok(OpSample { latency: view.latency, version: view.version })
+        Ok(OpSample {
+            latency: view.latency,
+            version: view.version,
+        })
     }
 
     fn kv_get(&self, key: &str) -> Result<OpSample, String> {
         let view = self.get(key).map_err(|e| e.to_string())?;
-        Ok(OpSample { latency: view.latency, version: view.version })
+        Ok(OpSample {
+            latency: view.latency,
+            version: view.version,
+        })
     }
 
     fn kv_get_value(&self, key: &str) -> Result<(Bytes, OpSample), String> {
         let view = self.get(key).map_err(|e| e.to_string())?;
-        let sample = OpSample { latency: view.latency, version: view.version };
+        let sample = OpSample {
+            latency: view.latency,
+            version: view.version,
+        };
         Ok((view.value.unwrap_or_default(), sample))
     }
 }
@@ -227,7 +236,10 @@ mod tests {
             let mut m = self.data.lock();
             let v = m.entry(key.to_string()).or_insert(0);
             *v += 1;
-            Ok(OpSample { latency: SimDuration::from_millis(2), version: *v })
+            Ok(OpSample {
+                latency: SimDuration::from_millis(2),
+                version: *v,
+            })
         }
 
         fn kv_get(&self, key: &str) -> Result<OpSample, String> {
@@ -249,10 +261,12 @@ mod tests {
     #[test]
     fn driver_runs_mix_and_reports() {
         let clock: SharedClock = ManualClock::new();
-        let store = FakeStore { data: Mutex::new(HashMap::new()), lag: 0 };
+        let store = FakeStore {
+            data: Mutex::new(HashMap::new()),
+            lag: 0,
+        };
         let ledger = Arc::new(Ledger::new());
-        let driver =
-            ClientDriver::new(WorkloadSpec::ycsb_a(50, 32), ledger, SimDuration::ZERO);
+        let driver = ClientDriver::new(WorkloadSpec::ycsb_a(50, 32), ledger, SimDuration::ZERO);
         let mut rng = SimRng::new(1);
         driver.run_ops(&store, &clock, &mut rng, 500);
         let r = driver.report();
@@ -266,21 +280,30 @@ mod tests {
     #[test]
     fn staleness_detected_with_lagging_store() {
         let clock: SharedClock = ManualClock::new();
-        let store = FakeStore { data: Mutex::new(HashMap::new()), lag: 1 };
+        let store = FakeStore {
+            data: Mutex::new(HashMap::new()),
+            lag: 1,
+        };
         let ledger = Arc::new(Ledger::new());
-        let driver =
-            ClientDriver::new(WorkloadSpec::ycsb_a(10, 32), ledger, SimDuration::ZERO);
+        let driver = ClientDriver::new(WorkloadSpec::ycsb_a(10, 32), ledger, SimDuration::ZERO);
         let mut rng = SimRng::new(2);
         driver.run_ops(&store, &clock, &mut rng, 1000);
         let r = driver.report();
         assert!(r.stale_reads > 0, "lagging store must show stale reads");
-        assert!(r.stale_fraction() > 0.5, "every versioned read lags: {}", r.stale_fraction());
+        assert!(
+            r.stale_fraction() > 0.5,
+            "every versioned read lags: {}",
+            r.stale_fraction()
+        );
     }
 
     #[test]
     fn missing_keys_are_not_errors() {
         let clock: SharedClock = ManualClock::new();
-        let store = FakeStore { data: Mutex::new(HashMap::new()), lag: 0 };
+        let store = FakeStore {
+            data: Mutex::new(HashMap::new()),
+            lag: 0,
+        };
         let ledger = Arc::new(Ledger::new());
         // Read-only workload on an empty store: all gets miss.
         let driver = ClientDriver::new(WorkloadSpec::ycsb_c(10, 32), ledger, SimDuration::ZERO);
@@ -292,9 +315,16 @@ mod tests {
     #[test]
     fn merged_report_combines() {
         let clock: SharedClock = ManualClock::new();
-        let store = FakeStore { data: Mutex::new(HashMap::new()), lag: 0 };
+        let store = FakeStore {
+            data: Mutex::new(HashMap::new()),
+            lag: 0,
+        };
         let ledger = Arc::new(Ledger::new());
-        let d1 = ClientDriver::new(WorkloadSpec::ycsb_a(10, 32), ledger.clone(), SimDuration::ZERO);
+        let d1 = ClientDriver::new(
+            WorkloadSpec::ycsb_a(10, 32),
+            ledger.clone(),
+            SimDuration::ZERO,
+        );
         let d2 = ClientDriver::new(WorkloadSpec::ycsb_a(10, 32), ledger, SimDuration::ZERO);
         let mut rng = SimRng::new(4);
         d1.run_ops(&store, &clock, &mut rng, 100);

@@ -10,9 +10,17 @@ pub enum KeyChooser {
     /// YCSB's zipfian generator: popularity follows a Zipf law with
     /// exponent `theta` (YCSB default 0.99). "Huge fraction of data is
     /// accessed infrequently or not at all" — §5.3's Facebook observation.
-    Zipfian { records: usize, theta: f64, zeta_n: f64 },
+    Zipfian {
+        records: usize,
+        theta: f64,
+        zeta_n: f64,
+    },
     /// Skewed toward the most recently inserted records.
-    Latest { records: usize, theta: f64, zeta_n: f64 },
+    Latest {
+        records: usize,
+        theta: f64,
+        zeta_n: f64,
+    },
 }
 
 fn zeta(n: usize, theta: f64) -> f64 {
@@ -21,7 +29,9 @@ fn zeta(n: usize, theta: f64) -> f64 {
 
 impl KeyChooser {
     pub fn uniform(records: usize) -> Self {
-        KeyChooser::Uniform { records: records.max(1) }
+        KeyChooser::Uniform {
+            records: records.max(1),
+        }
     }
 
     pub fn zipfian(records: usize) -> Self {
@@ -30,12 +40,20 @@ impl KeyChooser {
 
     pub fn zipfian_theta(records: usize, theta: f64) -> Self {
         let n = records.max(1);
-        KeyChooser::Zipfian { records: n, theta, zeta_n: zeta(n, theta) }
+        KeyChooser::Zipfian {
+            records: n,
+            theta,
+            zeta_n: zeta(n, theta),
+        }
     }
 
     pub fn latest(records: usize) -> Self {
         let n = records.max(1);
-        KeyChooser::Latest { records: n, theta: 0.99, zeta_n: zeta(n, theta_default()) }
+        KeyChooser::Latest {
+            records: n,
+            theta: 0.99,
+            zeta_n: zeta(n, theta_default()),
+        }
     }
 
     pub fn records(&self) -> usize {
@@ -51,10 +69,16 @@ impl KeyChooser {
     pub fn next(&self, rng: &mut SimRng) -> usize {
         match self {
             KeyChooser::Uniform { records } => rng.gen_range_usize(0, *records),
-            KeyChooser::Zipfian { records, theta, zeta_n }
-            | KeyChooser::Latest { records, theta, zeta_n } => {
-                zipf_sample(rng, *records, *theta, *zeta_n)
+            KeyChooser::Zipfian {
+                records,
+                theta,
+                zeta_n,
             }
+            | KeyChooser::Latest {
+                records,
+                theta,
+                zeta_n,
+            } => zipf_sample(rng, *records, *theta, *zeta_n),
         }
     }
 }
@@ -87,7 +111,7 @@ mod tests {
     fn uniform_covers_the_space() {
         let c = KeyChooser::uniform(100);
         let mut rng = SimRng::new(1);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for _ in 0..5000 {
             seen[c.next(&mut rng)] = true;
         }
@@ -132,7 +156,11 @@ mod tests {
 
     #[test]
     fn draws_stay_in_range() {
-        for c in [KeyChooser::uniform(7), KeyChooser::zipfian(7), KeyChooser::latest(7)] {
+        for c in [
+            KeyChooser::uniform(7),
+            KeyChooser::zipfian(7),
+            KeyChooser::latest(7),
+        ] {
             let mut rng = SimRng::new(4);
             for _ in 0..1000 {
                 assert!(c.next(&mut rng) < 7);

@@ -34,37 +34,86 @@ impl WorkloadSpec {
         value_bytes: usize,
     ) -> Self {
         debug_assert!((get + put + rmw - 1.0).abs() < 1e-9);
-        WorkloadSpec { name, get_prop: get, put_prop: put, rmw_prop: rmw, keys, value_bytes }
+        WorkloadSpec {
+            name,
+            get_prop: get,
+            put_prop: put,
+            rmw_prop: rmw,
+            keys,
+            value_bytes,
+        }
     }
 
     /// YCSB A: update heavy, 50 % read / 50 % update, zipfian (§5.1).
     pub fn ycsb_a(records: usize, value_bytes: usize) -> Self {
-        Self::mix("ycsb-a", 0.5, 0.5, 0.0, KeyChooser::zipfian(records), value_bytes)
+        Self::mix(
+            "ycsb-a",
+            0.5,
+            0.5,
+            0.0,
+            KeyChooser::zipfian(records),
+            value_bytes,
+        )
     }
 
     /// YCSB B: read mostly, 95 % read / 5 % update, zipfian.
     pub fn ycsb_b(records: usize, value_bytes: usize) -> Self {
-        Self::mix("ycsb-b", 0.95, 0.05, 0.0, KeyChooser::zipfian(records), value_bytes)
+        Self::mix(
+            "ycsb-b",
+            0.95,
+            0.05,
+            0.0,
+            KeyChooser::zipfian(records),
+            value_bytes,
+        )
     }
 
     /// YCSB C: read only.
     pub fn ycsb_c(records: usize, value_bytes: usize) -> Self {
-        Self::mix("ycsb-c", 1.0, 0.0, 0.0, KeyChooser::zipfian(records), value_bytes)
+        Self::mix(
+            "ycsb-c",
+            1.0,
+            0.0,
+            0.0,
+            KeyChooser::zipfian(records),
+            value_bytes,
+        )
     }
 
     /// YCSB D: read latest, 95 % read / 5 % insert.
     pub fn ycsb_d(records: usize, value_bytes: usize) -> Self {
-        Self::mix("ycsb-d", 0.95, 0.05, 0.0, KeyChooser::latest(records), value_bytes)
+        Self::mix(
+            "ycsb-d",
+            0.95,
+            0.05,
+            0.0,
+            KeyChooser::latest(records),
+            value_bytes,
+        )
     }
 
     /// YCSB F: read-modify-write.
     pub fn ycsb_f(records: usize, value_bytes: usize) -> Self {
-        Self::mix("ycsb-f", 0.5, 0.0, 0.5, KeyChooser::zipfian(records), value_bytes)
+        Self::mix(
+            "ycsb-f",
+            0.5,
+            0.0,
+            0.5,
+            KeyChooser::zipfian(records),
+            value_bytes,
+        )
     }
 
     /// §5.2's mix: "Read mostly workload (5 % put and 95 % get)".
     pub fn read_mostly(records: usize, value_bytes: usize) -> Self {
-        Self::mix("read-mostly", 0.95, 0.05, 0.0, KeyChooser::zipfian(records), value_bytes)
+        Self::mix(
+            "read-mostly",
+            0.95,
+            0.05,
+            0.0,
+            KeyChooser::zipfian(records),
+            value_bytes,
+        )
     }
 
     /// Draw the next operation kind.

@@ -83,7 +83,10 @@ impl PlacementAdvice {
                 &format!("Region{}", i + 1),
                 region.name(),
                 region == self.primary,
-                &[("tier1", "Memcached", memory_size), ("tier2", "EBS-SSD", disk_size)],
+                &[
+                    ("tier1", "Memcached", memory_size),
+                    ("tier2", "EBS-SSD", disk_size),
+                ],
             );
         }
         match self.consistency {
@@ -260,8 +263,14 @@ pub fn advise(
                     continue;
                 }
                 let get_ms = est_get_ms(fabric, loads, &replicas);
-                let put_ms =
-                    est_put_ms(fabric, loads, &replicas, primary, consistency, cfg.coordinator);
+                let put_ms = est_put_ms(
+                    fabric,
+                    loads,
+                    &replicas,
+                    primary,
+                    consistency,
+                    cfg.coordinator,
+                );
                 let cost = est_cost(cfg, loads, &replicas);
                 let score = weights.get_latency * get_ms
                     + weights.put_latency * put_ms
@@ -294,9 +303,21 @@ mod tests {
 
     fn loads(asia: f64, eu: f64, us: f64) -> Vec<RegionLoad> {
         vec![
-            RegionLoad { region: Region::AsiaEast, puts_per_sec: asia * 0.05, gets_per_sec: asia },
-            RegionLoad { region: Region::EuWest, puts_per_sec: eu * 0.05, gets_per_sec: eu },
-            RegionLoad { region: Region::UsWest, puts_per_sec: us * 0.05, gets_per_sec: us },
+            RegionLoad {
+                region: Region::AsiaEast,
+                puts_per_sec: asia * 0.05,
+                gets_per_sec: asia,
+            },
+            RegionLoad {
+                region: Region::EuWest,
+                puts_per_sec: eu * 0.05,
+                gets_per_sec: eu,
+            },
+            RegionLoad {
+                region: Region::UsWest,
+                puts_per_sec: us * 0.05,
+                gets_per_sec: us,
+            },
         ]
     }
 
@@ -318,7 +339,10 @@ mod tests {
         let advice = advise(
             &f,
             &loads(100.0, 1.0, 1.0),
-            &MetricWeights { require_strong: true, ..Default::default() },
+            &MetricWeights {
+                require_strong: true,
+                ..Default::default()
+            },
             &base_cfg(),
         )
         .unwrap();
@@ -332,19 +356,36 @@ mod tests {
         let cheap = advise(
             &f,
             &spread,
-            &MetricWeights { get_latency: 0.01, put_latency: 0.01, cost: 10.0, ..Default::default() },
+            &MetricWeights {
+                get_latency: 0.01,
+                put_latency: 0.01,
+                cost: 10.0,
+                ..Default::default()
+            },
             &base_cfg(),
         )
         .unwrap();
         let fast = advise(
             &f,
             &spread,
-            &MetricWeights { get_latency: 10.0, put_latency: 1.0, cost: 0.01, ..Default::default() },
+            &MetricWeights {
+                get_latency: 10.0,
+                put_latency: 1.0,
+                cost: 0.01,
+                ..Default::default()
+            },
             &base_cfg(),
         )
         .unwrap();
-        assert!(cheap.replicas.len() < fast.replicas.len(), "{cheap:?} vs {fast:?}");
-        assert_eq!(fast.replicas.len(), 3, "latency-weighted: replica everywhere");
+        assert!(
+            cheap.replicas.len() < fast.replicas.len(),
+            "{cheap:?} vs {fast:?}"
+        );
+        assert_eq!(
+            fast.replicas.len(),
+            3,
+            "latency-weighted: replica everywhere"
+        );
         assert_eq!(cheap.replicas.len(), 1, "cost-weighted: single replica");
         assert!(fast.est_get_ms < cheap.est_get_ms);
         assert!(fast.est_monthly_cost > cheap.est_monthly_cost);
@@ -356,7 +397,11 @@ mod tests {
         let advice = advise(
             &f,
             &loads(10.0, 10.0, 10.0),
-            &MetricWeights { require_strong: true, min_replicas: 2, ..Default::default() },
+            &MetricWeights {
+                require_strong: true,
+                min_replicas: 2,
+                ..Default::default()
+            },
             &base_cfg(),
         )
         .unwrap();
@@ -370,11 +415,19 @@ mod tests {
         let advice = advise(
             &f,
             &loads(10.0, 1.0, 1.0),
-            &MetricWeights { cost: 100.0, min_replicas: 3, ..Default::default() },
+            &MetricWeights {
+                cost: 100.0,
+                min_replicas: 3,
+                ..Default::default()
+            },
             &base_cfg(),
         )
         .unwrap();
-        assert_eq!(advice.replicas.len(), 3, "cost pressure cannot go below the floor");
+        assert_eq!(
+            advice.replicas.len(),
+            3,
+            "cost pressure cannot go below the floor"
+        );
     }
 
     #[test]
@@ -383,7 +436,11 @@ mod tests {
         let advice = advise(
             &f,
             &loads(10.0, 80.0, 10.0),
-            &MetricWeights { require_strong: true, min_replicas: 2, ..Default::default() },
+            &MetricWeights {
+                require_strong: true,
+                min_replicas: 2,
+                ..Default::default()
+            },
             &base_cfg(),
         )
         .unwrap();
@@ -402,7 +459,11 @@ mod tests {
         // the network monitor) moves the primary toward the healthy regions
         // even though Asia has slightly more traffic.
         let f = fabric();
-        let weights = MetricWeights { require_strong: true, min_replicas: 1, ..Default::default() };
+        let weights = MetricWeights {
+            require_strong: true,
+            min_replicas: 1,
+            ..Default::default()
+        };
         // Asia dominates the traffic, so it wins placement while healthy.
         let l = loads(80.0, 10.0, 10.0);
         let before = advise(&f, &l, &weights, &base_cfg()).unwrap();

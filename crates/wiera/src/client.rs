@@ -75,15 +75,23 @@ impl WieraClient {
     }
 
     pub fn put(&self, key: &str, value: Bytes) -> Result<OpView, AppError> {
-        self.with_failover(|| DataMsg::Put { key: key.to_string(), value: value.clone() })
+        self.with_failover(|| DataMsg::Put {
+            key: key.to_string(),
+            value: value.clone(),
+        })
     }
 
     pub fn get(&self, key: &str) -> Result<OpView, AppError> {
-        self.with_failover(|| DataMsg::Get { key: key.to_string() })
+        self.with_failover(|| DataMsg::Get {
+            key: key.to_string(),
+        })
     }
 
     pub fn get_version(&self, key: &str, version: u64) -> Result<OpView, AppError> {
-        self.with_failover(|| DataMsg::GetVersion { key: key.to_string(), version })
+        self.with_failover(|| DataMsg::GetVersion {
+            key: key.to_string(),
+            version,
+        })
     }
 
     pub fn get_version_list(&self, key: &str) -> Result<Vec<u64>, AppError> {
@@ -92,10 +100,17 @@ impl WieraClient {
         let candidates = self.replicas.read().clone();
         let mut last: Option<AppError> = None;
         for target in &candidates {
-            let msg = DataMsg::GetVersionList { key: key.to_string() };
+            let msg = DataMsg::GetVersionList {
+                key: key.to_string(),
+            };
             let bytes = msg.wire_bytes();
-            match self.mesh.rpc(&self.me, target, msg, bytes, wiera_sim::SimDuration::from_secs(120))
-            {
+            match self.mesh.rpc(
+                &self.me,
+                target,
+                msg,
+                bytes,
+                wiera_sim::SimDuration::from_secs(120),
+            ) {
                 Ok(r) => match r.msg {
                     DataMsg::VersionList { versions } => return Ok(versions),
                     DataMsg::Fail { why } => return Err(AppError::Remote(why)),
@@ -116,10 +131,15 @@ impl WieraClient {
     }
 
     pub fn remove(&self, key: &str) -> Result<OpView, AppError> {
-        self.with_failover(|| DataMsg::Remove { key: key.to_string() })
+        self.with_failover(|| DataMsg::Remove {
+            key: key.to_string(),
+        })
     }
 
     pub fn remove_version(&self, key: &str, version: u64) -> Result<OpView, AppError> {
-        self.with_failover(|| DataMsg::RemoveVersion { key: key.to_string(), version })
+        self.with_failover(|| DataMsg::RemoveVersion {
+            key: key.to_string(),
+            version,
+        })
     }
 }

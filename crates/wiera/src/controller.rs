@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use wiera_net::{Delivery, Mesh, NodeId, Region};
 use wiera_policy::{compile, parse, CompiledPolicy, ConsistencyModel};
-use wiera_sim::{SimDuration, SimInstant};
+use wiera_sim::{MetricsRegistry, SimDuration, SimInstant, Tracer};
 
 const CTRL_TIMEOUT: SimDuration = SimDuration::from_secs(120);
 
@@ -149,7 +149,8 @@ impl WieraController {
     /// Register every canned paper policy under its id.
     pub fn register_canned_policies(&self) {
         for (id, _, src) in wiera_policy::canned::ALL {
-            self.register_policy(id, src).expect("canned policies compile");
+            self.register_policy(id, src)
+                .expect("canned policies compile");
         }
     }
 
@@ -160,7 +161,11 @@ impl WieraController {
     // ---- TSM ---------------------------------------------------------------
 
     pub fn known_servers(&self) -> Vec<(Region, bool)> {
-        self.servers.lock().values().map(|s| (s.node.region, s.alive)).collect()
+        self.servers
+            .lock()
+            .values()
+            .map(|s| (s.node.region, s.alive))
+            .collect()
     }
 
     fn server_for(&self, region: Region) -> Option<NodeId> {
@@ -183,12 +188,22 @@ impl WieraController {
     }
 
     fn heartbeat_servers(&self) {
-        let targets: Vec<NodeId> =
-            self.servers.lock().values().map(|s| s.node.clone()).collect();
+        let targets: Vec<NodeId> = self
+            .servers
+            .lock()
+            .values()
+            .map(|s| s.node.clone())
+            .collect();
         for t in targets {
             let ok = self
                 .mesh
-                .rpc(&self.node, &t, DataMsg::Ping, 64, SimDuration::from_secs(10))
+                .rpc(
+                    &self.node,
+                    &t,
+                    DataMsg::Ping,
+                    64,
+                    SimDuration::from_secs(10),
+                )
                 .is_ok();
             let now = self.mesh.clock.now();
             let mut servers = self.servers.lock();
@@ -286,7 +301,10 @@ impl WieraController {
         deployment.push_membership();
         self.deployments.write().insert(
             instance_id.to_string(),
-            DeploymentEntry { deployment: deployment.clone(), config },
+            DeploymentEntry {
+                deployment: deployment.clone(),
+                config,
+            },
         );
         Ok(deployment)
     }
@@ -305,11 +323,17 @@ impl WieraController {
     /// `getInstances(wiera_instance_id)`: the instance list, which §4.1
     /// step 8 says applications use to pick the closest one.
     pub fn get_instances(&self, instance_id: &str) -> Option<Vec<NodeId>> {
-        self.deployments.read().get(instance_id).map(|e| e.deployment.replicas())
+        self.deployments
+            .read()
+            .get(instance_id)
+            .map(|e| e.deployment.replicas())
     }
 
     pub fn deployment(&self, instance_id: &str) -> Option<Arc<WieraDeployment>> {
-        self.deployments.read().get(instance_id).map(|e| e.deployment.clone())
+        self.deployments
+            .read()
+            .get(instance_id)
+            .map(|e| e.deployment.clone())
     }
 
     // ---- message handling ----------------------------------------------------
@@ -320,7 +344,11 @@ impl WieraController {
                 let now = self.mesh.clock.now();
                 self.servers.lock().insert(
                     region,
-                    ServerInfo { node: d.from.clone(), last_seen: now, alive: true },
+                    ServerInfo {
+                        node: d.from.clone(),
+                        last_seen: now,
+                        alive: true,
+                    },
                 );
                 if let Some(slot) = d.reply {
                     slot.reply(DataMsg::Ok, SimDuration::from_micros(300), 64);
@@ -339,7 +367,9 @@ impl WieraController {
                             let msg = if applied {
                                 DataMsg::Ok
                             } else {
-                                DataMsg::Fail { why: "change not applied".into() }
+                                DataMsg::Fail {
+                                    why: "change not applied".into(),
+                                }
                             };
                             let bytes = msg.wire_bytes();
                             slot.reply(msg, SimDuration::from_millis(1), bytes);
@@ -354,7 +384,9 @@ impl WieraController {
             }
             other => {
                 if let Some(slot) = d.reply {
-                    let msg = DataMsg::Fail { why: format!("controller got {other:?}") };
+                    let msg = DataMsg::Fail {
+                        why: format!("controller got {other:?}"),
+                    };
                     let bytes = msg.wire_bytes();
                     slot.reply(msg, SimDuration::ZERO, bytes);
                 }
@@ -363,12 +395,16 @@ impl WieraController {
     }
 
     fn apply_change(&self, deployment_id: &str, change: ChangeRequest) -> bool {
-        let Some(dep) = self.deployment(deployment_id) else { return false };
+        let Some(dep) = self.deployment(deployment_id) else {
+            return false;
+        };
         match change {
             ChangeRequest::Consistency(to) => {
                 if dep.consistency() == to {
                     return false;
                 }
+                MetricsRegistry::global()
+                    .inc("controller_change_requests", &[("kind", "consistency")]);
                 dep.change_consistency(to);
                 true
             }
@@ -376,6 +412,13 @@ impl WieraController {
                 if dep.primary().as_ref() == Some(&node) {
                     return false;
                 }
+                MetricsRegistry::global().inc("controller_change_requests", &[("kind", "primary")]);
+                Tracer::global().point(
+                    self.mesh.clock.now(),
+                    "wiera",
+                    "change_primary",
+                    Some(format!("{deployment_id} -> {}", node.name)),
+                );
                 dep.change_primary(node);
                 true
             }
@@ -392,7 +435,9 @@ impl WieraController {
             .map(|e| (e.deployment.clone(), e.config.clone()))
             .collect();
         for (dep, cfg) in deployments {
-            let Some(min) = cfg.min_replicas else { continue };
+            let Some(min) = cfg.min_replicas else {
+                continue;
+            };
             let replicas = dep.replicas();
             let mut alive = Vec::new();
             let mut dead = Vec::new();
@@ -410,11 +455,15 @@ impl WieraController {
             if alive.len() >= min || dead.is_empty() {
                 continue;
             }
-            let Some(donor) = alive.first().cloned() else { continue };
+            let Some(donor) = alive.first().cloned() else {
+                continue;
+            };
             // Avoid both the surviving replicas' regions and the crashed
             // ones (the dead instance's region may be the failure domain).
             let used: Vec<Region> = replicas.iter().map(|r| r.region).collect();
-            let Some(spare) = self.alive_spare_server(&used) else { continue };
+            let Some(spare) = self.alive_spare_server(&used) else {
+                continue;
+            };
 
             // Spawn a fresh replica on the spare server.
             let mut spec = dep.spec_template.clone();
@@ -424,11 +473,14 @@ impl WieraController {
             let Ok(reply) = self.mesh.rpc(&self.node, &spare, msg, bytes, CTRL_TIMEOUT) else {
                 continue;
             };
-            let DataMsg::Spawned { node: fresh } = reply.msg else { continue };
+            let DataMsg::Spawned { node: fresh } = reply.msg else {
+                continue;
+            };
 
             // Clone state from a live donor into the fresh replica.
             if let Ok(sync) =
-                self.mesh.rpc(&self.node, &donor, DataMsg::SyncRequest, 64, CTRL_TIMEOUT)
+                self.mesh
+                    .rpc(&self.node, &donor, DataMsg::SyncRequest, 64, CTRL_TIMEOUT)
             {
                 if let DataMsg::SyncReply { objects } = sync.msg {
                     let msg = DataMsg::LoadState { objects };

@@ -57,7 +57,10 @@ impl DeploymentConfig {
 
     /// The paper's Fig. 5(b) change-primary monitor.
     pub fn with_change_primary(mut self, window_ms: f64, check_every_ms: f64) -> Self {
-        self.monitors.requests = Some(RequestsSpec { window_ms, check_every_ms });
+        self.monitors.requests = Some(RequestsSpec {
+            window_ms,
+            check_every_ms,
+        });
         self
     }
 }
@@ -204,7 +207,14 @@ impl WieraDeployment {
         let to = self
             .replica_in(from.region)
             .ok_or_else(|| AppError::Remote("no replicas".into()))?;
-        self.op(from, &to, DataMsg::Put { key: key.into(), value })
+        self.op(
+            from,
+            &to,
+            DataMsg::Put {
+                key: key.into(),
+                value,
+            },
+        )
     }
 
     /// Convenience: get via the replica closest to `from`.
@@ -218,7 +228,9 @@ impl WieraDeployment {
     /// Ask each replica to stop.
     pub fn stop_all(&self) {
         for rep in self.replicas() {
-            let _ = self.mesh.rpc(&self.from, &rep, DataMsg::Stop, 64, CTRL_TIMEOUT);
+            let _ = self
+                .mesh
+                .rpc(&self.from, &rep, DataMsg::Stop, 64, CTRL_TIMEOUT);
         }
     }
 

@@ -3,12 +3,12 @@
 //! * [`LatencyMonitor`] — watches the replica's put-latency window. Under
 //!   the strong model, a sustained threshold violation (e.g. >800 ms for
 //!   >30 s, Fig. 5(a)) asks the controller to switch the deployment to the
-//!   weak model. Under the weak model, it plays the paper's *network
-//!   monitor*: it estimates what a strong put would cost right now (lock
-//!   round trip + slowest replica round trip) from live RTT probes, and asks
-//!   to switch back once that estimate has been healthy for the same period.
-//!   Transient blips shorter than the period never trigger either way —
-//!   exactly how Fig. 7 ignores its delay (c).
+//!   > weak model. Under the weak model, it plays the paper's *network
+//!   > monitor*: it estimates what a strong put would cost right now (lock
+//!   > round trip + slowest replica round trip) from live RTT probes, and asks
+//!   > to switch back once that estimate has been healthy for the same period.
+//!   > Transient blips shorter than the period never trigger either way —
+//!   > exactly how Fig. 7 ignores its delay (c).
 //! * [`RequestsMonitor`] — primary-side: compares puts forwarded by each
 //!   other instance against puts received directly from applications over a
 //!   sliding window; when a forwarder dominates, asks the controller to move
@@ -177,16 +177,17 @@ impl RequestsMonitor {
                     if !replica.is_primary() {
                         continue;
                     }
-                    if !matches!(replica.consistency(), ConsistencyModel::PrimaryBackup { .. }) {
+                    if !matches!(
+                        replica.consistency(),
+                        ConsistencyModel::PrimaryBackup { .. }
+                    ) {
                         continue;
                     }
                     let now = clock.now();
                     let since = now - window;
                     let direct = replica.direct_puts_since(since);
                     let forwarded = replica.forwarded_puts_since(since);
-                    if let Some((winner, count)) =
-                        forwarded.into_iter().max_by_key(|(_, c)| *c)
-                    {
+                    if let Some((winner, count)) = forwarded.into_iter().max_by_key(|(_, c)| *c) {
                         if count >= direct.max(1) {
                             let msg = DataMsg::RequestChange {
                                 deployment: deployment.clone(),

@@ -14,43 +14,95 @@ use wiera_sim::SimInstant;
 #[derive(Debug, Clone)]
 pub enum DataMsg {
     // ---- application ↔ instance (Table 2 API) ----
-    Put { key: String, value: Bytes },
-    Get { key: String },
-    GetVersion { key: String, version: u64 },
-    GetVersionList { key: String },
-    Update { key: String, version: u64, value: Bytes },
-    Remove { key: String },
-    RemoveVersion { key: String, version: u64 },
+    Put {
+        key: String,
+        value: Bytes,
+    },
+    Get {
+        key: String,
+    },
+    GetVersion {
+        key: String,
+        version: u64,
+    },
+    GetVersionList {
+        key: String,
+    },
+    Update {
+        key: String,
+        version: u64,
+        value: Bytes,
+    },
+    Remove {
+        key: String,
+    },
+    RemoveVersion {
+        key: String,
+        version: u64,
+    },
 
     /// Successful write: the version written and where it landed.
-    PutAck { version: u64 },
+    PutAck {
+        version: u64,
+    },
     /// Successful read.
-    GetReply { value: Bytes, version: u64, modified: SimInstant },
-    VersionList { versions: Vec<u64> },
+    GetReply {
+        value: Bytes,
+        version: u64,
+        modified: SimInstant,
+    },
+    VersionList {
+        versions: Vec<u64>,
+    },
     Removed,
     /// Request-level failure.
-    Fail { why: String },
+    Fail {
+        why: String,
+    },
 
     // ---- instance ↔ instance ----
     /// Propagate one version (synchronous `copy` or queued update).
-    Replicate { key: String, version: u64, modified: SimInstant, value: Bytes },
+    Replicate {
+        key: String,
+        version: u64,
+        modified: SimInstant,
+        value: Bytes,
+    },
     /// Last-write-wins outcome at the receiver (§4.2).
-    ReplicateAck { applied: bool },
+    ReplicateAck {
+        applied: bool,
+    },
     /// A non-primary forwarding an application put to the primary.
-    ForwardPut { key: String, value: Bytes, origin: NodeId },
+    ForwardPut {
+        key: String,
+        value: Bytes,
+        origin: NodeId,
+    },
     /// Full-state transfer for replica repair (§4.4).
     SyncRequest,
-    SyncReply { objects: Vec<SyncObject> },
+    SyncReply {
+        objects: Vec<SyncObject>,
+    },
 
     // ---- controller ↔ instance ----
     /// Two-phase consistency switch (§3.3.2): drain queues, block new
     /// requests, adopt the model, unblock. `epoch` guards against stale
     /// control messages.
-    ChangeConsistency { to: ConsistencyModel, epoch: u64 },
+    ChangeConsistency {
+        to: ConsistencyModel,
+        epoch: u64,
+    },
     /// Re-point every replica at a new primary (Fig. 5(b)).
-    ChangePrimary { new_primary: NodeId, epoch: u64 },
+    ChangePrimary {
+        new_primary: NodeId,
+        epoch: u64,
+    },
     /// Install the peer list (TIM step 6 of §4.1).
-    SetPeers { peers: Vec<NodeId>, primary: Option<NodeId>, epoch: u64 },
+    SetPeers {
+        peers: Vec<NodeId>,
+        primary: Option<NodeId>,
+        epoch: u64,
+    },
     /// Liveness probe (TSM heartbeat / network monitor ping).
     Ping,
     Pong,
@@ -61,19 +113,32 @@ pub enum DataMsg {
     // ---- Tiera server ↔ controller (TSM protocol, §4.1) ----
     /// A Tiera server announcing itself to the TSM ("whenever a Tiera
     /// server launches, it connects to the TSM first").
-    ServerHello { region: wiera_net::Region },
+    ServerHello {
+        region: wiera_net::Region,
+    },
     /// TSM asking a server to spawn an instance replica (step 3 of §4.1).
-    SpawnReplica { spec: ReplicaSpec },
+    SpawnReplica {
+        spec: ReplicaSpec,
+    },
     /// The server's answer: the new replica's address (step 5).
-    Spawned { node: NodeId },
-    StopReplica { node: NodeId },
+    Spawned {
+        node: NodeId,
+    },
+    StopReplica {
+        node: NodeId,
+    },
     /// Bulk state install on a freshly repaired replica (§4.4).
-    LoadState { objects: Vec<SyncObject> },
+    LoadState {
+        objects: Vec<SyncObject>,
+    },
 
     // ---- instance → controller (monitor escalation, §4.3) ----
     /// A monitor thread asking Wiera to change the deployment's policy
     /// (the `change_policy()` response).
-    RequestChange { deployment: String, change: ChangeRequest },
+    RequestChange {
+        deployment: String,
+        change: ChangeRequest,
+    },
 }
 
 /// What a monitor asks the controller to change.
@@ -149,9 +214,7 @@ impl DataMsg {
             DataMsg::Put { key, value } => HDR + key.len() as u64 + value.len() as u64,
             DataMsg::Update { key, value, .. } => HDR + key.len() as u64 + value.len() as u64,
             DataMsg::Replicate { key, value, .. } => HDR + key.len() as u64 + value.len() as u64,
-            DataMsg::ForwardPut { key, value, .. } => {
-                HDR + key.len() as u64 + value.len() as u64
-            }
+            DataMsg::ForwardPut { key, value, .. } => HDR + key.len() as u64 + value.len() as u64,
             DataMsg::GetReply { value, .. } => HDR + value.len() as u64,
             DataMsg::SyncReply { objects } => {
                 HDR + objects
@@ -176,8 +239,14 @@ mod tests {
 
     #[test]
     fn wire_size_tracks_payload() {
-        let small = DataMsg::Put { key: "k".into(), value: Bytes::from_static(b"x") };
-        let big = DataMsg::Put { key: "k".into(), value: Bytes::from(vec![0u8; 4096]) };
+        let small = DataMsg::Put {
+            key: "k".into(),
+            value: Bytes::from_static(b"x"),
+        };
+        let big = DataMsg::Put {
+            key: "k".into(),
+            value: Bytes::from(vec![0u8; 4096]),
+        };
         assert!(big.wire_bytes() > small.wire_bytes() + 4000);
         assert_eq!(DataMsg::Ping.wire_bytes(), 64);
     }

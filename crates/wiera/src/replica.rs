@@ -26,7 +26,7 @@ use tiera::{InstanceConfig, TieraInstance};
 use wiera_coord::CoordClient;
 use wiera_net::{Delivery, Mesh, NetError, NodeId};
 use wiera_policy::ConsistencyModel;
-use wiera_sim::{SimDuration, SimInstant};
+use wiera_sim::{MetricsRegistry, SimDuration, SimInstant, Tracer};
 
 /// RPC timeout for data-path calls.
 const DATA_TIMEOUT: SimDuration = SimDuration::from_secs(120);
@@ -236,7 +236,11 @@ impl ReplicaNode {
 
     /// Number of application puts this replica received directly since `since`.
     pub fn direct_puts_since(&self, since: SimInstant) -> usize {
-        self.direct_puts.lock().iter().filter(|t| **t >= since).count()
+        self.direct_puts
+            .lock()
+            .iter()
+            .filter(|t| **t >= since)
+            .count()
     }
 
     /// Forwarded put counts per origin since `since` (primary-side).
@@ -282,16 +286,20 @@ impl ReplicaNode {
     }
 
     fn handle_inline(self: &Arc<Self>, d: Delivery<DataMsg>) {
-        let reply = |slot: Option<wiera_net::ReplySlot<DataMsg>>,
-                     msg: DataMsg,
-                     took: SimDuration| {
-            if let Some(s) = slot {
-                let bytes = msg.wire_bytes();
-                s.reply(msg, took, bytes);
-            }
-        };
+        let reply =
+            |slot: Option<wiera_net::ReplySlot<DataMsg>>, msg: DataMsg, took: SimDuration| {
+                if let Some(s) = slot {
+                    let bytes = msg.wire_bytes();
+                    s.reply(msg, took, bytes);
+                }
+            };
         match d.msg {
-            DataMsg::Replicate { key, version, modified, value } => {
+            DataMsg::Replicate {
+                key,
+                version,
+                modified,
+                value,
+            } => {
                 let out = self.inst.apply_replicated(&key, version, modified, value);
                 let (applied, took) = match out {
                     Ok(Some(o)) => (true, o.latency),
@@ -300,7 +308,11 @@ impl ReplicaNode {
                 };
                 reply(d.reply, DataMsg::ReplicateAck { applied }, took);
             }
-            DataMsg::SetPeers { peers, primary, epoch } => {
+            DataMsg::SetPeers {
+                peers,
+                primary,
+                epoch,
+            } => {
                 {
                     let mut s = self.state.write();
                     if epoch >= s.epoch {
@@ -328,7 +340,11 @@ impl ReplicaNode {
             DataMsg::Ping => reply(d.reply, DataMsg::Pong, SimDuration::from_micros(100)),
             DataMsg::SyncRequest => {
                 let objects = self.dump_state();
-                reply(d.reply, DataMsg::SyncReply { objects }, SimDuration::from_millis(5));
+                reply(
+                    d.reply,
+                    DataMsg::SyncReply { objects },
+                    SimDuration::from_millis(5),
+                );
             }
             DataMsg::LoadState { objects } => {
                 let n = objects.len();
@@ -342,7 +358,9 @@ impl ReplicaNode {
             other => {
                 reply(
                     d.reply,
-                    DataMsg::Fail { why: format!("unexpected message {other:?}") },
+                    DataMsg::Fail {
+                        why: format!("unexpected message {other:?}"),
+                    },
                     SimDuration::ZERO,
                 );
             }
@@ -364,6 +382,7 @@ impl ReplicaNode {
                 return SimDuration::ZERO;
             }
         }
+        let started = self.mesh.clock.now();
         self.gate.close();
         let drain_cost = self.flush_queue_sync();
         {
@@ -373,7 +392,17 @@ impl ReplicaNode {
         }
         self.gate.open();
         self.stats.switches.fetch_add(1, Ordering::Relaxed);
-        drain_cost + SimDuration::from_millis(1)
+        let took = drain_cost + SimDuration::from_millis(1);
+        let to_label = to.to_string();
+        MetricsRegistry::global().inc("wiera_consistency_switches", &[("to", to_label.as_str())]);
+        MetricsRegistry::global().observe("wiera_consistency_switch_time", &[], took);
+        Tracer::global()
+            .span(started, "wiera", "consistency_switch")
+            .region(self.node.region.to_string())
+            .node(self.node.name.as_ref())
+            .detail(to_label)
+            .finish(started + took);
+        took
     }
 
     /// Drain the queue before a switch. One-way sends, then a wait covering
@@ -404,13 +433,17 @@ impl ReplicaNode {
                         max_delay = max_delay.max(delay);
                     }
                     Err(_) => {
-                        self.stats.replication_failures.fetch_add(1, Ordering::Relaxed);
+                        self.stats
+                            .replication_failures
+                            .fetch_add(1, Ordering::Relaxed);
                     }
                 }
             }
         }
         // Wait out the slowest delivery (plus slack for the peer to apply).
-        self.mesh.clock.sleep(max_delay + SimDuration::from_millis(10));
+        self.mesh
+            .clock
+            .sleep(max_delay + SimDuration::from_millis(10));
         max_delay
     }
 
@@ -436,7 +469,9 @@ impl ReplicaNode {
                         self.stats.egress_bytes.fetch_add(bytes, Ordering::Relaxed);
                     }
                     Err(_) => {
-                        self.stats.replication_failures.fetch_add(1, Ordering::Relaxed);
+                        self.stats
+                            .replication_failures
+                            .fetch_add(1, Ordering::Relaxed);
                     }
                 }
             }
@@ -446,9 +481,10 @@ impl ReplicaNode {
     fn dump_state(&self) -> Vec<SyncObject> {
         let mut out = Vec::new();
         for key in self.inst.meta().keys() {
-            let latest = self.inst.meta().with(&key, |o| {
-                o.latest().map(|m| (m.version, m.modified))
-            });
+            let latest = self
+                .inst
+                .meta()
+                .with(&key, |o| o.latest().map(|m| (m.version, m.modified)));
             if let Some(Some((version, modified))) = latest {
                 if let Ok(got) = self.inst.get_version(&key, version) {
                     out.push(SyncObject {
@@ -466,7 +502,9 @@ impl ReplicaNode {
     /// Load a full state dump (replica repair, §4.4).
     pub fn load_state(&self, objects: Vec<SyncObject>) {
         for o in objects {
-            let _ = self.inst.apply_replicated(&o.key, o.version, o.modified, o.value);
+            let _ = self
+                .inst
+                .apply_replicated(&o.key, o.version, o.modified, o.value);
         }
     }
 
@@ -495,37 +533,75 @@ impl ReplicaNode {
                 }
             }
             DataMsg::Get { key } => match self.protocol_get(&key, None) {
-                Ok((value, version, modified, latency)) => {
-                    (DataMsg::GetReply { value, version, modified }, latency)
-                }
+                Ok((value, version, modified, latency)) => (
+                    DataMsg::GetReply {
+                        value,
+                        version,
+                        modified,
+                    },
+                    latency,
+                ),
                 Err(why) => (DataMsg::Fail { why }, SimDuration::from_millis(1)),
             },
             DataMsg::GetVersion { key, version } => match self.protocol_get(&key, Some(version)) {
-                Ok((value, version, modified, latency)) => {
-                    (DataMsg::GetReply { value, version, modified }, latency)
-                }
+                Ok((value, version, modified, latency)) => (
+                    DataMsg::GetReply {
+                        value,
+                        version,
+                        modified,
+                    },
+                    latency,
+                ),
                 Err(why) => (DataMsg::Fail { why }, SimDuration::from_millis(1)),
             },
             DataMsg::GetVersionList { key } => match self.inst.get_version_list(&key) {
-                Ok(versions) => (DataMsg::VersionList { versions }, SimDuration::from_micros(300)),
-                Err(e) => (DataMsg::Fail { why: e.to_string() }, SimDuration::from_micros(300)),
+                Ok(versions) => (
+                    DataMsg::VersionList { versions },
+                    SimDuration::from_micros(300),
+                ),
+                Err(e) => (
+                    DataMsg::Fail { why: e.to_string() },
+                    SimDuration::from_micros(300),
+                ),
             },
-            DataMsg::Update { key, version, value } => match self.inst.update(&key, version, value)
-            {
-                Ok(out) => (DataMsg::PutAck { version: out.version }, out.latency),
-                Err(e) => (DataMsg::Fail { why: e.to_string() }, SimDuration::from_millis(1)),
+            DataMsg::Update {
+                key,
+                version,
+                value,
+            } => match self.inst.update(&key, version, value) {
+                Ok(out) => (
+                    DataMsg::PutAck {
+                        version: out.version,
+                    },
+                    out.latency,
+                ),
+                Err(e) => (
+                    DataMsg::Fail { why: e.to_string() },
+                    SimDuration::from_millis(1),
+                ),
             },
             DataMsg::Remove { key } => match self.inst.remove(&key) {
                 Ok(()) => (DataMsg::Removed, SimDuration::from_millis(1)),
-                Err(e) => (DataMsg::Fail { why: e.to_string() }, SimDuration::from_millis(1)),
+                Err(e) => (
+                    DataMsg::Fail { why: e.to_string() },
+                    SimDuration::from_millis(1),
+                ),
             },
             DataMsg::RemoveVersion { key, version } => {
                 match self.inst.remove_version(&key, version) {
                     Ok(()) => (DataMsg::Removed, SimDuration::from_millis(1)),
-                    Err(e) => (DataMsg::Fail { why: e.to_string() }, SimDuration::from_millis(1)),
+                    Err(e) => (
+                        DataMsg::Fail { why: e.to_string() },
+                        SimDuration::from_millis(1),
+                    ),
                 }
             }
-            other => (DataMsg::Fail { why: format!("not an app op: {other:?}") }, SimDuration::ZERO),
+            other => (
+                DataMsg::Fail {
+                    why: format!("not an app op: {other:?}"),
+                },
+                SimDuration::ZERO,
+            ),
         };
         if let Some(slot) = d.reply {
             let bytes = msg.wire_bytes();
@@ -535,7 +611,11 @@ impl ReplicaNode {
 
     /// Application put under the current consistency model. Returns the
     /// version written and the modeled latency the application perceives.
-    fn protocol_put(self: &Arc<Self>, key: &str, value: Bytes) -> Result<(u64, SimDuration), String> {
+    fn protocol_put(
+        self: &Arc<Self>,
+        key: &str,
+        value: Bytes,
+    ) -> Result<(u64, SimDuration), String> {
         let model = self.consistency();
         let result = match model {
             ConsistencyModel::MultiPrimaries => self.put_multi_primaries(key, value),
@@ -548,8 +628,20 @@ impl ReplicaNode {
             }
             ConsistencyModel::Eventual => self.put_eventual(key, value),
         };
-        if let Ok((_, latency)) = &result {
-            self.record_put_latency(self.mesh.clock.now(), *latency);
+        let model_label = model.to_string();
+        let region = self.node.region.to_string();
+        let labels = [
+            ("consistency", model_label.as_str()),
+            ("region", region.as_str()),
+        ];
+        let metrics = MetricsRegistry::global();
+        match &result {
+            Ok((_, latency)) => {
+                metrics.inc("wiera_put_total", &labels);
+                metrics.observe("wiera_put_latency", &labels, *latency);
+                self.record_put_latency(self.mesh.clock.now(), *latency);
+            }
+            Err(_) => metrics.inc("wiera_put_errors", &labels),
         }
         result
     }
@@ -561,20 +653,34 @@ impl ReplicaNode {
         key: &str,
         value: Bytes,
     ) -> Result<(u64, SimDuration), String> {
-        let coord = self.coord.as_ref().ok_or("multi-primaries requires a coordinator")?;
-        let (guard, lock_cost) =
-            coord.lock(&format!("/keys/{key}")).map_err(|e| format!("lock: {e}"))?;
+        let coord = self
+            .coord
+            .as_ref()
+            .ok_or("multi-primaries requires a coordinator")?;
+        let (guard, lock_cost) = coord
+            .lock(&format!("/keys/{key}"))
+            .map_err(|e| format!("lock: {e}"))?;
         let modified = self.mesh.clock.now();
-        let out = self.inst.put(key, value.clone()).map_err(|e| e.to_string())?;
+        let out = self
+            .inst
+            .put(key, value.clone())
+            .map_err(|e| e.to_string())?;
         let bcast = self.broadcast_sync(key, out.version, modified, &value);
         drop(guard); // asynchronous release, off the latency path
         Ok((out.version, lock_cost + out.latency + bcast))
     }
 
     /// Fig. 4: local store + queue for background distribution.
-    fn put_eventual(self: &Arc<Self>, key: &str, value: Bytes) -> Result<(u64, SimDuration), String> {
+    fn put_eventual(
+        self: &Arc<Self>,
+        key: &str,
+        value: Bytes,
+    ) -> Result<(u64, SimDuration), String> {
         let modified = self.mesh.clock.now();
-        let out = self.inst.put(key, value.clone()).map_err(|e| e.to_string())?;
+        let out = self
+            .inst
+            .put(key, value.clone())
+            .map_err(|e| e.to_string())?;
         self.queue.lock().push_back(QueuedUpdate {
             key: key.to_string(),
             version: out.version,
@@ -593,7 +699,10 @@ impl ReplicaNode {
         sync: bool,
     ) -> Result<(u64, SimDuration), String> {
         let modified = self.mesh.clock.now();
-        let out = self.inst.put(key, value.clone()).map_err(|e| e.to_string())?;
+        let out = self
+            .inst
+            .put(key, value.clone())
+            .map_err(|e| e.to_string())?;
         let extra = if sync {
             self.broadcast_sync(key, out.version, modified, &value)
         } else {
@@ -608,7 +717,11 @@ impl ReplicaNode {
         Ok((out.version, out.latency + extra))
     }
 
-    fn primary_side_put(self: &Arc<Self>, key: &str, value: Bytes) -> Result<(u64, SimDuration), String> {
+    fn primary_side_put(
+        self: &Arc<Self>,
+        key: &str,
+        value: Bytes,
+    ) -> Result<(u64, SimDuration), String> {
         let sync = match self.consistency() {
             ConsistencyModel::PrimaryBackup { sync } => sync,
             // A forwarded put that races a consistency switch still applies.
@@ -624,11 +737,17 @@ impl ReplicaNode {
         value: Bytes,
     ) -> Result<(u64, SimDuration), String> {
         let primary = self.primary().ok_or("no primary configured")?;
-        let msg =
-            DataMsg::ForwardPut { key: key.to_string(), value, origin: self.node.clone() };
+        let msg = DataMsg::ForwardPut {
+            key: key.to_string(),
+            value,
+            origin: self.node.clone(),
+        };
         let bytes = msg.wire_bytes();
         self.stats.egress_bytes.fetch_add(bytes, Ordering::Relaxed);
-        match self.mesh.rpc(&self.node, &primary, msg, bytes, DATA_TIMEOUT) {
+        match self
+            .mesh
+            .rpc(&self.node, &primary, msg, bytes, DATA_TIMEOUT)
+        {
             Ok(r) => match r.msg {
                 DataMsg::PutAck { version } => Ok((version, r.total())),
                 DataMsg::Fail { why } => Err(why),
@@ -694,37 +813,73 @@ impl ReplicaNode {
         if let Some(target) = self.forward_gets_to.read().clone() {
             if target != self.node {
                 let msg = match version {
-                    Some(v) => DataMsg::GetVersion { key: key.to_string(), version: v },
-                    None => DataMsg::Get { key: key.to_string() },
+                    Some(v) => DataMsg::GetVersion {
+                        key: key.to_string(),
+                        version: v,
+                    },
+                    None => DataMsg::Get {
+                        key: key.to_string(),
+                    },
                 };
                 let bytes = msg.wire_bytes();
+                let region = self.node.region.to_string();
+                let labels = [("region", region.as_str()), ("route", "forwarded")];
+                let metrics = MetricsRegistry::global();
                 return match self.mesh.rpc(&self.node, &target, msg, bytes, DATA_TIMEOUT) {
                     Ok(r) => {
                         let total = r.total();
                         match r.msg {
-                            DataMsg::GetReply { value, version, modified } => {
+                            DataMsg::GetReply {
+                                value,
+                                version,
+                                modified,
+                            } => {
+                                metrics.inc("wiera_get_total", &labels);
+                                metrics.observe("wiera_get_latency", &labels, total);
                                 Ok((value, version, modified, total))
                             }
-                            DataMsg::Fail { why } => Err(why),
-                            other => Err(format!("bad get reply {other:?}")),
+                            DataMsg::Fail { why } => {
+                                metrics.inc("wiera_get_errors", &labels);
+                                Err(why)
+                            }
+                            other => {
+                                metrics.inc("wiera_get_errors", &labels);
+                                Err(format!("bad get reply {other:?}"))
+                            }
                         }
                     }
-                    Err(e) => Err(format!("forwarded get failed: {e}")),
+                    Err(e) => {
+                        metrics.inc("wiera_get_errors", &labels);
+                        Err(format!("forwarded get failed: {e}"))
+                    }
                 };
             }
         }
+        let region = self.node.region.to_string();
+        let labels = [("region", region.as_str()), ("route", "local")];
+        let metrics = MetricsRegistry::global();
         let out = match version {
             Some(v) => self.inst.get_version(key, v),
             None => self.inst.get(key),
         }
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| {
+            metrics.inc("wiera_get_errors", &labels);
+            e.to_string()
+        })?;
+        metrics.inc("wiera_get_total", &labels);
+        metrics.observe("wiera_get_latency", &labels, out.latency);
         let modified = self
             .inst
             .meta()
             .with(key, |o| o.versions.get(&out.version).map(|m| m.modified))
             .flatten()
             .unwrap_or(SimInstant::EPOCH);
-        Ok((out.value.expect("read returns bytes"), out.version, modified, out.latency))
+        Ok((
+            out.value.expect("read returns bytes"),
+            out.version,
+            modified,
+            out.latency,
+        ))
     }
 
     // ---- direct (in-process) API for deployments and tests -----------------
@@ -780,7 +935,9 @@ pub fn app_rpc(
     msg: DataMsg,
 ) -> Result<OpView, AppError> {
     let bytes = msg.wire_bytes();
-    let reply = mesh.rpc(from, to, msg, bytes, DATA_TIMEOUT).map_err(AppError::Net)?;
+    let reply = mesh
+        .rpc(from, to, msg, bytes, DATA_TIMEOUT)
+        .map_err(AppError::Net)?;
     let latency = reply.total();
     match reply.msg {
         DataMsg::PutAck { version } => Ok(OpView {
@@ -790,7 +947,11 @@ pub fn app_rpc(
             latency,
             served_by: to.clone(),
         }),
-        DataMsg::GetReply { value, version, modified } => Ok(OpView {
+        DataMsg::GetReply {
+            value,
+            version,
+            modified,
+        } => Ok(OpView {
             version,
             value: Some(value),
             modified,
@@ -823,7 +984,10 @@ mod tests {
     use wiera_sim::ScaledClock;
 
     fn mesh(scale: f64) -> Arc<Mesh<DataMsg>> {
-        Mesh::new(Arc::new(Fabric::multicloud(5).without_jitter()), ScaledClock::shared(scale))
+        Mesh::new(
+            Arc::new(Fabric::multicloud(5).without_jitter()),
+            ScaledClock::shared(scale),
+        )
     }
 
     fn replica(
@@ -868,11 +1032,18 @@ mod tests {
             &m,
             &client,
             &a.node,
-            DataMsg::Put { key: "k".into(), value: Bytes::from_static(b"v") },
+            DataMsg::Put {
+                key: "k".into(),
+                value: Bytes::from_static(b"v"),
+            },
         )
         .unwrap();
         // Eventual put: local write + intra-DC hop only — well under 10 ms.
-        assert!(put.latency.as_millis_f64() < 10.0, "eventual put {}", put.latency);
+        assert!(
+            put.latency.as_millis_f64() < 10.0,
+            "eventual put {}",
+            put.latency
+        );
         // The EU replica converges once the flusher runs (200 ms interval +
         // 40 ms WAN, compressed 3000x).
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(3);
@@ -880,7 +1051,10 @@ mod tests {
             if b.instance().get("k").is_ok() {
                 break;
             }
-            assert!(std::time::Instant::now() < deadline, "replication never arrived");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "replication never arrived"
+            );
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
         assert_eq!(b.instance().get("k").unwrap().value.unwrap().as_ref(), b"v");
@@ -889,8 +1063,18 @@ mod tests {
     #[test]
     fn primary_backup_sync_forwarding_and_latency() {
         let m = mesh(3000.0);
-        let p = replica(&m, Region::UsWest, "p", ConsistencyModel::PrimaryBackup { sync: true });
-        let s = replica(&m, Region::UsEast, "s", ConsistencyModel::PrimaryBackup { sync: true });
+        let p = replica(
+            &m,
+            Region::UsWest,
+            "p",
+            ConsistencyModel::PrimaryBackup { sync: true },
+        );
+        let s = replica(
+            &m,
+            Region::UsEast,
+            "s",
+            ConsistencyModel::PrimaryBackup { sync: true },
+        );
         wire(&[&p, &s], Some(&p));
         let client = NodeId::new(Region::UsEast, "cli");
         // Put at the secondary: forwarded to US-West, which broadcasts back.
@@ -898,7 +1082,10 @@ mod tests {
             &m,
             &client,
             &s.node,
-            DataMsg::Put { key: "k".into(), value: Bytes::from_static(b"v") },
+            DataMsg::Put {
+                key: "k".into(),
+                value: Bytes::from_static(b"v"),
+            },
         )
         .unwrap();
         // ≥ 2 cross-country RTTs (forward + sync copy) ≈ 140 ms+.
@@ -919,15 +1106,28 @@ mod tests {
     #[test]
     fn primary_put_at_primary_is_one_local_write_plus_broadcast() {
         let m = mesh(3000.0);
-        let p = replica(&m, Region::UsWest, "p", ConsistencyModel::PrimaryBackup { sync: true });
-        let s = replica(&m, Region::AsiaEast, "s", ConsistencyModel::PrimaryBackup { sync: true });
+        let p = replica(
+            &m,
+            Region::UsWest,
+            "p",
+            ConsistencyModel::PrimaryBackup { sync: true },
+        );
+        let s = replica(
+            &m,
+            Region::AsiaEast,
+            "s",
+            ConsistencyModel::PrimaryBackup { sync: true },
+        );
         wire(&[&p, &s], Some(&p));
         let client = NodeId::new(Region::UsWest, "cli");
         let put = app_rpc(
             &m,
             &client,
             &p.node,
-            DataMsg::Put { key: "k".into(), value: Bytes::from_static(b"v") },
+            DataMsg::Put {
+                key: "k".into(),
+                value: Bytes::from_static(b"v"),
+            },
         )
         .unwrap();
         // One US-West↔Tokyo round trip (110 ms) dominates.
@@ -945,9 +1145,27 @@ mod tests {
         let cb = NodeId::new(Region::EuWest, "cb");
         // Both write version 1 concurrently; after convergence both replicas
         // agree on a single winner (the later modified timestamp).
-        app_rpc(&m, &ca, &a.node, DataMsg::Put { key: "k".into(), value: Bytes::from_static(b"from-a") }).unwrap();
+        app_rpc(
+            &m,
+            &ca,
+            &a.node,
+            DataMsg::Put {
+                key: "k".into(),
+                value: Bytes::from_static(b"from-a"),
+            },
+        )
+        .unwrap();
         std::thread::sleep(std::time::Duration::from_millis(10));
-        app_rpc(&m, &cb, &b.node, DataMsg::Put { key: "k".into(), value: Bytes::from_static(b"from-b") }).unwrap();
+        app_rpc(
+            &m,
+            &cb,
+            &b.node,
+            DataMsg::Put {
+                key: "k".into(),
+                value: Bytes::from_static(b"from-b"),
+            },
+        )
+        .unwrap();
 
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(3);
         let (va, vb) = loop {
@@ -958,7 +1176,10 @@ mod tests {
                     break (va.clone(), vb.clone());
                 }
             }
-            assert!(std::time::Instant::now() < deadline, "never converged: {va:?} vs {vb:?}");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "never converged: {va:?} vs {vb:?}"
+            );
             std::thread::sleep(std::time::Duration::from_millis(10));
         };
         assert_eq!(va, vb);
@@ -972,7 +1193,16 @@ mod tests {
         let b = replica(&m, Region::UsWest, "b", ConsistencyModel::Eventual);
         wire(&[&a, &b], None);
         let client = NodeId::new(Region::UsEast, "cli");
-        app_rpc(&m, &client, &a.node, DataMsg::Put { key: "q".into(), value: Bytes::from_static(b"queued") }).unwrap();
+        app_rpc(
+            &m,
+            &client,
+            &a.node,
+            DataMsg::Put {
+                key: "q".into(),
+                value: Bytes::from_static(b"queued"),
+            },
+        )
+        .unwrap();
         // Immediately switch (before the 200 ms flusher runs): the switch
         // must drain the queue synchronously.
         let ctrl = NodeId::new(Region::UsEast, "ctrl");
@@ -980,7 +1210,10 @@ mod tests {
             .rpc(
                 &ctrl,
                 &a.node,
-                DataMsg::ChangeConsistency { to: ConsistencyModel::MultiPrimaries, epoch: 2 },
+                DataMsg::ChangeConsistency {
+                    to: ConsistencyModel::MultiPrimaries,
+                    epoch: 2,
+                },
                 64,
                 SimDuration::from_secs(60),
             )
@@ -988,7 +1221,10 @@ mod tests {
         assert!(matches!(reply.msg, DataMsg::Ok));
         assert_eq!(a.queue_len(), 0);
         assert_eq!(a.consistency(), ConsistencyModel::MultiPrimaries);
-        assert!(b.instance().get("q").is_ok(), "queued update applied before switch completed");
+        assert!(
+            b.instance().get("q").is_ok(),
+            "queued update applied before switch completed"
+        );
         assert_eq!(a.stats.switches.load(Ordering::Relaxed), 1);
     }
 
@@ -1002,30 +1238,59 @@ mod tests {
         m.rpc(
             &ctrl,
             &a.node,
-            DataMsg::ChangeConsistency { to: ConsistencyModel::MultiPrimaries, epoch: 3 },
+            DataMsg::ChangeConsistency {
+                to: ConsistencyModel::MultiPrimaries,
+                epoch: 3,
+            },
             64,
             SimDuration::from_secs(30),
         )
         .unwrap();
-        assert_eq!(a.consistency(), ConsistencyModel::Eventual, "stale epoch ignored");
+        assert_eq!(
+            a.consistency(),
+            ConsistencyModel::Eventual,
+            "stale epoch ignored"
+        );
         assert_eq!(a.epoch(), 5);
     }
 
     #[test]
     fn get_forwarding_routes_reads_remotely() {
         let m = mesh(3000.0);
-        let azure =
-            replica(&m, Region::AzureUsEast, "az", ConsistencyModel::PrimaryBackup { sync: true });
-        let aws = replica(&m, Region::UsEast, "aws", ConsistencyModel::PrimaryBackup { sync: true });
+        let azure = replica(
+            &m,
+            Region::AzureUsEast,
+            "az",
+            ConsistencyModel::PrimaryBackup { sync: true },
+        );
+        let aws = replica(
+            &m,
+            Region::UsEast,
+            "aws",
+            ConsistencyModel::PrimaryBackup { sync: true },
+        );
         wire(&[&azure, &aws], Some(&azure));
         azure.set_forward_gets_to(Some(aws.node.clone()));
         let client = NodeId::new(Region::AzureUsEast, "cli");
-        app_rpc(&m, &client, &azure.node, DataMsg::Put { key: "k".into(), value: Bytes::from_static(b"v") }).unwrap();
+        app_rpc(
+            &m,
+            &client,
+            &azure.node,
+            DataMsg::Put {
+                key: "k".into(),
+                value: Bytes::from_static(b"v"),
+            },
+        )
+        .unwrap();
         let got = app_rpc(&m, &client, &azure.node, DataMsg::Get { key: "k".into() }).unwrap();
         assert_eq!(got.value.unwrap().as_ref(), b"v");
         // Read crossed to AWS and back: ≥ 2 ms RTT but well under local-disk
         // alternatives is the point of §5.4; just assert it paid the hop.
-        assert!(got.latency.as_millis_f64() > 1.5, "remote get {}", got.latency);
+        assert!(
+            got.latency.as_millis_f64() > 1.5,
+            "remote get {}",
+            got.latency
+        );
     }
 
     #[test]
@@ -1034,14 +1299,65 @@ mod tests {
         let a = replica(&m, Region::UsEast, "a", ConsistencyModel::Eventual);
         wire(&[&a], None);
         let cli = NodeId::new(Region::UsEast, "cli");
-        app_rpc(&m, &cli, &a.node, DataMsg::Put { key: "k".into(), value: Bytes::from_static(b"1") }).unwrap();
-        app_rpc(&m, &cli, &a.node, DataMsg::Put { key: "k".into(), value: Bytes::from_static(b"2") }).unwrap();
-        let list = app_rpc(&m, &cli, &a.node, DataMsg::GetVersionList { key: "k".into() }).unwrap();
+        app_rpc(
+            &m,
+            &cli,
+            &a.node,
+            DataMsg::Put {
+                key: "k".into(),
+                value: Bytes::from_static(b"1"),
+            },
+        )
+        .unwrap();
+        app_rpc(
+            &m,
+            &cli,
+            &a.node,
+            DataMsg::Put {
+                key: "k".into(),
+                value: Bytes::from_static(b"2"),
+            },
+        )
+        .unwrap();
+        let list = app_rpc(
+            &m,
+            &cli,
+            &a.node,
+            DataMsg::GetVersionList { key: "k".into() },
+        )
+        .unwrap();
         assert_eq!(list.version, 2, "latest version from the list");
-        let v1 = app_rpc(&m, &cli, &a.node, DataMsg::GetVersion { key: "k".into(), version: 1 }).unwrap();
+        let v1 = app_rpc(
+            &m,
+            &cli,
+            &a.node,
+            DataMsg::GetVersion {
+                key: "k".into(),
+                version: 1,
+            },
+        )
+        .unwrap();
         assert_eq!(v1.value.unwrap().as_ref(), b"1");
-        app_rpc(&m, &cli, &a.node, DataMsg::RemoveVersion { key: "k".into(), version: 1 }).unwrap();
-        assert!(app_rpc(&m, &cli, &a.node, DataMsg::GetVersion { key: "k".into(), version: 1 }).is_err());
+        app_rpc(
+            &m,
+            &cli,
+            &a.node,
+            DataMsg::RemoveVersion {
+                key: "k".into(),
+                version: 1,
+            },
+        )
+        .unwrap();
+        assert!(app_rpc(
+            &m,
+            &cli,
+            &a.node,
+            DataMsg::GetVersion {
+                key: "k".into(),
+                version: 1
+            }
+        )
+        .is_err());
         app_rpc(&m, &cli, &a.node, DataMsg::Remove { key: "k".into() }).unwrap();
         assert!(app_rpc(&m, &cli, &a.node, DataMsg::Get { key: "k".into() }).is_err());
     }
@@ -1054,11 +1370,28 @@ mod tests {
         wire(&[&a], None);
         let cli = NodeId::new(Region::UsEast, "cli");
         for i in 0..5 {
-            app_rpc(&m, &cli, &a.node, DataMsg::Put { key: format!("k{i}"), value: Bytes::from_static(b"x") }).unwrap();
+            app_rpc(
+                &m,
+                &cli,
+                &a.node,
+                DataMsg::Put {
+                    key: format!("k{i}"),
+                    value: Bytes::from_static(b"x"),
+                },
+            )
+            .unwrap();
         }
         // Repair b from a's dump via the wire.
         let ctrl = NodeId::new(Region::UsEast, "ctrl");
-        let reply = m.rpc(&ctrl, &a.node, DataMsg::SyncRequest, 64, SimDuration::from_secs(60)).unwrap();
+        let reply = m
+            .rpc(
+                &ctrl,
+                &a.node,
+                DataMsg::SyncRequest,
+                64,
+                SimDuration::from_secs(60),
+            )
+            .unwrap();
         match reply.msg {
             DataMsg::SyncReply { objects } => {
                 assert_eq!(objects.len(), 5);

@@ -52,7 +52,10 @@ impl TieraServer {
         controller: NodeId,
         coord: Option<Arc<CoordAccess>>,
     ) -> Arc<Self> {
-        let node = NodeId::new(region, format!("tiera-server-{}", region.name().to_lowercase()));
+        let node = NodeId::new(
+            region,
+            format!("tiera-server-{}", region.name().to_lowercase()),
+        );
         let inbox = mesh.register(node.clone());
         let stop = Arc::new(AtomicBool::new(false));
         let server = Arc::new(TieraServer {
@@ -150,7 +153,9 @@ impl TieraServer {
             }
             other => {
                 if let Some(slot) = d.reply {
-                    let msg = DataMsg::Fail { why: format!("server got {other:?}") };
+                    let msg = DataMsg::Fail {
+                        why: format!("server got {other:?}"),
+                    };
                     let bytes = msg.wire_bytes();
                     slot.reply(msg, SimDuration::ZERO, bytes);
                 }
@@ -181,11 +186,19 @@ impl TieraServer {
         }
 
         let coord_client = if spec.needs_coord {
-            let access = self.coord.as_ref().ok_or("no coordination service configured")?;
+            let access = self
+                .coord
+                .as_ref()
+                .ok_or("no coordination service configured")?;
             let me = NodeId::new(self.region, format!("{}/coord", node.name));
             Some(
-                CoordClient::connect(access.mesh.clone(), me, access.service.clone(), &access.config)
-                    .map_err(|e| format!("coord connect: {e}"))?,
+                CoordClient::connect(
+                    access.mesh.clone(),
+                    me,
+                    access.service.clone(),
+                    &access.config,
+                )
+                .map_err(|e| format!("coord connect: {e}"))?,
             )
         } else {
             None
@@ -232,7 +245,11 @@ impl TieraServer {
 
         self.replicas.lock().insert(
             key,
-            ReplicaHolder { replica, _engine: engine, _monitors: monitors },
+            ReplicaHolder {
+                replica,
+                _engine: engine,
+                _monitors: monitors,
+            },
         );
         Ok(node)
     }

@@ -68,7 +68,15 @@ impl Cluster {
             );
             servers.insert(region, server);
         }
-        Cluster { fabric, clock, data_mesh, coord_mesh, coord, controller, servers }
+        Cluster {
+            fabric,
+            clock,
+            data_mesh,
+            coord_mesh,
+            coord,
+            controller,
+            servers,
+        }
     }
 
     /// In-process handle to a replica (white-box observability).

@@ -24,7 +24,10 @@ fn serial() -> std::sync::MutexGuard<'static, ()> {
 fn wait_until(mut cond: impl FnMut() -> bool, wall_ms: u64, what: &str) {
     let deadline = std::time::Instant::now() + std::time::Duration::from_millis(wall_ms);
     while !cond() {
-        assert!(std::time::Instant::now() < deadline, "timed out waiting for {what}");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting for {what}"
+        );
         std::thread::sleep(std::time::Duration::from_millis(10));
     }
 }
@@ -35,13 +38,21 @@ fn multi_primaries_put_succeeds_with_partitioned_peer() {
     // Strong put with one replica unreachable: the broadcast records the
     // failure but the put completes (the paper's replica-count repair deals
     // with the lost replica separately).
-    let cluster = Cluster::launch(&[Region::UsWest, Region::UsEast, Region::EuWest], 3000.0, 31);
+    let cluster = Cluster::launch(
+        &[Region::UsWest, Region::UsEast, Region::EuWest],
+        3000.0,
+        31,
+    );
     let dep = cluster
         .controller
         .start_instances("mp", "multi-primaries", DeploymentConfig::default())
         .unwrap();
-    let client =
-        WieraClient::connect(cluster.data_mesh.clone(), Region::UsWest, "app", dep.replicas());
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsWest,
+        "app",
+        dep.replicas(),
+    );
     client.put("before", payload(64)).unwrap();
 
     cluster.fabric.set_partitioned(Region::EuWest, true);
@@ -49,14 +60,23 @@ fn multi_primaries_put_succeeds_with_partitioned_peer() {
     assert!(put.version >= 1, "put must succeed despite the partition");
 
     let replicas = cluster.deployment_replicas("mp");
-    let west = replicas.iter().find(|r| r.node.region == Region::UsWest).unwrap();
+    let west = replicas
+        .iter()
+        .find(|r| r.node.region == Region::UsWest)
+        .unwrap();
     assert!(
         west.stats.replication_failures.load(Ordering::Relaxed) >= 1,
         "the failed broadcast leg must be recorded"
     );
     // The reachable peer got the data; the partitioned one did not.
-    let east = replicas.iter().find(|r| r.node.region == Region::UsEast).unwrap();
-    let eu = replicas.iter().find(|r| r.node.region == Region::EuWest).unwrap();
+    let east = replicas
+        .iter()
+        .find(|r| r.node.region == Region::UsEast)
+        .unwrap();
+    let eu = replicas
+        .iter()
+        .find(|r| r.node.region == Region::EuWest)
+        .unwrap();
     assert!(east.instance().get("during").is_ok());
     assert!(eu.instance().get("during").is_err());
 
@@ -75,32 +95,62 @@ fn eventual_replication_retries_not_required_for_liveness() {
     // keeps serving and later writes replicate once the peer returns.
     let cluster = Cluster::launch(&[Region::UsEast, Region::UsWest], 3000.0, 32);
     cluster
-        .register_policy_over("ev", &[("US-East", false), ("US-West", false)], bodies::EVENTUAL)
+        .register_policy_over(
+            "ev",
+            &[("US-East", false), ("US-West", false)],
+            bodies::EVENTUAL,
+        )
         .unwrap();
     let dep = cluster
         .controller
-        .start_instances("ev", "ev", DeploymentConfig { flush_ms: 100.0, ..Default::default() })
+        .start_instances(
+            "ev",
+            "ev",
+            DeploymentConfig {
+                flush_ms: 100.0,
+                ..Default::default()
+            },
+        )
         .unwrap();
-    let client =
-        WieraClient::connect(cluster.data_mesh.clone(), Region::UsEast, "app", dep.replicas());
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsEast,
+        "app",
+        dep.replicas(),
+    );
 
     cluster.fabric.set_partitioned(Region::UsWest, true);
     for i in 0..5 {
         client.put(&format!("lost-{i}"), payload(32)).unwrap();
     }
     let replicas = cluster.deployment_replicas("ev");
-    let east = replicas.iter().find(|r| r.node.region == Region::UsEast).unwrap().clone();
+    let east = replicas
+        .iter()
+        .find(|r| r.node.region == Region::UsEast)
+        .unwrap()
+        .clone();
     wait_until(
         || east.stats.replication_failures.load(Ordering::Relaxed) >= 5,
         5000,
         "failed flushes recorded",
     );
-    assert!(east.instance().get("lost-0").is_ok(), "local replica unaffected");
+    assert!(
+        east.instance().get("lost-0").is_ok(),
+        "local replica unaffected"
+    );
 
     cluster.fabric.set_partitioned(Region::UsWest, false);
     client.put("recovered", payload(32)).unwrap();
-    let west = replicas.iter().find(|r| r.node.region == Region::UsWest).unwrap().clone();
-    wait_until(|| west.instance().get("recovered").is_ok(), 5000, "post-heal replication");
+    let west = replicas
+        .iter()
+        .find(|r| r.node.region == Region::UsWest)
+        .unwrap()
+        .clone();
+    wait_until(
+        || west.instance().get("recovered").is_ok(),
+        5000,
+        "post-heal replication",
+    );
     cluster.shutdown();
 }
 
@@ -117,14 +167,22 @@ fn strong_put_latency_tracks_injected_delay() {
             bodies::MULTI_PRIMARIES,
         )
         .unwrap();
-    let dep =
-        cluster.controller.start_instances("mp2", "mp2", DeploymentConfig::default()).unwrap();
-    let client =
-        WieraClient::connect(cluster.data_mesh.clone(), Region::UsWest, "app", dep.replicas());
+    let dep = cluster
+        .controller
+        .start_instances("mp2", "mp2", DeploymentConfig::default())
+        .unwrap();
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsWest,
+        "app",
+        dep.replicas(),
+    );
     let base = client.put("a", payload(64)).unwrap().latency;
-    cluster
-        .fabric
-        .inject_link_delay(Region::UsWest, Region::UsEast, SimDuration::from_millis(400));
+    cluster.fabric.inject_link_delay(
+        Region::UsWest,
+        Region::UsEast,
+        SimDuration::from_millis(400),
+    );
     let slowed = client.put("b", payload(64)).unwrap().latency;
     // The injected 400 ms one-way delay hits both the lock leg and the
     // broadcast leg.
@@ -141,14 +199,29 @@ fn client_times_out_against_black_hole_then_fails_over() {
     // A replica that is registered but whose region is partitioned is a
     // black hole: the client's RPC errors and failover finds the healthy
     // replica.
-    let cluster = Cluster::launch(&[Region::UsEast, Region::UsWest, Region::EuWest], 3000.0, 34);
+    let cluster = Cluster::launch(
+        &[Region::UsEast, Region::UsWest, Region::EuWest],
+        3000.0,
+        34,
+    );
     let dep = cluster
         .controller
-        .start_instances("fo2", "eventual", DeploymentConfig { flush_ms: 50.0, ..Default::default() })
+        .start_instances(
+            "fo2",
+            "eventual",
+            DeploymentConfig {
+                flush_ms: 50.0,
+                ..Default::default()
+            },
+        )
         .unwrap();
     // Write and wait for full replication first.
-    let seed_client =
-        WieraClient::connect(cluster.data_mesh.clone(), Region::UsWest, "seed", dep.replicas());
+    let seed_client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsWest,
+        "seed",
+        dep.replicas(),
+    );
     seed_client.put("k", payload(16)).unwrap();
     let replicas = cluster.deployment_replicas("fo2");
     wait_until(
@@ -160,9 +233,16 @@ fn client_times_out_against_black_hole_then_fails_over() {
     // closest). Partition EU-West's replica region: the EU client itself
     // lives there, so instead partition the *closest remote* choice for a
     // US-East client: US-East replica itself.
-    let client =
-        WieraClient::connect(cluster.data_mesh.clone(), Region::UsEast, "app", dep.replicas());
-    let east = replicas.iter().find(|r| r.node.region == Region::UsEast).unwrap();
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsEast,
+        "app",
+        dep.replicas(),
+    );
+    let east = replicas
+        .iter()
+        .find(|r| r.node.region == Region::UsEast)
+        .unwrap();
     east.stop(); // crash: unregistered from the mesh
     let got = client.get("k").unwrap();
     assert_ne!(got.served_by.region, Region::UsEast);
@@ -183,8 +263,10 @@ fn concurrent_multi_primaries_writers_serialize_via_lock() {
             bodies::MULTI_PRIMARIES,
         )
         .unwrap();
-    let dep =
-        cluster.controller.start_instances("mp3", "mp3", DeploymentConfig::default()).unwrap();
+    let dep = cluster
+        .controller
+        .start_instances("mp3", "mp3", DeploymentConfig::default())
+        .unwrap();
     let mut handles = Vec::new();
     for region in [Region::UsWest, Region::UsEast] {
         let client = WieraClient::connect(
@@ -201,9 +283,15 @@ fn concurrent_multi_primaries_writers_serialize_via_lock() {
             versions
         }));
     }
-    let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+    let mut all: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
     all.sort();
     let expected: Vec<u64> = (1..=16).collect();
-    assert_eq!(all, expected, "16 serialized writes → versions 1..=16, no duplicates");
+    assert_eq!(
+        all, expected,
+        "16 serialized writes → versions 1..=16, no duplicates"
+    );
     cluster.shutdown();
 }

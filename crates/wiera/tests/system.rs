@@ -25,18 +25,16 @@ fn payload(n: usize) -> Bytes {
 fn wait_until(mut cond: impl FnMut() -> bool, wall_ms: u64, what: &str) {
     let deadline = std::time::Instant::now() + std::time::Duration::from_millis(wall_ms);
     while !cond() {
-        assert!(std::time::Instant::now() < deadline, "timed out waiting for {what}");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting for {what}"
+        );
         std::thread::sleep(std::time::Duration::from_millis(10));
     }
 }
 
 /// Register a policy with the given consistency body over specific regions.
-fn register_policy_over(
-    cluster: &Cluster,
-    id: &str,
-    regions: &[(&str, bool)],
-    body: &str,
-) {
+fn register_policy_over(cluster: &Cluster, id: &str, regions: &[(&str, bool)], body: &str) {
     let mut src = format!("Wiera {}() {{\n", id.replace('-', "_"));
     for (i, (region, primary)) in regions.iter().enumerate() {
         let primary_attr = if *primary { ", primary:True" } else { "" };
@@ -48,7 +46,10 @@ fn register_policy_over(
     }
     src.push_str(body);
     src.push_str("\n}\n");
-    cluster.controller.register_policy(id, &src).expect("test policy compiles");
+    cluster
+        .controller
+        .register_policy(id, &src)
+        .expect("test policy compiles");
 }
 
 const EVENTUAL_BODY: &str = "
@@ -103,8 +104,7 @@ fn wui_lifecycle_start_get_stop() {
 #[test]
 fn multi_primaries_put_pays_lock_and_broadcast() {
     let _serial = heavy_guard();
-    let cluster =
-        Cluster::launch(&[Region::UsWest, Region::UsEast, Region::EuWest], 3000.0, 2);
+    let cluster = Cluster::launch(&[Region::UsWest, Region::UsEast, Region::EuWest], 3000.0, 2);
     let dep = cluster
         .controller
         .start_instances("mp", "multi-primaries", DeploymentConfig::default())
@@ -127,12 +127,20 @@ fn multi_primaries_put_pays_lock_and_broadcast() {
 
     // Synchronous: all three replicas can serve the data immediately.
     for r in cluster.deployment_replicas("mp") {
-        assert!(r.instance().get("k").is_ok(), "replica {} missing data", r.node);
+        assert!(
+            r.instance().get("k").is_ok(),
+            "replica {} missing data",
+            r.node
+        );
     }
 
     // Reads are local and fast.
     let got = client.get("k").unwrap();
-    assert!(got.latency.as_millis_f64() < 15.0, "local get {}", got.latency);
+    assert!(
+        got.latency.as_millis_f64() < 15.0,
+        "local get {}",
+        got.latency
+    );
     assert_eq!(got.value.unwrap().len(), 1024);
     cluster.shutdown();
 }
@@ -148,16 +156,39 @@ fn eventual_put_fast_then_converges() {
     );
     let dep = cluster
         .controller
-        .start_instances("ev", "ev-wide", DeploymentConfig { flush_ms: 100.0, ..Default::default() })
+        .start_instances(
+            "ev",
+            "ev-wide",
+            DeploymentConfig {
+                flush_ms: 100.0,
+                ..Default::default()
+            },
+        )
         .unwrap();
-    let client =
-        WieraClient::connect(cluster.data_mesh.clone(), Region::UsEast, "app", dep.replicas());
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsEast,
+        "app",
+        dep.replicas(),
+    );
     let put = client.put("k", payload(512)).unwrap();
-    assert!(put.latency.as_millis_f64() < 10.0, "eventual put {}", put.latency);
+    assert!(
+        put.latency.as_millis_f64() < 10.0,
+        "eventual put {}",
+        put.latency
+    );
 
     let replicas = cluster.deployment_replicas("ev");
-    let tokyo = replicas.iter().find(|r| r.node.region == Region::AsiaEast).unwrap().clone();
-    wait_until(|| tokyo.instance().get("k").is_ok(), 3000, "async replication to Tokyo");
+    let tokyo = replicas
+        .iter()
+        .find(|r| r.node.region == Region::AsiaEast)
+        .unwrap()
+        .clone();
+    wait_until(
+        || tokyo.instance().get("k").is_ok(),
+        3000,
+        "async replication to Tokyo",
+    );
     cluster.shutdown();
 }
 
@@ -166,10 +197,21 @@ fn client_failover_to_second_closest() {
     let cluster = Cluster::launch(&[Region::UsEast, Region::UsWest, Region::EuWest], 3000.0, 4);
     let dep = cluster
         .controller
-        .start_instances("fo", "eventual", DeploymentConfig { flush_ms: 50.0, ..Default::default() })
+        .start_instances(
+            "fo",
+            "eventual",
+            DeploymentConfig {
+                flush_ms: 50.0,
+                ..Default::default()
+            },
+        )
         .unwrap();
-    let client =
-        WieraClient::connect(cluster.data_mesh.clone(), Region::UsEast, "app", dep.replicas());
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsEast,
+        "app",
+        dep.replicas(),
+    );
     client.put("k", payload(64)).unwrap();
     // Let replication reach all replicas first.
     let replicas = cluster.deployment_replicas("fo");
@@ -186,10 +228,17 @@ fn client_failover_to_second_closest() {
     // The client in US-East is *itself* in the partitioned region, so cut
     // the replica instead: stop it.
     cluster.fabric.set_partitioned(Region::UsEast, false);
-    let east = replicas.iter().find(|r| r.node.region == Region::UsEast).unwrap();
+    let east = replicas
+        .iter()
+        .find(|r| r.node.region == Region::UsEast)
+        .unwrap();
     east.stop();
     let got = client.get("k").unwrap();
-    assert_eq!(got.served_by.region, Region::UsWest, "failed over to second closest");
+    assert_eq!(
+        got.served_by.region,
+        Region::UsWest,
+        "failed over to second closest"
+    );
     assert_eq!(got.value.unwrap().len(), 64);
     cluster.shutdown();
 }
@@ -202,8 +251,12 @@ fn runtime_consistency_switch_via_deployment() {
         .controller
         .start_instances("sw", "multi-primaries", DeploymentConfig::default())
         .unwrap();
-    let client =
-        WieraClient::connect(cluster.data_mesh.clone(), Region::UsWest, "app", dep.replicas());
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsWest,
+        "app",
+        dep.replicas(),
+    );
     let strong = client.put("a", payload(128)).unwrap();
     dep.change_consistency(ConsistencyModel::Eventual);
     for r in cluster.deployment_replicas("sw") {
@@ -240,7 +293,11 @@ fn change_primary_redirects_forwarding() {
     // Policy marks Region1 (US-West) primary.
     assert_eq!(dep.primary().unwrap().region, Region::UsWest);
     let replicas = cluster.deployment_replicas("cp");
-    let tokyo = replicas.iter().find(|r| r.node.region == Region::AsiaEast).unwrap().clone();
+    let tokyo = replicas
+        .iter()
+        .find(|r| r.node.region == Region::AsiaEast)
+        .unwrap()
+        .clone();
 
     let client_tokyo = WieraClient::connect(
         cluster.data_mesh.clone(),
@@ -249,7 +306,11 @@ fn change_primary_redirects_forwarding() {
         dep.replicas(),
     );
     let before = client_tokyo.put("k1", payload(64)).unwrap();
-    assert!(before.latency.as_millis_f64() > 100.0, "forwarded put {}", before.latency);
+    assert!(
+        before.latency.as_millis_f64() > 100.0,
+        "forwarded put {}",
+        before.latency
+    );
 
     dep.change_primary(tokyo.node.clone());
     for r in &replicas {
@@ -284,8 +345,12 @@ fn latency_monitor_switches_and_recovers_end_to_end() {
             DeploymentConfig::default().with_dynamic_consistency(800.0, 10_000.0),
         )
         .unwrap();
-    let client =
-        WieraClient::connect(cluster.data_mesh.clone(), Region::UsWest, "app", dep.replicas());
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsWest,
+        "app",
+        dep.replicas(),
+    );
 
     // Background writer keeps puts flowing so the monitor has samples.
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -303,7 +368,9 @@ fn latency_monitor_switches_and_recovers_end_to_end() {
     };
 
     // Inject a 1-second one-way delay at EU-West: strong puts now take >2s.
-    cluster.fabric.inject_node_delay(Region::EuWest, SimDuration::from_millis(1000));
+    cluster
+        .fabric
+        .inject_node_delay(Region::EuWest, SimDuration::from_millis(1000));
     wait_until(
         || dep.consistency() == ConsistencyModel::Eventual,
         20_000,
@@ -394,13 +461,21 @@ fn replica_repair_restores_replication_factor() {
         .start_instances(
             "rep",
             "eventual",
-            DeploymentConfig { flush_ms: 50.0, min_replicas: Some(2), ..Default::default() },
+            DeploymentConfig {
+                flush_ms: 50.0,
+                min_replicas: Some(2),
+                ..Default::default()
+            },
         )
         .unwrap();
     // The eventual policy declares two regions (US-West, US-East); EU-West
     // hosts a spare server.
-    let client =
-        WieraClient::connect(cluster.data_mesh.clone(), Region::UsEast, "app", dep.replicas());
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsEast,
+        "app",
+        dep.replicas(),
+    );
     for i in 0..10 {
         client.put(&format!("k{i}"), payload(64)).unwrap();
     }
@@ -411,7 +486,10 @@ fn replica_repair_restores_replication_factor() {
         "initial replication",
     );
     // Kill the US-West replica.
-    let west = replicas.iter().find(|r| r.node.region == Region::UsWest).unwrap();
+    let west = replicas
+        .iter()
+        .find(|r| r.node.region == Region::UsWest)
+        .unwrap();
     west.stop();
     // Repair: a fresh replica appears on the spare (EU-West) server with the
     // data cloned from the donor.
@@ -424,9 +502,15 @@ fn replica_repair_restores_replication_factor() {
         "repair replaces the dead replica",
     );
     let fresh = cluster.deployment_replicas("rep");
-    let eu = fresh.iter().find(|r| r.node.region == Region::EuWest).unwrap();
+    let eu = fresh
+        .iter()
+        .find(|r| r.node.region == Region::EuWest)
+        .unwrap();
     for i in 0..10 {
-        assert!(eu.instance().get(&format!("k{i}")).is_ok(), "repaired replica has k{i}");
+        assert!(
+            eu.instance().get(&format!("k{i}")).is_ok(),
+            "repaired replica has k{i}"
+        );
     }
     cluster.shutdown();
 }

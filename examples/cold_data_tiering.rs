@@ -39,7 +39,8 @@ fn main() {
 
     // 30 objects of 256 KiB; objects 0..6 stay hot.
     for i in 0..30 {
-        inst.put(&format!("obj-{i}"), Bytes::from(vec![i as u8; 256 * 1024])).unwrap();
+        inst.put(&format!("obj-{i}"), Bytes::from(vec![i as u8; 256 * 1024]))
+            .unwrap();
     }
     println!("wrote 30 objects (7.5 MiB) into EBS-SSD");
 
@@ -63,7 +64,9 @@ fn main() {
     for i in 0..30 {
         let loc = inst
             .meta()
-            .with(&format!("obj-{i}"), |o| o.latest().unwrap().location.clone())
+            .with(&format!("obj-{i}"), |o| {
+                o.latest().unwrap().location.clone()
+            })
             .unwrap();
         if loc == "tier1" {
             ssd += 1;

@@ -54,13 +54,18 @@ fn main() {
     }
 
     println!("--- injecting 1s one-way delay at EU-West ---");
-    cluster.fabric.inject_node_delay(Region::EuWest, SimDuration::from_millis(1000));
+    cluster
+        .fabric
+        .inject_node_delay(Region::EuWest, SimDuration::from_millis(1000));
     // Keep writing; the monitor needs sustained violations for its period.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
     while dep.consistency() != ConsistencyModel::Eventual {
         put_once("degraded strong");
         cluster.clock.sleep(SimDuration::from_secs(1));
-        assert!(std::time::Instant::now() < deadline, "switch never happened");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "switch never happened"
+        );
     }
     println!("--- Wiera switched to EVENTUAL ---");
     let weak = put_once("eventual");
@@ -72,7 +77,10 @@ fn main() {
     while dep.consistency() != ConsistencyModel::MultiPrimaries {
         put_once("recovering");
         cluster.clock.sleep(SimDuration::from_secs(1));
-        assert!(std::time::Instant::now() < deadline, "switch-back never happened");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "switch-back never happened"
+        );
     }
     println!("--- Wiera restored MULTI-PRIMARIES ---");
     put_once("strong again");

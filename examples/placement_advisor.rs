@@ -20,14 +20,31 @@ use wiera_net::Region;
 use wiera_tiers::TierKind;
 
 fn main() {
-    let regions = [Region::UsWest, Region::UsEast, Region::EuWest, Region::AsiaEast];
+    let regions = [
+        Region::UsWest,
+        Region::UsEast,
+        Region::EuWest,
+        Region::AsiaEast,
+    ];
     let cluster = Cluster::launch(&regions, 1000.0, 13);
 
     // What the workload monitor would have aggregated: an EU-heavy service.
     let loads = vec![
-        RegionLoad { region: Region::EuWest, puts_per_sec: 4.0, gets_per_sec: 80.0 },
-        RegionLoad { region: Region::UsEast, puts_per_sec: 1.0, gets_per_sec: 20.0 },
-        RegionLoad { region: Region::AsiaEast, puts_per_sec: 0.2, gets_per_sec: 4.0 },
+        RegionLoad {
+            region: Region::EuWest,
+            puts_per_sec: 4.0,
+            gets_per_sec: 80.0,
+        },
+        RegionLoad {
+            region: Region::UsEast,
+            puts_per_sec: 1.0,
+            gets_per_sec: 20.0,
+        },
+        RegionLoad {
+            region: Region::AsiaEast,
+            puts_per_sec: 0.2,
+            gets_per_sec: 4.0,
+        },
     ];
     let weights = MetricWeights {
         get_latency: 2.0,
@@ -46,7 +63,10 @@ fn main() {
 
     let advice = advise(&cluster.fabric, &loads, &weights, &cfg).expect("a configuration exists");
     println!("advisor chose:");
-    println!("  replicas    : {:?}", advice.replicas.iter().map(|r| r.name()).collect::<Vec<_>>());
+    println!(
+        "  replicas    : {:?}",
+        advice.replicas.iter().map(|r| r.name()).collect::<Vec<_>>()
+    );
     println!("  primary     : {}", advice.primary);
     println!("  consistency : {}", advice.consistency);
     println!("  est. get    : {:.1} ms", advice.est_get_ms);
@@ -56,7 +76,10 @@ fn main() {
     // Generate the policy in the paper's notation and deploy it.
     let policy = advice.to_policy("AdvisedPolicy", "1G", "10G");
     println!("\ngenerated policy:\n{policy}");
-    cluster.controller.register_policy("advised", &policy.to_string()).unwrap();
+    cluster
+        .controller
+        .register_policy("advised", &policy.to_string())
+        .unwrap();
     let dep = cluster
         .controller
         .start_instances("advised-app", "advised", DeploymentConfig::default())
@@ -78,7 +101,11 @@ fn main() {
             .unwrap()
             .latency
             .as_millis_f64();
-        get_ms += client.get(&format!("k{i}")).unwrap().latency.as_millis_f64();
+        get_ms += client
+            .get(&format!("k{i}"))
+            .unwrap()
+            .latency
+            .as_millis_f64();
     }
     println!(
         "\nmeasured from EU-West: put {:.1} ms, get {:.1} ms (estimates were for the \

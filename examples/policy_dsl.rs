@@ -55,7 +55,10 @@ fn main() {
             if r.primary { ", primary" } else { "" }
         );
         for t in &r.instance.tiers {
-            println!("      {} = {} ({} bytes)", t.label, t.kind_name, t.size_bytes);
+            println!(
+                "      {} = {} ({} bytes)",
+                t.label, t.kind_name, t.size_bytes
+            );
         }
     }
     println!("  recognized consistency: {:?}", compiled.consistency);

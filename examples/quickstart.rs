@@ -33,7 +33,11 @@ fn main() {
         "deployment '{}' running {} replicas: {:?}",
         deployment.id,
         deployment.replicas().len(),
-        deployment.replicas().iter().map(|r| r.region.name()).collect::<Vec<_>>()
+        deployment
+            .replicas()
+            .iter()
+            .map(|r| r.region.name())
+            .collect::<Vec<_>>()
     );
 
     // An application connects to the closest instance (§4.1 step 8).
@@ -50,8 +54,13 @@ fn main() {
         deployment.replicas(),
     );
 
-    let put = west.put("hello", Bytes::from_static(b"world")).expect("put succeeds");
-    println!("west put 'hello' -> version {} in {} (eventual: local write only)", put.version, put.latency);
+    let put = west
+        .put("hello", Bytes::from_static(b"world"))
+        .expect("put succeeds");
+    println!(
+        "west put 'hello' -> version {} in {} (eventual: local write only)",
+        put.version, put.latency
+    );
 
     let got = west.get("hello").expect("local read");
     println!(
@@ -85,7 +94,10 @@ fn main() {
     let versions = west.get_version_list("hello").unwrap();
     println!("versions of 'hello': {versions:?}");
     let v1 = west.get_version("hello", 1).unwrap();
-    println!("version 1 still reads: {:?}", String::from_utf8_lossy(&v1.value.unwrap()));
+    println!(
+        "version 1 still reads: {:?}",
+        String::from_utf8_lossy(&v1.value.unwrap())
+    );
 
     cluster.controller.stop_instances("quickstart").unwrap();
     cluster.shutdown();

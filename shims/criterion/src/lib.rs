@@ -1,0 +1,171 @@
+//! Offline shim for `criterion`: a minimal wall-clock micro-benchmark
+//! harness exposing the API subset used by `benches/micro.rs`. No
+//! statistical analysis — each benchmark is timed over a fixed number of
+//! warm-up and measurement iterations and reported as mean ns/iter.
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hint; only the variants the workspace names exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    /// (iterations, total elapsed) recorded by the last `iter*` call.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn run<F: FnMut() -> Duration>(&mut self, mut timed_block: F) {
+        // Warm-up: run until the warm-up budget elapses.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            timed_block();
+        }
+        // Measurement: accumulate in-block time until the budget elapses.
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure {
+            total += timed_block();
+            iters += 1;
+        }
+        self.result = Some((iters.max(1), total));
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.run(|| {
+            let start = Instant::now();
+            let out = routine();
+            let elapsed = start.elapsed();
+            drop(std::hint::black_box(out));
+            elapsed
+        });
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            let elapsed = start.elapsed();
+            drop(std::hint::black_box(out));
+            elapsed
+        });
+    }
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(200),
+            measure: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sample count is ignored; kept for API compatibility.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        // Cap so `cargo bench` stays quick even with generous settings.
+        self.measure = d.min(Duration::from_secs(2));
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d.min(Duration::from_secs(1));
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some((iters, total)) => {
+                let ns_per_iter = total.as_nanos() as f64 / iters as f64;
+                println!("bench {name:<40} {ns_per_iter:>14.1} ns/iter ({iters} iters)");
+            }
+            None => println!("bench {name:<40} (no measurement)"),
+        }
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut c: $crate::Criterion = $config;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut ran = 0u64;
+        c.bench_function("shim/self_test", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_each_time() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

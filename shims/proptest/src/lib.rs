@@ -1,0 +1,471 @@
+//! Offline shim for `proptest`: deterministic random testing with the
+//! `proptest!` / `prop_assert*` macro surface this workspace uses.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports its
+//! generated inputs via the assertion message only), and generation is
+//! seeded deterministically so CI runs are reproducible.
+
+/// Deterministic generator used by strategies (splitmix64 core).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn deterministic(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E3779B97F4A7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Runner configuration. Only the case count is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Sentinel error message used by `prop_assume!` rejections.
+pub const REJECT_MSG: &str = "__proptest_shim_reject__";
+
+/// A source of generated values.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+// ---- range strategies --------------------------------------------------------
+
+impl Strategy for std::ops::Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<u32> {
+    type Value = u32;
+    fn generate(&self, rng: &mut TestRng) -> u32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below((self.end - self.start) as u64) as u32
+    }
+}
+
+impl Strategy for std::ops::Range<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl Strategy for std::ops::Range<i64> {
+    type Value = i64;
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start
+            .wrapping_add(rng.below(self.end.abs_diff(self.start)) as i64)
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// ---- tuple strategies --------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+// ---- any ---------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values only: keeps arithmetic-heavy properties meaningful.
+        (rng.unit_f64() - 0.5) * 2e12
+    }
+}
+
+/// Strategy for the full domain of `T`.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---- sample / collection -----------------------------------------------------
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy that picks uniformly from a fixed list.
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len() as u64) as usize].clone()
+        }
+    }
+
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs a non-empty list");
+        Select { items }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for vectors with length drawn from `len` and elements from
+    /// `elem`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.len.end - self.len.start;
+            let n = self.len.start
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span as u64) as usize
+                };
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+}
+
+/// Namespace mirror of the real crate's `prop::` prelude alias.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+// ---- macros ------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "prop_assert failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_eq failed: {:?} != {:?}", __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_eq failed ({:?} != {:?}): {}", __l, __r, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err(format!("prop_assert_ne failed: both {:?}", __l));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::REJECT_MSG.to_string());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { [$crate::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case! { [$cfg] [$body] [] $($args)* }
+        }
+        $crate::__proptest_fns! { [$cfg] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All args normalized into [pat => strategy] groups: run the cases.
+    ([$cfg:expr] [$body:block] [$([$p:pat => $s:expr])*]) => {{
+        let __cfg: $crate::ProptestConfig = $cfg;
+        // Per-test deterministic seed, derived from the test body text.
+        let __seed = {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in concat!(module_path!(), stringify!($body)).bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            h
+        };
+        let mut __rng = $crate::TestRng::deterministic(__seed);
+        let mut __accepted: u32 = 0;
+        let mut __tries: u32 = 0;
+        let __max_tries = __cfg.cases.saturating_mul(20).max(100);
+        while __accepted < __cfg.cases && __tries < __max_tries {
+            __tries += 1;
+            let __outcome: ::std::result::Result<(), ::std::string::String> =
+                (|| -> ::std::result::Result<(), ::std::string::String> {
+                    $(let $p = $crate::Strategy::generate(&$s, &mut __rng);)*
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+            match __outcome {
+                ::std::result::Result::Ok(()) => __accepted += 1,
+                ::std::result::Result::Err(e) if e == $crate::REJECT_MSG => {}
+                ::std::result::Result::Err(e) => panic!("property failed: {e}"),
+            }
+        }
+        assert!(
+            __accepted > 0,
+            "prop_assume! rejected every generated case"
+        );
+    }};
+    // `name: Type` arg (shorthand for `name in any::<Type>()`).
+    ([$cfg:expr] [$body:block] [$($acc:tt)*] $n:ident : $t:ty) => {
+        $crate::__proptest_case! { [$cfg] [$body] [$($acc)* [$n => $crate::any::<$t>()]] }
+    };
+    ([$cfg:expr] [$body:block] [$($acc:tt)*] $n:ident : $t:ty, $($rest:tt)*) => {
+        $crate::__proptest_case! { [$cfg] [$body] [$($acc)* [$n => $crate::any::<$t>()]] $($rest)* }
+    };
+    // `pat in strategy` arg.
+    ([$cfg:expr] [$body:block] [$($acc:tt)*] $p:pat in $s:expr) => {
+        $crate::__proptest_case! { [$cfg] [$body] [$($acc)* [$p => $s]] }
+    };
+    ([$cfg:expr] [$body:block] [$($acc:tt)*] $p:pat in $s:expr, $($rest:tt)*) => {
+        $crate::__proptest_case! { [$cfg] [$body] [$($acc)* [$p => $s]] $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_stay_in_bounds() {
+        let mut rng = crate::TestRng::deterministic(1);
+        for _ in 0..1000 {
+            let v = crate::Strategy::generate(&(5u64..10), &mut rng);
+            assert!((5..10).contains(&v));
+            let f = crate::Strategy::generate(&(1.0f64..2.0), &mut rng);
+            assert!((1.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn select_and_vec_compose() {
+        let mut rng = crate::TestRng::deterministic(2);
+        let s = prop::collection::vec(prop::sample::select(vec!["a", "b"]), 1..4);
+        for _ in 0..100 {
+            let v = crate::Strategy::generate(&s, &mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|x| *x == "a" || *x == "b"));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = crate::TestRng::deterministic(3);
+        let s = (1u64..5).prop_map(|v| v * 10);
+        for _ in 0..50 {
+            let v = crate::Strategy::generate(&s, &mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_in_form(x in 1u64..100, y in 1u64..100) {
+            prop_assert!(x + y >= 2);
+            prop_assert_eq!(x + y, y + x);
+        }
+
+        #[test]
+        fn macro_type_form(x: u8, flag: bool) {
+            prop_assume!(flag || x < 200);
+            prop_assert!(u64::from(x) < 256);
+        }
+
+        #[test]
+        fn macro_mixed_form(data in prop::collection::vec(any::<u8>(), 0..64), key: u64) {
+            let _ = key;
+            prop_assert!(data.len() < 64);
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` against the sibling serde shim's `Value` model.
+//!
+//! No syn/quote — the item is parsed directly from the `proc_macro` token
+//! stream (field *names* and variant shapes are all the generated code
+//! needs; field types are inferred at the use site). Enums use serde's
+//! externally-tagged representation: unit variants as `"Name"`, everything
+//! else as a single-key object.
+//!
+//! Unsupported (and unused in this workspace): generics, `#[serde(...)]`
+//! attributes, unions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip any `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(iter: &mut TokenIter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("expected attribute body after '#', got {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip tokens until a top-level comma (tracking `<`/`>` generic depth) or
+/// end of stream. Consumes the comma.
+fn skip_to_comma(iter: &mut TokenIter) {
+    let mut depth = 0i32;
+    for tok in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Count the comma-separated fields of a tuple struct/variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut in_segment = false;
+    for tok in body {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    in_segment = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if !in_segment {
+            in_segment = true;
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Parse `name: Type` field declarations from a brace-group body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut iter = body.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("expected ':' after field name, got {other:?}"),
+                }
+                skip_to_comma(&mut iter);
+            }
+            Some(other) => panic!("unexpected token in fields: {other:?}"),
+        }
+    }
+    names
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let mut iter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                let fields = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        iter.next();
+                        Fields::Tuple(n)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let names = parse_named_fields(g.stream());
+                        iter.next();
+                        Fields::Named(names)
+                    }
+                    _ => Fields::Unit,
+                };
+                variants.push((id.to_string(), fields));
+                // Skip discriminants (`= expr`) and the separating comma.
+                skip_to_comma(&mut iter);
+            }
+            Some(other) => panic!("unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected 'struct' or 'enum', got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic types ({name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unexpected struct body: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("unexpected enum body: {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde shim derive supports struct/enum, got '{other}'"),
+    }
+}
+
+// ---- code generation --------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+                Fields::Named(names) => {
+                    let mut s =
+                        String::from("{ let mut __m = ::std::collections::BTreeMap::new();\n");
+                    for f in names {
+                        s.push_str(&format!(
+                            "__m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                        ));
+                    }
+                    s.push_str("::serde::Value::Object(__m) }");
+                    s
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\n\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             __m.insert(\"{v}\".to_string(), {inner});\n\
+                             ::serde::Value::Object(__m) }}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let pat = names.join(", ");
+                        let mut inner =
+                            String::from("{ let mut __o = ::std::collections::BTreeMap::new();\n");
+                        for f in names {
+                            inner.push_str(&format!(
+                                "__o.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Object(__o) }");
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {pat} }} => {{\n\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             __m.insert(\"{v}\".to_string(), {inner});\n\
+                             ::serde::Value::Object(__m) }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n}}"
+            )
+        }
+    }
+}
+
+fn gen_named_ctor(path: &str, names: &[String], src: &str, ctx: &str) -> String {
+    let mut s = format!("::std::result::Result::Ok({path} {{\n");
+    for f in names {
+        s.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value({src}.get(\"{f}\")\
+             .unwrap_or(&::serde::Value::Null))\
+             .map_err(|e| format!(\"{ctx}.{f}: {{e}}\"))?,\n"
+        ));
+    }
+    s.push_str("})");
+    s
+}
+
+fn gen_tuple_ctor(path: &str, n: usize, arr: &str) -> String {
+    let elems: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&{arr}[{i}])?"))
+        .collect();
+    format!(
+        "if {arr}.len() != {n} {{\n\
+         return ::std::result::Result::Err(format!(\"expected {n} elements for {path}, got {{}}\", {arr}.len()));\n\
+         }}\n\
+         ::std::result::Result::Ok({path}({elems}))",
+        elems = elems.join(", ")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            Fields::Tuple(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            Fields::Tuple(n) => format!(
+                "let __arr = __v.as_array()\
+                 .ok_or_else(|| format!(\"expected array for {name}, got {{__v:?}}\"))?;\n{}",
+                gen_tuple_ctor(name, *n, "__arr")
+            ),
+            Fields::Named(names) => format!(
+                "let __obj = __v.as_object()\
+                 .ok_or_else(|| format!(\"expected object for {name}, got {{__v:?}}\"))?;\n{}",
+                gen_named_ctor(name, names, "__obj", name)
+            ),
+        },
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (v, fields) in variants {
+                let path = format!("{name}::{v}");
+                match fields {
+                    Fields::Unit => unit_arms
+                        .push_str(&format!("\"{v}\" => ::std::result::Result::Ok({path}),\n")),
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({path}(\
+                         ::serde::Deserialize::from_value(__val)?)),\n"
+                    )),
+                    Fields::Tuple(n) => data_arms.push_str(&format!(
+                        "\"{v}\" => {{\n\
+                         let __arr = __val.as_array()\
+                         .ok_or_else(|| format!(\"expected array for {path}\"))?;\n{}\n}}\n",
+                        gen_tuple_ctor(&path, *n, "__arr")
+                    )),
+                    Fields::Named(names) => data_arms.push_str(&format!(
+                        "\"{v}\" => {{\n\
+                         let __obj = __val.as_object()\
+                         .ok_or_else(|| format!(\"expected object for {path}\"))?;\n{}\n}}\n",
+                        gen_named_ctor(&path, names, "__obj", &path)
+                    )),
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(format!(\"unknown variant {{__other:?}} for {name}\")),\n\
+                 }},\n\
+                 ::serde::Value::Object(__m) => {{\n\
+                 let (__k, __val) = __m.iter().next()\
+                 .ok_or_else(|| format!(\"empty variant object for {name}\"))?;\n\
+                 match __k.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::std::result::Result::Err(format!(\"unknown variant {{__other:?}} for {name}\")),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(format!(\"expected string or object for {name}, got {{__other:?}}\")),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+         {body}\n}}\n}}"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

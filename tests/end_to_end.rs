@@ -33,12 +33,25 @@ fn policy_text_to_running_deployment() {
     cluster.controller.register_policy("e2e", policy).unwrap();
     let dep = cluster
         .controller
-        .start_instances("e2e-dep", "e2e", DeploymentConfig { flush_ms: 100.0, ..Default::default() })
+        .start_instances(
+            "e2e-dep",
+            "e2e",
+            DeploymentConfig {
+                flush_ms: 100.0,
+                ..Default::default()
+            },
+        )
         .unwrap();
-    let client =
-        WieraClient::connect(cluster.data_mesh.clone(), Region::UsEast, "app", dep.replicas());
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsEast,
+        "app",
+        dep.replicas(),
+    );
     for i in 0..20 {
-        client.put(&format!("k{i}"), Bytes::from(vec![i as u8; 256])).unwrap();
+        client
+            .put(&format!("k{i}"), Bytes::from(vec![i as u8; 256]))
+            .unwrap();
     }
     for i in 0..20 {
         let got = client.get(&format!("k{i}")).unwrap();
@@ -60,10 +73,21 @@ fn ycsb_driver_against_live_deployment() {
         .unwrap();
     let dep = cluster
         .controller
-        .start_instances("ycsb", "ev2", DeploymentConfig { flush_ms: 100.0, ..Default::default() })
+        .start_instances(
+            "ycsb",
+            "ev2",
+            DeploymentConfig {
+                flush_ms: 100.0,
+                ..Default::default()
+            },
+        )
         .unwrap();
-    let client =
-        WieraClient::connect(cluster.data_mesh.clone(), Region::UsEast, "ycsb", dep.replicas());
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsEast,
+        "ycsb",
+        dep.replicas(),
+    );
     let ledger = Arc::new(Ledger::new());
     let driver = ClientDriver::new(
         WorkloadSpec::ycsb_a(50, 128),
@@ -75,7 +99,11 @@ fn ycsb_driver_against_live_deployment() {
     let report = driver.report();
     assert_eq!(report.ops, 300);
     assert_eq!(report.errors, 0);
-    assert!(report.put_latency.count > 80, "puts ran: {}", report.put_latency.count);
+    assert!(
+        report.put_latency.count > 80,
+        "puts ran: {}",
+        report.put_latency.count
+    );
     // Eventual puts via the local replica are fast.
     assert!(report.put_latency.p50_ms < 10.0, "{}", report.put_latency);
     assert!(ledger.tracked_keys() > 10);
@@ -96,10 +124,21 @@ fn posix_files_on_a_geo_deployment() {
         .unwrap();
     let dep = cluster
         .controller
-        .start_instances("fs", "fs-ev", DeploymentConfig { flush_ms: 100.0, ..Default::default() })
+        .start_instances(
+            "fs",
+            "fs-ev",
+            DeploymentConfig {
+                flush_ms: 100.0,
+                ..Default::default()
+            },
+        )
         .unwrap();
-    let client =
-        WieraClient::connect(cluster.data_mesh.clone(), Region::UsEast, "fs-app", dep.replicas());
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsEast,
+        "fs-app",
+        dep.replicas(),
+    );
     let fs = WieraFs::new(client, FsConfig::default());
     fs.create_filled("/data/report.bin", 100_000, 0xCD).unwrap();
     let (data, lat) = fs.read_at("/data/report.bin", 50_000, 10_000).unwrap();
@@ -107,7 +146,8 @@ fn posix_files_on_a_geo_deployment() {
     assert!(data.iter().all(|&b| b == 0xCD));
     assert!(lat > SimDuration::ZERO);
     // Overwrite a range and read it back.
-    fs.write_at("/data/report.bin", 99_990, &[0xEE; 20]).unwrap();
+    fs.write_at("/data/report.bin", 99_990, &[0xEE; 20])
+        .unwrap();
     assert_eq!(fs.file_len("/data/report.bin"), 100_010);
     let (tail, _) = fs.read_at("/data/report.bin", 99_990, 20).unwrap();
     assert!(tail.iter().all(|&b| b == 0xEE));
@@ -126,16 +166,27 @@ fn cost_meters_run_through_the_stack() {
         .controller
         .start_instances("solo-dep", "solo", DeploymentConfig::default())
         .unwrap();
-    let client =
-        WieraClient::connect(cluster.data_mesh.clone(), Region::UsEast, "app", dep.replicas());
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsEast,
+        "app",
+        dep.replicas(),
+    );
     for i in 0..25 {
-        client.put(&format!("k{i}"), Bytes::from(vec![0u8; 1024])).unwrap();
+        client
+            .put(&format!("k{i}"), Bytes::from(vec![0u8; 1024]))
+            .unwrap();
     }
     for _ in 0..10 {
         client.get("k0").unwrap();
     }
     let replica = &cluster.deployment_replicas("solo-dep")[0];
-    let tier = replica.instance().tier("tier1").unwrap().as_local().unwrap();
+    let tier = replica
+        .instance()
+        .tier("tier1")
+        .unwrap()
+        .as_local()
+        .unwrap();
     let usage = tier.meter().usage(cluster.clock.now());
     assert_eq!(usage.puts, 25);
     assert!(usage.gets >= 10);
@@ -148,7 +199,11 @@ fn multi_deployment_isolation() {
     // same keys, different data.
     let cluster = Cluster::launch(&[Region::UsEast, Region::UsWest], 3000.0, 25);
     cluster
-        .register_policy_over("iso", &[("US-East", false), ("US-West", false)], bodies::EVENTUAL)
+        .register_policy_over(
+            "iso",
+            &[("US-East", false), ("US-West", false)],
+            bodies::EVENTUAL,
+        )
         .unwrap();
     let a = cluster
         .controller
@@ -162,7 +217,13 @@ fn multi_deployment_isolation() {
     let cb = WieraClient::connect(cluster.data_mesh.clone(), Region::UsEast, "b", b.replicas());
     ca.put("shared-key", Bytes::from_static(b"from-a")).unwrap();
     cb.put("shared-key", Bytes::from_static(b"from-b")).unwrap();
-    assert_eq!(ca.get("shared-key").unwrap().value.unwrap().as_ref(), b"from-a");
-    assert_eq!(cb.get("shared-key").unwrap().value.unwrap().as_ref(), b"from-b");
+    assert_eq!(
+        ca.get("shared-key").unwrap().value.unwrap().as_ref(),
+        b"from-a"
+    );
+    assert_eq!(
+        cb.get("shared-key").unwrap().value.unwrap().as_ref(),
+        b"from-b"
+    );
     cluster.shutdown();
 }
