@@ -60,7 +60,8 @@ fn main() {
             coord: None,
             forward_gets_to: None,
         },
-    );
+    )
+    .expect("replica spawns");
     central.set_peers_direct(vec![], None, 1);
 
     // Preload the cold objects.

@@ -104,7 +104,8 @@ fn run_remote(nic_cap_mbps: f64, seed: u64) -> f64 {
             coord: None,
             forward_gets_to: None,
         },
-    );
+    )
+    .expect("replica spawns");
     let aws = ReplicaNode::spawn(
         mesh.clone(),
         ReplicaConfig {
@@ -117,7 +118,8 @@ fn run_remote(nic_cap_mbps: f64, seed: u64) -> f64 {
             coord: None,
             forward_gets_to: None,
         },
-    );
+    )
+    .expect("replica spawns");
     let peers = vec![azure.node.clone(), aws.node.clone()];
     azure.set_peers_direct(peers.clone(), Some(azure.node.clone()), 1);
     aws.set_peers_direct(peers, Some(azure.node.clone()), 1);

@@ -93,14 +93,8 @@ fn full_scale() -> FullScale {
 fn live_run() -> LiveRun {
     const OBJECTS: usize = 50;
     const OBJ_BYTES: usize = 1 << 20;
-    let policy = "Wiera ReducedCostPolicy() {
-        Region1 = {name:PersistanceInstance, region:US-East,
-            tier1 = {name:LocalDisk, size=1G},
-            tier2 = {name:S3-IA, size=1G} }
-        event(object.lastAccessedTime > 120 hours) : response {
-            move(what:object.location == tier1, to:tier2);
-        }
-    }";
+    // Shared with examples/policies/ so wiera-lint checks it in CI.
+    let policy = include_str!("../../../../examples/policies/reduced_cost_live.policy");
     let compiled = compile(&parse(policy).unwrap()).unwrap();
 
     let run = |with_policy: bool| -> f64 {

@@ -308,7 +308,8 @@ mod tests {
             session_timeout: wiera_sim::SimDuration::from_secs(600),
             sweep_interval: wiera_sim::SimDuration::from_secs(5),
         };
-        let service = CoordService::spawn(mesh.clone(), NodeId::new(Region::UsEast, "zk"), config);
+        let service = CoordService::spawn(mesh.clone(), NodeId::new(Region::UsEast, "zk"), config)
+            .expect("coord service spawns");
         Setup { mesh, service }
     }
 
@@ -413,7 +414,8 @@ mod tests {
             sweep_interval: SimDuration::from_secs(5),
         };
         let service =
-            CoordService::spawn(mesh.clone(), NodeId::new(Region::UsEast, "zk"), cfg.clone());
+            CoordService::spawn(mesh.clone(), NodeId::new(Region::UsEast, "zk"), cfg.clone())
+                .expect("coord service spawns");
         let c1 = CoordClient::connect(
             mesh.clone(),
             NodeId::new(Region::UsEast, "c1"),

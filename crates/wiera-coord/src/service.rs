@@ -61,7 +61,13 @@ pub struct CoordService {
 }
 
 impl CoordService {
-    pub fn spawn(mesh: Arc<Mesh<CoordMsg>>, node: NodeId, config: CoordConfig) -> Arc<Self> {
+    /// Start the service threads. Fails (instead of panicking) when the OS
+    /// refuses to spawn them, so embedders can surface the error over RPC.
+    pub fn spawn(
+        mesh: Arc<Mesh<CoordMsg>>,
+        node: NodeId,
+        config: CoordConfig,
+    ) -> Result<Arc<Self>, String> {
         let state = Arc::new(Mutex::new(State::default()));
         let stop = Arc::new(AtomicBool::new(false));
         let next_session = Arc::new(AtomicU64::new(1));
@@ -82,7 +88,7 @@ impl CoordService {
                         }
                     }
                 })
-                .expect("spawn coord handler");
+                .map_err(|e| format!("cannot spawn coord handler thread: {e}"))?;
         }
         {
             let state = state.clone();
@@ -99,10 +105,10 @@ impl CoordService {
                         Self::expire_sessions(&state, now, timeout);
                     }
                 })
-                .expect("spawn coord sweeper");
+                .map_err(|e| format!("cannot spawn coord sweeper thread: {e}"))?;
         }
 
-        Arc::new(CoordService { node, state, stop })
+        Ok(Arc::new(CoordService { node, state, stop }))
     }
 
     pub fn stop(&self) {

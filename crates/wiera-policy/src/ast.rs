@@ -1,5 +1,10 @@
 //! Abstract syntax tree for policy specifications.
+//!
+//! Declarations, rules, and statements carry [`Span`]s pointing back into
+//! the source text for diagnostics. Spans never affect equality (see
+//! [`Span`]), so pretty-print/reparse round trips still compare equal.
 
+use crate::diag::Span;
 use crate::units::Unit;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -42,6 +47,7 @@ pub struct PolicySpec {
 pub struct Param {
     pub ty: String,
     pub name: String,
+    pub span: Span,
 }
 
 /// `tier1: {name: Memcached, size: 5G}`.
@@ -49,6 +55,8 @@ pub struct Param {
 pub struct TierDecl {
     pub label: String,
     pub attrs: BTreeMap<String, Expr>,
+    /// Span of the declaration's label.
+    pub span: Span,
 }
 
 impl TierDecl {
@@ -64,6 +72,8 @@ pub struct RegionDecl {
     pub label: String,
     pub attrs: BTreeMap<String, Expr>,
     pub tiers: Vec<TierDecl>,
+    /// Span of the declaration's label.
+    pub span: Span,
 }
 
 impl RegionDecl {
@@ -77,18 +87,25 @@ impl RegionDecl {
 pub struct EventRule {
     pub event: Expr,
     pub body: Vec<Stmt>,
+    /// Span of the `event(...)` header.
+    pub span: Span,
 }
 
 /// Response-body statement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Stmt {
     /// `insert.object.dirty = true;`
-    Assign { target: Vec<String>, value: Expr },
+    Assign {
+        target: Vec<String>,
+        value: Expr,
+        span: Span,
+    },
     /// `store(what: insert.object, to: tier1);` — a named response with
     /// keyword arguments.
     Call {
         name: String,
         args: Vec<(String, Expr)>,
+        span: Span,
     },
     /// `if (cond) stmts [else if ... / else stmts]` (brace-less in the
     /// paper's figures; braces also accepted).
@@ -96,7 +113,16 @@ pub enum Stmt {
         cond: Expr,
         then: Vec<Stmt>,
         otherwise: Vec<Stmt>,
+        span: Span,
     },
+}
+
+impl Stmt {
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { span, .. } | Stmt::Call { span, .. } | Stmt::If { span, .. } => *span,
+        }
+    }
 }
 
 /// Binary operators in event conditions and if-conditions.
@@ -211,8 +237,8 @@ impl fmt::Display for Expr {
 impl fmt::Display for Stmt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Stmt::Assign { target, value } => write!(f, "{} = {value};", target.join(".")),
-            Stmt::Call { name, args } => {
+            Stmt::Assign { target, value, .. } => write!(f, "{} = {value};", target.join(".")),
+            Stmt::Call { name, args, .. } => {
                 let a: Vec<String> = args.iter().map(|(k, v)| format!("{k}:{v}")).collect();
                 write!(f, "{name}({});", a.join(", "))
             }
@@ -220,6 +246,7 @@ impl fmt::Display for Stmt {
                 cond,
                 then,
                 otherwise,
+                ..
             } => {
                 writeln!(f, "if ({cond}) {{")?;
                 for s in then {

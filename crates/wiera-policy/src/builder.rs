@@ -22,6 +22,7 @@
 //! ```
 
 use crate::ast::{BinOp, EventRule, Expr, Param, PolicySpec, RegionDecl, SpecKind, Stmt, TierDecl};
+use crate::diag::Span;
 use crate::units::Unit;
 use std::collections::BTreeMap;
 
@@ -49,6 +50,7 @@ fn tier_decl(label: &str, kind: &str, size: &str) -> TierDecl {
     TierDecl {
         label: label.to_string(),
         attrs,
+        span: Span::default(),
     }
 }
 
@@ -83,6 +85,7 @@ impl PolicyBuilder {
         self.spec.params.push(Param {
             ty: ty.to_string(),
             name: name.to_string(),
+            span: Span::default(),
         });
         self
     }
@@ -112,6 +115,7 @@ impl PolicyBuilder {
             label: label.to_string(),
             attrs,
             tiers: tiers.iter().map(|(l, k, s)| tier_decl(l, k, s)).collect(),
+            span: Span::default(),
         });
         self
     }
@@ -120,6 +124,7 @@ impl PolicyBuilder {
         self.spec.events.push(EventRule {
             event: Expr::path(&["insert", "into"]),
             body,
+            span: Span::default(),
         });
         self
     }
@@ -131,6 +136,7 @@ impl PolicyBuilder {
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.clone()))
                 .collect(),
+            span: Span::default(),
         }
     }
 
@@ -188,6 +194,7 @@ impl PolicyBuilder {
                     ("to", Expr::path(&["primary_instance"])),
                 ],
             )],
+            span: Span::default(),
         }])
     }
 
@@ -236,6 +243,7 @@ impl PolicyBuilder {
                     ("to", Expr::path(&[to_tier])),
                 ],
             )],
+            span: Span::default(),
         });
         self
     }
@@ -273,6 +281,7 @@ impl PolicyBuilder {
                     ("to", Expr::path(&[to_tier])),
                 ],
             )],
+            span: Span::default(),
         });
         self
     }

@@ -318,7 +318,24 @@ pub fn compile(spec: &PolicySpec) -> Result<CompiledPolicy, PolicyError> {
 
 /// Compile, binding specification parameters (e.g. `time t`) to values in
 /// canonical units (durations in ms).
+///
+/// Runs the static analyzer first and refuses the specification when it
+/// produces any deny-level diagnostic; the findings are carried in
+/// [`PolicyError::diagnostics`]. Use [`lower_with_params`] to skip the gate.
 pub fn compile_with_params(
+    spec: &PolicySpec,
+    params: &BTreeMap<String, f64>,
+) -> Result<CompiledPolicy, PolicyError> {
+    let diags = crate::analyze::analyze(spec);
+    if crate::diag::worst_is_deny(&diags, false) {
+        return Err(PolicyError::rejected(diags));
+    }
+    lower_with_params(spec, params)
+}
+
+/// Lower without the analyzer gate (the analyzer itself uses this; tools
+/// that already ran [`crate::analyze::analyze`] can too).
+pub fn lower_with_params(
     spec: &PolicySpec,
     params: &BTreeMap<String, f64>,
 ) -> Result<CompiledPolicy, PolicyError> {
@@ -422,7 +439,9 @@ impl<'a> Compiler<'a> {
     // ---- events -----------------------------------------------------------
 
     fn rule(&self, rule: &EventRule, tier_labels: &[&str]) -> Result<Rule, PolicyError> {
-        let event = self.event_kind(&rule.event)?;
+        let event = self
+            .event_kind(&rule.event)
+            .map_err(|e| e.or_at(rule.span))?;
         let actions = self.actions(&rule.body, tier_labels)?;
         Ok(Rule { event, actions })
     }
@@ -535,20 +554,27 @@ impl<'a> Compiler<'a> {
 
     fn action(&self, stmt: &Stmt, tiers: &[&str]) -> Result<Action, PolicyError> {
         match stmt {
-            Stmt::Assign { target, value } => Ok(Action::SetAttr {
+            Stmt::Assign {
+                target,
+                value,
+                span,
+            } => Ok(Action::SetAttr {
                 path: target.clone(),
-                value: self.cond_value(value)?,
+                value: self.cond_value(value).map_err(|e| e.or_at(*span))?,
             }),
             Stmt::If {
                 cond,
                 then,
                 otherwise,
+                span,
             } => Ok(Action::If {
-                cond: self.condition(cond)?,
+                cond: self.condition(cond).map_err(|e| e.or_at(*span))?,
                 then: self.actions(then, tiers)?,
                 otherwise: self.actions(otherwise, tiers)?,
             }),
-            Stmt::Call { name, args } => self.call(name, args, tiers),
+            Stmt::Call { name, args, span } => {
+                self.call(name, args, tiers).map_err(|e| e.or_at(*span))
+            }
         }
     }
 
@@ -725,14 +751,26 @@ impl<'a> Compiler<'a> {
     /// Normalize a literal to canonical units; paths with >1 segment become
     /// field references, single idents stay symbolic.
     fn cond_value(&self, e: &Expr) -> Result<CondValue, PolicyError> {
+        let bad_unit = |u: Unit| {
+            PolicyError::general(format!(
+                "cannot normalize value with unit '{u}' in condition"
+            ))
+        };
         Ok(match e {
             Expr::Num { value, unit } => {
                 let v = match unit {
                     None => *value,
-                    Some(u) if u.is_duration() => units::to_millis(*value, *u).unwrap(),
-                    Some(u) if u.is_size() => units::to_bytes(*value, *u).unwrap() as f64,
-                    Some(u) if u.is_rate() => units::to_bytes_per_sec(*value, *u).unwrap(),
-                    Some(Unit::Percent) => units::to_fraction(*value, Unit::Percent).unwrap(),
+                    Some(u) if u.is_duration() => {
+                        units::to_millis(*value, *u).ok_or_else(|| bad_unit(*u))?
+                    }
+                    Some(u) if u.is_size() => {
+                        units::to_bytes(*value, *u).ok_or_else(|| bad_unit(*u))? as f64
+                    }
+                    Some(u) if u.is_rate() => {
+                        units::to_bytes_per_sec(*value, *u).ok_or_else(|| bad_unit(*u))?
+                    }
+                    Some(Unit::Percent) => units::to_fraction(*value, Unit::Percent)
+                        .ok_or_else(|| bad_unit(Unit::Percent))?,
                     Some(_) => *value,
                 };
                 CondValue::Num(v)

@@ -10,7 +10,11 @@
 //! * Units may be attached to the number (`5G`, `40KB/s`) or be the next
 //!   word (`800 ms`, `30 seconds`); the lexer handles the attached form and
 //!   the parser merges the spaced form.
+//!
+//! Every token carries a [`Span`] (character offsets + line/column) so the
+//! parser and static analyzer can anchor diagnostics in the source text.
 
+use crate::diag::Span;
 use crate::error::PolicyError;
 use crate::units::Unit;
 
@@ -39,26 +43,45 @@ pub enum Tok {
     OrOr,
 }
 
-/// Token with its 1-based source line.
+/// Token with its source span.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     pub tok: Tok,
-    pub line: usize,
+    pub span: Span,
+}
+
+struct Cursor {
+    /// 1-based current line.
+    line: usize,
+    /// Character offset where the current line starts.
+    line_start: usize,
+}
+
+impl Cursor {
+    fn span(&self, start: usize, end: usize) -> Span {
+        Span::new(start, end, self.line, start - self.line_start + 1)
+    }
 }
 
 pub fn lex(src: &str) -> Result<Vec<Token>, PolicyError> {
     let mut out = Vec::new();
     let chars: Vec<char> = src.chars().collect();
     let mut i = 0;
-    let mut line = 1;
+    let mut cur = Cursor {
+        line: 1,
+        line_start: 0,
+    };
     let n = chars.len();
+
+    let push = |tok: Tok, span: Span, out: &mut Vec<Token>| out.push(Token { tok, span });
 
     while i < n {
         let c = chars[i];
         match c {
             '\n' => {
-                line += 1;
+                cur.line += 1;
                 i += 1;
+                cur.line_start = i;
             }
             c if c.is_whitespace() => i += 1,
             '%' => {
@@ -69,119 +92,92 @@ pub fn lex(src: &str) -> Result<Vec<Token>, PolicyError> {
                 }
             }
             '{' => {
-                out.push(Token {
-                    tok: Tok::LBrace,
-                    line,
-                });
+                push(Tok::LBrace, cur.span(i, i + 1), &mut out);
                 i += 1;
             }
             '}' => {
-                out.push(Token {
-                    tok: Tok::RBrace,
-                    line,
-                });
+                push(Tok::RBrace, cur.span(i, i + 1), &mut out);
                 i += 1;
             }
             '(' => {
-                out.push(Token {
-                    tok: Tok::LParen,
-                    line,
-                });
+                push(Tok::LParen, cur.span(i, i + 1), &mut out);
                 i += 1;
             }
             ')' => {
-                out.push(Token {
-                    tok: Tok::RParen,
-                    line,
-                });
+                push(Tok::RParen, cur.span(i, i + 1), &mut out);
                 i += 1;
             }
             ':' => {
-                out.push(Token {
-                    tok: Tok::Colon,
-                    line,
-                });
+                push(Tok::Colon, cur.span(i, i + 1), &mut out);
                 i += 1;
             }
             ';' => {
-                out.push(Token {
-                    tok: Tok::Semi,
-                    line,
-                });
+                push(Tok::Semi, cur.span(i, i + 1), &mut out);
                 i += 1;
             }
             ',' => {
-                out.push(Token {
-                    tok: Tok::Comma,
-                    line,
-                });
+                push(Tok::Comma, cur.span(i, i + 1), &mut out);
                 i += 1;
             }
             '.' => {
-                out.push(Token {
-                    tok: Tok::Dot,
-                    line,
-                });
+                push(Tok::Dot, cur.span(i, i + 1), &mut out);
                 i += 1;
             }
             '=' => {
                 if i + 1 < n && chars[i + 1] == '=' {
-                    out.push(Token { tok: Tok::Eq, line });
+                    push(Tok::Eq, cur.span(i, i + 2), &mut out);
                     i += 2;
                 } else {
-                    out.push(Token {
-                        tok: Tok::Assign,
-                        line,
-                    });
+                    push(Tok::Assign, cur.span(i, i + 1), &mut out);
                     i += 1;
                 }
             }
             '!' => {
                 if i + 1 < n && chars[i + 1] == '=' {
-                    out.push(Token { tok: Tok::Ne, line });
+                    push(Tok::Ne, cur.span(i, i + 2), &mut out);
                     i += 2;
                 } else {
-                    return Err(PolicyError::at(line, "unexpected '!'"));
+                    return Err(PolicyError::at_span(cur.span(i, i + 1), "unexpected '!'"));
                 }
             }
             '<' => {
                 if i + 1 < n && chars[i + 1] == '=' {
-                    out.push(Token { tok: Tok::Le, line });
+                    push(Tok::Le, cur.span(i, i + 2), &mut out);
                     i += 2;
                 } else {
-                    out.push(Token { tok: Tok::Lt, line });
+                    push(Tok::Lt, cur.span(i, i + 1), &mut out);
                     i += 1;
                 }
             }
             '>' => {
                 if i + 1 < n && chars[i + 1] == '=' {
-                    out.push(Token { tok: Tok::Ge, line });
+                    push(Tok::Ge, cur.span(i, i + 2), &mut out);
                     i += 2;
                 } else {
-                    out.push(Token { tok: Tok::Gt, line });
+                    push(Tok::Gt, cur.span(i, i + 1), &mut out);
                     i += 1;
                 }
             }
             '&' => {
                 if i + 1 < n && chars[i + 1] == '&' {
-                    out.push(Token {
-                        tok: Tok::AndAnd,
-                        line,
-                    });
+                    push(Tok::AndAnd, cur.span(i, i + 2), &mut out);
                     i += 2;
                 } else {
-                    return Err(PolicyError::at(line, "unexpected '&' (use '&&')"));
+                    return Err(PolicyError::at_span(
+                        cur.span(i, i + 1),
+                        "unexpected '&' (use '&&')",
+                    ));
                 }
             }
             '|' => {
                 if i + 1 < n && chars[i + 1] == '|' {
-                    out.push(Token {
-                        tok: Tok::OrOr,
-                        line,
-                    });
+                    push(Tok::OrOr, cur.span(i, i + 2), &mut out);
                     i += 2;
                 } else {
-                    return Err(PolicyError::at(line, "unexpected '|' (use '||')"));
+                    return Err(PolicyError::at_span(
+                        cur.span(i, i + 1),
+                        "unexpected '|' (use '||')",
+                    ));
                 }
             }
             '"' => {
@@ -189,17 +185,18 @@ pub fn lex(src: &str) -> Result<Vec<Token>, PolicyError> {
                 let mut j = start;
                 while j < n && chars[j] != '"' {
                     if chars[j] == '\n' {
-                        return Err(PolicyError::at(line, "unterminated string"));
+                        return Err(PolicyError::at_span(cur.span(i, j), "unterminated string"));
                     }
                     j += 1;
                 }
                 if j >= n {
-                    return Err(PolicyError::at(line, "unterminated string"));
+                    return Err(PolicyError::at_span(cur.span(i, n), "unterminated string"));
                 }
-                out.push(Token {
-                    tok: Tok::Str(chars[start..j].iter().collect()),
-                    line,
-                });
+                push(
+                    Tok::Str(chars[start..j].iter().collect()),
+                    cur.span(i, j + 1),
+                    &mut out,
+                );
                 i = j + 1;
             }
             c if c.is_ascii_digit() => {
@@ -213,9 +210,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, PolicyError> {
                     i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                let value: f64 = text
-                    .parse()
-                    .map_err(|_| PolicyError::at(line, format!("bad number '{text}'")))?;
+                let value: f64 = text.parse().map_err(|_| {
+                    PolicyError::at_span(cur.span(start, i), format!("bad number '{text}'"))
+                })?;
                 // Attached unit suffix: letters optionally followed by "/s",
                 // or a '%' directly after the digits.
                 let mut unit = None;
@@ -239,10 +236,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, PolicyError> {
                     // Not a unit: leave it for the identifier lexer (e.g.
                     // a key like `5foo` would be odd, but don't swallow it).
                 }
-                out.push(Token {
-                    tok: Tok::Num { value, unit },
-                    line,
-                });
+                push(Tok::Num { value, unit }, cur.span(start, i), &mut out);
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -258,14 +252,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, PolicyError> {
                     }
                 }
                 let text: String = chars[start..i].iter().collect();
-                out.push(Token {
-                    tok: Tok::Ident(text),
-                    line,
-                });
+                push(Tok::Ident(text), cur.span(start, i), &mut out);
             }
             other => {
-                return Err(PolicyError::at(
-                    line,
+                return Err(PolicyError::at_span(
+                    cur.span(i, i + 1),
                     format!("unexpected character '{other}'"),
                 ));
             }
@@ -414,11 +405,22 @@ mod tests {
     }
 
     #[test]
-    fn line_numbers_reported() {
+    fn spans_report_line_col_and_offsets() {
         let tokens = lex("a\nb\n  c").unwrap();
-        assert_eq!(tokens[0].line, 1);
-        assert_eq!(tokens[1].line, 2);
-        assert_eq!(tokens[2].line, 3);
+        assert_eq!(tokens[0].span.line, 1);
+        assert_eq!(tokens[0].span.col, 1);
+        assert_eq!(tokens[1].span.line, 2);
+        assert_eq!(tokens[1].span.col, 1);
+        assert_eq!(tokens[2].span.line, 3);
+        assert_eq!(tokens[2].span.col, 3);
+        assert_eq!((tokens[2].span.start, tokens[2].span.end), (6, 7));
+    }
+
+    #[test]
+    fn lex_errors_carry_spans() {
+        let err = lex("ok\n  !bad").unwrap_err();
+        let span = err.span.expect("lex error has a span");
+        assert_eq!((span.line, span.col), (2, 3));
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! The Tiera/Wiera policy specification language.
 //!
 //! Wiera's headline claim is that a *concise notation* can express a rich
@@ -19,6 +20,10 @@
 //! * [`canned`] — the verbatim policy text of each figure, as a named
 //!   registry (`lowlatency`, `multi-primaries`, `eventual`, …) so
 //!   applications can launch paper policies by id.
+//! * [`analyze`] / [`diag`] — a multi-pass static analyzer producing
+//!   span-carrying diagnostics with stable `WP###` codes; [`compile`]
+//!   refuses policies with deny-level findings, and the `wiera-lint`
+//!   binary exposes the analyzer on the command line.
 //!
 //! ```
 //! use wiera_policy::{parse, compile};
@@ -28,19 +33,23 @@
 //! assert_eq!(compiled.consistency, Some(wiera_policy::ConsistencyModel::Eventual));
 //! ```
 
+pub mod analyze;
 pub mod ast;
 pub mod builder;
 pub mod canned;
 pub mod compile;
+pub mod diag;
 pub mod error;
 pub mod lexer;
 pub mod parser;
 pub mod units;
 
+pub use analyze::{analyze, analyze_source};
 pub use ast::{EventRule, Expr, PolicySpec, SpecKind, Stmt};
 pub use compile::{
     compile, Action, CompiledPolicy, Condition, ConsistencyModel, EventKind, InstanceLayout,
     RegionLayout, Rule, Selector, Target, TierLayout,
 };
+pub use diag::{Code, Diagnostic, Severity, Span};
 pub use error::PolicyError;
 pub use parser::parse;

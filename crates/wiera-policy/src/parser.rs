@@ -6,17 +6,31 @@
 //! (a brace-less `if` branch extends to the next `else` or the end of the
 //! enclosing response block, which is how every figure uses it; braces are
 //! also accepted for unambiguous nesting).
+//!
+//! Every declaration, rule, and statement is stamped with a [`Span`] for
+//! the static analyzer's diagnostics, and every parse error carries the
+//! span of the offending token.
 
 use crate::ast::{BinOp, EventRule, Expr, Param, PolicySpec, RegionDecl, SpecKind, Stmt, TierDecl};
+use crate::diag::Span;
 use crate::error::PolicyError;
 use crate::lexer::{lex, Tok, Token};
 use crate::units::Unit;
 use std::collections::BTreeMap;
 
+/// Maximum expression/statement nesting depth. Malformed input (for
+/// example thousands of open parens) must produce an `Err`, not a stack
+/// overflow.
+const MAX_DEPTH: usize = 128;
+
 /// Parse one policy specification from source text.
 pub fn parse(src: &str) -> Result<PolicySpec, PolicyError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let spec = p.spec()?;
     if !p.at_end() {
         return Err(p.err("trailing input after specification"));
@@ -27,6 +41,7 @@ pub fn parse(src: &str) -> Result<PolicySpec, PolicyError> {
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -42,15 +57,32 @@ impl Parser {
         self.toks.get(self.pos + 1).map(|t| &t.tok)
     }
 
-    fn line(&self) -> usize {
+    /// Span of the current token (or the last token when at end of input).
+    fn span(&self) -> Span {
         self.toks
             .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map(|t| t.line)
-            .unwrap_or(0)
+            .map(|t| t.span)
+            .unwrap_or_default()
+    }
+
+    /// Span of the most recently consumed token.
+    fn prev_span(&self) -> Span {
+        self.toks
+            .get(self.pos.saturating_sub(1))
+            .map(|t| t.span)
+            .unwrap_or_default()
     }
 
     fn err(&self, msg: impl Into<String>) -> PolicyError {
-        PolicyError::at(self.line(), msg)
+        PolicyError::at_span(self.span(), msg)
+    }
+
+    fn enter(&mut self) -> Result<(), PolicyError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.depth += 1;
+        Ok(())
     }
 
     fn next(&mut self) -> Result<Tok, PolicyError> {
@@ -58,17 +90,21 @@ impl Parser {
             .toks
             .get(self.pos)
             .map(|t| t.tok.clone())
-            .ok_or_else(|| PolicyError::general("unexpected end of input"))?;
+            .ok_or_else(|| PolicyError::at_span(self.prev_span(), "unexpected end of input"))?;
         self.pos += 1;
         Ok(t)
     }
 
     fn expect(&mut self, want: &Tok, what: &str) -> Result<(), PolicyError> {
+        let at = self.span();
         let got = self.next()?;
         if &got == want {
             Ok(())
         } else {
-            Err(self.err(format!("expected {what}, found {got:?}")))
+            Err(PolicyError::at_span(
+                at,
+                format!("expected {what}, found {got:?}"),
+            ))
         }
     }
 
@@ -82,10 +118,21 @@ impl Parser {
     }
 
     fn ident(&mut self, what: &str) -> Result<String, PolicyError> {
+        let at = self.span();
         match self.next()? {
             Tok::Ident(s) => Ok(s),
-            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+            other => Err(PolicyError::at_span(
+                at,
+                format!("expected {what}, found {other:?}"),
+            )),
         }
+    }
+
+    /// An identifier together with its span.
+    fn spanned_ident(&mut self, what: &str) -> Result<(String, Span), PolicyError> {
+        let at = self.span();
+        let name = self.ident(what)?;
+        Ok((name, at))
     }
 
     // ---- grammar -----------------------------------------------------------
@@ -94,15 +141,24 @@ impl Parser {
         let kind = match self.ident("'Tiera' or 'Wiera'")?.as_str() {
             "Tiera" => SpecKind::Tiera,
             "Wiera" => SpecKind::Wiera,
-            other => return Err(self.err(format!("expected 'Tiera' or 'Wiera', found '{other}'"))),
+            other => {
+                return Err(PolicyError::at_span(
+                    self.prev_span(),
+                    format!("expected 'Tiera' or 'Wiera', found '{other}'"),
+                ))
+            }
         };
         let name = self.ident("policy name")?;
         self.expect(&Tok::LParen, "'('")?;
         let mut params = Vec::new();
         while self.peek() != Some(&Tok::RParen) {
-            let ty = self.ident("parameter type")?;
-            let pname = self.ident("parameter name")?;
-            params.push(Param { ty, name: pname });
+            let (ty, ty_span) = self.spanned_ident("parameter type")?;
+            let (pname, name_span) = self.spanned_ident("parameter name")?;
+            params.push(Param {
+                ty,
+                name: pname,
+                span: ty_span.to(name_span),
+            });
             if !self.eat(&Tok::Comma) {
                 break;
             }
@@ -120,7 +176,7 @@ impl Parser {
                     events.push(self.event_rule()?);
                 }
                 Some(Tok::Ident(_)) => {
-                    let label = self.ident("declaration label")?;
+                    let (label, label_span) = self.spanned_ident("declaration label")?;
                     if !self.eat(&Tok::Colon) && !self.eat(&Tok::Assign) {
                         return Err(self.err(format!("expected ':' or '=' after '{label}'")));
                     }
@@ -128,14 +184,22 @@ impl Parser {
                     self.eat(&Tok::Semi);
                     if label.to_ascii_lowercase().starts_with("tier") {
                         if !nested.is_empty() {
-                            return Err(self.err("tier declarations cannot nest tiers"));
+                            return Err(PolicyError::at_span(
+                                label_span,
+                                "tier declarations cannot nest tiers",
+                            ));
                         }
-                        tiers.push(TierDecl { label, attrs });
+                        tiers.push(TierDecl {
+                            label,
+                            attrs,
+                            span: label_span,
+                        });
                     } else {
                         regions.push(RegionDecl {
                             label,
                             attrs,
                             tiers: nested,
+                            span: label_span,
                         });
                     }
                 }
@@ -162,18 +226,22 @@ impl Parser {
             if self.eat(&Tok::RBrace) {
                 break;
             }
-            let key = self.ident("attribute key")?;
+            let (key, key_span) = self.spanned_ident("attribute key")?;
             if !self.eat(&Tok::Colon) && !self.eat(&Tok::Assign) {
                 return Err(self.err(format!("expected ':' or '=' after attribute '{key}'")));
             }
             if self.peek() == Some(&Tok::LBrace) {
                 let (tattrs, deeper) = self.attr_block()?;
                 if !deeper.is_empty() {
-                    return Err(self.err("attribute blocks nest at most one level"));
+                    return Err(PolicyError::at_span(
+                        key_span,
+                        "attribute blocks nest at most one level",
+                    ));
                 }
                 nested.push(TierDecl {
                     label: key,
                     attrs: tattrs,
+                    span: key_span,
                 });
             } else {
                 let value = self.expr()?;
@@ -188,20 +256,28 @@ impl Parser {
     }
 
     fn event_rule(&mut self) -> Result<EventRule, PolicyError> {
-        let kw = self.ident("'event'")?;
+        let (kw, start) = self.spanned_ident("'event'")?;
         debug_assert_eq!(kw, "event");
         self.expect(&Tok::LParen, "'('")?;
         let event = self.expr()?;
         self.expect(&Tok::RParen, "')'")?;
+        let header = start.to(self.prev_span());
         self.expect(&Tok::Colon, "':'")?;
         let resp = self.ident("'response'")?;
         if resp != "response" {
-            return Err(self.err(format!("expected 'response', found '{resp}'")));
+            return Err(PolicyError::at_span(
+                self.prev_span(),
+                format!("expected 'response', found '{resp}'"),
+            ));
         }
         self.expect(&Tok::LBrace, "'{'")?;
         let body = self.stmts_until_rbrace()?;
         self.expect(&Tok::RBrace, "'}'")?;
-        Ok(EventRule { event, body })
+        Ok(EventRule {
+            event,
+            body,
+            span: header,
+        })
     }
 
     /// Statements up to (not consuming) the enclosing `}`.
@@ -222,7 +298,7 @@ impl Parser {
             Some(Tok::Ident(id)) if id == "if" => self.if_stmt(),
             Some(Tok::Ident(_)) => {
                 // Either `name(args)` (call) or `a.b.c = expr` (assignment).
-                let first = self.ident("statement")?;
+                let (first, start) = self.spanned_ident("statement")?;
                 if self.peek() == Some(&Tok::LParen) {
                     self.pos += 1; // consume '('
                     let mut args = Vec::new();
@@ -236,8 +312,13 @@ impl Parser {
                         }
                     }
                     self.expect(&Tok::RParen, "')'")?;
+                    let span = start.to(self.prev_span());
                     self.eat(&Tok::Semi);
-                    Ok(Stmt::Call { name: first, args })
+                    Ok(Stmt::Call {
+                        name: first,
+                        args,
+                        span,
+                    })
                 } else {
                     let mut target = vec![first];
                     while self.eat(&Tok::Dot) {
@@ -245,8 +326,13 @@ impl Parser {
                     }
                     self.expect(&Tok::Assign, "'='")?;
                     let value = self.expr()?;
+                    let span = start.to(self.prev_span());
                     self.eat(&Tok::Semi);
-                    Ok(Stmt::Assign { target, value })
+                    Ok(Stmt::Assign {
+                        target,
+                        value,
+                        span,
+                    })
                 }
             }
             other => Err(self.err(format!("unexpected token {other:?} in statement"))),
@@ -254,11 +340,19 @@ impl Parser {
     }
 
     fn if_stmt(&mut self) -> Result<Stmt, PolicyError> {
-        let kw = self.ident("'if'")?;
+        self.enter()?;
+        let r = self.if_stmt_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn if_stmt_inner(&mut self) -> Result<Stmt, PolicyError> {
+        let (kw, start) = self.spanned_ident("'if'")?;
         debug_assert_eq!(kw, "if");
         self.expect(&Tok::LParen, "'('")?;
         let cond = self.expr()?;
         self.expect(&Tok::RParen, "')'")?;
+        let header = start.to(self.prev_span());
 
         let then = self.branch_body()?;
         let mut otherwise = Vec::new();
@@ -273,6 +367,7 @@ impl Parser {
                             cond,
                             then,
                             otherwise,
+                            span: header,
                         });
                     }
                 }
@@ -283,6 +378,7 @@ impl Parser {
             cond,
             then,
             otherwise,
+            span: header,
         })
     }
 
@@ -301,7 +397,10 @@ impl Parser {
     // ---- expressions -------------------------------------------------------
 
     fn expr(&mut self) -> Result<Expr, PolicyError> {
-        self.or_expr()
+        self.enter()?;
+        let r = self.or_expr();
+        self.depth -= 1;
+        r
     }
 
     fn or_expr(&mut self) -> Result<Expr, PolicyError> {
@@ -390,7 +489,10 @@ impl Parser {
                 self.expect(&Tok::RParen, "')'")?;
                 Ok(e)
             }
-            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+            other => Err(PolicyError::at_span(
+                self.prev_span(),
+                format!("unexpected token {other:?} in expression"),
+            )),
         }
     }
 }
@@ -420,7 +522,7 @@ mod tests {
         );
         assert_eq!(spec.events.len(), 1);
         match &spec.events[0].body[0] {
-            Stmt::Call { name, args } => {
+            Stmt::Call { name, args, .. } => {
                 assert_eq!(name, "store");
                 assert_eq!(args.len(), 2);
                 assert_eq!(args[0].0, "what");
@@ -531,6 +633,7 @@ mod tests {
                 then,
                 otherwise,
                 cond,
+                ..
             } => {
                 assert_eq!(then.len(), 1);
                 assert_eq!(otherwise.len(), 1);
@@ -566,7 +669,7 @@ mod tests {
         )
         .unwrap();
         match &spec.events[0].body[0] {
-            Stmt::Assign { target, value } => {
+            Stmt::Assign { target, value, .. } => {
                 assert_eq!(target, &["insert", "object", "dirty"]);
                 assert_eq!(value.as_bool(), Some(true));
             }
@@ -607,6 +710,28 @@ mod tests {
         let err = parse("Tiera X() {\n  tier1: }\n}").unwrap_err();
         // Reported at or just past the offending token.
         assert!(matches!(err.line, Some(2) | Some(3)), "{err}");
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let mut src = String::from("Tiera X() { event(insert.into) : response { if (");
+        src.push_str(&"(".repeat(4096));
+        src.push('a');
+        src.push_str(&")".repeat(4096));
+        src.push_str(") store(what:insert.object, to:tier1); } }");
+        let err = parse(&src).unwrap_err();
+        assert!(err.message.contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn statements_and_rules_carry_spans() {
+        let src = "Tiera S() {\n  tier1: {name: M, size: 5G};\n  event(insert.into) : response {\n    store(what:insert.object, to:tier1);\n  }\n}";
+        let spec = parse(src).unwrap();
+        assert_eq!(spec.tiers[0].span.line, 2);
+        assert_eq!(spec.events[0].span.line, 3);
+        let stmt_span = spec.events[0].body[0].span();
+        assert_eq!(stmt_span.line, 4);
+        assert!(stmt_span.len() > 10, "call span covers the whole call");
     }
 
     #[test]

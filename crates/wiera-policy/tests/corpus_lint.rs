@@ -1,0 +1,53 @@
+//! The shipped policy corpus must satisfy the analyzer.
+//!
+//! * Every canned paper policy and every `examples/policies/*.policy` file
+//!   lints clean at deny level — [`wiera_policy::compile`] would otherwise
+//!   refuse them at launch time.
+//! * Warnings are held to zero too (notes are advisory and allowed), which
+//!   is the same bar the CI `policy-lint` job enforces with
+//!   `--deny-warnings`.
+
+use std::path::Path;
+use wiera_policy::diag::Severity;
+
+fn assert_clean(origin: &str, src: &str) {
+    let (spec, diags) = wiera_policy::analyze_source(src);
+    assert!(spec.is_some(), "{origin}: does not parse: {diags:?}");
+    let gating: Vec<String> = diags
+        .iter()
+        .filter(|d| d.severity != Severity::Note)
+        .map(|d| d.compact())
+        .collect();
+    assert!(gating.is_empty(), "{origin}: {gating:#?}");
+}
+
+#[test]
+fn canned_corpus_lints_clean() {
+    for (id, _, src) in wiera_policy::canned::ALL {
+        assert_clean(&format!("canned:{id}"), src);
+    }
+}
+
+#[test]
+fn example_policies_lint_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/policies");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/policies exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "policy") {
+            let src = std::fs::read_to_string(&path).expect("read policy");
+            assert_clean(&path.to_string_lossy(), &src);
+            checked += 1;
+        }
+    }
+    assert!(checked >= 4, "expected the example corpus, found {checked}");
+}
+
+#[test]
+fn canned_corpus_compiles_after_gating() {
+    // The deny gate in compile() must not lock out any shipped policy.
+    for (id, _, src) in wiera_policy::canned::ALL {
+        let spec = wiera_policy::parse(src).expect(id);
+        wiera_policy::compile(&spec).unwrap_or_else(|e| panic!("{id}: {e}"));
+    }
+}

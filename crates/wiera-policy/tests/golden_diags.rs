@@ -1,0 +1,101 @@
+//! Golden-file tests for analyzer diagnostics.
+//!
+//! Each `tests/golden/wpNNN_*.policy` file is analyzed and its findings —
+//! one compact line per diagnostic — are compared byte-for-byte against
+//! the sibling `.expected` file. Regenerate the expectations after an
+//! intentional change with:
+//!
+//! ```text
+//! WIERA_BLESS=1 cargo test -p wiera-policy --test golden_diags
+//! ```
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn policy_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(golden_dir())
+        .expect("tests/golden exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "policy"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn compact_report(src: &str) -> String {
+    let (_, diags) = wiera_policy::analyze_source(src);
+    let mut out = String::new();
+    for d in &diags {
+        out.push_str(&d.compact());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn golden_diagnostics_match() {
+    let bless = std::env::var_os("WIERA_BLESS").is_some();
+    let mut mismatches = Vec::new();
+    let files = policy_files();
+    assert!(
+        files.len() >= 18,
+        "expected one golden policy per diagnostic code, found {}",
+        files.len()
+    );
+    for policy in &files {
+        let src = std::fs::read_to_string(policy).expect("read policy");
+        let got = compact_report(&src);
+        let expected_path = policy.with_extension("expected");
+        if bless {
+            std::fs::write(&expected_path, &got).expect("write expected");
+            continue;
+        }
+        let want = std::fs::read_to_string(&expected_path).unwrap_or_default();
+        if got != want {
+            mismatches.push(format!(
+                "== {} ==\n--- expected ---\n{want}--- got ---\n{got}",
+                policy.file_name().unwrap_or_default().to_string_lossy()
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden diagnostics diverged (run with WIERA_BLESS=1 to regenerate):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+/// The corpus must exercise every stable diagnostic code, and each file's
+/// primary code (from its name) must actually fire on that file.
+#[test]
+fn golden_corpus_covers_every_code() {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for policy in policy_files() {
+        let src = std::fs::read_to_string(&policy).expect("read policy");
+        let (_, diags) = wiera_policy::analyze_source(&src);
+        let name = policy
+            .file_stem()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .to_string();
+        let primary = name[..5].to_ascii_uppercase(); // "wp008_..." -> "WP008"
+        assert!(
+            diags.iter().any(|d| d.code.as_str() == primary),
+            "{name}: expected {primary} to fire, got {:?}",
+            diags.iter().map(|d| d.code.as_str()).collect::<Vec<_>>()
+        );
+        for d in &diags {
+            seen.insert(d.code.as_str().to_string());
+        }
+    }
+    for code in wiera_policy::diag::ALL_CODES {
+        assert!(
+            seen.contains(code.as_str()),
+            "no golden policy exercises {code}"
+        );
+    }
+}

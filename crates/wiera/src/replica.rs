@@ -120,10 +120,12 @@ pub struct ReplicaNode {
 
 impl ReplicaNode {
     /// Build the instance, register on the mesh, and start the handler and
-    /// flusher threads.
-    pub fn spawn(mesh: Arc<Mesh<DataMsg>>, config: ReplicaConfig) -> Arc<Self> {
+    /// flusher threads. Errors (a policy-driven instance config the engine
+    /// rejects, or thread-spawn failure) are returned instead of panicking
+    /// so the deployment layer can report them over RPC.
+    pub fn spawn(mesh: Arc<Mesh<DataMsg>>, config: ReplicaConfig) -> Result<Arc<Self>, String> {
         let inst = TieraInstance::build(config.instance, mesh.clock.clone())
-            .expect("replica instance builds");
+            .map_err(|e| format!("replica instance config rejected: {e}"))?;
         let stop = Arc::new(AtomicBool::new(false));
         let node = config.node.clone();
         let inbox = mesh.register(node.clone());
@@ -164,7 +166,7 @@ impl ReplicaNode {
                         }
                     }
                 })
-                .expect("spawn replica handler");
+                .map_err(|e| format!("cannot spawn replica handler thread: {e}"))?;
         }
         // Flusher thread.
         {
@@ -180,9 +182,9 @@ impl ReplicaNode {
                         r.flush_queue_async();
                     }
                 })
-                .expect("spawn replica flusher");
+                .map_err(|e| format!("cannot spawn replica flusher thread: {e}"))?;
         }
-        replica
+        Ok(replica)
     }
 
     pub fn instance(&self) -> &Arc<TieraInstance> {
@@ -275,10 +277,18 @@ impl ReplicaNode {
             | DataMsg::RemoveVersion { .. }
             | DataMsg::ForwardPut { .. } => {
                 let r = self.clone();
-                std::thread::Builder::new()
+                if let Err(e) = std::thread::Builder::new()
                     .name("replica-worker".into())
                     .spawn(move || r.handle_app_op(d))
-                    .expect("spawn worker");
+                {
+                    // The delivery (and its reply slot) died with the
+                    // closure; the caller observes an RPC failure rather
+                    // than a replica crash.
+                    let region = self.node.region.to_string();
+                    MetricsRegistry::global()
+                        .inc("wiera_worker_spawn_errors", &[("region", region.as_str())]);
+                    eprintln!("replica {}: cannot spawn worker thread: {e}", self.node);
+                }
             }
             // Replication and control are local and quick: handle inline.
             _ => self.handle_inline(d),
@@ -487,12 +497,16 @@ impl ReplicaNode {
                 .with(&key, |o| o.latest().map(|m| (m.version, m.modified)));
             if let Some(Some((version, modified))) = latest {
                 if let Ok(got) = self.inst.get_version(&key, version) {
-                    out.push(SyncObject {
-                        key: key.clone(),
-                        version,
-                        modified,
-                        value: got.value.expect("read returns bytes"),
-                    });
+                    // A version whose bytes vanished (tier eviction racing
+                    // the dump) is simply skipped; the sync retries later.
+                    if let Some(value) = got.value {
+                        out.push(SyncObject {
+                            key: key.clone(),
+                            version,
+                            modified,
+                            value,
+                        });
+                    }
                 }
             }
         }
@@ -874,12 +888,11 @@ impl ReplicaNode {
             .with(key, |o| o.versions.get(&out.version).map(|m| m.modified))
             .flatten()
             .unwrap_or(SimInstant::EPOCH);
-        Ok((
-            out.value.expect("read returns bytes"),
-            out.version,
-            modified,
-            out.latency,
-        ))
+        let value = out.value.ok_or_else(|| {
+            metrics.inc("wiera_get_errors", &labels);
+            format!("get '{key}' returned metadata but no bytes")
+        })?;
+        Ok((value, out.version, modified, out.latency))
     }
 
     // ---- direct (in-process) API for deployments and tests -----------------
@@ -1012,6 +1025,7 @@ mod tests {
                 forward_gets_to: None,
             },
         )
+        .expect("replica spawns")
     }
 
     fn wire(replicas: &[&Arc<ReplicaNode>], primary: Option<&Arc<ReplicaNode>>) {

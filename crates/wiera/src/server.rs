@@ -214,7 +214,8 @@ impl TieraServer {
                 coord: coord_client,
                 forward_gets_to: None,
             },
-        );
+        )
+        .map_err(|e| format!("replica spawn: {e}"))?;
         let engine = InstanceEngine::start(replica.instance().clone());
 
         let mut monitors = Vec::new();

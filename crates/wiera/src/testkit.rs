@@ -49,7 +49,8 @@ impl Cluster {
             coord_mesh.clone(),
             NodeId::new(controller_config.region, "zk"),
             coord_config.clone(),
-        );
+        )
+        .expect("coordination service spawns");
         let controller = WieraController::launch(data_mesh.clone(), controller_config);
         controller.register_canned_policies();
 

@@ -71,7 +71,8 @@ fn main() {
             coord: None,
             forward_gets_to: None,
         },
-    );
+    )
+    .expect("replica spawns");
     let aws = ReplicaNode::spawn(
         mesh.clone(),
         ReplicaConfig {
@@ -84,7 +85,8 @@ fn main() {
             coord: None,
             forward_gets_to: None,
         },
-    );
+    )
+    .expect("replica spawns");
     let peers = vec![azure.node.clone(), aws.node.clone()];
     azure.set_peers_direct(peers.clone(), Some(azure.node.clone()), 1);
     aws.set_peers_direct(peers, Some(azure.node.clone()), 1);
