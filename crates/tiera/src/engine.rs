@@ -27,7 +27,7 @@ impl InstanceEngine {
 
     /// Start the engine for `inst`. One thread per timer rule (at its own
     /// period) plus one maintenance thread for filled/cold rules.
-    pub fn start(inst: Arc<TieraInstance>) -> Self {
+    pub fn start(inst: Arc<TieraInstance>) -> Result<Self, String> {
         let stop = Arc::new(AtomicBool::new(false));
         let actions_taken = Arc::new(AtomicU64::new(0));
         let mut threads = Vec::new();
@@ -65,7 +65,7 @@ impl InstanceEngine {
                             acted.fetch_add(n as u64, Ordering::Relaxed);
                         }
                     })
-                    .expect("spawn timer thread"),
+                    .map_err(|e| format!("cannot spawn timer thread: {e}"))?,
             );
         }
 
@@ -92,15 +92,15 @@ impl InstanceEngine {
                             acted.fetch_add(n as u64, Ordering::Relaxed);
                         }
                     })
-                    .expect("spawn maintenance thread"),
+                    .map_err(|e| format!("cannot spawn maintenance thread: {e}"))?,
             );
         }
 
-        InstanceEngine {
+        Ok(InstanceEngine {
             stop,
             actions_taken,
             threads,
-        }
+        })
     }
 
     pub fn stop(&self) {
@@ -146,7 +146,7 @@ mod tests {
             .with_rules(compiled.rules);
         let clock = ScaledClock::shared(500.0);
         let inst = crate::instance::TieraInstance::build(cfg, clock).unwrap();
-        let engine = InstanceEngine::start(inst.clone());
+        let engine = InstanceEngine::start(inst.clone()).unwrap();
 
         inst.put("k", Bytes::from_static(b"data")).unwrap();
         // Wait up to 2 wall-seconds for the background flush.
@@ -179,7 +179,7 @@ mod tests {
     fn engine_without_rules_spawns_nothing_and_stops_cleanly() {
         let cfg = InstanceConfig::new("bare", Region::UsEast).with_tier("tier1", "EBS", 1 << 20);
         let inst = crate::instance::TieraInstance::build(cfg, ScaledClock::shared(100.0)).unwrap();
-        let engine = InstanceEngine::start(inst);
+        let engine = InstanceEngine::start(inst).unwrap();
         assert_eq!(engine.threads.len(), 0);
         engine.shutdown();
     }
@@ -196,7 +196,7 @@ mod tests {
         let clock = ScaledClock::shared(6_000_000.0);
         let inst = crate::instance::TieraInstance::build(cfg, clock).unwrap();
         inst.put("c", Bytes::from_static(b"soon cold")).unwrap();
-        let engine = InstanceEngine::start(inst.clone());
+        let engine = InstanceEngine::start(inst.clone()).unwrap();
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(3);
         let migrated = loop {
             let loc = inst

@@ -19,7 +19,6 @@ use crate::metastore::MetaStore;
 use crate::object::{storage_key, VersionId, VersionMeta};
 use crate::transform;
 use bytes::Bytes;
-use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -27,6 +26,7 @@ use wiera_net::Region;
 use wiera_policy::compile::{
     Action, CondValue, Condition, Env, EnvValue, EventKind, Rule, Selector, Target, TierLayout,
 };
+use wiera_sim::lockreg::TrackedMutex;
 use wiera_sim::{SharedClock, SimDuration, SimInstant, SimRng};
 use wiera_tiers::{SimTier, TierError, TierKind, TierSpec};
 
@@ -219,9 +219,9 @@ pub struct TieraInstance {
     tiers: Vec<(String, TierHandle)>,
     meta: MetaStore,
     /// Edge-trigger memory for tier-filled rules (rule index → armed).
-    filled_armed: Mutex<HashMap<usize, bool>>,
+    filled_armed: TrackedMutex<HashMap<usize, bool>>,
     pub stats: InstanceStats,
-    rng: Mutex<SimRng>,
+    rng: TrackedMutex<SimRng>,
 }
 
 impl TieraInstance {
@@ -245,13 +245,13 @@ impl TieraInstance {
             let tier = SimTier::new(TierSpec::of(kind), capacity, clock.clone(), seed);
             tiers.push((layout.label.clone(), TierHandle::Local(tier)));
         }
-        let rng = Mutex::new(SimRng::new(config.seed).child(&config.name));
+        let rng = TrackedMutex::new("inst.rng", SimRng::new(config.seed).child(&config.name));
         Ok(Arc::new(TieraInstance {
             config,
             clock,
             tiers,
             meta: MetaStore::new(),
-            filled_armed: Mutex::new(HashMap::new()),
+            filled_armed: TrackedMutex::new("inst.filled_armed", HashMap::new()),
             stats: InstanceStats::default(),
             rng,
         }))
@@ -295,9 +295,9 @@ impl TieraInstance {
             clock: self.clock.clone(),
             tiers,
             meta: MetaStore::new(),
-            filled_armed: Mutex::new(HashMap::new()),
+            filled_armed: TrackedMutex::new("inst.filled_armed", HashMap::new()),
             stats: InstanceStats::default(),
-            rng: Mutex::new(SimRng::new(self.config.seed).child("mounted")),
+            rng: TrackedMutex::new("inst.rng", SimRng::new(self.config.seed).child("mounted")),
         })
     }
 
@@ -688,7 +688,7 @@ impl TieraInstance {
         ordered.sort_by(|a, b| {
             let la = self.tier(a).map(|h| h.typical_get_ms()).unwrap_or(f64::MAX);
             let lb = self.tier(b).map(|h| h.typical_get_ms()).unwrap_or(f64::MAX);
-            la.partial_cmp(&lb).unwrap()
+            la.total_cmp(&lb)
         });
 
         let skey = storage_key(key, version);
@@ -1115,7 +1115,7 @@ impl TieraInstance {
     }
 
     /// Deterministic per-instance RNG handle (used by the engine for jitter).
-    pub fn rng(&self) -> &Mutex<SimRng> {
+    pub fn rng(&self) -> &TrackedMutex<SimRng> {
         &self.rng
     }
 }

@@ -5,19 +5,26 @@
 //! byte image, which is what instance recovery needs from it.
 
 use crate::object::{ObjectMeta, VersionId, VersionMeta};
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use wiera_sim::lockreg::TrackedRwLock;
 use wiera_sim::SimInstant;
 
 /// Thread-safe metadata store for one instance.
-#[derive(Default)]
 pub struct MetaStore {
-    objects: RwLock<BTreeMap<String, ObjectMeta>>,
+    objects: TrackedRwLock<BTreeMap<String, ObjectMeta>>,
+}
+
+impl Default for MetaStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MetaStore {
     pub fn new() -> Self {
-        Self::default()
+        MetaStore {
+            objects: TrackedRwLock::new("tiera.metastore", BTreeMap::new()),
+        }
     }
 
     /// Run `f` over the object's metadata, creating the entry if absent.
@@ -96,7 +103,7 @@ impl MetaStore {
         let objects: BTreeMap<String, ObjectMeta> =
             serde_json::from_slice(image).map_err(|e| e.to_string())?;
         Ok(MetaStore {
-            objects: RwLock::new(objects),
+            objects: TrackedRwLock::new("tiera.metastore", objects),
         })
     }
 }

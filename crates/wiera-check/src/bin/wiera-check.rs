@@ -1,0 +1,233 @@
+//! `wiera-check` — runtime concurrency + consistency checking.
+//!
+//! ```text
+//! wiera-check [--json] [--deny-warnings] [--adversarial] [--scenario NAME]
+//! ```
+//!
+//! By default runs the canned scenario corpus: real multi-region clusters
+//! exercising the paper's three consistency protocols (plus outage and
+//! session-expiry fault injection), checked by the lock-order cycle
+//! detector and the consistency-history oracle. Findings print one per
+//! line (`WC001 deny -:- message`), or as a JSON array with `--json`.
+//!
+//! `--adversarial` runs the planted-bug self-test instead: every
+//! adversarial scenario must produce its expected WC codes, otherwise the
+//! checker itself has regressed.
+//!
+//! Exit status: `0` clean (or, under `--adversarial`, all plants detected),
+//! `1` gating findings (or a missed plant), `2` usage error.
+
+use std::process::ExitCode;
+use wiera_check::scenarios::{all_scenarios, run_scenario, ScenarioKind};
+use wiera_policy::diag::{worst_is_deny, Diagnostic, Severity};
+
+const USAGE: &str = "\
+usage: wiera-check [--json] [--deny-warnings] [--adversarial] [--scenario NAME]
+
+  --json           print findings as a JSON array instead of human text
+  --deny-warnings  exit non-zero on warnings too (notes never gate)
+  --adversarial    self-test: run the planted-bug scenarios and verify each
+                   expected WC code is reported
+  --scenario NAME  run a single scenario by name (corpus or adversarial)
+  --list           list scenarios and exit
+  --codes          list all WC diagnostic codes and exit
+";
+
+struct Options {
+    json: bool,
+    deny_warnings: bool,
+    adversarial: bool,
+    scenario: Option<String>,
+    list: bool,
+    codes: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        deny_warnings: false,
+        adversarial: false,
+        scenario: None,
+        list: false,
+        codes: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--adversarial" => opts.adversarial = true,
+            "--list" => opts.list = true,
+            "--codes" => opts.codes = true,
+            "--scenario" => {
+                opts.scenario = Some(
+                    it.next()
+                        .ok_or_else(|| "--scenario needs a name".to_string())?
+                        .clone(),
+                );
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("wiera-check: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.codes {
+        for code in wiera_policy::diag::ALL_CHECK_CODES {
+            println!("{}  {}", code.as_str(), code.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if opts.list {
+        for s in all_scenarios() {
+            println!(
+                "{:<24} [{}] {}",
+                s.name,
+                match s.kind {
+                    ScenarioKind::Corpus => "corpus",
+                    ScenarioKind::Adversarial => "adversarial",
+                },
+                s.describe
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<&'static str> = match (&opts.scenario, opts.adversarial) {
+        (Some(name), _) => {
+            if all_scenarios().iter().all(|s| s.name != *name) {
+                eprintln!("wiera-check: unknown scenario '{name}' (try --list)");
+                return ExitCode::from(2);
+            }
+            vec![all_scenarios()
+                .iter()
+                .find(|s| s.name == *name)
+                .map(|s| s.name)
+                .unwrap_or_default()]
+        }
+        (None, true) => all_scenarios()
+            .iter()
+            .filter(|s| s.kind == ScenarioKind::Adversarial)
+            .map(|s| s.name)
+            .collect(),
+        (None, false) => all_scenarios()
+            .iter()
+            .filter(|s| s.kind == ScenarioKind::Corpus)
+            .map(|s| s.name)
+            .collect(),
+    };
+
+    let mut gating = false;
+    let mut missed_plants = false;
+    let mut json_items: Vec<String> = Vec::new();
+    let mut counts = (0usize, 0usize, 0usize); // deny, warn, note
+    for name in &selected {
+        let Some(report) = run_scenario(name) else {
+            eprintln!("wiera-check: unknown scenario '{name}'");
+            return ExitCode::from(2);
+        };
+        let origin = format!("scenario:{name}");
+        let scenario = all_scenarios()
+            .iter()
+            .find(|s| s.name == *name)
+            .unwrap_or(&all_scenarios()[0]);
+        match report.kind {
+            ScenarioKind::Corpus => {
+                gating |= worst_is_deny(&report.diags, opts.deny_warnings);
+            }
+            ScenarioKind::Adversarial => {
+                if !report.detected_all(scenario.expect) {
+                    missed_plants = true;
+                    eprintln!(
+                        "wiera-check: scenario '{name}' FAILED to report {:?}",
+                        scenario.expect
+                    );
+                }
+            }
+        }
+        for d in &report.diags {
+            match d.severity {
+                Severity::Deny => counts.0 += 1,
+                Severity::Warn => counts.1 += 1,
+                Severity::Note => counts.2 += 1,
+            }
+            if opts.json {
+                json_items.push(diag_json(&origin, d));
+            } else {
+                println!("{origin}: {}", d.compact());
+                for note in &d.notes {
+                    println!("  note: {note}");
+                }
+            }
+        }
+        if report.kind == ScenarioKind::Adversarial && !opts.json {
+            println!(
+                "{origin}: planted {:?} {}",
+                scenario.expect,
+                if report.detected_all(scenario.expect) {
+                    "detected"
+                } else {
+                    "MISSED"
+                }
+            );
+        }
+    }
+
+    if opts.json {
+        println!("[{}]", json_items.join(","));
+    } else {
+        let (deny, warn, note) = counts;
+        println!(
+            "{} scenario{} checked: {deny} deny, {warn} warning{}, {note} note{}",
+            selected.len(),
+            if selected.len() == 1 { "" } else { "s" },
+            if warn == 1 { "" } else { "s" },
+            if note == 1 { "" } else { "s" },
+        );
+    }
+
+    if gating || missed_plants {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The diagnostic's own JSON with the scenario origin spliced in.
+fn diag_json(origin: &str, d: &Diagnostic) -> String {
+    let body = d.to_json();
+    let rest = body.strip_prefix('{').unwrap_or(&body);
+    format!("{{\"origin\":{},{rest}", json_escape(origin))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,38 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+//! Runtime correctness checker for the Wiera reproduction.
+//!
+//! wiera-lint (PR 2) verifies policies *before* they run; this crate checks
+//! the *runtime* that executes them, in two complementary ways:
+//!
+//! * [`lockdiag`] — turns the lock-order graph recorded by
+//!   [`wiera_sim::lockreg`] (every `TrackedMutex`/`TrackedRwLock` acquisition
+//!   in `wiera-coord`, `wiera` and `tiera` feeds it) into structured WC0xx
+//!   diagnostics: Tarjan-SCC cycles are *potential* deadlocks (WC001,
+//!   TSan-style — ABBA is reported even if the two orders never interleaved),
+//!   same-class nesting is WC002, release imbalance is WC003.
+//! * [`history`] — a consistency-history oracle. Replicas record
+//!   `put`/`get`/`replicate_apply` events on the modeled-time axis through
+//!   the [`wiera_sim::Tracer`]; the oracle replays that history against the
+//!   policy's *deduced* [`wiera_policy::ConsistencyModel`]: a Wing–Gong-style
+//!   interval linearizability check for `PrimaryBackup {{ sync: true }}` and
+//!   locked `MultiPrimaries` (WC010), read-your-writes (WC011) plus eventual
+//!   convergence (WC012) for `Eventual`.
+//! * [`scenarios`] — a canned corpus of whole-cluster scenarios (including
+//!   outage and session-expiry fault injection) that must check clean, and
+//!   adversarial scenarios with *planted* bugs (an ABBA deadlock, a stale
+//!   read under sync primary-backup) that the checker must flag — the
+//!   self-test that keeps the oracle honest.
+//!
+//! The `wiera-check` binary mirrors `wiera-lint`'s UX: `--json`,
+//! `--deny-warnings`, exit status `0` clean / `1` gating findings / `2`
+//! usage error. Diagnostics reuse `wiera_policy::diag` (stable codes,
+//! severities, JSON); the caret renderer is meaningless here — sites are
+//! source locations captured by `#[track_caller]`, carried in notes.
+
+pub mod history;
+pub mod lockdiag;
+pub mod scenarios;
+
+pub use history::{check_history, extract_history, HistoryEvent, HistoryKind};
+pub use lockdiag::registry_diagnostics;
+pub use scenarios::{all_scenarios, run_scenario, Scenario, ScenarioKind, ScenarioReport};

@@ -1,0 +1,118 @@
+//! Lock-order graph → WC00x diagnostics.
+//!
+//! The heavy lifting (edge recording, Tarjan SCC) lives in
+//! [`wiera_sim::lockreg`]; this module only renders its reports as the
+//! stable diagnostics the CLI and CI consume. Messages carry class names
+//! and shape only — acquisition sites (file:line, captured by
+//! `#[track_caller]`) go into notes, so golden files don't churn when
+//! unrelated code moves.
+
+use wiera_policy::diag::{Code, Diagnostic};
+use wiera_sim::lockreg::LockRegistry;
+
+/// All findings the given registry currently implies.
+///
+/// * WC001 (deny) — one diagnostic per strongly connected component of the
+///   lock-order graph: a potential deadlock, even if never interleaved.
+/// * WC002 (warn) — two distinct instances of one class held at once with
+///   no intra-class order.
+/// * WC003 (warn) — a replayed release with no matching acquisition.
+pub fn registry_diagnostics(registry: &LockRegistry) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    for cycle in registry.cycles() {
+        let mut d = Diagnostic::deny(
+            Code::Wc001,
+            format!(
+                "lock-order cycle among {{{}}} ({} edge{})",
+                cycle.classes.join(", "),
+                cycle.edges.len(),
+                if cycle.edges.len() == 1 { "" } else { "s" },
+            ),
+        );
+        for e in &cycle.edges {
+            d = d.with_note(format!(
+                "{} (held at {}) -> {} (acquired at {})",
+                e.from, e.held_site, e.to, e.acquire_site
+            ));
+        }
+        d = d.with_note(
+            "two threads taking these classes in opposing orders can deadlock \
+             even if this run never interleaved them",
+        );
+        out.push(d);
+    }
+
+    let snap = registry.snapshot();
+    for sc in &snap.same_class {
+        out.push(
+            Diagnostic::warn(
+                Code::Wc002,
+                format!(
+                    "two instances of lock class '{}' held by one thread",
+                    sc.class
+                ),
+            )
+            .with_note(format!(
+                "first held at {}, second acquired at {}",
+                sc.held_site, sc.acquire_site
+            ))
+            .with_note("distinct instances of one class have no recorded order; acquire them in a global order (e.g. by address) or merge them"),
+        );
+    }
+    for imb in &snap.imbalances {
+        out.push(
+            Diagnostic::warn(
+                Code::Wc003,
+                format!("release of '{}' without a matching acquire", imb.class),
+            )
+            .with_note(imb.detail.clone()),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiera_policy::diag::Severity;
+
+    #[test]
+    fn cycle_renders_as_wc001_deny() {
+        let reg = LockRegistry::new();
+        reg.replay_acquire("t.a", 0, "x:1");
+        reg.replay_acquire("t.b", 0, "x:2");
+        reg.replay_release("t.b", 0);
+        reg.replay_release("t.a", 0);
+        reg.replay_acquire("t.b", 0, "x:3");
+        reg.replay_acquire("t.a", 0, "x:4");
+        reg.replay_release("t.a", 0);
+        reg.replay_release("t.b", 0);
+        let diags = registry_diagnostics(&reg);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::Wc001);
+        assert_eq!(diags[0].severity, Severity::Deny);
+        assert!(diags[0].message.contains("t.a"));
+        assert!(diags[0].message.contains("t.b"));
+        assert!(!diags[0].message.contains("x:1"), "sites belong in notes");
+    }
+
+    #[test]
+    fn clean_registry_has_no_findings() {
+        let reg = LockRegistry::new();
+        reg.replay_acquire("t.a", 0, "x:1");
+        reg.replay_acquire("t.b", 0, "x:2");
+        reg.replay_release("t.b", 0);
+        reg.replay_release("t.a", 0);
+        assert!(registry_diagnostics(&reg).is_empty());
+    }
+
+    #[test]
+    fn imbalance_renders_as_wc003() {
+        let reg = LockRegistry::new();
+        reg.replay_release("t.z", 0);
+        let diags = registry_diagnostics(&reg);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::Wc003);
+    }
+}

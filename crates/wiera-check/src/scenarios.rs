@@ -1,0 +1,548 @@
+//! Canned scenario corpus + adversarial self-tests.
+//!
+//! Each *corpus* scenario stands up a real multi-region cluster (the same
+//! harness the system tests use), runs a workload under one of the paper's
+//! three consistency protocols — including outage and session-expiry fault
+//! injection — and hands the recorded history plus the global lock-order
+//! graph to the checkers. The corpus must come back clean: any finding here
+//! is a real (or conservatively-possible) defect in the runtime.
+//!
+//! The *adversarial* scenarios are the converse: each plants a known bug —
+//! an ABBA lock-order cycle acquired by two non-overlapping threads, a
+//! stale read slipped into a sync primary-backup history — and declares the
+//! WC code the checker must produce. `wiera-check --adversarial` fails if
+//! any plant goes undetected, which keeps the oracle itself honest.
+//!
+//! Scenarios share process-global state (the [`Tracer`], the
+//! [`LockRegistry`], wall-clock timing), so [`run_scenario`] serializes
+//! them behind one mutex.
+
+use bytes::Bytes;
+use std::sync::Arc;
+use wiera::deployment::DeploymentConfig;
+use wiera::testkit::{bodies, Cluster};
+use wiera_coord::{CoordClient, CoordConfig};
+use wiera_net::{NodeId, Region};
+use wiera_policy::compile::deduce_consistency;
+use wiera_policy::diag::{sort_diagnostics, Code, Diagnostic};
+use wiera_policy::ConsistencyModel;
+use wiera_sim::lockreg::{LockRegistry, TrackedMutex};
+use wiera_sim::{TraceEvent, Tracer};
+
+use crate::history::{check_history, extract_history};
+use crate::lockdiag::registry_diagnostics;
+
+/// Whether a scenario is expected to be clean or to trip the checker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Part of the canned corpus: zero findings expected.
+    Corpus,
+    /// Contains a planted bug: the listed codes MUST be reported.
+    Adversarial,
+}
+
+/// A runnable check scenario.
+pub struct Scenario {
+    pub name: &'static str,
+    pub kind: ScenarioKind,
+    pub describe: &'static str,
+    /// Codes that must appear in the report (adversarial only).
+    pub expect: &'static [Code],
+    run: fn() -> Vec<Diagnostic>,
+}
+
+/// The outcome of one scenario run.
+pub struct ScenarioReport {
+    pub name: &'static str,
+    pub kind: ScenarioKind,
+    pub diags: Vec<Diagnostic>,
+}
+
+impl ScenarioReport {
+    /// For adversarial scenarios: were all planted bugs detected?
+    pub fn detected_all(&self, expect: &[Code]) -> bool {
+        expect
+            .iter()
+            .all(|c| self.diags.iter().any(|d| d.code == *c))
+    }
+}
+
+/// Every scenario, corpus first — the order the CLI runs them in.
+pub fn all_scenarios() -> &'static [Scenario] {
+    &[
+        Scenario {
+            name: "eventual-two-regions",
+            kind: ScenarioKind::Corpus,
+            describe: "eventual consistency over two regions: local writes, \
+                       queued distribution, convergence after quiescence",
+            expect: &[],
+            run: run_eventual_two_regions,
+        },
+        Scenario {
+            name: "primary-backup-sync",
+            kind: ScenarioKind::Corpus,
+            describe: "sync primary-backup: forwarded writes from the backup \
+                       region, linearizability of the recorded history",
+            expect: &[],
+            run: run_primary_backup_sync,
+        },
+        Scenario {
+            name: "multi-primaries-locked",
+            kind: ScenarioKind::Corpus,
+            describe: "multi-primaries: writes from both regions under the \
+                       global coordination lock, linearizability",
+            expect: &[],
+            run: run_multi_primaries,
+        },
+        Scenario {
+            name: "pb-outage",
+            kind: ScenarioKind::Corpus,
+            describe: "sync primary-backup with a backup-region partition \
+                       injected and healed mid-run",
+            expect: &[],
+            run: run_pb_outage,
+        },
+        Scenario {
+            name: "session-expiry",
+            kind: ScenarioKind::Corpus,
+            describe: "multi-primaries workload while a hung coordination \
+                       session expires and its lock is re-granted",
+            expect: &[],
+            run: run_session_expiry,
+        },
+        Scenario {
+            name: "adv-abba-deadlock",
+            kind: ScenarioKind::Adversarial,
+            describe: "planted ABBA: two threads take two tracked locks in \
+                       opposing orders without ever interleaving",
+            expect: &[Code::Wc001],
+            run: run_adv_abba,
+        },
+        Scenario {
+            name: "adv-stale-read-pb-sync",
+            kind: ScenarioKind::Adversarial,
+            describe: "planted stale read in a sync primary-backup history",
+            expect: &[Code::Wc010],
+            run: run_adv_stale_read,
+        },
+    ]
+}
+
+/// Run one scenario by name. Serialized: scenarios share the global tracer,
+/// the global lock registry and wall-clock timing.
+pub fn run_scenario(name: &str) -> Option<ScenarioReport> {
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let scenario = all_scenarios().iter().find(|s| s.name == name)?;
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut diags = (scenario.run)();
+    sort_diagnostics(&mut diags);
+    Some(ScenarioReport {
+        name: scenario.name,
+        kind: scenario.kind,
+        diags,
+    })
+}
+
+// ---- shared plumbing -------------------------------------------------------
+
+/// Wall-clock pause that lets in-flight mesh deliveries and queued
+/// replication drain. On the modeled axis this is a *long* quiescent gap
+/// (wall ms × time-scale), which is what separates the write and read
+/// phases for the interval checks.
+fn quiesce(wall_ms: u64) {
+    std::thread::sleep(std::time::Duration::from_millis(wall_ms));
+}
+
+/// Policy source in the shape of `Cluster::register_policy_over`, kept
+/// here too so the scenario can *compile* it and deduce the model the
+/// oracle checks against (the integration the tentpole asks for).
+fn policy_src(id: &str, regions: &[(&str, bool)], body: &str) -> String {
+    let mut src = format!("Wiera {}() {{\n", id.replace('-', "_"));
+    for (i, (region, primary)) in regions.iter().enumerate() {
+        let primary_attr = if *primary { ", primary:True" } else { "" };
+        src.push_str(&format!(
+            "  Region{n} = {{name:LowLatencyInstance, region:{region}{primary_attr},\n    \
+             tier1 = {{name:LocalMemory, size=5G}},\n    \
+             tier2 = {{name:LocalDisk, size=5G}} }}\n",
+            n = i + 1,
+        ));
+    }
+    src.push_str(body);
+    src.push_str("\n}\n");
+    src
+}
+
+fn deduced_model(src: &str) -> Option<ConsistencyModel> {
+    let spec = wiera_policy::parse(src).ok()?;
+    let compiled = wiera_policy::compile::compile(&spec).ok()?;
+    deduce_consistency(&compiled.rules)
+}
+
+struct Bench {
+    cluster: Cluster,
+    dep: Arc<wiera::deployment::WieraDeployment>,
+    model: Option<ConsistencyModel>,
+}
+
+/// Stand up a cluster, register + start the policy, and reset the global
+/// tracer and lock registry so the report covers exactly this scenario.
+fn bench(
+    id: &str,
+    regions: &[Region],
+    layout: &[(&str, bool)],
+    body: &str,
+    time_scale: f64,
+) -> Result<Bench, String> {
+    Tracer::global().clear();
+    LockRegistry::global().reset();
+    let cluster = Cluster::launch(regions, time_scale, 7);
+    let src = policy_src(id, layout, body);
+    cluster.controller.register_policy(id, &src)?;
+    let dep = cluster
+        .controller
+        .start_instances(id, id, DeploymentConfig::default())?;
+    let model = deduced_model(&src);
+    Ok(Bench {
+        cluster,
+        dep,
+        model,
+    })
+}
+
+/// Shut the cluster down, then run both checkers over what was recorded.
+fn collect(b: Bench, extra: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    // Stop traffic sources before reading the trace so the history is
+    // complete and the lock graph stops growing.
+    b.dep.stop_all();
+    b.cluster.shutdown();
+    quiesce(20);
+
+    let events: Vec<TraceEvent> = Tracer::global().events();
+    let (history, mut diags) = extract_history(&events);
+    diags.extend(check_history(&history, b.model));
+    // Scenario workloads always record puts and gets; an empty history here
+    // means the instrumentation broke, so the WC013 note stands.
+    diags.extend(registry_diagnostics(LockRegistry::global()));
+    diags.extend(extra);
+    diags
+}
+
+fn err_diag(context: &str, e: impl std::fmt::Display) -> Vec<Diagnostic> {
+    vec![Diagnostic::note(
+        Code::Wc013,
+        format!("scenario could not run to completion ({context}: {e}); history unchecked"),
+    )]
+}
+
+fn app(region: Region, name: &str) -> NodeId {
+    NodeId::new(region, name)
+}
+
+// ---- corpus ----------------------------------------------------------------
+
+fn run_eventual_two_regions() -> Vec<Diagnostic> {
+    let b = match bench(
+        "chk-eventual",
+        &[Region::UsEast, Region::EuWest],
+        &[("US-East", true), ("EU-West", false)],
+        bodies::EVENTUAL,
+        2000.0,
+    ) {
+        Ok(b) => b,
+        Err(e) => return err_diag("launch", e),
+    };
+    let east = app(Region::UsEast, "app-e");
+    let west = app(Region::EuWest, "app-w");
+    // Independent keys from each side (concurrent same-key eventual writers
+    // collide on locally-assigned versions — legal, but then the history
+    // carries no convergence signal worth asserting on).
+    for i in 0..3 {
+        if let Err(e) = b
+            .dep
+            .put_from(&east, &format!("e{i}"), Bytes::from(vec![i as u8; 64]))
+        {
+            return collect(b, err_diag("put east", e));
+        }
+        if let Err(e) = b.dep.put_from(
+            &west,
+            &format!("w{i}"),
+            Bytes::from(vec![0x80 | i as u8; 64]),
+        ) {
+            return collect(b, err_diag("put west", e));
+        }
+    }
+    // Overwrite one key twice from its home node: exercises read-your-writes.
+    let _ = b.dep.put_from(&east, "e0", Bytes::from(vec![0xEE; 64]));
+    quiesce(80); // let the queued updates distribute
+    for key in ["e0", "e1", "w0"] {
+        if let Err(e) = b.dep.get_from(&east, key) {
+            return collect(b, err_diag("get east", e));
+        }
+        if let Err(e) = b.dep.get_from(&west, key) {
+            return collect(b, err_diag("get west", e));
+        }
+    }
+    collect(b, Vec::new())
+}
+
+fn run_primary_backup_sync() -> Vec<Diagnostic> {
+    let b = match bench(
+        "chk-pb-sync",
+        &[Region::UsEast, Region::UsWest],
+        &[("US-East", true), ("US-West", false)],
+        bodies::PRIMARY_BACKUP_SYNC,
+        2000.0,
+    ) {
+        Ok(b) => b,
+        Err(e) => return err_diag("launch", e),
+    };
+    let east = app(Region::UsEast, "app-e");
+    let west = app(Region::UsWest, "app-w");
+    // Writes from the primary side and the backup side (the latter are
+    // forwarded, recording nested put spans that must merge cleanly).
+    for (i, writer) in [&east, &west, &east, &west].iter().enumerate() {
+        if let Err(e) = b.dep.put_from(writer, "k", Bytes::from(vec![i as u8; 128])) {
+            return collect(b, err_diag("put", e));
+        }
+        quiesce(15);
+    }
+    quiesce(40);
+    for reader in [&east, &west] {
+        if let Err(e) = b.dep.get_from(reader, "k") {
+            return collect(b, err_diag("get", e));
+        }
+    }
+    collect(b, Vec::new())
+}
+
+fn run_multi_primaries() -> Vec<Diagnostic> {
+    let b = match bench(
+        "chk-mp",
+        &[Region::UsEast, Region::EuWest],
+        &[("US-East", true), ("EU-West", false)],
+        bodies::MULTI_PRIMARIES,
+        2000.0,
+    ) {
+        Ok(b) => b,
+        Err(e) => return err_diag("launch", e),
+    };
+    let east = app(Region::UsEast, "app-e");
+    let west = app(Region::EuWest, "app-w");
+    for (i, writer) in [&east, &west, &west, &east].iter().enumerate() {
+        if let Err(e) = b
+            .dep
+            .put_from(writer, "m", Bytes::from(vec![0x10 + i as u8; 96]))
+        {
+            return collect(b, err_diag("put", e));
+        }
+        quiesce(10);
+    }
+    quiesce(40);
+    for reader in [&east, &west] {
+        if let Err(e) = b.dep.get_from(reader, "m") {
+            return collect(b, err_diag("get", e));
+        }
+    }
+    collect(b, Vec::new())
+}
+
+fn run_pb_outage() -> Vec<Diagnostic> {
+    let b = match bench(
+        "chk-pb-outage",
+        &[Region::UsEast, Region::AsiaEast],
+        &[("US-East", true), ("Asia-East", false)],
+        bodies::PRIMARY_BACKUP_SYNC,
+        2000.0,
+    ) {
+        Ok(b) => b,
+        Err(e) => return err_diag("launch", e),
+    };
+    let east = app(Region::UsEast, "app-e");
+    let asia = app(Region::AsiaEast, "app-a");
+    if let Err(e) = b.dep.put_from(&east, "o", Bytes::from(vec![1u8; 128])) {
+        return collect(b, err_diag("put pre-outage", e));
+    }
+    quiesce(30);
+    // Outage: cut the backup region off, read at the primary meanwhile.
+    b.cluster.fabric.set_partitioned(Region::AsiaEast, true);
+    quiesce(20);
+    if let Err(e) = b.dep.get_from(&east, "o") {
+        b.cluster.fabric.clear_all_dynamics();
+        return collect(b, err_diag("get during outage", e));
+    }
+    // Heal, then write again and read everywhere.
+    b.cluster.fabric.clear_all_dynamics();
+    quiesce(30);
+    if let Err(e) = b.dep.put_from(&east, "o", Bytes::from(vec![2u8; 128])) {
+        return collect(b, err_diag("put post-heal", e));
+    }
+    quiesce(40);
+    for reader in [&east, &asia] {
+        if let Err(e) = b.dep.get_from(reader, "o") {
+            return collect(b, err_diag("get post-heal", e));
+        }
+    }
+    collect(b, Vec::new())
+}
+
+fn run_session_expiry() -> Vec<Diagnostic> {
+    let b = match bench(
+        "chk-expiry",
+        &[Region::UsEast, Region::UsWest],
+        &[("US-East", true), ("US-West", false)],
+        bodies::MULTI_PRIMARIES,
+        1000.0,
+    ) {
+        Ok(b) => b,
+        Err(e) => return err_diag("launch", e),
+    };
+    let east = app(Region::UsEast, "app-e");
+    let west = app(Region::UsWest, "app-w");
+    if let Err(e) = b.dep.put_from(&east, "s", Bytes::from(vec![7u8; 64])) {
+        return collect(b, err_diag("put", e));
+    }
+
+    // A side session takes an unrelated coordination lock and hangs; its
+    // session must expire and the queued waiter must be promoted while the
+    // data workload keeps running.
+    let cfg = CoordConfig::default();
+    let hung = match CoordClient::connect(
+        b.cluster.coord_mesh.clone(),
+        NodeId::new(Region::UsWest, "chk-hung"),
+        b.cluster.coord.node.clone(),
+        &cfg,
+    ) {
+        Ok(c) => c,
+        Err(e) => return collect(b, err_diag("coord connect", e)),
+    };
+    let waiter = match CoordClient::connect(
+        b.cluster.coord_mesh.clone(),
+        NodeId::new(Region::UsEast, "chk-waiter"),
+        b.cluster.coord.node.clone(),
+        &cfg,
+    ) {
+        Ok(c) => c,
+        Err(e) => return collect(b, err_diag("coord connect", e)),
+    };
+    let held = match hung.lock("/chk/expiry") {
+        Ok((g, _)) => g,
+        Err(e) => return collect(b, err_diag("coord lock", e)),
+    };
+    hung.pause_heartbeats();
+    std::mem::forget(held); // the hung holder never releases
+    let promoted = match waiter.lock("/chk/expiry") {
+        Ok((g, _)) => g,
+        Err(e) => return collect(b, err_diag("waiter lock", e)),
+    };
+    drop(promoted);
+
+    // The data path must be unaffected by the coord-session churn.
+    if let Err(e) = b.dep.put_from(&west, "s", Bytes::from(vec![8u8; 64])) {
+        return collect(b, err_diag("put post-expiry", e));
+    }
+    quiesce(40);
+    for reader in [&east, &west] {
+        if let Err(e) = b.dep.get_from(reader, "s") {
+            return collect(b, err_diag("get", e));
+        }
+    }
+    collect(b, Vec::new())
+}
+
+// ---- adversarial -----------------------------------------------------------
+
+fn run_adv_abba() -> Vec<Diagnostic> {
+    // Scoped registry: the plant must not leak WC001 into corpus runs.
+    let reg = LockRegistry::new();
+    let a = Arc::new(TrackedMutex::new_in(&reg, "adv.lock-a", 0u32));
+    let b = Arc::new(TrackedMutex::new_in(&reg, "adv.lock-b", 0u32));
+
+    // Thread 1: a → b. Thread 2 (started only after 1 finished, so the
+    // orders never interleave): b → a. A dynamic detector would see
+    // nothing; the order graph still has the cycle.
+    let (a1, b1) = (a.clone(), b.clone());
+    let t1 = std::thread::spawn(move || {
+        let ga = a1.lock();
+        let gb = b1.lock();
+        drop(gb);
+        drop(ga);
+    });
+    let _ = t1.join();
+    let t2 = std::thread::spawn(move || {
+        let gb = b.lock();
+        let ga = a.lock();
+        drop(ga);
+        drop(gb);
+    });
+    let _ = t2.join();
+
+    registry_diagnostics(&reg)
+}
+
+fn run_adv_stale_read() -> Vec<Diagnostic> {
+    // A synthetic history in the exact format the replicas record, checked
+    // against the model deduced from the real sync primary-backup policy.
+    let model = deduced_model(&policy_src(
+        "adv-pb",
+        &[("US-East", true), ("US-West", false)],
+        bodies::PRIMARY_BACKUP_SYNC,
+    ));
+    let span = |t: u64, dur: u64, op: &str, node: &str, ver: u64, val: u64| TraceEvent {
+        t_us: t,
+        subsystem: "history".into(),
+        op: op.into(),
+        region: None,
+        node: Some(node.into()),
+        dur_us: Some(dur),
+        detail: Some(format!("key=k ver={ver} val={val:016x}")),
+    };
+    let events = vec![
+        span(0, 100_000, "put", "primary", 1, 0xaaaa),
+        span(50_000, 1_000, "replicate_apply", "backup", 1, 0xaaaa),
+        span(200_000, 100_000, "put", "primary", 2, 0xbbbb),
+        // The v2 replicate never lands at the backup, and the backup then
+        // serves v1 after v2's write completed: a stale read.
+        span(400_000, 10_000, "get", "backup", 1, 0xaaaa),
+    ];
+    let (history, mut diags) = extract_history(&events);
+    diags.extend(check_history(&history, model));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversarial_abba_is_detected() {
+        let report = run_scenario("adv-abba-deadlock").unwrap();
+        assert!(
+            report.detected_all(&[Code::Wc001]),
+            "planted ABBA not flagged: {:?}",
+            report.diags
+        );
+    }
+
+    #[test]
+    fn adversarial_stale_read_is_detected() {
+        let report = run_scenario("adv-stale-read-pb-sync").unwrap();
+        assert!(
+            report.detected_all(&[Code::Wc010]),
+            "planted stale read not flagged: {:?}",
+            report.diags
+        );
+        assert!(report
+            .diags
+            .iter()
+            .any(|d| d.message.contains("stale read")));
+    }
+
+    #[test]
+    fn scenario_names_are_unique_and_resolvable() {
+        let mut names: Vec<&str> = all_scenarios().iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all_scenarios().len());
+        assert!(run_scenario("no-such-scenario").is_none());
+    }
+}

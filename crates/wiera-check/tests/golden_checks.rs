@@ -1,0 +1,82 @@
+//! Golden-file tests for the checker's scenario reports.
+//!
+//! Every scenario in [`wiera_check::all_scenarios`] is run and its findings
+//! — one [`compact`] line per diagnostic, message only (acquisition sites
+//! live in notes precisely so these files don't churn when unrelated code
+//! moves) — are compared byte-for-byte against
+//! `tests/golden/<scenario>.expected`. Corpus scenarios therefore pin the
+//! acceptance criterion *zero findings on the canned corpus*: their
+//! expected files are empty. Regenerate after an intentional change with:
+//!
+//! ```text
+//! WIERA_BLESS=1 cargo test -p wiera-check --test golden_checks
+//! ```
+//!
+//! [`compact`]: wiera_policy::diag::Diagnostic::compact
+
+use std::path::{Path, PathBuf};
+use wiera_check::scenarios::{all_scenarios, run_scenario, ScenarioKind};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn scenario_reports_match_golden() {
+    let bless = std::env::var_os("WIERA_BLESS").is_some();
+    if bless {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+    }
+    let mut mismatches = Vec::new();
+    for scenario in all_scenarios() {
+        let report = run_scenario(scenario.name).expect("scenario resolves");
+        let mut got = String::new();
+        for d in &report.diags {
+            got.push_str(&d.compact());
+            got.push('\n');
+        }
+        if scenario.kind == ScenarioKind::Adversarial {
+            assert!(
+                report.detected_all(scenario.expect),
+                "{}: planted bug not detected: {:?}",
+                scenario.name,
+                report.diags
+            );
+        }
+        let expected_path = golden_dir().join(format!("{}.expected", scenario.name));
+        if bless {
+            std::fs::write(&expected_path, &got).expect("write expected");
+            continue;
+        }
+        let want = std::fs::read_to_string(&expected_path).unwrap_or_default();
+        if got != want {
+            mismatches.push(format!(
+                "== {} ==\n--- expected ---\n{want}--- got ---\n{got}",
+                scenario.name
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "scenario reports diverged (run with WIERA_BLESS=1 to regenerate):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+/// The acceptance bar, stated directly: every corpus scenario is clean at
+/// every severity, independent of what the golden files say.
+#[test]
+fn corpus_scenarios_are_clean() {
+    for scenario in all_scenarios()
+        .iter()
+        .filter(|s| s.kind == ScenarioKind::Corpus)
+    {
+        let report = run_scenario(scenario.name).expect("scenario resolves");
+        assert!(
+            report.diags.is_empty(),
+            "{}: expected a clean run, got: {:#?}",
+            scenario.name,
+            report.diags.iter().map(|d| d.compact()).collect::<Vec<_>>()
+        );
+    }
+}

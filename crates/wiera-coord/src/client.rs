@@ -95,7 +95,7 @@ impl CoordClient {
                         );
                     }
                 })
-                .expect("spawn heartbeat");
+                .map_err(|e| CoordError::Protocol(format!("cannot spawn heartbeat thread: {e}")))?;
         }
         Ok(Arc::new(CoordClient {
             mesh,
@@ -258,14 +258,17 @@ pub struct LockGuard {
 }
 
 impl LockGuard {
-    pub fn path(&self) -> &str {
-        self.path.as_deref().expect("live guard has a path")
+    /// Path this guard holds, or `None` once the lock has been released.
+    pub fn path(&self) -> Option<&str> {
+        self.path.as_deref()
     }
 
     /// Release synchronously, returning the modeled cost.
     pub fn release_sync(mut self) -> Result<SimDuration, CoordError> {
-        let path = self.path.take().expect("guard not yet released");
-        self.client.unlock_sync(&path)
+        match self.path.take() {
+            Some(path) => self.client.unlock_sync(&path),
+            None => Err(CoordError::Rejected("guard already released".into())),
+        }
     }
 }
 

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Coordination service — the ZooKeeper + Curator stand-in.
 //!
 //! Wiera relies on ZooKeeper (accessed through Curator's lock recipe) for the

@@ -6,11 +6,12 @@
 //! remote processing time so callers account it into their put latency.
 
 use crate::msg::CoordMsg;
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use wiera_net::{Delivery, Mesh, NodeId, ReplySlot};
+use wiera_sim::lockreg::TrackedMutex;
 use wiera_sim::{MetricsRegistry, SimDuration, SimInstant, Tracer};
 
 /// Tunables for the coordination service.
@@ -56,7 +57,7 @@ struct State {
 /// background threads (handler + sweeper) until [`CoordService::stop`].
 pub struct CoordService {
     pub node: NodeId,
-    state: Arc<Mutex<State>>,
+    state: Arc<TrackedMutex<State>>,
     stop: Arc<AtomicBool>,
 }
 
@@ -68,7 +69,7 @@ impl CoordService {
         node: NodeId,
         config: CoordConfig,
     ) -> Result<Arc<Self>, String> {
-        let state = Arc::new(Mutex::new(State::default()));
+        let state = Arc::new(TrackedMutex::new("coord.state", State::default()));
         let stop = Arc::new(AtomicBool::new(false));
         let next_session = Arc::new(AtomicU64::new(1));
 
@@ -82,7 +83,21 @@ impl CoordService {
                 .spawn(move || {
                     while !stop.load(Ordering::Acquire) {
                         match inbox.recv_timeout(std::time::Duration::from_millis(50)) {
-                            Ok(d) => Self::handle(&mesh, &state, &next_session, d),
+                            Ok(d) => {
+                                // A panic while serving one request must not
+                                // kill the handler thread (the service would
+                                // silently stop granting locks). The State
+                                // mutex is non-poisoning, so recovery here is
+                                // complete: the failed request's reply slot
+                                // drops (callers see an RPC timeout) and the
+                                // next request is served normally.
+                                let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                    Self::handle(&mesh, &state, &next_session, d)
+                                }));
+                                if r.is_err() {
+                                    MetricsRegistry::global().inc("coord_handler_recoveries", &[]);
+                                }
+                            }
                             Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
                             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
                         }
@@ -102,7 +117,15 @@ impl CoordService {
                     while !stop.load(Ordering::Acquire) {
                         clock.sleep(interval);
                         let now = clock.now();
-                        Self::expire_sessions(&state, now, timeout);
+                        // Same recovery rationale as the handler thread: a
+                        // sweeper that dies stops expiring sessions, which
+                        // leaks every lock whose holder hangs.
+                        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            Self::expire_sessions(&state, now, timeout);
+                        }));
+                        if r.is_err() {
+                            MetricsRegistry::global().inc("coord_sweeper_recoveries", &[]);
+                        }
                     }
                 })
                 .map_err(|e| format!("cannot spawn coord sweeper thread: {e}"))?;
@@ -116,6 +139,11 @@ impl CoordService {
     }
 
     /// Number of live sessions (for tests/observability).
+    ///
+    /// The `State` mutex is non-poisoning ([`TrackedMutex`] over the
+    /// parking_lot shim) and the handler/sweeper threads recover from
+    /// per-request panics, so this and the other getters can no longer
+    /// propagate a poisoned-lock panic to observers.
     pub fn session_count(&self) -> usize {
         self.state.lock().sessions.len()
     }
@@ -142,7 +170,7 @@ impl CoordService {
 
     fn handle(
         mesh: &Arc<Mesh<CoordMsg>>,
-        state: &Arc<Mutex<State>>,
+        state: &Arc<TrackedMutex<State>>,
         next_session: &Arc<AtomicU64>,
         d: Delivery<CoordMsg>,
     ) {
@@ -327,7 +355,7 @@ impl CoordService {
         }
     }
 
-    fn teardown_session(state: &Arc<Mutex<State>>, session: u64, now: SimInstant) {
+    fn teardown_session(state: &Arc<TrackedMutex<State>>, session: u64, now: SimInstant) {
         let mut s = state.lock();
         s.sessions.remove(&session);
         // Release all locks the session held.
@@ -358,7 +386,7 @@ impl CoordService {
         s.znodes.retain(|_, owner| *owner != Some(session));
     }
 
-    fn expire_sessions(state: &Arc<Mutex<State>>, now: SimInstant, timeout: SimDuration) {
+    fn expire_sessions(state: &Arc<TrackedMutex<State>>, now: SimInstant, timeout: SimDuration) {
         let expired: Vec<u64> = {
             let s = state.lock();
             s.sessions

@@ -1,0 +1,159 @@
+//! Lock-semantics invariants the consistency-history oracle assumes.
+//!
+//! wiera-check's linearizability argument for MultiPrimaries leans on two
+//! properties of the coordination service's global lock: grants are FIFO in
+//! queue order (so waiters can't starve or reorder), and an expired
+//! session's held lock is released with the next queued waiter promoted
+//! (so a crashed holder can't wedge the protocol). These tests pin both
+//! under more contenders than the unit tests use.
+
+use std::sync::Arc;
+use wiera_coord::{CoordClient, CoordConfig, CoordMsg, CoordService};
+use wiera_net::{Fabric, Mesh, NodeId, Region};
+use wiera_sim::{ScaledClock, SimDuration};
+
+/// Wall-clock timing (thread staggering, expiry sweeps) is involved, so the
+/// tests serialize against each other.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct Setup {
+    mesh: Arc<Mesh<CoordMsg>>,
+    service: Arc<CoordService>,
+    config: CoordConfig,
+}
+
+fn setup(scale: f64, config: CoordConfig) -> Setup {
+    let fabric = Arc::new(Fabric::multicloud(11).without_jitter());
+    let mesh = Mesh::new(fabric, ScaledClock::shared(scale));
+    let service = CoordService::spawn(
+        mesh.clone(),
+        NodeId::new(Region::UsEast, "zk"),
+        config.clone(),
+    )
+    .expect("coord service spawns");
+    Setup {
+        mesh,
+        service,
+        config,
+    }
+}
+
+fn client(s: &Setup, name: &str) -> Arc<CoordClient> {
+    CoordClient::connect(
+        s.mesh.clone(),
+        NodeId::new(Region::UsEast, name),
+        s.service.node.clone(),
+        &s.config,
+    )
+    .expect("client connects")
+}
+
+fn wait_waiters(s: &Setup, path: &str, n: usize, what: &str) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    while s.service.lock_waiters(path) < n {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting for {what}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+}
+
+/// Six sessions contend for one lock; each holder releases only after its
+/// successor is already queued. The grant order must equal the queue order
+/// — FIFO fairness, no barging, no starvation.
+#[test]
+fn fifo_fairness_under_n_contenders() {
+    let _serial = serial();
+    const N: usize = 6;
+    let s = setup(
+        4000.0,
+        CoordConfig {
+            // Generous: at high compression a descheduled heartbeat thread
+            // must not spuriously expire a healthy contender.
+            session_timeout: SimDuration::from_secs(3600),
+            sweep_interval: SimDuration::from_secs(10),
+        },
+    );
+    let holder = client(&s, "holder");
+    let (g0, _) = holder.lock("/fifo").expect("initial grant");
+
+    let grants: Arc<std::sync::Mutex<Vec<usize>>> = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for i in 0..N {
+        let c = client(&s, &format!("c{i}"));
+        let grants = grants.clone();
+        handles.push(std::thread::spawn(move || {
+            let (g, _) = c.lock("/fifo").expect("queued grant");
+            grants.lock().unwrap_or_else(|e| e.into_inner()).push(i);
+            // Hold briefly so the next grant is observably later.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            drop(g);
+        }));
+        // Wait until this contender is queued before starting the next, so
+        // the expected FIFO order is exactly 0..N.
+        wait_waiters(&s, "/fifo", i + 1, &format!("contender {i} to queue"));
+    }
+
+    drop(g0);
+    for h in handles {
+        h.join().expect("contender thread");
+    }
+    let order = grants.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    assert_eq!(
+        order,
+        (0..N).collect::<Vec<_>>(),
+        "grants must follow queue order"
+    );
+    // Guard drops release asynchronously; wait for the last one to land.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while s.service.lock_held("/fifo") {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "final async release never processed"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+}
+
+/// A holder whose session expires must lose the lock, and the waiter that
+/// was already queued behind it must be promoted — without any release
+/// message from the dead holder.
+#[test]
+fn session_expiry_promotes_queued_waiter() {
+    let _serial = serial();
+    let s = setup(
+        1000.0,
+        CoordConfig {
+            session_timeout: SimDuration::from_secs(30),
+            sweep_interval: SimDuration::from_secs(5),
+        },
+    );
+    let hung = client(&s, "hung");
+    let waiter = client(&s, "waiter");
+
+    let (g, _) = hung.lock("/promote").expect("initial grant");
+    // Queue the waiter while the lock is still healthily held.
+    let waiter2 = waiter.clone();
+    let promoted =
+        std::thread::spawn(move || waiter2.lock("/promote").expect("promoted after expiry"));
+    wait_waiters(&s, "/promote", 1, "waiter to queue");
+
+    // Now the holder hangs: heartbeats stop, the guard is never released.
+    hung.pause_heartbeats();
+    std::mem::forget(g);
+
+    let (g2, cost) = promoted.join().expect("waiter thread");
+    assert!(
+        cost > SimDuration::from_secs(10),
+        "promotion should happen via expiry, not an early release (cost {cost})"
+    );
+    assert!(s.service.lock_held("/promote"), "waiter now holds the lock");
+    g2.release_sync().expect("synchronous release");
+    assert!(!s.service.lock_held("/promote"));
+    assert_eq!(s.service.session_count(), 1, "hung session swept");
+}

@@ -140,6 +140,21 @@ pub enum Code {
     Wp016,
     /// Unrecognized event shape.
     Wp017,
+    // --- WC codes: runtime concurrency/consistency findings (wiera-check) ---
+    /// Lock-order cycle: potential ABBA deadlock in the runtime lock graph.
+    Wc001,
+    /// Two distinct locks of one class nested with no intra-class order.
+    Wc002,
+    /// Lock release with no matching acquisition on the releasing thread.
+    Wc003,
+    /// Recorded history violates linearizability under the deduced model.
+    Wc010,
+    /// Read-your-writes violation under eventual consistency.
+    Wc011,
+    /// Replicas failed to converge to one final value for a key.
+    Wc012,
+    /// History is incomplete or could not be checked against any model.
+    Wc013,
 }
 
 /// All codes the analyzer can emit, for documentation and golden tests.
@@ -164,6 +179,18 @@ pub const ALL_CODES: [Code; 18] = [
     Code::Wp017,
 ];
 
+/// All codes `wiera-check` can emit (runtime concurrency/consistency
+/// findings), kept separate from the policy-analyzer catalog above.
+pub const ALL_CHECK_CODES: [Code; 7] = [
+    Code::Wc001,
+    Code::Wc002,
+    Code::Wc003,
+    Code::Wc010,
+    Code::Wc011,
+    Code::Wc012,
+    Code::Wc013,
+];
+
 impl Code {
     pub fn as_str(self) -> &'static str {
         match self {
@@ -185,6 +212,13 @@ impl Code {
             Code::Wp015 => "WP015",
             Code::Wp016 => "WP016",
             Code::Wp017 => "WP017",
+            Code::Wc001 => "WC001",
+            Code::Wc002 => "WC002",
+            Code::Wc003 => "WC003",
+            Code::Wc010 => "WC010",
+            Code::Wc011 => "WC011",
+            Code::Wc012 => "WC012",
+            Code::Wc013 => "WC013",
         }
     }
 
@@ -209,6 +243,13 @@ impl Code {
             Code::Wp015 => "constant condition makes a branch unreachable",
             Code::Wp016 => "rule reads a tier no flow path populates",
             Code::Wp017 => "unrecognized event shape",
+            Code::Wc001 => "lock-order cycle (potential deadlock)",
+            Code::Wc002 => "same-class lock nesting with no intra-class order",
+            Code::Wc003 => "lock release without a matching acquisition",
+            Code::Wc010 => "history violates linearizability under the deduced model",
+            Code::Wc011 => "read-your-writes violation under eventual consistency",
+            Code::Wc012 => "replicas failed to converge",
+            Code::Wc013 => "history incomplete or uncheckable",
         }
     }
 }
@@ -390,10 +431,10 @@ mod tests {
     #[test]
     fn all_codes_have_unique_names_and_descriptions() {
         let mut seen = std::collections::BTreeSet::new();
-        for c in ALL_CODES {
+        for c in ALL_CODES.iter().chain(ALL_CHECK_CODES.iter()) {
             assert!(seen.insert(c.as_str()), "duplicate code {c}");
             assert!(!c.describe().is_empty());
         }
-        assert_eq!(seen.len(), 18);
+        assert_eq!(seen.len(), 25);
     }
 }

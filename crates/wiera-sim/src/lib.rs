@@ -22,9 +22,13 @@
 //!   export deterministically as JSON for CI gating.
 //! * [`trace`] — bounded ring buffer of structured [`trace::TraceEvent`]s
 //!   stamped on the modeled-time axis, exportable as JSONL.
+//! * [`lockreg`] — [`TrackedMutex`] / [`TrackedRwLock`] wrappers feeding a
+//!   process-wide lock-order graph; Tarjan-SCC cycle detection surfaces
+//!   potential (ABBA-style) deadlocks for `wiera-check`.
 
 pub mod clock;
 pub mod dist;
+pub mod lockreg;
 pub mod metrics;
 pub mod registry;
 pub mod rng;
@@ -33,6 +37,7 @@ pub mod trace;
 
 pub use clock::{Clock, FrozenClock, ManualClock, ScaledClock, SharedClock};
 pub use dist::LatencyDist;
+pub use lockreg::{LockOrderSnapshot, LockRegistry, TrackedMutex, TrackedRwLock};
 pub use metrics::{Counter, Histogram, LatencyRecorder, Summary, TimeSeries};
 pub use registry::{MetricsRegistry, RegistrySnapshot};
 pub use rng::{derive_seed, SimRng};

@@ -165,9 +165,7 @@ fn est_put_ms(
                         .iter()
                         .copied()
                         .min_by(|&a, &b| {
-                            rtt(fabric, l.region, a)
-                                .partial_cmp(&rtt(fabric, l.region, b))
-                                .unwrap()
+                            rtt(fabric, l.region, a).total_cmp(&rtt(fabric, l.region, b))
                         })
                         .unwrap_or(primary);
                     let lock = rtt(fabric, nearest, coordinator);

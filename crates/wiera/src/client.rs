@@ -33,7 +33,7 @@ impl WieraClient {
         replicas.sort_by(|a, b| {
             let ra = mesh.fabric.base_rtt_ms(region, a.region);
             let rb = mesh.fabric.base_rtt_ms(region, b.region);
-            ra.partial_cmp(&rb).unwrap()
+            ra.total_cmp(&rb)
         });
         Arc::new(WieraClient {
             mesh,
@@ -47,7 +47,7 @@ impl WieraClient {
         replicas.sort_by(|a, b| {
             let ra = self.mesh.fabric.base_rtt_ms(self.me.region, a.region);
             let rb = self.mesh.fabric.base_rtt_ms(self.me.region, b.region);
-            ra.partial_cmp(&rb).unwrap()
+            ra.total_cmp(&rb)
         });
         *self.replicas.write() = replicas;
     }

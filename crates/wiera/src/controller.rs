@@ -5,12 +5,13 @@
 use crate::deployment::{DeploymentConfig, WieraDeployment};
 use crate::msg::{ChangeRequest, DataMsg, ReplicaSpec};
 use crate::resolve_region;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use wiera_net::{Delivery, Mesh, NodeId, Region};
 use wiera_policy::{compile, parse, CompiledPolicy, ConsistencyModel};
+use wiera_sim::lockreg::{TrackedMutex, TrackedRwLock};
 use wiera_sim::{MetricsRegistry, SimDuration, SimInstant, Tracer};
 
 const CTRL_TIMEOUT: SimDuration = SimDuration::from_secs(120);
@@ -56,17 +57,18 @@ pub struct WieraController {
     mesh: Arc<Mesh<DataMsg>>,
     config: ControllerConfig,
     /// GPM: registered policies by id.
-    policies: RwLock<HashMap<String, CompiledPolicy>>,
+    policies: TrackedRwLock<HashMap<String, CompiledPolicy>>,
     /// TSM: known Tiera servers by region.
-    servers: Mutex<HashMap<Region, ServerInfo>>,
-    deployments: RwLock<HashMap<String, DeploymentEntry>>,
+    servers: TrackedMutex<HashMap<Region, ServerInfo>>,
+    deployments: TrackedRwLock<HashMap<String, DeploymentEntry>>,
     stop: Arc<AtomicBool>,
 }
 
 impl WieraController {
     /// Start the controller: register on the mesh, start the handler and
-    /// the TSM heartbeat/repair threads.
-    pub fn launch(mesh: Arc<Mesh<DataMsg>>, config: ControllerConfig) -> Arc<Self> {
+    /// the TSM heartbeat/repair threads. Thread-spawn failures are returned
+    /// instead of panicking so embedders can surface them.
+    pub fn launch(mesh: Arc<Mesh<DataMsg>>, config: ControllerConfig) -> Result<Arc<Self>, String> {
         let node = NodeId::new(config.region, "wiera");
         let inbox = mesh.register(node.clone());
         let stop = Arc::new(AtomicBool::new(false));
@@ -74,9 +76,9 @@ impl WieraController {
             node,
             mesh,
             config,
-            policies: RwLock::new(HashMap::new()),
-            servers: Mutex::new(HashMap::new()),
-            deployments: RwLock::new(HashMap::new()),
+            policies: TrackedRwLock::new("ctrl.policies", HashMap::new()),
+            servers: TrackedMutex::new("ctrl.servers", HashMap::new()),
+            deployments: TrackedRwLock::new("ctrl.deployments", HashMap::new()),
             stop: stop.clone(),
         });
 
@@ -93,7 +95,7 @@ impl WieraController {
                         }
                     }
                 })
-                .expect("spawn controller");
+                .map_err(|e| format!("cannot spawn controller thread: {e}"))?;
         }
         {
             // TSM heartbeat thread: "periodically sends a ping message to
@@ -110,7 +112,7 @@ impl WieraController {
                         c.heartbeat_servers();
                     }
                 })
-                .expect("spawn tsm heartbeat");
+                .map_err(|e| format!("cannot spawn TSM heartbeat thread: {e}"))?;
         }
         if let Some(interval) = ctrl.config.repair_interval {
             let c = ctrl.clone();
@@ -125,9 +127,9 @@ impl WieraController {
                         c.repair_deployments();
                     }
                 })
-                .expect("spawn repair thread");
+                .map_err(|e| format!("cannot spawn repair thread: {e}"))?;
         }
-        ctrl
+        Ok(ctrl)
     }
 
     pub fn stop(&self) {
@@ -146,12 +148,15 @@ impl WieraController {
         Ok(())
     }
 
-    /// Register every canned paper policy under its id.
-    pub fn register_canned_policies(&self) {
+    /// Register every canned paper policy under its id. The canned corpus
+    /// is lint-gated in CI, so a rejection here means a build skew between
+    /// wiera-policy and this crate — reported, not panicked.
+    pub fn register_canned_policies(&self) -> Result<(), String> {
         for (id, _, src) in wiera_policy::canned::ALL {
             self.register_policy(id, src)
-                .expect("canned policies compile");
+                .map_err(|e| format!("canned policy '{id}' rejected: {e}"))?;
         }
+        Ok(())
     }
 
     pub fn policy(&self, id: &str) -> Option<CompiledPolicy> {
@@ -295,7 +300,10 @@ impl WieraController {
             replicas,
             primary,
             consistency,
-            template.expect("at least one region"),
+            match template {
+                Some(t) => t,
+                None => return Err("policy declares no regions".into()),
+            },
         );
         // §4.1 step 6: propagate membership to all instances.
         deployment.push_membership();
@@ -356,14 +364,17 @@ impl WieraController {
             }
             DataMsg::RequestChange { deployment, change } => {
                 // Monitor escalation: apply on a worker so the controller
-                // keeps serving heartbeats during the (blocking) switch.
+                // keeps serving heartbeats during the (blocking) switch. The
+                // reply slot lives in a shared cell so a failed spawn can
+                // still answer the RPC with a Fail instead of timing out.
                 let c = self.clone();
-                let reply = d.reply;
-                std::thread::Builder::new()
+                let slot_cell = Arc::new(Mutex::new(d.reply));
+                let worker_cell = slot_cell.clone();
+                let spawned = std::thread::Builder::new()
                     .name("wiera-change".into())
                     .spawn(move || {
                         let applied = c.apply_change(&deployment, change);
-                        if let Some(slot) = reply {
+                        if let Some(slot) = worker_cell.lock().take() {
                             let msg = if applied {
                                 DataMsg::Ok
                             } else {
@@ -374,8 +385,17 @@ impl WieraController {
                             let bytes = msg.wire_bytes();
                             slot.reply(msg, SimDuration::from_millis(1), bytes);
                         }
-                    })
-                    .expect("spawn change worker");
+                    });
+                if let Err(e) = spawned {
+                    MetricsRegistry::global().inc("controller_worker_spawn_errors", &[]);
+                    if let Some(slot) = slot_cell.lock().take() {
+                        let msg = DataMsg::Fail {
+                            why: format!("cannot spawn change worker: {e}"),
+                        };
+                        let bytes = msg.wire_bytes();
+                        slot.reply(msg, SimDuration::from_millis(1), bytes);
+                    }
+                }
             }
             DataMsg::Ping => {
                 if let Some(slot) = d.reply {

@@ -9,11 +9,11 @@
 use crate::msg::{DataMsg, LatencySpec, MonitorSpec, ReplicaSpec, RequestsSpec};
 use crate::replica::{app_rpc, AppError, OpView};
 use bytes::Bytes;
-use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use wiera_net::{Mesh, NodeId, Region};
 use wiera_policy::{CompiledPolicy, ConsistencyModel};
+use wiera_sim::lockreg::TrackedRwLock;
 use wiera_sim::SimDuration;
 
 const CTRL_TIMEOUT: SimDuration = SimDuration::from_secs(120);
@@ -71,9 +71,9 @@ pub struct WieraDeployment {
     mesh: Arc<Mesh<DataMsg>>,
     /// The controller's address, used as the from-node of control RPCs.
     from: NodeId,
-    replicas: RwLock<Vec<NodeId>>,
-    primary: RwLock<Option<NodeId>>,
-    consistency: RwLock<ConsistencyModel>,
+    replicas: TrackedRwLock<Vec<NodeId>>,
+    primary: TrackedRwLock<Option<NodeId>>,
+    consistency: TrackedRwLock<ConsistencyModel>,
     epoch: AtomicU64,
     /// The spec each replica was spawned with (for repair re-spawns).
     pub(crate) spec_template: ReplicaSpec,
@@ -93,9 +93,9 @@ impl WieraDeployment {
             id,
             mesh,
             from,
-            replicas: RwLock::new(replicas),
-            primary: RwLock::new(primary),
-            consistency: RwLock::new(consistency),
+            replicas: TrackedRwLock::new("dep.replicas", replicas),
+            primary: TrackedRwLock::new("dep.primary", primary),
+            consistency: TrackedRwLock::new("dep.consistency", consistency),
             epoch: AtomicU64::new(1),
             spec_template,
         })
@@ -124,7 +124,7 @@ impl WieraDeployment {
             .min_by(|a, b| {
                 let ra = self.mesh.fabric.base_rtt_ms(region, a.region);
                 let rb = self.mesh.fabric.base_rtt_ms(region, b.region);
-                ra.partial_cmp(&rb).unwrap()
+                ra.total_cmp(&rb)
             })
             .cloned()
     }

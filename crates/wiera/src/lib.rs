@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Wiera — flexible multi-tiered geo-distributed cloud storage instances.
 //!
 //! This crate is the paper's primary contribution: the global layer that

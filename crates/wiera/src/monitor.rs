@@ -56,7 +56,7 @@ impl LatencyMonitor {
         deployment: String,
         mesh: Arc<wiera_net::Mesh<DataMsg>>,
         coord_region: Region,
-    ) -> MonitorHandle {
+    ) -> Result<MonitorHandle, String> {
         let stop = Arc::new(AtomicBool::new(false));
         let triggers = Arc::new(AtomicU64::new(0));
         let stop2 = stop.clone();
@@ -141,8 +141,8 @@ impl LatencyMonitor {
                     }
                 }
             })
-            .expect("spawn latency monitor");
-        MonitorHandle { stop, triggers }
+            .map_err(|e| format!("cannot spawn latency monitor: {e}"))?;
+        Ok(MonitorHandle { stop, triggers })
     }
 }
 
@@ -156,7 +156,7 @@ impl RequestsMonitor {
         controller: NodeId,
         deployment: String,
         mesh: Arc<wiera_net::Mesh<DataMsg>>,
-    ) -> MonitorHandle {
+    ) -> Result<MonitorHandle, String> {
         let stop = Arc::new(AtomicBool::new(false));
         let triggers = Arc::new(AtomicU64::new(0));
         let stop2 = stop.clone();
@@ -206,7 +206,7 @@ impl RequestsMonitor {
                     }
                 }
             })
-            .expect("spawn requests monitor");
-        MonitorHandle { stop, triggers }
+            .map_err(|e| format!("cannot spawn requests monitor: {e}"))?;
+        Ok(MonitorHandle { stop, triggers })
     }
 }

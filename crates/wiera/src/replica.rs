@@ -18,7 +18,7 @@
 
 use crate::msg::{DataMsg, SyncObject};
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::Condvar;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -26,6 +26,7 @@ use tiera::{InstanceConfig, TieraInstance};
 use wiera_coord::CoordClient;
 use wiera_net::{Delivery, Mesh, NetError, NodeId};
 use wiera_policy::ConsistencyModel;
+use wiera_sim::lockreg::{TrackedMutex, TrackedRwLock};
 use wiera_sim::{MetricsRegistry, SimDuration, SimInstant, Tracer};
 
 /// RPC timeout for data-path calls.
@@ -42,13 +43,19 @@ struct ProtoState {
 }
 
 /// Gate blocking application operations during a consistency switch.
-#[derive(Default)]
 struct Gate {
-    closed: Mutex<bool>,
+    closed: TrackedMutex<bool>,
     cond: Condvar,
 }
 
 impl Gate {
+    fn new() -> Gate {
+        Gate {
+            closed: TrackedMutex::new("replica.gate", false),
+            cond: Condvar::new(),
+        }
+    }
+
     fn close(&self) {
         *self.closed.lock() = true;
     }
@@ -61,7 +68,7 @@ impl Gate {
     fn wait_open(&self) {
         let mut closed = self.closed.lock();
         while *closed {
-            self.cond.wait(&mut closed);
+            self.cond.wait(closed.inner_mut());
         }
     }
 }
@@ -102,20 +109,20 @@ pub struct ReplicaNode {
     pub node: NodeId,
     mesh: Arc<Mesh<DataMsg>>,
     inst: Arc<TieraInstance>,
-    state: RwLock<ProtoState>,
+    state: TrackedRwLock<ProtoState>,
     gate: Gate,
-    queue: Mutex<VecDeque<QueuedUpdate>>,
+    queue: TrackedMutex<VecDeque<QueuedUpdate>>,
     coord: Option<Arc<CoordClient>>,
     flush_interval: SimDuration,
-    forward_gets_to: RwLock<Option<NodeId>>,
+    forward_gets_to: TrackedRwLock<Option<NodeId>>,
     stop: Arc<AtomicBool>,
     pub stats: ReplicaStats,
     /// (time, put latency ms) samples for the latency monitor.
-    put_window: Mutex<VecDeque<(SimInstant, f64)>>,
+    put_window: TrackedMutex<VecDeque<(SimInstant, f64)>>,
     /// Puts received directly from applications (time-stamped).
-    direct_puts: Mutex<VecDeque<SimInstant>>,
+    direct_puts: TrackedMutex<VecDeque<SimInstant>>,
     /// Puts forwarded to us, per origin replica (primary-side bookkeeping).
-    forwarded_puts: Mutex<HashMap<NodeId, VecDeque<SimInstant>>>,
+    forwarded_puts: TrackedMutex<HashMap<NodeId, VecDeque<SimInstant>>>,
 }
 
 impl ReplicaNode {
@@ -134,22 +141,25 @@ impl ReplicaNode {
             node,
             mesh,
             inst,
-            state: RwLock::new(ProtoState {
-                consistency: config.consistency,
-                peers: Vec::new(),
-                primary: None,
-                epoch: 0,
-            }),
-            gate: Gate::default(),
-            queue: Mutex::new(VecDeque::new()),
+            state: TrackedRwLock::new(
+                "replica.state",
+                ProtoState {
+                    consistency: config.consistency,
+                    peers: Vec::new(),
+                    primary: None,
+                    epoch: 0,
+                },
+            ),
+            gate: Gate::new(),
+            queue: TrackedMutex::new("replica.queue", VecDeque::new()),
             coord: config.coord,
             flush_interval: config.flush_interval,
-            forward_gets_to: RwLock::new(config.forward_gets_to),
+            forward_gets_to: TrackedRwLock::new("replica.forward_gets", config.forward_gets_to),
             stop: stop.clone(),
             stats: ReplicaStats::default(),
-            put_window: Mutex::new(VecDeque::new()),
-            direct_puts: Mutex::new(VecDeque::new()),
-            forwarded_puts: Mutex::new(HashMap::new()),
+            put_window: TrackedMutex::new("replica.put_window", VecDeque::new()),
+            direct_puts: TrackedMutex::new("replica.direct_puts", VecDeque::new()),
+            forwarded_puts: TrackedMutex::new("replica.forwarded_puts", HashMap::new()),
         });
 
         // Handler thread.
@@ -310,12 +320,17 @@ impl ReplicaNode {
                 modified,
                 value,
             } => {
+                let digest = value_digest(&value);
                 let out = self.inst.apply_replicated(&key, version, modified, value);
                 let (applied, took) = match out {
                     Ok(Some(o)) => (true, o.latency),
                     Ok(None) => (false, SimDuration::from_micros(200)),
                     Err(_) => (false, SimDuration::from_micros(200)),
                 };
+                if applied {
+                    let now = self.mesh.clock.now();
+                    self.record_history("replicate_apply", &key, version, digest, now, took);
+                }
                 reply(d.reply, DataMsg::ReplicateAck { applied }, took);
             }
             DataMsg::SetPeers {
@@ -382,12 +397,14 @@ impl ReplicaNode {
     /// the model, reopen. Returns the modeled switch time.
     fn switch_consistency(&self, to: ConsistencyModel, epoch: u64) -> SimDuration {
         {
-            let s = self.state.read();
+            // One write acquisition: taking `state.write()` while the same
+            // thread still held `state.read()` was a guaranteed self-deadlock
+            // on the no-op-switch path.
+            let mut s = self.state.write();
             if epoch < s.epoch {
                 return SimDuration::ZERO; // stale control message
             }
             if s.consistency == to {
-                let mut s = self.state.write();
                 s.epoch = s.epoch.max(epoch);
                 return SimDuration::ZERO;
             }
@@ -528,9 +545,14 @@ impl ReplicaNode {
         self.gate.wait_open();
         let (msg, took) = match d.msg {
             DataMsg::Put { key, value } => {
-                self.direct_puts.lock().push_back(self.mesh.clock.now());
+                let started = self.mesh.clock.now();
+                self.direct_puts.lock().push_back(started);
+                let digest = value_digest(&value);
                 match self.protocol_put(&key, value) {
-                    Ok((version, latency)) => (DataMsg::PutAck { version }, latency),
+                    Ok((version, latency)) => {
+                        self.record_history("put", &key, version, digest, started, latency);
+                        (DataMsg::PutAck { version }, latency)
+                    }
                     Err(why) => (DataMsg::Fail { why }, SimDuration::from_millis(1)),
                 }
             }
@@ -546,17 +568,30 @@ impl ReplicaNode {
                     Err(why) => (DataMsg::Fail { why }, SimDuration::from_millis(1)),
                 }
             }
-            DataMsg::Get { key } => match self.protocol_get(&key, None) {
-                Ok((value, version, modified, latency)) => (
-                    DataMsg::GetReply {
-                        value,
-                        version,
-                        modified,
-                    },
-                    latency,
-                ),
-                Err(why) => (DataMsg::Fail { why }, SimDuration::from_millis(1)),
-            },
+            DataMsg::Get { key } => {
+                let started = self.mesh.clock.now();
+                match self.protocol_get(&key, None) {
+                    Ok((value, version, modified, latency)) => {
+                        self.record_history(
+                            "get",
+                            &key,
+                            version,
+                            value_digest(&value),
+                            started,
+                            latency,
+                        );
+                        (
+                            DataMsg::GetReply {
+                                value,
+                                version,
+                                modified,
+                            },
+                            latency,
+                        )
+                    }
+                    Err(why) => (DataMsg::Fail { why }, SimDuration::from_millis(1)),
+                }
+            }
             DataMsg::GetVersion { key, version } => match self.protocol_get(&key, Some(version)) {
                 Ok((value, version, modified, latency)) => (
                     DataMsg::GetReply {
@@ -895,6 +930,27 @@ impl ReplicaNode {
         Ok((value, out.version, modified, out.latency))
     }
 
+    /// Emit one consistency-history event on the sim-time axis. The
+    /// `wiera-check` oracle reconstructs operation intervals from these
+    /// `subsystem = "history"` trace events and checks them against the
+    /// deployment's deduced consistency model.
+    fn record_history(
+        &self,
+        op: &str,
+        key: &str,
+        version: u64,
+        digest: u64,
+        start: SimInstant,
+        latency: SimDuration,
+    ) {
+        Tracer::global()
+            .span(start, "history", op)
+            .region(self.node.region.to_string())
+            .node(self.node.name.as_ref())
+            .detail(format!("key={key} ver={version} val={digest:016x}"))
+            .finish(start + latency);
+    }
+
     // ---- direct (in-process) API for deployments and tests -----------------
 
     /// Install peers/primary directly (used by the deployment layer when the
@@ -907,6 +963,16 @@ impl ReplicaNode {
             s.epoch = epoch;
         }
     }
+}
+
+/// FNV-1a digest of a value body, so history events can carry a compact,
+/// comparable fingerprint of what was written or read.
+fn value_digest(value: &Bytes) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in value.iter() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Result of a client-visible operation, with the modeled latency the

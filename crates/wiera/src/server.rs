@@ -8,7 +8,6 @@
 use crate::monitor::{LatencyMonitor, MonitorHandle, RequestsMonitor};
 use crate::msg::{DataMsg, ReplicaSpec};
 use crate::replica::{ReplicaConfig, ReplicaNode};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -16,6 +15,7 @@ use tiera::engine::InstanceEngine;
 use tiera::InstanceConfig;
 use wiera_coord::{CoordClient, CoordConfig, CoordMsg};
 use wiera_net::{Delivery, Mesh, NodeId, Region};
+use wiera_sim::lockreg::TrackedMutex;
 use wiera_sim::SimDuration;
 
 /// Everything a server needs to reach the coordination service on behalf of
@@ -39,7 +39,7 @@ pub struct TieraServer {
     mesh: Arc<Mesh<DataMsg>>,
     controller: NodeId,
     coord: Option<Arc<CoordAccess>>,
-    replicas: Mutex<HashMap<String, ReplicaHolder>>,
+    replicas: TrackedMutex<HashMap<String, ReplicaHolder>>,
     stop: Arc<AtomicBool>,
 }
 
@@ -51,7 +51,7 @@ impl TieraServer {
         region: Region,
         controller: NodeId,
         coord: Option<Arc<CoordAccess>>,
-    ) -> Arc<Self> {
+    ) -> Result<Arc<Self>, String> {
         let node = NodeId::new(
             region,
             format!("tiera-server-{}", region.name().to_lowercase()),
@@ -64,7 +64,7 @@ impl TieraServer {
             mesh: mesh.clone(),
             controller: controller.clone(),
             coord,
-            replicas: Mutex::new(HashMap::new()),
+            replicas: TrackedMutex::new("server.replicas", HashMap::new()),
             stop: stop.clone(),
         });
 
@@ -86,9 +86,9 @@ impl TieraServer {
                         }
                     }
                 })
-                .expect("spawn tiera server");
+                .map_err(|e| format!("cannot spawn tiera server thread: {e}"))?;
         }
-        server
+        Ok(server)
     }
 
     pub fn stop(&self) {
@@ -216,7 +216,8 @@ impl TieraServer {
             },
         )
         .map_err(|e| format!("replica spawn: {e}"))?;
-        let engine = InstanceEngine::start(replica.instance().clone());
+        let engine = InstanceEngine::start(replica.instance().clone())
+            .map_err(|e| format!("instance engine: {e}"))?;
 
         let mut monitors = Vec::new();
         let coord_region = self
@@ -225,23 +226,29 @@ impl TieraServer {
             .map(|c| c.service.region)
             .unwrap_or(Region::UsEast);
         if let Some(lat) = &spec.monitors.latency {
-            monitors.push(LatencyMonitor::start(
-                replica.clone(),
-                lat.clone(),
-                self.controller.clone(),
-                spec.deployment.clone(),
-                self.mesh.clone(),
-                coord_region,
-            ));
+            monitors.push(
+                LatencyMonitor::start(
+                    replica.clone(),
+                    lat.clone(),
+                    self.controller.clone(),
+                    spec.deployment.clone(),
+                    self.mesh.clone(),
+                    coord_region,
+                )
+                .map_err(|e| format!("latency monitor: {e}"))?,
+            );
         }
         if let Some(req) = &spec.monitors.requests {
-            monitors.push(RequestsMonitor::start(
-                replica.clone(),
-                req.clone(),
-                self.controller.clone(),
-                spec.deployment.clone(),
-                self.mesh.clone(),
-            ));
+            monitors.push(
+                RequestsMonitor::start(
+                    replica.clone(),
+                    req.clone(),
+                    self.controller.clone(),
+                    spec.deployment.clone(),
+                    self.mesh.clone(),
+                )
+                .map_err(|e| format!("requests monitor: {e}"))?,
+            );
         }
 
         self.replicas.lock().insert(

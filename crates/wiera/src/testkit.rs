@@ -50,9 +50,12 @@ impl Cluster {
             NodeId::new(controller_config.region, "zk"),
             coord_config.clone(),
         )
-        .expect("coordination service spawns");
-        let controller = WieraController::launch(data_mesh.clone(), controller_config);
-        controller.register_canned_policies();
+        .unwrap_or_else(|e| panic!("coordination service spawn: {e}"));
+        let controller = WieraController::launch(data_mesh.clone(), controller_config)
+            .unwrap_or_else(|e| panic!("controller launch: {e}"));
+        controller
+            .register_canned_policies()
+            .unwrap_or_else(|e| panic!("canned policies: {e}"));
 
         let coord_access = Arc::new(CoordAccess {
             mesh: coord_mesh.clone(),
@@ -66,7 +69,8 @@ impl Cluster {
                 region,
                 controller.node.clone(),
                 Some(coord_access.clone()),
-            );
+            )
+            .unwrap_or_else(|e| panic!("tiera server launch in {region}: {e}"));
             servers.insert(region, server);
         }
         Cluster {
