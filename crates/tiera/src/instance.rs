@@ -30,6 +30,12 @@ use wiera_sim::lockreg::TrackedMutex;
 use wiera_sim::{SharedClock, SimDuration, SimInstant, SimRng};
 use wiera_tiers::{SimTier, TierError, TierKind, TierSpec};
 
+/// Metadata bookkeeping cost charged to every standalone data operation.
+const META_OVERHEAD: SimDuration = SimDuration::from_micros(150);
+/// Marginal metadata cost per item inside a batch: the batch pays
+/// [`META_OVERHEAD`] once, then this per item.
+const BATCH_ITEM_OVERHEAD: SimDuration = SimDuration::from_micros(10);
+
 /// Errors surfaced by instance operations.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TieraError {
@@ -69,6 +75,13 @@ pub struct OpOutcome {
     pub value: Option<Bytes>,
     pub version: VersionId,
     pub latency: SimDuration,
+}
+
+/// One item of a bulk batch submitted through [`TieraInstance::apply_batch`].
+#[derive(Debug, Clone)]
+pub enum BatchOp {
+    Put { key: String, value: Bytes },
+    Get { key: String },
 }
 
 /// A storage tier slot inside an instance: a simulated cloud service, or —
@@ -363,10 +376,48 @@ impl TieraInstance {
         tags: &[&str],
     ) -> Result<OpOutcome, TieraError> {
         self.stats.app_puts.fetch_add(1, Ordering::Relaxed);
-        let outcome = self.ingest(key, value, tags, None, None)?;
+        let outcome = self.ingest(key, value, tags, None, None, META_OVERHEAD)?;
         self.note_op("put", outcome.latency);
         self.maybe_sleep(outcome.latency);
         Ok(outcome)
+    }
+
+    /// Execute a bulk batch in one engine pass. The per-operation metadata
+    /// overhead is paid **once for the whole batch** (plus a small per-item
+    /// charge) instead of once per item, and the calling thread sleeps the
+    /// batch's total modeled latency once rather than per item. Items are
+    /// independent: one item's failure does not affect the others. Returns
+    /// per-item outcomes in request order plus the batch's total latency.
+    #[allow(clippy::type_complexity)]
+    pub fn apply_batch(
+        &self,
+        ops: &[BatchOp],
+    ) -> (Vec<Result<OpOutcome, TieraError>>, SimDuration) {
+        let mut total = META_OVERHEAD;
+        let mut results = Vec::with_capacity(ops.len());
+        for op in ops {
+            let r = match op {
+                BatchOp::Put { key, value } => {
+                    self.stats.app_puts.fetch_add(1, Ordering::Relaxed);
+                    self.ingest(key, value.clone(), &[], None, None, BATCH_ITEM_OVERHEAD)
+                }
+                BatchOp::Get { key } => {
+                    self.stats.app_gets.fetch_add(1, Ordering::Relaxed);
+                    self.meta
+                        .with(key, |o| o.latest_version())
+                        .flatten()
+                        .ok_or_else(|| TieraError::NotFound(key.clone()))
+                        .and_then(|v| self.read_version(key, v))
+                }
+            };
+            if let Ok(out) = &r {
+                total += out.latency;
+            }
+            results.push(r);
+        }
+        self.note_op("batch", total);
+        self.maybe_sleep(total);
+        (results, total)
     }
 
     /// Record one instance-level op into the global metrics registry.
@@ -397,11 +448,20 @@ impl TieraInstance {
         self.stats
             .replicated_updates
             .fetch_add(1, Ordering::Relaxed);
-        let outcome = self.ingest(key, value, &[], Some(version), Some(modified))?;
+        let outcome = self.ingest(
+            key,
+            value,
+            &[],
+            Some(version),
+            Some(modified),
+            META_OVERHEAD,
+        )?;
         Ok(Some(outcome))
     }
 
-    /// Shared ingest path for local puts and replicated updates.
+    /// Shared ingest path for local puts and replicated updates. `overhead`
+    /// is the metadata bookkeeping charge: the full [`META_OVERHEAD`] for a
+    /// standalone op, the marginal [`BATCH_ITEM_OVERHEAD`] inside a batch.
     fn ingest(
         &self,
         key: &str,
@@ -409,13 +469,14 @@ impl TieraInstance {
         tags: &[&str],
         forced_version: Option<VersionId>,
         forced_modified: Option<SimInstant>,
+        overhead: SimDuration,
     ) -> Result<OpOutcome, TieraError> {
         let now = self.clock.now();
         let version = forced_version
             .unwrap_or_else(|| self.meta.with(key, |o| o.next_version()).unwrap_or(1));
         let skey = storage_key(key, version);
 
-        let mut latency = SimDuration::from_micros(150); // metadata overhead
+        let mut latency = overhead;
         let mut location: Option<String> = None;
         let mut replicas: BTreeSet<String> = BTreeSet::new();
         let mut dirty = false;
@@ -1552,6 +1613,60 @@ mod tests {
         // And the front instance still takes local writes.
         front.put("intermediate-result", bytes(64)).unwrap();
         assert!(front.get("intermediate-result").is_ok());
+    }
+
+    #[test]
+    fn apply_batch_amortizes_overhead_and_isolates_failures() {
+        let inst = basic_instance();
+        inst.put("seed", Bytes::from_static(b"s")).unwrap();
+        let ops = vec![
+            BatchOp::Put {
+                key: "a".into(),
+                value: Bytes::from_static(b"va"),
+            },
+            BatchOp::Get {
+                key: "missing".into(),
+            },
+            BatchOp::Put {
+                key: "a".into(),
+                value: Bytes::from_static(b"va2"),
+            },
+            BatchOp::Get { key: "seed".into() },
+        ];
+        let (results, total) = inst.apply_batch(&ops);
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].as_ref().unwrap().version, 1);
+        assert!(
+            matches!(results[1], Err(TieraError::NotFound(_))),
+            "missing key fails alone"
+        );
+        assert_eq!(
+            results[2].as_ref().unwrap().version,
+            2,
+            "same-key puts chain versions"
+        );
+        assert_eq!(
+            results[3]
+                .as_ref()
+                .unwrap()
+                .value
+                .as_ref()
+                .unwrap()
+                .as_ref(),
+            b"s"
+        );
+        // The batch pays the metadata overhead once: its total is below the
+        // per-item sum plus one standalone overhead charge per extra item.
+        let item_sum: SimDuration = results
+            .iter()
+            .flatten()
+            .map(|o| o.latency)
+            .fold(SimDuration::ZERO, |a, b| a + b);
+        assert!(total >= item_sum, "total {total} covers items {item_sum}");
+        assert!(
+            total < item_sum + SimDuration::from_micros(300),
+            "no per-item overhead stacking: {total} vs {item_sum}"
+        );
     }
 
     #[test]

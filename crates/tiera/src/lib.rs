@@ -32,6 +32,6 @@ pub mod metastore;
 pub mod object;
 pub mod transform;
 
-pub use instance::{InstanceConfig, OpOutcome, TieraError, TieraInstance};
+pub use instance::{BatchOp, InstanceConfig, OpOutcome, TieraError, TieraInstance};
 pub use metastore::MetaStore;
 pub use object::{ObjectMeta, VersionId, VersionMeta};

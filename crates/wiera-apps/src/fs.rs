@@ -155,6 +155,7 @@ impl WieraFs {
         self.store
             .kv_get_value(&Self::block_key(path, b))
             .map(|(data, s)| (data, s.latency))
+            .map_err(String::from)
     }
 
     /// Write `data` at `offset`. Partial blocks are read-modify-written.

@@ -8,8 +8,15 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use wiera_sim::{SharedClock, SimDuration};
-use wiera_tiers::SimTier;
-use wiera_workload::{KvStore, OpSample};
+use wiera_tiers::{SimTier, TierError};
+use wiera_workload::{KvError, KvStore, OpSample};
+
+fn tier_err(e: TierError) -> KvError {
+    match e {
+        TierError::NotFound(_) => KvError::not_found(e.to_string()),
+        other => KvError::other(other.to_string()),
+    }
+}
 
 /// A KvStore directly over one simulated storage tier — e.g. "Azure's local
 /// disk without Wiera" (§5.4.1).
@@ -47,8 +54,8 @@ impl TierStore {
 }
 
 impl KvStore for TierStore {
-    fn kv_put(&self, key: &str, value: Bytes) -> Result<OpSample, String> {
-        let latency = self.tier.put(key, value).map_err(|e| e.to_string())?;
+    fn kv_put(&self, key: &str, value: Bytes) -> Result<OpSample, KvError> {
+        let latency = self.tier.put(key, value).map_err(tier_err)?;
         self.maybe_sleep(latency);
         let mut v = self.versions.lock();
         let e = v.entry(key.to_string()).or_insert(0);
@@ -59,15 +66,15 @@ impl KvStore for TierStore {
         })
     }
 
-    fn kv_get(&self, key: &str) -> Result<OpSample, String> {
-        let (_, latency) = self.tier.get(key).map_err(|e| e.to_string())?;
+    fn kv_get(&self, key: &str) -> Result<OpSample, KvError> {
+        let (_, latency) = self.tier.get(key).map_err(tier_err)?;
         self.maybe_sleep(latency);
         let version = self.versions.lock().get(key).copied().unwrap_or(0);
         Ok(OpSample { latency, version })
     }
 
-    fn kv_get_value(&self, key: &str) -> Result<(Bytes, OpSample), String> {
-        let (data, latency) = self.tier.get(key).map_err(|e| e.to_string())?;
+    fn kv_get_value(&self, key: &str) -> Result<(Bytes, OpSample), KvError> {
+        let (data, latency) = self.tier.get(key).map_err(tier_err)?;
         self.maybe_sleep(latency);
         let version = self.versions.lock().get(key).copied().unwrap_or(0);
         Ok((data, OpSample { latency, version }))

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use wiera_sim::SimDuration;
-use wiera_workload::{KvStore, OpSample};
+use wiera_workload::{KvError, KvStore, OpSample};
 
 /// Map-backed store with constant modeled get/put latencies.
 pub struct MapStore {
@@ -40,7 +40,7 @@ impl MapStore {
 }
 
 impl KvStore for MapStore {
-    fn kv_put(&self, key: &str, value: Bytes) -> Result<OpSample, String> {
+    fn kv_put(&self, key: &str, value: Bytes) -> Result<OpSample, KvError> {
         self.puts.fetch_add(1, Ordering::Relaxed);
         let mut m = self.data.lock();
         let e = m.entry(key.to_string()).or_insert((Bytes::new(), 0));
@@ -53,7 +53,7 @@ impl KvStore for MapStore {
         })
     }
 
-    fn kv_get(&self, key: &str) -> Result<OpSample, String> {
+    fn kv_get(&self, key: &str) -> Result<OpSample, KvError> {
         self.gets.fetch_add(1, Ordering::Relaxed);
         let m = self.data.lock();
         m.get(key)
@@ -61,10 +61,10 @@ impl KvStore for MapStore {
                 latency: self.get_latency,
                 version: *v,
             })
-            .ok_or_else(|| format!("object '{key}' not found"))
+            .ok_or_else(|| KvError::not_found(format!("object '{key}' not found")))
     }
 
-    fn kv_get_value(&self, key: &str) -> Result<(Bytes, OpSample), String> {
+    fn kv_get_value(&self, key: &str) -> Result<(Bytes, OpSample), KvError> {
         self.gets.fetch_add(1, Ordering::Relaxed);
         let m = self.data.lock();
         m.get(key)
@@ -77,6 +77,6 @@ impl KvStore for MapStore {
                     },
                 )
             })
-            .ok_or_else(|| format!("object '{key}' not found"))
+            .ok_or_else(|| KvError::not_found(format!("object '{key}' not found")))
     }
 }

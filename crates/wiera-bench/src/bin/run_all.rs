@@ -18,7 +18,7 @@
 use std::process::Command;
 use wiera_sim::RegistrySnapshot;
 
-const EXPERIMENTS: [(&str, &str); 9] = [
+const EXPERIMENTS: [(&str, &str); 10] = [
     ("table4_costs", "Table 4: storage tier prices"),
     ("fig9_tier_latency", "Fig. 9: per-tier 4KB latency"),
     (
@@ -46,11 +46,15 @@ const EXPERIMENTS: [(&str, &str); 9] = [
         "ablation_consistency",
         "Ablations: fan-out, lock placement, flush interval",
     ),
+    (
+        "bulk_throughput",
+        "Bulk ops: batching vs per-op completion time and wire bytes",
+    ),
 ];
 
 /// Binaries that export a `results/metrics_<name>.json` registry snapshot,
 /// with the counter/histogram invariants the smoke gate asserts on each.
-const METRIC_CHECKS: [(&str, &[Invariant]); 5] = [
+const METRIC_CHECKS: [(&str, &[Invariant]); 6] = [
     (
         "fig9_tier_latency",
         &[
@@ -93,6 +97,14 @@ const METRIC_CHECKS: [(&str, &[Invariant]); 5] = [
             Invariant::CounterPositive("net_rpc_total"),
             Invariant::CounterPositive("tiera_ops_total"),
             Invariant::HistogramPositive("wiera_get_latency"),
+        ],
+    ),
+    (
+        "bulk_throughput",
+        &[
+            Invariant::CounterPositive("net_rpc_total"),
+            Invariant::CounterPositive("net_rpc_bytes"),
+            Invariant::CounterPositive("tiera_ops_total"),
         ],
     ),
 ];

@@ -2,6 +2,7 @@
 //!
 //! Replicas record every client-visible operation as a span on the modeled
 //! time axis (subsystem `history`, op `put` / `get` / `replicate_apply`,
+//! plus `mput` / `mget` — one span per item of a batched operation,
 //! detail `key=K ver=N val=<fnv64 hex>`). This module re-extracts those
 //! spans from a [`Tracer`] export and checks them against the policy's
 //! deduced [`ConsistencyModel`]:
@@ -59,8 +60,11 @@ pub fn extract_history(events: &[TraceEvent]) -> (Vec<HistoryEvent>, Vec<Diagnos
     let mut diags = Vec::new();
     for e in events.iter().filter(|e| e.subsystem == "history") {
         let kind = match e.op.as_str() {
-            "put" => HistoryKind::Put,
-            "get" => HistoryKind::Get,
+            // Batched operations ("mput"/"mget") record one span per item in
+            // the same detail format; to the oracle each item is an ordinary
+            // write or read whose interval happens to cover the whole batch.
+            "put" | "mput" => HistoryKind::Put,
+            "get" | "mget" => HistoryKind::Get,
             "replicate_apply" => HistoryKind::ReplicateApply,
             _ => continue,
         };

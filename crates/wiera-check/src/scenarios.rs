@@ -95,6 +95,25 @@ pub fn all_scenarios() -> &'static [Scenario] {
             run: run_multi_primaries,
         },
         Scenario {
+            name: "batched-bulk-ops",
+            kind: ScenarioKind::Corpus,
+            describe: "sync primary-backup driven through the client batch \
+                       API: forwarded MultiPut from the backup region, \
+                       partial-failure MultiGet, linearizability of the \
+                       per-item mput/mget spans",
+            expect: &[],
+            run: run_batched_bulk_ops,
+        },
+        Scenario {
+            name: "batched-eventual-coalesced",
+            kind: ScenarioKind::Corpus,
+            describe: "eventual consistency with batched writes: one \
+                       coalesced ReplicateBatch per peer per flush, \
+                       convergence after quiescence",
+            expect: &[],
+            run: run_batched_eventual,
+        },
+        Scenario {
             name: "pb-outage",
             kind: ScenarioKind::Corpus,
             describe: "sync primary-backup with a backup-region partition \
@@ -341,6 +360,134 @@ fn run_multi_primaries() -> Vec<Diagnostic> {
     for reader in [&east, &west] {
         if let Err(e) = b.dep.get_from(reader, "m") {
             return collect(b, err_diag("get", e));
+        }
+    }
+    collect(b, Vec::new())
+}
+
+fn run_batched_bulk_ops() -> Vec<Diagnostic> {
+    let b = match bench(
+        "chk-batch",
+        &[Region::UsEast, Region::UsWest],
+        &[("US-East", true), ("US-West", false)],
+        bodies::PRIMARY_BACKUP_SYNC,
+        2000.0,
+    ) {
+        Ok(b) => b,
+        Err(e) => return err_diag("launch", e),
+    };
+    let east = wiera::WieraClient::connect(
+        b.cluster.data_mesh.clone(),
+        Region::UsEast,
+        "app-e",
+        b.dep.replicas(),
+    );
+    let west = wiera::WieraClient::connect(
+        b.cluster.data_mesh.clone(),
+        Region::UsWest,
+        "app-w",
+        b.dep.replicas(),
+    );
+    let keys: Vec<String> = (0..3).map(|i| format!("b{i}")).collect();
+    // Round 1 from the primary side, round 2 from the backup side (one
+    // forwarded MultiPut); both record per-item mput spans the oracle must
+    // merge and linearize.
+    for (round, client) in [(0u8, &east), (1u8, &west)] {
+        let items: Vec<(String, bytes::Bytes)> = keys
+            .iter()
+            .map(|k| (k.clone(), Bytes::from(vec![0x40 | round; 64])))
+            .collect();
+        match client.put_batch(&items) {
+            Ok(results) => {
+                for (key, r) in keys.iter().zip(results) {
+                    if let Err(e) = r {
+                        return collect(b, err_diag(&format!("batch put {key}"), e));
+                    }
+                }
+            }
+            Err(e) => return collect(b, err_diag("batch put", e)),
+        }
+        quiesce(20);
+    }
+    quiesce(40);
+    // Read the batch back from both sides, with one key that was never
+    // written: its per-item NotFound must not disturb the others.
+    let mut read_keys = keys.clone();
+    read_keys.push("b-missing".into());
+    for client in [&east, &west] {
+        match client.get_batch(&read_keys) {
+            Ok(results) => {
+                for (key, r) in read_keys.iter().zip(results) {
+                    match r {
+                        Ok(_) => {}
+                        Err(e) if e.is_not_found() && key == "b-missing" => {}
+                        Err(e) => {
+                            return collect(b, err_diag(&format!("batch get {key}"), e));
+                        }
+                    }
+                }
+            }
+            Err(e) => return collect(b, err_diag("batch get", e)),
+        }
+    }
+    collect(b, Vec::new())
+}
+
+fn run_batched_eventual() -> Vec<Diagnostic> {
+    let b = match bench(
+        "chk-batch-ev",
+        &[Region::UsEast, Region::EuWest],
+        &[("US-East", true), ("EU-West", false)],
+        bodies::EVENTUAL,
+        2000.0,
+    ) {
+        Ok(b) => b,
+        Err(e) => return err_diag("launch", e),
+    };
+    let east = wiera::WieraClient::connect(
+        b.cluster.data_mesh.clone(),
+        Region::UsEast,
+        "app-e",
+        b.dep.replicas(),
+    );
+    // Two batches of local writes to distinct keys: each flush interval must
+    // drain the whole queue as one coalesced ReplicateBatch per peer, and
+    // the LWW applies at the peer must converge.
+    for round in 0..2u8 {
+        let items: Vec<(String, bytes::Bytes)> = (0..4)
+            .map(|i| {
+                (
+                    format!("ev{i}"),
+                    Bytes::from(vec![(round << 4) | i as u8; 48]),
+                )
+            })
+            .collect();
+        match east.put_batch(&items) {
+            Ok(results) => {
+                if let Some(e) = results.into_iter().filter_map(Result::err).next() {
+                    return collect(b, err_diag("batch put", e));
+                }
+            }
+            Err(e) => return collect(b, err_diag("batch put", e)),
+        }
+        quiesce(40); // at least one coalesced flush between rounds
+    }
+    quiesce(80);
+    let read_keys: Vec<String> = (0..4).map(|i| format!("ev{i}")).collect();
+    for client_region in [Region::UsEast, Region::EuWest] {
+        let reader = wiera::WieraClient::connect(
+            b.cluster.data_mesh.clone(),
+            client_region,
+            "app-r",
+            b.dep.replicas(),
+        );
+        match reader.get_batch(&read_keys) {
+            Ok(results) => {
+                if let Some(e) = results.into_iter().filter_map(Result::err).next() {
+                    return collect(b, err_diag("batch get", e));
+                }
+            }
+            Err(e) => return collect(b, err_diag("batch get", e)),
         }
     }
     collect(b, Vec::new())

@@ -347,6 +347,9 @@ impl<M: Send + 'static> Mesh<M> {
         self.clock.sleep(net_time);
         let total = processing + net_time;
         metrics.inc("net_rpc_total", &labels);
+        metrics
+            .counter("net_rpc_bytes", &labels)
+            .add(bytes + reply_bytes);
         metrics.observe("net_rpc_latency", &labels, total);
         Tracer::global()
             .span(started, "net", "rpc")

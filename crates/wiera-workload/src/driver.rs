@@ -14,39 +14,136 @@ pub struct OpSample {
     pub version: u64,
 }
 
+/// Why a store operation failed, as much structure as the driver needs:
+/// a missing key is workload noise, anything else is a real error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvErrorKind {
+    NotFound,
+    Other,
+}
+
+/// A structured store failure.
+#[derive(Debug, Clone)]
+pub struct KvError {
+    pub kind: KvErrorKind,
+    pub message: String,
+}
+
+impl KvError {
+    pub fn not_found(message: impl Into<String>) -> KvError {
+        KvError {
+            kind: KvErrorKind::NotFound,
+            message: message.into(),
+        }
+    }
+
+    pub fn other(message: impl Into<String>) -> KvError {
+        KvError {
+            kind: KvErrorKind::Other,
+            message: message.into(),
+        }
+    }
+
+    pub fn is_not_found(&self) -> bool {
+        self.kind == KvErrorKind::NotFound
+    }
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for KvError {}
+
+impl From<KvError> for String {
+    fn from(e: KvError) -> String {
+        e.message
+    }
+}
+
 /// Anything a driver can load: `WieraClient` implements this, and the app
 /// substrates provide their own adapters.
 pub trait KvStore: Send + Sync {
-    fn kv_put(&self, key: &str, value: Bytes) -> Result<OpSample, String>;
-    fn kv_get(&self, key: &str) -> Result<OpSample, String>;
+    fn kv_put(&self, key: &str, value: Bytes) -> Result<OpSample, KvError>;
+    fn kv_get(&self, key: &str) -> Result<OpSample, KvError>;
     /// Get that also returns the object bytes (used by the file layer).
-    fn kv_get_value(&self, key: &str) -> Result<(Bytes, OpSample), String>;
+    fn kv_get_value(&self, key: &str) -> Result<(Bytes, OpSample), KvError>;
+
+    /// Batched writes, one result per item. The default loops per-op so
+    /// substrates without a native bulk path still work; stores with real
+    /// batch support (WieraClient) override it.
+    fn kv_put_batch(&self, items: &[(String, Bytes)]) -> Vec<Result<OpSample, KvError>> {
+        items
+            .iter()
+            .map(|(k, v)| self.kv_put(k, v.clone()))
+            .collect()
+    }
+
+    /// Batched reads, one result per item; same contract as
+    /// [`Self::kv_put_batch`].
+    fn kv_get_batch(&self, keys: &[String]) -> Vec<Result<OpSample, KvError>> {
+        keys.iter().map(|k| self.kv_get(k)).collect()
+    }
+}
+
+fn app_err(e: wiera::replica::AppError) -> KvError {
+    if e.is_not_found() {
+        KvError::not_found(e.to_string())
+    } else {
+        KvError::other(e.to_string())
+    }
+}
+
+fn view_sample(view: &wiera::replica::OpView) -> OpSample {
+    OpSample {
+        latency: view.latency,
+        version: view.version,
+    }
 }
 
 impl KvStore for wiera::client::WieraClient {
-    fn kv_put(&self, key: &str, value: Bytes) -> Result<OpSample, String> {
-        let view = self.put(key, value).map_err(|e| e.to_string())?;
-        Ok(OpSample {
-            latency: view.latency,
-            version: view.version,
-        })
+    fn kv_put(&self, key: &str, value: Bytes) -> Result<OpSample, KvError> {
+        self.put(key, value)
+            .map(|v| view_sample(&v))
+            .map_err(app_err)
     }
 
-    fn kv_get(&self, key: &str) -> Result<OpSample, String> {
-        let view = self.get(key).map_err(|e| e.to_string())?;
-        Ok(OpSample {
-            latency: view.latency,
-            version: view.version,
-        })
+    fn kv_get(&self, key: &str) -> Result<OpSample, KvError> {
+        self.get(key).map(|v| view_sample(&v)).map_err(app_err)
     }
 
-    fn kv_get_value(&self, key: &str) -> Result<(Bytes, OpSample), String> {
-        let view = self.get(key).map_err(|e| e.to_string())?;
-        let sample = OpSample {
-            latency: view.latency,
-            version: view.version,
-        };
+    fn kv_get_value(&self, key: &str) -> Result<(Bytes, OpSample), KvError> {
+        let view = self.get(key).map_err(app_err)?;
+        let sample = view_sample(&view);
         Ok((view.value.unwrap_or_default(), sample))
+    }
+
+    fn kv_put_batch(&self, items: &[(String, Bytes)]) -> Vec<Result<OpSample, KvError>> {
+        match self.put_batch(items) {
+            Ok(results) => results
+                .into_iter()
+                .map(|r| r.map(|v| view_sample(&v)).map_err(app_err))
+                .collect(),
+            Err(e) => {
+                let shared = app_err(e);
+                items.iter().map(|_| Err(shared.clone())).collect()
+            }
+        }
+    }
+
+    fn kv_get_batch(&self, keys: &[String]) -> Vec<Result<OpSample, KvError>> {
+        match self.get_batch(keys) {
+            Ok(results) => results
+                .into_iter()
+                .map(|r| r.map(|v| view_sample(&v)).map_err(app_err))
+                .collect(),
+            Err(e) => {
+                let shared = app_err(e);
+                keys.iter().map(|_| Err(shared.clone())).collect()
+            }
+        }
     }
 }
 
@@ -128,6 +225,89 @@ impl ClientDriver {
         }
     }
 
+    /// Issue `n` operations in batches of `batch`: each round draws `batch`
+    /// ops from the mix, groups the reads into one `kv_get_batch` and the
+    /// writes into one `kv_put_batch`, and records per-item samples exactly
+    /// like the per-op path (an RMW contributes to both groups).
+    pub fn run_batched_ops(
+        &self,
+        store: &dyn KvStore,
+        clock: &SharedClock,
+        rng: &mut SimRng,
+        n: u64,
+        batch: usize,
+    ) {
+        let batch = batch.max(1);
+        let mut remaining = n;
+        while remaining > 0 {
+            let round = remaining.min(batch as u64);
+            self.step_batch(store, rng, round as usize);
+            remaining -= round;
+            if !self.think.is_zero() {
+                clock.sleep(self.think);
+            }
+        }
+    }
+
+    fn step_batch(&self, store: &dyn KvStore, rng: &mut SimRng, batch: usize) {
+        let mut get_keys: Vec<String> = Vec::new();
+        let mut put_items: Vec<(String, Bytes)> = Vec::new();
+        for _ in 0..batch {
+            let kind = self.spec.next_op(rng);
+            let key = self.spec.next_key(rng);
+            if matches!(kind, OpKind::Get | OpKind::Rmw) {
+                get_keys.push(key.clone());
+            }
+            if matches!(kind, OpKind::Put | OpKind::Rmw) {
+                let mut buf = vec![0u8; self.spec.value_bytes];
+                rng.fill(&mut buf);
+                put_items.push((key, Bytes::from(buf)));
+            }
+        }
+        if !get_keys.is_empty() {
+            let expected: Vec<u64> = get_keys.iter().map(|k| self.ledger.latest(k)).collect();
+            for (want, r) in expected.into_iter().zip(store.kv_get_batch(&get_keys)) {
+                self.record_get(want, r);
+            }
+        }
+        if !put_items.is_empty() {
+            for ((key, _), r) in put_items.iter().zip(store.kv_put_batch(&put_items)) {
+                match r {
+                    Ok(s) => {
+                        self.put_rec.record(s.latency);
+                        self.ledger.on_put(key, s.version);
+                    }
+                    Err(_) => {
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        self.ops.fetch_add(batch as u64, Ordering::Relaxed);
+    }
+
+    fn record_get(&self, expected: u64, r: Result<OpSample, KvError>) {
+        match r {
+            Ok(s) => {
+                self.get_rec.record(s.latency);
+                if expected > 0 {
+                    if Ledger::is_fresh(s.version, expected) {
+                        self.fresh.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.stale.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) => {
+                // Reading a key nobody has written yet is not an error of
+                // interest for the workload.
+                if !e.is_not_found() {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
     /// One operation: draw kind + key, execute, record.
     pub fn step(&self, store: &dyn KvStore, rng: &mut SimRng) {
         let kind = self.spec.next_op(rng);
@@ -159,25 +339,7 @@ impl ClientDriver {
 
     fn do_get(&self, store: &dyn KvStore, key: &str) {
         let expected = self.ledger.latest(key);
-        match store.kv_get(key) {
-            Ok(s) => {
-                self.get_rec.record(s.latency);
-                if expected > 0 {
-                    if Ledger::is_fresh(s.version, expected) {
-                        self.fresh.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        self.stale.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
-            Err(e) => {
-                // Reading a key nobody has written yet is not an error of
-                // interest for the workload.
-                if !e.contains("not found") {
-                    self.errors.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }
+        self.record_get(expected, store.kv_get(key));
     }
 
     pub fn report(&self) -> DriverReport {
@@ -232,7 +394,7 @@ mod tests {
     }
 
     impl KvStore for FakeStore {
-        fn kv_put(&self, key: &str, _value: Bytes) -> Result<OpSample, String> {
+        fn kv_put(&self, key: &str, _value: Bytes) -> Result<OpSample, KvError> {
             let mut m = self.data.lock();
             let v = m.entry(key.to_string()).or_insert(0);
             *v += 1;
@@ -242,18 +404,18 @@ mod tests {
             })
         }
 
-        fn kv_get(&self, key: &str) -> Result<OpSample, String> {
+        fn kv_get(&self, key: &str) -> Result<OpSample, KvError> {
             let m = self.data.lock();
             match m.get(key) {
                 Some(&v) => Ok(OpSample {
                     latency: SimDuration::from_millis(1),
                     version: v.saturating_sub(self.lag),
                 }),
-                None => Err(format!("object '{key}' not found")),
+                None => Err(KvError::not_found(format!("object '{key}' not found"))),
             }
         }
 
-        fn kv_get_value(&self, key: &str) -> Result<(Bytes, OpSample), String> {
+        fn kv_get_value(&self, key: &str) -> Result<(Bytes, OpSample), KvError> {
             self.kv_get(key).map(|s| (Bytes::new(), s))
         }
     }
@@ -310,6 +472,24 @@ mod tests {
         let mut rng = SimRng::new(3);
         driver.run_ops(&store, &clock, &mut rng, 100);
         assert_eq!(driver.report().errors, 0);
+    }
+
+    #[test]
+    fn batched_driving_matches_per_op_accounting() {
+        let clock: SharedClock = ManualClock::new();
+        let store = FakeStore {
+            data: Mutex::new(HashMap::new()),
+            lag: 0,
+        };
+        let ledger = Arc::new(Ledger::new());
+        let driver = ClientDriver::new(WorkloadSpec::ycsb_a(50, 32), ledger, SimDuration::ZERO);
+        let mut rng = SimRng::new(5);
+        driver.run_batched_ops(&store, &clock, &mut rng, 500, 64);
+        let r = driver.report();
+        assert_eq!(r.ops, 500);
+        assert_eq!(r.errors, 0, "missing keys must not count as errors");
+        assert!(r.put_latency.count > 150, "puts {}", r.put_latency.count);
+        assert!(r.get_latency.count > 0);
     }
 
     #[test]

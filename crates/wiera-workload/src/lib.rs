@@ -25,7 +25,7 @@ pub mod ledger;
 pub mod spec;
 
 pub use diurnal::ActiveSchedule;
-pub use driver::{ClientDriver, DriverReport, KvStore, OpSample};
+pub use driver::{ClientDriver, DriverReport, KvError, KvErrorKind, KvStore, OpSample};
 pub use keychooser::KeyChooser;
 pub use ledger::Ledger;
 pub use spec::{OpKind, WorkloadSpec};

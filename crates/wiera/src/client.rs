@@ -5,13 +5,19 @@
 //! §4.4: "if the application observes that the closest instance is down
 //! then it tries to send requests to the second closest instance, and so
 //! on". Applications stay *unmodified*: this is the only integration point.
+//!
+//! Every method funnels through one failover loop with one retry/timeout
+//! policy: transport failures advance to the next-closest replica, semantic
+//! (`Fail`) replies are final. The batch calls (`put_batch`/`get_batch`)
+//! ship one amortized-header message per batch and report per-item results,
+//! so a partial failure inside a batch never hides the items that succeeded.
 
-use crate::msg::DataMsg;
-use crate::replica::{app_rpc, AppError, OpView};
+use crate::msg::{DataMsg, PutItem};
+use crate::replica::{view_of_item, view_of_reply, AppError, OpView, DATA_TIMEOUT};
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::sync::Arc;
-use wiera_net::{Mesh, NodeId, Region};
+use wiera_net::{Mesh, NodeId, Region, RpcReply};
 
 /// An application's connection to a Wiera deployment.
 pub struct WieraClient {
@@ -57,73 +63,73 @@ impl WieraClient {
     }
 
     /// Issue an operation with closest-first failover: transport failures
-    /// move to the next-closest replica; semantic errors are final.
-    fn with_failover(&self, make: impl Fn() -> DataMsg) -> Result<OpView, AppError> {
+    /// move to the next-closest replica; whatever `parse` returns — success
+    /// or a semantic error — is final. Every client method routes through
+    /// here, so they all share one retry/timeout/failover policy.
+    fn with_failover<T>(
+        &self,
+        make: impl Fn() -> DataMsg,
+        parse: impl Fn(RpcReply<DataMsg>, &NodeId) -> Result<T, AppError>,
+    ) -> Result<T, AppError> {
         let candidates = self.replicas.read().clone();
         if candidates.is_empty() {
-            return Err(AppError::Remote("no replicas configured".into()));
+            return Err(AppError::blocked("no replicas configured"));
         }
         let mut last: Option<AppError> = None;
         for target in &candidates {
-            match app_rpc(&self.mesh, &self.me, target, make()) {
-                Ok(view) => return Ok(view),
-                Err(AppError::Net(e)) => last = Some(AppError::Net(e)),
-                Err(fatal @ AppError::Remote(_)) => return Err(fatal),
+            let msg = make();
+            let bytes = msg.wire_bytes();
+            match self.mesh.rpc(&self.me, target, msg, bytes, DATA_TIMEOUT) {
+                Ok(reply) => return parse(reply, target),
+                Err(e) => last = Some(AppError::Net(e)),
             }
         }
-        Err(last.unwrap_or_else(|| AppError::Remote("all replicas failed".into())))
+        Err(last.unwrap_or_else(|| AppError::blocked("all replicas failed")))
+    }
+
+    /// The common case: one request, one `OpView`-shaped answer.
+    fn op(&self, make: impl Fn() -> DataMsg) -> Result<OpView, AppError> {
+        self.with_failover(make, |reply, target| {
+            let latency = reply.total();
+            view_of_reply(reply.msg, latency, target)
+        })
     }
 
     pub fn put(&self, key: &str, value: Bytes) -> Result<OpView, AppError> {
-        self.with_failover(|| DataMsg::Put {
+        self.op(|| DataMsg::Put {
             key: key.to_string(),
             value: value.clone(),
         })
     }
 
     pub fn get(&self, key: &str) -> Result<OpView, AppError> {
-        self.with_failover(|| DataMsg::Get {
+        self.op(|| DataMsg::Get {
             key: key.to_string(),
         })
     }
 
     pub fn get_version(&self, key: &str, version: u64) -> Result<OpView, AppError> {
-        self.with_failover(|| DataMsg::GetVersion {
+        self.op(|| DataMsg::GetVersion {
             key: key.to_string(),
             version,
         })
     }
 
     pub fn get_version_list(&self, key: &str) -> Result<Vec<u64>, AppError> {
-        // The list itself comes back through the OpView translation; ask the
-        // closest replica directly for the full vector.
-        let candidates = self.replicas.read().clone();
-        let mut last: Option<AppError> = None;
-        for target in &candidates {
-            let msg = DataMsg::GetVersionList {
+        self.with_failover(
+            || DataMsg::GetVersionList {
                 key: key.to_string(),
-            };
-            let bytes = msg.wire_bytes();
-            match self.mesh.rpc(
-                &self.me,
-                target,
-                msg,
-                bytes,
-                wiera_sim::SimDuration::from_secs(120),
-            ) {
-                Ok(r) => match r.msg {
-                    DataMsg::VersionList { versions } => return Ok(versions),
-                    DataMsg::Fail { why } => return Err(AppError::Remote(why)),
-                    other => return Err(AppError::Remote(format!("bad reply {other:?}"))),
-                },
-                Err(e) => last = Some(AppError::Net(e)),
-            }
-        }
-        Err(last.unwrap_or_else(|| AppError::Remote("no replicas configured".into())))
+            },
+            |reply, _| match reply.msg {
+                DataMsg::VersionList { versions } => Ok(versions),
+                DataMsg::Fail { code, why } => Err(AppError::Remote { code, why }),
+                other => Err(AppError::internal(format!("bad reply {other:?}"))),
+            },
+        )
     }
 
     pub fn update(&self, key: &str, version: u64, value: Bytes) -> Result<OpView, AppError> {
-        self.with_failover(|| DataMsg::Update {
+        self.op(|| DataMsg::Update {
             key: key.to_string(),
             version,
             value: value.clone(),
@@ -131,15 +137,65 @@ impl WieraClient {
     }
 
     pub fn remove(&self, key: &str) -> Result<OpView, AppError> {
-        self.with_failover(|| DataMsg::Remove {
+        self.op(|| DataMsg::Remove {
             key: key.to_string(),
         })
     }
 
     pub fn remove_version(&self, key: &str, version: u64) -> Result<OpView, AppError> {
-        self.with_failover(|| DataMsg::RemoveVersion {
+        self.op(|| DataMsg::RemoveVersion {
             key: key.to_string(),
             version,
         })
+    }
+
+    /// Write a batch of keys in one request (one wire header for the whole
+    /// batch). The outer `Result` is transport-level — a replica that cannot
+    /// be reached fails the whole batch over to the next candidate. The
+    /// inner per-item results carry semantic failures individually, so a
+    /// partial failure reports exactly which items lost.
+    pub fn put_batch(
+        &self,
+        items: &[(String, Bytes)],
+    ) -> Result<Vec<Result<OpView, AppError>>, AppError> {
+        let payload: Vec<PutItem> = items
+            .iter()
+            .map(|(key, value)| PutItem {
+                key: key.clone(),
+                value: value.clone(),
+            })
+            .collect();
+        self.with_failover(
+            || DataMsg::MultiPut {
+                items: payload.clone(),
+            },
+            batch_views,
+        )
+    }
+
+    /// Read a batch of keys in one request; same failover and per-item
+    /// semantics as [`Self::put_batch`].
+    pub fn get_batch(&self, keys: &[String]) -> Result<Vec<Result<OpView, AppError>>, AppError> {
+        self.with_failover(
+            || DataMsg::MultiGet {
+                keys: keys.to_vec(),
+            },
+            batch_views,
+        )
+    }
+}
+
+fn batch_views(
+    reply: RpcReply<DataMsg>,
+    target: &NodeId,
+) -> Result<Vec<Result<OpView, AppError>>, AppError> {
+    let latency = reply.total();
+    match reply.msg {
+        DataMsg::MultiReply { results } => Ok(results
+            .into_iter()
+            .map(|item| view_of_item(item, latency, target))
+            .collect()),
+        DataMsg::Fail { code, why } => Err(AppError::Remote { code, why }),
+        other => Err(AppError::internal(format!("bad batch reply {other:?}"))),
     }
 }

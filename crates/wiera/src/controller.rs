@@ -3,7 +3,7 @@
 //! US-East exactly as the evaluation deploys it.
 
 use crate::deployment::{DeploymentConfig, WieraDeployment};
-use crate::msg::{ChangeRequest, DataMsg, ReplicaSpec};
+use crate::msg::{ChangeRequest, DataMsg, FailCode, ReplicaSpec};
 use crate::resolve_region;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -281,7 +281,7 @@ impl WieraController {
                     }
                     replicas.push(node);
                 }
-                DataMsg::Fail { why } => return Err(format!("spawn failed: {why}")),
+                DataMsg::Fail { why, .. } => return Err(format!("spawn failed: {why}")),
                 other => return Err(format!("bad spawn reply {other:?}")),
             }
         }
@@ -379,6 +379,7 @@ impl WieraController {
                                 DataMsg::Ok
                             } else {
                                 DataMsg::Fail {
+                                    code: FailCode::Internal,
                                     why: "change not applied".into(),
                                 }
                             };
@@ -390,6 +391,7 @@ impl WieraController {
                     MetricsRegistry::global().inc("controller_worker_spawn_errors", &[]);
                     if let Some(slot) = slot_cell.lock().take() {
                         let msg = DataMsg::Fail {
+                            code: FailCode::Internal,
                             why: format!("cannot spawn change worker: {e}"),
                         };
                         let bytes = msg.wire_bytes();
@@ -405,6 +407,7 @@ impl WieraController {
             other => {
                 if let Some(slot) = d.reply {
                     let msg = DataMsg::Fail {
+                        code: FailCode::Internal,
                         why: format!("controller got {other:?}"),
                     };
                     let bytes = msg.wire_bytes();

@@ -6,14 +6,16 @@
 //! migration (Fig. 5(b)) — all over the wire, since the controller never
 //! touches the data path.
 
+use crate::client::WieraClient;
 use crate::msg::{DataMsg, LatencySpec, MonitorSpec, ReplicaSpec, RequestsSpec};
 use crate::replica::{app_rpc, AppError, OpView};
 use bytes::Bytes;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use wiera_net::{Mesh, NodeId, Region};
 use wiera_policy::{CompiledPolicy, ConsistencyModel};
-use wiera_sim::lockreg::TrackedRwLock;
+use wiera_sim::lockreg::{TrackedMutex, TrackedRwLock};
 use wiera_sim::SimDuration;
 
 const CTRL_TIMEOUT: SimDuration = SimDuration::from_secs(120);
@@ -75,6 +77,10 @@ pub struct WieraDeployment {
     primary: TrackedRwLock<Option<NodeId>>,
     consistency: TrackedRwLock<ConsistencyModel>,
     epoch: AtomicU64,
+    /// Per-origin client handles for `put_from`/`get_from`, so both paths
+    /// share the client layer's closest-first failover policy. Refreshed on
+    /// membership changes.
+    clients: TrackedMutex<HashMap<NodeId, Arc<WieraClient>>>,
     /// The spec each replica was spawned with (for repair re-spawns).
     pub(crate) spec_template: ReplicaSpec,
 }
@@ -97,6 +103,7 @@ impl WieraDeployment {
             primary: TrackedRwLock::new("dep.primary", primary),
             consistency: TrackedRwLock::new("dep.consistency", consistency),
             epoch: AtomicU64::new(1),
+            clients: TrackedMutex::new("dep.clients", HashMap::new()),
             spec_template,
         })
     }
@@ -146,7 +153,8 @@ impl WieraDeployment {
         epoch
     }
 
-    /// Install the current membership on every replica.
+    /// Install the current membership on every replica, and refresh any
+    /// cached per-origin clients so they fail over across the new list.
     pub fn push_membership(&self) {
         let reps = self.replicas();
         let primary = self.primary();
@@ -155,6 +163,9 @@ impl WieraDeployment {
             primary: primary.clone(),
             epoch,
         });
+        for client in self.clients.lock().values() {
+            client.update_replicas(reps.clone());
+        }
     }
 
     /// Switch the whole deployment's consistency model (§3.3.2): every
@@ -202,27 +213,31 @@ impl WieraDeployment {
         app_rpc(&self.mesh, from, to, msg)
     }
 
+    /// The cached client acting on behalf of `from`: closest-first routing
+    /// plus failover, identical to what an external application would get.
+    fn client_for(&self, from: &NodeId) -> Arc<WieraClient> {
+        let mut clients = self.clients.lock();
+        clients
+            .entry(from.clone())
+            .or_insert_with(|| {
+                WieraClient::connect(
+                    self.mesh.clone(),
+                    from.region,
+                    from.name.to_string(),
+                    self.replicas(),
+                )
+            })
+            .clone()
+    }
+
     /// Convenience: put via the replica closest to `from`.
     pub fn put_from(&self, from: &NodeId, key: &str, value: Bytes) -> Result<OpView, AppError> {
-        let to = self
-            .replica_in(from.region)
-            .ok_or_else(|| AppError::Remote("no replicas".into()))?;
-        self.op(
-            from,
-            &to,
-            DataMsg::Put {
-                key: key.into(),
-                value,
-            },
-        )
+        self.client_for(from).put(key, value)
     }
 
     /// Convenience: get via the replica closest to `from`.
     pub fn get_from(&self, from: &NodeId, key: &str) -> Result<OpView, AppError> {
-        let to = self
-            .replica_in(from.region)
-            .ok_or_else(|| AppError::Remote("no replicas".into()))?;
-        self.op(from, &to, DataMsg::Get { key: key.into() })
+        self.client_for(from).get(key)
     }
 
     /// Ask each replica to stop.

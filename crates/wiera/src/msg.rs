@@ -40,6 +40,20 @@ pub enum DataMsg {
         key: String,
         version: u64,
     },
+    /// Bulk write: many puts in one request. The whole batch pays a single
+    /// wire header; per-item outcomes come back in [`DataMsg::MultiReply`]
+    /// in request order.
+    MultiPut {
+        items: Vec<PutItem>,
+    },
+    /// Bulk read; per-item outcomes come back in [`DataMsg::MultiReply`].
+    MultiGet {
+        keys: Vec<String>,
+    },
+    /// Per-item results for a `MultiPut`/`MultiGet`, in request order.
+    MultiReply {
+        results: Vec<ItemResult>,
+    },
 
     /// Successful write: the version written and where it landed.
     PutAck {
@@ -55,8 +69,10 @@ pub enum DataMsg {
         versions: Vec<u64>,
     },
     Removed,
-    /// Request-level failure.
+    /// Request-level failure, with a machine-checkable kind so callers
+    /// branch on `code` instead of substring-matching `why`.
     Fail {
+        code: FailCode,
         why: String,
     },
 
@@ -68,7 +84,14 @@ pub enum DataMsg {
         modified: SimInstant,
         value: Bytes,
     },
-    /// Last-write-wins outcome at the receiver (§4.2).
+    /// Coalesced replication: every pending update for one peer in a single
+    /// message (one wire header for the batch). The receiver applies
+    /// last-write-wins per item.
+    ReplicateBatch {
+        items: Vec<SyncObject>,
+    },
+    /// Last-write-wins outcome at the receiver (§4.2). For a batch,
+    /// `applied` is true when at least one item won its LWW race.
     ReplicateAck {
         applied: bool,
     },
@@ -206,21 +229,101 @@ pub struct SyncObject {
     pub value: Bytes,
 }
 
+/// Failure kinds a replica can report. Coarse on purpose: clients branch
+/// on these, humans read `why`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailCode {
+    /// The object does not exist.
+    NotFound,
+    /// The object exists but the requested version does not.
+    VersionMissing,
+    /// The request cannot be served right now (no primary configured,
+    /// coordination lock unavailable, consistency switch in flight).
+    Blocked,
+    /// Anything else: engine errors, protocol violations, bad requests.
+    Internal,
+}
+
+impl std::fmt::Display for FailCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FailCode::NotFound => "not-found",
+            FailCode::VersionMissing => "version-missing",
+            FailCode::Blocked => "blocked",
+            FailCode::Internal => "internal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One write in a [`DataMsg::MultiPut`].
+#[derive(Debug, Clone)]
+pub struct PutItem {
+    pub key: String,
+    pub value: Bytes,
+}
+
+/// One outcome in a [`DataMsg::MultiReply`], mirroring the single-op
+/// replies item by item.
+#[derive(Debug, Clone)]
+pub enum ItemResult {
+    /// The item's write succeeded (cf. [`DataMsg::PutAck`]).
+    Put { version: u64 },
+    /// The item's read succeeded (cf. [`DataMsg::GetReply`]).
+    Value {
+        value: Bytes,
+        version: u64,
+        modified: SimInstant,
+    },
+    /// The item failed; the rest of the batch is unaffected.
+    Err { code: FailCode, why: String },
+}
+
+impl ItemResult {
+    /// Payload bytes this item contributes to its batch reply (no
+    /// per-item header beyond a small fixed tag).
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            ItemResult::Put { .. } => 8,
+            ItemResult::Value { value, .. } => 16 + value.len() as u64,
+            ItemResult::Err { why, .. } => 8 + why.len() as u64,
+        }
+    }
+}
+
 impl DataMsg {
     /// Approximate wire size for network modeling: header plus payload.
+    ///
+    /// Batched messages pay the 64-byte header **once per batch** plus a
+    /// small fixed per-item tag — this amortization is the wire-level half
+    /// of the bulk-operation win (the other half is fewer round trips).
     pub fn wire_bytes(&self) -> u64 {
         const HDR: u64 = 64;
+        /// Per-item framing inside a batch (length prefixes + tag).
+        const ITEM: u64 = 8;
         match self {
             DataMsg::Put { key, value } => HDR + key.len() as u64 + value.len() as u64,
             DataMsg::Update { key, value, .. } => HDR + key.len() as u64 + value.len() as u64,
             DataMsg::Replicate { key, value, .. } => HDR + key.len() as u64 + value.len() as u64,
             DataMsg::ForwardPut { key, value, .. } => HDR + key.len() as u64 + value.len() as u64,
             DataMsg::GetReply { value, .. } => HDR + value.len() as u64,
-            DataMsg::SyncReply { objects } => {
+            DataMsg::SyncReply { objects } | DataMsg::ReplicateBatch { items: objects } => {
                 HDR + objects
                     .iter()
                     .map(|o| o.key.len() as u64 + o.value.len() as u64 + 32)
                     .sum::<u64>()
+            }
+            DataMsg::MultiPut { items } => {
+                HDR + items
+                    .iter()
+                    .map(|i| i.key.len() as u64 + i.value.len() as u64 + ITEM)
+                    .sum::<u64>()
+            }
+            DataMsg::MultiGet { keys } => {
+                HDR + keys.iter().map(|k| k.len() as u64 + ITEM).sum::<u64>()
+            }
+            DataMsg::MultiReply { results } => {
+                HDR + results.iter().map(|r| r.wire_bytes()).sum::<u64>()
             }
             DataMsg::Get { key } | DataMsg::Remove { key } | DataMsg::GetVersionList { key } => {
                 HDR + key.len() as u64
@@ -269,5 +372,93 @@ mod tests {
         ];
         let m = DataMsg::SyncReply { objects };
         assert!(m.wire_bytes() > 300);
+    }
+
+    #[test]
+    fn batched_puts_amortize_the_header() {
+        let items: Vec<PutItem> = (0..64)
+            .map(|i| PutItem {
+                key: format!("user{i:08}"),
+                value: Bytes::from(vec![0u8; 32]),
+            })
+            .collect();
+        let singles: u64 = items
+            .iter()
+            .map(|i| {
+                DataMsg::Put {
+                    key: i.key.clone(),
+                    value: i.value.clone(),
+                }
+                .wire_bytes()
+                    + DataMsg::PutAck { version: 1 }.wire_bytes()
+            })
+            .sum();
+        let batch = DataMsg::MultiPut { items }.wire_bytes()
+            + DataMsg::MultiReply {
+                results: (0..64).map(|_| ItemResult::Put { version: 1 }).collect(),
+            }
+            .wire_bytes();
+        assert!(
+            batch * 2 <= singles,
+            "batch {batch} should cost at most half of per-op {singles}"
+        );
+    }
+
+    #[test]
+    fn batched_gets_amortize_the_header() {
+        let keys: Vec<String> = (0..64).map(|i| format!("user{i:08}")).collect();
+        let singles: u64 = keys
+            .iter()
+            .map(|k| {
+                DataMsg::Get { key: k.clone() }.wire_bytes()
+                    + DataMsg::GetReply {
+                        value: Bytes::from(vec![0u8; 32]),
+                        version: 1,
+                        modified: SimInstant::EPOCH,
+                    }
+                    .wire_bytes()
+            })
+            .sum();
+        let batch = DataMsg::MultiGet { keys }.wire_bytes()
+            + DataMsg::MultiReply {
+                results: (0..64)
+                    .map(|_| ItemResult::Value {
+                        value: Bytes::from(vec![0u8; 32]),
+                        version: 1,
+                        modified: SimInstant::EPOCH,
+                    })
+                    .collect(),
+            }
+            .wire_bytes();
+        assert!(
+            batch * 2 <= singles,
+            "batch {batch} should cost at most half of per-op {singles}"
+        );
+    }
+
+    #[test]
+    fn replicate_batch_amortizes_the_header() {
+        let items: Vec<SyncObject> = (0..8)
+            .map(|i| SyncObject {
+                key: format!("k{i}"),
+                version: i,
+                modified: SimInstant::EPOCH,
+                value: Bytes::from(vec![0u8; 16]),
+            })
+            .collect();
+        let singles: u64 = items
+            .iter()
+            .map(|o| {
+                DataMsg::Replicate {
+                    key: o.key.clone(),
+                    version: o.version,
+                    modified: o.modified,
+                    value: o.value.clone(),
+                }
+                .wire_bytes()
+            })
+            .sum();
+        let batch = DataMsg::ReplicateBatch { items }.wire_bytes();
+        assert!(batch < singles, "batch {batch} vs singles {singles}");
     }
 }

@@ -16,13 +16,13 @@
 //!   in progress (§3.3.2: new requests "blocked and queued until the change
 //!   takes effect").
 
-use crate::msg::{DataMsg, SyncObject};
+use crate::msg::{DataMsg, FailCode, ItemResult, PutItem, SyncObject};
 use bytes::Bytes;
 use parking_lot::Condvar;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use tiera::{InstanceConfig, TieraInstance};
+use tiera::{BatchOp, InstanceConfig, TieraError, TieraInstance};
 use wiera_coord::CoordClient;
 use wiera_net::{Delivery, Mesh, NetError, NodeId};
 use wiera_policy::ConsistencyModel;
@@ -30,7 +30,7 @@ use wiera_sim::lockreg::{TrackedMutex, TrackedRwLock};
 use wiera_sim::{MetricsRegistry, SimDuration, SimInstant, Tracer};
 
 /// RPC timeout for data-path calls.
-const DATA_TIMEOUT: SimDuration = SimDuration::from_secs(120);
+pub(crate) const DATA_TIMEOUT: SimDuration = SimDuration::from_secs(120);
 /// How long the put-latency window is retained for monitors.
 const WINDOW_RETENTION: SimDuration = SimDuration::from_secs(120);
 
@@ -73,11 +73,44 @@ impl Gate {
     }
 }
 
-struct QueuedUpdate {
-    key: String,
-    version: u64,
-    modified: SimInstant,
-    value: Bytes,
+/// Structured failure raised inside the replica's protocol paths, carried
+/// to the wire as [`DataMsg::Fail`].
+#[derive(Debug, Clone)]
+struct OpFail {
+    code: FailCode,
+    why: String,
+}
+
+impl OpFail {
+    fn new(code: FailCode, why: impl Into<String>) -> OpFail {
+        OpFail {
+            code,
+            why: why.into(),
+        }
+    }
+
+    fn blocked(why: impl Into<String>) -> OpFail {
+        OpFail::new(FailCode::Blocked, why)
+    }
+
+    fn internal(why: impl Into<String>) -> OpFail {
+        OpFail::new(FailCode::Internal, why)
+    }
+}
+
+impl From<TieraError> for OpFail {
+    fn from(e: TieraError) -> OpFail {
+        OpFail::new(fail_code(&e), e.to_string())
+    }
+}
+
+/// Map an engine error to its wire-level failure kind.
+fn fail_code(e: &TieraError) -> FailCode {
+    match e {
+        TieraError::NotFound(_) => FailCode::NotFound,
+        TieraError::VersionNotFound(..) => FailCode::VersionMissing,
+        _ => FailCode::Internal,
+    }
 }
 
 /// Construction parameters for a replica.
@@ -111,7 +144,9 @@ pub struct ReplicaNode {
     inst: Arc<TieraInstance>,
     state: TrackedRwLock<ProtoState>,
     gate: Gate,
-    queue: TrackedMutex<VecDeque<QueuedUpdate>>,
+    /// Updates awaiting asynchronous distribution; the flusher coalesces
+    /// the whole queue into one [`DataMsg::ReplicateBatch`] per peer.
+    queue: TrackedMutex<VecDeque<SyncObject>>,
     coord: Option<Arc<CoordClient>>,
     flush_interval: SimDuration,
     forward_gets_to: TrackedRwLock<Option<NodeId>>,
@@ -285,6 +320,8 @@ impl ReplicaNode {
             | DataMsg::Update { .. }
             | DataMsg::Remove { .. }
             | DataMsg::RemoveVersion { .. }
+            | DataMsg::MultiPut { .. }
+            | DataMsg::MultiGet { .. }
             | DataMsg::ForwardPut { .. } => {
                 let r = self.clone();
                 if let Err(e) = std::thread::Builder::new()
@@ -332,6 +369,33 @@ impl ReplicaNode {
                     self.record_history("replicate_apply", &key, version, digest, now, took);
                 }
                 reply(d.reply, DataMsg::ReplicateAck { applied }, took);
+            }
+            DataMsg::ReplicateBatch { items } => {
+                // LWW per item (§4.2): one losing item does not block the
+                // rest of the batch.
+                let mut any = false;
+                let mut took = SimDuration::ZERO;
+                for o in items {
+                    let digest = value_digest(&o.value);
+                    if let Ok(Some(out)) = self
+                        .inst
+                        .apply_replicated(&o.key, o.version, o.modified, o.value)
+                    {
+                        any = true;
+                        took += out.latency;
+                        let now = self.mesh.clock.now();
+                        self.record_history(
+                            "replicate_apply",
+                            &o.key,
+                            o.version,
+                            digest,
+                            now,
+                            out.latency,
+                        );
+                    }
+                }
+                took = took.max(SimDuration::from_micros(200));
+                reply(d.reply, DataMsg::ReplicateAck { applied: any }, took);
             }
             DataMsg::SetPeers {
                 peers,
@@ -384,6 +448,7 @@ impl ReplicaNode {
                 reply(
                     d.reply,
                     DataMsg::Fail {
+                        code: FailCode::Internal,
                         why: format!("unexpected message {other:?}"),
                     },
                     SimDuration::ZERO,
@@ -432,40 +497,16 @@ impl ReplicaNode {
         took
     }
 
-    /// Drain the queue before a switch. One-way sends, then a wait covering
-    /// the slowest modeled delivery: every queued update is applied at its
-    /// peer before the new model takes over, without blocking on peer
-    /// handlers that may themselves be mid-switch (two replicas switching
-    /// simultaneously must not RPC each other from their handler threads —
-    /// that deadlocks until timeouts).
+    /// Drain the queue before a switch. One coalesced one-way send per peer,
+    /// then a wait covering the slowest modeled delivery: every queued
+    /// update is applied at its peer before the new model takes over,
+    /// without blocking on peer handlers that may themselves be mid-switch
+    /// (two replicas switching simultaneously must not RPC each other from
+    /// their handler threads — that deadlocks until timeouts).
     fn flush_queue_sync(&self) -> SimDuration {
-        let pending: Vec<QueuedUpdate> = self.queue.lock().drain(..).collect();
-        if pending.is_empty() {
+        let max_delay = self.flush_coalesced();
+        if max_delay == SimDuration::ZERO {
             return SimDuration::ZERO;
-        }
-        let peers = self.peers();
-        let mut max_delay = SimDuration::ZERO;
-        for u in &pending {
-            for peer in &peers {
-                let msg = DataMsg::Replicate {
-                    key: u.key.clone(),
-                    version: u.version,
-                    modified: u.modified,
-                    value: u.value.clone(),
-                };
-                let bytes = msg.wire_bytes();
-                match self.mesh.send(&self.node, peer, msg, bytes) {
-                    Ok(delay) => {
-                        self.stats.egress_bytes.fetch_add(bytes, Ordering::Relaxed);
-                        max_delay = max_delay.max(delay);
-                    }
-                    Err(_) => {
-                        self.stats
-                            .replication_failures
-                            .fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
         }
         // Wait out the slowest delivery (plus slack for the peer to apply).
         self.mesh
@@ -477,32 +518,38 @@ impl ReplicaNode {
     /// Periodic asynchronous distribution of queued updates (one-way sends
     /// that arrive after the modeled latency — replicas genuinely lag).
     fn flush_queue_async(&self) {
-        let pending: Vec<QueuedUpdate> = self.queue.lock().drain(..).collect();
-        if pending.is_empty() {
-            return;
+        self.flush_coalesced();
+    }
+
+    /// Drain the whole queue into **one** [`DataMsg::ReplicateBatch`] per
+    /// peer (the replication-coalescing half of the bulk-operation design:
+    /// n queued updates × p peers cost p messages, not n×p). Returns the
+    /// slowest modeled delivery delay.
+    fn flush_coalesced(&self) -> SimDuration {
+        let items: Vec<SyncObject> = self.queue.lock().drain(..).collect();
+        if items.is_empty() {
+            return SimDuration::ZERO;
         }
         let peers = self.peers();
-        for u in &pending {
-            for peer in &peers {
-                let msg = DataMsg::Replicate {
-                    key: u.key.clone(),
-                    version: u.version,
-                    modified: u.modified,
-                    value: u.value.clone(),
-                };
-                let bytes = msg.wire_bytes();
-                match self.mesh.send(&self.node, peer, msg, bytes) {
-                    Ok(_) => {
-                        self.stats.egress_bytes.fetch_add(bytes, Ordering::Relaxed);
-                    }
-                    Err(_) => {
-                        self.stats
-                            .replication_failures
-                            .fetch_add(1, Ordering::Relaxed);
-                    }
+        let mut max_delay = SimDuration::ZERO;
+        for peer in &peers {
+            let msg = DataMsg::ReplicateBatch {
+                items: items.clone(),
+            };
+            let bytes = msg.wire_bytes();
+            match self.mesh.send(&self.node, peer, msg, bytes) {
+                Ok(delay) => {
+                    self.stats.egress_bytes.fetch_add(bytes, Ordering::Relaxed);
+                    max_delay = max_delay.max(delay);
+                }
+                Err(_) => {
+                    self.stats
+                        .replication_failures
+                        .fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
+        max_delay
     }
 
     fn dump_state(&self) -> Vec<SyncObject> {
@@ -553,8 +600,36 @@ impl ReplicaNode {
                         self.record_history("put", &key, version, digest, started, latency);
                         (DataMsg::PutAck { version }, latency)
                     }
-                    Err(why) => (DataMsg::Fail { why }, SimDuration::from_millis(1)),
+                    Err(f) => (
+                        DataMsg::Fail {
+                            code: f.code,
+                            why: f.why,
+                        },
+                        SimDuration::from_millis(1),
+                    ),
                 }
+            }
+            DataMsg::MultiPut { items } => {
+                let started = self.mesh.clock.now();
+                let (results, took) = self.protocol_put_batch(items, started);
+                (DataMsg::MultiReply { results }, took)
+            }
+            DataMsg::MultiGet { keys } => {
+                let started = self.mesh.clock.now();
+                let (results, took) = self.protocol_get_batch(&keys);
+                for (key, res) in keys.iter().zip(&results) {
+                    if let ItemResult::Value { value, version, .. } = res {
+                        self.record_history(
+                            "mget",
+                            key,
+                            *version,
+                            value_digest(value),
+                            started,
+                            took,
+                        );
+                    }
+                }
+                (DataMsg::MultiReply { results }, took)
             }
             DataMsg::ForwardPut { key, value, origin } => {
                 // Primary-side accounting for the requests monitor.
@@ -565,7 +640,13 @@ impl ReplicaNode {
                     .push_back(self.mesh.clock.now());
                 match self.primary_side_put(&key, value) {
                     Ok((version, latency)) => (DataMsg::PutAck { version }, latency),
-                    Err(why) => (DataMsg::Fail { why }, SimDuration::from_millis(1)),
+                    Err(f) => (
+                        DataMsg::Fail {
+                            code: f.code,
+                            why: f.why,
+                        },
+                        SimDuration::from_millis(1),
+                    ),
                 }
             }
             DataMsg::Get { key } => {
@@ -589,7 +670,13 @@ impl ReplicaNode {
                             latency,
                         )
                     }
-                    Err(why) => (DataMsg::Fail { why }, SimDuration::from_millis(1)),
+                    Err(f) => (
+                        DataMsg::Fail {
+                            code: f.code,
+                            why: f.why,
+                        },
+                        SimDuration::from_millis(1),
+                    ),
                 }
             }
             DataMsg::GetVersion { key, version } => match self.protocol_get(&key, Some(version)) {
@@ -601,7 +688,13 @@ impl ReplicaNode {
                     },
                     latency,
                 ),
-                Err(why) => (DataMsg::Fail { why }, SimDuration::from_millis(1)),
+                Err(f) => (
+                    DataMsg::Fail {
+                        code: f.code,
+                        why: f.why,
+                    },
+                    SimDuration::from_millis(1),
+                ),
             },
             DataMsg::GetVersionList { key } => match self.inst.get_version_list(&key) {
                 Ok(versions) => (
@@ -609,7 +702,10 @@ impl ReplicaNode {
                     SimDuration::from_micros(300),
                 ),
                 Err(e) => (
-                    DataMsg::Fail { why: e.to_string() },
+                    DataMsg::Fail {
+                        code: fail_code(&e),
+                        why: e.to_string(),
+                    },
                     SimDuration::from_micros(300),
                 ),
             },
@@ -625,14 +721,20 @@ impl ReplicaNode {
                     out.latency,
                 ),
                 Err(e) => (
-                    DataMsg::Fail { why: e.to_string() },
+                    DataMsg::Fail {
+                        code: fail_code(&e),
+                        why: e.to_string(),
+                    },
                     SimDuration::from_millis(1),
                 ),
             },
             DataMsg::Remove { key } => match self.inst.remove(&key) {
                 Ok(()) => (DataMsg::Removed, SimDuration::from_millis(1)),
                 Err(e) => (
-                    DataMsg::Fail { why: e.to_string() },
+                    DataMsg::Fail {
+                        code: fail_code(&e),
+                        why: e.to_string(),
+                    },
                     SimDuration::from_millis(1),
                 ),
             },
@@ -640,13 +742,17 @@ impl ReplicaNode {
                 match self.inst.remove_version(&key, version) {
                     Ok(()) => (DataMsg::Removed, SimDuration::from_millis(1)),
                     Err(e) => (
-                        DataMsg::Fail { why: e.to_string() },
+                        DataMsg::Fail {
+                            code: fail_code(&e),
+                            why: e.to_string(),
+                        },
                         SimDuration::from_millis(1),
                     ),
                 }
             }
             other => (
                 DataMsg::Fail {
+                    code: FailCode::Internal,
                     why: format!("not an app op: {other:?}"),
                 },
                 SimDuration::ZERO,
@@ -664,7 +770,7 @@ impl ReplicaNode {
         self: &Arc<Self>,
         key: &str,
         value: Bytes,
-    ) -> Result<(u64, SimDuration), String> {
+    ) -> Result<(u64, SimDuration), OpFail> {
         let model = self.consistency();
         let result = match model {
             ConsistencyModel::MultiPrimaries => self.put_multi_primaries(key, value),
@@ -695,25 +801,230 @@ impl ReplicaNode {
         result
     }
 
+    /// Bulk application put: one engine pass, one coalesced replication
+    /// fan-out, per-item results. A batch-level failure (no coordinator, no
+    /// primary, forwarding failure) fails every item with the same code;
+    /// per-item engine errors leave the rest of the batch intact.
+    fn protocol_put_batch(
+        self: &Arc<Self>,
+        items: Vec<PutItem>,
+        started: SimInstant,
+    ) -> (Vec<ItemResult>, SimDuration) {
+        {
+            let mut dp = self.direct_puts.lock();
+            for _ in &items {
+                dp.push_back(started);
+            }
+        }
+        let model = self.consistency();
+        let attempt = match model {
+            ConsistencyModel::MultiPrimaries => self.put_batch_multi_primaries(&items),
+            ConsistencyModel::PrimaryBackup { sync } => {
+                if self.is_primary() {
+                    Ok(self.put_batch_as_primary(&items, sync))
+                } else {
+                    self.put_batch_via_forwarding(&items)
+                }
+            }
+            ConsistencyModel::Eventual => Ok(self.put_batch_local_queued(&items)),
+        };
+        let (results, took) = match attempt {
+            Ok(x) => x,
+            Err(f) => {
+                let results = items
+                    .iter()
+                    .map(|_| ItemResult::Err {
+                        code: f.code,
+                        why: f.why.clone(),
+                    })
+                    .collect();
+                (results, SimDuration::from_millis(1))
+            }
+        };
+        let model_label = model.to_string();
+        let region = self.node.region.to_string();
+        let labels = [
+            ("consistency", model_label.as_str()),
+            ("region", region.as_str()),
+        ];
+        let metrics = MetricsRegistry::global();
+        let ok = results
+            .iter()
+            .filter(|r| matches!(r, ItemResult::Put { .. }))
+            .count() as u64;
+        metrics.counter("wiera_put_total", &labels).add(ok);
+        metrics
+            .counter("wiera_put_errors", &labels)
+            .add(results.len() as u64 - ok);
+        if ok > 0 {
+            metrics.observe("wiera_put_latency", &labels, took);
+            self.record_put_latency(self.mesh.clock.now(), took);
+        }
+        for (item, res) in items.iter().zip(&results) {
+            if let ItemResult::Put { version } = res {
+                self.record_history(
+                    "mput",
+                    &item.key,
+                    *version,
+                    value_digest(&item.value),
+                    started,
+                    took,
+                );
+            }
+        }
+        (results, took)
+    }
+
+    /// Execute a batch's writes locally in one engine pass. Returns per-item
+    /// results, the successfully written objects (replication payload), and
+    /// the engine latency.
+    fn run_batch_puts(
+        &self,
+        items: &[PutItem],
+        modified: SimInstant,
+    ) -> (Vec<ItemResult>, Vec<SyncObject>, SimDuration) {
+        let ops: Vec<BatchOp> = items
+            .iter()
+            .map(|i| BatchOp::Put {
+                key: i.key.clone(),
+                value: i.value.clone(),
+            })
+            .collect();
+        let (outs, total) = self.inst.apply_batch(&ops);
+        let mut results = Vec::with_capacity(outs.len());
+        let mut written = Vec::new();
+        for (item, out) in items.iter().zip(outs) {
+            match out {
+                Ok(o) => {
+                    results.push(ItemResult::Put { version: o.version });
+                    written.push(SyncObject {
+                        key: item.key.clone(),
+                        version: o.version,
+                        modified,
+                        value: item.value.clone(),
+                    });
+                }
+                Err(e) => results.push(ItemResult::Err {
+                    code: fail_code(&e),
+                    why: e.to_string(),
+                }),
+            }
+        }
+        (results, written, total)
+    }
+
+    /// Batched Fig. 3(a): take the global locks for every distinct key in
+    /// sorted order (a total order across concurrent batchers, so two
+    /// overlapping batches cannot deadlock), write once, broadcast once.
+    fn put_batch_multi_primaries(
+        self: &Arc<Self>,
+        items: &[PutItem],
+    ) -> Result<(Vec<ItemResult>, SimDuration), OpFail> {
+        let coord = self
+            .coord
+            .as_ref()
+            .ok_or_else(|| OpFail::blocked("multi-primaries requires a coordinator"))?;
+        let mut keys: Vec<&str> = items.iter().map(|i| i.key.as_str()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut guards = Vec::with_capacity(keys.len());
+        let mut lock_cost = SimDuration::ZERO;
+        for key in keys {
+            let (guard, cost) = coord
+                .lock(&format!("/keys/{key}"))
+                .map_err(|e| OpFail::blocked(format!("lock: {e}")))?;
+            guards.push(guard);
+            lock_cost += cost;
+        }
+        let modified = self.mesh.clock.now();
+        let (results, written, engine) = self.run_batch_puts(items, modified);
+        let bcast = self.broadcast_batch_sync(&written);
+        drop(guards); // asynchronous release, off the latency path
+        Ok((results, lock_cost + engine + bcast))
+    }
+
+    /// Batched Fig. 3(b), primary side: one engine pass, then one
+    /// synchronous `ReplicateBatch` per backup (concurrently) or one queue
+    /// append for the whole batch.
+    fn put_batch_as_primary(
+        self: &Arc<Self>,
+        items: &[PutItem],
+        sync: bool,
+    ) -> (Vec<ItemResult>, SimDuration) {
+        let modified = self.mesh.clock.now();
+        let (results, written, engine) = self.run_batch_puts(items, modified);
+        let extra = if sync {
+            self.broadcast_batch_sync(&written)
+        } else {
+            let mut q = self.queue.lock();
+            for w in written {
+                q.push_back(w);
+            }
+            SimDuration::ZERO
+        };
+        (results, engine + extra)
+    }
+
+    /// Batched eventual put: local engine pass plus one queue append.
+    fn put_batch_local_queued(
+        self: &Arc<Self>,
+        items: &[PutItem],
+    ) -> (Vec<ItemResult>, SimDuration) {
+        let modified = self.mesh.clock.now();
+        let (results, written, engine) = self.run_batch_puts(items, modified);
+        let mut q = self.queue.lock();
+        for w in written {
+            q.push_back(w);
+        }
+        (results, engine)
+    }
+
+    /// Batched Fig. 3(b), non-primary side: forward the whole batch to the
+    /// primary in one message and relay its per-item results.
+    fn put_batch_via_forwarding(
+        self: &Arc<Self>,
+        items: &[PutItem],
+    ) -> Result<(Vec<ItemResult>, SimDuration), OpFail> {
+        let primary = self
+            .primary()
+            .ok_or_else(|| OpFail::blocked("no primary configured"))?;
+        let msg = DataMsg::MultiPut {
+            items: items.to_vec(),
+        };
+        let bytes = msg.wire_bytes();
+        self.stats.egress_bytes.fetch_add(bytes, Ordering::Relaxed);
+        match self
+            .mesh
+            .rpc(&self.node, &primary, msg, bytes, DATA_TIMEOUT)
+        {
+            Ok(r) => {
+                let total = r.total();
+                match r.msg {
+                    DataMsg::MultiReply { results } => Ok((results, total)),
+                    DataMsg::Fail { code, why } => Err(OpFail::new(code, why)),
+                    other => Err(OpFail::internal(format!("bad forward reply {other:?}"))),
+                }
+            }
+            Err(e) => Err(OpFail::blocked(format!("forward failed: {e}"))),
+        }
+    }
+
     /// Fig. 3(a): global lock → local store → synchronous broadcast →
     /// release.
     fn put_multi_primaries(
         self: &Arc<Self>,
         key: &str,
         value: Bytes,
-    ) -> Result<(u64, SimDuration), String> {
+    ) -> Result<(u64, SimDuration), OpFail> {
         let coord = self
             .coord
             .as_ref()
-            .ok_or("multi-primaries requires a coordinator")?;
+            .ok_or_else(|| OpFail::blocked("multi-primaries requires a coordinator"))?;
         let (guard, lock_cost) = coord
             .lock(&format!("/keys/{key}"))
-            .map_err(|e| format!("lock: {e}"))?;
+            .map_err(|e| OpFail::blocked(format!("lock: {e}")))?;
         let modified = self.mesh.clock.now();
-        let out = self
-            .inst
-            .put(key, value.clone())
-            .map_err(|e| e.to_string())?;
+        let out = self.inst.put(key, value.clone())?;
         let bcast = self.broadcast_sync(key, out.version, modified, &value);
         drop(guard); // asynchronous release, off the latency path
         Ok((out.version, lock_cost + out.latency + bcast))
@@ -724,13 +1035,10 @@ impl ReplicaNode {
         self: &Arc<Self>,
         key: &str,
         value: Bytes,
-    ) -> Result<(u64, SimDuration), String> {
+    ) -> Result<(u64, SimDuration), OpFail> {
         let modified = self.mesh.clock.now();
-        let out = self
-            .inst
-            .put(key, value.clone())
-            .map_err(|e| e.to_string())?;
-        self.queue.lock().push_back(QueuedUpdate {
+        let out = self.inst.put(key, value.clone())?;
+        self.queue.lock().push_back(SyncObject {
             key: key.to_string(),
             version: out.version,
             modified,
@@ -746,16 +1054,13 @@ impl ReplicaNode {
         key: &str,
         value: Bytes,
         sync: bool,
-    ) -> Result<(u64, SimDuration), String> {
+    ) -> Result<(u64, SimDuration), OpFail> {
         let modified = self.mesh.clock.now();
-        let out = self
-            .inst
-            .put(key, value.clone())
-            .map_err(|e| e.to_string())?;
+        let out = self.inst.put(key, value.clone())?;
         let extra = if sync {
             self.broadcast_sync(key, out.version, modified, &value)
         } else {
-            self.queue.lock().push_back(QueuedUpdate {
+            self.queue.lock().push_back(SyncObject {
                 key: key.to_string(),
                 version: out.version,
                 modified,
@@ -770,7 +1075,7 @@ impl ReplicaNode {
         self: &Arc<Self>,
         key: &str,
         value: Bytes,
-    ) -> Result<(u64, SimDuration), String> {
+    ) -> Result<(u64, SimDuration), OpFail> {
         let sync = match self.consistency() {
             ConsistencyModel::PrimaryBackup { sync } => sync,
             // A forwarded put that races a consistency switch still applies.
@@ -784,8 +1089,10 @@ impl ReplicaNode {
         self: &Arc<Self>,
         key: &str,
         value: Bytes,
-    ) -> Result<(u64, SimDuration), String> {
-        let primary = self.primary().ok_or("no primary configured")?;
+    ) -> Result<(u64, SimDuration), OpFail> {
+        let primary = self
+            .primary()
+            .ok_or_else(|| OpFail::blocked("no primary configured"))?;
         let msg = DataMsg::ForwardPut {
             key: key.to_string(),
             value,
@@ -797,12 +1104,15 @@ impl ReplicaNode {
             .mesh
             .rpc(&self.node, &primary, msg, bytes, DATA_TIMEOUT)
         {
-            Ok(r) => match r.msg {
-                DataMsg::PutAck { version } => Ok((version, r.total())),
-                DataMsg::Fail { why } => Err(why),
-                other => Err(format!("bad forward reply {other:?}")),
-            },
-            Err(e) => Err(format!("forward failed: {e}")),
+            Ok(r) => {
+                let total = r.total();
+                match r.msg {
+                    DataMsg::PutAck { version } => Ok((version, total)),
+                    DataMsg::Fail { code, why } => Err(OpFail::new(code, why)),
+                    other => Err(OpFail::internal(format!("bad forward reply {other:?}"))),
+                }
+            }
+            Err(e) => Err(OpFail::blocked(format!("forward failed: {e}"))),
         }
     }
 
@@ -851,6 +1161,44 @@ impl ReplicaNode {
         max
     }
 
+    /// Synchronous batched replication: one [`DataMsg::ReplicateBatch`] per
+    /// peer, fanned out concurrently; latency is the slowest peer, exactly
+    /// like [`Self::broadcast_sync`] but with one message per peer instead
+    /// of one per item.
+    fn broadcast_batch_sync(self: &Arc<Self>, written: &[SyncObject]) -> SimDuration {
+        let peers = self.peers();
+        if peers.is_empty() || written.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut handles = Vec::new();
+        for peer in peers {
+            let r = self.clone();
+            let msg = DataMsg::ReplicateBatch {
+                items: written.to_vec(),
+            };
+            handles.push(std::thread::spawn(move || {
+                let bytes = msg.wire_bytes();
+                match r.mesh.rpc(&r.node, &peer, msg, bytes, DATA_TIMEOUT) {
+                    Ok(reply) => {
+                        r.stats.egress_bytes.fetch_add(bytes, Ordering::Relaxed);
+                        Some(reply.total())
+                    }
+                    Err(_) => {
+                        r.stats.replication_failures.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                }
+            }));
+        }
+        let mut max = SimDuration::ZERO;
+        for h in handles {
+            if let Ok(Some(total)) = h.join() {
+                max = max.max(total);
+            }
+        }
+        max
+    }
+
     /// Application get: local read, or forwarded when the deployment routes
     /// gets elsewhere (§5.4's "all get operations forwarded to the AWS
     /// instance's memory tier").
@@ -858,7 +1206,7 @@ impl ReplicaNode {
         self: &Arc<Self>,
         key: &str,
         version: Option<u64>,
-    ) -> Result<(Bytes, u64, SimInstant, SimDuration), String> {
+    ) -> Result<(Bytes, u64, SimInstant, SimDuration), OpFail> {
         if let Some(target) = self.forward_gets_to.read().clone() {
             if target != self.node {
                 let msg = match version {
@@ -887,19 +1235,19 @@ impl ReplicaNode {
                                 metrics.observe("wiera_get_latency", &labels, total);
                                 Ok((value, version, modified, total))
                             }
-                            DataMsg::Fail { why } => {
+                            DataMsg::Fail { code, why } => {
                                 metrics.inc("wiera_get_errors", &labels);
-                                Err(why)
+                                Err(OpFail::new(code, why))
                             }
                             other => {
                                 metrics.inc("wiera_get_errors", &labels);
-                                Err(format!("bad get reply {other:?}"))
+                                Err(OpFail::internal(format!("bad get reply {other:?}")))
                             }
                         }
                     }
                     Err(e) => {
                         metrics.inc("wiera_get_errors", &labels);
-                        Err(format!("forwarded get failed: {e}"))
+                        Err(OpFail::blocked(format!("forwarded get failed: {e}")))
                     }
                 };
             }
@@ -913,7 +1261,7 @@ impl ReplicaNode {
         }
         .map_err(|e| {
             metrics.inc("wiera_get_errors", &labels);
-            e.to_string()
+            OpFail::from(e)
         })?;
         metrics.inc("wiera_get_total", &labels);
         metrics.observe("wiera_get_latency", &labels, out.latency);
@@ -925,9 +1273,121 @@ impl ReplicaNode {
             .unwrap_or(SimInstant::EPOCH);
         let value = out.value.ok_or_else(|| {
             metrics.inc("wiera_get_errors", &labels);
-            format!("get '{key}' returned metadata but no bytes")
+            OpFail::internal(format!("get '{key}' returned metadata but no bytes"))
         })?;
         Ok((value, out.version, modified, out.latency))
+    }
+
+    /// Bulk application get: forwarded whole when the deployment routes gets
+    /// elsewhere, otherwise one engine pass over every key. Per-item errors
+    /// (missing keys) do not affect the rest of the batch.
+    fn protocol_get_batch(self: &Arc<Self>, keys: &[String]) -> (Vec<ItemResult>, SimDuration) {
+        let region = self.node.region.to_string();
+        let metrics = MetricsRegistry::global();
+        if let Some(target) = self.forward_gets_to.read().clone() {
+            if target != self.node {
+                let labels = [("region", region.as_str()), ("route", "forwarded")];
+                let msg = DataMsg::MultiGet {
+                    keys: keys.to_vec(),
+                };
+                let bytes = msg.wire_bytes();
+                return match self.mesh.rpc(&self.node, &target, msg, bytes, DATA_TIMEOUT) {
+                    Ok(r) => {
+                        let total = r.total();
+                        match r.msg {
+                            DataMsg::MultiReply { results } => {
+                                let ok = results
+                                    .iter()
+                                    .filter(|x| matches!(x, ItemResult::Value { .. }))
+                                    .count() as u64;
+                                metrics.counter("wiera_get_total", &labels).add(ok);
+                                metrics
+                                    .counter("wiera_get_errors", &labels)
+                                    .add(results.len() as u64 - ok);
+                                metrics.observe("wiera_get_latency", &labels, total);
+                                (results, total)
+                            }
+                            DataMsg::Fail { code, why } => {
+                                metrics
+                                    .counter("wiera_get_errors", &labels)
+                                    .add(keys.len() as u64);
+                                (batch_failure(keys.len(), code, &why), total)
+                            }
+                            other => {
+                                metrics
+                                    .counter("wiera_get_errors", &labels)
+                                    .add(keys.len() as u64);
+                                (
+                                    batch_failure(
+                                        keys.len(),
+                                        FailCode::Internal,
+                                        &format!("bad get reply {other:?}"),
+                                    ),
+                                    total,
+                                )
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        metrics
+                            .counter("wiera_get_errors", &labels)
+                            .add(keys.len() as u64);
+                        (
+                            batch_failure(
+                                keys.len(),
+                                FailCode::Blocked,
+                                &format!("forwarded get failed: {e}"),
+                            ),
+                            SimDuration::from_millis(1),
+                        )
+                    }
+                };
+            }
+        }
+        let labels = [("region", region.as_str()), ("route", "local")];
+        let ops: Vec<BatchOp> = keys
+            .iter()
+            .map(|k| BatchOp::Get { key: k.clone() })
+            .collect();
+        let (outs, total) = self.inst.apply_batch(&ops);
+        let mut results = Vec::with_capacity(outs.len());
+        for (key, out) in keys.iter().zip(outs) {
+            results.push(match out {
+                Ok(o) => {
+                    let modified = self
+                        .inst
+                        .meta()
+                        .with(key, |obj| obj.versions.get(&o.version).map(|m| m.modified))
+                        .flatten()
+                        .unwrap_or(SimInstant::EPOCH);
+                    match o.value {
+                        Some(value) => ItemResult::Value {
+                            value,
+                            version: o.version,
+                            modified,
+                        },
+                        None => ItemResult::Err {
+                            code: FailCode::Internal,
+                            why: format!("get '{key}' returned metadata but no bytes"),
+                        },
+                    }
+                }
+                Err(e) => ItemResult::Err {
+                    code: fail_code(&e),
+                    why: e.to_string(),
+                },
+            });
+        }
+        let ok = results
+            .iter()
+            .filter(|x| matches!(x, ItemResult::Value { .. }))
+            .count() as u64;
+        metrics.counter("wiera_get_total", &labels).add(ok);
+        metrics
+            .counter("wiera_get_errors", &labels)
+            .add(results.len() as u64 - ok);
+        metrics.observe("wiera_get_latency", &labels, total);
+        (results, total)
     }
 
     /// Emit one consistency-history event on the sim-time axis. The
@@ -965,6 +1425,16 @@ impl ReplicaNode {
     }
 }
 
+/// Fan a batch-level failure out to every item in the batch.
+fn batch_failure(len: usize, code: FailCode, why: &str) -> Vec<ItemResult> {
+    (0..len)
+        .map(|_| ItemResult::Err {
+            code,
+            why: why.to_string(),
+        })
+        .collect()
+}
+
 /// FNV-1a digest of a value body, so history events can carry a compact,
 /// comparable fingerprint of what was written or read.
 fn value_digest(value: &Bytes) -> u64 {
@@ -987,23 +1457,131 @@ pub struct OpView {
 }
 
 /// Application-level operation failure: a transport error (candidate for
-/// client failover, §4.4) or a semantic error from the replica.
+/// client failover, §4.4) or a structured semantic error from the replica.
 #[derive(Debug, Clone)]
 pub enum AppError {
     Net(NetError),
-    Remote(String),
+    Remote { code: FailCode, why: String },
+}
+
+impl AppError {
+    pub fn remote(code: FailCode, why: impl Into<String>) -> AppError {
+        AppError::Remote {
+            code,
+            why: why.into(),
+        }
+    }
+
+    pub fn blocked(why: impl Into<String>) -> AppError {
+        AppError::remote(FailCode::Blocked, why)
+    }
+
+    pub fn internal(why: impl Into<String>) -> AppError {
+        AppError::remote(FailCode::Internal, why)
+    }
+
+    /// The structured failure code, if this is a remote semantic error.
+    pub fn code(&self) -> Option<FailCode> {
+        match self {
+            AppError::Net(_) => None,
+            AppError::Remote { code, .. } => Some(*code),
+        }
+    }
+
+    pub fn is_not_found(&self) -> bool {
+        matches!(
+            self.code(),
+            Some(FailCode::NotFound | FailCode::VersionMissing)
+        )
+    }
 }
 
 impl std::fmt::Display for AppError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AppError::Net(e) => write!(f, "network: {e}"),
-            AppError::Remote(w) => write!(f, "{w}"),
+            AppError::Remote { code, why } => write!(f, "{code}: {why}"),
         }
     }
 }
 
 impl std::error::Error for AppError {}
+
+/// Translate a replica's reply into the client-visible [`OpView`], the one
+/// place where wire messages become typed results (shared by [`app_rpc`]
+/// and `WieraClient`'s failover loop).
+pub(crate) fn view_of_reply(
+    msg: DataMsg,
+    latency: SimDuration,
+    served_by: &NodeId,
+) -> Result<OpView, AppError> {
+    match msg {
+        DataMsg::PutAck { version } => Ok(OpView {
+            version,
+            value: None,
+            modified: SimInstant::EPOCH,
+            latency,
+            served_by: served_by.clone(),
+        }),
+        DataMsg::GetReply {
+            value,
+            version,
+            modified,
+        } => Ok(OpView {
+            version,
+            value: Some(value),
+            modified,
+            latency,
+            served_by: served_by.clone(),
+        }),
+        DataMsg::VersionList { versions } => Ok(OpView {
+            version: versions.last().copied().unwrap_or(0),
+            value: None,
+            modified: SimInstant::EPOCH,
+            latency,
+            served_by: served_by.clone(),
+        }),
+        DataMsg::Removed | DataMsg::Ok => Ok(OpView {
+            version: 0,
+            value: None,
+            modified: SimInstant::EPOCH,
+            latency,
+            served_by: served_by.clone(),
+        }),
+        DataMsg::Fail { code, why } => Err(AppError::Remote { code, why }),
+        other => Err(AppError::internal(format!("unexpected reply {other:?}"))),
+    }
+}
+
+/// Translate one item of a batched reply into an [`OpView`]. The latency is
+/// the whole batch's round trip: every item completed when the batch did.
+pub(crate) fn view_of_item(
+    item: ItemResult,
+    latency: SimDuration,
+    served_by: &NodeId,
+) -> Result<OpView, AppError> {
+    match item {
+        ItemResult::Put { version } => Ok(OpView {
+            version,
+            value: None,
+            modified: SimInstant::EPOCH,
+            latency,
+            served_by: served_by.clone(),
+        }),
+        ItemResult::Value {
+            value,
+            version,
+            modified,
+        } => Ok(OpView {
+            version,
+            value: Some(value),
+            modified,
+            latency,
+            served_by: served_by.clone(),
+        }),
+        ItemResult::Err { code, why } => Err(AppError::Remote { code, why }),
+    }
+}
 
 /// Send an RPC to a replica as an application would, translating the reply.
 /// Used by the client layer and by tests.
@@ -1018,42 +1596,7 @@ pub fn app_rpc(
         .rpc(from, to, msg, bytes, DATA_TIMEOUT)
         .map_err(AppError::Net)?;
     let latency = reply.total();
-    match reply.msg {
-        DataMsg::PutAck { version } => Ok(OpView {
-            version,
-            value: None,
-            modified: SimInstant::EPOCH,
-            latency,
-            served_by: to.clone(),
-        }),
-        DataMsg::GetReply {
-            value,
-            version,
-            modified,
-        } => Ok(OpView {
-            version,
-            value: Some(value),
-            modified,
-            latency,
-            served_by: to.clone(),
-        }),
-        DataMsg::VersionList { versions } => Ok(OpView {
-            version: versions.last().copied().unwrap_or(0),
-            value: None,
-            modified: SimInstant::EPOCH,
-            latency,
-            served_by: to.clone(),
-        }),
-        DataMsg::Removed | DataMsg::Ok => Ok(OpView {
-            version: 0,
-            value: None,
-            modified: SimInstant::EPOCH,
-            latency,
-            served_by: to.clone(),
-        }),
-        DataMsg::Fail { why } => Err(AppError::Remote(why)),
-        other => Err(AppError::Remote(format!("unexpected reply {other:?}"))),
-    }
+    view_of_reply(reply.msg, latency, to)
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! deployment requests arrive.
 
 use crate::monitor::{LatencyMonitor, MonitorHandle, RequestsMonitor};
-use crate::msg::{DataMsg, ReplicaSpec};
+use crate::msg::{DataMsg, FailCode, ReplicaSpec};
 use crate::replica::{ReplicaConfig, ReplicaNode};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -117,7 +117,10 @@ impl TieraServer {
                 if let Some(slot) = d.reply {
                     let msg = match result {
                         Ok(node) => DataMsg::Spawned { node },
-                        Err(why) => DataMsg::Fail { why },
+                        Err(why) => DataMsg::Fail {
+                            code: FailCode::Internal,
+                            why,
+                        },
                     };
                     let bytes = msg.wire_bytes();
                     // Spawning a VM-resident process takes a moment.
@@ -154,6 +157,7 @@ impl TieraServer {
             other => {
                 if let Some(slot) = d.reply {
                     let msg = DataMsg::Fail {
+                        code: FailCode::Internal,
                         why: format!("server got {other:?}"),
                     };
                     let bytes = msg.wire_bytes();

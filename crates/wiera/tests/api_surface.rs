@@ -1,0 +1,145 @@
+//! Golden file pinning the `wiera` crate's public API surface.
+//!
+//! The client API is the paper's Table 2 contract: applications integrate
+//! against it unmodified, so accidental surface changes (a renamed method,
+//! a widened error enum, a new public field) should fail CI loudly instead
+//! of sliding into a release. This test scans the crate sources for
+//! `pub` items and compares the list byte-for-byte against
+//! `tests/golden/api_surface.expected`. After an *intentional* API change,
+//! regenerate with:
+//!
+//! ```text
+//! WIERA_BLESS=1 cargo test -p wiera --test api_surface
+//! ```
+//!
+//! The scan is deliberately simple — first line of each `pub` item,
+//! stopping at each file's `#[cfg(test)]` module — because its job is to
+//! detect drift, not to render rustdoc.
+
+use std::path::{Path, PathBuf};
+
+fn src_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("src")
+}
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/api_surface.expected")
+}
+
+/// True for lines that declare a public item (not `pub(crate)`/`pub(super)`,
+/// which are internal by construction).
+fn is_public_item(trimmed: &str) -> bool {
+    const KINDS: [&str; 9] = [
+        "pub fn ",
+        "pub struct ",
+        "pub enum ",
+        "pub trait ",
+        "pub const ",
+        "pub static ",
+        "pub type ",
+        "pub mod ",
+        "pub use ",
+    ];
+    KINDS.iter().any(|k| trimmed.starts_with(k))
+}
+
+/// One normalized line per public item: `file.rs: <declaration>`, with the
+/// declaration cut at its body/terminator so formatting churn inside bodies
+/// never shows up here.
+fn scan_surface() -> String {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(src_dir())
+        .expect("read src dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    files.sort();
+
+    let mut out = String::new();
+    for path in files {
+        let name = path
+            .file_name()
+            .expect("file name")
+            .to_string_lossy()
+            .into_owned();
+        let body = std::fs::read_to_string(&path).expect("read source file");
+        for line in body.lines() {
+            let trimmed = line.trim();
+            // Repo convention keeps the test module last in each file;
+            // nothing below it is API.
+            if trimmed == "#[cfg(test)]" {
+                break;
+            }
+            if is_public_item(trimmed) {
+                let decl = trimmed
+                    .split(" {")
+                    .next()
+                    .unwrap_or(trimmed)
+                    .trim_end_matches(['{', ';'])
+                    .trim_end();
+                out.push_str(&format!("{name}: {decl}\n"));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn public_api_matches_golden() {
+    let got = scan_surface();
+    if std::env::var_os("WIERA_BLESS").is_some() {
+        std::fs::create_dir_all(golden_path().parent().expect("parent")).expect("mkdir");
+        std::fs::write(golden_path(), &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(golden_path()).unwrap_or_default();
+    if got != want {
+        let got_set: std::collections::BTreeSet<&str> = got.lines().collect();
+        let want_set: std::collections::BTreeSet<&str> = want.lines().collect();
+        let added: Vec<&&str> = got_set.difference(&want_set).collect();
+        let removed: Vec<&&str> = want_set.difference(&got_set).collect();
+        panic!(
+            "public API surface changed (WIERA_BLESS=1 to accept)\n\
+             added ({}):\n  {}\nremoved ({}):\n  {}",
+            added.len(),
+            added
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join("\n  "),
+            removed.len(),
+            removed
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join("\n  "),
+        );
+    }
+}
+
+/// The consolidation pass's core claim, checked structurally: the client
+/// exposes exactly the Table 2 + batch surface, nothing else drifted in.
+#[test]
+fn client_surface_is_the_table2_contract() {
+    let surface = scan_surface();
+    let client_methods: Vec<&str> = surface
+        .lines()
+        .filter(|l| l.starts_with("client.rs: pub fn "))
+        .collect();
+    for required in [
+        "pub fn put(",
+        "pub fn get(",
+        "pub fn get_version(",
+        "pub fn get_version_list(",
+        "pub fn update(",
+        "pub fn remove(",
+        "pub fn remove_version(",
+        "pub fn put_batch(",
+        "pub fn get_batch(",
+    ] {
+        assert!(
+            client_methods.iter().any(|m| m.contains(required)),
+            "client API lost `{required}`; surface:\n{}",
+            client_methods.join("\n")
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Client failover-policy tests: every `WieraClient` method routes through
+//! one `with_failover` loop, so ordering, retry, and finality rules are
+//! testable once at the client surface.
+//!
+//! * candidates are sorted closest-first by base RTT at connect time;
+//! * a transport failure advances to the next-closest replica;
+//! * a semantic (`Fail`) reply is final — the client must NOT mask a
+//!   NotFound by quietly asking a farther replica;
+//! * batch calls report per-item outcomes, so a partial failure never
+//!   hides the items that succeeded.
+
+use bytes::Bytes;
+use wiera::client::WieraClient;
+use wiera::deployment::DeploymentConfig;
+use wiera::msg::FailCode;
+use wiera::testkit::{bodies, Cluster};
+use wiera_net::Region;
+
+fn payload(n: usize) -> Bytes {
+    Bytes::from(vec![0x42u8; n])
+}
+
+/// Full-cluster tests; run serially so RPC wall timeouts are not starved
+/// on small CI hosts.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// An eventual-mode deployment whose queue effectively never flushes, so a
+/// write lands ONLY on the replica that accepted it — which makes "did the
+/// client silently ask another replica?" observable.
+fn unsynced_cluster(seed: u64) -> (Cluster, std::sync::Arc<wiera::deployment::WieraDeployment>) {
+    let cluster = Cluster::launch(
+        &[Region::UsEast, Region::UsWest, Region::EuWest],
+        3000.0,
+        seed,
+    );
+    cluster
+        .register_policy_over(
+            "fo",
+            &[("US-East", false), ("US-West", false), ("EU-West", false)],
+            bodies::EVENTUAL,
+        )
+        .unwrap();
+    let dep = cluster
+        .controller
+        .start_instances(
+            "fo",
+            "fo",
+            DeploymentConfig {
+                // Modeled hours: no flush happens within any test.
+                flush_ms: 3_600_000.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    (cluster, dep)
+}
+
+#[test]
+fn replicas_sort_closest_first_and_serve_locally() {
+    let _serial = serial();
+    let (cluster, dep) = unsynced_cluster(41);
+    for (region, want) in [
+        (Region::UsEast, Region::UsEast),
+        (Region::UsWest, Region::UsWest),
+        (Region::EuWest, Region::EuWest),
+    ] {
+        let client =
+            WieraClient::connect(cluster.data_mesh.clone(), region, "sorted", dep.replicas());
+        assert_eq!(
+            client.closest().unwrap().region,
+            want,
+            "closest candidate must be the co-located replica"
+        );
+        let view = client.put("sorted-key", payload(16)).unwrap();
+        assert_eq!(
+            view.served_by.region, want,
+            "ops must go to the closest replica first"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn transport_error_advances_to_next_closest() {
+    let _serial = serial();
+    let (cluster, dep) = unsynced_cluster(42);
+    // Seed a key onto the SECOND-closest replica (US-West) only.
+    let west_client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsWest,
+        "seeder",
+        dep.replicas(),
+    );
+    west_client.put("west-only", payload(16)).unwrap();
+
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsEast,
+        "app",
+        dep.replicas(),
+    );
+    // Crash the closest replica: the client's RPC fails at the transport
+    // level and failover must find US-West (next closest for US-East).
+    let replicas = cluster.deployment_replicas("fo");
+    replicas
+        .iter()
+        .find(|r| r.node.region == Region::UsEast)
+        .unwrap()
+        .stop();
+    let view = client.get("west-only").unwrap();
+    assert_eq!(
+        view.served_by.region,
+        Region::UsWest,
+        "failover must advance in closest-first order"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn semantic_error_is_final_not_retried_elsewhere() {
+    let _serial = serial();
+    let (cluster, dep) = unsynced_cluster(43);
+    // The key exists ONLY on US-West (eventual queue never flushes). A
+    // healthy US-East replica answers NotFound; if the client treated that
+    // as retryable it would reach US-West and "succeed" — masking the miss.
+    let west_client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsWest,
+        "seeder",
+        dep.replicas(),
+    );
+    west_client.put("west-only", payload(16)).unwrap();
+
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsEast,
+        "app",
+        dep.replicas(),
+    );
+    let err = client.get("west-only").unwrap_err();
+    assert!(
+        err.is_not_found(),
+        "semantic NotFound must surface, not fail over: {err}"
+    );
+    assert_eq!(err.code(), Some(FailCode::NotFound));
+    cluster.shutdown();
+}
+
+#[test]
+fn structured_codes_distinguish_failure_kinds() {
+    let _serial = serial();
+    let (cluster, dep) = unsynced_cluster(44);
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsEast,
+        "app",
+        dep.replicas(),
+    );
+    client.put("versioned", payload(16)).unwrap();
+    // Present key, absent version: a distinct error code from NotFound.
+    let err = client.get_version("versioned", 999).unwrap_err();
+    assert_eq!(err.code(), Some(FailCode::VersionMissing), "{err}");
+    assert!(err.is_not_found(), "a missing version is a kind of miss");
+    let err = client.get("no-such-key").unwrap_err();
+    assert_eq!(err.code(), Some(FailCode::NotFound), "{err}");
+    cluster.shutdown();
+}
+
+#[test]
+fn batch_reports_partial_failures_per_item() {
+    let _serial = serial();
+    let (cluster, dep) = unsynced_cluster(45);
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsEast,
+        "app",
+        dep.replicas(),
+    );
+    let items: Vec<(String, Bytes)> = (0..3).map(|i| (format!("b{i}"), payload(8))).collect();
+    for r in client.put_batch(&items).unwrap() {
+        r.unwrap();
+    }
+    // Mixed batch: hits interleaved with a miss. The miss must not poison
+    // its neighbours, and each item must carry its own outcome.
+    let keys = vec!["b0".to_string(), "missing".to_string(), "b2".to_string()];
+    let results = client.get_batch(&keys).unwrap();
+    assert_eq!(results.len(), 3);
+    assert!(results[0].is_ok(), "{:?}", results[0].as_ref().err());
+    let miss = results[1].as_ref().unwrap_err();
+    assert_eq!(miss.code(), Some(FailCode::NotFound));
+    assert!(results[2].is_ok());
+    cluster.shutdown();
+}
+
+#[test]
+fn batch_fails_over_whole_batch_on_transport_error() {
+    let _serial = serial();
+    let (cluster, dep) = unsynced_cluster(46);
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsEast,
+        "app",
+        dep.replicas(),
+    );
+    let replicas = cluster.deployment_replicas("fo");
+    replicas
+        .iter()
+        .find(|r| r.node.region == Region::UsEast)
+        .unwrap()
+        .stop();
+    let items: Vec<(String, Bytes)> = (0..4).map(|i| (format!("fo{i}"), payload(8))).collect();
+    let results = client.put_batch(&items).unwrap();
+    for r in &results {
+        let view = r.as_ref().unwrap();
+        assert_eq!(
+            view.served_by.region,
+            Region::UsWest,
+            "the whole batch must land on the next-closest replica"
+        );
+    }
+    cluster.shutdown();
+}
