@@ -459,6 +459,56 @@ impl TieraInstance {
         Ok(Some(outcome))
     }
 
+    /// Simulate a node crash (§4.4): volatile local tiers lose their
+    /// contents, durable tiers survive. Per-version metadata is pruned to
+    /// match — versions whose only holders were volatile tiers vanish,
+    /// versions with a surviving durable copy are re-pointed at it. Returns
+    /// how many versions were lost outright.
+    pub fn crash_volatile(&self) -> usize {
+        let wiped: Vec<String> = self
+            .tiers
+            .iter()
+            .filter_map(|(label, handle)| {
+                let t = handle.as_local()?;
+                if t.spec().kind.volatile() {
+                    t.wipe();
+                    Some(label.clone())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if wiped.is_empty() {
+            return 0;
+        }
+        let mut lost = 0usize;
+        for key in self.meta.keys() {
+            let emptied = self.meta.with_mut(&key, |o| {
+                o.versions.retain(|_, m| {
+                    m.replicas.retain(|r| !wiped.contains(r));
+                    if wiped.contains(&m.location) {
+                        match m.replicas.iter().next().cloned() {
+                            Some(surviving) => {
+                                m.replicas.remove(&surviving);
+                                m.location = surviving;
+                            }
+                            None => {
+                                lost += 1;
+                                return false;
+                            }
+                        }
+                    }
+                    true
+                });
+                o.versions.is_empty()
+            });
+            if emptied {
+                self.meta.remove(&key);
+            }
+        }
+        lost
+    }
+
     /// Shared ingest path for local puts and replicated updates. `overhead`
     /// is the metadata bookkeeping charge: the full [`META_OVERHEAD`] for a
     /// standalone op, the marginal [`BATCH_ITEM_OVERHEAD`] inside a batch.

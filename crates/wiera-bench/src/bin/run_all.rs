@@ -18,7 +18,7 @@
 use std::process::Command;
 use wiera_sim::RegistrySnapshot;
 
-const EXPERIMENTS: [(&str, &str); 10] = [
+const EXPERIMENTS: [(&str, &str); 11] = [
     ("table4_costs", "Table 4: storage tier prices"),
     ("fig9_tier_latency", "Fig. 9: per-tier 4KB latency"),
     (
@@ -50,11 +50,15 @@ const EXPERIMENTS: [(&str, &str); 10] = [
         "bulk_throughput",
         "Bulk ops: batching vs per-op completion time and wire bytes",
     ),
+    (
+        "chaos",
+        "§4.4 chaos campaign: fault masking across all protocols",
+    ),
 ];
 
 /// Binaries that export a `results/metrics_<name>.json` registry snapshot,
 /// with the counter/histogram invariants the smoke gate asserts on each.
-const METRIC_CHECKS: [(&str, &[Invariant]); 6] = [
+const METRIC_CHECKS: [(&str, &[Invariant]); 7] = [
     (
         "fig9_tier_latency",
         &[
@@ -105,6 +109,16 @@ const METRIC_CHECKS: [(&str, &[Invariant]); 6] = [
             Invariant::CounterPositive("net_rpc_total"),
             Invariant::CounterPositive("net_rpc_bytes"),
             Invariant::CounterPositive("tiera_ops_total"),
+        ],
+    ),
+    (
+        "chaos",
+        &[
+            Invariant::CounterPositive("chaos_faults"),
+            Invariant::CounterPositive("wiera_crashes"),
+            Invariant::CounterPositive("wiera_restarts"),
+            Invariant::CounterPositive("wiera_anti_entropy_pulled"),
+            Invariant::CounterPositive("client_retries"),
         ],
     ),
 ];

@@ -14,21 +14,31 @@
 //! adversarial scenario must produce its expected WC codes, otherwise the
 //! checker itself has regressed.
 //!
+//! `--chaos SEED` runs the seeded chaos campaign instead of the corpus:
+//! randomized fault scripts against every consistency protocol, gated on
+//! post-heal convergence plus zero oracle findings. The seed fully
+//! determines the fault script, so a failing campaign is replayable.
+//!
 //! Exit status: `0` clean (or, under `--adversarial`, all plants detected),
-//! `1` gating findings (or a missed plant), `2` usage error.
+//! `1` gating findings (or a missed plant, or a failed chaos campaign),
+//! `2` usage error.
 
 use std::process::ExitCode;
+use wiera_check::chaos::run_campaign;
 use wiera_check::scenarios::{all_scenarios, run_scenario, ScenarioKind};
 use wiera_policy::diag::{worst_is_deny, Diagnostic, Severity};
 
 const USAGE: &str = "\
 usage: wiera-check [--json] [--deny-warnings] [--adversarial] [--scenario NAME]
+                   [--chaos SEED]
 
   --json           print findings as a JSON array instead of human text
   --deny-warnings  exit non-zero on warnings too (notes never gate)
   --adversarial    self-test: run the planted-bug scenarios and verify each
                    expected WC code is reported
   --scenario NAME  run a single scenario by name (corpus or adversarial)
+  --chaos SEED     run the seeded chaos campaign (every protocol, randomized
+                   faults) instead of the scenario corpus
   --list           list scenarios and exit
   --codes          list all WC diagnostic codes and exit
 ";
@@ -38,6 +48,7 @@ struct Options {
     deny_warnings: bool,
     adversarial: bool,
     scenario: Option<String>,
+    chaos: Option<u64>,
     list: bool,
     codes: bool,
 }
@@ -48,6 +59,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         deny_warnings: false,
         adversarial: false,
         scenario: None,
+        chaos: None,
         list: false,
         codes: false,
     };
@@ -64,6 +76,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     it.next()
                         .ok_or_else(|| "--scenario needs a name".to_string())?
                         .clone(),
+                );
+            }
+            "--chaos" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "--chaos needs a seed".to_string())?;
+                opts.chaos = Some(
+                    raw.parse::<u64>()
+                        .map_err(|_| format!("--chaos seed '{raw}' is not a u64"))?,
                 );
             }
             "--help" | "-h" => return Err(String::new()),
@@ -107,6 +128,10 @@ fn main() -> ExitCode {
             );
         }
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(seed) = opts.chaos {
+        return run_chaos(seed, &opts);
     }
 
     let selected: Vec<&'static str> = match (&opts.scenario, opts.adversarial) {
@@ -203,6 +228,69 @@ fn main() -> ExitCode {
     }
 
     if gating || missed_plants {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Run the chaos campaign and render one report per protocol.
+fn run_chaos(seed: u64, opts: &Options) -> ExitCode {
+    let reports = run_campaign(seed);
+    let mut failed = false;
+    let mut json_items: Vec<String> = Vec::new();
+    for r in &reports {
+        let origin = format!("chaos:{}", r.protocol);
+        let passed = r.passed(opts.deny_warnings);
+        failed |= !passed;
+        if opts.json {
+            let diags: Vec<String> = r.diags.iter().map(|d| d.to_json()).collect();
+            let script: Vec<String> = r.script.iter().map(|s| json_escape(s)).collect();
+            json_items.push(format!(
+                "{{\"origin\":{},\"seed\":{},\"script\":[{}],\"converged\":{},\
+                 \"ops_attempted\":{},\"ops_failed\":{},\"passed\":{},\"diags\":[{}]}}",
+                json_escape(&origin),
+                r.seed,
+                script.join(","),
+                r.converged,
+                r.ops_attempted,
+                r.ops_failed,
+                passed,
+                diags.join(","),
+            ));
+        } else {
+            for step in &r.script {
+                println!("{origin}: {step}");
+            }
+            for d in &r.diags {
+                println!("{origin}: {}", d.compact());
+                for note in &d.notes {
+                    println!("  note: {note}");
+                }
+            }
+            println!(
+                "{origin}: seed={} converged={} ops={} (failed={}): {}",
+                r.seed,
+                r.converged,
+                r.ops_attempted,
+                r.ops_failed,
+                if passed { "PASS" } else { "FAIL" },
+            );
+        }
+    }
+    if opts.json {
+        println!("[{}]", json_items.join(","));
+    } else {
+        println!(
+            "chaos campaign seed={seed}: {}/{} protocols passed",
+            reports
+                .iter()
+                .filter(|r| r.passed(opts.deny_warnings))
+                .count(),
+            reports.len(),
+        );
+    }
+    if failed {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

@@ -22,6 +22,11 @@
 //!   adversarial scenarios with *planted* bugs (an ABBA deadlock, a stale
 //!   read under sync primary-backup) that the checker must flag — the
 //!   self-test that keeps the oracle honest.
+//! * [`chaos`] — a seeded chaos campaign (§4.4): randomized fault scripts
+//!   (primary/backup crashes, partitions, coordination-session expiry,
+//!   degraded tiers) against every consistency protocol, gated on zero
+//!   findings plus post-heal digest-equal convergence. Replayable from a
+//!   single seed via `wiera-check --chaos <seed>`.
 //!
 //! The `wiera-check` binary mirrors `wiera-lint`'s UX: `--json`,
 //! `--deny-warnings`, exit status `0` clean / `1` gating findings / `2`
@@ -29,10 +34,12 @@
 //! severities, JSON); the caret renderer is meaningless here — sites are
 //! source locations captured by `#[track_caller]`, carried in notes.
 
+pub mod chaos;
 pub mod history;
 pub mod lockdiag;
 pub mod scenarios;
 
+pub use chaos::{run_campaign, ChaosReport};
 pub use history::{check_history, extract_history, HistoryEvent, HistoryKind};
 pub use lockdiag::registry_diagnostics;
 pub use scenarios::{all_scenarios, run_scenario, Scenario, ScenarioKind, ScenarioReport};

@@ -197,6 +197,13 @@ fn deduced_model(src: &str) -> Option<ConsistencyModel> {
     deduce_consistency(&compiled.rules)
 }
 
+/// The model a (layout, body) pair deduces to — shared with the chaos
+/// campaign so its oracle checks against the same deduction the corpus
+/// scenarios use.
+pub(crate) fn deduced_model_for(layout: &[(&str, bool)], body: &str) -> Option<ConsistencyModel> {
+    deduced_model(&policy_src("deduce", layout, body))
+}
+
 struct Bench {
     cluster: Cluster,
     dep: Arc<wiera::deployment::WieraDeployment>,

@@ -55,6 +55,7 @@ pub struct CoordClient {
     service: NodeId,
     session: u64,
     stop_hb: Arc<AtomicBool>,
+    hb_interval: SimDuration,
 }
 
 impl CoordClient {
@@ -65,6 +66,15 @@ impl CoordClient {
         me: NodeId,
         service: NodeId,
         config: &CoordConfig,
+    ) -> Result<Arc<Self>, CoordError> {
+        Self::connect_at(mesh, me, service, config.session_timeout / 3)
+    }
+
+    fn connect_at(
+        mesh: Arc<Mesh<CoordMsg>>,
+        me: NodeId,
+        service: NodeId,
+        hb_interval: SimDuration,
     ) -> Result<Arc<Self>, CoordError> {
         let reply = mesh.rpc(&me, &service, CoordMsg::OpenSession, 64, CALL_TIMEOUT)?;
         let session = match reply.msg {
@@ -77,7 +87,7 @@ impl CoordClient {
             let me = me.clone();
             let service = service.clone();
             let stop = stop_hb.clone();
-            let interval = config.session_timeout / 3;
+            let interval = hb_interval;
             std::thread::Builder::new()
                 .name(format!("coord-hb-{session}"))
                 .spawn(move || {
@@ -103,7 +113,21 @@ impl CoordClient {
             service,
             session,
             stop_hb,
+            hb_interval,
         }))
+    }
+
+    /// Open a **fresh** session against the same service with the same
+    /// identity and heartbeat cadence. A restarting node whose old session
+    /// expired (crash, paused heartbeats) uses this to come back — the old
+    /// session's ephemeral znodes stay gone; the new session starts clean.
+    pub fn reconnect(&self) -> Result<Arc<Self>, CoordError> {
+        Self::connect_at(
+            self.mesh.clone(),
+            self.me.clone(),
+            self.service.clone(),
+            self.hb_interval,
+        )
     }
 
     pub fn session_id(&self) -> u64 {

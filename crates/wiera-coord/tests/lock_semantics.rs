@@ -157,3 +157,60 @@ fn session_expiry_promotes_queued_waiter() {
     assert!(!s.service.lock_held("/promote"));
     assert_eq!(s.service.session_count(), 1, "hung session swept");
 }
+
+/// The failure-lifecycle variant of expiry: a session holding both an
+/// ephemeral lease znode (the failure detector's liveness signal) and the
+/// election lock goes silent. One sweep must revoke the lease — visible to
+/// other sessions via `exists` — AND promote the queued waiter, so a backup
+/// watching the lease observes the death no later than it can win the lock.
+#[test]
+fn session_expiry_revokes_lease_and_promotes_waiter() {
+    let _serial = serial();
+    let s = setup(
+        1000.0,
+        CoordConfig {
+            session_timeout: SimDuration::from_secs(30),
+            sweep_interval: SimDuration::from_secs(5),
+        },
+    );
+    let primary = client(&s, "primary");
+    let backup = client(&s, "backup");
+
+    primary
+        .create_znode("/leases/dep/primary", true)
+        .expect("lease created");
+    assert_eq!(backup.exists("/leases/dep/primary"), Ok(true));
+    let (g, _) = primary.lock("/election/dep").expect("initial grant");
+
+    let backup2 = backup.clone();
+    let promoted = std::thread::spawn(move || {
+        backup2
+            .lock("/election/dep")
+            .expect("promoted after expiry")
+    });
+    wait_waiters(
+        &s,
+        "/election/dep",
+        1,
+        "backup to queue on the election lock",
+    );
+
+    // The primary dies without releasing anything.
+    primary.pause_heartbeats();
+    std::mem::forget(g);
+
+    let (g2, _) = promoted.join().expect("backup thread");
+    assert_eq!(
+        backup.exists("/leases/dep/primary"),
+        Ok(false),
+        "the dead session's ephemeral lease must be revoked by the sweep"
+    );
+    assert!(s.service.lock_held("/election/dep"));
+    drop(g2);
+    // A fresh session (the primary restarting) can re-create the lease.
+    let rejoined = client(&s, "primary-rejoined");
+    rejoined
+        .create_znode("/leases/dep/primary", true)
+        .expect("lease re-created after rejoin");
+    assert_eq!(backup.exists("/leases/dep/primary"), Ok(true));
+}

@@ -15,8 +15,8 @@
 use crate::region::Region;
 use crate::topology::Topology;
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
-use wiera_sim::{LatencyDist, SimDuration, SimInstant, SimRng};
+use std::collections::{HashMap, HashSet};
+use wiera_sim::{LatencyDist, MetricsRegistry, SimDuration, SimInstant, SimRng};
 
 #[derive(Default)]
 struct Dynamics {
@@ -26,6 +26,9 @@ struct Dynamics {
     link_delay: HashMap<(Region, Region), SimDuration>,
     /// Sites currently cut off from everything else.
     partitioned: HashMap<Region, bool>,
+    /// Specific (unordered) links currently cut, leaving both endpoints
+    /// reachable from everywhere else — an asymmetric WAN partition.
+    cut_links: HashSet<(Region, Region)>,
     /// Outbound bandwidth cap (Mbit/s), e.g. a small Azure VM size.
     egress_cap_mbps: HashMap<Region, f64>,
 }
@@ -113,9 +116,13 @@ impl Fabric {
 
     /// Whether traffic can currently flow between the two sites.
     pub fn is_reachable(&self, a: Region, b: Region) -> bool {
+        if a == b {
+            return true;
+        }
         let d = self.dyn_state.read();
-        !(*d.partitioned.get(&a).unwrap_or(&false) || *d.partitioned.get(&b).unwrap_or(&false))
-            || a == b
+        !(*d.partitioned.get(&a).unwrap_or(&false)
+            || *d.partitioned.get(&b).unwrap_or(&false)
+            || d.cut_links.contains(&link_key(a, b)))
     }
 
     /// Effective bandwidth for a transfer from `from` to `to`, Mbit/s.
@@ -222,6 +229,40 @@ impl Fabric {
         self.dyn_state.write().partitioned.insert(site, cut);
     }
 
+    // ---- fault injection (§4.4 / chaos campaigns) -------------------------
+    //
+    // The public fail/heal API the chaos runner drives. Each call counts into
+    // the `net_outages` metric so campaigns can assert faults actually fired.
+
+    fn note_outage(&self, event: &str, site: &str) {
+        MetricsRegistry::global().inc("net_outages", &[("event", event), ("site", site)]);
+    }
+
+    /// Take a whole site down: nothing in or out (a crashed or isolated DC).
+    pub fn fail_node(&self, site: Region) {
+        self.set_partitioned(site, true);
+        self.note_outage("fail_node", site.name());
+    }
+
+    /// Bring a failed site back.
+    pub fn heal_node(&self, site: Region) {
+        self.set_partitioned(site, false);
+        self.note_outage("heal_node", site.name());
+    }
+
+    /// Cut just the `a`↔`b` link, leaving both sites reachable from everyone
+    /// else — the classic split-brain-inducing WAN partition.
+    pub fn partition(&self, a: Region, b: Region) {
+        self.dyn_state.write().cut_links.insert(link_key(a, b));
+        self.note_outage("partition", &format!("{}-{}", a.name(), b.name()));
+    }
+
+    /// Restore a link cut by [`Fabric::partition`].
+    pub fn heal_partition(&self, a: Region, b: Region) {
+        self.dyn_state.write().cut_links.remove(&link_key(a, b));
+        self.note_outage("heal_partition", &format!("{}-{}", a.name(), b.name()));
+    }
+
     /// Cap a site's NIC bandwidth (Azure VM-size throttling).
     pub fn set_egress_cap_mbps(&self, site: Region, mbps: Option<f64>) {
         let mut d = self.dyn_state.write();
@@ -324,14 +365,48 @@ mod tests {
     }
 
     #[test]
+    fn pairwise_partition_cuts_only_that_link() {
+        let f = fabric();
+        f.partition(UsEast, EuWest);
+        assert!(!f.is_reachable(UsEast, EuWest));
+        assert!(!f.is_reachable(EuWest, UsEast), "cut is direction-agnostic");
+        assert!(f.is_reachable(UsEast, UsWest), "other links stay up");
+        assert!(
+            f.is_reachable(EuWest, AsiaEast),
+            "endpoints are not isolated"
+        );
+        f.heal_partition(UsEast, EuWest);
+        assert!(f.is_reachable(UsEast, EuWest));
+    }
+
+    #[test]
+    fn fail_node_isolates_site_and_counts_outage() {
+        let f = fabric();
+        let before = wiera_sim::MetricsRegistry::global()
+            .snapshot()
+            .counter_sum("net_outages");
+        f.fail_node(AsiaEast);
+        assert!(!f.is_reachable(AsiaEast, UsEast));
+        assert!(!f.is_reachable(EuWest, AsiaEast));
+        f.heal_node(AsiaEast);
+        assert!(f.is_reachable(AsiaEast, UsEast));
+        let after = wiera_sim::MetricsRegistry::global()
+            .snapshot()
+            .counter_sum("net_outages");
+        assert!(after >= before + 2, "fail+heal must both count");
+    }
+
+    #[test]
     fn clear_all_dynamics_resets_everything() {
         let f = fabric();
         f.inject_node_delay(UsEast, SimDuration::from_millis(50));
         f.set_partitioned(UsWest, true);
+        f.partition(UsEast, EuWest);
         f.set_egress_cap_mbps(EuWest, Some(10.0));
         f.clear_all_dynamics();
         assert_eq!(f.one_way(UsEast, UsWest, 0), SimDuration::from_millis(35));
         assert!(f.is_reachable(UsEast, UsWest));
+        assert!(f.is_reachable(UsEast, EuWest));
         assert_eq!(f.effective_bw_mbps(EuWest, UsEast), 300.0);
     }
 

@@ -12,12 +12,40 @@
 //! ship one amortized-header message per batch and report per-item results,
 //! so a partial failure inside a batch never hides the items that succeeded.
 
-use crate::msg::{DataMsg, PutItem};
+use crate::msg::{DataMsg, FailCode, PutItem};
 use crate::replica::{view_of_item, view_of_reply, AppError, OpView, DATA_TIMEOUT};
 use bytes::Bytes;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
-use wiera_net::{Mesh, NodeId, Region, RpcReply};
+use wiera_net::{Mesh, NetError, NodeId, Region, RpcReply};
+use wiera_sim::{derive_seed, MetricsRegistry, SimDuration, SimRng};
+
+/// Retry behavior for the client failover loop (§4.4): candidates are swept
+/// closest-first; between sweeps the client backs off exponentially with
+/// seeded jitter (so a thundering herd of recovering clients decorrelates
+/// deterministically), up to a total attempt cap.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Backoff before the second sweep, ms (sim time). Doubles per sweep.
+    pub base_backoff_ms: f64,
+    /// Backoff growth cap, ms.
+    pub max_backoff_ms: f64,
+    /// Total RPC attempts across all candidates and sweeps.
+    pub max_attempts: u32,
+    /// Seed for the jitter RNG.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_backoff_ms: 20.0,
+            max_backoff_ms: 2000.0,
+            max_attempts: 9,
+            seed: 7,
+        }
+    }
+}
 
 /// An application's connection to a Wiera deployment.
 pub struct WieraClient {
@@ -26,6 +54,9 @@ pub struct WieraClient {
     pub me: NodeId,
     /// Candidate replicas, closest first.
     replicas: RwLock<Vec<NodeId>>,
+    policy: RetryPolicy,
+    /// Jitter source, derived from the policy seed and the client name.
+    rng: Mutex<SimRng>,
 }
 
 impl WieraClient {
@@ -34,17 +65,33 @@ impl WieraClient {
         mesh: Arc<Mesh<DataMsg>>,
         region: Region,
         name: impl Into<String>,
+        replicas: Vec<NodeId>,
+    ) -> Arc<Self> {
+        Self::connect_with_policy(mesh, region, name, replicas, RetryPolicy::default())
+    }
+
+    /// [`Self::connect`] with an explicit retry policy (chaos campaigns pin
+    /// the seed; latency-sensitive apps shrink the attempt cap).
+    pub fn connect_with_policy(
+        mesh: Arc<Mesh<DataMsg>>,
+        region: Region,
+        name: impl Into<String>,
         mut replicas: Vec<NodeId>,
+        policy: RetryPolicy,
     ) -> Arc<Self> {
         replicas.sort_by(|a, b| {
             let ra = mesh.fabric.base_rtt_ms(region, a.region);
             let rb = mesh.fabric.base_rtt_ms(region, b.region);
             ra.total_cmp(&rb)
         });
+        let me = NodeId::new(region, name.into());
+        let rng = SimRng::new(derive_seed(policy.seed, me.name.as_ref()));
         Arc::new(WieraClient {
             mesh,
-            me: NodeId::new(region, name.into()),
+            me,
             replicas: RwLock::new(replicas),
+            policy,
+            rng: Mutex::new(rng),
         })
     }
 
@@ -63,28 +110,78 @@ impl WieraClient {
     }
 
     /// Issue an operation with closest-first failover: transport failures
-    /// move to the next-closest replica; whatever `parse` returns — success
-    /// or a semantic error — is final. Every client method routes through
-    /// here, so they all share one retry/timeout/failover policy.
+    /// and stale-epoch refusals advance to the next-closest replica; any
+    /// other semantic (`Fail`) reply is final — it came from a live replica
+    /// that understood the request, so retrying elsewhere can only mask the
+    /// answer. After a full sweep of the candidate list the client backs off
+    /// (exponential + seeded jitter, sim-time) and sweeps again until the
+    /// attempt cap. Every client method routes through here, so they all
+    /// share one retry/timeout/failover policy.
     fn with_failover<T>(
         &self,
         make: impl Fn() -> DataMsg,
         parse: impl Fn(RpcReply<DataMsg>, &NodeId) -> Result<T, AppError>,
     ) -> Result<T, AppError> {
-        let candidates = self.replicas.read().clone();
-        if candidates.is_empty() {
-            return Err(AppError::blocked("no replicas configured"));
-        }
+        let mut attempts: u32 = 0;
+        let mut sweep: u32 = 0;
         let mut last: Option<AppError> = None;
-        for target in &candidates {
-            let msg = make();
-            let bytes = msg.wire_bytes();
-            match self.mesh.rpc(&self.me, target, msg, bytes, DATA_TIMEOUT) {
-                Ok(reply) => return parse(reply, target),
-                Err(e) => last = Some(AppError::Net(e)),
+        loop {
+            // Re-read each sweep: a failover may have refreshed the list.
+            let candidates = self.replicas.read().clone();
+            if candidates.is_empty() {
+                return Err(AppError::blocked("no replicas configured"));
             }
+            for target in &candidates {
+                if attempts >= self.policy.max_attempts {
+                    return Err(last.unwrap_or_else(|| AppError::blocked("all replicas failed")));
+                }
+                attempts += 1;
+                let msg = make();
+                let bytes = msg.wire_bytes();
+                match self.mesh.rpc(&self.me, target, msg, bytes, DATA_TIMEOUT) {
+                    // A fenced (deposed-epoch) refusal means the deployment
+                    // just failed over: retry, the next candidate (or the
+                    // next sweep) will be current.
+                    Ok(RpcReply {
+                        msg:
+                            DataMsg::Fail {
+                                code: FailCode::StaleEpoch,
+                                why,
+                            },
+                        ..
+                    }) => {
+                        self.note_retry("stale-epoch");
+                        last = Some(AppError::Remote {
+                            code: FailCode::StaleEpoch,
+                            why,
+                        });
+                    }
+                    Ok(reply) => return parse(reply, target),
+                    Err(e) => {
+                        self.note_retry(match &e {
+                            NetError::Timeout(_) => "timeout",
+                            _ => "unreachable",
+                        });
+                        last = Some(AppError::Net(e));
+                    }
+                }
+            }
+            if attempts >= self.policy.max_attempts {
+                return Err(last.unwrap_or_else(|| AppError::blocked("all replicas failed")));
+            }
+            // Whole list down (or fenced): back off before the next sweep.
+            let exp = self.policy.base_backoff_ms * f64::powi(2.0, sweep as i32);
+            let capped = exp.min(self.policy.max_backoff_ms);
+            let jitter = self.rng.lock().gen_range_f64(0.0, capped);
+            self.mesh
+                .clock
+                .sleep(SimDuration::from_millis_f64(capped + jitter));
+            sweep += 1;
         }
-        Err(last.unwrap_or_else(|| AppError::blocked("all replicas failed")))
+    }
+
+    fn note_retry(&self, reason: &str) {
+        MetricsRegistry::global().inc("client_retries", &[("reason", reason)]);
     }
 
     /// The common case: one request, one `OpView`-shaped answer.

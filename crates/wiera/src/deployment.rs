@@ -7,7 +7,7 @@
 //! touches the data path.
 
 use crate::client::WieraClient;
-use crate::msg::{DataMsg, LatencySpec, MonitorSpec, ReplicaSpec, RequestsSpec};
+use crate::msg::{DataMsg, DetectorSpec, LatencySpec, MonitorSpec, ReplicaSpec, RequestsSpec};
 use crate::replica::{app_rpc, AppError, OpView};
 use bytes::Bytes;
 use std::collections::HashMap;
@@ -62,6 +62,18 @@ impl DeploymentConfig {
         self.monitors.requests = Some(RequestsSpec {
             window_ms,
             check_every_ms,
+        });
+        self
+    }
+
+    /// Failure detection + automatic failover (§4.4): each backup watches
+    /// the primary's coord lease and probes it through the fabric; after
+    /// `suspect_after_ms` of combined silence the backups race the election
+    /// lock and the winner takes over at a bumped epoch.
+    pub fn with_failure_detection(mut self, check_every_ms: f64, suspect_after_ms: f64) -> Self {
+        self.monitors.detector = Some(DetectorSpec {
+            check_every_ms,
+            suspect_after_ms,
         });
         self
     }
@@ -240,8 +252,17 @@ impl WieraDeployment {
         self.client_for(from).get(key)
     }
 
-    /// Ask each replica to stop.
+    /// Ask each replica to stop. Two passes: first every replica flushes its
+    /// pending eventual-mode queue (while all its peers are still alive to
+    /// receive the batches), then every replica stops. A single
+    /// flush-as-you-stop pass would make the last replica flush into
+    /// already-stopped peers and silently drop queued updates.
     pub fn stop_all(&self) {
+        for rep in self.replicas() {
+            let _ = self
+                .mesh
+                .rpc(&self.from, &rep, DataMsg::FlushQueue, 64, CTRL_TIMEOUT);
+        }
         for rep in self.replicas() {
             let _ = self
                 .mesh

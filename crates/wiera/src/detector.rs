@@ -1,0 +1,120 @@
+//! Failure detection (§4.4): a dedicated thread per backup replica watching
+//! the primary's coord lease and heartbeat silence through the fabric.
+//!
+//! Detection combines two signals, both of which must agree before a node
+//! is declared suspect:
+//!
+//! * **lease expiry** — every replica holds an ephemeral lease znode in
+//!   coord ([`crate::replica::lease_path`]); when a node crashes or its
+//!   heartbeats stop, the coord sweeper expires the session and the lease
+//!   vanishes within `session_timeout + sweep_interval` sim-time;
+//! * **probe silence** — direct [`DataMsg::Ping`] probes through the mesh;
+//!   a partitioned-but-alive node also goes silent here, while a node that
+//!   merely lost its coord session (but still answers pings) is *not*
+//!   deposed on lease expiry alone.
+//!
+//! Once a primary has had no lease *and* no successful probe for
+//! `suspect_after_ms`, the detector hands over to
+//! [`crate::replica::ReplicaNode::run_election`]: racing backups serialize
+//! on a deployment-wide coord lock, the winner bumps the epoch and
+//! broadcasts `ChangePrimary`, and epoch fencing keeps the deposed
+//! primary's late writes out. The worst-case sim-time from crash to an
+//! elected replacement is bounded by
+//! `session_timeout + sweep_interval + suspect_after + check_every` plus
+//! one election round trip.
+
+use crate::monitor::MonitorHandle;
+use crate::msg::{DataMsg, DetectorSpec};
+use crate::replica::{lease_path, ReplicaNode};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use wiera_net::NodeId;
+use wiera_sim::{MetricsRegistry, SimDuration, SimInstant};
+
+/// Probe timeout: short, so a dead primary doesn't stall the detector loop
+/// (the mesh fails fast on unreachable peers anyway).
+const PROBE_TIMEOUT: SimDuration = SimDuration::from_secs(30);
+
+/// The failure-detection thread. One runs per replica; only backups act on
+/// what it sees (the primary has no one to depose).
+pub struct FailureDetector;
+
+impl FailureDetector {
+    pub fn start(replica: Arc<ReplicaNode>, spec: DetectorSpec) -> Result<MonitorHandle, String> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let triggers = Arc::new(AtomicU64::new(0));
+        let stop2 = stop.clone();
+        let triggers2 = triggers.clone();
+        std::thread::Builder::new()
+            .name(format!("detector-{}", replica.node))
+            .spawn(move || {
+                let clock = replica.mesh().clock.clone();
+                let check = SimDuration::from_millis_f64(spec.check_every_ms);
+                let suspect_after = SimDuration::from_millis_f64(spec.suspect_after_ms);
+                // Last time the watched primary showed a sign of life, and
+                // who we were watching when we saw it.
+                let mut last_seen: Option<(NodeId, SimInstant)> = None;
+                loop {
+                    clock.sleep(check);
+                    if stop2.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if replica.is_stopped() {
+                        // A crashed node must not keep probing; resume when
+                        // (if) the node restarts.
+                        last_seen = None;
+                        continue;
+                    }
+                    let Some(primary) = replica.primary() else {
+                        last_seen = None;
+                        continue;
+                    };
+                    if primary == replica.node {
+                        last_seen = None;
+                        continue;
+                    }
+                    let now = clock.now();
+                    // Primary changed since the last tick: restart the clock.
+                    match &last_seen {
+                        Some((watched, _)) if *watched == primary => {}
+                        _ => last_seen = Some((primary.clone(), now)),
+                    }
+                    // Signal 1: the ephemeral lease znode. Coord errors
+                    // (service unreachable from here) count as "alive" —
+                    // losing our own coord link is not evidence about the
+                    // primary.
+                    let lease_ok = match replica.coord_client() {
+                        Some(coord) => coord.exists(&lease_path(&primary)).unwrap_or(true),
+                        None => true,
+                    };
+                    // Signal 2: a direct probe through the fabric.
+                    let ping = DataMsg::Ping;
+                    let bytes = ping.wire_bytes();
+                    let ping_ok = replica
+                        .mesh()
+                        .rpc(&replica.node, &primary, ping, bytes, PROBE_TIMEOUT)
+                        .is_ok();
+                    if ping_ok || lease_ok {
+                        if ping_ok {
+                            last_seen = Some((primary.clone(), now));
+                        }
+                        continue;
+                    }
+                    let silent_since = last_seen.as_ref().map(|(_, t)| *t).unwrap_or(now);
+                    if now.elapsed_since(silent_since) < suspect_after {
+                        continue;
+                    }
+                    // No lease, no answer, long enough: declare suspect.
+                    let region = replica.node.region.to_string();
+                    MetricsRegistry::global().inc("wiera_suspects", &[("region", region.as_str())]);
+                    triggers2.fetch_add(1, Ordering::Relaxed);
+                    replica.run_election(&primary);
+                    // Whatever happened — we won, another backup won, or the
+                    // election aborted — restart observation from scratch.
+                    last_seen = None;
+                }
+            })
+            .map_err(|e| format!("cannot spawn failure detector: {e}"))?;
+        Ok(MonitorHandle::new(stop, triggers))
+    }
+}

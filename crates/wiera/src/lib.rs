@@ -37,6 +37,7 @@ pub mod advisor;
 pub mod client;
 pub mod controller;
 pub mod deployment;
+pub mod detector;
 pub mod monitor;
 pub mod msg;
 pub mod replica;

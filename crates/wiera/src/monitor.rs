@@ -30,6 +30,10 @@ pub struct MonitorHandle {
 }
 
 impl MonitorHandle {
+    pub(crate) fn new(stop: Arc<AtomicBool>, triggers: Arc<AtomicU64>) -> MonitorHandle {
+        MonitorHandle { stop, triggers }
+    }
+
     pub fn stop(&self) {
         self.stop.store(true, Ordering::Release);
     }

@@ -77,18 +77,21 @@ pub enum DataMsg {
     },
 
     // ---- instance ↔ instance ----
-    /// Propagate one version (synchronous `copy` or queued update).
+    /// Propagate one version (synchronous `copy` or queued update). `epoch`
+    /// fences a deposed primary: receivers at a higher epoch refuse it.
     Replicate {
         key: String,
         version: u64,
         modified: SimInstant,
         value: Bytes,
+        epoch: u64,
     },
     /// Coalesced replication: every pending update for one peer in a single
     /// message (one wire header for the batch). The receiver applies
-    /// last-write-wins per item.
+    /// last-write-wins per item. Epoch-fenced like [`DataMsg::Replicate`].
     ReplicateBatch {
         items: Vec<SyncObject>,
+        epoch: u64,
     },
     /// Last-write-wins outcome at the receiver (§4.2). For a batch,
     /// `applied` is true when at least one item won its LWW race.
@@ -96,15 +99,34 @@ pub enum DataMsg {
         applied: bool,
     },
     /// A non-primary forwarding an application put to the primary.
+    /// Epoch-fenced: a primary at a higher epoch refuses stale forwards.
     ForwardPut {
         key: String,
         value: Bytes,
         origin: NodeId,
+        epoch: u64,
     },
     /// Full-state transfer for replica repair (§4.4).
     SyncRequest,
     SyncReply {
         objects: Vec<SyncObject>,
+    },
+    /// Anti-entropy (§4.4): a rejoining replica asks a peer for its per-key
+    /// latest version + content digest, to diff against local state without
+    /// shipping the values.
+    DigestRequest,
+    DigestReply {
+        entries: Vec<KeyDigest>,
+        epoch: u64,
+        /// The replier's view of the primary, so a deposed primary that
+        /// rejoins adopts the post-failover leadership along with the epoch
+        /// (epoch and primary always travel together).
+        primary: Option<NodeId>,
+    },
+    /// Fetch the full objects the digest diff flagged as missing or stale.
+    /// Answered with [`DataMsg::SyncReply`].
+    FetchObjects {
+        keys: Vec<String>,
     },
 
     // ---- controller ↔ instance ----
@@ -129,6 +151,9 @@ pub enum DataMsg {
     /// Liveness probe (TSM heartbeat / network monitor ping).
     Ping,
     Pong,
+    /// Synchronously drain the eventual-mode replication queue (planned
+    /// shutdown: flush before stop so queued updates are never dropped).
+    FlushQueue,
     /// Graceful stop.
     Stop,
     Ok,
@@ -196,6 +221,9 @@ pub struct MonitorSpec {
     pub latency: Option<LatencySpec>,
     /// RequestsMonitoring: move the primary toward forwarding hot spots.
     pub requests: Option<RequestsSpec>,
+    /// Failure detection (§4.4): watch the primary's coord lease and
+    /// heartbeat silence; elect a replacement when it goes suspect.
+    pub detector: Option<DetectorSpec>,
 }
 
 #[derive(Debug, Clone)]
@@ -220,6 +248,20 @@ pub struct RequestsSpec {
     pub check_every_ms: f64,
 }
 
+/// Failure-detector configuration (§4.4). The worst-case sim-time window
+/// from crash to a declared suspect is `coord session timeout + sweep
+/// interval` (lease expiry) plus one `check_every_ms` detector tick; the
+/// `suspect_after_ms` silence floor guards against declaring a node dead on
+/// one dropped probe.
+#[derive(Debug, Clone)]
+pub struct DetectorSpec {
+    /// How often the detector thread probes, ms.
+    pub check_every_ms: f64,
+    /// Minimum heartbeat/probe silence before a lease-less node is declared
+    /// suspect, ms.
+    pub suspect_after_ms: f64,
+}
+
 /// One object version in a state-sync transfer.
 #[derive(Debug, Clone)]
 pub struct SyncObject {
@@ -227,6 +269,16 @@ pub struct SyncObject {
     pub version: u64,
     pub modified: SimInstant,
     pub value: Bytes,
+}
+
+/// One key's latest version + FNV content digest in a [`DataMsg::DigestReply`]
+/// — the anti-entropy summary a rejoining replica diffs against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyDigest {
+    pub key: String,
+    pub version: u64,
+    pub modified: SimInstant,
+    pub digest: u64,
 }
 
 /// Failure kinds a replica can report. Coarse on purpose: clients branch
@@ -242,6 +294,9 @@ pub enum FailCode {
     Blocked,
     /// Anything else: engine errors, protocol violations, bad requests.
     Internal,
+    /// The sender's deployment epoch is older than the receiver's: a deposed
+    /// primary (or a stale controller broadcast) was fenced off (§4.4).
+    StaleEpoch,
 }
 
 impl std::fmt::Display for FailCode {
@@ -251,6 +306,7 @@ impl std::fmt::Display for FailCode {
             FailCode::VersionMissing => "version-missing",
             FailCode::Blocked => "blocked",
             FailCode::Internal => "internal",
+            FailCode::StaleEpoch => "stale-epoch",
         };
         f.write_str(s)
     }
@@ -307,11 +363,17 @@ impl DataMsg {
             DataMsg::Replicate { key, value, .. } => HDR + key.len() as u64 + value.len() as u64,
             DataMsg::ForwardPut { key, value, .. } => HDR + key.len() as u64 + value.len() as u64,
             DataMsg::GetReply { value, .. } => HDR + value.len() as u64,
-            DataMsg::SyncReply { objects } | DataMsg::ReplicateBatch { items: objects } => {
+            DataMsg::SyncReply { objects } | DataMsg::ReplicateBatch { items: objects, .. } => {
                 HDR + objects
                     .iter()
                     .map(|o| o.key.len() as u64 + o.value.len() as u64 + 32)
                     .sum::<u64>()
+            }
+            DataMsg::DigestReply { entries, .. } => {
+                HDR + entries.iter().map(|e| e.key.len() as u64 + 24).sum::<u64>()
+            }
+            DataMsg::FetchObjects { keys } => {
+                HDR + keys.iter().map(|k| k.len() as u64 + ITEM).sum::<u64>()
             }
             DataMsg::MultiPut { items } => {
                 HDR + items
@@ -454,11 +516,12 @@ mod tests {
                     version: o.version,
                     modified: o.modified,
                     value: o.value.clone(),
+                    epoch: 1,
                 }
                 .wire_bytes()
             })
             .sum();
-        let batch = DataMsg::ReplicateBatch { items }.wire_bytes();
+        let batch = DataMsg::ReplicateBatch { items, epoch: 1 }.wire_bytes();
         assert!(batch < singles, "batch {batch} vs singles {singles}");
     }
 }

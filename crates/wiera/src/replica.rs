@@ -16,10 +16,10 @@
 //!   in progress (§3.3.2: new requests "blocked and queued until the change
 //!   takes effect").
 
-use crate::msg::{DataMsg, FailCode, ItemResult, PutItem, SyncObject};
+use crate::msg::{DataMsg, FailCode, ItemResult, KeyDigest, PutItem, SyncObject};
 use bytes::Bytes;
 use parking_lot::Condvar;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use tiera::{BatchOp, InstanceConfig, TieraError, TieraInstance};
@@ -147,10 +147,19 @@ pub struct ReplicaNode {
     /// Updates awaiting asynchronous distribution; the flusher coalesces
     /// the whole queue into one [`DataMsg::ReplicateBatch`] per peer.
     queue: TrackedMutex<VecDeque<SyncObject>>,
-    coord: Option<Arc<CoordClient>>,
+    /// Coordination client; swapped for a fresh session on restart (the
+    /// crashed session's ephemeral lease is gone for good).
+    coord: TrackedRwLock<Option<Arc<CoordClient>>>,
     flush_interval: SimDuration,
     forward_gets_to: TrackedRwLock<Option<NodeId>>,
     stop: Arc<AtomicBool>,
+    /// Bumped on every restart; handler/flusher threads exit when their
+    /// spawn-time generation no longer matches (so a restarted node never
+    /// has two handler threads racing on one inbox).
+    generation: AtomicU64,
+    /// True while anti-entropy catch-up runs after a restart; reads are
+    /// refused (clients fail over) until the node has converged.
+    catching_up: AtomicBool,
     pub stats: ReplicaStats,
     /// (time, put latency ms) samples for the latency monitor.
     put_window: TrackedMutex<VecDeque<(SimInstant, f64)>>,
@@ -187,23 +196,48 @@ impl ReplicaNode {
             ),
             gate: Gate::new(),
             queue: TrackedMutex::new("replica.queue", VecDeque::new()),
-            coord: config.coord,
+            coord: TrackedRwLock::new("replica.coord", config.coord),
             flush_interval: config.flush_interval,
             forward_gets_to: TrackedRwLock::new("replica.forward_gets", config.forward_gets_to),
             stop: stop.clone(),
+            generation: AtomicU64::new(0),
+            catching_up: AtomicBool::new(false),
             stats: ReplicaStats::default(),
             put_window: TrackedMutex::new("replica.put_window", VecDeque::new()),
             direct_puts: TrackedMutex::new("replica.direct_puts", VecDeque::new()),
             forwarded_puts: TrackedMutex::new("replica.forwarded_puts", HashMap::new()),
         });
+        replica.create_lease();
+        replica.start_threads(inbox)?;
+        Ok(replica)
+    }
 
+    /// Hold an ephemeral lease znode in coord (§4.4): the lease vanishes
+    /// with the session, which is how the failure detector learns this
+    /// replica died.
+    fn create_lease(&self) {
+        if let Some(coord) = self.coord_client() {
+            let _ = coord.create_znode(&lease_path(&self.node), true);
+        }
+    }
+
+    /// Start the handler and flusher threads for the current generation.
+    /// Threads from an earlier generation (pre-crash) exit on their own when
+    /// they observe the mismatch.
+    fn start_threads(
+        self: &Arc<Self>,
+        inbox: crossbeam::channel::Receiver<Delivery<DataMsg>>,
+    ) -> Result<(), String> {
+        let gen = self.generation.load(Ordering::Acquire);
         // Handler thread.
         {
-            let r = replica.clone();
+            let r = self.clone();
             std::thread::Builder::new()
                 .name(format!("replica-{}", r.node))
                 .spawn(move || {
-                    while !r.stop.load(Ordering::Acquire) {
+                    while !r.stop.load(Ordering::Acquire)
+                        && r.generation.load(Ordering::Acquire) == gen
+                    {
                         match inbox.recv_timeout(std::time::Duration::from_millis(50)) {
                             Ok(d) => r.dispatch(d),
                             Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
@@ -215,13 +249,17 @@ impl ReplicaNode {
         }
         // Flusher thread.
         {
-            let r = replica.clone();
+            let r = self.clone();
             std::thread::Builder::new()
                 .name(format!("flusher-{}", r.node))
                 .spawn(move || {
-                    while !r.stop.load(Ordering::Acquire) {
+                    while !r.stop.load(Ordering::Acquire)
+                        && r.generation.load(Ordering::Acquire) == gen
+                    {
                         r.mesh.clock.sleep(r.flush_interval);
-                        if r.stop.load(Ordering::Acquire) {
+                        if r.stop.load(Ordering::Acquire)
+                            || r.generation.load(Ordering::Acquire) != gen
+                        {
                             return;
                         }
                         r.flush_queue_async();
@@ -229,7 +267,7 @@ impl ReplicaNode {
                 })
                 .map_err(|e| format!("cannot spawn replica flusher thread: {e}"))?;
         }
-        Ok(replica)
+        Ok(())
     }
 
     pub fn instance(&self) -> &Arc<TieraInstance> {
@@ -264,9 +302,89 @@ impl ReplicaNode {
         *self.forward_gets_to.write() = target;
     }
 
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// True while anti-entropy catch-up is still running after a restart.
+    pub fn is_catching_up(&self) -> bool {
+        self.catching_up.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn coord_client(&self) -> Option<Arc<CoordClient>> {
+        self.coord.read().clone()
+    }
+
+    pub(crate) fn mesh(&self) -> &Arc<Mesh<DataMsg>> {
+        &self.mesh
+    }
+
+    /// Planned shutdown: drain the eventual-mode queue first so already
+    /// acknowledged writes reach their peers, then halt. (A planned stop
+    /// dropping queued `ReplicateBatch`es was a data-loss bug.)
     pub fn stop(&self) {
+        self.flush_coalesced();
+        self.halt();
+    }
+
+    /// Take the node off the mesh and stop its threads without flushing.
+    fn halt(&self) {
         self.stop.store(true, Ordering::Release);
         self.mesh.unregister(&self.node);
+    }
+
+    /// Unplanned crash (§4.4): the site drops off the mesh mid-flight,
+    /// queued-but-unflushed updates are lost, volatile tiers lose their
+    /// contents (durable tiers survive per the tier model), and coord
+    /// heartbeats stop so the lease expires after the session timeout.
+    pub fn crash(&self) {
+        self.halt();
+        self.queue.lock().clear();
+        let wiped = self.inst.crash_volatile();
+        if let Some(coord) = self.coord_client() {
+            coord.pause_heartbeats();
+        }
+        let region = self.node.region.to_string();
+        MetricsRegistry::global().inc("wiera_crashes", &[("region", region.as_str())]);
+        let now = self.mesh.clock.now();
+        Tracer::global()
+            .span(now, "wiera", "crash")
+            .region(region)
+            .node(self.node.name.as_ref())
+            .detail(format!("volatile_versions_lost={wiped}"))
+            .finish(now);
+    }
+
+    /// Restart after [`Self::crash`]: re-register on the mesh, open a fresh
+    /// coord session + lease, adopt the deployment's current epoch, and run
+    /// anti-entropy catch-up against the primary before serving reads.
+    pub fn restart(self: &Arc<Self>) -> Result<AntiEntropyReport, String> {
+        if !self.stop.load(Ordering::Acquire) {
+            return Err("restart: node is not stopped".into());
+        }
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.catching_up.store(true, Ordering::Release);
+        let inbox = self.mesh.register(self.node.clone());
+        self.stop.store(false, Ordering::Release);
+        self.start_threads(inbox)?;
+        // Fresh coord session: the crashed session's ephemeral lease is gone
+        // (or about to expire); a new one announces us as live again.
+        let reconnected = match self.coord_client() {
+            Some(old) => match old.reconnect() {
+                Ok(fresh) => Some(fresh),
+                Err(e) => return Err(format!("restart: coord reconnect failed: {e}")),
+            },
+            None => None,
+        };
+        if let Some(fresh) = reconnected {
+            *self.coord.write() = Some(fresh);
+            self.create_lease();
+        }
+        let report = self.anti_entropy();
+        self.catching_up.store(false, Ordering::Release);
+        let region = self.node.region.to_string();
+        MetricsRegistry::global().inc("wiera_restarts", &[("region", region.as_str())]);
+        Ok(report)
     }
 
     // ---- monitor-facing observability --------------------------------------
@@ -356,7 +474,17 @@ impl ReplicaNode {
                 version,
                 modified,
                 value,
+                epoch,
             } => {
+                if epoch < self.epoch() {
+                    self.note_fenced("replicate");
+                    reply(
+                        d.reply,
+                        stale_epoch_fail(epoch, self.epoch()),
+                        SimDuration::from_micros(100),
+                    );
+                    return;
+                }
                 let digest = value_digest(&value);
                 let out = self.inst.apply_replicated(&key, version, modified, value);
                 let (applied, took) = match out {
@@ -370,7 +498,16 @@ impl ReplicaNode {
                 }
                 reply(d.reply, DataMsg::ReplicateAck { applied }, took);
             }
-            DataMsg::ReplicateBatch { items } => {
+            DataMsg::ReplicateBatch { items, epoch } => {
+                if epoch < self.epoch() {
+                    self.note_fenced("replicate_batch");
+                    reply(
+                        d.reply,
+                        stale_epoch_fail(epoch, self.epoch()),
+                        SimDuration::from_micros(100),
+                    );
+                    return;
+                }
                 // LWW per item (§4.2): one losing item does not block the
                 // rest of the batch.
                 let mut any = false;
@@ -402,29 +539,62 @@ impl ReplicaNode {
                 primary,
                 epoch,
             } => {
-                {
+                let stale = {
                     let mut s = self.state.write();
                     if epoch >= s.epoch {
                         s.peers = peers.into_iter().filter(|p| *p != self.node).collect();
                         s.primary = primary;
                         s.epoch = epoch;
+                        false
+                    } else {
+                        true
                     }
+                };
+                if stale {
+                    self.note_fenced("set_peers");
+                    reply(
+                        d.reply,
+                        stale_epoch_fail(epoch, self.epoch()),
+                        SimDuration::from_micros(200),
+                    );
+                } else {
+                    reply(d.reply, DataMsg::Ok, SimDuration::from_micros(200));
                 }
-                reply(d.reply, DataMsg::Ok, SimDuration::from_micros(200));
             }
             DataMsg::ChangeConsistency { to, epoch } => {
-                let took = self.switch_consistency(to, epoch);
-                reply(d.reply, DataMsg::Ok, took);
+                if epoch < self.epoch() {
+                    self.note_fenced("change_consistency");
+                    reply(
+                        d.reply,
+                        stale_epoch_fail(epoch, self.epoch()),
+                        SimDuration::ZERO,
+                    );
+                } else {
+                    let took = self.switch_consistency(to, epoch);
+                    reply(d.reply, DataMsg::Ok, took);
+                }
             }
             DataMsg::ChangePrimary { new_primary, epoch } => {
-                {
+                let stale = {
                     let mut s = self.state.write();
                     if epoch >= s.epoch {
                         s.primary = Some(new_primary);
                         s.epoch = epoch;
+                        false
+                    } else {
+                        true
                     }
+                };
+                if stale {
+                    self.note_fenced("change_primary");
+                    reply(
+                        d.reply,
+                        stale_epoch_fail(epoch, self.epoch()),
+                        SimDuration::from_micros(200),
+                    );
+                } else {
+                    reply(d.reply, DataMsg::Ok, SimDuration::from_micros(200));
                 }
-                reply(d.reply, DataMsg::Ok, SimDuration::from_micros(200));
             }
             DataMsg::Ping => reply(d.reply, DataMsg::Pong, SimDuration::from_micros(100)),
             DataMsg::SyncRequest => {
@@ -434,6 +604,39 @@ impl ReplicaNode {
                     DataMsg::SyncReply { objects },
                     SimDuration::from_millis(5),
                 );
+            }
+            DataMsg::DigestRequest => {
+                let entries = self.digest_table();
+                let (epoch, primary) = {
+                    let s = self.state.read();
+                    (s.epoch, s.primary.clone())
+                };
+                reply(
+                    d.reply,
+                    DataMsg::DigestReply {
+                        entries,
+                        epoch,
+                        primary,
+                    },
+                    SimDuration::from_millis(2),
+                );
+            }
+            DataMsg::FetchObjects { keys } => {
+                let want: HashSet<&str> = keys.iter().map(|k| k.as_str()).collect();
+                let objects = self
+                    .dump_state()
+                    .into_iter()
+                    .filter(|o| want.contains(o.key.as_str()))
+                    .collect();
+                reply(
+                    d.reply,
+                    DataMsg::SyncReply { objects },
+                    SimDuration::from_millis(5),
+                );
+            }
+            DataMsg::FlushQueue => {
+                let took = self.flush_queue_sync();
+                reply(d.reply, DataMsg::Ok, took);
             }
             DataMsg::LoadState { objects } => {
                 let n = objects.len();
@@ -531,10 +734,13 @@ impl ReplicaNode {
             return SimDuration::ZERO;
         }
         let peers = self.peers();
+        let epoch = self.epoch();
         let mut max_delay = SimDuration::ZERO;
+        let mut any_failed = false;
         for peer in &peers {
             let msg = DataMsg::ReplicateBatch {
                 items: items.clone(),
+                epoch,
             };
             let bytes = msg.wire_bytes();
             match self.mesh.send(&self.node, peer, msg, bytes) {
@@ -543,9 +749,27 @@ impl ReplicaNode {
                     max_delay = max_delay.max(delay);
                 }
                 Err(_) => {
+                    any_failed = true;
                     self.stats
                         .replication_failures
                         .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if any_failed {
+            // Re-queue (keeping only the latest version per key) so the next
+            // flush retries once the peer heals: a partition must not
+            // silently drop acknowledged eventual-mode writes. Peers that
+            // already received this batch re-apply idempotently under LWW.
+            let mut q = self.queue.lock();
+            for item in items {
+                match q.iter_mut().find(|o| o.key == item.key) {
+                    Some(existing) => {
+                        if item.version > existing.version {
+                            *existing = item;
+                        }
+                    }
+                    None => q.push_back(item),
                 }
             }
         }
@@ -586,10 +810,299 @@ impl ReplicaNode {
         }
     }
 
+    // ---- failure lifecycle: anti-entropy and election (§4.4) ---------------
+
+    /// Per-key latest version + content digest — the anti-entropy exchange
+    /// unit (values stay home; only fingerprints travel). Public so tests
+    /// and the chaos harness can assert digest-equal convergence.
+    pub fn digest_table(&self) -> Vec<KeyDigest> {
+        let mut out = Vec::new();
+        for key in self.inst.meta().keys() {
+            let latest = self
+                .inst
+                .meta()
+                .with(&key, |o| o.latest().map(|m| (m.version, m.modified)));
+            if let Some(Some((version, modified))) = latest {
+                if let Ok(got) = self.inst.get_version(&key, version) {
+                    if let Some(value) = got.value {
+                        out.push(KeyDigest {
+                            key: key.clone(),
+                            version,
+                            modified,
+                            digest: value_digest(&value),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Digest-based catch-up swept over every peer, primary first: per
+    /// peer, exchange per-key version/digest tables, pull what the peer
+    /// holds newer, push what survived locally (durable tiers) that the
+    /// peer never saw. Also adopts the deployment's current epoch. Usable
+    /// both on rejoin and after a partition heals.
+    ///
+    /// Sweeping the whole peer set — not just one neighbour — is what lets
+    /// a single post-heal pass converge: an update that only one surviving
+    /// replica still holds (say, the node distributing it crashed with the
+    /// retries still queued) must reach every peer, not whichever one this
+    /// node happens to diff against first.
+    pub fn anti_entropy(self: &Arc<Self>) -> AntiEntropyReport {
+        let targets: Vec<NodeId> = {
+            let s = self.state.read();
+            let mut v: Vec<NodeId> = s
+                .primary
+                .clone()
+                .filter(|p| *p != self.node)
+                .into_iter()
+                .collect();
+            for p in &s.peers {
+                if *p != self.node && !v.contains(p) {
+                    v.push(p.clone());
+                }
+            }
+            v
+        };
+        let mut total = AntiEntropyReport::default();
+        for peer in targets {
+            if let Some((pulled, pushed)) = self.sync_with_peer(&peer) {
+                total.pulled += pulled;
+                total.pushed += pushed;
+                total.peer.get_or_insert(peer);
+            }
+        }
+        let region = self.node.region.to_string();
+        let labels = [("region", region.as_str())];
+        let metrics = MetricsRegistry::global();
+        metrics
+            .counter("wiera_anti_entropy_pulled", &labels)
+            .add(total.pulled as u64);
+        metrics
+            .counter("wiera_anti_entropy_pushed", &labels)
+            .add(total.pushed as u64);
+        total
+    }
+
+    /// One anti-entropy exchange with one peer. Returns `(pulled, pushed)`,
+    /// or `None` if the peer was unreachable.
+    fn sync_with_peer(self: &Arc<Self>, peer: &NodeId) -> Option<(usize, usize)> {
+        let msg = DataMsg::DigestRequest;
+        let bytes = msg.wire_bytes();
+        let reply = match self.mesh.rpc(&self.node, peer, msg, bytes, DATA_TIMEOUT) {
+            Ok(r) => r,
+            Err(_) => return None,
+        };
+        let (entries, peer_epoch, peer_primary) = match reply.msg {
+            DataMsg::DigestReply {
+                entries,
+                epoch,
+                primary,
+            } => (entries, epoch, primary),
+            _ => return None,
+        };
+        // Rejoin at the deployment's current epoch: the fence that kept our
+        // stale writes out now lets us back in. A deposed primary also
+        // adopts the new leadership here — otherwise it would rejoin at the
+        // current epoch still believing itself primary (split-brain).
+        {
+            let mut s = self.state.write();
+            if peer_epoch > s.epoch {
+                s.epoch = peer_epoch;
+                if let Some(p) = peer_primary {
+                    s.primary = Some(p);
+                }
+            }
+        }
+        let mine = self.digest_table();
+        let local: HashMap<&str, &KeyDigest> = mine.iter().map(|d| (d.key.as_str(), d)).collect();
+        let remote: HashMap<&str, &KeyDigest> =
+            entries.iter().map(|d| (d.key.as_str(), d)).collect();
+        let newer = |a: &KeyDigest, b: &KeyDigest| {
+            a.version > b.version
+                || (a.version == b.version && a.digest != b.digest && a.modified > b.modified)
+        };
+        let want: Vec<String> = entries
+            .iter()
+            .filter(|r| match local.get(r.key.as_str()) {
+                None => true,
+                Some(l) => newer(r, l),
+            })
+            .map(|r| r.key.clone())
+            .collect();
+        let push: Vec<&KeyDigest> = mine
+            .iter()
+            .filter(|l| match remote.get(l.key.as_str()) {
+                None => true,
+                Some(r) => newer(l, r),
+            })
+            .collect();
+        let mut pulled = 0usize;
+        if !want.is_empty() {
+            let msg = DataMsg::FetchObjects { keys: want };
+            let bytes = msg.wire_bytes();
+            if let Ok(r) = self.mesh.rpc(&self.node, peer, msg, bytes, DATA_TIMEOUT) {
+                if let DataMsg::SyncReply { objects } = r.msg {
+                    for o in objects {
+                        let digest = value_digest(&o.value);
+                        if let Ok(Some(out)) = self
+                            .inst
+                            .apply_replicated(&o.key, o.version, o.modified, o.value)
+                        {
+                            pulled += 1;
+                            let now = self.mesh.clock.now();
+                            self.record_history(
+                                "replicate_apply",
+                                &o.key,
+                                o.version,
+                                digest,
+                                now,
+                                out.latency,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let mut pushed = 0usize;
+        if !push.is_empty() {
+            let mut items = Vec::new();
+            for d in push {
+                if let Ok(got) = self.inst.get_version(&d.key, d.version) {
+                    if let Some(value) = got.value {
+                        items.push(SyncObject {
+                            key: d.key.clone(),
+                            version: d.version,
+                            modified: d.modified,
+                            value,
+                        });
+                    }
+                }
+            }
+            if !items.is_empty() {
+                pushed = items.len();
+                let msg = DataMsg::ReplicateBatch {
+                    items,
+                    epoch: self.epoch(),
+                };
+                let bytes = msg.wire_bytes();
+                match self.mesh.rpc(&self.node, peer, msg, bytes, DATA_TIMEOUT) {
+                    Ok(_) => {
+                        self.stats.egress_bytes.fetch_add(bytes, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        pushed = 0;
+                        self.stats
+                            .replication_failures
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        Some((pulled, pushed))
+    }
+
+    /// Failover election (§4.4): grab the deployment-wide coord lock,
+    /// re-confirm the primary is still the suspect (a racing backup may
+    /// already have won), probe the suspect one last time, then bump the
+    /// epoch, take over, and broadcast [`DataMsg::ChangePrimary`]. The coord
+    /// lock serializes racing backups; the epoch bump fences the deposed
+    /// primary. Returns true if this node became the primary.
+    pub fn run_election(self: &Arc<Self>, suspect: &NodeId) -> bool {
+        let Some(coord) = self.coord_client() else {
+            return false;
+        };
+        let Ok((guard, _)) = coord.lock(&election_path(&self.node)) else {
+            return false;
+        };
+        // Re-check under the lock: a concurrent winner already re-pointed
+        // the primary (and bumped the epoch) — nothing left to do.
+        if self.primary().as_ref() != Some(suspect) {
+            drop(guard);
+            return false;
+        }
+        // One last probe: a slow-but-alive primary is not deposed.
+        let ping = DataMsg::Ping;
+        let bytes = ping.wire_bytes();
+        if self
+            .mesh
+            .rpc(&self.node, suspect, ping, bytes, SimDuration::from_secs(30))
+            .is_ok()
+        {
+            drop(guard);
+            return false;
+        }
+        let epoch = {
+            let mut s = self.state.write();
+            s.epoch += 1;
+            s.primary = Some(self.node.clone());
+            s.epoch
+        };
+        let region = self.node.region.to_string();
+        MetricsRegistry::global().inc("wiera_failovers", &[("region", region.as_str())]);
+        let now = self.mesh.clock.now();
+        Tracer::global()
+            .span(now, "wiera", "failover")
+            .region(region)
+            .node(self.node.name.as_ref())
+            .detail(format!("deposed={suspect} epoch={epoch}"))
+            .finish(now);
+        for peer in self.peers() {
+            if peer == *suspect || peer == self.node {
+                continue;
+            }
+            let msg = DataMsg::ChangePrimary {
+                new_primary: self.node.clone(),
+                epoch,
+            };
+            let bytes = msg.wire_bytes();
+            let _ = self
+                .mesh
+                .rpc(&self.node, &peer, msg, bytes, SimDuration::from_secs(60));
+        }
+        drop(guard);
+        true
+    }
+
+    /// Undo local writes whose synchronous replication was epoch-fenced:
+    /// they were never acknowledged, so they must not resurface later
+    /// through reads or anti-entropy pushes.
+    fn rollback_written(&self, written: &[SyncObject]) {
+        for w in written {
+            let _ = self.inst.remove_version(&w.key, w.version);
+        }
+    }
+
+    fn note_fenced(&self, what: &str) {
+        MetricsRegistry::global().inc("wiera_fenced_total", &[("msg", what)]);
+    }
+
     // ---- application operations ---------------------------------------------
 
     fn handle_app_op(self: &Arc<Self>, d: Delivery<DataMsg>) {
         self.gate.wait_open();
+        // A rejoining node refuses reads until anti-entropy has converged:
+        // serving a pre-crash view would be a stale read the model forbids.
+        if self.catching_up.load(Ordering::Acquire)
+            && matches!(
+                d.msg,
+                DataMsg::Get { .. }
+                    | DataMsg::GetVersion { .. }
+                    | DataMsg::GetVersionList { .. }
+                    | DataMsg::MultiGet { .. }
+            )
+        {
+            if let Some(slot) = d.reply {
+                let msg = DataMsg::Fail {
+                    code: FailCode::Blocked,
+                    why: "rejoining: anti-entropy catch-up in progress".into(),
+                };
+                let bytes = msg.wire_bytes();
+                slot.reply(msg, SimDuration::from_micros(200), bytes);
+            }
+            return;
+        }
         let (msg, took) = match d.msg {
             DataMsg::Put { key, value } => {
                 let started = self.mesh.clock.now();
@@ -631,22 +1144,46 @@ impl ReplicaNode {
                 }
                 (DataMsg::MultiReply { results }, took)
             }
-            DataMsg::ForwardPut { key, value, origin } => {
-                // Primary-side accounting for the requests monitor.
-                self.forwarded_puts
-                    .lock()
-                    .entry(origin)
-                    .or_default()
-                    .push_back(self.mesh.clock.now());
-                match self.primary_side_put(&key, value) {
-                    Ok((version, latency)) => (DataMsg::PutAck { version }, latency),
-                    Err(f) => (
-                        DataMsg::Fail {
-                            code: f.code,
-                            why: f.why,
-                        },
+            DataMsg::ForwardPut {
+                key,
+                value,
+                origin,
+                epoch,
+            } => {
+                if epoch < self.epoch() {
+                    // A backup that has not heard about the failover yet
+                    // forwards at a stale epoch; refuse so it re-routes.
+                    self.note_fenced("forward_put");
+                    (
+                        stale_epoch_fail(epoch, self.epoch()),
                         SimDuration::from_millis(1),
-                    ),
+                    )
+                } else {
+                    // Primary-side accounting for the requests monitor.
+                    let started = self.mesh.clock.now();
+                    self.forwarded_puts
+                        .lock()
+                        .entry(origin)
+                        .or_default()
+                        .push_back(started);
+                    let digest = value_digest(&value);
+                    match self.primary_side_put(&key, value) {
+                        Ok((version, latency)) => {
+                            // Inner span of the forwarded write: the oracle
+                            // merges it with the backup's outer span and it
+                            // is the only evidence the primary holds this
+                            // version.
+                            self.record_history("put", &key, version, digest, started, latency);
+                            (DataMsg::PutAck { version }, latency)
+                        }
+                        Err(f) => (
+                            DataMsg::Fail {
+                                code: f.code,
+                                why: f.why,
+                            },
+                            SimDuration::from_millis(1),
+                        ),
+                    }
                 }
             }
             DataMsg::Get { key } => {
@@ -921,8 +1458,7 @@ impl ReplicaNode {
         items: &[PutItem],
     ) -> Result<(Vec<ItemResult>, SimDuration), OpFail> {
         let coord = self
-            .coord
-            .as_ref()
+            .coord_client()
             .ok_or_else(|| OpFail::blocked("multi-primaries requires a coordinator"))?;
         let mut keys: Vec<&str> = items.iter().map(|i| i.key.as_str()).collect();
         keys.sort_unstable();
@@ -940,7 +1476,15 @@ impl ReplicaNode {
         let (results, written, engine) = self.run_batch_puts(items, modified);
         let bcast = self.broadcast_batch_sync(&written);
         drop(guards); // asynchronous release, off the latency path
-        Ok((results, lock_cost + engine + bcast))
+        if bcast.fenced {
+            self.rollback_written(&written);
+            self.note_fenced("deposed_mput");
+            return Err(OpFail::new(
+                FailCode::StaleEpoch,
+                "fenced: this node's epoch is stale",
+            ));
+        }
+        Ok((results, lock_cost + engine + bcast.latency))
     }
 
     /// Batched Fig. 3(b), primary side: one engine pass, then one
@@ -952,9 +1496,24 @@ impl ReplicaNode {
         sync: bool,
     ) -> (Vec<ItemResult>, SimDuration) {
         let modified = self.mesh.clock.now();
-        let (results, written, engine) = self.run_batch_puts(items, modified);
+        let (mut results, written, engine) = self.run_batch_puts(items, modified);
         let extra = if sync {
-            self.broadcast_batch_sync(&written)
+            let bcast = self.broadcast_batch_sync(&written);
+            if bcast.fenced {
+                // Deposed primary: undo the never-acknowledged local writes
+                // and fail each item so the client retries at the winner.
+                self.rollback_written(&written);
+                self.note_fenced("deposed_mput");
+                for r in results.iter_mut() {
+                    if matches!(r, ItemResult::Put { .. }) {
+                        *r = ItemResult::Err {
+                            code: FailCode::StaleEpoch,
+                            why: "fenced: this node is no longer the primary".into(),
+                        };
+                    }
+                }
+            }
+            bcast.latency
         } else {
             let mut q = self.queue.lock();
             for w in written {
@@ -1017,8 +1576,7 @@ impl ReplicaNode {
         value: Bytes,
     ) -> Result<(u64, SimDuration), OpFail> {
         let coord = self
-            .coord
-            .as_ref()
+            .coord_client()
             .ok_or_else(|| OpFail::blocked("multi-primaries requires a coordinator"))?;
         let (guard, lock_cost) = coord
             .lock(&format!("/keys/{key}"))
@@ -1027,7 +1585,15 @@ impl ReplicaNode {
         let out = self.inst.put(key, value.clone())?;
         let bcast = self.broadcast_sync(key, out.version, modified, &value);
         drop(guard); // asynchronous release, off the latency path
-        Ok((out.version, lock_cost + out.latency + bcast))
+        if bcast.fenced {
+            let _ = self.inst.remove_version(key, out.version);
+            self.note_fenced("deposed_put");
+            return Err(OpFail::new(
+                FailCode::StaleEpoch,
+                "fenced: this node's epoch is stale",
+            ));
+        }
+        Ok((out.version, lock_cost + out.latency + bcast.latency))
     }
 
     /// Fig. 4: local store + queue for background distribution.
@@ -1058,7 +1624,19 @@ impl ReplicaNode {
         let modified = self.mesh.clock.now();
         let out = self.inst.put(key, value.clone())?;
         let extra = if sync {
-            self.broadcast_sync(key, out.version, modified, &value)
+            let bcast = self.broadcast_sync(key, out.version, modified, &value);
+            if bcast.fenced {
+                // Deposed primary (§4.4): a peer at a higher epoch refused
+                // the copy. Undo the never-acknowledged local write and fail
+                // the put so the client retries at the elected primary.
+                let _ = self.inst.remove_version(key, out.version);
+                self.note_fenced("deposed_put");
+                return Err(OpFail::new(
+                    FailCode::StaleEpoch,
+                    "fenced: this node is no longer the primary",
+                ));
+            }
+            bcast.latency
         } else {
             self.queue.lock().push_back(SyncObject {
                 key: key.to_string(),
@@ -1097,6 +1675,7 @@ impl ReplicaNode {
             key: key.to_string(),
             value,
             origin: self.node.clone(),
+            epoch: self.epoch(),
         };
         let bytes = msg.wire_bytes();
         self.stats.egress_bytes.fetch_add(bytes, Ordering::Relaxed);
@@ -1118,17 +1697,20 @@ impl ReplicaNode {
 
     /// Parallel synchronous replication; latency is the slowest peer (the
     /// "highest round trip latency" the paper attributes to strong puts).
+    /// `fenced` in the outcome means a peer at a higher epoch refused us —
+    /// we are a deposed primary and the write must not be acknowledged.
     fn broadcast_sync(
         self: &Arc<Self>,
         key: &str,
         version: u64,
         modified: SimInstant,
         value: &Bytes,
-    ) -> SimDuration {
+    ) -> BroadcastOutcome {
         let peers = self.peers();
         if peers.is_empty() {
-            return SimDuration::ZERO;
+            return BroadcastOutcome::default();
         }
+        let epoch = self.epoch();
         let mut handles = Vec::new();
         for peer in peers {
             let r = self.clone();
@@ -1137,13 +1719,21 @@ impl ReplicaNode {
                 version,
                 modified,
                 value: value.clone(),
+                epoch,
             };
             handles.push(std::thread::spawn(move || {
                 let bytes = msg.wire_bytes();
                 match r.mesh.rpc(&r.node, &peer, msg, bytes, DATA_TIMEOUT) {
                     Ok(reply) => {
                         r.stats.egress_bytes.fetch_add(bytes, Ordering::Relaxed);
-                        Some(reply.total())
+                        let fenced = matches!(
+                            reply.msg,
+                            DataMsg::Fail {
+                                code: FailCode::StaleEpoch,
+                                ..
+                            }
+                        );
+                        Some((reply.total(), fenced))
                     }
                     Err(_) => {
                         r.stats.replication_failures.fetch_add(1, Ordering::Relaxed);
@@ -1152,36 +1742,46 @@ impl ReplicaNode {
                 }
             }));
         }
-        let mut max = SimDuration::ZERO;
+        let mut out = BroadcastOutcome::default();
         for h in handles {
-            if let Ok(Some(total)) = h.join() {
-                max = max.max(total);
+            if let Ok(Some((total, fenced))) = h.join() {
+                out.latency = out.latency.max(total);
+                out.fenced |= fenced;
             }
         }
-        max
+        out
     }
 
     /// Synchronous batched replication: one [`DataMsg::ReplicateBatch`] per
     /// peer, fanned out concurrently; latency is the slowest peer, exactly
     /// like [`Self::broadcast_sync`] but with one message per peer instead
     /// of one per item.
-    fn broadcast_batch_sync(self: &Arc<Self>, written: &[SyncObject]) -> SimDuration {
+    fn broadcast_batch_sync(self: &Arc<Self>, written: &[SyncObject]) -> BroadcastOutcome {
         let peers = self.peers();
         if peers.is_empty() || written.is_empty() {
-            return SimDuration::ZERO;
+            return BroadcastOutcome::default();
         }
+        let epoch = self.epoch();
         let mut handles = Vec::new();
         for peer in peers {
             let r = self.clone();
             let msg = DataMsg::ReplicateBatch {
                 items: written.to_vec(),
+                epoch,
             };
             handles.push(std::thread::spawn(move || {
                 let bytes = msg.wire_bytes();
                 match r.mesh.rpc(&r.node, &peer, msg, bytes, DATA_TIMEOUT) {
                     Ok(reply) => {
                         r.stats.egress_bytes.fetch_add(bytes, Ordering::Relaxed);
-                        Some(reply.total())
+                        let fenced = matches!(
+                            reply.msg,
+                            DataMsg::Fail {
+                                code: FailCode::StaleEpoch,
+                                ..
+                            }
+                        );
+                        Some((reply.total(), fenced))
                     }
                     Err(_) => {
                         r.stats.replication_failures.fetch_add(1, Ordering::Relaxed);
@@ -1190,13 +1790,14 @@ impl ReplicaNode {
                 }
             }));
         }
-        let mut max = SimDuration::ZERO;
+        let mut out = BroadcastOutcome::default();
         for h in handles {
-            if let Ok(Some(total)) = h.join() {
-                max = max.max(total);
+            if let Ok(Some((total, fenced))) = h.join() {
+                out.latency = out.latency.max(total);
+                out.fenced |= fenced;
             }
         }
-        max
+        out
     }
 
     /// Application get: local read, or forwarded when the deployment routes
@@ -1422,6 +2023,54 @@ impl ReplicaNode {
             s.primary = primary;
             s.epoch = epoch;
         }
+    }
+}
+
+/// Slowest-peer latency of a synchronous replication fan-out, plus whether
+/// any peer fenced us as a stale-epoch (deposed) sender.
+#[derive(Debug, Clone, Copy)]
+struct BroadcastOutcome {
+    latency: SimDuration,
+    fenced: bool,
+}
+
+impl Default for BroadcastOutcome {
+    fn default() -> Self {
+        BroadcastOutcome {
+            latency: SimDuration::ZERO,
+            fenced: false,
+        }
+    }
+}
+
+/// What an anti-entropy round moved (§4.4 rejoin catch-up).
+#[derive(Debug, Clone, Default)]
+pub struct AntiEntropyReport {
+    /// Objects pulled because the local copy was missing or older.
+    pub pulled: usize,
+    /// Surviving local objects pushed because the peer's copy was older.
+    pub pushed: usize,
+    /// The peer diffed against, if one was reachable.
+    pub peer: Option<NodeId>,
+}
+
+/// Coord lease znode for a replica: `/leases/{deployment}/{name}` (the node
+/// name already carries the deployment prefix).
+pub fn lease_path(node: &NodeId) -> String {
+    format!("/leases/{}", node.name)
+}
+
+/// Coord election lock for the deployment a replica belongs to.
+pub fn election_path(node: &NodeId) -> String {
+    let deployment = node.name.split('/').next().unwrap_or("");
+    format!("/election/{deployment}")
+}
+
+/// The wire-level refusal a fenced sender sees.
+fn stale_epoch_fail(got: u64, current: u64) -> DataMsg {
+    DataMsg::Fail {
+        code: FailCode::StaleEpoch,
+        why: format!("stale epoch {got} < {current}"),
     }
 }
 

@@ -5,6 +5,7 @@
 //! then spawns instances (which "run within the Tiera server process") as
 //! deployment requests arrive.
 
+use crate::detector::FailureDetector;
 use crate::monitor::{LatencyMonitor, MonitorHandle, RequestsMonitor};
 use crate::msg::{DataMsg, FailCode, ReplicaSpec};
 use crate::replica::{ReplicaConfig, ReplicaNode};
@@ -189,7 +190,10 @@ impl TieraServer {
             icfg = icfg.with_max_versions(n);
         }
 
-        let coord_client = if spec.needs_coord {
+        // The coord session backs both the multi-primaries lock path and the
+        // failure lifecycle (lease znode + election lock), so a detector
+        // also needs one.
+        let coord_client = if spec.needs_coord || spec.monitors.detector.is_some() {
             let access = self
                 .coord
                 .as_ref()
@@ -252,6 +256,12 @@ impl TieraServer {
                     self.mesh.clone(),
                 )
                 .map_err(|e| format!("requests monitor: {e}"))?,
+            );
+        }
+        if let Some(det) = &spec.monitors.detector {
+            monitors.push(
+                FailureDetector::start(replica.clone(), det.clone())
+                    .map_err(|e| format!("failure detector: {e}"))?,
             );
         }
 

@@ -10,11 +10,13 @@
 //!   hides the items that succeeded.
 
 use bytes::Bytes;
-use wiera::client::WieraClient;
+use wiera::client::{RetryPolicy, WieraClient};
 use wiera::deployment::DeploymentConfig;
 use wiera::msg::FailCode;
+use wiera::replica::AppError;
 use wiera::testkit::{bodies, Cluster};
 use wiera_net::Region;
+use wiera_sim::{MetricsRegistry, SimDuration};
 
 fn payload(n: usize) -> Bytes {
     Bytes::from(vec![0x42u8; n])
@@ -222,5 +224,57 @@ fn batch_fails_over_whole_batch_on_transport_error() {
             "the whole batch must land on the next-closest replica"
         );
     }
+    cluster.shutdown();
+}
+
+#[test]
+fn retries_back_off_with_seeded_jitter_until_attempt_cap() {
+    let _serial = serial();
+    let (cluster, dep) = unsynced_cluster(47);
+    let policy = RetryPolicy {
+        base_backoff_ms: 40.0,
+        max_backoff_ms: 500.0,
+        max_attempts: 5,
+        seed: 1234,
+    };
+    let client = WieraClient::connect_with_policy(
+        cluster.data_mesh.clone(),
+        Region::UsEast,
+        "app",
+        dep.replicas(),
+        policy,
+    );
+    let retries_before = MetricsRegistry::global()
+        .snapshot()
+        .counter_sum("client_retries");
+    for r in cluster.deployment_replicas("fo") {
+        r.stop();
+    }
+    let t0 = cluster.data_mesh.clock.now();
+    let err = client.get("anything").unwrap_err();
+    let elapsed = cluster.data_mesh.clock.now().elapsed_since(t0);
+    assert!(
+        matches!(err, AppError::Net(_)),
+        "with every replica down the last transport error surfaces: {err}"
+    );
+    let snap = MetricsRegistry::global().snapshot();
+    assert_eq!(
+        snap.counter_sum("client_retries") - retries_before,
+        5,
+        "every failed attempt up to the cap counts as a retry"
+    );
+    assert!(
+        snap.counters
+            .keys()
+            .any(|k| k.starts_with("client_retries{") && k.contains("reason=unreachable")),
+        "retry metric must be labeled by reason: {:?}",
+        snap.counters.keys().collect::<Vec<_>>()
+    );
+    // 3 candidates per sweep, cap 5: exactly one inter-sweep backoff of
+    // base..2*base sim-time (jittered) must have elapsed.
+    assert!(
+        elapsed >= SimDuration::from_millis_f64(40.0),
+        "backoff must advance sim-time: {elapsed:?}"
+    );
     cluster.shutdown();
 }
