@@ -15,8 +15,8 @@
 //! the calling thread also sleeps the scaled wall time so experiment
 //! timelines stay aligned with modeled time.
 
-use crate::metastore::MetaStore;
-use crate::object::{storage_key, VersionId, VersionMeta};
+use crate::metastore::{MetaShardGuard, MetaStore};
+use crate::object::{storage_key, ObjectMeta, VersionId, VersionMeta};
 use crate::transform;
 use bytes::Bytes;
 use std::collections::{BTreeSet, HashMap};
@@ -114,7 +114,10 @@ impl TierHandle {
             TierHandle::Local(t) => Ok(t.get(key)?),
             TierHandle::Instance { inst, .. } => {
                 let out = inst.get(key)?;
-                Ok((out.value.expect("get returns bytes"), out.latency))
+                let value = out.value.ok_or_else(|| {
+                    TieraError::Corrupt(format!("instance get of '{key}' returned no bytes"))
+                })?;
+                Ok((value, out.latency))
             }
         }
     }
@@ -231,6 +234,13 @@ pub struct TieraInstance {
     clock: SharedClock,
     tiers: Vec<(String, TierHandle)>,
     meta: MetaStore,
+    /// True when every tier is a [`TierHandle::Local`] simulated service.
+    /// The sharded fast paths hold one metastore shard lock across the tier
+    /// hop, which is only safe when the hop cannot re-enter another
+    /// instance's metastore (same lock class — wiera-check WC002); with a
+    /// mounted instance in the stack, operations fall back to the phased
+    /// lock-per-step paths.
+    all_local_tiers: bool,
     /// Edge-trigger memory for tier-filled rules (rule index → armed).
     filled_armed: TrackedMutex<HashMap<usize, bool>>,
     pub stats: InstanceStats,
@@ -264,6 +274,7 @@ impl TieraInstance {
             clock,
             tiers,
             meta: MetaStore::new(),
+            all_local_tiers: true,
             filled_armed: TrackedMutex::new("inst.filled_armed", HashMap::new()),
             stats: InstanceStats::default(),
             rng,
@@ -293,6 +304,7 @@ impl TieraInstance {
             tiers.push((l.clone(), hh));
         }
         tiers.push((label.to_string(), TierHandle::Instance { inst, read_only }));
+        let all_local_tiers = tiers.iter().all(|(_, h)| matches!(h, TierHandle::Local(_)));
         Arc::new(TieraInstance {
             config: InstanceConfig {
                 name: self.config.name.clone(),
@@ -308,6 +320,7 @@ impl TieraInstance {
             clock: self.clock.clone(),
             tiers,
             meta: MetaStore::new(),
+            all_local_tiers,
             filled_armed: TrackedMutex::new("inst.filled_armed", HashMap::new()),
             stats: InstanceStats::default(),
             rng: TrackedMutex::new("inst.rng", SimRng::new(self.config.seed).child("mounted")),
@@ -388,8 +401,90 @@ impl TieraInstance {
     /// batch's total modeled latency once rather than per item. Items are
     /// independent: one item's failure does not affect the others. Returns
     /// per-item outcomes in request order plus the batch's total latency.
+    ///
+    /// Items are grouped by metastore shard and each shard's lock is taken
+    /// **once per batch** (see [`MetaStore::shard_write`]); items on the
+    /// same key keep their request order because a key always hashes to the
+    /// same shard. When a mounted instance sits in the tier stack the batch
+    /// falls back to the phased per-item path (see `all_local_tiers`).
     #[allow(clippy::type_complexity)]
     pub fn apply_batch(
+        &self,
+        ops: &[BatchOp],
+    ) -> (Vec<Result<OpOutcome, TieraError>>, SimDuration) {
+        if !self.all_local_tiers {
+            return self.apply_batch_per_item(ops);
+        }
+        let mut total = META_OVERHEAD;
+        let mut results: Vec<Result<OpOutcome, TieraError>> = ops
+            .iter()
+            .map(|_| Err(TieraError::NotFound(String::new())))
+            .collect();
+        // Group item indices by shard, preserving request order per shard.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.meta.shard_count()];
+        for (i, op) in ops.iter().enumerate() {
+            let key = match op {
+                BatchOp::Put { key, .. } | BatchOp::Get { key } => key,
+            };
+            groups[self.meta.shard_of(key)].push(i);
+        }
+        let mut gc: Vec<(String, Vec<VersionId>)> = Vec::new();
+        for (shard, idxs) in groups.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let mut map = self.meta.shard_write(shard);
+            for &i in idxs {
+                let r = match &ops[i] {
+                    BatchOp::Put { key, value } => {
+                        self.stats.app_puts.fetch_add(1, Ordering::Relaxed);
+                        self.ingest_locked(
+                            &mut map,
+                            key,
+                            value.clone(),
+                            &[],
+                            None,
+                            None,
+                            BATCH_ITEM_OVERHEAD,
+                            &mut gc,
+                        )
+                    }
+                    BatchOp::Get { key } => {
+                        self.stats.app_gets.fetch_add(1, Ordering::Relaxed);
+                        match map.get_mut(key) {
+                            Some(obj) => match obj.latest_version() {
+                                Some(v) => self.read_version_locked(key, v, obj),
+                                None => Err(TieraError::NotFound(key.clone())),
+                            },
+                            None => Err(TieraError::NotFound(key.clone())),
+                        }
+                    }
+                };
+                if let Ok(out) = &r {
+                    total += out.latency;
+                }
+                results[i] = r;
+            }
+        }
+        // GC pruned version bytes outside the shard sessions.
+        for (key, versions) in gc {
+            for v in versions {
+                let sk = storage_key(&key, v);
+                for (_, h) in &self.tiers {
+                    let _ = h.delete(&sk);
+                }
+            }
+        }
+        self.note_op("batch", total);
+        self.maybe_sleep(total);
+        (results, total)
+    }
+
+    /// Legacy batch path for instances with mounted-instance tiers: each
+    /// item acquires locks step by step, never holding a metastore shard
+    /// lock across a tier hop that could re-enter another metastore.
+    #[allow(clippy::type_complexity)]
+    fn apply_batch_per_item(
         &self,
         ops: &[BatchOp],
     ) -> (Vec<Result<OpOutcome, TieraError>>, SimDuration) {
@@ -512,7 +607,156 @@ impl TieraInstance {
     /// Shared ingest path for local puts and replicated updates. `overhead`
     /// is the metadata bookkeeping charge: the full [`META_OVERHEAD`] for a
     /// standalone op, the marginal [`BATCH_ITEM_OVERHEAD`] inside a batch.
+    ///
+    /// With an all-local tier stack the whole op runs under one metastore
+    /// shard session (version allocation and metadata record under the same
+    /// lock hold, closing the alloc/record race); otherwise it takes the
+    /// phased path that never holds a metastore lock across a tier hop.
     fn ingest(
+        &self,
+        key: &str,
+        value: Bytes,
+        tags: &[&str],
+        forced_version: Option<VersionId>,
+        forced_modified: Option<SimInstant>,
+        overhead: SimDuration,
+    ) -> Result<OpOutcome, TieraError> {
+        if self.all_local_tiers {
+            let mut gc: Vec<(String, Vec<VersionId>)> = Vec::new();
+            let r = {
+                let mut map = self.meta.shard_write(self.meta.shard_of(key));
+                self.ingest_locked(
+                    &mut map,
+                    key,
+                    value,
+                    tags,
+                    forced_version,
+                    forced_modified,
+                    overhead,
+                    &mut gc,
+                )
+            };
+            for (k, versions) in gc {
+                for v in versions {
+                    let sk = storage_key(&k, v);
+                    for (_, h) in &self.tiers {
+                        let _ = h.delete(&sk);
+                    }
+                }
+            }
+            return r;
+        }
+        self.ingest_phased(key, value, tags, forced_version, forced_modified, overhead)
+    }
+
+    /// Ingest one put into an already-locked metastore shard. `gc` collects
+    /// `(key, pruned versions)` whose bytes the caller deletes after the
+    /// shard session ends.
+    #[allow(clippy::too_many_arguments)]
+    fn ingest_locked(
+        &self,
+        map: &mut MetaShardGuard<'_>,
+        key: &str,
+        value: Bytes,
+        tags: &[&str],
+        forced_version: Option<VersionId>,
+        forced_modified: Option<SimInstant>,
+        overhead: SimDuration,
+        gc: &mut Vec<(String, Vec<VersionId>)>,
+    ) -> Result<OpOutcome, TieraError> {
+        let now = self.clock.now();
+        let version =
+            forced_version.unwrap_or_else(|| map.get(key).map(|o| o.next_version()).unwrap_or(1));
+        let skey = storage_key(key, version);
+
+        let mut latency = overhead;
+        let mut location: Option<String> = None;
+        let mut replicas: BTreeSet<String> = BTreeSet::new();
+        let mut dirty = false;
+
+        // Insert rules (event `insert.into`) run synchronously. They only
+        // touch tiers (all local here), never the metastore.
+        let insert_rules: Vec<&Rule> = self
+            .config
+            .rules
+            .iter()
+            .filter(|r| matches!(r.event, EventKind::Insert { into: None }))
+            .collect();
+        for rule in insert_rules {
+            for action in &rule.actions {
+                self.run_insert_action(
+                    action,
+                    &skey,
+                    &value,
+                    &mut latency,
+                    &mut location,
+                    &mut replicas,
+                    &mut dirty,
+                )?;
+            }
+        }
+        let location = match location {
+            Some(l) => l,
+            None => {
+                let label = self.default_tier_label().to_string();
+                latency += self.tier_required(&label)?.put(&skey, value.clone())?;
+                label
+            }
+        };
+
+        let scoped: Vec<&Rule> = self
+            .config
+            .rules
+            .iter()
+            .filter(|r| matches!(&r.event, EventKind::Insert { into: Some(t) } if *t == location))
+            .collect();
+        let mut loc2 = Some(location.clone());
+        for rule in scoped {
+            for action in &rule.actions {
+                self.run_insert_action(
+                    action,
+                    &skey,
+                    &value,
+                    &mut latency,
+                    &mut loc2,
+                    &mut replicas,
+                    &mut dirty,
+                )?;
+            }
+        }
+
+        // Record metadata in the same lock hold that allocated the version.
+        let size = value.len() as u64;
+        let obj = map.entry(key.to_string()).or_default();
+        for t in tags {
+            obj.tags.insert(t.to_string());
+        }
+        let mut m = VersionMeta::new(version, size, now, &location);
+        m.dirty = dirty;
+        m.replicas = replicas;
+        if let Some(fm) = forced_modified {
+            m.modified = fm;
+        }
+        obj.versions.insert(version, m);
+        let pruned = match self.config.max_versions {
+            Some(keep) => obj.prune_old_versions(keep),
+            None => Vec::new(),
+        };
+        if !pruned.is_empty() {
+            gc.push((key.to_string(), pruned));
+        }
+
+        Ok(OpOutcome {
+            value: None,
+            version,
+            latency,
+        })
+    }
+
+    /// Phased ingest for tier stacks containing mounted instances: every
+    /// metastore access is its own short lock hold, so the tier hop can
+    /// re-enter another instance's metastore without nesting shard locks.
+    fn ingest_phased(
         &self,
         key: &str,
         value: Bytes,
@@ -776,6 +1020,90 @@ impl TieraInstance {
     /// Read path shared by get/getVersion: try holders fastest-first, heal
     /// metadata when a volatile tier has evicted its copy.
     fn read_version(&self, key: &str, version: VersionId) -> Result<OpOutcome, TieraError> {
+        if self.all_local_tiers {
+            // One shard session covers holder lookup, heal, and touch.
+            return self
+                .meta
+                .with_existing_mut(key, |o| self.read_version_locked(key, version, o))
+                .unwrap_or_else(|| Err(TieraError::VersionNotFound(key.to_string(), version)));
+        }
+        self.read_version_phased(key, version)
+    }
+
+    /// Read one version with its object's metadata already locked: try
+    /// holders fastest-first, heal metadata in place when a volatile tier
+    /// has evicted its copy, touch the access time.
+    fn read_version_locked(
+        &self,
+        key: &str,
+        version: VersionId,
+        obj: &mut ObjectMeta,
+    ) -> Result<OpOutcome, TieraError> {
+        let now = self.clock.now();
+        let (holders, compressed, encrypted) = obj
+            .versions
+            .get(&version)
+            .map(|m| {
+                (
+                    m.holders()
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect::<Vec<_>>(),
+                    m.compressed,
+                    m.encrypted,
+                )
+            })
+            .ok_or_else(|| TieraError::VersionNotFound(key.to_string(), version))?;
+
+        let mut ordered: Vec<String> = holders;
+        ordered.sort_by(|a, b| {
+            let la = self.tier(a).map(|h| h.typical_get_ms()).unwrap_or(f64::MAX);
+            let lb = self.tier(b).map(|h| h.typical_get_ms()).unwrap_or(f64::MAX);
+            la.total_cmp(&lb)
+        });
+
+        let skey = storage_key(key, version);
+        let mut latency = SimDuration::from_micros(100);
+        let mut lost: Vec<String> = Vec::new();
+        for label in &ordered {
+            let Some(h) = self.tier(label) else {
+                lost.push(label.clone());
+                continue;
+            };
+            match h.get(&skey) {
+                Ok((mut data, l)) => {
+                    latency += l;
+                    if encrypted {
+                        data = transform::decrypt(&data, self.config.encryption_key);
+                    }
+                    if compressed {
+                        data = transform::decompress(&data).map_err(TieraError::Corrupt)?;
+                    }
+                    if let Some(m) = obj.versions.get_mut(&version) {
+                        for l in &lost {
+                            m.replicas.remove(l);
+                            if &m.location == l {
+                                m.location = label.clone();
+                            }
+                        }
+                        m.touch(now);
+                    }
+                    return Ok(OpOutcome {
+                        value: Some(data),
+                        version,
+                        latency,
+                    });
+                }
+                Err(_) => lost.push(label.clone()),
+            }
+        }
+        Err(TieraError::NotFound(key.to_string()))
+    }
+
+    /// Phased read for tier stacks containing mounted instances: holder
+    /// lookup, tier hop, and heal/touch are separate lock holds so the hop
+    /// can re-enter another instance's metastore.
+    fn read_version_phased(&self, key: &str, version: VersionId) -> Result<OpOutcome, TieraError> {
         let now = self.clock.now();
         let (holders, compressed, encrypted) = self
             .meta
@@ -1085,7 +1413,9 @@ impl TieraInstance {
         bandwidth_bps: Option<f64>,
     ) -> Result<SimDuration, TieraError> {
         let out = self.read_version(key, version)?;
-        let data = out.value.expect("read returns bytes");
+        let data = out
+            .value
+            .ok_or_else(|| TieraError::Corrupt(format!("read of '{key}' returned no bytes")))?;
         let mut latency = out.latency;
         latency += self
             .tier_required(to)?
@@ -1116,7 +1446,9 @@ impl TieraInstance {
         bandwidth_bps: Option<f64>,
     ) -> Result<SimDuration, TieraError> {
         let out = self.read_version(key, version)?;
-        let data = out.value.expect("read returns bytes");
+        let data = out
+            .value
+            .ok_or_else(|| TieraError::Corrupt(format!("read of '{key}' returned no bytes")))?;
         let mut latency = out.latency;
         latency += self
             .tier_required(to)?
@@ -1188,7 +1520,9 @@ impl TieraInstance {
             .flatten()
             .unwrap_or((false, false));
         let out = self.read_version(key, version)?;
-        let plain = out.value.expect("read returns bytes");
+        let plain = out
+            .value
+            .ok_or_else(|| TieraError::Corrupt(format!("read of '{key}' returned no bytes")))?;
         let new_compressed = was_compressed || compress;
         let new_encrypted = was_encrypted || !compress;
         let mut stored = plain;

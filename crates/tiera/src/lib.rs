@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Tiera — the single-DC multi-tiered storage instance (Middleware'14),
 //! the substrate Wiera builds on.
 //!

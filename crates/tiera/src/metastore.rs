@@ -3,15 +3,42 @@
 //! The paper stores and persists all object metadata in BerkeleyDB (§4.2).
 //! Here the store is an in-memory map with snapshot/restore to a serialized
 //! byte image, which is what instance recovery needs from it.
+//!
+//! Since the hot-path overhaul the map is **sharded**: keys are partitioned
+//! by FNV-1a hash into [`META_SHARDS`] independent `TrackedRwLock`ed
+//! `BTreeMap`s, so writers to different keys no longer serialize on one
+//! engine-wide lock, and `apply_batch` can group a bulk request by shard
+//! and take each shard's lock exactly once per batch
+//! ([`MetaStore::shard_write`]). Whole-store scans (cold-data sweeps,
+//! snapshots) visit shards one at a time — never holding two shard locks
+//! simultaneously, which keeps wiera-check's same-class-nesting rule clean.
+//! The snapshot image format is unchanged: shards are merged into one map
+//! on serialize and re-split on restore.
 
 use crate::object::{ObjectMeta, VersionId, VersionMeta};
 use std::collections::BTreeMap;
-use wiera_sim::lockreg::TrackedRwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use wiera_sim::lockreg::{TrackedRwLock, TrackedWriteGuard};
 use wiera_sim::SimInstant;
+
+/// Number of independently locked key partitions.
+pub const META_SHARDS: usize = 16;
+
+/// Stable key → shard mapping (FNV-1a, endian-independent).
+fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Thread-safe metadata store for one instance.
 pub struct MetaStore {
-    objects: TrackedRwLock<BTreeMap<String, ObjectMeta>>,
+    shards: Vec<TrackedRwLock<BTreeMap<String, ObjectMeta>>>,
+    /// Write-lock acquisitions per shard, for the batch-locking tests.
+    write_acquisitions: Vec<AtomicU64>,
 }
 
 impl Default for MetaStore {
@@ -20,36 +47,80 @@ impl Default for MetaStore {
     }
 }
 
+/// One shard's write session: the map of every key that hashes there.
+pub type MetaShardGuard<'a> = TrackedWriteGuard<'a, BTreeMap<String, ObjectMeta>>;
+
 impl MetaStore {
     pub fn new() -> Self {
         MetaStore {
-            objects: TrackedRwLock::new("tiera.metastore", BTreeMap::new()),
+            shards: (0..META_SHARDS)
+                .map(|_| TrackedRwLock::new("tiera.metastore", BTreeMap::new()))
+                .collect(),
+            write_acquisitions: (0..META_SHARDS).map(|_| AtomicU64::new(0)).collect(),
         }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns `key`.
+    pub fn shard_of(&self, key: &str) -> usize {
+        (fnv1a(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Open one write session on a shard. `apply_batch` groups a bulk
+    /// request by [`MetaStore::shard_of`] and calls this once per group, so
+    /// a batch pays one lock acquisition per touched shard instead of
+    /// several per item. Never hold two shard guards at once.
+    pub fn shard_write(&self, shard: usize) -> MetaShardGuard<'_> {
+        self.write_acquisitions[shard].fetch_add(1, Ordering::Relaxed);
+        self.shards[shard].write()
+    }
+
+    /// Per-shard write-lock acquisition counts since construction
+    /// (observability for the batch-locking tests).
+    pub fn write_lock_counts(&self) -> Vec<u64> {
+        self.write_acquisitions
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Run `f` over the object's metadata, creating the entry if absent.
     pub fn with_mut<R>(&self, key: &str, f: impl FnOnce(&mut ObjectMeta) -> R) -> R {
-        let mut map = self.objects.write();
+        let mut map = self.shard_write(self.shard_of(key));
         f(map.entry(key.to_string()).or_default())
+    }
+
+    /// Run `f` over existing metadata, mutably; `None` if the key is
+    /// unknown (unlike [`MetaStore::with_mut`], never creates the entry).
+    pub fn with_existing_mut<R>(
+        &self,
+        key: &str,
+        f: impl FnOnce(&mut ObjectMeta) -> R,
+    ) -> Option<R> {
+        let mut map = self.shard_write(self.shard_of(key));
+        map.get_mut(key).map(f)
     }
 
     /// Run `f` over existing metadata; `None` if the key is unknown.
     pub fn with<R>(&self, key: &str, f: impl FnOnce(&ObjectMeta) -> R) -> Option<R> {
-        self.objects.read().get(key).map(f)
+        self.shards[self.shard_of(key)].read().get(key).map(f)
     }
 
     pub fn contains(&self, key: &str) -> bool {
-        self.objects.read().contains_key(key)
+        self.shards[self.shard_of(key)].read().contains_key(key)
     }
 
     pub fn remove(&self, key: &str) -> Option<ObjectMeta> {
-        self.objects.write().remove(key)
+        self.shard_write(self.shard_of(key)).remove(key)
     }
 
     /// Remove one version; drops the whole entry when no versions remain.
     /// Returns the removed version's metadata.
     pub fn remove_version(&self, key: &str, version: VersionId) -> Option<VersionMeta> {
-        let mut map = self.objects.write();
+        let mut map = self.shard_write(self.shard_of(key));
         let obj = map.get_mut(key)?;
         let meta = obj.versions.remove(&version);
         if obj.versions.is_empty() {
@@ -58,53 +129,78 @@ impl MetaStore {
         meta
     }
 
+    /// All keys, sorted (shards are visited one at a time).
     pub fn keys(&self) -> Vec<String> {
-        self.objects.read().keys().cloned().collect()
-    }
-
-    pub fn len(&self) -> usize {
-        self.objects.read().len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.objects.read().is_empty()
-    }
-
-    /// Snapshot of `(key, version)` pairs whose last access is older than
-    /// `cutoff` — the ColdDataMonitoring scan (§4.3).
-    pub fn cold_versions(&self, cutoff: SimInstant) -> Vec<(String, VersionId)> {
-        let map = self.objects.read();
         let mut out = Vec::new();
-        for (k, obj) in map.iter() {
-            for (v, meta) in &obj.versions {
-                if meta.last_access < cutoff {
-                    out.push((k.clone(), *v));
-                }
-            }
+        for shard in &self.shards {
+            out.extend(shard.read().keys().cloned());
         }
+        out.sort();
         out
     }
 
-    /// All `(key, version)` pairs (for policy sweeps).
-    pub fn all_versions(&self) -> Vec<(String, VersionId)> {
-        let map = self.objects.read();
-        map.iter()
-            .flat_map(|(k, o)| o.versions.keys().map(move |v| (k.clone(), *v)))
-            .collect()
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
-    /// Serialize to a persistent image (the "BerkeleyDB file").
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Snapshot of `(key, version)` pairs whose last access is older than
+    /// `cutoff` — the ColdDataMonitoring scan (§4.3). Sorted by key.
+    pub fn cold_versions(&self, cutoff: SimInstant) -> Vec<(String, VersionId)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = shard.read();
+            for (k, obj) in map.iter() {
+                for (v, meta) in &obj.versions {
+                    if meta.last_access < cutoff {
+                        out.push((k.clone(), *v));
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// All `(key, version)` pairs (for policy sweeps). Sorted by key.
+    pub fn all_versions(&self) -> Vec<(String, VersionId)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = shard.read();
+            out.extend(
+                map.iter()
+                    .flat_map(|(k, o)| o.versions.keys().map(move |v| (k.clone(), *v))),
+            );
+        }
+        out.sort();
+        out
+    }
+
+    /// Serialize to a persistent image (the "BerkeleyDB file"). Shards are
+    /// merged, so the image format is identical to the pre-sharding store.
     pub fn snapshot(&self) -> Vec<u8> {
-        serde_json::to_vec(&*self.objects.read()).expect("metadata serializes")
+        let mut merged: BTreeMap<String, ObjectMeta> = BTreeMap::new();
+        for shard in &self.shards {
+            for (k, o) in shard.read().iter() {
+                merged.insert(k.clone(), o.clone());
+            }
+        }
+        serde_json::to_vec(&merged).unwrap_or_else(|e| panic!("metadata serializes: {e}"))
     }
 
     /// Restore from an image produced by [`MetaStore::snapshot`].
     pub fn restore(image: &[u8]) -> Result<Self, String> {
         let objects: BTreeMap<String, ObjectMeta> =
             serde_json::from_slice(image).map_err(|e| e.to_string())?;
-        Ok(MetaStore {
-            objects: TrackedRwLock::new("tiera.metastore", objects),
-        })
+        let store = MetaStore::new();
+        for (k, o) in objects {
+            let shard = store.shard_of(&k);
+            store.shards[shard].write().insert(k, o);
+        }
+        Ok(store)
     }
 }
 
@@ -196,5 +292,38 @@ mod tests {
         all.sort();
         assert_eq!(all.len(), 4);
         assert_eq!(all[0], ("a".to_string(), 1));
+    }
+
+    #[test]
+    fn keys_spread_across_shards_and_stay_sorted() {
+        let ms = MetaStore::new();
+        let keys: Vec<String> = (0..256).map(|i| format!("key{i:04}")).collect();
+        for k in &keys {
+            ms.with_mut(k, |o| {
+                o.versions.insert(1, VersionMeta::new(1, 8, t(0), "tier1"));
+            });
+        }
+        assert_eq!(ms.len(), 256);
+        assert_eq!(ms.keys(), keys, "keys() is globally sorted");
+        // 256 uniform keys should land on well more than one shard.
+        let hit: usize = (0..ms.shard_count())
+            .filter(|&s| keys.iter().any(|k| ms.shard_of(k) == s))
+            .count();
+        assert!(hit > META_SHARDS / 2, "keys spread over shards, got {hit}");
+    }
+
+    #[test]
+    fn shard_write_counts_acquisitions() {
+        let ms = MetaStore::new();
+        let before = ms.write_lock_counts();
+        ms.with_mut("k", |_| ());
+        let after = ms.write_lock_counts();
+        let shard = ms.shard_of("k");
+        assert_eq!(after[shard], before[shard] + 1);
+        assert_eq!(
+            after.iter().sum::<u64>(),
+            before.iter().sum::<u64>() + 1,
+            "exactly one shard lock taken"
+        );
     }
 }

@@ -1,0 +1,100 @@
+//! Sharded-engine locking test: `apply_batch` must group items by metastore
+//! shard and take each shard's write lock **once** per batch, not once per
+//! item. [`MetaStore::write_lock_counts`] meters write acquisitions per
+//! shard, so the delta across one batch is directly observable.
+
+use bytes::Bytes;
+use tiera::{BatchOp, InstanceConfig, MetaStore, TieraInstance};
+use wiera_net::Region;
+use wiera_sim::ScaledClock;
+
+#[test]
+fn apply_batch_locks_each_shard_at_most_once() {
+    let clock = ScaledClock::shared(1_000_000.0);
+    let config = InstanceConfig::new("sh", Region::UsEast)
+        .with_tier("mem", "LocalMemory", 1 << 30)
+        .with_max_versions(2);
+    let inst = TieraInstance::build(config, clock).unwrap();
+
+    let keys: Vec<String> = (0..64).map(|i| format!("shard-key-{i:03}")).collect();
+    let ops: Vec<BatchOp> = keys
+        .iter()
+        .map(|k| BatchOp::Put {
+            key: k.clone(),
+            value: Bytes::from_static(b"v"),
+        })
+        .collect();
+
+    let meta = inst.meta();
+    let distinct_shards: std::collections::BTreeSet<usize> =
+        keys.iter().map(|k| meta.shard_of(k)).collect();
+    // The point of sharding: 64 spread keys must land on many shards.
+    assert!(
+        distinct_shards.len() > meta.shard_count() / 2,
+        "keys hash to only {} of {} shards",
+        distinct_shards.len(),
+        meta.shard_count()
+    );
+
+    let before = meta.write_lock_counts();
+    let (results, _latency) = inst.apply_batch(&ops);
+    assert!(results.iter().all(|r| r.is_ok()));
+    let after = meta.write_lock_counts();
+
+    let mut total_delta = 0u64;
+    for (shard, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+        let delta = a - b;
+        assert!(
+            delta <= 1,
+            "shard {shard} write-locked {delta} times in one batch (want ≤1)"
+        );
+        total_delta += delta;
+    }
+    assert_eq!(
+        total_delta,
+        distinct_shards.len() as u64,
+        "one lock session per shard touched by the batch"
+    );
+}
+
+#[test]
+fn same_key_ordering_is_preserved_within_a_batch() {
+    // Two puts to the same key inside one batch must version-chain in
+    // request order — the shard grouping processes within-shard items in
+    // their original sequence.
+    let clock = ScaledClock::shared(1_000_000.0);
+    let config = InstanceConfig::new("sh2", Region::UsEast)
+        .with_tier("mem", "LocalMemory", 1 << 30)
+        .with_max_versions(4);
+    let inst = TieraInstance::build(config, clock).unwrap();
+
+    let ops = vec![
+        BatchOp::Put {
+            key: "dup".into(),
+            value: Bytes::from_static(b"first"),
+        },
+        BatchOp::Put {
+            key: "dup".into(),
+            value: Bytes::from_static(b"second"),
+        },
+        BatchOp::Get { key: "dup".into() },
+    ];
+    let (results, _latency) = inst.apply_batch(&ops);
+    let versions: Vec<u64> = results[..2]
+        .iter()
+        .map(|r| r.as_ref().unwrap().version)
+        .collect();
+    assert_eq!(versions, vec![1, 2], "same-key puts chain in request order");
+    let got = results[2].as_ref().unwrap();
+    assert_eq!(got.value.as_ref().unwrap().as_ref(), b"second");
+}
+
+#[test]
+fn shard_of_is_stable_and_spread() {
+    let ms = MetaStore::new();
+    // Stability: the same key always maps to the same shard.
+    for k in ["a", "abc", "shard-key-000", "zzz"] {
+        assert_eq!(ms.shard_of(k), ms.shard_of(k));
+        assert!(ms.shard_of(k) < ms.shard_count());
+    }
+}

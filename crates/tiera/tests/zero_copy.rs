@@ -1,0 +1,59 @@
+//! Zero-copy data-path test: a value ingested as [`bytes::Bytes`] must not
+//! be deep-copied when it hops between tiers. The shim's global copy counter
+//! ([`bytes::copied_bytes`]) meters every physical byte copy
+//! (`copy_from_slice`, `to_vec`, `Vec<u8>` materialization); clones and
+//! `from_static` are refcount bumps and count nothing.
+//!
+//! This lives alone in its own integration-test binary: the counter is
+//! process-global, so sharing a process with unrelated tests that allocate
+//! values would pollute the measurement.
+
+use tiera::{InstanceConfig, TieraInstance};
+use wiera_net::Region;
+use wiera_sim::ScaledClock;
+
+#[test]
+fn tier_hop_does_not_deep_copy_the_value() {
+    let clock = ScaledClock::shared(1_000_000.0);
+    let config = InstanceConfig::new("zc", Region::UsEast)
+        .with_tier("mem", "LocalMemory", 1 << 30)
+        .with_tier("disk", "EBS-SSD", 1 << 30)
+        .with_max_versions(4);
+    let inst = TieraInstance::build(config, clock).unwrap();
+
+    // A static value enters the system without a single byte copied.
+    static PAYLOAD: &[u8] = &[7u8; 4096];
+    let value = bytes::Bytes::from_static(PAYLOAD);
+
+    bytes::reset_copied_bytes();
+    let out = inst.put("zc-key", value).unwrap();
+    let version = out.version;
+    assert_eq!(
+        bytes::copied_bytes(),
+        0,
+        "ingest of a Bytes value must be a handle move, not a memcpy"
+    );
+
+    // Tier hop: copy the version from the memory tier to the disk tier.
+    // The read returns a refcounted clone and the destination tier stores
+    // that same handle — zero physical copies end to end.
+    inst.copy_version("zc-key", version, "disk", None).unwrap();
+    assert_eq!(
+        bytes::copied_bytes(),
+        0,
+        "copy_version must move the Bytes handle between tiers, not its payload"
+    );
+
+    // Moving (copy + delete at source) is equally copy-free.
+    inst.move_version("zc-key", version, "mem", None).unwrap();
+    assert_eq!(
+        bytes::copied_bytes(),
+        0,
+        "move_version must not deep-copy the payload"
+    );
+
+    // Reads hand back the stored handle.
+    let got = inst.get("zc-key").unwrap();
+    assert_eq!(got.value.unwrap().as_ref(), PAYLOAD);
+    assert_eq!(bytes::copied_bytes(), 0, "get must not copy the payload");
+}

@@ -1,0 +1,359 @@
+//! Hot-path real-time throughput: how fast the engine itself goes.
+//!
+//! Unlike the paper-figure experiments (modeled time), this bench measures
+//! **wall-clock** engine throughput — the number the sharded shared-nothing
+//! refactor exists to move. Two paced legs:
+//!
+//! * **single-node** — N worker threads drive a 50/50 put/get mix in
+//!   batches of 64 straight into one `TieraInstance` (no modeled sleeps),
+//!   reporting ops/sec and, via the `bytes` shim's copy counter, how many
+//!   bytes were physically copied per op (zero-copy check).
+//! * **replicated** — a two-region synchronous primary-backup cluster
+//!   driven through `WieraClient::put_batch` at high time compression,
+//!   reporting end-to-end wall-clock ops/sec across the replication path.
+//!
+//! Output lands in `results/hotpath.json`. The repo-root
+//! `BENCH_hotpath.json` holds the committed throughput trajectory:
+//!
+//! * `--record <label>` appends this run as a new trajectory entry;
+//! * `--gate` compares this run against the last committed entry and exits
+//!   non-zero on a >25% single-node throughput regression (CI's
+//!   `hotpath-bench` job). Set `WIERA_BLESS_BENCH=1` to re-baseline
+//!   intentionally: the run is appended as a `blessed` entry instead of
+//!   failing the gate.
+
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+use tiera::{BatchOp, InstanceConfig, TieraInstance};
+use wiera::client::WieraClient;
+use wiera::deployment::DeploymentConfig;
+use wiera::testkit::{bodies, Cluster};
+use wiera_net::Region;
+use wiera_sim::ScaledClock;
+
+/// Allowed single-node throughput drop vs the committed baseline before the
+/// gate fails (generous, to absorb runner noise; re-bless for bigger moves).
+const GATE_MAX_REGRESSION: f64 = 0.25;
+
+const BATCH: usize = 64;
+const VALUE_BYTES: usize = 256;
+const REPL_SCALE: f64 = 2000.0;
+
+#[derive(Serialize, Deserialize, Clone)]
+struct BenchConfig {
+    threads: usize,
+    ops_per_thread: usize,
+    keys_per_thread: usize,
+    batch: usize,
+    value_bytes: usize,
+    replicated_ops: usize,
+}
+
+#[derive(Serialize, Deserialize, Clone)]
+struct Entry {
+    label: String,
+    recorded_unix: u64,
+    single_node_ops_per_sec: f64,
+    copied_bytes_per_op: f64,
+    replicated_ops_per_sec: f64,
+    config: BenchConfig,
+}
+
+#[derive(Serialize, Deserialize, Default)]
+struct Trajectory {
+    bench: String,
+    entries: Vec<Entry>,
+}
+
+fn bench_config() -> BenchConfig {
+    if wiera_bench::is_smoke() {
+        BenchConfig {
+            threads: 4,
+            ops_per_thread: 2_000,
+            keys_per_thread: 500,
+            batch: BATCH,
+            value_bytes: VALUE_BYTES,
+            replicated_ops: 256,
+        }
+    } else {
+        BenchConfig {
+            threads: 8,
+            ops_per_thread: 20_000,
+            keys_per_thread: 2_000,
+            batch: BATCH,
+            value_bytes: VALUE_BYTES,
+            replicated_ops: 2_048,
+        }
+    }
+}
+
+/// Single-node leg: hammer one instance from `threads` workers, each over
+/// its own key range (realistic shard spread), batches of `batch`, 50/50
+/// put/get. Returns (ops/sec wall-clock, bytes copied per op).
+fn run_single_node(cfg: &BenchConfig) -> (f64, f64) {
+    let clock = ScaledClock::shared(1_000_000.0);
+    let inst = TieraInstance::build(
+        InstanceConfig::new("hotpath", Region::UsEast)
+            .with_tier("tier1", "LocalMemory", 8 << 30)
+            .with_max_versions(1),
+        clock,
+    )
+    .unwrap_or_else(|e| panic!("instance build: {e}"));
+
+    // Warm every key once so gets hit (and the slot map is at steady-state
+    // size — the regime where per-op accounting cost shows).
+    for t in 0..cfg.threads {
+        let puts: Vec<BatchOp> = (0..cfg.keys_per_thread)
+            .map(|k| BatchOp::Put {
+                key: format!("w{t}-{k:06}"),
+                value: bytes::Bytes::from(vec![0u8; cfg.value_bytes]),
+            })
+            .collect();
+        for chunk in puts.chunks(cfg.batch) {
+            let (results, _) = inst.apply_batch(chunk);
+            for r in results {
+                r.unwrap_or_else(|e| panic!("warmup put: {e}"));
+            }
+        }
+    }
+
+    bytes::reset_copied_bytes();
+    let total_ops = (cfg.threads * cfg.ops_per_thread) as f64;
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..cfg.threads)
+        .map(|t| {
+            let inst = Arc::clone(&inst);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let mut next = 0usize;
+                let mut done = 0usize;
+                while done < cfg.ops_per_thread {
+                    let n = cfg.batch.min(cfg.ops_per_thread - done);
+                    let ops: Vec<BatchOp> = (0..n)
+                        .map(|i| {
+                            let k = (next + i) % cfg.keys_per_thread;
+                            let key = format!("w{t}-{k:06}");
+                            if (next + i).is_multiple_of(2) {
+                                BatchOp::Put {
+                                    key,
+                                    value: bytes::Bytes::from(vec![0xabu8; cfg.value_bytes]),
+                                }
+                            } else {
+                                BatchOp::Get { key }
+                            }
+                        })
+                        .collect();
+                    let (results, _) = inst.apply_batch(&ops);
+                    for r in results {
+                        r.unwrap_or_else(|e| panic!("bench op: {e}"));
+                    }
+                    next += n;
+                    done += n;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap_or_else(|_| panic!("worker panicked"));
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let copied = bytes::copied_bytes() as f64;
+    (total_ops / secs, copied / total_ops)
+}
+
+/// Replicated leg: two-region PB-sync deployment, batched puts end to end.
+fn run_replicated(cfg: &BenchConfig, seed: u64) -> f64 {
+    let cluster = Cluster::launch(&[Region::UsEast, Region::UsWest], REPL_SCALE, seed);
+    cluster
+        .register_policy_over(
+            "hotpath",
+            &[("US-East", true), ("US-West", false)],
+            bodies::PRIMARY_BACKUP_SYNC,
+        )
+        .unwrap_or_else(|e| panic!("policy: {e}"));
+    let dep = cluster
+        .controller
+        .start_instances("hotpath", "hotpath", DeploymentConfig::default())
+        .unwrap_or_else(|e| panic!("deploy: {e}"));
+    let client = WieraClient::connect(
+        cluster.data_mesh.clone(),
+        Region::UsEast,
+        "hotpath-app",
+        dep.replicas(),
+    );
+
+    let t0 = Instant::now();
+    let mut done = 0usize;
+    let mut round = 0usize;
+    while done < cfg.replicated_ops {
+        let n = cfg.batch.min(cfg.replicated_ops - done);
+        let items: Vec<(String, bytes::Bytes)> = (0..n)
+            .map(|i| {
+                (
+                    format!("r{:06}", (done + i) % 512),
+                    bytes::Bytes::from(vec![round as u8; cfg.value_bytes]),
+                )
+            })
+            .collect();
+        for r in client
+            .put_batch(&items)
+            .unwrap_or_else(|e| panic!("put_batch: {e}"))
+        {
+            r.unwrap_or_else(|e| panic!("replicated put: {e}"));
+        }
+        done += n;
+        round += 1;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    cluster.shutdown();
+    cfg.replicated_ops as f64 / secs
+}
+
+fn trajectory_path() -> PathBuf {
+    let mut p = wiera_bench::results_dir();
+    p.pop(); // workspace root
+    p.push("BENCH_hotpath.json");
+    p
+}
+
+fn load_trajectory() -> Trajectory {
+    let path = trajectory_path();
+    match std::fs::read_to_string(&path) {
+        Ok(body) => serde_json::from_str(&body)
+            .unwrap_or_else(|e| panic!("unparseable {}: {e}", path.display())),
+        Err(_) => Trajectory {
+            bench: "hotpath".to_string(),
+            entries: Vec::new(),
+        },
+    }
+}
+
+fn save_trajectory(t: &Trajectory) {
+    let path = trajectory_path();
+    let body =
+        serde_json::to_string_pretty(t).unwrap_or_else(|e| panic!("serialize trajectory: {e}"));
+    std::fs::write(&path, body + "\n").unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("[trajectory updated: {}]", path.display());
+}
+
+fn now_unix() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let gate = args.iter().any(|a| a == "--gate");
+    let record_label = args
+        .iter()
+        .position(|a| a == "--record")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let bless = std::env::var("WIERA_BLESS_BENCH")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+
+    let cfg = bench_config();
+    let seed = wiera_bench::default_seed();
+    wiera_bench::reset_observability();
+
+    println!(
+        "hotpath: single-node {} threads × {} ops (batch {}, {} B values, {} keys/thread)",
+        cfg.threads, cfg.ops_per_thread, cfg.batch, cfg.value_bytes, cfg.keys_per_thread
+    );
+    let (single_ops, copied_per_op) = run_single_node(&cfg);
+    println!(
+        "  single-node: {:.0} ops/sec wall-clock, {:.0} bytes copied/op",
+        single_ops, copied_per_op
+    );
+
+    println!(
+        "hotpath: replicated {} ops, PB-sync US-East→US-West (scale {})",
+        cfg.replicated_ops, REPL_SCALE
+    );
+    let repl_ops = run_replicated(&cfg, seed);
+    println!("  replicated: {:.0} ops/sec wall-clock", repl_ops);
+
+    let entry = Entry {
+        label: record_label.clone().unwrap_or_else(|| "run".to_string()),
+        recorded_unix: now_unix(),
+        single_node_ops_per_sec: single_ops,
+        copied_bytes_per_op: copied_per_op,
+        replicated_ops_per_sec: repl_ops,
+        config: cfg.clone(),
+    };
+
+    #[derive(Serialize)]
+    struct Record {
+        experiment: String,
+        entry: Entry,
+    }
+    wiera_bench::emit(
+        "hotpath",
+        &Record {
+            experiment: "hotpath".to_string(),
+            entry: entry.clone(),
+        },
+    );
+    wiera_bench::emit_metrics("hotpath");
+
+    if let Some(label) = record_label {
+        let mut traj = load_trajectory();
+        traj.entries.push(Entry { label, ..entry });
+        save_trajectory(&traj);
+        return;
+    }
+
+    if gate {
+        let mut traj = load_trajectory();
+        let Some(last) = traj.entries.last().cloned() else {
+            eprintln!("gate: no committed baseline in BENCH_hotpath.json");
+            std::process::exit(1);
+        };
+        // Only gate against an entry measured at the same paced config.
+        let comparable = last.config.threads == cfg.threads
+            && last.config.ops_per_thread == cfg.ops_per_thread
+            && last.config.batch == cfg.batch
+            && last.config.value_bytes == cfg.value_bytes;
+        let floor = last.single_node_ops_per_sec * (1.0 - GATE_MAX_REGRESSION);
+        println!(
+            "gate: current {:.0} ops/sec vs committed '{}' {:.0} (floor {:.0}{})",
+            single_ops,
+            last.label,
+            last.single_node_ops_per_sec,
+            floor,
+            if comparable { "" } else { ", config mismatch" }
+        );
+        if bless {
+            traj.entries.push(Entry {
+                label: "blessed".to_string(),
+                ..entry
+            });
+            save_trajectory(&traj);
+            println!("gate: WIERA_BLESS_BENCH=1 — re-baselined, not gating");
+            return;
+        }
+        if !comparable {
+            eprintln!(
+                "gate: committed entry was measured at a different paced config; \
+                 re-bless with WIERA_BLESS_BENCH=1"
+            );
+            std::process::exit(1);
+        }
+        if single_ops < floor {
+            eprintln!(
+                "gate: FAIL — single-node throughput regressed >{:.0}% \
+                 ({:.0} < {:.0} ops/sec); re-bless with WIERA_BLESS_BENCH=1 if intentional",
+                GATE_MAX_REGRESSION * 100.0,
+                single_ops,
+                floor
+            );
+            std::process::exit(1);
+        }
+        println!("gate: PASS");
+    }
+}

@@ -18,7 +18,7 @@
 use std::process::Command;
 use wiera_sim::RegistrySnapshot;
 
-const EXPERIMENTS: [(&str, &str); 11] = [
+const EXPERIMENTS: [(&str, &str); 12] = [
     ("table4_costs", "Table 4: storage tier prices"),
     ("fig9_tier_latency", "Fig. 9: per-tier 4KB latency"),
     (
@@ -54,11 +54,15 @@ const EXPERIMENTS: [(&str, &str); 11] = [
         "chaos",
         "§4.4 chaos campaign: fault masking across all protocols",
     ),
+    (
+        "hotpath",
+        "Hot path: wall-clock engine throughput + copied-bytes counter",
+    ),
 ];
 
 /// Binaries that export a `results/metrics_<name>.json` registry snapshot,
 /// with the counter/histogram invariants the smoke gate asserts on each.
-const METRIC_CHECKS: [(&str, &[Invariant]); 7] = [
+const METRIC_CHECKS: [(&str, &[Invariant]); 8] = [
     (
         "fig9_tier_latency",
         &[
@@ -119,6 +123,13 @@ const METRIC_CHECKS: [(&str, &[Invariant]); 7] = [
             Invariant::CounterPositive("wiera_restarts"),
             Invariant::CounterPositive("wiera_anti_entropy_pulled"),
             Invariant::CounterPositive("client_retries"),
+        ],
+    ),
+    (
+        "hotpath",
+        &[
+            Invariant::CounterPositive("tiera_ops_total"),
+            Invariant::CounterPositive("tier_ops_total"),
         ],
     ),
 ];

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Benchmark harness utilities shared by the per-figure experiment
 //! binaries (`src/bin/fig*.rs`, `table*.rs`, `sec*.rs`).
 //!
@@ -21,11 +22,13 @@ pub fn results_dir() -> PathBuf {
 /// Write `record` as pretty JSON to `results/<name>.json`.
 pub fn emit<T: Serialize>(name: &str, record: &T) {
     let dir = results_dir();
-    std::fs::create_dir_all(&dir).expect("create results dir");
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("create results dir: {e}"));
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(record).expect("serializable record");
-    let mut f = std::fs::File::create(&path).expect("create result file");
-    f.write_all(json.as_bytes()).expect("write result file");
+    let json =
+        serde_json::to_string_pretty(record).unwrap_or_else(|e| panic!("serializable record: {e}"));
+    let mut f = std::fs::File::create(&path).unwrap_or_else(|e| panic!("create result file: {e}"));
+    f.write_all(json.as_bytes())
+        .unwrap_or_else(|e| panic!("write result file: {e}"));
     println!("\n[results written to {}]", path.display());
 }
 

@@ -13,11 +13,25 @@
 use crate::cost::CostMeter;
 use crate::spec::TierSpec;
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use wiera_sim::lockreg::TrackedRwLock;
 use wiera_sim::{MetricsRegistry, SharedClock, SimDuration, SimInstant, SimRng};
+
+/// Number of independently locked key partitions per tier.
+const TIER_SHARDS: usize = 16;
+
+/// Stable key → shard mapping (FNV-1a, endian-independent).
+fn shard_of(key: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % TIER_SHARDS as u64) as usize
+}
 
 /// Errors a storage tier can surface.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,12 +106,18 @@ struct Slot {
 }
 
 /// One simulated storage service instance.
+///
+/// Since the hot-path overhaul the slot map is **sharded** ([`TIER_SHARDS`]
+/// independently locked partitions) and `used` is maintained incrementally
+/// with a compare-and-swap reservation per put — the pre-refactor code
+/// re-summed every slot under one tier-wide lock on every put and delete,
+/// which made the put path O(slots) and serialized all writers.
 pub struct SimTier {
     spec: TierSpec,
     capacity: AtomicU64,
     clock: SharedClock,
     rng: Mutex<SimRng>,
-    slots: RwLock<HashMap<Arc<str>, Slot>>,
+    shards: Vec<TrackedRwLock<HashMap<Arc<str>, Slot>>>,
     used: AtomicU64,
     /// Token-bucket state for IOPS throttling: earliest time the next
     /// operation may start.
@@ -124,7 +144,9 @@ impl SimTier {
             spec,
             capacity: AtomicU64::new(capacity),
             clock: clock.clone(),
-            slots: RwLock::new(HashMap::new()),
+            shards: (0..TIER_SHARDS)
+                .map(|_| TrackedRwLock::new("tiers.slots", HashMap::new()))
+                .collect(),
             used: AtomicU64::new(0),
             next_free: Mutex::new(now),
             degraded: Mutex::new(1.0),
@@ -167,11 +189,11 @@ impl SimTier {
     }
 
     pub fn len(&self) -> usize {
-        self.slots.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.slots.read().is_empty()
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 
     pub fn meter(&self) -> &CostMeter {
@@ -233,6 +255,13 @@ impl SimTier {
     }
 
     /// Store an object (overwrite allowed). Returns modeled latency.
+    ///
+    /// Capacity is reserved with a compare-and-swap on the incremental
+    /// `used` counter while the key's shard is locked (the overwritten
+    /// slot's size cannot change underneath the reservation), so the path
+    /// is O(1) in stored objects. When a volatile tier is over capacity the
+    /// shard lock is released and globally-LRU victims are evicted one at a
+    /// time — at most one shard lock is ever held.
     pub fn put(&self, key: &str, val: Bytes) -> TierResult<SimDuration> {
         self.check_up()?;
         let need = val.len() as u64;
@@ -243,59 +272,100 @@ impl SimTier {
         }
         let lat = self.throttle() + self.native_latency(false, need);
         let now = self.clock.now();
-        {
-            let mut slots = self.slots.write();
-            let freed = slots.get(key).map(|s| s.data.len() as u64).unwrap_or(0);
-            let mut used = self.used.load(Ordering::Relaxed) - freed;
-            if used + need > capacity {
-                if self.spec.kind.volatile() {
-                    // Memcached-style LRU eviction to make room.
-                    let mut victims: Vec<(Arc<str>, SimInstant, u64)> = slots
-                        .iter()
-                        .filter(|(k, _)| k.as_ref() != key)
-                        .map(|(k, s)| (k.clone(), s.last_access, s.data.len() as u64))
-                        .collect();
-                    victims.sort_by_key(|(_, at, _)| *at);
-                    for (vk, _, vsize) in victims {
-                        if used + need <= capacity {
-                            break;
-                        }
-                        slots.remove(&vk);
-                        used -= vsize;
-                        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        let shard = shard_of(key);
+        loop {
+            let over = {
+                let mut slots = self.shards[shard].write();
+                let freed = slots.get(key).map(|s| s.data.len() as u64).unwrap_or(0);
+                match self.try_reserve(freed, need, capacity) {
+                    Ok(new_used) => {
+                        slots.insert(
+                            Arc::from(key),
+                            Slot {
+                                data: val,
+                                last_access: now,
+                            },
+                        );
+                        self.meter.set_bytes(new_used, now);
+                        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+                        self.meter.note_put();
+                        self.note_op("put", lat);
+                        return Ok(lat);
                     }
-                    if used + need > capacity {
-                        self.note_capacity_rejection();
-                        return Err(TierError::Full {
-                            capacity,
-                            used,
-                            need,
-                        });
-                    }
-                } else {
-                    self.note_capacity_rejection();
-                    return Err(TierError::Full {
-                        capacity,
-                        used,
-                        need,
-                    });
+                    Err(used) => used,
+                }
+            };
+            // Over capacity. Durable tiers reject; volatile tiers evict the
+            // globally least-recently-used object and retry (shard lock is
+            // released first — eviction scans lock one shard at a time).
+            if !self.spec.kind.volatile() || !self.evict_one_lru(key) {
+                self.note_capacity_rejection();
+                return Err(TierError::Full {
+                    capacity,
+                    used: over,
+                    need,
+                });
+            }
+        }
+    }
+
+    /// Atomically reserve `need - freed` bytes against `capacity`. Returns
+    /// the new used total, or `Err(used excluding freed)` when it does not
+    /// fit. Call with the shard owning `freed`'s slot locked.
+    fn try_reserve(&self, freed: u64, need: u64, capacity: u64) -> Result<u64, u64> {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let without = cur - freed;
+            if without + need > capacity {
+                return Err(without);
+            }
+            match self.used.compare_exchange_weak(
+                cur,
+                without + need,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(without + need),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Evict the globally least-recently-used slot (excluding `protect`).
+    /// Scans shards one at a time, then removes the victim under its own
+    /// shard lock; never holds two shard locks. Returns false when there is
+    /// nothing to evict.
+    fn evict_one_lru(&self, protect: &str) -> bool {
+        let mut victim: Option<(usize, Arc<str>, SimInstant)> = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let slots = shard.read();
+            for (k, s) in slots.iter() {
+                if k.as_ref() == protect {
+                    continue;
+                }
+                if victim
+                    .as_ref()
+                    .map(|(_, _, at)| s.last_access < *at)
+                    .unwrap_or(true)
+                {
+                    victim = Some((i, k.clone(), s.last_access));
                 }
             }
-            slots.insert(
-                Arc::from(key),
-                Slot {
-                    data: val,
-                    last_access: now,
-                },
-            );
-            let total: u64 = slots.values().map(|s| s.data.len() as u64).sum();
-            self.used.store(total, Ordering::Relaxed);
-            self.meter.set_bytes(total, now);
         }
-        self.stats.puts.fetch_add(1, Ordering::Relaxed);
-        self.meter.note_put();
-        self.note_op("put", lat);
-        Ok(lat)
+        let Some((i, vk, _)) = victim else {
+            return false;
+        };
+        let mut slots = self.shards[i].write();
+        if let Some(slot) = slots.remove(&vk) {
+            self.used
+                .fetch_sub(slot.data.len() as u64, Ordering::Relaxed);
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            // Lost a race: someone else removed it; report progress anyway
+            // so the caller re-checks capacity.
+            true
+        }
     }
 
     /// Fetch an object. Returns the bytes and modeled latency.
@@ -303,7 +373,7 @@ impl SimTier {
         self.check_up()?;
         let now = self.clock.now();
         let data = {
-            let mut slots = self.slots.write();
+            let mut slots = self.shards[shard_of(key)].write();
             let slot = slots
                 .get_mut(key)
                 .ok_or_else(|| TierError::NotFound(key.into()))?;
@@ -328,11 +398,13 @@ impl SimTier {
         self.check_up()?;
         let now = self.clock.now();
         {
-            let mut slots = self.slots.write();
-            if slots.remove(key).is_some() {
-                let total: u64 = slots.values().map(|s| s.data.len() as u64).sum();
-                self.used.store(total, Ordering::Relaxed);
-                self.meter.set_bytes(total, now);
+            let mut slots = self.shards[shard_of(key)].write();
+            if let Some(slot) = slots.remove(key) {
+                let new_used = self
+                    .used
+                    .fetch_sub(slot.data.len() as u64, Ordering::Relaxed)
+                    - slot.data.len() as u64;
+                self.meter.set_bytes(new_used, now);
             }
         }
         self.stats.deletes.fetch_add(1, Ordering::Relaxed);
@@ -342,17 +414,24 @@ impl SimTier {
     }
 
     pub fn contains(&self, key: &str) -> bool {
-        self.slots.read().contains_key(key)
+        self.shards[shard_of(key)].read().contains_key(key)
     }
 
     /// Keys currently stored (unordered).
     pub fn keys(&self) -> Vec<Arc<str>> {
-        self.slots.read().keys().cloned().collect()
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.read().keys().cloned());
+        }
+        out
     }
 
     /// Modeled time the object at `key` was last read or written.
     pub fn last_access(&self, key: &str) -> Option<SimInstant> {
-        self.slots.read().get(key).map(|s| s.last_access)
+        self.shards[shard_of(key)]
+            .read()
+            .get(key)
+            .map(|s| s.last_access)
     }
 
     // ---- failure / degradation injection ---------------------------------
@@ -376,12 +455,19 @@ impl SimTier {
         *self.degraded.lock() = factor.max(1.0);
     }
 
-    /// Drop all contents (volatile-tier crash, or test reset).
+    /// Drop all contents (volatile-tier crash, or test reset). Shards are
+    /// cleared one at a time; `used` shrinks by exactly the bytes freed so
+    /// concurrent puts keep accurate accounting.
     pub fn wipe(&self) {
         let now = self.clock.now();
-        self.slots.write().clear();
-        self.used.store(0, Ordering::Relaxed);
-        self.meter.set_bytes(0, now);
+        for shard in &self.shards {
+            let mut slots = shard.write();
+            let freed: u64 = slots.values().map(|s| s.data.len() as u64).sum();
+            slots.clear();
+            drop(slots);
+            self.used.fetch_sub(freed, Ordering::Relaxed);
+        }
+        self.meter.set_bytes(self.used.load(Ordering::Relaxed), now);
     }
 }
 

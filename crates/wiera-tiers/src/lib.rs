@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Simulated cloud storage tiers.
 //!
 //! The paper composes real cloud storage services — ElastiCache/Memcached,

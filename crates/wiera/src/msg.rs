@@ -6,6 +6,7 @@
 //! controller ↔ instance (consistency switches, primary changes, health).
 
 use bytes::Bytes;
+use std::sync::Arc;
 use wiera_net::NodeId;
 use wiera_policy::ConsistencyModel;
 use wiera_sim::SimInstant;
@@ -89,8 +90,10 @@ pub enum DataMsg {
     /// Coalesced replication: every pending update for one peer in a single
     /// message (one wire header for the batch). The receiver applies
     /// last-write-wins per item. Epoch-fenced like [`DataMsg::Replicate`].
+    /// `items` is an `Arc` slice so the fan-out to N backups shares one
+    /// immutable batch instead of deep-cloning the item vector per send.
     ReplicateBatch {
-        items: Vec<SyncObject>,
+        items: Arc<[SyncObject]>,
         epoch: u64,
     },
     /// Last-write-wins outcome at the receiver (§4.2). For a batch,
@@ -363,8 +366,14 @@ impl DataMsg {
             DataMsg::Replicate { key, value, .. } => HDR + key.len() as u64 + value.len() as u64,
             DataMsg::ForwardPut { key, value, .. } => HDR + key.len() as u64 + value.len() as u64,
             DataMsg::GetReply { value, .. } => HDR + value.len() as u64,
-            DataMsg::SyncReply { objects } | DataMsg::ReplicateBatch { items: objects, .. } => {
+            DataMsg::SyncReply { objects } => {
                 HDR + objects
+                    .iter()
+                    .map(|o| o.key.len() as u64 + o.value.len() as u64 + 32)
+                    .sum::<u64>()
+            }
+            DataMsg::ReplicateBatch { items, .. } => {
+                HDR + items
                     .iter()
                     .map(|o| o.key.len() as u64 + o.value.len() as u64 + 32)
                     .sum::<u64>()
@@ -521,7 +530,11 @@ mod tests {
                 .wire_bytes()
             })
             .sum();
-        let batch = DataMsg::ReplicateBatch { items, epoch: 1 }.wire_bytes();
+        let batch = DataMsg::ReplicateBatch {
+            items: items.into(),
+            epoch: 1,
+        }
+        .wire_bytes();
         assert!(batch < singles, "batch {batch} vs singles {singles}");
     }
 }

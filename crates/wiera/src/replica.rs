@@ -509,14 +509,15 @@ impl ReplicaNode {
                     return;
                 }
                 // LWW per item (§4.2): one losing item does not block the
-                // rest of the batch.
+                // rest of the batch. `items` is the sender's shared batch —
+                // iterate by reference, value clones are refcount bumps.
                 let mut any = false;
                 let mut took = SimDuration::ZERO;
-                for o in items {
+                for o in items.iter() {
                     let digest = value_digest(&o.value);
-                    if let Ok(Some(out)) = self
-                        .inst
-                        .apply_replicated(&o.key, o.version, o.modified, o.value)
+                    if let Ok(Some(out)) =
+                        self.inst
+                            .apply_replicated(&o.key, o.version, o.modified, o.value.clone())
                     {
                         any = true;
                         took += out.latency;
@@ -729,17 +730,22 @@ impl ReplicaNode {
     /// n queued updates × p peers cost p messages, not n×p). Returns the
     /// slowest modeled delivery delay.
     fn flush_coalesced(&self) -> SimDuration {
-        let items: Vec<SyncObject> = self.queue.lock().drain(..).collect();
-        if items.is_empty() {
-            return SimDuration::ZERO;
-        }
+        let items: Arc<[SyncObject]> = {
+            let drained: Vec<SyncObject> = self.queue.lock().drain(..).collect();
+            if drained.is_empty() {
+                return SimDuration::ZERO;
+            }
+            drained.into()
+        };
         let peers = self.peers();
         let epoch = self.epoch();
         let mut max_delay = SimDuration::ZERO;
         let mut any_failed = false;
         for peer in &peers {
+            // One immutable batch shared across every peer send: cloning the
+            // Arc bumps a refcount instead of deep-copying n items per peer.
             let msg = DataMsg::ReplicateBatch {
-                items: items.clone(),
+                items: Arc::clone(&items),
                 epoch,
             };
             let bytes = msg.wire_bytes();
@@ -762,14 +768,14 @@ impl ReplicaNode {
             // silently drop acknowledged eventual-mode writes. Peers that
             // already received this batch re-apply idempotently under LWW.
             let mut q = self.queue.lock();
-            for item in items {
+            for item in items.iter() {
                 match q.iter_mut().find(|o| o.key == item.key) {
                     Some(existing) => {
                         if item.version > existing.version {
-                            *existing = item;
+                            *existing = item.clone();
                         }
                     }
-                    None => q.push_back(item),
+                    None => q.push_back(item.clone()),
                 }
             }
         }
@@ -983,7 +989,7 @@ impl ReplicaNode {
             if !items.is_empty() {
                 pushed = items.len();
                 let msg = DataMsg::ReplicateBatch {
-                    items,
+                    items: items.into(),
                     epoch: self.epoch(),
                 };
                 let bytes = msg.wire_bytes();
@@ -1762,11 +1768,13 @@ impl ReplicaNode {
             return BroadcastOutcome::default();
         }
         let epoch = self.epoch();
+        // Materialize the batch once; each peer thread shares it by refcount.
+        let items: Arc<[SyncObject]> = written.to_vec().into();
         let mut handles = Vec::new();
         for peer in peers {
             let r = self.clone();
             let msg = DataMsg::ReplicateBatch {
-                items: written.to_vec(),
+                items: Arc::clone(&items),
                 epoch,
             };
             handles.push(std::thread::spawn(move || {

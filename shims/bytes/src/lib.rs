@@ -5,7 +5,31 @@
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide count of bytes physically copied into or out of [`Bytes`]
+/// buffers. Cheap refcount clones and `from_static` do not count; copying
+/// constructors (`copy_from_slice`, `From<Vec<u8>>`, `From<String>`,
+/// `FromIterator`) and `to_vec` do. This metering hook is a deviation from
+/// the real `bytes` crate, used by the hotpath bench and zero-copy tests.
+static COPIED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Bytes physically copied since process start (or last [`reset_copied_bytes`]).
+pub fn copied_bytes() -> u64 {
+    COPIED_BYTES.load(Ordering::Relaxed)
+}
+
+/// Reset the copy counter to zero. Tests that assert on copy counts should
+/// run in their own process (dedicated integration-test file) to avoid
+/// cross-test pollution.
+pub fn reset_copied_bytes() {
+    COPIED_BYTES.store(0, Ordering::Relaxed);
+}
+
+fn count_copy(n: usize) {
+    COPIED_BYTES.fetch_add(n as u64, Ordering::Relaxed);
+}
 
 /// Immutable shared byte buffer.
 #[derive(Clone)]
@@ -36,6 +60,7 @@ impl Bytes {
 
     /// Copying constructor from any slice.
     pub fn copy_from_slice(data: &[u8]) -> Self {
+        count_copy(data.len());
         Bytes {
             repr: Repr::Shared(Arc::from(data)),
         }
@@ -57,6 +82,7 @@ impl Bytes {
     }
 
     pub fn to_vec(&self) -> Vec<u8> {
+        count_copy(self.len());
         self.as_slice().to_vec()
     }
 }
@@ -82,6 +108,9 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        // `Arc::from(vec)` moves the bytes into a fresh refcounted
+        // allocation — a physical copy.
+        count_copy(v.len());
         Bytes {
             repr: Repr::Shared(Arc::from(v)),
         }
