@@ -34,8 +34,9 @@ impl<K: Eq + Hash + Clone> ByteLru<K> {
                 // Move to the back (most recent). O(n) but caches are small
                 // relative to the op counts we run.
                 if let Some(pos) = self.order.iter().position(|k| k == key) {
-                    let k = self.order.remove(pos).expect("present");
-                    self.order.push_back(k);
+                    if let Some(k) = self.order.remove(pos) {
+                        self.order.push_back(k);
+                    }
                 }
                 Some(v.clone())
             }

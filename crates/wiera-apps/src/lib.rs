@@ -1,3 +1,5 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 //! Application substrates for §5.4's "unmodified applications" experiments.
 //!
 //! The paper runs SysBench and RUBiS against Wiera through a FUSE-based

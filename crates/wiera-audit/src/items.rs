@@ -1,0 +1,805 @@
+//! Brace-aware item extraction over the token stream.
+//!
+//! One linear pass per file discovers the structural facts the auditor
+//! needs — no full parse, no `syn`:
+//!
+//! * function items (`fn name … { body }`) with their enclosing impl type
+//!   and `#[test]` / `#[cfg(test)]` classification,
+//! * enum definitions with their variant lists,
+//! * struct fields with a best-effort element type (so `self.inst.get(…)`
+//!   can resolve through `inst: Arc<Instance>`),
+//! * tracked-lock declarations: `TrackedMutex::new("class", …)` /
+//!   `TrackedRwLock::new_in(&reg, "class", …)` sites, with the field or
+//!   `let` binding they initialize.
+//!
+//! Everything is resilient to unbalanced or nonsensical token soup: all
+//! lookups are bounds-checked and unmatched brackets simply truncate the
+//! item at end of file.
+
+use crate::lexer::{Allow, Lexed, Tok, Token};
+use std::collections::HashMap;
+use wiera_policy::diag::Span;
+
+/// One audited source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Display path (repo-relative where possible).
+    pub origin: String,
+    pub crate_name: String,
+    pub src: String,
+    pub tokens: Vec<Token>,
+    pub allows: Vec<Allow>,
+    /// `open index → close index` for `{`, `(`, `[` pairs.
+    pub matching: HashMap<usize, usize>,
+    /// Brace-only nesting depth per token.
+    pub brace_depth: Vec<u32>,
+    /// Paren+bracket nesting depth per token.
+    pub paren_depth: Vec<u32>,
+}
+
+impl SourceFile {
+    pub fn new(origin: String, crate_name: String, src: String) -> SourceFile {
+        let Lexed { tokens, allows } = crate::lexer::lex(&src);
+        let (matching, brace_depth, paren_depth) = bracket_maps(&tokens);
+        SourceFile {
+            origin,
+            crate_name,
+            src,
+            tokens,
+            allows,
+            matching,
+            brace_depth,
+            paren_depth,
+        }
+    }
+
+    /// Matching close for an opening bracket, or end-of-stream when the
+    /// file is truncated/unbalanced.
+    pub fn close_of(&self, open: usize) -> usize {
+        *self
+            .matching
+            .get(&open)
+            .unwrap_or(&self.tokens.len().saturating_sub(1))
+    }
+
+    pub fn tok(&self, i: usize) -> Option<&Tok> {
+        self.tokens.get(i).map(|t| &t.tok)
+    }
+
+    pub fn span(&self, i: usize) -> Span {
+        self.tokens.get(i).map(|t| t.span).unwrap_or_default()
+    }
+}
+
+/// Which lock type a class was declared with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    Mutex,
+    Rw,
+}
+
+/// A `TrackedMutex`/`TrackedRwLock` construction site.
+#[derive(Debug, Clone)]
+pub struct LockDecl {
+    pub file: usize,
+    pub class: String,
+    pub kind: LockKind,
+    /// Struct field or `let` binding receiving the lock, when recognizable.
+    pub binding: Option<String>,
+    pub span: Span,
+}
+
+/// A function item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub file: usize,
+    pub name: String,
+    /// Type of the enclosing `impl` block, if any.
+    pub impl_type: Option<String>,
+    pub name_span: Span,
+    /// Token range of the body including both braces, when present.
+    pub body: Option<(usize, usize)>,
+    /// `#[test]` function or inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+}
+
+/// An enum definition with its variant names.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    pub file: usize,
+    pub name: String,
+    pub variants: Vec<String>,
+    pub span: Span,
+}
+
+/// A struct field and the best-effort "interesting" type inside it.
+#[derive(Debug, Clone)]
+pub struct FieldType {
+    pub owner: String,
+    pub field: String,
+    pub ty: String,
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Default)]
+pub struct Extracted {
+    pub fns: Vec<FnDef>,
+    pub enums: Vec<EnumDef>,
+    pub locks: Vec<LockDecl>,
+    pub fields: Vec<FieldType>,
+}
+
+/// Wrapper/container types to see through when deducing a field's type.
+const TYPE_WRAPPERS: [&str; 22] = [
+    "Arc",
+    "Rc",
+    "Box",
+    "Option",
+    "Vec",
+    "VecDeque",
+    "HashMap",
+    "BTreeMap",
+    "HashSet",
+    "BTreeSet",
+    "Mutex",
+    "RwLock",
+    "TrackedMutex",
+    "TrackedRwLock",
+    "RefCell",
+    "Cell",
+    "OnceLock",
+    "Result",
+    "dyn",
+    "impl",
+    "Self",
+    "PhantomData",
+];
+
+/// Primitive-ish names that are never resolution targets.
+const TYPE_PRIMITIVES: [&str; 18] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64", "bool", "char", "str", "String",
+];
+
+fn bracket_maps(tokens: &[Token]) -> (HashMap<usize, usize>, Vec<u32>, Vec<u32>) {
+    let mut matching = HashMap::new();
+    let mut brace = Vec::with_capacity(tokens.len());
+    let mut paren = Vec::with_capacity(tokens.len());
+    let mut brace_stack: Vec<usize> = Vec::new();
+    let mut paren_stack: Vec<usize> = Vec::new();
+    let mut bd = 0u32;
+    let mut pd = 0u32;
+    for (i, t) in tokens.iter().enumerate() {
+        match &t.tok {
+            Tok::P("{") => {
+                brace.push(bd);
+                paren.push(pd);
+                bd += 1;
+                brace_stack.push(i);
+            }
+            Tok::P("}") => {
+                bd = bd.saturating_sub(1);
+                brace.push(bd);
+                paren.push(pd);
+                if let Some(open) = brace_stack.pop() {
+                    matching.insert(open, i);
+                }
+            }
+            Tok::P("(") | Tok::P("[") => {
+                brace.push(bd);
+                paren.push(pd);
+                pd += 1;
+                paren_stack.push(i);
+            }
+            Tok::P(")") | Tok::P("]") => {
+                pd = pd.saturating_sub(1);
+                brace.push(bd);
+                paren.push(pd);
+                if let Some(open) = paren_stack.pop() {
+                    matching.insert(open, i);
+                }
+            }
+            _ => {
+                brace.push(bd);
+                paren.push(pd);
+            }
+        }
+    }
+    (matching, brace, paren)
+}
+
+/// Identifiers inside the attribute group ending at `close` (`]`), walking
+/// back to its `#`/`[` opener. Returns None when `at` is not an attribute
+/// close.
+fn attr_idents_ending_at(f: &SourceFile, close: usize) -> Option<(usize, Vec<String>)> {
+    if !matches!(f.tok(close), Some(Tok::P("]"))) {
+        return None;
+    }
+    // Find the matching `[` by scanning the matching map in reverse: walk
+    // back for the `[` whose close is `close`.
+    let mut open = None;
+    let mut i = close;
+    while i > 0 {
+        i -= 1;
+        if matches!(f.tok(i), Some(Tok::P("["))) && f.close_of(i) == close {
+            open = Some(i);
+            break;
+        }
+        // Attributes are short; give up after a window to stay linear.
+        if close - i > 256 {
+            break;
+        }
+    }
+    let open = open?;
+    if open == 0 || !matches!(f.tok(open - 1), Some(Tok::P("#"))) {
+        return None;
+    }
+    let idents = f.tokens[open + 1..close]
+        .iter()
+        .filter_map(|t| t.tok.ident().map(|s| s.to_string()))
+        .collect();
+    Some((open - 1, idents))
+}
+
+/// Attributes attached to the item whose first token (after attributes)
+/// is `item_start`: walks backwards over contiguous `#[…]` groups.
+fn attrs_before(f: &SourceFile, item_start: usize) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    let mut pos = item_start;
+    while pos > 0 {
+        match attr_idents_ending_at(f, pos - 1) {
+            Some((hash_pos, idents)) => {
+                out.push(idents);
+                pos = hash_pos;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+fn attrs_mark_test(attrs: &[Vec<String>]) -> bool {
+    attrs.iter().any(|a| {
+        a.iter().any(|i| i == "test")
+            || (a.first().is_some_and(|i| i == "cfg") && a.iter().any(|i| i == "test"))
+    })
+}
+
+/// Is token `i` in item position (start of a top-level-ish item)?
+fn item_position(f: &SourceFile, i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    match f.tok(i - 1) {
+        Some(Tok::P("}")) | Some(Tok::P(";")) | Some(Tok::P("]")) | Some(Tok::P("{")) => true,
+        Some(Tok::Ident(k)) => {
+            matches!(k.as_str(), "pub" | "unsafe" | "async" | "const" | "extern")
+        }
+        Some(Tok::P(")")) => {
+            // `pub(crate) fn …`: the paren group follows a `pub`.
+            let mut j = i - 1;
+            while j > 0 {
+                j -= 1;
+                if matches!(f.tok(j), Some(Tok::P("("))) && f.close_of(j) == i - 1 {
+                    return j > 0 && matches!(f.tok(j - 1), Some(Tok::Ident(k)) if k == "pub");
+                }
+                if (i - 1) - j > 16 {
+                    break;
+                }
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// Skip a generics group starting at `<`, returning the index just past
+/// the matching `>`. Angle brackets are not in the matching map, so this
+/// counts depth manually; `>=` never appears inside generics in practice.
+fn skip_generics(f: &SourceFile, at: usize) -> usize {
+    if !matches!(f.tok(at), Some(Tok::P("<"))) {
+        return at;
+    }
+    let mut depth = 0i32;
+    let mut i = at;
+    let n = f.tokens.len();
+    while i < n {
+        match f.tok(i) {
+            Some(Tok::P("<")) => depth += 1,
+            Some(Tok::P(">")) => {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            // A body brace means we overran a malformed header; bail out.
+            Some(Tok::P("{")) | Some(Tok::P(";")) => return i,
+            _ => {}
+        }
+        i += 1;
+        if i - at > 512 {
+            break; // malformed; stay linear
+        }
+    }
+    i.min(n)
+}
+
+/// Extract items from one file (`file_idx` is its index in the model).
+pub fn extract(f: &SourceFile, file_idx: usize) -> Extracted {
+    let mut out = Extracted::default();
+    let n = f.tokens.len();
+
+    // -- pass 1: impl ranges and cfg(test) mod ranges ----------------------
+    let mut impl_ranges: Vec<(usize, usize, String)> = Vec::new();
+    let mut test_ranges: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        match f.tok(i) {
+            Some(Tok::Ident(k)) if k == "impl" && item_position(f, i) => {
+                // Header: impl [<…>] [Trait for] Type[<…>] [where …] {
+                let mut j = skip_generics(f, i + 1);
+                let mut last_path_ident: Option<String> = None;
+                let mut after_for = false;
+                while j < n {
+                    match f.tok(j) {
+                        Some(Tok::P("{")) => break,
+                        Some(Tok::P(";")) => break,
+                        Some(Tok::Ident(w)) if w == "for" => {
+                            after_for = true;
+                            last_path_ident = None;
+                            j += 1;
+                        }
+                        Some(Tok::Ident(w)) if w == "where" => {
+                            // Type name settled before the where clause.
+                            j += 1;
+                            while j < n
+                                && !matches!(f.tok(j), Some(Tok::P("{")) | Some(Tok::P(";")))
+                            {
+                                j += 1;
+                            }
+                        }
+                        Some(Tok::P("<")) => {
+                            j = skip_generics(f, j);
+                        }
+                        Some(Tok::Ident(w)) => {
+                            // Track the last identifier of the (possibly
+                            // qualified) type path; `fmt::Debug for X` keeps
+                            // only segments after `for`.
+                            let _ = after_for;
+                            last_path_ident = Some(w.clone());
+                            j += 1;
+                        }
+                        _ => j += 1,
+                    }
+                    if j - i > 2048 {
+                        break;
+                    }
+                }
+                if j < n && matches!(f.tok(j), Some(Tok::P("{"))) {
+                    if let Some(ty) = last_path_ident {
+                        impl_ranges.push((j, f.close_of(j), ty));
+                    }
+                    // Continue scanning inside the impl body normally.
+                }
+                i = j.max(i + 1);
+            }
+            Some(Tok::Ident(k)) if k == "mod" && item_position(f, i) => {
+                let name = f.tok(i + 1).and_then(|t| t.ident().map(String::from));
+                let attrs = attrs_before(f, prev_attr_anchor(f, i));
+                let is_test_mod = attrs_mark_test(&attrs) || name.as_deref() == Some("tests");
+                if let Some(Tok::P("{")) = f.tok(i + 2) {
+                    if is_test_mod {
+                        test_ranges.push((i + 2, f.close_of(i + 2)));
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+
+    let impl_type_at = |pos: usize| -> Option<String> {
+        impl_ranges
+            .iter()
+            .filter(|(s, e, _)| *s <= pos && pos <= *e)
+            .min_by_key(|(s, e, _)| e - s)
+            .map(|(_, _, ty)| ty.clone())
+    };
+    let in_test_range = |pos: usize| test_ranges.iter().any(|(s, e)| *s <= pos && pos <= *e);
+
+    // -- pass 2: fns, enums, structs, lock declarations --------------------
+    let mut i = 0usize;
+    while i < n {
+        match f.tok(i) {
+            Some(Tok::Ident(k)) if k == "fn" => {
+                // `fn(` is a function-pointer type, not an item.
+                let Some(Tok::Ident(name)) = f.tok(i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                let name = name.clone();
+                let name_span = f.span(i + 1);
+                let mut j = skip_generics(f, i + 2);
+                // Parameter list.
+                if matches!(f.tok(j), Some(Tok::P("("))) {
+                    j = f.close_of(j) + 1;
+                }
+                // Scan to the body brace or a trait-decl semicolon.
+                let mut body = None;
+                while j < n {
+                    match f.tok(j) {
+                        Some(Tok::P("{")) => {
+                            body = Some((j, f.close_of(j)));
+                            break;
+                        }
+                        Some(Tok::P(";")) => break,
+                        _ => j += 1,
+                    }
+                    if j - i > 2048 {
+                        break;
+                    }
+                }
+                let attrs = attrs_before(f, prev_attr_anchor(f, i));
+                out.fns.push(FnDef {
+                    file: file_idx,
+                    name,
+                    impl_type: impl_type_at(i),
+                    name_span,
+                    body,
+                    is_test: attrs_mark_test(&attrs) || in_test_range(i),
+                });
+                i += 2;
+            }
+            Some(Tok::Ident(k)) if k == "enum" => {
+                if let (Some(Tok::Ident(name)), Some(Tok::P("{"))) =
+                    (f.tok(i + 1), f.tok(skip_generics(f, i + 2)))
+                {
+                    let name = name.clone();
+                    let open = skip_generics(f, i + 2);
+                    let close = f.close_of(open);
+                    let mut variants = Vec::new();
+                    let mut j = open + 1;
+                    while j < close {
+                        // Skip attributes on variants.
+                        if matches!(f.tok(j), Some(Tok::P("#")))
+                            && matches!(f.tok(j + 1), Some(Tok::P("[")))
+                        {
+                            j = f.close_of(j + 1) + 1;
+                            continue;
+                        }
+                        if let Some(Tok::Ident(v)) = f.tok(j) {
+                            variants.push(v.clone());
+                        }
+                        // Advance to the token after this variant's `,` at
+                        // depth 1, hopping over payload groups.
+                        let mut k = j + 1;
+                        while k < close {
+                            match f.tok(k) {
+                                Some(Tok::P("{")) | Some(Tok::P("(")) | Some(Tok::P("[")) => {
+                                    k = f.close_of(k) + 1;
+                                }
+                                Some(Tok::P(",")) => {
+                                    k += 1;
+                                    break;
+                                }
+                                _ => k += 1,
+                            }
+                        }
+                        j = k;
+                    }
+                    out.enums.push(EnumDef {
+                        file: file_idx,
+                        name,
+                        variants,
+                        span: f.span(i + 1),
+                    });
+                    i = close.max(i + 1);
+                } else {
+                    i += 1;
+                }
+            }
+            Some(Tok::Ident(k)) if k == "struct" => {
+                if let Some(Tok::Ident(owner)) = f.tok(i + 1) {
+                    let owner = owner.clone();
+                    let open = skip_generics(f, i + 2);
+                    if matches!(f.tok(open), Some(Tok::P("{"))) {
+                        let close = f.close_of(open);
+                        let mut j = open + 1;
+                        while j < close {
+                            // field := [attrs] [pub[(..)]] name ':' type ','
+                            if matches!(f.tok(j), Some(Tok::P("#")))
+                                && matches!(f.tok(j + 1), Some(Tok::P("[")))
+                            {
+                                j = f.close_of(j + 1) + 1;
+                                continue;
+                            }
+                            if matches!(f.tok(j), Some(Tok::Ident(w)) if w == "pub") {
+                                j += 1;
+                                if matches!(f.tok(j), Some(Tok::P("("))) {
+                                    j = f.close_of(j) + 1;
+                                }
+                                continue;
+                            }
+                            if let (Some(Tok::Ident(field)), Some(Tok::P(":"))) =
+                                (f.tok(j), f.tok(j + 1))
+                            {
+                                let field = field.clone();
+                                // Type tokens to `,` at this depth.
+                                let mut k = j + 2;
+                                let mut ty_idents: Vec<String> = Vec::new();
+                                while k < close {
+                                    match f.tok(k) {
+                                        Some(Tok::P("(")) | Some(Tok::P("["))
+                                        | Some(Tok::P("{")) => {
+                                            // Collect idents inside groups too.
+                                            let g_close = f.close_of(k);
+                                            for t in k + 1..g_close.min(close) {
+                                                if let Some(Tok::Ident(w)) = f.tok(t) {
+                                                    ty_idents.push(w.clone());
+                                                }
+                                            }
+                                            k = g_close + 1;
+                                        }
+                                        Some(Tok::P(",")) => break,
+                                        Some(Tok::Ident(w)) => {
+                                            ty_idents.push(w.clone());
+                                            k += 1;
+                                        }
+                                        _ => k += 1,
+                                    }
+                                }
+                                if let Some(ty) = ty_idents
+                                    .iter()
+                                    .rev()
+                                    .find(|t| {
+                                        !TYPE_WRAPPERS.contains(&t.as_str())
+                                            && !TYPE_PRIMITIVES.contains(&t.as_str())
+                                    })
+                                    .cloned()
+                                {
+                                    out.fields.push(FieldType {
+                                        owner: owner.clone(),
+                                        field,
+                                        ty,
+                                    });
+                                }
+                                j = k + 1;
+                                continue;
+                            }
+                            j += 1;
+                        }
+                        i = close.max(i + 1);
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            Some(Tok::Ident(k)) if k == "TrackedMutex" || k == "TrackedRwLock" => {
+                let kind = if k == "TrackedMutex" {
+                    LockKind::Mutex
+                } else {
+                    LockKind::Rw
+                };
+                if matches!(f.tok(i + 1), Some(Tok::P("::")))
+                    && matches!(f.tok(i + 2), Some(Tok::Ident(m)) if m == "new" || m == "new_in")
+                    && matches!(f.tok(i + 3), Some(Tok::P("(")))
+                {
+                    let close = f.close_of(i + 3);
+                    let class = f.tokens[i + 4..close.min(n)]
+                        .iter()
+                        .find_map(|t| match &t.tok {
+                            Tok::Str(s) => Some(s.clone()),
+                            _ => None,
+                        });
+                    if let Some(class) = class {
+                        out.locks.push(LockDecl {
+                            file: file_idx,
+                            class,
+                            kind,
+                            binding: lock_binding(f, i),
+                            span: f.span(i),
+                        });
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Anchor for attribute lookup: the first `pub`/`unsafe`-ish modifier
+/// before the item keyword, so `#[test] pub fn x` finds its attribute.
+fn prev_attr_anchor(f: &SourceFile, kw: usize) -> usize {
+    let mut i = kw;
+    while i > 0 {
+        match f.tok(i - 1) {
+            Some(Tok::Ident(k))
+                if matches!(k.as_str(), "pub" | "unsafe" | "async" | "const" | "extern") =>
+            {
+                i -= 1
+            }
+            Some(Tok::P(")")) => {
+                // possibly `pub(crate)`
+                let mut j = i - 1;
+                let mut hop = None;
+                while j > 0 && (i - 1) - j <= 8 {
+                    j -= 1;
+                    if matches!(f.tok(j), Some(Tok::P("("))) && f.close_of(j) == i - 1 {
+                        if j > 0 && matches!(f.tok(j - 1), Some(Tok::Ident(k)) if k == "pub") {
+                            hop = Some(j - 1);
+                        }
+                        break;
+                    }
+                }
+                match hop {
+                    Some(h) => i = h,
+                    None => break,
+                }
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// The field or let-binding a lock construction initializes: walks back
+/// over `Arc::new(`-style wrappers to `field:` or `let [mut] name =`.
+fn lock_binding(f: &SourceFile, lock_tok: usize) -> Option<String> {
+    let mut p = lock_tok; // index of `TrackedMutex`/`TrackedRwLock`
+                          // Skip backwards over wrapper calls: `Ident :: Ident (` directly before.
+    loop {
+        if p >= 4
+            && matches!(f.tok(p - 1), Some(Tok::P("(")))
+            && matches!(f.tok(p - 2), Some(Tok::Ident(_)))
+            && matches!(f.tok(p - 3), Some(Tok::P("::")))
+            && matches!(f.tok(p - 4), Some(Tok::Ident(_)))
+        {
+            p -= 4;
+        } else {
+            break;
+        }
+    }
+    if p == 0 {
+        return None;
+    }
+    match f.tok(p - 1) {
+        Some(Tok::P(":")) => match f.tok(p.checked_sub(2)?) {
+            Some(Tok::Ident(field)) => Some(field.clone()),
+            _ => None,
+        },
+        Some(Tok::P("=")) => {
+            let mut q = p.checked_sub(2)?;
+            if matches!(f.tok(q), Some(Tok::Ident(k)) if k == "mut") {
+                q = q.checked_sub(1)?;
+            }
+            match f.tok(q) {
+                Some(Tok::Ident(name)) => Some(name.clone()),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("test.rs".into(), "testcrate".into(), src.into())
+    }
+
+    #[test]
+    fn fns_with_impl_context_and_tests() {
+        let f = file(
+            "impl ReplicaNode {\n  fn handle_app_op(&self) { self.put(); }\n  #[test]\n  fn check() {}\n}\n\
+             fn free() {}\n#[cfg(test)]\nmod tests { fn helper() {} }",
+        );
+        let ex = extract(&f, 0);
+        let names: Vec<(&str, Option<&str>, bool)> = ex
+            .fns
+            .iter()
+            .map(|d| (d.name.as_str(), d.impl_type.as_deref(), d.is_test))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("handle_app_op", Some("ReplicaNode"), false),
+                ("check", Some("ReplicaNode"), true),
+                ("free", None, false),
+                ("helper", None, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn trait_impl_resolves_self_type() {
+        let f = file("impl fmt::Debug for TrackedMutex<T> { fn fmt(&self) {} }");
+        let ex = extract(&f, 0);
+        assert_eq!(ex.fns[0].impl_type.as_deref(), Some("TrackedMutex"));
+    }
+
+    #[test]
+    fn enum_variants_with_payloads() {
+        let f = file(
+            "pub enum DataMsg { Put { key: String, value: Bytes }, Get { key: String }, Ping, \
+             Fail { code: FailCode, why: String } }",
+        );
+        let ex = extract(&f, 0);
+        assert_eq!(ex.enums.len(), 1);
+        assert_eq!(ex.enums[0].name, "DataMsg");
+        assert_eq!(ex.enums[0].variants, vec!["Put", "Get", "Ping", "Fail"]);
+    }
+
+    #[test]
+    fn struct_fields_see_through_wrappers() {
+        let f = file("struct ReplicaNode { inst: Arc<Instance>, peers: Vec<NodeId>, n: u64 }");
+        let ex = extract(&f, 0);
+        let inst = ex
+            .fields
+            .iter()
+            .find(|x| x.field == "inst")
+            .map(|x| x.ty.as_str());
+        let peers = ex
+            .fields
+            .iter()
+            .find(|x| x.field == "peers")
+            .map(|x| x.ty.as_str());
+        assert_eq!(inst, Some("Instance"));
+        assert_eq!(peers, Some("NodeId"));
+        assert!(
+            !ex.fields.iter().any(|x| x.field == "n"),
+            "primitives skipped"
+        );
+    }
+
+    #[test]
+    fn lock_decls_with_field_let_and_wrapped_bindings() {
+        let f = file(
+            "fn build() {\n\
+               let state = Arc::new(TrackedMutex::new(\"coord.state\", State::default()));\n\
+               let node = Node { queue: TrackedMutex::new(\"replica.queue\", VecDeque::new()),\n\
+                                 map: TrackedRwLock::new(\n    \"replica.state\", x) };\n\
+             }",
+        );
+        let ex = extract(&f, 0);
+        let got: Vec<(&str, Option<&str>, LockKind)> = ex
+            .locks
+            .iter()
+            .map(|l| (l.class.as_str(), l.binding.as_deref(), l.kind))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("coord.state", Some("state"), LockKind::Mutex),
+                ("replica.queue", Some("queue"), LockKind::Mutex),
+                ("replica.state", Some("map"), LockKind::Rw),
+            ]
+        );
+    }
+
+    #[test]
+    fn new_in_takes_second_argument_class() {
+        let f = file("let a = Arc::new(TrackedMutex::new_in(&reg, \"adv.lock-a\", 0u32));");
+        let ex = extract(&f, 0);
+        assert_eq!(ex.locks[0].class, "adv.lock-a");
+        assert_eq!(ex.locks[0].binding.as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn soup_does_not_panic() {
+        for s in [
+            "fn",
+            "impl {",
+            "enum E {",
+            "struct S { x:",
+            "fn f(",
+            "}}}}{{{",
+        ] {
+            let f = file(s);
+            let _ = extract(&f, 0);
+        }
+    }
+}

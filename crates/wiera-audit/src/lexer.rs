@@ -1,0 +1,573 @@
+//! A lightweight Rust lexer for the source auditor.
+//!
+//! Same house style as wiera-policy's policy lexer: a hand-rolled scanner
+//! over a char vector producing span-carrying tokens. It understands just
+//! enough of Rust's lexical grammar to be reliable for the auditor's
+//! pattern matching — strings (including raw and byte strings), char
+//! literals vs. lifetimes, nested block comments, raw identifiers — and it
+//! is deliberately *infallible*: unknown bytes are skipped, unterminated
+//! literals end at EOF, and arbitrary byte soup must never panic (a
+//! proptest harness holds that line).
+//!
+//! Comments are not tokens, but `// ws-audit: allow(WS1xx): reason`
+//! directives inside them are collected so checks can honor reviewed
+//! suppressions (see [`Allow`]).
+
+use wiera_policy::diag::Span;
+
+/// A lexical token of Rust source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (raw identifiers arrive without the `r#`).
+    Ident(String),
+    /// A lifetime such as `'a` (name not kept; the auditor never needs it).
+    Lifetime,
+    /// Numeric literal (value not kept).
+    Num,
+    /// String literal; the field is the raw inner text with simple escapes
+    /// (`\\`, `\"`, `\n`, `\t`) decoded. Good enough for metric names and
+    /// lock-class literals, which never use exotic escapes.
+    Str(String),
+    /// Character or byte literal.
+    Char,
+    /// Punctuation. Multi-character tokens are emitted for the handful the
+    /// auditor's structural matching depends on: `::`, `=>`, `->`, `<=`,
+    /// `>=`, `==`, `!=`, `..`. Everything else is a single character.
+    P(&'static str),
+}
+
+impl Tok {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the given punctuation.
+    pub fn is(&self, p: &str) -> bool {
+        matches!(self, Tok::P(x) if *x == p)
+    }
+
+    /// True when this token is the given identifier/keyword.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s == name)
+    }
+}
+
+/// Token plus its source span.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+/// A reviewed suppression parsed from a comment.
+///
+/// * `// ws-audit: allow(WS102): reason` — suppresses findings of the
+///   listed codes anchored on this line or the next source line.
+/// * `// ws-audit: allow-file(WS100): reason` — suppresses findings of the
+///   listed codes anywhere in this file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allow {
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// Upper-cased codes, e.g. `["WS100", "WS103"]`.
+    pub codes: Vec<String>,
+    /// True for `allow-file` (whole-file scope).
+    pub file_scope: bool,
+}
+
+impl Allow {
+    /// Does this directive cover `code` at `line`?
+    pub fn covers(&self, code: &str, line: usize) -> bool {
+        self.codes.iter().any(|c| c == code)
+            && (self.file_scope || line == self.line || line == self.line + 1)
+    }
+}
+
+/// Lexer output: the token stream plus any allow directives found in
+/// comments along the way.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<Allow>,
+}
+
+/// Compound punctuation the auditor's matching relies on, longest first.
+const COMPOUND: [&str; 8] = ["::", "=>", "->", "<=", ">=", "==", "!=", ".."];
+
+/// Single characters accepted as punctuation tokens.
+const SINGLES: &str = "{}()[]<>,;:.#&|!?*+-/%^=@$_~";
+
+fn parse_allow(comment: &str, line: usize) -> Option<Allow> {
+    let rest = comment.split("ws-audit:").nth(1)?.trim_start();
+    let file_scope = rest.starts_with("allow-file");
+    let rest = rest
+        .strip_prefix("allow-file")
+        .or_else(|| rest.strip_prefix("allow"))?;
+    let open = rest.find('(')?;
+    let close = rest[open..].find(')')? + open;
+    let codes: Vec<String> = rest[open + 1..close]
+        .split(',')
+        .map(|c| c.trim().to_ascii_uppercase())
+        .filter(|c| !c.is_empty())
+        .collect();
+    if codes.is_empty() {
+        return None;
+    }
+    Some(Allow {
+        line,
+        codes,
+        file_scope,
+    })
+}
+
+/// Tokenize Rust source. Never fails and never panics: anything the scanner
+/// does not recognize is skipped, and every literal form tolerates EOF.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut line_start = 0usize;
+
+    macro_rules! span {
+        ($start:expr, $end:expr) => {
+            Span::new($start, $end, line, ($start + 1).saturating_sub(line_start))
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                line_start = i;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                let start = i;
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if let Some(a) = parse_allow(&text, line) {
+                    out.allows.push(a);
+                }
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                // Nested block comment; newlines inside still advance lines.
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        line_start = i + 1;
+                        i += 1;
+                    } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (tok, next, lines) = cooked_string(&chars, i);
+                out.tokens.push(Token {
+                    tok,
+                    span: span!(i, next),
+                });
+                for _ in 0..lines {
+                    line += 1;
+                }
+                if lines > 0 {
+                    line_start = next; // column precision inside multiline strings is not needed
+                }
+                i = next;
+            }
+            '\'' => {
+                // Lifetime vs char literal. `'ident` not followed by a
+                // closing quote is a lifetime; otherwise a char literal.
+                let start = i;
+                let mut j = i + 1;
+                if j < n && (chars[j].is_alphabetic() || chars[j] == '_') {
+                    let mut k = j;
+                    while k < n && (chars[k].is_alphanumeric() || chars[k] == '_') {
+                        k += 1;
+                    }
+                    if k < n && chars[k] == '\'' {
+                        // 'a' — a char literal.
+                        out.tokens.push(Token {
+                            tok: Tok::Char,
+                            span: span!(start, k + 1),
+                        });
+                        i = k + 1;
+                    } else {
+                        out.tokens.push(Token {
+                            tok: Tok::Lifetime,
+                            span: span!(start, k),
+                        });
+                        i = k;
+                    }
+                } else {
+                    // Escaped or symbolic char literal: scan to the closing
+                    // quote on the same line, honoring `\'`.
+                    while j < n && chars[j] != '\n' {
+                        if chars[j] == '\\' {
+                            j += 2;
+                            continue;
+                        }
+                        if chars[j] == '\'' {
+                            j += 1;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Char,
+                        span: span!(start, j.min(n)),
+                    });
+                    i = j.min(n);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n {
+                    let ch = chars[i];
+                    if ch.is_alphanumeric() || ch == '_' || ch == '.' {
+                        // `1..` is a range, not a float; stop before `..`.
+                        if ch == '.' && i + 1 < n && chars[i + 1] == '.' {
+                            break;
+                        }
+                        i += 1;
+                    } else if (ch == '+' || ch == '-')
+                        && i > start
+                        && matches!(chars[i - 1], 'e' | 'E')
+                    {
+                        i += 1; // exponent sign: 1.5e-3
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Num,
+                    span: span!(start, i),
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                // Raw identifier r#type → Ident("type"). Must be checked
+                // before the raw-string branch, which also starts `r#`.
+                if text == "r" && i + 1 < n && chars[i] == '#' && is_ident_start(chars[i + 1]) {
+                    let mut k = i + 1;
+                    while k < n && (chars[k].is_alphanumeric() || chars[k] == '_') {
+                        k += 1;
+                    }
+                    let name: String = chars[i + 1..k].iter().collect();
+                    out.tokens.push(Token {
+                        tok: Tok::Ident(name),
+                        span: span!(start, k),
+                    });
+                    i = k;
+                    continue;
+                }
+                // String-literal prefixes: r"", r#""#, b"", br#""#, c"".
+                if matches!(text.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr") && i < n {
+                    let is_raw = text.contains('r');
+                    if chars[i] == '"' || (chars[i] == '#' && is_raw) {
+                        let (tok, next, lines) = if is_raw {
+                            raw_string(&chars, i)
+                        } else {
+                            cooked_string(&chars, i)
+                        };
+                        out.tokens.push(Token {
+                            tok,
+                            span: span!(start, next),
+                        });
+                        for _ in 0..lines {
+                            line += 1;
+                        }
+                        if lines > 0 {
+                            line_start = next;
+                        }
+                        i = next;
+                        continue;
+                    }
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(text),
+                    span: span!(start, i),
+                });
+            }
+            _ => {
+                let mut matched = false;
+                for comp in COMPOUND {
+                    let len = comp.len(); // all-ASCII compounds
+                    if i + len <= n && chars[i..i + len].iter().collect::<String>() == comp {
+                        out.tokens.push(Token {
+                            tok: Tok::P(comp),
+                            span: span!(i, i + len),
+                        });
+                        i += len;
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    if let Some(pos) = SINGLES.find(c) {
+                        // Map back into the static str table for a 'static life.
+                        let p = &SINGLES[pos..pos + c.len_utf8()];
+                        out.tokens.push(Token {
+                            tok: Tok::P(p),
+                            span: span!(i, i + 1),
+                        });
+                    }
+                    i += 1; // unknown characters are skipped, never fatal
+                }
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Scan a `"..."` literal starting at the opening quote (or at a `b`/`c`
+/// prefix position whose quote is at `chars[at]`). Returns the token, the
+/// index just past the literal, and how many newlines it spanned.
+fn cooked_string(chars: &[char], at: usize) -> (Tok, usize, usize) {
+    let n = chars.len();
+    let mut i = at;
+    while i < n && chars[i] != '"' {
+        i += 1; // skip prefix letters like b / c
+    }
+    let mut j = i + 1;
+    let mut text = String::new();
+    let mut lines = 0usize;
+    while j < n {
+        match chars[j] {
+            '\\' if j + 1 < n => {
+                match chars[j + 1] {
+                    'n' => text.push('\n'),
+                    't' => text.push('\t'),
+                    '\\' => text.push('\\'),
+                    '"' => text.push('"'),
+                    other => {
+                        text.push('\\');
+                        text.push(other);
+                    }
+                }
+                if chars[j + 1] == '\n' {
+                    lines += 1;
+                }
+                j += 2;
+            }
+            '"' => return (Tok::Str(text), j + 1, lines),
+            c => {
+                if c == '\n' {
+                    lines += 1;
+                }
+                text.push(c);
+                j += 1;
+            }
+        }
+    }
+    (Tok::Str(text), n, lines) // unterminated: swallow to EOF
+}
+
+/// Scan a raw string starting at the `#`s or quote following an `r`-ish
+/// prefix. Returns (token, index past literal, newline count).
+fn raw_string(chars: &[char], at: usize) -> (Tok, usize, usize) {
+    let n = chars.len();
+    let mut i = at;
+    let mut hashes = 0usize;
+    while i < n && chars[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= n || chars[i] != '"' {
+        // `r#ident` handled elsewhere; treat stray `#` as consumed.
+        return (Tok::Str(String::new()), i, 0);
+    }
+    i += 1;
+    let start = i;
+    let mut lines = 0usize;
+    while i < n {
+        if chars[i] == '\n' {
+            lines += 1;
+        }
+        if chars[i] == '"' {
+            let mut k = i + 1;
+            let mut seen = 0usize;
+            while k < n && chars[k] == '#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                let text: String = chars[start..i].iter().collect();
+                return (Tok::Str(text), k, lines);
+            }
+        }
+        i += 1;
+    }
+    let text: String = chars[start..n.min(chars.len())].iter().collect();
+    (Tok::Str(text), n, lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).tokens.into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_paths() {
+        assert_eq!(
+            toks("fn handle(&self) -> DataMsg::Ok"),
+            vec![
+                Tok::Ident("fn".into()),
+                Tok::Ident("handle".into()),
+                Tok::P("("),
+                Tok::P("&"),
+                Tok::Ident("self".into()),
+                Tok::P(")"),
+                Tok::P("->"),
+                Tok::Ident("DataMsg".into()),
+                Tok::P("::"),
+                Tok::Ident("Ok".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_chars_and_lifetimes() {
+        assert_eq!(
+            toks(r#"let s = "a\"b"; let c = 'x'; fn f<'a>() {}"#),
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("s".into()),
+                Tok::P("="),
+                Tok::Str("a\"b".into()),
+                Tok::P(";"),
+                Tok::Ident("let".into()),
+                Tok::Ident("c".into()),
+                Tok::P("="),
+                Tok::Char,
+                Tok::P(";"),
+                Tok::Ident("fn".into()),
+                Tok::Ident("f".into()),
+                Tok::P("<"),
+                Tok::Lifetime,
+                Tok::P(">"),
+                Tok::P("("),
+                Tok::P(")"),
+                Tok::P("{"),
+                Tok::P("}"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        assert_eq!(
+            toks(r##"let x = r#"raw "inner" text"#;"##),
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("x".into()),
+                Tok::P("="),
+                Tok::Str("raw \"inner\" text".into()),
+                Tok::P(";"),
+            ]
+        );
+        assert_eq!(toks("r#type"), vec![Tok::Ident("type".into())]);
+    }
+
+    #[test]
+    fn comments_are_skipped_and_nested() {
+        assert_eq!(
+            toks("a // line\nb /* block /* nested */ still */ c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn allow_directives_parse() {
+        let out = lex("x();\n// ws-audit: allow(WS102, ws103): fine here\ny();\n// ws-audit: allow-file(WS100): planted\n");
+        assert_eq!(out.allows.len(), 2);
+        assert_eq!(out.allows[0].codes, vec!["WS102", "WS103"]);
+        assert!(!out.allows[0].file_scope);
+        assert!(out.allows[0].covers("WS102", 3), "covers the next line");
+        assert!(!out.allows[0].covers("WS102", 4));
+        assert!(out.allows[1].file_scope);
+        assert!(out.allows[1].covers("WS100", 1), "file scope covers all");
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_exponents() {
+        assert_eq!(
+            toks("0xff_u64 1.5e-3 1..4"),
+            vec![Tok::Num, Tok::Num, Tok::Num, Tok::P(".."), Tok::Num,]
+        );
+    }
+
+    #[test]
+    fn compound_punct() {
+        assert_eq!(
+            toks("a => b :: c -> d <= e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::P("=>"),
+                Tok::Ident("b".into()),
+                Tok::P("::"),
+                Tok::Ident("c".into()),
+                Tok::P("->"),
+                Tok::Ident("d".into()),
+                Tok::P("<="),
+                Tok::Ident("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_carry_lines() {
+        let out = lex("a\n  b\n");
+        assert_eq!(out.tokens[0].span.line, 1);
+        assert_eq!(out.tokens[1].span.line, 2);
+        assert_eq!(out.tokens[1].span.col, 3);
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        for s in [
+            "\"unterminated",
+            "'",
+            "r#\"open",
+            "/* open",
+            "\u{0}\u{7f}é🦀",
+            "b\"",
+            "''''",
+        ] {
+            let _ = lex(s);
+        }
+    }
+}

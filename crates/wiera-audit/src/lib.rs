@@ -1,0 +1,81 @@
+//! wiera-audit: workspace-wide static analysis of the Wiera Rust sources.
+//!
+//! The runtime lockreg (wiera-sim) and the consistency oracle
+//! (wiera-check) only see what an execution exercises. This crate closes
+//! the gap from the other side: a lightweight lexical analyzer — hand
+//! rolled lexer, brace-aware item extraction, per-function summaries, an
+//! interprocedural call graph — over the *source* of every crate in the
+//! workspace, reporting:
+//!
+//! * **WS100** static lock-order cycles over tracked-lock classes,
+//! * **WS101** wire-enum handler completeness, including epoch-fencing and
+//!   op-history discipline of replication/write handler arms,
+//! * **WS102** panic sites reachable from data-path entry points,
+//! * **WS103** blocking operations while a tracked guard is live,
+//! * **WS104** metric-name/kind/label discipline.
+//!
+//! Diagnostics render through wiera-policy's `diag` infrastructure (the
+//! same rustc-style output as the policy linter); findings honor
+//! `// ws-audit: allow(WSnnn): reason` suppressions. The analysis is
+//! lexical and therefore intentionally unsound in both directions —
+//! conservative widening can over-approximate call targets, and macro
+//! bodies or trait dispatch through external types are invisible — but it
+//! is fast, dependency-free, and catches the defect classes that have
+//! actually bitten this codebase (see DESIGN.md §12).
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod callgraph;
+pub mod checks;
+pub mod items;
+pub mod lexer;
+pub mod summary;
+pub mod workspace;
+
+use callgraph::{Config, Model};
+use checks::{sort_findings, Finding};
+use items::SourceFile;
+
+/// Aggregate run statistics, for `--stats` style reporting.
+#[derive(Debug, Default)]
+pub struct Stats {
+    pub files: usize,
+    pub fns: usize,
+    pub lock_classes: usize,
+    pub unresolved_acquires: usize,
+    pub widened_calls: usize,
+}
+
+/// Outcome of an audit run.
+pub struct Outcome {
+    pub model: Model,
+    pub findings: Vec<Finding>,
+    pub stats: Stats,
+}
+
+/// Run the full pipeline over in-memory sources.
+pub fn audit(
+    inputs: Vec<workspace::Input>,
+    cfg: Config,
+    runtime_edges: Option<&[(String, String)]>,
+) -> Outcome {
+    let files: Vec<SourceFile> = inputs
+        .into_iter()
+        .map(|i| SourceFile::new(i.origin, i.crate_name, i.src))
+        .collect();
+    let model = Model::build(files, cfg);
+    let mut findings = checks::run_checks(&model, runtime_edges);
+    sort_findings(&mut findings);
+    let stats = Stats {
+        files: model.files.len(),
+        fns: model.fns.len(),
+        lock_classes: model.classes.len(),
+        unresolved_acquires: model.unresolved_acquires,
+        widened_calls: model.widened_calls,
+    };
+    Outcome {
+        model,
+        findings,
+        stats,
+    }
+}

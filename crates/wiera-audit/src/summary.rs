@@ -1,0 +1,919 @@
+//! Per-function summaries: the facts the checks consume.
+//!
+//! For each function body the summarizer records, lexically:
+//!
+//! * tracked-lock acquisitions (`x.lock()` / `x.read()` / `x.write()` with
+//!   empty argument lists) together with the guard's lexical scope — end of
+//!   statement for temporaries, end of enclosing block (or an explicit
+//!   `drop(guard)`) for `let`-bound guards,
+//! * call sites with a classified receiver, for interprocedural resolution,
+//! * panic sites (`unwrap` / `expect` / `panic!` / `unreachable!` /
+//!   `todo!` / `unimplemented!`),
+//! * potentially-blocking operations (channel `recv`, `sleep`, `join`, …),
+//! * metric uses with literal names and label keys,
+//! * `match` arms over enum variants plus every `Enum::Variant` that
+//!   appears in any pattern position (match arms, `if let`, `while let`,
+//!   `matches!`) — the raw material for handler-completeness checks,
+//! * slice/map indexing sites (note-level evidence for panic paths).
+//!
+//! Scopes and event positions are token indexes into the file's stream.
+
+use crate::items::{FnDef, LockKind, SourceFile};
+use crate::lexer::Tok;
+use std::collections::HashMap;
+use wiera_policy::diag::Span;
+
+/// How a method call's receiver looked at the call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Receiver {
+    /// `self.m()`
+    SelfDot,
+    /// `self.field.m()`
+    SelfField(String),
+    /// `var.m()`
+    Var(String),
+    /// `Type::m()`
+    Qualified(String),
+    /// Something more complex (`a().b()`, chained temporaries, …).
+    Expr,
+    /// `m()` — a free function.
+    Free,
+}
+
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub name: String,
+    pub recv: Receiver,
+    /// Token index of the callee identifier.
+    pub pos: usize,
+    pub span: Span,
+    /// The call's argument list was `()`.
+    pub empty_args: bool,
+}
+
+#[derive(Debug, Clone)]
+pub struct Acquire {
+    /// Receiver identifier the lock was acquired through (field, binding,
+    /// or loop variable), when recognizable.
+    pub base: Option<String>,
+    pub kind: LockKind,
+    /// Token index of the `lock`/`read`/`write` identifier.
+    pub pos: usize,
+    /// Token index the guard is lexically live until (inclusive).
+    pub scope_end: usize,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// `unwrap`, `expect`, `panic`, `unreachable`, `todo`, `unimplemented`.
+    pub what: &'static str,
+    pub pos: usize,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone)]
+pub struct MetricUse {
+    /// `counter` / `gauge` / `histogram` / `inc` / `observe`.
+    pub method: String,
+    /// First-argument string literal; None when the name is computed.
+    pub name: Option<String>,
+    /// Label keys (and literal values where present) from a `&[("k", v)]`
+    /// argument; None when no label array was found at the site.
+    pub labels: Option<Vec<(String, Option<String>)>>,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone)]
+pub struct MatchArm {
+    /// `(Enum, Variant)` pairs named in the arm's pattern.
+    pub pairs: Vec<(String, String)>,
+    /// Token range of the arm body (inclusive).
+    pub body: (usize, usize),
+    pub span: Span,
+}
+
+#[derive(Debug, Clone)]
+pub struct IndexSite {
+    pub pos: usize,
+    pub span: Span,
+}
+
+/// Everything the checks need to know about one function body.
+#[derive(Debug, Default, Clone)]
+pub struct FnSummary {
+    pub calls: Vec<CallSite>,
+    pub acquires: Vec<Acquire>,
+    pub panics: Vec<PanicSite>,
+    /// Subset of `calls` that may block (indexes into `calls`).
+    pub blocking: Vec<usize>,
+    pub metrics: Vec<MetricUse>,
+    pub arms: Vec<MatchArm>,
+    /// Every `Enum::Variant` appearing in a pattern position.
+    pub pattern_pairs: Vec<(String, String)>,
+    pub indexes: Vec<IndexSite>,
+    /// Body contains epoch-fencing evidence (StaleEpoch / epoch compare).
+    pub fence_direct: bool,
+}
+
+const LOCK_METHODS: [&str; 3] = ["lock", "read", "write"];
+const BLOCKING_NAMES: [&str; 6] = [
+    "recv",
+    "recv_timeout",
+    "sleep",
+    "sleep_until",
+    "wait_timeout",
+    "wait_open",
+];
+const METRIC_METHODS: [&str; 5] = ["counter", "gauge", "histogram", "inc", "observe"];
+const PANIC_MACROS: [(&str, &str); 4] = [
+    ("panic", "panic"),
+    ("unreachable", "unreachable"),
+    ("todo", "todo"),
+    ("unimplemented", "unimplemented"),
+];
+
+fn starts_upper(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_uppercase())
+}
+
+/// Does `range` contain epoch-fencing evidence?
+pub fn fence_evidence_in(f: &SourceFile, range: (usize, usize)) -> bool {
+    let (lo, hi) = range;
+    let hi = hi.min(f.tokens.len().saturating_sub(1));
+    let mut i = lo;
+    while i <= hi {
+        if let Some(Tok::Ident(s)) = f.tok(i) {
+            if s == "StaleEpoch" || s.contains("stale_epoch") {
+                return true;
+            }
+            if s == "epoch" {
+                // An epoch identifier near a comparison operator.
+                let lo_w = i.saturating_sub(3);
+                let hi_w = (i + 3).min(hi);
+                for w in lo_w..=hi_w {
+                    if matches!(
+                        f.tok(w),
+                        Some(Tok::P("<"))
+                            | Some(Tok::P(">"))
+                            | Some(Tok::P("<="))
+                            | Some(Tok::P(">="))
+                            | Some(Tok::P("=="))
+                            | Some(Tok::P("!="))
+                    ) {
+                        return true;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Summarize one function body. `nested` holds token ranges of functions
+/// defined inside this one (closures are fine to include; nested `fn`s are
+/// separate items and must be skipped).
+pub fn summarize(f: &SourceFile, def: &FnDef, nested: &[(usize, usize)]) -> FnSummary {
+    let mut out = FnSummary::default();
+    let Some((b0, b1)) = def.body else {
+        return out;
+    };
+    let rev: HashMap<usize, usize> = f.matching.iter().map(|(o, c)| (*c, *o)).collect();
+
+    let skip_to = |t: usize| -> Option<usize> {
+        nested
+            .iter()
+            .find(|(s, _)| *s == t)
+            .map(|(_, e)| e.saturating_add(1))
+    };
+
+    let mut t = b0 + 1;
+    while t < b1 {
+        if let Some(next) = skip_to(t) {
+            t = next;
+            continue;
+        }
+        match f.tok(t) {
+            // -- tracked-lock acquisition: `. lock ( )` --------------------
+            Some(Tok::P(".")) => {
+                if let Some(Tok::Ident(m)) = f.tok(t + 1) {
+                    if LOCK_METHODS.contains(&m.as_str())
+                        && matches!(f.tok(t + 2), Some(Tok::P("(")))
+                        && matches!(f.tok(t + 3), Some(Tok::P(")")))
+                    {
+                        let kind = if m == "lock" {
+                            LockKind::Mutex
+                        } else {
+                            LockKind::Rw
+                        };
+                        let base = receiver_base(f, t, &rev);
+                        let scope_end = guard_scope(f, t + 1, (b0, b1));
+                        out.acquires.push(Acquire {
+                            base,
+                            kind,
+                            pos: t + 1,
+                            scope_end,
+                            span: f.span(t + 1),
+                        });
+                    }
+                    // -- panic sites: `.unwrap()` / `.expect(` -------------
+                    if m == "unwrap"
+                        && matches!(f.tok(t + 2), Some(Tok::P("(")))
+                        && matches!(f.tok(t + 3), Some(Tok::P(")")))
+                    {
+                        out.panics.push(PanicSite {
+                            what: "unwrap",
+                            pos: t + 1,
+                            span: f.span(t + 1),
+                        });
+                    }
+                    if m == "expect" && matches!(f.tok(t + 2), Some(Tok::P("("))) {
+                        out.panics.push(PanicSite {
+                            what: "expect",
+                            pos: t + 1,
+                            span: f.span(t + 1),
+                        });
+                    }
+                }
+                t += 1;
+            }
+            Some(Tok::Ident(name)) => {
+                let name = name.clone();
+                // -- panic macros ----------------------------------------
+                if matches!(f.tok(t + 1), Some(Tok::P("!"))) {
+                    if let Some((_, label)) = PANIC_MACROS.iter().find(|(m, _)| *m == name.as_str())
+                    {
+                        out.panics.push(PanicSite {
+                            what: label,
+                            pos: t,
+                            span: f.span(t),
+                        });
+                    }
+                    if name == "matches" {
+                        collect_matches_pairs(f, t, &mut out.pattern_pairs);
+                    }
+                    t += 1;
+                    continue;
+                }
+                // -- match statements (arm structure only; the loop keeps
+                // scanning inside the body for calls/locks/panics) --------
+                if name == "match" && !matches!(f.tok(t.wrapping_sub(1)), Some(Tok::P("."))) {
+                    collect_match(f, t, b1, &mut out);
+                    t += 1;
+                    continue;
+                }
+                // -- if let / while let ----------------------------------
+                if (name == "if" || name == "while")
+                    && matches!(f.tok(t + 1), Some(Tok::Ident(k)) if k == "let")
+                {
+                    collect_let_pattern(f, t + 2, b1, &mut out.pattern_pairs);
+                    t += 2;
+                    continue;
+                }
+                // -- call sites ------------------------------------------
+                if matches!(f.tok(t + 1), Some(Tok::P("(")))
+                    && !starts_upper(&name)
+                    && !matches!(
+                        name.as_str(),
+                        "fn" | "if" | "while" | "for" | "match" | "return" | "loop" | "move"
+                    )
+                    && !matches!(f.tok(t.wrapping_sub(1)), Some(Tok::Ident(k)) if k == "fn")
+                {
+                    let empty_args = matches!(f.tok(t + 2), Some(Tok::P(")")));
+                    let recv = classify_receiver(f, t);
+                    // Empty-arg lock methods were recorded as acquires above;
+                    // do not also resolve them as user-function calls.
+                    if LOCK_METHODS.contains(&name.as_str()) && empty_args && recv != Receiver::Free
+                    {
+                        t += 1;
+                        continue;
+                    }
+                    if METRIC_METHODS.contains(&name.as_str()) {
+                        if let Some(mu) = metric_use(f, t, &name, &recv) {
+                            out.metrics.push(mu);
+                        }
+                    }
+                    if BLOCKING_NAMES.contains(&name.as_str())
+                        || (name == "join" && empty_args && recv != Receiver::Free)
+                    {
+                        out.blocking.push(out.calls.len());
+                    }
+                    out.calls.push(CallSite {
+                        name,
+                        recv,
+                        pos: t,
+                        span: f.span(t),
+                        empty_args,
+                    });
+                }
+                t += 1;
+            }
+            // -- indexing sites ------------------------------------------
+            Some(Tok::P("[")) => {
+                if let Some(Tok::Ident(x)) = f.tok(t.wrapping_sub(1)) {
+                    if !starts_upper(x) && !matches!(f.tok(t.wrapping_sub(2)), Some(Tok::P("#"))) {
+                        out.indexes.push(IndexSite {
+                            pos: t,
+                            span: f.span(t),
+                        });
+                    }
+                }
+                t += 1;
+            }
+            _ => t += 1,
+        }
+    }
+    out.fence_direct = fence_evidence_in(f, (b0, b1));
+    out
+}
+
+/// The identifier a `.lock()/.read()/.write()` call hangs off: the token
+/// before the dot, stepping back over one trailing `(…)`/`[…]` group
+/// (`self.shards[i].read()` resolves through `shards`).
+fn receiver_base(f: &SourceFile, dot: usize, rev: &HashMap<usize, usize>) -> Option<String> {
+    let before = dot.checked_sub(1)?;
+    match f.tok(before)? {
+        Tok::Ident(x) => Some(x.clone()),
+        Tok::P(")") | Tok::P("]") => {
+            let open = *rev.get(&before)?;
+            match f.tok(open.checked_sub(1)?)? {
+                Tok::Ident(y) => Some(y.clone()),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Lexical scope of a guard obtained at token `at` (the method ident).
+fn guard_scope(f: &SourceFile, at: usize, body: (usize, usize)) -> usize {
+    let (b0, b1) = body;
+    let bd = f.brace_depth.get(at).copied().unwrap_or(0);
+
+    // Statement start: scan back to `;`, `{`, `}`, or `=>` at our depth.
+    let mut s = at;
+    while s > b0 + 1 {
+        let p = s - 1;
+        let pbd = f.brace_depth.get(p).copied().unwrap_or(0);
+        if pbd < bd {
+            break;
+        }
+        if pbd == bd
+            && matches!(
+                f.tok(p),
+                Some(Tok::P(";")) | Some(Tok::P("{")) | Some(Tok::P("}")) | Some(Tok::P("=>"))
+            )
+        {
+            break;
+        }
+        s = p;
+    }
+    let pd_base = f.paren_depth.get(s).copied().unwrap_or(0);
+
+    // `let g = a.read();` binds the guard to `g`; in `let n = a.read().len();`
+    // the guard is a temporary dropped at the end of the statement. The lock
+    // call is `ident ( )` at `at`, so the statement is the whole initializer
+    // exactly when the token after the closing paren terminates it.
+    let terminal = matches!(f.tok(at + 3), Some(Tok::P(";")) | None);
+    let let_bound = terminal && matches!(f.tok(s), Some(Tok::Ident(k)) if k == "let");
+    if let_bound {
+        // Guard lives to the end of the enclosing block, or an explicit
+        // `drop(binding)`.
+        let mut open = None;
+        let mut p = at;
+        while p > b0 {
+            p -= 1;
+            if f.brace_depth.get(p).copied().unwrap_or(0) == bd.saturating_sub(1)
+                && matches!(f.tok(p), Some(Tok::P("{")))
+            {
+                open = Some(p);
+                break;
+            }
+        }
+        let block_end = open.map(|o| f.close_of(o)).unwrap_or(b1);
+        // Binding name (skip `mut`; destructuring gives up on drop-tracking).
+        let mut q = s + 1;
+        if matches!(f.tok(q), Some(Tok::Ident(k)) if k == "mut") {
+            q += 1;
+        }
+        if let Some(Tok::Ident(binding)) = f.tok(q) {
+            let binding = binding.clone();
+            let mut d = at;
+            while d + 3 <= block_end {
+                if matches!(f.tok(d), Some(Tok::Ident(k)) if k == "drop")
+                    && matches!(f.tok(d + 1), Some(Tok::P("(")))
+                    && matches!(f.tok(d + 2), Some(Tok::Ident(b)) if *b == binding)
+                    && matches!(f.tok(d + 3), Some(Tok::P(")")))
+                {
+                    return d;
+                }
+                d += 1;
+            }
+        }
+        return block_end;
+    }
+
+    // A plain `if`/`while` condition is a terminating scope: its temporaries
+    // drop before the body runs. (`if let`/`while let` scrutinee temporaries
+    // live through the whole expression, so those keep the statement scope.)
+    let mut c = s;
+    if matches!(f.tok(c), Some(Tok::Ident(k)) if k == "else") {
+        c += 1;
+    }
+    let plain_cond = matches!(f.tok(c), Some(Tok::Ident(k)) if k == "if" || k == "while")
+        && !matches!(f.tok(c + 1), Some(Tok::Ident(k)) if k == "let");
+
+    // Temporary guard: lives to the end of the statement (or arm).
+    let mut t = at;
+    while t < b1 {
+        let tbd = f.brace_depth.get(t).copied().unwrap_or(0);
+        let tpd = f.paren_depth.get(t).copied().unwrap_or(0);
+        if tbd == bd && tpd == pd_base && matches!(f.tok(t), Some(Tok::P(";")) | Some(Tok::P(",")))
+        {
+            return t;
+        }
+        if plain_cond && tbd == bd && tpd == pd_base && matches!(f.tok(t), Some(Tok::P("{"))) {
+            return t; // condition evaluated; its temporaries are gone
+        }
+        if tbd < bd {
+            return t; // enclosing block closed without a terminator
+        }
+        t += 1;
+    }
+    b1
+}
+
+/// Classify what a call at token `t` (the callee ident) hangs off.
+fn classify_receiver(f: &SourceFile, t: usize) -> Receiver {
+    let Some(prev) = t.checked_sub(1) else {
+        return Receiver::Free;
+    };
+    match f.tok(prev) {
+        Some(Tok::P(".")) => match f.tok(prev.wrapping_sub(1)) {
+            Some(Tok::Ident(x)) if x == "self" => Receiver::SelfDot,
+            Some(Tok::Ident(x)) => {
+                let x = x.clone();
+                if matches!(f.tok(prev.wrapping_sub(2)), Some(Tok::P("."))) {
+                    if matches!(f.tok(prev.wrapping_sub(3)), Some(Tok::Ident(s)) if s == "self") {
+                        Receiver::SelfField(x)
+                    } else {
+                        Receiver::Expr
+                    }
+                } else {
+                    Receiver::Var(x)
+                }
+            }
+            _ => Receiver::Expr,
+        },
+        Some(Tok::P("::")) => match f.tok(prev.wrapping_sub(1)) {
+            Some(Tok::Ident(ty)) if starts_upper(ty) => Receiver::Qualified(ty.clone()),
+            // `crate::f()` / `self::f()` / `super::f()` are local free calls;
+            // any other `mod::f()` names a foreign module, and resolving it
+            // against bare same-file fns of the same name would invent edges
+            // (`std::thread::spawn` is not the replica's `spawn`).
+            Some(Tok::Ident(p)) if p == "crate" || p == "self" || p == "super" => Receiver::Free,
+            Some(Tok::Ident(m)) => Receiver::Qualified(m.clone()),
+            _ => Receiver::Free,
+        },
+        _ => Receiver::Free,
+    }
+}
+
+/// Parse a metric call's name and labels at token `t` (the method ident).
+fn metric_use(f: &SourceFile, t: usize, method: &str, recv: &Receiver) -> Option<MetricUse> {
+    let open = t + 1;
+    let close = f.close_of(open);
+    let name = match f.tok(open + 1) {
+        Some(Tok::Str(s)) => Some(s.clone()),
+        _ => {
+            // Computed name: only trust sites whose receiver clearly is the
+            // metrics registry, to avoid swallowing unrelated `.inc(x)`s.
+            let metricsy = match recv {
+                Receiver::SelfField(x) | Receiver::Var(x) => x.contains("metric"),
+                Receiver::Qualified(x) => x.contains("Metrics"),
+                _ => false,
+            };
+            if !metricsy {
+                return None;
+            }
+            None
+        }
+    };
+    // Find a `& [ … ]` label group among the arguments.
+    let mut labels = None;
+    let mut i = open + 1;
+    while i < close {
+        if matches!(f.tok(i), Some(Tok::P("&"))) && matches!(f.tok(i + 1), Some(Tok::P("["))) {
+            let l_close = f.close_of(i + 1);
+            let mut found = Vec::new();
+            let mut j = i + 2;
+            while j < l_close {
+                if matches!(f.tok(j), Some(Tok::P("("))) {
+                    let t_close = f.close_of(j);
+                    let key = match f.tok(j + 1) {
+                        Some(Tok::Str(k)) => Some(k.clone()),
+                        _ => None,
+                    };
+                    if let Some(key) = key {
+                        // Value: the tokens after the tuple's comma; literal
+                        // when they are exactly one string.
+                        let mut comma = None;
+                        for c in j + 2..t_close {
+                            if matches!(f.tok(c), Some(Tok::P(","))) {
+                                comma = Some(c);
+                                break;
+                            }
+                        }
+                        let value = match comma {
+                            Some(c) if c + 2 == t_close => match f.tok(c + 1) {
+                                Some(Tok::Str(v)) => Some(v.clone()),
+                                _ => None,
+                            },
+                            _ => None,
+                        };
+                        found.push((key, value));
+                    }
+                    j = t_close + 1;
+                    continue;
+                }
+                j += 1;
+            }
+            labels = Some(found);
+            break;
+        }
+        // Hop nested groups so `&[…]` inside closures is not misread.
+        if matches!(f.tok(i), Some(Tok::P("(")) | Some(Tok::P("["))) {
+            i = f.close_of(i) + 1;
+            continue;
+        }
+        i += 1;
+    }
+    Some(MetricUse {
+        method: method.to_string(),
+        name,
+        labels,
+        span: f.span(t),
+    })
+}
+
+/// Collect `(Enum, Variant)` pairs in `range`, where both sides look like
+/// type-ish identifiers. `Self::X` and module paths are excluded.
+fn pairs_in(f: &SourceFile, lo: usize, hi: usize, out: &mut Vec<(String, String)>) {
+    let mut i = lo;
+    while i + 2 <= hi {
+        if let (Some(Tok::Ident(e)), Some(Tok::P("::")), Some(Tok::Ident(v))) =
+            (f.tok(i), f.tok(i + 1), f.tok(i + 2))
+        {
+            if starts_upper(e) && e != "Self" && starts_upper(v) {
+                out.push((e.clone(), v.clone()));
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parse the arm structure of a `match` at token `t`.
+fn collect_match(f: &SourceFile, t: usize, limit: usize, out: &mut FnSummary) {
+    let (Some(bd), Some(pd)) = (f.brace_depth.get(t).copied(), f.paren_depth.get(t).copied())
+    else {
+        return;
+    };
+    // Scrutinee runs to the first `{` at our depth.
+    let mut j = t + 1;
+    let mut open = None;
+    while j < limit && j - t < 256 {
+        match f.tok(j) {
+            Some(Tok::P("(")) | Some(Tok::P("[")) => {
+                j = f.close_of(j) + 1;
+                continue;
+            }
+            Some(Tok::P("{"))
+                if f.brace_depth.get(j).copied() == Some(bd)
+                    && f.paren_depth.get(j).copied() == Some(pd) =>
+            {
+                open = Some(j);
+                break;
+            }
+            Some(Tok::P(";")) => return,
+            _ => j += 1,
+        }
+    }
+    let Some(open) = open else {
+        return;
+    };
+    let close = f.close_of(open);
+    let inner_bd = bd + 1;
+
+    let mut a = open + 1;
+    while a < close {
+        // Skip attributes on arms.
+        if matches!(f.tok(a), Some(Tok::P("#"))) && matches!(f.tok(a + 1), Some(Tok::P("["))) {
+            a = f.close_of(a + 1) + 1;
+            continue;
+        }
+        // Pattern: to `=>` at arm depth.
+        let pat_start = a;
+        let mut p = a;
+        let mut arrow = None;
+        while p < close {
+            match f.tok(p) {
+                Some(Tok::P("(")) | Some(Tok::P("[")) | Some(Tok::P("{")) => {
+                    p = f.close_of(p) + 1;
+                    continue;
+                }
+                Some(Tok::P("=>")) if f.brace_depth.get(p).copied() == Some(inner_bd) => {
+                    arrow = Some(p);
+                    break;
+                }
+                _ => p += 1,
+            }
+        }
+        let Some(arrow) = arrow else {
+            break;
+        };
+        let mut pairs = Vec::new();
+        pairs_in(f, pat_start, arrow, &mut pairs);
+
+        // Body: brace block or expression to `,` at arm depth.
+        let body_start = arrow + 1;
+        let body_end;
+        let next_arm;
+        if matches!(f.tok(body_start), Some(Tok::P("{"))) {
+            body_end = f.close_of(body_start);
+            next_arm = if matches!(f.tok(body_end + 1), Some(Tok::P(","))) {
+                body_end + 2
+            } else {
+                body_end + 1
+            };
+        } else {
+            let mut e = body_start;
+            while e < close {
+                match f.tok(e) {
+                    Some(Tok::P("(")) | Some(Tok::P("[")) | Some(Tok::P("{")) => {
+                        e = f.close_of(e) + 1;
+                        continue;
+                    }
+                    Some(Tok::P(",")) if f.brace_depth.get(e).copied() == Some(inner_bd) => break,
+                    _ => e += 1,
+                }
+            }
+            body_end = e.min(close).saturating_sub(1);
+            next_arm = e.min(close) + 1;
+        }
+        out.pattern_pairs.extend(pairs.iter().cloned());
+        out.arms.push(MatchArm {
+            pairs,
+            body: (body_start, body_end),
+            span: f.span(pat_start),
+        });
+        a = next_arm.max(a + 1);
+    }
+}
+
+/// `if let PAT = …` / `while let PAT = …`: pattern runs to the first `=`
+/// at the same paren depth.
+fn collect_let_pattern(
+    f: &SourceFile,
+    start: usize,
+    limit: usize,
+    out: &mut Vec<(String, String)>,
+) {
+    let pd = f.paren_depth.get(start).copied().unwrap_or(0);
+    let mut e = start;
+    while e < limit && e - start < 128 {
+        match f.tok(e) {
+            Some(Tok::P("(")) | Some(Tok::P("[")) | Some(Tok::P("{")) => {
+                e = f.close_of(e) + 1;
+                continue;
+            }
+            Some(Tok::P("=")) if f.paren_depth.get(e).copied() == Some(pd) => break,
+            _ => e += 1,
+        }
+    }
+    pairs_in(f, start, e.min(limit), out);
+}
+
+/// `matches!(expr, PAT)`: pairs in the pattern after the first top-level
+/// comma inside the macro group.
+fn collect_matches_pairs(f: &SourceFile, bang_name: usize, out: &mut Vec<(String, String)>) {
+    // bang_name is the `matches` ident; expect `! (`.
+    if !matches!(f.tok(bang_name + 1), Some(Tok::P("!"))) {
+        return;
+    }
+    let open = bang_name + 2;
+    if !matches!(f.tok(open), Some(Tok::P("("))) {
+        return;
+    }
+    let close = f.close_of(open);
+    let mut i = open + 1;
+    let mut comma = None;
+    while i < close {
+        match f.tok(i) {
+            Some(Tok::P("(")) | Some(Tok::P("[")) | Some(Tok::P("{")) => {
+                i = f.close_of(i) + 1;
+                continue;
+            }
+            Some(Tok::P(",")) => {
+                comma = Some(i);
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    if let Some(c) = comma {
+        pairs_in(f, c + 1, close, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::{extract, SourceFile};
+
+    fn summarized(src: &str) -> (SourceFile, Vec<(String, FnSummary)>) {
+        let f = SourceFile::new("test.rs".into(), "testcrate".into(), src.into());
+        let ex = extract(&f, 0);
+        let mut out = Vec::new();
+        for d in &ex.fns {
+            let nested: Vec<(usize, usize)> = ex
+                .fns
+                .iter()
+                .filter(|o| {
+                    o.name != d.name
+                        && matches!((o.body, d.body), (Some(ob), Some(db)) if ob.0 > db.0 && ob.1 < db.1)
+                })
+                .filter_map(|o| o.body)
+                .collect();
+            out.push((d.name.clone(), summarize(&f, d, &nested)));
+        }
+        (f, out)
+    }
+
+    fn only(src: &str) -> FnSummary {
+        let (_, v) = summarized(src);
+        v.into_iter().map(|(_, s)| s).next().unwrap_or_default()
+    }
+
+    #[test]
+    fn acquire_with_temp_scope_ends_at_semicolon() {
+        let s = only("fn f(&self) { self.queue.lock().push(1); self.next(); }");
+        assert_eq!(s.acquires.len(), 1);
+        assert_eq!(s.acquires[0].base.as_deref(), Some("queue"));
+        assert_eq!(s.acquires[0].kind, LockKind::Mutex);
+        // The later call must not be inside the guard's scope.
+        let call = s.calls.iter().find(|c| c.name == "next");
+        let call_pos = call.map(|c| c.pos).unwrap_or(0);
+        assert!(call_pos > s.acquires[0].scope_end, "guard dropped at `;`");
+    }
+
+    #[test]
+    fn let_bound_guard_spans_block_until_drop() {
+        let s =
+            only("fn f(&self) { let g = self.state.write(); g.push(1); drop(g); self.after(); }");
+        assert_eq!(s.acquires.len(), 1);
+        assert_eq!(s.acquires[0].kind, LockKind::Rw);
+        let push = s
+            .calls
+            .iter()
+            .find(|c| c.name == "push")
+            .map(|c| c.pos)
+            .unwrap_or(0);
+        let after = s
+            .calls
+            .iter()
+            .find(|c| c.name == "after")
+            .map(|c| c.pos)
+            .unwrap_or(0);
+        assert!(push <= s.acquires[0].scope_end, "held across push");
+        assert!(after > s.acquires[0].scope_end, "released by drop()");
+    }
+
+    #[test]
+    fn indexed_shard_resolves_base_ident() {
+        let s = only("fn f(&self) { self.shards[i].read().get(k); }");
+        assert_eq!(s.acquires.len(), 1);
+        assert_eq!(s.acquires[0].base.as_deref(), Some("shards"));
+    }
+
+    #[test]
+    fn receivers_classified() {
+        let s = only("fn f(&self) { self.put(); self.inst.get(k); coord.send(m); Registry::global(); free(); }");
+        let kinds: Vec<(&str, &Receiver)> =
+            s.calls.iter().map(|c| (c.name.as_str(), &c.recv)).collect();
+        assert!(kinds.contains(&("put", &Receiver::SelfDot)));
+        assert!(kinds.contains(&("get", &Receiver::SelfField("inst".into()))));
+        assert!(kinds.contains(&("send", &Receiver::Var("coord".into()))));
+        assert!(kinds.contains(&("global", &Receiver::Qualified("Registry".into()))));
+        assert!(kinds.contains(&("free", &Receiver::Free)));
+    }
+
+    #[test]
+    fn panic_sites_found() {
+        let s = only("fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"no\"); unreachable!(); z.unwrap_or(0); }");
+        let whats: Vec<&str> = s.panics.iter().map(|p| p.what).collect();
+        assert_eq!(whats, vec!["unwrap", "expect", "panic", "unreachable"]);
+    }
+
+    #[test]
+    fn blocking_ops_found() {
+        let s = only("fn f() { rx.recv(); rx.recv_timeout(d); thread::sleep(d); h.join(); path.join(\"x\"); }");
+        let names: Vec<&str> = s
+            .blocking
+            .iter()
+            .map(|&i| s.calls[i].name.as_str())
+            .collect();
+        assert_eq!(names, vec!["recv", "recv_timeout", "sleep", "join"]);
+    }
+
+    #[test]
+    fn match_arms_and_pattern_pairs() {
+        let s = only(
+            "fn dispatch(&self, d: DataMsg) { match d { DataMsg::Put { key } | DataMsg::Get { key } => self.go(key), DataMsg::Ping => {} _ => {} } }",
+        );
+        assert_eq!(s.arms.len(), 3);
+        assert_eq!(
+            s.arms[0].pairs,
+            vec![
+                ("DataMsg".to_string(), "Put".to_string()),
+                ("DataMsg".to_string(), "Get".to_string())
+            ]
+        );
+        assert!(s
+            .pattern_pairs
+            .contains(&("DataMsg".to_string(), "Ping".to_string())));
+        // The or-arm body contains the `go` call.
+        let go = s
+            .calls
+            .iter()
+            .find(|c| c.name == "go")
+            .map(|c| c.pos)
+            .unwrap_or(0);
+        assert!(go >= s.arms[0].body.0 && go <= s.arms[0].body.1);
+    }
+
+    #[test]
+    fn if_let_and_matches_patterns_count_for_coverage() {
+        let s = only(
+            "fn f(m: DataMsg) { if let DataMsg::PutAck { version } = m { use_it(version); } \
+             let b = matches!(m, DataMsg::Pong); }",
+        );
+        assert!(s
+            .pattern_pairs
+            .contains(&("DataMsg".into(), "PutAck".into())));
+        assert!(s.pattern_pairs.contains(&("DataMsg".into(), "Pong".into())));
+        assert!(
+            s.arms.is_empty(),
+            "if-let/matches! are not fence-checked arms"
+        );
+    }
+
+    #[test]
+    fn fence_evidence_detected() {
+        let s = only("fn handle(&self, epoch: u64) { if epoch < self.epoch() { return; } }");
+        assert!(s.fence_direct);
+        let s2 = only("fn handle(&self) { reply(stale_epoch_fail(1)); }");
+        assert!(s2.fence_direct);
+        let s3 = only("fn handle(&self) { self.apply(); }");
+        assert!(!s3.fence_direct);
+    }
+
+    #[test]
+    fn metric_uses_with_labels() {
+        let s = only(
+            "fn f(&self) { self.metrics.inc(\"wiera_put_total\", &[(\"tier\", \"mem\"), (\"node\", id)]); }",
+        );
+        assert_eq!(s.metrics.len(), 1);
+        assert_eq!(s.metrics[0].name.as_deref(), Some("wiera_put_total"));
+        let labels = s.metrics[0].labels.clone().unwrap_or_default();
+        assert_eq!(labels.len(), 2);
+        assert_eq!(labels[0], ("tier".to_string(), Some("mem".to_string())));
+        assert_eq!(labels[1], ("node".to_string(), None));
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_excluded() {
+        let (_, v) = summarized("fn outer() { fn inner() { x.unwrap(); } call(); }");
+        let outer = v
+            .iter()
+            .find(|(n, _)| n == "outer")
+            .map(|(_, s)| s.clone())
+            .unwrap_or_default();
+        assert!(
+            outer.panics.is_empty(),
+            "inner fn's unwrap not attributed to outer"
+        );
+        assert!(outer.calls.iter().any(|c| c.name == "call"));
+    }
+
+    #[test]
+    fn soup_never_panics() {
+        for s in [
+            "fn f() { match x {",
+            "fn f() { a.lock(",
+            "fn f() { if let = }",
+        ] {
+            let _ = summarized(s);
+        }
+    }
+}

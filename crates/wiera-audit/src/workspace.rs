@@ -1,0 +1,130 @@
+//! Source discovery: find the workspace root and enumerate the Rust
+//! sources of every crate under `crates/*/src`, plus the facade crate's
+//! own `src/`. Fixture runs pass explicit paths instead.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A discovered source file: display path, crate name, contents.
+pub struct Input {
+    pub origin: String,
+    pub crate_name: String,
+    pub src: String,
+}
+
+/// Walk up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            walk_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn load(root: &Path, path: &Path, crate_name: &str, out: &mut Vec<Input>) {
+    let Ok(src) = fs::read_to_string(path) else {
+        return;
+    };
+    let origin = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .into_owned();
+    out.push(Input {
+        origin,
+        crate_name: crate_name.to_string(),
+        src,
+    });
+}
+
+/// Every `crates/*/src/**/*.rs` under `root`, plus the facade `src/`.
+/// Deterministic order (sorted paths).
+pub fn discover_workspace(root: &Path) -> Vec<Input> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for cd in crate_dirs {
+        let crate_name = cd
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let mut files = Vec::new();
+        walk_rs(&cd.join("src"), &mut files);
+        for f in files {
+            load(root, &f, &crate_name, &mut out);
+        }
+    }
+    // Facade crate sources at the workspace root.
+    let mut facade = Vec::new();
+    walk_rs(&root.join("src"), &mut facade);
+    for f in facade {
+        load(root, &f, "wiera-suite", &mut out);
+    }
+    out
+}
+
+/// Load explicit paths (files, or directories walked recursively). The
+/// crate name is derived from the nearest `crates/<name>/` component, or
+/// the parent directory name.
+pub fn discover_paths(paths: &[PathBuf]) -> Vec<Input> {
+    let mut out = Vec::new();
+    for p in paths {
+        let mut files = Vec::new();
+        if p.is_dir() {
+            walk_rs(p, &mut files);
+        } else {
+            files.push(p.clone());
+        }
+        for f in files {
+            let crate_name = crate_of(&f);
+            load(Path::new(""), &f, &crate_name, &mut out);
+        }
+    }
+    out
+}
+
+fn crate_of(path: &Path) -> String {
+    let comps: Vec<String> = path
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    if let Some(i) = comps.iter().position(|c| c == "crates") {
+        if let Some(name) = comps.get(i + 1) {
+            return name.clone();
+        }
+    }
+    path.parent()
+        .and_then(|d| d.file_name())
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_string())
+}

@@ -1,0 +1,32 @@
+//! Planted defect: a classic ABBA lock-order cycle between two tracked
+//! locks. `refresh` takes members → routes, `invalidate` takes routes →
+//! members; two threads running one each can deadlock. The audit must
+//! report a WS100 deny naming both classes.
+
+pub struct RouteTable {
+    members: TrackedMutex<Vec<u64>>,
+    routes: TrackedRwLock<Vec<u64>>,
+}
+
+pub fn build() -> RouteTable {
+    RouteTable {
+        members: TrackedMutex::new("planted.members", Vec::new()),
+        routes: TrackedRwLock::new("planted.routes", Vec::new()),
+    }
+}
+
+impl RouteTable {
+    pub fn refresh(&self) {
+        let m = self.members.lock();
+        let mut r = self.routes.write();
+        r.clear();
+        r.extend(m.iter().copied());
+    }
+
+    pub fn invalidate(&self, gone: u64) {
+        let mut r = self.routes.write();
+        let mut m = self.members.lock();
+        r.retain(|&x| x != gone);
+        m.retain(|&x| x != gone);
+    }
+}

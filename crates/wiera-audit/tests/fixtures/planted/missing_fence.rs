@@ -1,0 +1,27 @@
+//! Planted defect: a replication handler arm that applies the write
+//! without ever comparing the carried epoch against its own — a zombie
+//! primary's traffic would be applied. The audit must report a WS101
+//! deny ("no epoch fencing") for the `Replicate` arm. The arm *does*
+//! record history, so only the fence half fires.
+
+pub enum DataMsg {
+    Replicate { key: String, epoch: u64 },
+    Ping,
+}
+
+impl Node {
+    pub fn handle_replication(&self, d: DataMsg) {
+        match d {
+            DataMsg::Replicate { key, epoch } => {
+                // BUG: no `epoch < self.epoch()` / StaleEpoch check here.
+                self.apply_remote(&key);
+                self.record_history(&key, epoch);
+            }
+            DataMsg::Ping => {}
+        }
+    }
+
+    fn apply_remote(&self, _key: &str) {}
+
+    fn record_history(&self, _key: &str, _epoch: u64) {}
+}

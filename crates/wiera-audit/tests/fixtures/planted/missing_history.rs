@@ -1,0 +1,41 @@
+//! Planted defect: a forwarded-put handler arm that fences correctly but
+//! never records the op in the history buffer — the exact ForwardPut
+//! blind spot class: requests monitors under-count and anti-entropy
+//! rejoin misses the write. The audit must report a WS101 deny
+//! ("op-history") for the `ForwardPut` arm.
+
+pub enum DataMsg {
+    ForwardPut { key: String, epoch: u64 },
+    Get { key: String },
+}
+
+impl Node {
+    pub fn dispatch(&self, d: DataMsg) {
+        match d {
+            DataMsg::ForwardPut { key, epoch } => {
+                if epoch < self.epoch() {
+                    self.stale_epoch_fail();
+                    return;
+                }
+                // BUG: applies the put but never calls record_history.
+                self.apply_put(&key);
+            }
+            DataMsg::Get { key } => {
+                self.read(&key);
+                self.record_history(&key, 0);
+            }
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        0
+    }
+
+    fn stale_epoch_fail(&self) {}
+
+    fn apply_put(&self, _key: &str) {}
+
+    fn read(&self, _key: &str) {}
+
+    fn record_history(&self, _key: &str, _epoch: u64) {}
+}

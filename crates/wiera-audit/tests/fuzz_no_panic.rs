@@ -1,0 +1,90 @@
+//! Fuzz-style property tests: the audit pipeline must never panic.
+//!
+//! Arbitrary byte soup, Rust-fragment soup, and truncated copies of the
+//! analyzer's own sources all have to flow through lex → extract →
+//! summarize → resolve → check and come out as findings (possibly none) —
+//! panics, overflows, and infinite loops are bugs. The analyzer runs on
+//! every PR in CI; a crash on weird-but-valid source would take the gate
+//! down with it.
+
+use proptest::prelude::*;
+use wiera_audit::callgraph::Config;
+use wiera_audit::workspace::Input;
+
+/// Run the full pipeline on arbitrary text.
+fn pipeline_survives(src: &str) {
+    let outcome = wiera_audit::audit(
+        vec![Input {
+            origin: "fuzz.rs".to_string(),
+            crate_name: "fuzz".to_string(),
+            src: src.to_string(),
+        }],
+        Config::default(),
+        Some(&[("a".to_string(), "b".to_string())]),
+    );
+    for f in &outcome.findings {
+        // Rendering must not panic either, even against hostile source.
+        let _ = f.diag.render_human(src, "fuzz.rs");
+        let _ = f.diag.compact();
+        let _ = f.diag.to_json();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Raw bytes (interpreted lossily as UTF-8) never panic the pipeline.
+    #[test]
+    fn prop_arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        pipeline_survives(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// Rust-fragment soup — much likelier to form items, impls, matches,
+    /// and lock calls than raw bytes — never panics either.
+    #[test]
+    fn prop_fragment_soup_never_panics(parts in prop::collection::vec(
+        prop::sample::select(vec![
+            "fn", "impl", "struct", "enum", "match", "=>", "{", "}", "(", ")",
+            "self", ".", "lock", "read", "write", "unwrap", "expect", "::",
+            "TrackedMutex", "TrackedRwLock", "new", "\"class.a\"", "let",
+            "mut", "epoch", "<", ";", ",", "#", "[", "]", "cfg", "test",
+            "DataMsg", "Replicate", "record_history", "drop", "panic!",
+            "// ws-audit: allow(WS100): x\n", "'a", "b\"x\"", "r#\"y\"#", "\n",
+        ]),
+        0..96,
+    )) {
+        pipeline_survives(&parts.join(" "));
+    }
+
+    /// The analyzer's own sources with a window of bytes deleted still
+    /// never panic — truncation mid-token, mid-item, mid-match included.
+    #[test]
+    fn prop_truncated_real_source_never_panics(
+        which in 0usize..4,
+        start in 0usize..30_000,
+        len in 1usize..4_000,
+    ) {
+        let src = match which {
+            0 => include_str!("../src/lexer.rs"),
+            1 => include_str!("../src/items.rs"),
+            2 => include_str!("../src/summary.rs"),
+            _ => include_str!("../src/checks.rs"),
+        };
+        let chars: Vec<char> = src.chars().collect();
+        let start = start.min(chars.len());
+        let end = (start + len).min(chars.len());
+        let mutated: String = chars[..start].iter().chain(&chars[end..]).collect();
+        pipeline_survives(&mutated);
+    }
+
+    /// Deep nesting terminates without blowing the stack (all loops in the
+    /// pipeline are token-indexed, not recursive).
+    #[test]
+    fn prop_deep_nesting_terminates(depth in 1usize..400) {
+        pipeline_survives(&format!(
+            "fn f() {} self.a.lock(); {}",
+            "{".repeat(depth),
+            "}".repeat(depth),
+        ));
+    }
+}

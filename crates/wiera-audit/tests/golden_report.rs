@@ -1,0 +1,54 @@
+//! Golden report: the full compact finding list for the planted fixture
+//! set, pinned to a blessed file. Catches silent regressions in any
+//! check (a finding disappearing is as much a bug as a false positive
+//! appearing).
+//!
+//! Re-bless after an intentional analyzer change:
+//!
+//! ```text
+//! WIERA_BLESS=1 cargo test -p wiera-audit --test golden_report
+//! ```
+
+use std::path::PathBuf;
+use wiera_audit::callgraph::Config;
+use wiera_audit::{audit, workspace};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/planted_report.expected")
+}
+
+fn render_report() -> String {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/planted");
+    let inputs = workspace::discover_paths(&[dir]);
+    let outcome = audit(inputs, Config::default(), None);
+    let mut out = String::new();
+    for f in &outcome.findings {
+        let origin = f
+            .file
+            .and_then(|i| outcome.model.files.get(i))
+            .map(|x| x.origin.as_str())
+            .unwrap_or("<workspace>");
+        // Strip the path prefix so the report is machine-independent.
+        let origin = origin.rsplit('/').next().unwrap_or(origin);
+        out.push_str(&format!("{origin}: {}\n", f.diag.compact()));
+    }
+    out
+}
+
+#[test]
+fn planted_report_matches_golden() {
+    let got = render_report();
+    if std::env::var_os("WIERA_BLESS").is_some() {
+        let path = golden_path();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).unwrap_or(());
+        }
+        std::fs::write(&path, &got).unwrap_or_else(|e| panic!("write golden: {e}"));
+        return;
+    }
+    let want = std::fs::read_to_string(golden_path()).unwrap_or_default();
+    assert_eq!(
+        got, want,
+        "planted-fixture report changed (WIERA_BLESS=1 to accept)"
+    );
+}

@@ -247,6 +247,22 @@ fn main() {
             }
             failures.extend(problems);
         }
+
+        println!("\n── smoke gate: source audit ──────────────────────────────");
+        let audit = bin_dir.join("wiera-audit");
+        if audit.exists() {
+            match Command::new(&audit).arg("--deny-warnings").status() {
+                Ok(s) if s.success() => {
+                    println!("✓ wiera-audit: workspace sources are clean");
+                }
+                Ok(s) => failures.push(format!("wiera-audit exited {s}")),
+                Err(e) => failures.push(format!("failed to launch wiera-audit: {e}")),
+            }
+        } else {
+            // Built separately (`cargo build --release -p wiera-audit`);
+            // the dedicated static-audit CI job always runs it.
+            println!("– wiera-audit binary not present; skipping source audit");
+        }
     }
 
     println!("\n════════════════════════════════════════════════════════");

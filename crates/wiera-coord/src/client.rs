@@ -96,13 +96,22 @@ impl CoordClient {
                         if stop.load(Ordering::Acquire) {
                             return;
                         }
-                        let _ = mesh.rpc(
+                        // A live session gets `HeartbeatAck`; an expired one
+                        // gets a definitive `Error`, after which beating on
+                        // is pointless — the owner comes back via
+                        // `reconnect`. RPC errors are transient partitions
+                        // and worth retrying.
+                        match mesh.rpc(
                             &me,
                             &service,
                             CoordMsg::Heartbeat { session },
                             64,
                             CALL_TIMEOUT,
-                        );
+                        ) {
+                            Ok(r) if matches!(r.msg, CoordMsg::HeartbeatAck) => {}
+                            Ok(_) => return,
+                            Err(_) => {}
+                        }
                     }
                 })
                 .map_err(|e| CoordError::Protocol(format!("cannot spawn heartbeat thread: {e}")))?;
@@ -256,6 +265,25 @@ impl CoordClient {
         )?;
         match msg {
             CoordMsg::Children { paths } => Ok(paths),
+            other => Err(CoordError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// Graceful synchronous shutdown: stop the heartbeat thread, close the
+    /// session, and wait for the service's [`CoordMsg::SessionClosed`]
+    /// confirmation (so the caller *knows* the ephemerals are gone).
+    /// `Drop` instead fires the close off asynchronously, off the critical
+    /// path.
+    pub fn close(&self) -> Result<SimDuration, CoordError> {
+        self.stop_hb.store(true, Ordering::Release);
+        let (msg, cost) = self.call(
+            CoordMsg::CloseSession {
+                session: self.session,
+            },
+            CALL_TIMEOUT,
+        )?;
+        match msg {
+            CoordMsg::SessionClosed => Ok(cost),
             other => Err(CoordError::Protocol(format!("{other:?}"))),
         }
     }

@@ -174,7 +174,7 @@ impl Fabric {
                 .min_by(|a, b| {
                     let ca = d.egress_cap_mbps[a];
                     let cb = d.egress_cap_mbps[b];
-                    ca.partial_cmp(&cb).unwrap()
+                    ca.total_cmp(&cb)
                 })
         };
         let Some(site) = capped_site else { return base };

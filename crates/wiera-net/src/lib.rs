@@ -1,3 +1,5 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 //! Simulated geo-distributed network substrate.
 //!
 //! The paper runs Wiera on AWS EC2 instances in four regions plus Azure VMs,

@@ -153,6 +153,10 @@ impl<M: Send + 'static> Mesh<M> {
         {
             let inner = inner.clone();
             let clock = clock.clone();
+            // Spawn only fails on OS resource exhaustion at construction
+            // time; the mesh cannot run without its dispatcher, so there
+            // is nothing to degrade to.
+            #[allow(clippy::expect_used)]
             std::thread::Builder::new()
                 .name("mesh-dispatch".into())
                 .spawn(move || Self::dispatch_loop(inner, clock))
@@ -172,10 +176,11 @@ impl<M: Send + 'static> Mesh<M> {
                 let mut q = inner.queue.lock();
                 let now = clock.now();
                 while let Some(Reverse(head)) = q.peek() {
-                    if head.deliver_at <= now {
-                        due.push(q.pop().unwrap().0);
-                    } else {
+                    if head.deliver_at > now {
                         break;
+                    }
+                    if let Some(Reverse(m)) = q.pop() {
+                        due.push(m);
                     }
                 }
                 // Correctness comes from re-checking clock.now(); the wall
@@ -189,6 +194,7 @@ impl<M: Send + 'static> Mesh<M> {
                     None => std::time::Duration::from_millis(2),
                 };
                 if due.is_empty() {
+                    // ws-audit: allow(WS103): condvar wait releases the queue lock atomically while parked
                     inner.queue_cond.wait_for(&mut q, wait_hint);
                 }
             }

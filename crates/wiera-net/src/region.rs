@@ -69,12 +69,18 @@ impl Region {
         }
     }
 
-    /// Stable index for table-building.
+    /// Stable index for table-building. Matches the order of [`Region::ALL`];
+    /// written as an exhaustive match so a new variant that is not added to
+    /// `ALL` fails to compile instead of panicking on the data path.
     pub fn index(self) -> usize {
-        Region::ALL
-            .iter()
-            .position(|&r| r == self)
-            .expect("region in ALL")
+        match self {
+            Region::UsEast => 0,
+            Region::UsWest => 1,
+            Region::UsWest2 => 2,
+            Region::EuWest => 3,
+            Region::AsiaEast => 4,
+            Region::AzureUsEast => 5,
+        }
     }
 
     /// Geographic area — sites in the same area are "nearby DCs" in the

@@ -98,11 +98,10 @@ impl Topology {
     /// The site in `candidates` with the lowest RTT from `from`
     /// (used for "closest instance" client routing, §4.1 step 8).
     pub fn closest(&self, from: Region, candidates: &[Region]) -> Option<Region> {
-        candidates.iter().copied().min_by(|&a, &b| {
-            self.rtt_ms(from, a)
-                .partial_cmp(&self.rtt_ms(from, b))
-                .unwrap()
-        })
+        candidates
+            .iter()
+            .copied()
+            .min_by(|&a, &b| self.rtt_ms(from, a).total_cmp(&self.rtt_ms(from, b)))
     }
 }
 

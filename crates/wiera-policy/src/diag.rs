@@ -155,6 +155,21 @@ pub enum Code {
     Wc012,
     /// History is incomplete or could not be checked against any model.
     Wc013,
+    // --- WS codes: source-level audit findings (wiera-audit) ---
+    /// Static lock-order cycle: classes acquirable in opposing orders on
+    /// some interprocedural path, whether or not runtime replay took it.
+    Ws100,
+    /// Handler completeness: unhandled wire-message variant, or a
+    /// replication/write handler missing epoch fencing or `record_history`.
+    Ws101,
+    /// Panic site (unwrap/expect/panic!) reachable from a data-path handler.
+    Ws102,
+    /// Blocking operation (channel recv, sleep, join) while a tracked lock
+    /// guard is live.
+    Ws103,
+    /// Metrics discipline: inconsistent kind/labels for one metric name,
+    /// non-literal names, or asserted-but-never-recorded invariants.
+    Ws104,
 }
 
 /// All codes the analyzer can emit, for documentation and golden tests.
@@ -191,6 +206,16 @@ pub const ALL_CHECK_CODES: [Code; 7] = [
     Code::Wc013,
 ];
 
+/// All codes `wiera-audit` can emit (source-level static analysis over the
+/// workspace's Rust code), kept separate from the catalogs above.
+pub const ALL_AUDIT_CODES: [Code; 5] = [
+    Code::Ws100,
+    Code::Ws101,
+    Code::Ws102,
+    Code::Ws103,
+    Code::Ws104,
+];
+
 impl Code {
     pub fn as_str(self) -> &'static str {
         match self {
@@ -219,6 +244,11 @@ impl Code {
             Code::Wc011 => "WC011",
             Code::Wc012 => "WC012",
             Code::Wc013 => "WC013",
+            Code::Ws100 => "WS100",
+            Code::Ws101 => "WS101",
+            Code::Ws102 => "WS102",
+            Code::Ws103 => "WS103",
+            Code::Ws104 => "WS104",
         }
     }
 
@@ -250,6 +280,11 @@ impl Code {
             Code::Wc011 => "read-your-writes violation under eventual consistency",
             Code::Wc012 => "replicas failed to converge",
             Code::Wc013 => "history incomplete or uncheckable",
+            Code::Ws100 => "static lock-order cycle (potential deadlock on an unexercised path)",
+            Code::Ws101 => "handler completeness: unhandled variant or missing fence/history",
+            Code::Ws102 => "panic site reachable from a data-path handler",
+            Code::Ws103 => "blocking operation while a tracked lock guard is live",
+            Code::Ws104 => "metrics discipline violation",
         }
     }
 }
@@ -431,10 +466,14 @@ mod tests {
     #[test]
     fn all_codes_have_unique_names_and_descriptions() {
         let mut seen = std::collections::BTreeSet::new();
-        for c in ALL_CODES.iter().chain(ALL_CHECK_CODES.iter()) {
+        for c in ALL_CODES
+            .iter()
+            .chain(ALL_CHECK_CODES.iter())
+            .chain(ALL_AUDIT_CODES.iter())
+        {
             assert!(seen.insert(c.as_str()), "duplicate code {c}");
             assert!(!c.describe().is_empty());
         }
-        assert_eq!(seen.len(), 25);
+        assert_eq!(seen.len(), 30);
     }
 }

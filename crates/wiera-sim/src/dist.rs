@@ -67,8 +67,12 @@ impl LatencyDist {
                 std_ms,
                 floor_ms,
             } => {
-                let n = Normal::new(mean_ms, std_ms.max(1e-9)).expect("valid normal");
-                n.sample(rng.inner()).max(floor_ms)
+                // Non-finite parameters (a corrupt config) degrade to the
+                // mean rather than killing the data path.
+                match Normal::new(mean_ms, std_ms.max(1e-9)) {
+                    Ok(n) => n.sample(rng.inner()).max(floor_ms),
+                    Err(_) => mean_ms.max(floor_ms),
+                }
             }
             LatencyDist::LogNormal {
                 median_ms,
@@ -76,8 +80,10 @@ impl LatencyDist {
                 floor_ms,
             } => {
                 let mu = median_ms.max(1e-9).ln();
-                let ln = LogNormal::new(mu, sigma.max(1e-9)).expect("valid lognormal");
-                ln.sample(rng.inner()).max(floor_ms)
+                match LogNormal::new(mu, sigma.max(1e-9)) {
+                    Ok(ln) => ln.sample(rng.inner()).max(floor_ms),
+                    Err(_) => median_ms.max(floor_ms),
+                }
             }
         };
         SimDuration::from_millis_f64(ms)

@@ -1,3 +1,5 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 //! Simulation substrate for the Wiera reproduction.
 //!
 //! The paper evaluates a live system whose interesting latencies are measured

@@ -138,8 +138,13 @@ impl Tracer {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for event in self.inner.lock().events.iter() {
-            out.push_str(&serde_json::to_string(event).expect("trace event serializes"));
-            out.push('\n');
+            // An unserializable event is dropped rather than killing the
+            // export (serialization of these plain structs cannot fail
+            // today; this guards future event shapes).
+            if let Ok(line) = serde_json::to_string(event) {
+                out.push_str(&line);
+                out.push('\n');
+            }
         }
         out
     }

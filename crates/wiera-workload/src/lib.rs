@@ -1,3 +1,5 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 //! Workload generation — the YCSB stand-in plus the paper's custom drivers.
 //!
 //! §5 generates client load with the Yahoo Cloud Serving Benchmark and "our

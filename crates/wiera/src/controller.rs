@@ -209,7 +209,7 @@ impl WieraController {
                     64,
                     SimDuration::from_secs(10),
                 )
-                .is_ok();
+                .is_ok_and(|r| matches!(r.msg, DataMsg::Pong));
             let now = self.mesh.clock.now();
             let mut servers = self.servers.lock();
             if let Some(info) = servers.get_mut(&t.region) {
@@ -468,7 +468,7 @@ impl WieraController {
                 let ok = self
                     .mesh
                     .rpc(&self.node, r, DataMsg::Ping, 64, SimDuration::from_secs(10))
-                    .is_ok();
+                    .is_ok_and(|r| matches!(r.msg, DataMsg::Pong));
                 if ok {
                     alive.push(r.clone());
                 } else {

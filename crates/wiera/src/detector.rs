@@ -93,7 +93,7 @@ impl FailureDetector {
                     let ping_ok = replica
                         .mesh()
                         .rpc(&replica.node, &primary, ping, bytes, PROBE_TIMEOUT)
-                        .is_ok();
+                        .is_ok_and(|r| matches!(r.msg, DataMsg::Pong));
                     if ping_ok || lease_ok {
                         if ping_ok {
                             last_seen = Some((primary.clone(), now));

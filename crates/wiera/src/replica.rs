@@ -1034,7 +1034,7 @@ impl ReplicaNode {
         if self
             .mesh
             .rpc(&self.node, suspect, ping, bytes, SimDuration::from_secs(30))
-            .is_ok()
+            .is_ok_and(|r| matches!(r.msg, DataMsg::Pong))
         {
             drop(guard);
             return false;
@@ -1732,14 +1732,19 @@ impl ReplicaNode {
                 match r.mesh.rpc(&r.node, &peer, msg, bytes, DATA_TIMEOUT) {
                     Ok(reply) => {
                         r.stats.egress_bytes.fetch_add(bytes, Ordering::Relaxed);
-                        let fenced = matches!(
-                            reply.msg,
+                        match reply.msg {
+                            DataMsg::ReplicateAck { .. } => Some((reply.total(), false)),
                             DataMsg::Fail {
                                 code: FailCode::StaleEpoch,
                                 ..
+                            } => Some((reply.total(), true)),
+                            // Anything else means the peer did not apply the
+                            // write; count it like a transport failure.
+                            _ => {
+                                r.stats.replication_failures.fetch_add(1, Ordering::Relaxed);
+                                None
                             }
-                        );
-                        Some((reply.total(), fenced))
+                        }
                     }
                     Err(_) => {
                         r.stats.replication_failures.fetch_add(1, Ordering::Relaxed);
@@ -1782,14 +1787,19 @@ impl ReplicaNode {
                 match r.mesh.rpc(&r.node, &peer, msg, bytes, DATA_TIMEOUT) {
                     Ok(reply) => {
                         r.stats.egress_bytes.fetch_add(bytes, Ordering::Relaxed);
-                        let fenced = matches!(
-                            reply.msg,
+                        match reply.msg {
+                            DataMsg::ReplicateAck { .. } => Some((reply.total(), false)),
                             DataMsg::Fail {
                                 code: FailCode::StaleEpoch,
                                 ..
+                            } => Some((reply.total(), true)),
+                            // Anything else means the peer did not apply the
+                            // write; count it like a transport failure.
+                            _ => {
+                                r.stats.replication_failures.fetch_add(1, Ordering::Relaxed);
+                                None
                             }
-                        );
-                        Some((reply.total(), fenced))
+                        }
                     }
                     Err(_) => {
                         r.stats.replication_failures.fetch_add(1, Ordering::Relaxed);
@@ -1816,7 +1826,11 @@ impl ReplicaNode {
         key: &str,
         version: Option<u64>,
     ) -> Result<(Bytes, u64, SimInstant, SimDuration), OpFail> {
-        if let Some(target) = self.forward_gets_to.read().clone() {
+        // Clone the route and release the lock before any network hop: the
+        // if-let scrutinee would otherwise keep the read guard alive across
+        // the forwarded RPC, stalling route updates for the call's duration.
+        let forward = self.forward_gets_to.read().clone();
+        if let Some(target) = forward {
             if target != self.node {
                 let msg = match version {
                     Some(v) => DataMsg::GetVersion {
@@ -1893,7 +1907,9 @@ impl ReplicaNode {
     fn protocol_get_batch(self: &Arc<Self>, keys: &[String]) -> (Vec<ItemResult>, SimDuration) {
         let region = self.node.region.to_string();
         let metrics = MetricsRegistry::global();
-        if let Some(target) = self.forward_gets_to.read().clone() {
+        // As in `protocol_get`: drop the route guard before the network hop.
+        let forward = self.forward_gets_to.read().clone();
+        if let Some(target) = forward {
             if target != self.node {
                 let labels = [("region", region.as_str()), ("route", "forwarded")];
                 let msg = DataMsg::MultiGet {
