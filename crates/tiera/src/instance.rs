@@ -438,6 +438,12 @@ impl TieraInstance {
                 let r = match &ops[i] {
                     BatchOp::Put { key, value } => {
                         self.stats.app_puts.fetch_add(1, Ordering::Relaxed);
+                        // This fast path only runs when every tier is local
+                        // (`all_local_tiers`), so the calls under the shard
+                        // guard are in-memory tier ops that model latency
+                        // without ever blocking on a channel; the blocking
+                        // candidates are widening artifacts of `.put`.
+                        // ws-audit: allow(WS103): all-local fast path, tier ops cannot block
                         self.ingest_locked(
                             &mut map,
                             key,
@@ -625,6 +631,10 @@ impl TieraInstance {
             let mut gc: Vec<(String, Vec<VersionId>)> = Vec::new();
             let r = {
                 let mut map = self.meta.shard_write(self.meta.shard_of(key));
+                // All-local fast path: tier ops under the shard guard are
+                // in-memory and never block; see the WS103 note at the
+                // batch-ingest call site.
+                // ws-audit: allow(WS103): all-local fast path, tier ops cannot block
                 self.ingest_locked(
                     &mut map,
                     key,

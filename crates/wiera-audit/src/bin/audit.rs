@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! wiera-audit [--json] [--deny-warnings] [--stats] [--root DIR]
-//!             [--runtime-edges FILE] [--codes] [PATHS...]
+//!             [--runtime-edges FILE] [--protocol-json FILE]
+//!             [--protocol-dot FILE] [--codes] [PATHS...]
 //! ```
 //!
 //! With no PATHS, audits every crate under the enclosing workspace
@@ -23,7 +24,8 @@ use wiera_policy::diag::{Diagnostic, Severity};
 
 const USAGE: &str = "\
 usage: wiera-audit [--json] [--deny-warnings] [--stats] [--root DIR]
-                   [--runtime-edges FILE] [--codes] [PATHS...]
+                   [--runtime-edges FILE] [--protocol-json FILE]
+                   [--protocol-dot FILE] [--codes] [PATHS...]
 
   --json                print findings as a JSON array instead of human text
   --deny-warnings       exit non-zero on warnings too (notes never gate)
@@ -32,6 +34,9 @@ usage: wiera-audit [--json] [--deny-warnings] [--stats] [--root DIR]
   --runtime-edges FILE  lock-order edges observed at runtime, as a JSON
                         array of [\"from\",\"to\"] class pairs; reported
                         against the static edge set
+  --protocol-json FILE  write the extracted protocol model (handler arms
+                        as guarded transitions) as JSON to FILE
+  --protocol-dot FILE   write the protocol model as a DOT graph to FILE
   --codes               list the audit diagnostic codes and exit
 ";
 
@@ -42,6 +47,8 @@ struct Options {
     codes: bool,
     root: Option<PathBuf>,
     runtime_edges: Option<PathBuf>,
+    protocol_json: Option<PathBuf>,
+    protocol_dot: Option<PathBuf>,
     paths: Vec<PathBuf>,
 }
 
@@ -53,6 +60,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         codes: false,
         root: None,
         runtime_edges: None,
+        protocol_json: None,
+        protocol_dot: None,
         paths: Vec::new(),
     };
     let mut i = 0usize;
@@ -63,15 +72,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--deny-warnings" => opts.deny_warnings = true,
             "--stats" => opts.stats = true,
             "--codes" => opts.codes = true,
-            "--root" | "--runtime-edges" => {
+            "--root" | "--runtime-edges" | "--protocol-json" | "--protocol-dot" => {
                 i += 1;
                 let Some(v) = args.get(i) else {
                     return Err(format!("{a} requires a value"));
                 };
-                if a == "--root" {
-                    opts.root = Some(PathBuf::from(v));
-                } else {
-                    opts.runtime_edges = Some(PathBuf::from(v));
+                match a {
+                    "--root" => opts.root = Some(PathBuf::from(v)),
+                    "--runtime-edges" => opts.runtime_edges = Some(PathBuf::from(v)),
+                    "--protocol-json" => opts.protocol_json = Some(PathBuf::from(v)),
+                    _ => opts.protocol_dot = Some(PathBuf::from(v)),
                 }
             }
             "--help" | "-h" => return Err(String::new()),
@@ -159,6 +169,19 @@ fn main() -> ExitCode {
 
     let outcome = audit(inputs, Config::default(), runtime_edges.as_deref());
 
+    for (path, render) in [(&opts.protocol_json, true), (&opts.protocol_dot, false)] {
+        let Some(path) = path else { continue };
+        let text = if render {
+            outcome.protocol.to_json(&outcome.model)
+        } else {
+            outcome.protocol.to_dot(&outcome.model)
+        };
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("wiera-audit: cannot write '{}': {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
     let mut counts = (0usize, 0usize, 0usize); // deny, warn, note
     let mut json_items: Vec<String> = Vec::new();
     for f in &outcome.findings {
@@ -197,8 +220,13 @@ fn main() -> ExitCode {
     }
     if opts.stats {
         println!(
-            "stats: {} unresolved lock acquisitions, {} widened call sites",
-            outcome.stats.unresolved_acquires, outcome.stats.widened_calls
+            "stats: {} unresolved lock acquisitions, {} widened call sites, \
+             {} protocol transitions, {} datapath-unresolved, {} datapath-widened",
+            outcome.stats.unresolved_acquires,
+            outcome.stats.widened_calls,
+            outcome.protocol.transitions.len(),
+            outcome.stats.datapath_unresolved,
+            outcome.stats.datapath_widened
         );
     }
 

@@ -34,10 +34,20 @@ impl Default for Config {
     }
 }
 
+/// Is `name` on the widening blocklist? Unresolved calls to these names
+/// are std-library noise, not analysis blind spots.
+pub fn is_widen_blocked(name: &str) -> bool {
+    WIDEN_BLOCKLIST.contains(&name)
+}
+
 /// Ubiquitous method names that never widen to same-name user functions
 /// when the receiver type is unknown.
-const WIDEN_BLOCKLIST: [&str; 99] = [
+const WIDEN_BLOCKLIST: [&str; 100] = [
     "new",
+    // `drop(x)` is std's free function; widening it to every user
+    // `Drop::drop` impl drags unrelated lock closures into whatever
+    // happens to call `drop`, fabricating lock-order edges.
+    "drop",
     "default",
     "clone",
     "fmt",
@@ -149,6 +159,9 @@ pub struct Model {
     pub fields: Vec<FieldType>,
     /// `resolved[f][c]` = fn ids the `c`-th call of fn `f` may target.
     pub resolved: Vec<Vec<Vec<usize>>>,
+    /// `widened[f][c]` = the `c`-th call of fn `f` used the widening
+    /// fallback (unknown receiver resolved by name alone).
+    pub widened: Vec<Vec<bool>>,
     /// Interned lock-class names.
     pub classes: Vec<String>,
     /// `acquire_class[f][a]` = class id of the `a`-th acquire of fn `f`.
@@ -226,10 +239,12 @@ impl Model {
 
         // Call resolution.
         let mut resolved: Vec<Vec<Vec<usize>>> = Vec::with_capacity(fns.len());
+        let mut widened_flags: Vec<Vec<bool>> = Vec::with_capacity(fns.len());
         let mut widened_calls = 0usize;
         for (id, s) in summaries.iter().enumerate() {
             let caller = &fns[id];
             let mut per_call = Vec::with_capacity(s.calls.len());
+            let mut per_widen = Vec::with_capacity(s.calls.len());
             for c in &s.calls {
                 let (mut targets, widened) = resolve_call(
                     caller,
@@ -246,6 +261,7 @@ impl Model {
                 if widened {
                     widened_calls += 1;
                 }
+                per_widen.push(widened);
                 // Non-test callers never resolve into test helpers.
                 if !caller.is_test {
                     targets.retain(|t| !fns[*t].is_test);
@@ -255,6 +271,7 @@ impl Model {
                 per_call.push(targets);
             }
             resolved.push(per_call);
+            widened_flags.push(per_widen);
         }
 
         // Lock-class resolution.
@@ -287,6 +304,78 @@ impl Model {
             acquire_class.push(per);
         }
 
+        // Guard-returning helpers: a fn like `MetaStore::shard_write`
+        // acquires a lock and *returns the guard*, so the caller — not the
+        // helper — holds the lock from the call site onward. Lexical
+        // summaries attribute the acquire to the helper's tiny body, losing
+        // every edge the caller creates under the guard. Propagate: a call
+        // resolved to a fn whose declared return type names a `*Guard*`
+        // type re-acquires that fn's lock classes at the call site, scoped
+        // like a direct acquire there. Rounds are bounded so chains of
+        // guard-returning wrappers converge; `lock`/`read`/`write` callees
+        // are skipped because the direct summarizer already records those
+        // call sites as acquires.
+        let returns_guard: Vec<bool> = fns
+            .iter()
+            .map(|d| declares_guard_return(&files, d))
+            .collect();
+        for _ in 0..cfg.max_rounds {
+            let mut add: Vec<(usize, summary::Acquire, Option<usize>)> = Vec::new();
+            let mut seen: BTreeSet<(usize, usize, usize)> = BTreeSet::new();
+            for (f, s) in summaries.iter().enumerate() {
+                let Some(body) = fns[f].body else { continue };
+                let Some(file) = files.get(fns[f].file) else {
+                    continue;
+                };
+                for (ci, c) in s.calls.iter().enumerate() {
+                    for &t in &resolved[f][ci] {
+                        if t == f
+                            || !returns_guard[t]
+                            || matches!(fns[t].name.as_str(), "lock" | "read" | "write")
+                        {
+                            continue;
+                        }
+                        for (a, cls) in summaries[t].acquires.iter().zip(&acquire_class[t]) {
+                            let Some(cls) = *cls else { continue };
+                            let dup = s
+                                .acquires
+                                .iter()
+                                .zip(&acquire_class[f])
+                                .any(|(x, k)| x.pos == c.pos && *k == Some(cls));
+                            if dup || !seen.insert((f, c.pos, cls)) {
+                                continue;
+                            }
+                            let after_close = if matches!(file.tok(c.pos + 1), Some(t) if t.is("("))
+                            {
+                                file.close_of(c.pos + 1) + 1
+                            } else {
+                                c.pos + 3
+                            };
+                            let scope_end = summary::guard_scope_at(file, c.pos, after_close, body);
+                            add.push((
+                                f,
+                                summary::Acquire {
+                                    base: None,
+                                    kind: a.kind,
+                                    pos: c.pos,
+                                    scope_end,
+                                    span: c.span,
+                                },
+                                Some(cls),
+                            ));
+                        }
+                    }
+                }
+            }
+            if add.is_empty() {
+                break;
+            }
+            for (f, a, cls) in add {
+                summaries[f].acquires.push(a);
+                acquire_class[f].push(cls);
+            }
+        }
+
         Model {
             cfg,
             files,
@@ -296,6 +385,7 @@ impl Model {
             locks,
             fields,
             resolved,
+            widened: widened_flags,
             classes,
             acquire_class,
             unresolved_acquires,
@@ -380,6 +470,35 @@ impl Model {
     }
 }
 
+/// Does the fn's declared return type name a guard type? Scans backward
+/// from the body brace for the return-type `->`, then looks for any
+/// `*Guard*` identifier before the brace. Stops at statement/item
+/// boundaries so a previous item's tokens are never misread, and bounds
+/// the window so pathological signatures stay cheap.
+fn declares_guard_return(files: &[SourceFile], d: &FnDef) -> bool {
+    let Some((b0, _)) = d.body else { return false };
+    let Some(f) = files.get(d.file) else {
+        return false;
+    };
+    let lo = b0.saturating_sub(64);
+    let mut arrow = None;
+    let mut p = b0;
+    while p > lo {
+        p -= 1;
+        match f.tok(p) {
+            Some(t) if t.is("->") => {
+                arrow = Some(p);
+                break;
+            }
+            Some(t) if t.is(";") || t.is("{") || t.is("}") => break,
+            _ => {}
+        }
+    }
+    let Some(a) = arrow else { return false };
+    (a + 1..b0)
+        .any(|i| matches!(f.tok(i), Some(crate::lexer::Tok::Ident(x)) if x.contains("Guard")))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn resolve_call(
     caller: &FnDef,
@@ -441,6 +560,12 @@ fn resolve_call(
         }
         Receiver::Var(_) | Receiver::Expr => widen(false),
         Receiver::Free => {
+            // `drop(x)` is std's free function; the only same-named user
+            // fns are `Drop::drop` impls, and resolving to all of them
+            // drags unrelated lock closures into every explicit drop.
+            if name == "drop" {
+                return (Vec::new(), false);
+            }
             let all = by_name.get(name).cloned().unwrap_or_default();
             let caller_crate = files
                 .get(caller.file)
@@ -606,6 +731,68 @@ mod tests {
         );
         // get is ubiquitous → blocked from widening.
         assert_eq!(targets_of(&m, "fan_out", "get"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn guard_returning_helper_propagates_acquire_to_caller() {
+        // `grab` returns its shard guard, so `use_it` — not `grab` —
+        // holds the lock from the call site to the end of its block.
+        let m = model(&[(
+            "store.rs",
+            "c",
+            "fn build() { let s = TrackedRwLock::new(\"store.shards\", ()); }\n\
+             pub type ShardGuard<'a> = TrackedWriteGuard<'a, ()>;\n\
+             impl Store { fn grab(&self, i: usize) -> ShardGuard<'_> { self.shards[i].write() }\n\
+               fn use_it(&self) { let g = self.grab(0); self.step(); } \n\
+               fn step(&self) {} }",
+        )]);
+        let f = fn_id(&m, "use_it");
+        assert_eq!(
+            m.summaries[f].acquires.len(),
+            1,
+            "call to guard-returning grab synthesizes an acquire"
+        );
+        let a = &m.summaries[f].acquires[0];
+        assert_eq!(
+            m.acquire_class[f][0].map(|c| m.classes[c].as_str()),
+            Some("store.shards")
+        );
+        // The guard is let-bound, so the `step` call happens while held.
+        let step = m.summaries[f].calls.iter().find(|c| c.name == "step");
+        let pos = step.map(|c| c.pos).unwrap_or(0);
+        assert!(a.pos < pos && pos <= a.scope_end, "step runs under guard");
+    }
+
+    #[test]
+    fn non_guard_returning_helper_propagates_nothing() {
+        // `with_shard` acquires internally but returns a plain value; its
+        // callers never hold the lock.
+        let m = model(&[(
+            "store.rs",
+            "c",
+            "fn build() { let s = TrackedRwLock::new(\"store.shards\", ()); }\n\
+             impl Store { fn with_shard(&self, i: usize) -> usize { self.shards[i].write().len() }\n\
+               fn use_it(&self) { let n = self.with_shard(0); } }",
+        )]);
+        let f = fn_id(&m, "use_it");
+        assert!(
+            m.summaries[f].acquires.is_empty(),
+            "value-returning helper must not leak an acquire to callers"
+        );
+    }
+
+    #[test]
+    fn free_drop_call_resolves_to_nothing() {
+        // `drop(x)` is std's free function; it must not widen to user
+        // `Drop::drop` impls (which would fabricate lock-order edges).
+        let m = model(&[(
+            "d.rs",
+            "c",
+            "impl Drop for G { fn drop(&mut self) { self.q.lock(); } }\n\
+             fn f(x: G) { drop(x); }",
+        )]);
+        let f = fn_id(&m, "f");
+        assert_eq!(m.resolved[f][0], Vec::<usize>::new());
     }
 
     #[test]

@@ -51,11 +51,11 @@ const HISTORY_REQUIRED: [&str; 7] = [
     "ForwardPut",
 ];
 
-fn is_handler(name: &str) -> bool {
+pub(crate) fn is_handler(name: &str) -> bool {
     name == "dispatch" || name.starts_with("handle_")
 }
 
-fn allowed(m: &Model, file: usize, code: &str, line: usize) -> bool {
+pub(crate) fn allowed(m: &Model, file: usize, code: &str, line: usize) -> bool {
     m.files
         .get(file)
         .is_some_and(|f| f.allows.iter().any(|a| a.covers(code, line)))
@@ -83,6 +83,56 @@ struct EdgeEv {
     span: Span,
     desc: String,
     allowed: bool,
+}
+
+/// The static lock-order edge set as `(held-class, acquired-class)` name
+/// pairs: class A held while class B is acquired, directly or through a
+/// call whose closure acquires B. This is the same edge universe WS100
+/// cycles over, exported for the runtime-soundness gate in wiera-check —
+/// every edge the runtime lockreg observes must appear here.
+pub fn lock_edges(m: &Model) -> BTreeSet<(String, String)> {
+    let closure = m.acquires_closure();
+    let mut out = BTreeSet::new();
+    for (f, s) in m.summaries.iter().enumerate() {
+        if m.fns[f].is_test {
+            continue;
+        }
+        for (i, a1) in s.acquires.iter().enumerate() {
+            let Some(c1) = m.acquire_class[f][i] else {
+                continue;
+            };
+            for (j, a2) in s.acquires.iter().enumerate() {
+                if i == j || !(a1.pos < a2.pos && a2.pos <= a1.scope_end) {
+                    continue;
+                }
+                let Some(c2) = m.acquire_class[f][j] else {
+                    continue;
+                };
+                if c1 != c2 {
+                    out.insert((m.classes[c1].clone(), m.classes[c2].clone()));
+                }
+            }
+        }
+        for (ci, c) in s.calls.iter().enumerate() {
+            let held = m.held_at(f, c.pos);
+            if held.is_empty() {
+                continue;
+            }
+            for &t in &m.resolved[f][ci] {
+                for &c2 in &closure[t] {
+                    for &hi in &held {
+                        let Some(c1) = m.acquire_class[f][hi] else {
+                            continue;
+                        };
+                        if c1 != c2 {
+                            out.insert((m.classes[c1].clone(), m.classes[c2].clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
 }
 
 fn ws100_lock_cycles(

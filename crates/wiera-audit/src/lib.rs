@@ -12,7 +12,18 @@
 //!   op-history discipline of replication/write handler arms,
 //! * **WS102** panic sites reachable from data-path entry points,
 //! * **WS103** blocking operations while a tracked guard is live,
-//! * **WS104** metric-name/kind/label discipline.
+//! * **WS104** metric-name/kind/label discipline,
+//! * **WS105** protocol-extraction blind spots (unresolved/widened call
+//!   sites reachable from data-path entries),
+//! * **WS110–WS114** local properties of the extracted protocol model:
+//!   epoch-guard domination of replication-path mutations, request-arm
+//!   reply totality, ack-before-commit ordering, epoch monotonicity, and
+//!   empty-extraction visibility.
+//!
+//! The [`protocol`] module additionally extracts each `DataMsg`/`CoordMsg`
+//! handler arm into a guarded transition (guards read, state mutated,
+//! messages emitted) — the finite model `wiera-model` exhaustively
+//! explores.
 //!
 //! Diagnostics render through wiera-policy's `diag` infrastructure (the
 //! same rustc-style output as the policy linter); findings honor
@@ -29,6 +40,7 @@ pub mod callgraph;
 pub mod checks;
 pub mod items;
 pub mod lexer;
+pub mod protocol;
 pub mod summary;
 pub mod workspace;
 
@@ -44,6 +56,11 @@ pub struct Stats {
     pub lock_classes: usize,
     pub unresolved_acquires: usize,
     pub widened_calls: usize,
+    /// Unresolved call sites reachable from data-path handler entries —
+    /// effects behind them are invisible to protocol extraction.
+    pub datapath_unresolved: usize,
+    /// Widened call sites reachable from data-path handler entries.
+    pub datapath_widened: usize,
 }
 
 /// Outcome of an audit run.
@@ -51,6 +68,8 @@ pub struct Outcome {
     pub model: Model,
     pub findings: Vec<Finding>,
     pub stats: Stats,
+    /// The extracted protocol model (handler arms as guarded transitions).
+    pub protocol: protocol::ProtocolModel,
 }
 
 /// Run the full pipeline over in-memory sources.
@@ -65,6 +84,10 @@ pub fn audit(
         .collect();
     let model = Model::build(files, cfg);
     let mut findings = checks::run_checks(&model, runtime_edges);
+    let pm = protocol::extract(&model);
+    findings.extend(protocol::protocol_checks(&model, &pm));
+    let (datapath_unresolved, datapath_widened) =
+        protocol::ws105_blind_spots(&model, &mut findings);
     sort_findings(&mut findings);
     let stats = Stats {
         files: model.files.len(),
@@ -72,10 +95,13 @@ pub fn audit(
         lock_classes: model.classes.len(),
         unresolved_acquires: model.unresolved_acquires,
         widened_calls: model.widened_calls,
+        datapath_unresolved,
+        datapath_widened,
     };
     Outcome {
         model,
         findings,
         stats,
+        protocol: pm,
     }
 }

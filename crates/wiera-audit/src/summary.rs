@@ -88,6 +88,8 @@ pub struct MetricUse {
 pub struct MatchArm {
     /// `(Enum, Variant)` pairs named in the arm's pattern.
     pub pairs: Vec<(String, String)>,
+    /// Token range of the arm's pattern (inclusive, up to the `=>`).
+    pub pat: (usize, usize),
     /// Token range of the arm body (inclusive).
     pub body: (usize, usize),
     pub span: Span,
@@ -347,7 +349,22 @@ fn receiver_base(f: &SourceFile, dot: usize, rev: &HashMap<usize, usize>) -> Opt
 }
 
 /// Lexical scope of a guard obtained at token `at` (the method ident).
+/// `.lock()/.read()/.write()` take no arguments, so the token after the
+/// closing paren is always `at + 3`.
 fn guard_scope(f: &SourceFile, at: usize, body: (usize, usize)) -> usize {
+    guard_scope_at(f, at, at + 3, body)
+}
+
+/// Like [`guard_scope`], but for an acquiring expression with an arbitrary
+/// argument list — a call to a guard-returning helper such as
+/// `MetaStore::shard_write(shard)`. `after_close` is the token index just
+/// past the call's matching `)`.
+pub(crate) fn guard_scope_at(
+    f: &SourceFile,
+    at: usize,
+    after_close: usize,
+    body: (usize, usize),
+) -> usize {
     let (b0, b1) = body;
     let bd = f.brace_depth.get(at).copied().unwrap_or(0);
 
@@ -372,10 +389,10 @@ fn guard_scope(f: &SourceFile, at: usize, body: (usize, usize)) -> usize {
     let pd_base = f.paren_depth.get(s).copied().unwrap_or(0);
 
     // `let g = a.read();` binds the guard to `g`; in `let n = a.read().len();`
-    // the guard is a temporary dropped at the end of the statement. The lock
-    // call is `ident ( )` at `at`, so the statement is the whole initializer
-    // exactly when the token after the closing paren terminates it.
-    let terminal = matches!(f.tok(at + 3), Some(Tok::P(";")) | None);
+    // the guard is a temporary dropped at the end of the statement. The
+    // statement is the whole initializer exactly when the token after the
+    // acquiring call's closing paren terminates it.
+    let terminal = matches!(f.tok(after_close), Some(Tok::P(";")) | None);
     let let_bound = terminal && matches!(f.tok(s), Some(Tok::Ident(k)) if k == "let");
     if let_bound {
         // Guard lives to the end of the enclosing block, or an explicit
@@ -664,6 +681,7 @@ fn collect_match(f: &SourceFile, t: usize, limit: usize, out: &mut FnSummary) {
         out.pattern_pairs.extend(pairs.iter().cloned());
         out.arms.push(MatchArm {
             pairs,
+            pat: (pat_start, arrow.saturating_sub(1)),
             body: (body_start, body_end),
             span: f.span(pat_start),
         });

@@ -263,6 +263,29 @@ fn main() {
             // the dedicated static-audit CI job always runs it.
             println!("– wiera-audit binary not present; skipping source audit");
         }
+
+        println!("\n── smoke gate: protocol model check ──────────────────────");
+        let model = bin_dir.join("wiera-model");
+        if model.exists() {
+            std::fs::create_dir_all("results").ok();
+            match Command::new(&model)
+                .args(["--report", "results/model_report.json"])
+                .status()
+            {
+                Ok(s) if s.success() => {
+                    println!(
+                        "✓ wiera-model: all protocols explore clean \
+                         (results/model_report.json)"
+                    );
+                }
+                Ok(s) => failures.push(format!("wiera-model exited {s}")),
+                Err(e) => failures.push(format!("failed to launch wiera-model: {e}")),
+            }
+        } else {
+            // Built separately (`cargo build --release -p wiera-model`);
+            // the dedicated model-check CI job always runs it.
+            println!("– wiera-model binary not present; skipping model check");
+        }
     }
 
     println!("\n════════════════════════════════════════════════════════");

@@ -19,14 +19,24 @@
 //! post-heal convergence plus zero oracle findings. The seed fully
 //! determines the fault script, so a failing campaign is replayable.
 //!
+//! `--soundness` cross-validates runtime against statics: every lock-order
+//! edge the corpus scenarios exercise at runtime must be a subset of the
+//! statically derived edge set, and every recorded history op kind must be
+//! handled by an extracted protocol transition — otherwise `wiera-model`'s
+//! clean verdicts are vacuous for the uncovered behavior.
+//!
 //! Exit status: `0` clean (or, under `--adversarial`, all plants detected),
 //! `1` gating findings (or a missed plant, or a failed chaos campaign),
 //! `2` usage error.
 
 use std::process::ExitCode;
 use wiera_check::chaos::run_campaign;
+use wiera_check::history::extract_history;
+use wiera_check::modelbridge::{soundness, workspace_model};
 use wiera_check::scenarios::{all_scenarios, run_scenario, ScenarioKind};
 use wiera_policy::diag::{worst_is_deny, Diagnostic, Severity};
+use wiera_sim::lockreg::LockRegistry;
+use wiera_sim::Tracer;
 
 const USAGE: &str = "\
 usage: wiera-check [--json] [--deny-warnings] [--adversarial] [--scenario NAME]
@@ -39,6 +49,8 @@ usage: wiera-check [--json] [--deny-warnings] [--adversarial] [--scenario NAME]
   --scenario NAME  run a single scenario by name (corpus or adversarial)
   --chaos SEED     run the seeded chaos campaign (every protocol, randomized
                    faults) instead of the scenario corpus
+  --soundness      run the corpus and gate every runtime lock edge / history
+                   op against the statically extracted model (wiera-audit)
   --list           list scenarios and exit
   --codes          list all WC diagnostic codes and exit
 ";
@@ -49,6 +61,7 @@ struct Options {
     adversarial: bool,
     scenario: Option<String>,
     chaos: Option<u64>,
+    soundness: bool,
     list: bool,
     codes: bool,
 }
@@ -60,6 +73,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         adversarial: false,
         scenario: None,
         chaos: None,
+        soundness: false,
         list: false,
         codes: false,
     };
@@ -69,6 +83,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--json" => opts.json = true,
             "--deny-warnings" => opts.deny_warnings = true,
             "--adversarial" => opts.adversarial = true,
+            "--soundness" => opts.soundness = true,
             "--list" => opts.list = true,
             "--codes" => opts.codes = true,
             "--scenario" => {
@@ -132,6 +147,9 @@ fn main() -> ExitCode {
 
     if let Some(seed) = opts.chaos {
         return run_chaos(seed, &opts);
+    }
+    if opts.soundness {
+        return run_soundness();
     }
 
     let selected: Vec<&'static str> = match (&opts.scenario, opts.adversarial) {
@@ -228,6 +246,48 @@ fn main() -> ExitCode {
     }
 
     if gating || missed_plants {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Run every corpus scenario and gate its runtime observations against
+/// the statically extracted model. Each scenario resets the global
+/// tracer/lock registry on entry, so after it returns the globals hold
+/// exactly that scenario's lock edges and history.
+fn run_soundness() -> ExitCode {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    let (model, pm) = match workspace_model(&cwd) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("wiera-check: --soundness: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut unsound = false;
+    let corpus: Vec<&'static str> = all_scenarios()
+        .iter()
+        .filter(|s| s.kind == ScenarioKind::Corpus)
+        .map(|s| s.name)
+        .collect();
+    for name in &corpus {
+        if run_scenario(name).is_none() {
+            eprintln!("wiera-check: unknown scenario '{name}'");
+            return ExitCode::from(2);
+        }
+        let snapshot = LockRegistry::global().snapshot();
+        let (history, _) = extract_history(&Tracer::global().events());
+        let report = soundness(&model, &pm, &snapshot, &history);
+        unsound |= !report.sound();
+        print!("scenario:{name}: {}", report.render());
+    }
+    println!(
+        "soundness gate over {} corpus scenarios: {}",
+        corpus.len(),
+        if unsound { "UNSOUND" } else { "SOUND" }
+    );
+    if unsound {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

@@ -22,6 +22,12 @@
 //!   adversarial scenarios with *planted* bugs (an ABBA deadlock, a stale
 //!   read under sync primary-backup) that the checker must flag — the
 //!   self-test that keeps the oracle honest.
+//! * [`modelbridge`] — the runtime↔static soundness gate: lock edges the
+//!   runtime lockreg observed must be a subset of the statically derived
+//!   edge set, and every recorded history op kind must map to a handler
+//!   transition in the extracted protocol model (`wiera-audit`), so the
+//!   `wiera-model` checker's verdicts are not vacuous. Run it with
+//!   `wiera-check --soundness`.
 //! * [`chaos`] — a seeded chaos campaign (§4.4): randomized fault scripts
 //!   (primary/backup crashes, partitions, coordination-session expiry,
 //!   degraded tiers) against every consistency protocol, gated on zero
@@ -37,9 +43,11 @@
 pub mod chaos;
 pub mod history;
 pub mod lockdiag;
+pub mod modelbridge;
 pub mod scenarios;
 
 pub use chaos::{run_campaign, ChaosReport};
 pub use history::{check_history, extract_history, HistoryEvent, HistoryKind};
 pub use lockdiag::registry_diagnostics;
+pub use modelbridge::{soundness, workspace_model, SoundnessReport};
 pub use scenarios::{all_scenarios, run_scenario, Scenario, ScenarioKind, ScenarioReport};

@@ -1,0 +1,230 @@
+//! Runtime↔static soundness gate: what the harness observes at runtime
+//! must be a subset of what the static layers extracted.
+//!
+//! The extracted protocol model (wiera-audit's `protocol` module) and the
+//! static lock-order edge set (`wiera_audit::checks::lock_edges`) are the
+//! universes `wiera-model` explores and WS100 cycles over. If a real
+//! execution exhibits a lock edge or a history operation the static
+//! layer never derived, the model checker's "no violations" verdict is
+//! vacuous for that behavior — extraction has a hole. This module turns
+//! that containment into a checkable gate:
+//!
+//! * **lock edges** — every `(held, acquired)` class pair recorded by the
+//!   runtime [`wiera_sim::lockreg::LockRegistry`] must appear among the
+//!   statically derived edges;
+//! * **operations** — every history op kind the tracer recorded
+//!   (put/get/replicate-apply) must map to a `DataMsg` variant some
+//!   extracted handler transition handles.
+//!
+//! The gate is one-directional by design: the static set over-approximates
+//! (widening), so static-only edges are expected; runtime-only edges are
+//! the bug.
+
+use crate::history::{HistoryEvent, HistoryKind};
+use std::collections::BTreeSet;
+use std::path::Path;
+use wiera_audit::callgraph::{Config, Model};
+use wiera_audit::checks::lock_edges;
+use wiera_audit::items::SourceFile;
+use wiera_audit::protocol::{extract, ProtocolModel};
+use wiera_audit::workspace;
+use wiera_sim::lockreg::LockOrderSnapshot;
+
+/// Result of one soundness comparison.
+#[derive(Debug, Default)]
+pub struct SoundnessReport {
+    /// Statically derived lock-order edges.
+    pub static_lock_edges: usize,
+    /// Runtime-observed lock-order edges.
+    pub runtime_lock_edges: usize,
+    /// Runtime edges missing from the static set — extraction holes.
+    pub unsound_lock_edges: Vec<(String, String)>,
+    /// `DataMsg`/`CoordMsg` variants extracted handler arms cover.
+    pub handled_variants: usize,
+    /// Runtime history operations checked.
+    pub history_ops: usize,
+    /// History op kinds no extracted transition handles.
+    pub unsound_ops: Vec<String>,
+}
+
+impl SoundnessReport {
+    /// The runtime stayed inside the extracted model.
+    pub fn sound(&self) -> bool {
+        self.unsound_lock_edges.is_empty() && self.unsound_ops.is_empty()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "soundness: {} runtime lock edges vs {} static; {} history ops vs \
+             {} handled variants: {}\n",
+            self.runtime_lock_edges,
+            self.static_lock_edges,
+            self.history_ops,
+            self.handled_variants,
+            if self.sound() { "SOUND" } else { "UNSOUND" }
+        );
+        for (a, b) in &self.unsound_lock_edges {
+            out.push_str(&format!(
+                "  runtime lock edge '{a}' -> '{b}' has no static counterpart\n"
+            ));
+        }
+        for op in &self.unsound_ops {
+            out.push_str(&format!(
+                "  runtime op kind '{op}' is handled by no extracted transition\n"
+            ));
+        }
+        out
+    }
+}
+
+/// Build the static model + protocol extraction for the workspace that
+/// contains `start` (walks up to the `[workspace]` manifest).
+pub fn workspace_model(start: &Path) -> Result<(Model, ProtocolModel), String> {
+    let root = workspace::find_root(start)
+        .ok_or_else(|| format!("no workspace root above {}", start.display()))?;
+    let inputs = workspace::discover_workspace(&root);
+    if inputs.is_empty() {
+        return Err(format!("no sources under {}", root.display()));
+    }
+    let files: Vec<SourceFile> = inputs
+        .into_iter()
+        .map(|i| SourceFile::new(i.origin, i.crate_name, i.src))
+        .collect();
+    let model = Model::build(files, Config::default());
+    let pm = extract(&model);
+    Ok((model, pm))
+}
+
+/// The `DataMsg` variant a runtime history op kind corresponds to.
+fn variant_of(kind: HistoryKind) -> &'static str {
+    match kind {
+        HistoryKind::Put => "Put",
+        HistoryKind::Get => "Get",
+        HistoryKind::ReplicateApply => "Replicate",
+    }
+}
+
+/// Compare a runtime lock snapshot and history against the static model.
+pub fn soundness(
+    model: &Model,
+    pm: &ProtocolModel,
+    lock_snapshot: &LockOrderSnapshot,
+    history: &[HistoryEvent],
+) -> SoundnessReport {
+    let static_edges = lock_edges(model);
+    let runtime_edges: BTreeSet<(String, String)> = lock_snapshot
+        .edges
+        .iter()
+        .map(|e| (e.from.clone(), e.to.clone()))
+        .collect();
+    let unsound_lock_edges: Vec<(String, String)> = runtime_edges
+        .iter()
+        .filter(|e| !static_edges.contains(*e))
+        .cloned()
+        .collect();
+
+    let handled = pm.handled_variants();
+    let mut unsound_ops: BTreeSet<String> = BTreeSet::new();
+    for ev in history {
+        let v = variant_of(ev.kind);
+        if !handled.contains(v) {
+            unsound_ops.insert(v.to_string());
+        }
+    }
+
+    SoundnessReport {
+        static_lock_edges: static_edges.len(),
+        runtime_lock_edges: runtime_edges.len(),
+        unsound_lock_edges,
+        handled_variants: handled.len(),
+        history_ops: history.len(),
+        unsound_ops: unsound_ops.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiera_sim::lockreg::EdgeSnapshot;
+
+    fn tiny_model(src: &str) -> (Model, ProtocolModel) {
+        let file = SourceFile::new("t.rs".into(), "t".into(), src.to_string());
+        let m = Model::build(vec![file], Config::default());
+        let pm = extract(&m);
+        (m, pm)
+    }
+
+    const HANDLER: &str = "\
+        enum DataMsg { Put { k: String }, Get { k: String }, Replicate { k: String, epoch: u64 }, PutAck, GetReply }\n\
+        impl N { fn handle_op(&self, d: DataMsg) { match d {\n\
+          DataMsg::Put { k } => { self.inst.put(&k); reply2(DataMsg::PutAck); }\n\
+          DataMsg::Get { k } => { reply2(DataMsg::GetReply); }\n\
+          DataMsg::Replicate { k, epoch } => { if epoch < self.epoch() { return; } self.inst.apply_replicated(&k); reply2(DataMsg::PutAck); }\n\
+        } } fn epoch(&self) -> u64 { 0 } }\n";
+
+    fn snap(edges: &[(&str, &str)]) -> LockOrderSnapshot {
+        LockOrderSnapshot {
+            edges: edges
+                .iter()
+                .map(|(a, b)| EdgeSnapshot {
+                    from: (*a).to_string(),
+                    to: (*b).to_string(),
+                    held_site: String::new(),
+                    acquire_site: String::new(),
+                    count: 1,
+                })
+                .collect(),
+            ..LockOrderSnapshot::default()
+        }
+    }
+
+    fn hist(kind: HistoryKind) -> HistoryEvent {
+        HistoryEvent {
+            kind,
+            key: "k".into(),
+            version: 1,
+            digest: 0,
+            node: "n".into(),
+            start_us: 0,
+            end_us: 1,
+        }
+    }
+
+    #[test]
+    fn covered_ops_and_edges_are_sound() {
+        let (m, pm) = tiny_model(HANDLER);
+        let r = soundness(
+            &m,
+            &pm,
+            &snap(&[]),
+            &[hist(HistoryKind::Put), hist(HistoryKind::ReplicateApply)],
+        );
+        assert!(r.sound(), "{}", r.render());
+        assert_eq!(r.history_ops, 2);
+    }
+
+    #[test]
+    fn runtime_only_lock_edge_is_flagged() {
+        let (m, pm) = tiny_model(HANDLER);
+        let r = soundness(&m, &pm, &snap(&[("ghost.a", "ghost.b")]), &[]);
+        assert!(!r.sound());
+        assert_eq!(
+            r.unsound_lock_edges,
+            vec![("ghost.a".to_string(), "ghost.b".to_string())]
+        );
+        assert!(r.render().contains("no static counterpart"));
+    }
+
+    #[test]
+    fn unhandled_op_kind_is_flagged() {
+        let (m, pm) = tiny_model(
+            "enum DataMsg { Get { k: String }, GetReply }\n\
+             impl N { fn handle_op(&self, d: DataMsg) { match d {\n\
+               DataMsg::Get { k } => { reply2(DataMsg::GetReply); }\n\
+             } } }\n",
+        );
+        let r = soundness(&m, &pm, &snap(&[]), &[hist(HistoryKind::Put)]);
+        assert!(!r.sound());
+        assert_eq!(r.unsound_ops, vec!["Put".to_string()]);
+    }
+}

@@ -19,6 +19,7 @@
 
 use bytes::Bytes;
 use std::sync::Arc;
+use wiera::controller::ControllerConfig;
 use wiera::deployment::DeploymentConfig;
 use wiera::testkit::{bodies, Cluster};
 use wiera_coord::{CoordClient, CoordConfig};
@@ -27,7 +28,7 @@ use wiera_policy::compile::deduce_consistency;
 use wiera_policy::diag::{sort_diagnostics, Code, Diagnostic};
 use wiera_policy::ConsistencyModel;
 use wiera_sim::lockreg::{LockRegistry, TrackedMutex};
-use wiera_sim::{TraceEvent, Tracer};
+use wiera_sim::{SimDuration, TraceEvent, Tracer};
 
 use crate::history::{check_history, extract_history};
 use crate::lockdiag::registry_diagnostics;
@@ -221,7 +222,26 @@ fn bench(
 ) -> Result<Bench, String> {
     Tracer::global().clear();
     LockRegistry::global().reset();
-    let cluster = Cluster::launch(regions, time_scale, 7);
+    // Session expiry is judged in sim time but heartbeat threads run on the
+    // wall clock: at scale 2000 the default 10-sim-second timeout is 5 wall
+    // milliseconds, so one scheduler stall on a loaded host (CI compiling
+    // test binaries in parallel) expires a healthy session mid-scenario.
+    // Widen the timeout to a ~100ms wall tolerance, capped under the
+    // client's 300-sim-second lock wait so the session-expiry scenario's
+    // queued waiter still gets promoted; genuinely hung sessions still
+    // expire, just later.
+    let mut coord_config = CoordConfig::default();
+    let wall_floor = SimDuration::from_secs_f64((0.1 * time_scale).min(250.0));
+    if coord_config.session_timeout < wall_floor {
+        coord_config.session_timeout = wall_floor;
+    }
+    let cluster = Cluster::launch_full(
+        regions,
+        time_scale,
+        7,
+        ControllerConfig::default(),
+        coord_config,
+    );
     let src = policy_src(id, layout, body);
     cluster.controller.register_policy(id, &src)?;
     let dep = cluster

@@ -1,0 +1,323 @@
+//! Bounded explicit-state exploration with partial-order reduction.
+//!
+//! Breadth-first search over the small-world semantics: every enabled
+//! action from every reachable state, full-state deduplication via the
+//! canonical byte encoding, and parent pointers so the first (and
+//! therefore minimal) counterexample per invariant reconstructs into a
+//! trace.
+//!
+//! ## Invariants
+//!
+//! * **WM001** at-most-one-primary-per-epoch: no two distinct nodes ever
+//!   serve client puts under the same epoch.
+//! * **WM002** per-node epoch monotonicity: an epoch never moves
+//!   backwards (durable across restart; control traffic may only raise
+//!   it).
+//! * **WM003** no acked-write loss: once a write is acknowledged to the
+//!   client, some live node or in-flight replicate carries it (volatile
+//!   stores die with crashes). Scoped to synchronous protocols —
+//!   eventual mode acknowledges before replication by design.
+//! * **WM004** post-quiescence convergence: with no failures in the
+//!   trace, a drained network means every live store is identical.
+//!
+//! ## Reduction
+//!
+//! When only deliveries remain enabled (put/crash/election budgets
+//! spent, everyone alive), deliveries to distinct destinations commute:
+//! each touches its destination's node state, its destination's pending
+//! entries, and monotone global sets. The explorer then expands only the
+//! deliveries aimed at the lowest-numbered destination with traffic — a
+//! persistent set — instead of the full cross product. Orders among one
+//! destination's messages are still fully explored. `--naive` disables
+//! this, and the equivalence test in `tests/` checks both modes return
+//! identical verdicts on small configs.
+
+use crate::spec::{Bounds, Spec};
+use crate::world::{Action, StepEvent, World};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use wiera_policy::diag::Code;
+
+/// A violated invariant with its minimal counterexample.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub code: Code,
+    pub message: String,
+    /// Action sequence from the initial state to the violation.
+    pub trace: Vec<Action>,
+}
+
+/// Outcome of one exploration run.
+#[derive(Debug)]
+pub struct ExploreResult {
+    /// Distinct states visited.
+    pub states: usize,
+    /// First (shortest) violation found per invariant code.
+    pub violations: Vec<Violation>,
+    /// Exploration hit `max_states` and stopped early.
+    pub truncated: bool,
+}
+
+fn event_code(ev: &StepEvent) -> Code {
+    match ev {
+        StepEvent::SplitBrain { .. } => Code::Wm001,
+        StepEvent::EpochRollback { .. } => Code::Wm002,
+        StepEvent::AckedWriteLost { .. } => Code::Wm003,
+    }
+}
+
+fn event_message(ev: &StepEvent) -> String {
+    match ev {
+        StepEvent::SplitBrain { epoch, a, b } => format!(
+            "split-brain: N{a} and N{b} both served client puts as primary in epoch {epoch}"
+        ),
+        StepEvent::EpochRollback { node, from, to } => {
+            format!("epoch rollback: N{node} moved from epoch {from} back to epoch {to}")
+        }
+        StepEvent::AckedWriteLost { key, ver } => format!(
+            "acked write lost: k{key} v{ver} was acknowledged but survives on no \
+             live node and in no in-flight message"
+        ),
+    }
+}
+
+/// Is this event in scope for the protocol under exploration?
+fn event_in_scope(spec: &Spec, ev: &StepEvent) -> bool {
+    match ev {
+        // Primary claims only exist in primary-backup mode.
+        StepEvent::SplitBrain { .. } => spec.protocol.has_primary(),
+        StepEvent::EpochRollback { .. } => true,
+        // Eventual mode acknowledges before replication by design; an
+        // async acked write lost to a crash is accepted semantics there.
+        StepEvent::AckedWriteLost { .. } => spec.protocol.sync_replication(),
+    }
+}
+
+/// Keep only a persistent set of actions when it is sound to do so: if
+/// every enabled action is a delivery (budgets spent, no dead nodes),
+/// deliveries to distinct destinations commute, so expanding only the
+/// lowest-numbered destination's deliveries preserves every verdict.
+fn persistent_set(actions: Vec<Action>) -> Vec<Action> {
+    let all_deliver = actions.iter().all(|a| matches!(a, Action::Deliver(_)));
+    if !all_deliver || actions.is_empty() {
+        return actions;
+    }
+    let min_dst = actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::Deliver(m) => Some(m.dst),
+            _ => None,
+        })
+        .min()
+        .unwrap_or(0);
+    actions
+        .into_iter()
+        .filter(|a| matches!(a, Action::Deliver(m) if m.dst == min_dst))
+        .collect()
+}
+
+/// WM004 at a quiescent state: failure-free traces must have converged.
+fn quiescence_violation(spec: &Spec, w: &World) -> Option<String> {
+    if !w.quiescent() || w.crashes_done != 0 || w.elections_done != 0 {
+        return None;
+    }
+    let first = w.nodes.iter().find(|s| s.alive)?;
+    for (n, s) in w.nodes.iter().enumerate().skip(1) {
+        if s.alive && s.store != first.store {
+            return Some(format!(
+                "divergence at quiescence with no failures ({} protocol): \
+                 N0 store {:?} vs N{n} store {:?}",
+                spec.protocol.as_str(),
+                first.store,
+                s.store
+            ));
+        }
+    }
+    None
+}
+
+/// Explore every schedule of `spec` within `bounds`. `reduce` enables
+/// the persistent-set reduction; disable it to cross-check verdicts.
+pub fn explore(spec: &Spec, bounds: &Bounds, reduce: bool) -> ExploreResult {
+    let init = World::initial(spec, bounds);
+    let init_key = init.canon();
+
+    let mut visited: HashSet<Vec<u8>> = HashSet::new();
+    let mut parent: HashMap<Vec<u8>, (Vec<u8>, Action)> = HashMap::new();
+    let mut queue: VecDeque<World> = VecDeque::new();
+    let mut found: BTreeMap<&'static str, Violation> = BTreeMap::new();
+    let mut truncated = false;
+
+    visited.insert(init_key.clone());
+    queue.push_back(init);
+
+    while let Some(w) = queue.pop_front() {
+        let w_key = w.canon();
+        let mut actions = w.enabled(spec, bounds);
+        if reduce {
+            actions = persistent_set(actions);
+        }
+        for action in actions {
+            let (succ, events) = w.apply(spec, &action);
+            let succ_key = succ.canon();
+            let mut violated = false;
+            for ev in &events {
+                if !event_in_scope(spec, ev) {
+                    continue;
+                }
+                violated = true;
+                let code = event_code(ev);
+                found.entry(code.as_str()).or_insert_with(|| Violation {
+                    code,
+                    message: event_message(ev),
+                    trace: rebuild_trace(&parent, &w_key, &action),
+                });
+            }
+            if let Some(msg) = quiescence_violation(spec, &succ) {
+                violated = true;
+                found
+                    .entry(Code::Wm004.as_str())
+                    .or_insert_with(|| Violation {
+                        code: Code::Wm004,
+                        message: msg,
+                        trace: rebuild_trace(&parent, &w_key, &action),
+                    });
+            }
+            // A violating branch is not expanded further: BFS order makes
+            // the recorded trace minimal for its invariant.
+            if violated || visited.contains(&succ_key) {
+                continue;
+            }
+            if visited.len() >= bounds.max_states {
+                truncated = true;
+                continue;
+            }
+            visited.insert(succ_key.clone());
+            parent.insert(succ_key, (w_key.clone(), action));
+            queue.push_back(succ);
+        }
+        if truncated {
+            break;
+        }
+    }
+
+    ExploreResult {
+        states: visited.len(),
+        violations: found.into_values().collect(),
+        truncated,
+    }
+}
+
+fn rebuild_trace(
+    parent: &HashMap<Vec<u8>, (Vec<u8>, Action)>,
+    from: &[u8],
+    last: &Action,
+) -> Vec<Action> {
+    let mut trace = vec![last.clone()];
+    let mut cur = from.to_vec();
+    while let Some((p, a)) = parent.get(&cur) {
+        trace.push(a.clone());
+        cur = p.clone();
+    }
+    trace.reverse();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Protocol, Spec};
+
+    fn bounds(nodes: usize, puts: usize, crashes: usize, elections: usize) -> Bounds {
+        Bounds {
+            nodes,
+            keys: 1,
+            puts,
+            crashes,
+            elections,
+            max_states: 500_000,
+        }
+    }
+
+    #[test]
+    fn correct_pb_sync_has_no_violations() {
+        let spec = Spec::correct(Protocol::PbSync);
+        let r = explore(&spec, &bounds(2, 1, 1, 1), true);
+        assert!(!r.truncated);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn correct_eventual_has_no_violations() {
+        let spec = Spec::correct(Protocol::Eventual);
+        let r = explore(&spec, &bounds(3, 2, 1, 0), true);
+        assert!(!r.truncated);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn ack_before_commit_loses_acked_write() {
+        let mut spec = Spec::correct(Protocol::PbSync);
+        spec.ack_before_commit = true;
+        let r = explore(&spec, &bounds(2, 1, 1, 0), true);
+        let v = r
+            .violations
+            .iter()
+            .find(|v| v.code == Code::Wm003)
+            .expect("WM003 expected");
+        assert!(!v.trace.is_empty());
+    }
+
+    #[test]
+    fn unfenced_changeprimary_rolls_back() {
+        let mut spec = Spec::correct(Protocol::PbSync);
+        spec.cp_fenced = false;
+        let r = explore(&spec, &bounds(2, 0, 0, 1), true);
+        assert!(
+            r.violations.iter().any(|v| v.code == Code::Wm002),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn eventual_tolerates_async_ack_loss() {
+        // Async ack loss is in-design for eventual mode: out of scope.
+        let spec = Spec::correct(Protocol::Eventual);
+        let r = explore(&spec, &bounds(2, 1, 1, 0), true);
+        assert!(
+            !r.violations.iter().any(|v| v.code == Code::Wm003),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn trace_is_minimal_prefix_closed() {
+        let mut spec = Spec::correct(Protocol::PbSync);
+        spec.ack_before_commit = true;
+        let r = explore(&spec, &bounds(2, 1, 1, 0), true);
+        let v = r
+            .violations
+            .iter()
+            .find(|v| v.code == Code::Wm003)
+            .expect("wm003");
+        // Replay the trace: every prefix must be violation-free until the
+        // final action.
+        let b = bounds(2, 1, 1, 0);
+        let mut w = World::initial(&spec, &b);
+        for (i, a) in v.trace.iter().enumerate() {
+            let (next, ev) = w.apply(&spec, a);
+            if i + 1 < v.trace.len() {
+                assert!(
+                    ev.iter().all(|e| !event_in_scope(&spec, e)),
+                    "premature violation at step {i}: {ev:?}"
+                );
+            } else {
+                assert!(ev
+                    .iter()
+                    .any(|e| matches!(e, StepEvent::AckedWriteLost { .. })));
+            }
+            w = next;
+        }
+    }
+}

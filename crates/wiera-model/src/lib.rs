@@ -1,0 +1,38 @@
+//! wiera-model: bounded explicit-state model checking of the extracted
+//! replication/failover protocol.
+//!
+//! wiera-audit's `protocol` module extracts every `DataMsg`/`CoordMsg`
+//! handler arm into a guarded transition (epoch fences and primary
+//! checks read, store/epoch/primary state mutated, messages emitted).
+//! This crate closes the loop: it compiles those extracted facts into a
+//! small-world operational semantics — a few nodes with volatile
+//! stores and durable epochs, an in-flight message multiset, bounded
+//! crash/restart/election budgets — and exhaustively explores every
+//! interleaving, checking four global invariants the static layer
+//! cannot see:
+//!
+//! * **WM001** at-most-one-primary-per-epoch (split-brain),
+//! * **WM002** per-node epoch monotonicity (rollback),
+//! * **WM003** no acked-write loss across failover,
+//! * **WM004** post-quiescence digest convergence.
+//!
+//! Violations come back as minimal traces rendered as message-sequence
+//! diagrams. A persistent-set reduction prunes commuting delivery
+//! interleavings once failure budgets are spent; `--naive` disables it,
+//! and the equivalence test keeps both modes honest against each other.
+//!
+//! The checker is deliberately small-world: 2–3 nodes, 1–2 keys, a
+//! couple of writes and failures per trace. That is where every
+//! replication bug class this codebase has seen actually manifests, and
+//! it keeps exhaustive exploration in CI budget. See DESIGN.md §13 for
+//! the soundness caveats inherited from lexical extraction.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod explore;
+pub mod spec;
+pub mod trace;
+pub mod world;
+
+pub use explore::{explore, ExploreResult, Violation};
+pub use spec::{Bounds, Protocol, Spec};

@@ -1,0 +1,612 @@
+//! Small-world operational semantics for the extracted protocol.
+//!
+//! A world is a handful of nodes (volatile per-key version stores,
+//! durable epochs, a primary flag), an in-flight message multiset, and
+//! bounded budgets for client puts, crashes/restarts, and elections.
+//! Actions are atomic handler executions — exactly the granularity the
+//! extraction layer models — so every interleaving of the explorer
+//! corresponds to an order of handler invocations in the real system:
+//!
+//! * **Deliver(msg)** — run the destination's handler arm for the
+//!   message (or drop it if the destination is down);
+//! * **InjectPut(node, key)** — a client write arrives at `node`;
+//! * **Crash(node)** — the node's process dies: its volatile store is
+//!   wiped, its unsent/in-flight messages are lost (send-buffer loss),
+//!   and its pending ack bookkeeping evaporates;
+//! * **Restart(node)** — the node rejoins empty with its durable epoch;
+//! * **Elect(node)** — coordinator-driven failover: a fresh epoch is
+//!   allocated (the coordinator serializes epochs) and a `ChangePrimary`
+//!   broadcast goes out. Enabled only when no live primary exists,
+//!   modeling lease-expiry detection.
+//!
+//! Epochs are durable (they survive restart); stores are volatile (they
+//! do not) — the memory-tier configuration from the paper, and the one
+//! where failover bugs actually lose data.
+
+use crate::spec::{Bounds, Spec};
+
+/// An in-flight protocol message.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MsgKind {
+    /// Primary → replica write propagation.
+    Replicate { key: u8, ver: u8, epoch: u8 },
+    /// Replica → primary apply acknowledgment.
+    ReplicateAck { key: u8, ver: u8 },
+    /// Coordinator/primary → everyone failover announcement.
+    ChangePrimary { epoch: u8, leader: u8 },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Msg {
+    pub src: u8,
+    pub dst: u8,
+    pub kind: MsgKind,
+}
+
+/// One replica's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSt {
+    pub alive: bool,
+    /// Durable failover epoch.
+    pub epoch: u8,
+    pub is_primary: bool,
+    /// Per-key bitmask of applied write versions (volatile).
+    pub store: Vec<u8>,
+}
+
+/// A synchronous put waiting for replica acks at its serving node.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Pending {
+    pub key: u8,
+    pub ver: u8,
+    /// Node that served the put and owns the reply slot.
+    pub server: u8,
+    /// Bitmask of peers whose ack is still outstanding.
+    pub waiting: u8,
+}
+
+/// Full system state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct World {
+    pub nodes: Vec<NodeSt>,
+    /// In-flight messages, kept sorted (canonical multiset).
+    pub net: Vec<Msg>,
+    pub puts_done: u8,
+    pub crashes_done: u8,
+    pub elections_done: u8,
+    /// Highest epoch the (serialized) coordinator has allocated.
+    pub epoch_alloc: u8,
+    /// `(key, ver)` writes acknowledged to the client, sorted.
+    pub acked: Vec<(u8, u8)>,
+    /// Outstanding synchronous puts, sorted.
+    pub pending: Vec<Pending>,
+    /// `(epoch, node)` pairs that served a client put as primary, sorted
+    /// (evidence set for the at-most-one-primary-per-epoch invariant).
+    pub claims: Vec<(u8, u8)>,
+}
+
+/// One schedulable step.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Action {
+    Deliver(Msg),
+    InjectPut { node: u8, key: u8 },
+    Crash { node: u8 },
+    Restart { node: u8 },
+    Elect { node: u8 },
+}
+
+/// Invariant violations detectable while applying a single action.
+/// (Quiescence checks live in the explorer.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Two distinct nodes served puts as primary in the same epoch.
+    SplitBrain { epoch: u8, a: u8, b: u8 },
+    /// A node's epoch moved backwards.
+    EpochRollback { node: u8, from: u8, to: u8 },
+    /// An acked write no longer exists on any live node or in flight.
+    AckedWriteLost { key: u8, ver: u8 },
+}
+
+impl World {
+    /// Initial world for a spec: all nodes up at epoch 0 with empty
+    /// stores. Primary-backup mode starts with the coordinator's
+    /// bootstrap `ChangePrimary{1, N0}` broadcast still in flight, so a
+    /// single election already interleaves with stale control traffic.
+    /// Non-primary modes start settled at epoch 1.
+    pub fn initial(spec: &Spec, bounds: &Bounds) -> World {
+        let has_primary = spec.protocol.has_primary();
+        let settled_epoch = if has_primary { 0 } else { 1 };
+        let nodes = (0..bounds.nodes)
+            .map(|_| NodeSt {
+                alive: true,
+                epoch: settled_epoch,
+                is_primary: false,
+                store: vec![0; bounds.keys],
+            })
+            .collect();
+        let mut net = Vec::new();
+        if has_primary {
+            for n in 0..bounds.nodes as u8 {
+                net.push(Msg {
+                    src: 0,
+                    dst: n,
+                    kind: MsgKind::ChangePrimary {
+                        epoch: 1,
+                        leader: 0,
+                    },
+                });
+            }
+            net.sort();
+        }
+        World {
+            nodes,
+            net,
+            puts_done: 0,
+            crashes_done: 0,
+            elections_done: 0,
+            epoch_alloc: 1,
+            acked: Vec::new(),
+            pending: Vec::new(),
+            claims: Vec::new(),
+        }
+    }
+
+    /// Enumerate every action enabled in this state.
+    pub fn enabled(&self, spec: &Spec, bounds: &Bounds) -> Vec<Action> {
+        let mut out = Vec::new();
+        // Deliveries: one per distinct in-flight message.
+        let mut last: Option<&Msg> = None;
+        for m in &self.net {
+            if last != Some(m) {
+                out.push(Action::Deliver(m.clone()));
+            }
+            last = Some(m);
+        }
+        // Client puts.
+        if (self.puts_done as usize) < bounds.puts {
+            for (n, st) in self.nodes.iter().enumerate() {
+                if !st.alive {
+                    continue;
+                }
+                if spec.protocol.has_primary() && !st.is_primary {
+                    continue;
+                }
+                for k in 0..bounds.keys as u8 {
+                    out.push(Action::InjectPut {
+                        node: n as u8,
+                        key: k,
+                    });
+                }
+            }
+        }
+        // Crashes and restarts.
+        if (self.crashes_done as usize) < bounds.crashes {
+            for (n, st) in self.nodes.iter().enumerate() {
+                if st.alive {
+                    out.push(Action::Crash { node: n as u8 });
+                }
+            }
+        }
+        for (n, st) in self.nodes.iter().enumerate() {
+            if !st.alive {
+                out.push(Action::Restart { node: n as u8 });
+            }
+        }
+        // Elections: primary-backup only, lease-expiry gated.
+        if spec.protocol.has_primary()
+            && (self.elections_done as usize) < bounds.elections
+            && !self.nodes.iter().any(|s| s.alive && s.is_primary)
+        {
+            for (n, st) in self.nodes.iter().enumerate() {
+                if st.alive {
+                    out.push(Action::Elect { node: n as u8 });
+                }
+            }
+        }
+        out
+    }
+
+    /// Apply one action, returning the successor world and any invariant
+    /// violations the step itself surfaced.
+    pub fn apply(&self, spec: &Spec, action: &Action) -> (World, Vec<StepEvent>) {
+        let mut w = self.clone();
+        let mut ev = Vec::new();
+        match action {
+            Action::Deliver(msg) => {
+                // Remove exactly one copy from the multiset.
+                if let Some(i) = w.net.iter().position(|m| m == msg) {
+                    w.net.remove(i);
+                }
+                if w.nodes[msg.dst as usize].alive {
+                    w.deliver(spec, msg, &mut ev);
+                }
+                // Delivery to a down node drops the message.
+            }
+            Action::InjectPut { node, key } => {
+                w.inject_put(spec, *node, *key, &mut ev);
+            }
+            Action::Crash { node } => {
+                let n = *node as usize;
+                w.nodes[n].alive = false;
+                w.nodes[n].is_primary = false;
+                // Volatile store wiped; durable epoch survives.
+                for s in &mut w.nodes[n].store {
+                    *s = 0;
+                }
+                // Send-buffer loss: the crashed node's in-flight messages
+                // vanish with it.
+                w.net.retain(|m| m.src != *node);
+                // Its reply-slot bookkeeping dies with the process.
+                w.pending.retain(|p| p.server != *node);
+                w.crashes_done += 1;
+            }
+            Action::Restart { node } => {
+                let n = *node as usize;
+                w.nodes[n].alive = true;
+                w.nodes[n].is_primary = false;
+            }
+            Action::Elect { node } => {
+                let n = *node as usize;
+                w.epoch_alloc += 1;
+                let e = w.epoch_alloc;
+                // epoch_alloc is the coordinator's monotone allocator, so the
+                // freshly incremented value exceeds every epoch previously
+                // handed to any node.
+                // ws-audit: allow(WS113): monotone by construction via epoch_alloc
+                w.nodes[n].epoch = e;
+                w.nodes[n].is_primary = true;
+                for peer in 0..w.nodes.len() as u8 {
+                    if peer != *node {
+                        w.net.push(Msg {
+                            src: *node,
+                            dst: peer,
+                            kind: MsgKind::ChangePrimary {
+                                epoch: e,
+                                leader: *node,
+                            },
+                        });
+                    }
+                }
+                w.elections_done += 1;
+            }
+        }
+        w.net.sort();
+        w.check_acked_alive(&mut ev);
+        (w, ev)
+    }
+
+    fn inject_put(&mut self, spec: &Spec, node: u8, key: u8, ev: &mut Vec<StepEvent>) {
+        self.puts_done += 1;
+        let ver = self.puts_done;
+        let n = node as usize;
+        self.nodes[n].store[key as usize] |= 1 << ver;
+
+        if spec.protocol.has_primary() {
+            let claim = (self.nodes[n].epoch, node);
+            if let Err(i) = self.claims.binary_search(&claim) {
+                self.claims.insert(i, claim);
+            }
+            for &(e, other) in &self.claims {
+                if e == claim.0 && other != node {
+                    ev.push(StepEvent::SplitBrain {
+                        epoch: e,
+                        a: other.min(node),
+                        b: other.max(node),
+                    });
+                }
+            }
+        }
+
+        let epoch = self.nodes[n].epoch;
+        for peer in 0..self.nodes.len() as u8 {
+            if peer != node {
+                self.net.push(Msg {
+                    src: node,
+                    dst: peer,
+                    kind: MsgKind::Replicate { key, ver, epoch },
+                });
+            }
+        }
+
+        if spec.protocol.sync_replication() && !spec.ack_before_commit {
+            // Ack once every currently-live peer has applied.
+            let mut waiting = 0u8;
+            for (p, st) in self.nodes.iter().enumerate() {
+                if p != n && st.alive {
+                    waiting |= 1 << p;
+                }
+            }
+            if waiting == 0 {
+                self.ack(key, ver);
+            } else {
+                let p = Pending {
+                    key,
+                    ver,
+                    server: node,
+                    waiting,
+                };
+                if let Err(i) = self.pending.binary_search(&p) {
+                    self.pending.insert(i, p);
+                }
+            }
+        } else {
+            // Asynchronous ack — or the planted ack-before-commit defect.
+            self.ack(key, ver);
+        }
+    }
+
+    fn deliver(&mut self, spec: &Spec, msg: &Msg, ev: &mut Vec<StepEvent>) {
+        let d = msg.dst as usize;
+        match msg.kind {
+            MsgKind::Replicate { key, ver, epoch } => {
+                if spec.repl_fenced && epoch < self.nodes[d].epoch {
+                    // Fenced: real handler replies StaleEpoch; the put
+                    // stays un-acked. Modeled as a drop.
+                    return;
+                }
+                self.nodes[d].store[key as usize] |= 1 << ver;
+                if spec.protocol.sync_replication() && !spec.ack_before_commit {
+                    self.net.push(Msg {
+                        src: msg.dst,
+                        dst: msg.src,
+                        kind: MsgKind::ReplicateAck { key, ver },
+                    });
+                }
+            }
+            MsgKind::ReplicateAck { key, ver } => {
+                let from = msg.src;
+                let mut done = None;
+                for (i, p) in self.pending.iter_mut().enumerate() {
+                    if p.server == msg.dst && p.key == key && p.ver == ver {
+                        p.waiting &= !(1 << from);
+                        if p.waiting == 0 {
+                            done = Some(i);
+                        }
+                        break;
+                    }
+                }
+                if let Some(i) = done {
+                    self.pending.remove(i);
+                    self.ack(key, ver);
+                }
+            }
+            MsgKind::ChangePrimary { epoch, leader } => {
+                if spec.cp_fenced && epoch < self.nodes[d].epoch {
+                    // Fenced: strictly-stale control traffic is refused
+                    // (the real write guard is `epoch >= s.epoch`).
+                    return;
+                }
+                if epoch < self.nodes[d].epoch {
+                    ev.push(StepEvent::EpochRollback {
+                        node: msg.dst,
+                        from: self.nodes[d].epoch,
+                        to: epoch,
+                    });
+                }
+                self.nodes[d].epoch = epoch;
+                self.nodes[d].is_primary = leader == msg.dst;
+            }
+        }
+    }
+
+    fn ack(&mut self, key: u8, ver: u8) {
+        if let Err(i) = self.acked.binary_search(&(key, ver)) {
+            self.acked.insert(i, (key, ver));
+        }
+    }
+
+    /// Wm003: every acked write must survive on a live node or in an
+    /// in-flight replicate — crashed stores are gone for good.
+    fn check_acked_alive(&self, ev: &mut Vec<StepEvent>) {
+        for &(key, ver) in &self.acked {
+            let on_live = self
+                .nodes
+                .iter()
+                .any(|s| s.alive && s.store[key as usize] & (1 << ver) != 0);
+            let in_flight = self.net.iter().any(|m| {
+                matches!(m.kind, MsgKind::Replicate { key: k, ver: v, .. } if k == key && v == ver)
+            });
+            if !on_live && !in_flight {
+                ev.push(StepEvent::AckedWriteLost { key, ver });
+            }
+        }
+    }
+
+    /// No message is in flight.
+    pub fn quiescent(&self) -> bool {
+        self.net.is_empty()
+    }
+
+    /// Canonical byte encoding for state dedup and parent tracking.
+    pub fn canon(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        for s in &self.nodes {
+            out.push(s.alive as u8);
+            out.push(s.epoch);
+            out.push(s.is_primary as u8);
+            out.extend_from_slice(&s.store);
+        }
+        out.push(0xFE);
+        for m in &self.net {
+            out.push(m.src);
+            out.push(m.dst);
+            match m.kind {
+                MsgKind::Replicate { key, ver, epoch } => {
+                    out.extend_from_slice(&[1, key, ver, epoch]);
+                }
+                MsgKind::ReplicateAck { key, ver } => out.extend_from_slice(&[2, key, ver]),
+                MsgKind::ChangePrimary { epoch, leader } => {
+                    out.extend_from_slice(&[3, epoch, leader]);
+                }
+            }
+        }
+        out.push(0xFE);
+        out.extend_from_slice(&[
+            self.puts_done,
+            self.crashes_done,
+            self.elections_done,
+            self.epoch_alloc,
+        ]);
+        for &(k, v) in &self.acked {
+            out.extend_from_slice(&[k, v]);
+        }
+        out.push(0xFE);
+        for p in &self.pending {
+            out.extend_from_slice(&[p.key, p.ver, p.server, p.waiting]);
+        }
+        out.push(0xFE);
+        for &(e, n) in &self.claims {
+            out.extend_from_slice(&[e, n]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Protocol, Spec};
+
+    fn small_bounds() -> Bounds {
+        Bounds {
+            nodes: 2,
+            keys: 1,
+            puts: 1,
+            crashes: 0,
+            elections: 0,
+            max_states: 10_000,
+        }
+    }
+
+    #[test]
+    fn bootstrap_changeprimary_elects_node_zero() {
+        let spec = Spec::correct(Protocol::PbSync);
+        let b = small_bounds();
+        let w = World::initial(&spec, &b);
+        assert_eq!(w.net.len(), 2);
+        let cp = w.net[0].clone();
+        let (w2, ev) = w.apply(&spec, &Action::Deliver(cp));
+        assert!(ev.is_empty());
+        assert!(w2.nodes.iter().any(|s| s.is_primary));
+    }
+
+    #[test]
+    fn sync_put_acks_only_after_replica_ack() {
+        let spec = Spec::correct(Protocol::PbSync);
+        let b = small_bounds();
+        let mut w = World::initial(&spec, &b);
+        // Settle bootstrap.
+        while let Some(m) = w.net.first().cloned() {
+            w = w.apply(&spec, &Action::Deliver(m)).0;
+        }
+        let (w, _) = w.apply(&spec, &Action::InjectPut { node: 0, key: 0 });
+        assert!(w.acked.is_empty(), "sync put acked before replication");
+        assert_eq!(w.pending.len(), 1);
+        let repl = w.net[0].clone();
+        let (w, _) = w.apply(&spec, &Action::Deliver(repl));
+        let ack = w.net[0].clone();
+        let (w, _) = w.apply(&spec, &Action::Deliver(ack));
+        assert_eq!(w.acked, vec![(0, 1)]);
+        assert!(w.pending.is_empty());
+    }
+
+    #[test]
+    fn ack_before_commit_crash_loses_acked_write() {
+        let mut spec = Spec::correct(Protocol::PbSync);
+        spec.ack_before_commit = true;
+        let b = Bounds {
+            crashes: 1,
+            ..small_bounds()
+        };
+        let mut w = World::initial(&spec, &b);
+        while let Some(m) = w.net.first().cloned() {
+            w = w.apply(&spec, &Action::Deliver(m)).0;
+        }
+        let (w, ev) = w.apply(&spec, &Action::InjectPut { node: 0, key: 0 });
+        assert!(ev.is_empty());
+        assert_eq!(w.acked, vec![(0, 1)]);
+        // Crash the server before the replicate lands: ack is lost.
+        let (_, ev) = w.apply(&spec, &Action::Crash { node: 0 });
+        assert!(
+            ev.iter()
+                .any(|e| matches!(e, StepEvent::AckedWriteLost { key: 0, ver: 1 })),
+            "{ev:?}"
+        );
+    }
+
+    #[test]
+    fn unfenced_stale_changeprimary_rolls_epoch_back() {
+        let mut spec = Spec::correct(Protocol::PbSync);
+        spec.cp_fenced = false;
+        let b = Bounds {
+            crashes: 1,
+            elections: 1,
+            ..small_bounds()
+        };
+        let mut w = World::initial(&spec, &b);
+        // Hold N0's bootstrap copy; deliver N1's.
+        let stale = w.net.iter().find(|m| m.dst == 0).cloned().expect("cp");
+        let n1_cp = w.net.iter().find(|m| m.dst == 1).cloned().expect("cp");
+        w = w.apply(&spec, &Action::Deliver(n1_cp)).0;
+        // N1's lease view: no live primary (N0 never heard). Elect N1.
+        w.nodes[1].is_primary = false; // bootstrap named N0, so already false
+        let (mut w, _) = w.apply(&spec, &Action::Elect { node: 1 });
+        assert_eq!(w.nodes[1].epoch, 2);
+        // Deliver election CP to N0, then the stale bootstrap CP.
+        let cp2 = w
+            .net
+            .iter()
+            .find(|m| matches!(m.kind, MsgKind::ChangePrimary { epoch: 2, .. }))
+            .cloned()
+            .expect("cp2");
+        w = w.apply(&spec, &Action::Deliver(cp2)).0;
+        assert_eq!(w.nodes[0].epoch, 2);
+        let (w, ev) = w.apply(&spec, &Action::Deliver(stale));
+        assert!(
+            ev.iter().any(|e| matches!(
+                e,
+                StepEvent::EpochRollback {
+                    node: 0,
+                    from: 2,
+                    to: 1
+                }
+            )),
+            "{ev:?}"
+        );
+        assert_eq!(w.nodes[0].epoch, 1, "blind apply rolled the epoch back");
+    }
+
+    #[test]
+    fn fenced_stale_changeprimary_is_refused() {
+        let spec = Spec::correct(Protocol::PbSync);
+        let b = Bounds {
+            elections: 1,
+            ..small_bounds()
+        };
+        let mut w = World::initial(&spec, &b);
+        let stale = w.net.iter().find(|m| m.dst == 0).cloned().expect("cp");
+        let n1_cp = w.net.iter().find(|m| m.dst == 1).cloned().expect("cp");
+        w = w.apply(&spec, &Action::Deliver(n1_cp)).0;
+        let (mut w, _) = w.apply(&spec, &Action::Elect { node: 1 });
+        let cp2 = w
+            .net
+            .iter()
+            .find(|m| matches!(m.kind, MsgKind::ChangePrimary { epoch: 2, .. }))
+            .cloned()
+            .expect("cp2");
+        w = w.apply(&spec, &Action::Deliver(cp2)).0;
+        let (w, ev) = w.apply(&spec, &Action::Deliver(stale));
+        assert!(ev.is_empty(), "{ev:?}");
+        assert_eq!(w.nodes[0].epoch, 2, "fence must refuse the stale epoch");
+    }
+
+    #[test]
+    fn canon_distinguishes_states() {
+        let spec = Spec::correct(Protocol::Eventual);
+        let b = small_bounds();
+        let w = World::initial(&spec, &b);
+        let (w2, _) = w.apply(&spec, &Action::InjectPut { node: 0, key: 0 });
+        assert_ne!(w.canon(), w2.canon());
+        assert_eq!(w.canon(), w.clone().canon());
+    }
+}

@@ -1,0 +1,98 @@
+//! Reduction soundness: the persistent-set reduction must return exactly
+//! the same verdict (set of violated invariant codes, and cleanliness)
+//! as naive full exploration, across every spec-flag combination on
+//! tiny configurations. This is the empirical check backing the
+//! commutativity argument in `explore.rs`.
+
+use std::collections::BTreeSet;
+use wiera_model::{explore, Bounds, Protocol, Spec};
+
+fn verdict(spec: &Spec, bounds: &Bounds, reduce: bool) -> BTreeSet<&'static str> {
+    let r = explore(spec, bounds, reduce);
+    assert!(!r.truncated, "equivalence configs must explore fully");
+    r.violations.iter().map(|v| v.code.as_str()).collect()
+}
+
+#[test]
+fn reduced_and_naive_verdicts_match_on_tiny_configs() {
+    let configs = [
+        Bounds {
+            nodes: 2,
+            keys: 1,
+            puts: 1,
+            crashes: 0,
+            elections: 0,
+            max_states: 2_000_000,
+        },
+        Bounds {
+            nodes: 2,
+            keys: 1,
+            puts: 1,
+            crashes: 1,
+            elections: 1,
+            max_states: 2_000_000,
+        },
+        Bounds {
+            nodes: 3,
+            keys: 1,
+            puts: 1,
+            crashes: 1,
+            elections: 0,
+            max_states: 2_000_000,
+        },
+        Bounds {
+            nodes: 2,
+            keys: 2,
+            puts: 2,
+            crashes: 1,
+            elections: 1,
+            max_states: 2_000_000,
+        },
+    ];
+    for protocol in Protocol::ALL {
+        for cp_fenced in [false, true] {
+            for repl_fenced in [false, true] {
+                for ack_before_commit in [false, true] {
+                    let spec = Spec {
+                        protocol,
+                        cp_fenced,
+                        repl_fenced,
+                        ack_before_commit,
+                    };
+                    for bounds in &configs {
+                        let naive = verdict(&spec, bounds, false);
+                        let reduced = verdict(&spec, bounds, true);
+                        assert_eq!(
+                            naive, reduced,
+                            "verdict divergence for {spec:?} at {bounds:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reduction_never_explores_more_states() {
+    let bounds = Bounds {
+        nodes: 3,
+        keys: 1,
+        puts: 2,
+        crashes: 0,
+        elections: 0,
+        max_states: 2_000_000,
+    };
+    for protocol in Protocol::ALL {
+        let spec = Spec::correct(protocol);
+        let naive = explore(&spec, &bounds, false);
+        let reduced = explore(&spec, &bounds, true);
+        assert!(
+            reduced.states <= naive.states,
+            "{}: reduced {} > naive {}",
+            protocol.as_str(),
+            reduced.states,
+            naive.states
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Planted defect: the write path acknowledges the client before the
+//! mutation and replication commit (drop-ack-then-elect). Fencing is
+//! correct everywhere — extraction must still derive
+//! `ack_before_commit=true` from the reply/mutation ordering, and the
+//! explorer must lose an acknowledged write across a crash (WM003)
+//! under synchronous replication.
+
+pub enum DataMsg {
+    Put { key: String, val: u64, epoch: u64 },
+    PutAck { version: u64 },
+    Replicate { key: String, ver: u64, epoch: u64 },
+    ReplicateAck { ver: u64 },
+    ChangePrimary { new_primary: u64, epoch: u64 },
+    Ok,
+}
+
+impl Node {
+    pub fn handle_app_op(&self, d: DataMsg) {
+        match d {
+            DataMsg::Put { key, val, epoch } => {
+                if epoch < self.epoch() {
+                    reply2(stale_epoch_fail(epoch, self.epoch()));
+                    return;
+                }
+                // BUG: client sees success before the write commits.
+                reply2(DataMsg::PutAck { version: 1 });
+                self.inst.put(&key, val);
+                self.replicate_all(&key);
+            }
+            DataMsg::Replicate { key, ver, epoch } => {
+                if epoch < self.epoch() {
+                    reply2(stale_epoch_fail(epoch, self.epoch()));
+                    return;
+                }
+                self.inst.apply_replicated(&key, ver, epoch);
+                reply2(DataMsg::ReplicateAck { ver });
+            }
+            DataMsg::ChangePrimary { new_primary, epoch } => {
+                let mut s = self.state.write();
+                if epoch >= s.epoch {
+                    s.primary = Some(new_primary);
+                    s.epoch = epoch;
+                }
+                reply2(DataMsg::Ok);
+            }
+            _ => {}
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        0
+    }
+
+    fn replicate_all(&self, _key: &str) {}
+}

@@ -1,0 +1,42 @@
+//! Planted defect: replication and failover control handlers that apply
+//! blindly, never comparing the carried epoch against their own. A
+//! deposed primary's traffic — or a delayed `ChangePrimary` from a dead
+//! election — is applied as if current. Extraction must derive
+//! `cp_fenced=false` / `repl_fenced=false`, and the explorer must find
+//! an epoch rollback (WM002) reachable within one election.
+
+pub enum DataMsg {
+    Put { key: String, val: u64 },
+    PutAck { version: u64 },
+    Replicate { key: String, ver: u64, epoch: u64 },
+    ReplicateAck { ver: u64 },
+    ChangePrimary { new_primary: u64, epoch: u64 },
+    Ok,
+}
+
+impl Node {
+    pub fn handle_replication(&self, d: DataMsg) {
+        match d {
+            DataMsg::Put { key, val } => {
+                self.inst.put(&key, val);
+                self.replicate_all(&key);
+                reply2(DataMsg::PutAck { version: 1 });
+            }
+            DataMsg::Replicate { key, ver, epoch } => {
+                // BUG: no `epoch < self.epoch()` check before applying.
+                self.inst.apply_replicated(&key, ver, epoch);
+                reply2(DataMsg::ReplicateAck { ver });
+            }
+            DataMsg::ChangePrimary { new_primary, epoch } => {
+                // BUG: blind adoption — a stale epoch rolls us back.
+                let mut s = self.state.write();
+                s.primary = Some(new_primary);
+                s.epoch = epoch;
+                reply2(DataMsg::Ok);
+            }
+            _ => {}
+        }
+    }
+
+    fn replicate_all(&self, _key: &str) {}
+}

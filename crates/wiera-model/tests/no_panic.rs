@@ -1,0 +1,83 @@
+//! Robustness: extraction followed by exploration must never panic —
+//! neither on arbitrary spec/bound combinations, nor when the protocol
+//! model is extracted from hostile Rust-fragment soup. Bounded state
+//! budgets make truncation acceptable; crashing is not.
+
+use proptest::prelude::*;
+use wiera_audit::callgraph::{Config, Model};
+use wiera_audit::items::SourceFile;
+use wiera_audit::protocol::extract;
+use wiera_model::{explore, Bounds, Protocol, Spec};
+
+fn protocol_from(idx: usize) -> Protocol {
+    Protocol::ALL[idx % Protocol::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every spec-flag/bound combination explores without panicking.
+    #[test]
+    fn prop_explore_never_panics(
+        pidx in 0usize..3,
+        cp in any::<bool>(),
+        repl in any::<bool>(),
+        ack in any::<bool>(),
+        nodes in 1usize..4,
+        keys in 1usize..3,
+        puts in 0usize..3,
+        crashes in 0usize..3,
+        elections in 0usize..3,
+        reduce in any::<bool>(),
+    ) {
+        let spec = Spec {
+            protocol: protocol_from(pidx),
+            cp_fenced: cp,
+            repl_fenced: repl,
+            ack_before_commit: ack,
+        };
+        let bounds = Bounds {
+            nodes, keys, puts, crashes, elections,
+            max_states: 20_000,
+        };
+        let r = explore(&spec, &bounds, reduce);
+        // Traces must replay without panicking either.
+        for v in &r.violations {
+            let mut w = wiera_model::world::World::initial(&spec, &bounds);
+            for a in &v.trace {
+                w = w.apply(&spec, a).0;
+            }
+        }
+    }
+
+    /// Extraction over Rust-fragment soup feeds exploration without a
+    /// panic anywhere in the pipeline.
+    #[test]
+    fn prop_extraction_to_exploration_never_panics(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "fn", "impl", "enum", "match", "=>", "{", "}", "(", ")",
+                "self", ".", "::", "DataMsg", "Replicate", "ChangePrimary",
+                "Put", "PutAck", "epoch", "<", ">=", "=", "+", "if",
+                "reply", "inst", "put", "apply_replicated", "record_history",
+                "handle_op", "dispatch", "let", "s", ";", ",", "|", "_",
+                "key", "ver", "return", "u64", "String", "Ok",
+            ]),
+            0..120,
+        ),
+        pidx in 0usize..3,
+    ) {
+        let src = parts.join(" ");
+        let file = SourceFile::new("soup.rs".to_string(), "soup".to_string(), src);
+        let m = Model::build(vec![file], Config::default());
+        let pm = extract(&m);
+        let _ = pm.to_json(&m);
+        let _ = pm.to_dot(&m);
+        let spec = Spec::from_protocol_model(&pm, protocol_from(pidx));
+        let bounds = Bounds {
+            nodes: 2, keys: 1, puts: 1, crashes: 1, elections: 1,
+            max_states: 5_000,
+        };
+        let _ = explore(&spec, &bounds, true);
+    }
+}

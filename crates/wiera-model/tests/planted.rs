@@ -1,0 +1,143 @@
+//! Planted-defect harness: each fixture under `tests/fixtures/planted/`
+//! carries one protocol bug; extraction must derive the defective spec
+//! flags, the explorer must produce the expected invariant violation,
+//! and the CLI must exit 2 over the fixture.
+
+use std::path::PathBuf;
+use std::process::Command;
+use wiera_audit::callgraph::{Config, Model};
+use wiera_audit::items::SourceFile;
+use wiera_audit::protocol::{extract, ProtocolModel};
+use wiera_model::{explore, Bounds, Protocol, Spec};
+use wiera_policy::diag::Code;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/planted")
+        .join(name)
+}
+
+fn extract_fixture(name: &str) -> ProtocolModel {
+    let src = std::fs::read_to_string(fixture(name)).expect("fixture readable");
+    let file = SourceFile::new(name.to_string(), "planted".to_string(), src);
+    let m = Model::build(vec![file], Config::default());
+    extract(&m)
+}
+
+fn small_bounds() -> Bounds {
+    Bounds {
+        nodes: 2,
+        keys: 1,
+        puts: 1,
+        crashes: 1,
+        elections: 1,
+        max_states: 500_000,
+    }
+}
+
+#[test]
+fn missing_epoch_check_extracts_unfenced_flags() {
+    let pm = extract_fixture("missing_epoch_check.rs");
+    let spec = Spec::from_protocol_model(&pm, Protocol::PbSync);
+    assert!(!spec.cp_fenced, "blind ChangePrimary must extract unfenced");
+    assert!(!spec.repl_fenced, "blind Replicate must extract unfenced");
+}
+
+#[test]
+fn missing_epoch_check_explores_to_epoch_rollback() {
+    let pm = extract_fixture("missing_epoch_check.rs");
+    let spec = Spec::from_protocol_model(&pm, Protocol::PbSync);
+    let r = explore(&spec, &small_bounds(), true);
+    assert!(!r.truncated);
+    let v = r
+        .violations
+        .iter()
+        .find(|v| v.code == Code::Wm002)
+        .expect("WM002 epoch rollback expected");
+    assert!(v.message.contains("rollback"), "{}", v.message);
+    assert!(!v.trace.is_empty());
+}
+
+#[test]
+fn ack_before_replicate_extracts_ordering_defect() {
+    let pm = extract_fixture("ack_before_replicate.rs");
+    let spec = Spec::from_protocol_model(&pm, Protocol::PbSync);
+    assert!(spec.cp_fenced, "fixture fences ChangePrimary correctly");
+    assert!(spec.repl_fenced, "fixture fences Replicate correctly");
+    assert!(
+        spec.ack_before_commit,
+        "reply-before-mutation ordering must extract"
+    );
+}
+
+#[test]
+fn ack_before_replicate_explores_to_acked_write_loss() {
+    let pm = extract_fixture("ack_before_replicate.rs");
+    let spec = Spec::from_protocol_model(&pm, Protocol::PbSync);
+    let r = explore(&spec, &small_bounds(), true);
+    assert!(!r.truncated);
+    let v = r
+        .violations
+        .iter()
+        .find(|v| v.code == Code::Wm003)
+        .expect("WM003 acked-write loss expected");
+    assert!(v.message.contains("acked write lost"), "{}", v.message);
+}
+
+fn run_cli(fixture_name: &str) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_wiera-model"))
+        .args([
+            "--protocol",
+            "pb-sync",
+            "--nodes",
+            "2",
+            "--keys",
+            "1",
+            "--puts",
+            "1",
+            "--crashes",
+            "1",
+            "--elections",
+            "1",
+        ])
+        .arg(fixture(fixture_name))
+        .output()
+        .expect("spawn wiera-model")
+}
+
+#[test]
+fn cli_exits_two_on_missing_epoch_check() {
+    let out = run_cli("missing_epoch_check.rs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("WM002"), "{stdout}");
+    assert!(stdout.contains("minimal counterexample"), "{stdout}");
+}
+
+#[test]
+fn cli_exits_two_on_ack_before_replicate() {
+    let out = run_cli("ack_before_replicate.rs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("WM003"), "{stdout}");
+}
+
+#[test]
+fn cli_report_json_is_well_formed_enough() {
+    let out = Command::new(env!("CARGO_BIN_EXE_wiera-model"))
+        .args([
+            "--protocol",
+            "pb-sync",
+            "--nodes",
+            "2",
+            "--keys",
+            "1",
+            "--json",
+        ])
+        .arg(fixture("ack_before_replicate.rs"))
+        .output()
+        .expect("spawn wiera-model");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"violations\":["), "{stdout}");
+    assert!(stdout.contains("\"ack_before_commit\":true"), "{stdout}");
+}

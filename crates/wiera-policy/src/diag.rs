@@ -170,6 +170,34 @@ pub enum Code {
     /// Metrics discipline: inconsistent kind/labels for one metric name,
     /// non-literal names, or asserted-but-never-recorded invariants.
     Ws104,
+    /// Audit blind spots: unresolved or widened call sites reachable from
+    /// data-path entry points (extraction gaps the protocol model cannot
+    /// see through).
+    Ws105,
+    /// Protocol model: an epoch-bearing handler arm mutates state without
+    /// an epoch guard dominating the mutation.
+    Ws110,
+    /// Protocol model: a request handler arm emits no reply on any
+    /// extracted path.
+    Ws111,
+    /// Protocol model: a reply is emitted before the arm's state mutation
+    /// commits (ack-before-commit ordering hazard).
+    Ws112,
+    /// Protocol model: the epoch is overwritten from a foreign value with
+    /// no monotonic guard.
+    Ws113,
+    /// Protocol model: a handler arm extracted to an empty transition —
+    /// the model checker is blind to whatever the arm really does.
+    Ws114,
+    // --- WM codes: explicit-state exploration findings (wiera-model) ---
+    /// Split-brain: two distinct nodes acted as primary in one epoch.
+    Wm001,
+    /// Epoch monotonicity: a node's epoch moved backwards.
+    Wm002,
+    /// Durability: an acknowledged write was lost across failover.
+    Wm003,
+    /// Convergence: live replicas failed to converge after quiescence.
+    Wm004,
 }
 
 /// All codes the analyzer can emit, for documentation and golden tests.
@@ -208,13 +236,23 @@ pub const ALL_CHECK_CODES: [Code; 7] = [
 
 /// All codes `wiera-audit` can emit (source-level static analysis over the
 /// workspace's Rust code), kept separate from the catalogs above.
-pub const ALL_AUDIT_CODES: [Code; 5] = [
+pub const ALL_AUDIT_CODES: [Code; 11] = [
     Code::Ws100,
     Code::Ws101,
     Code::Ws102,
     Code::Ws103,
     Code::Ws104,
+    Code::Ws105,
+    Code::Ws110,
+    Code::Ws111,
+    Code::Ws112,
+    Code::Ws113,
+    Code::Ws114,
 ];
+
+/// All codes `wiera-model` can emit (invariant violations found by
+/// exhaustive exploration of the extracted protocol model).
+pub const ALL_MODEL_CODES: [Code; 4] = [Code::Wm001, Code::Wm002, Code::Wm003, Code::Wm004];
 
 impl Code {
     pub fn as_str(self) -> &'static str {
@@ -249,6 +287,16 @@ impl Code {
             Code::Ws102 => "WS102",
             Code::Ws103 => "WS103",
             Code::Ws104 => "WS104",
+            Code::Ws105 => "WS105",
+            Code::Ws110 => "WS110",
+            Code::Ws111 => "WS111",
+            Code::Ws112 => "WS112",
+            Code::Ws113 => "WS113",
+            Code::Ws114 => "WS114",
+            Code::Wm001 => "WM001",
+            Code::Wm002 => "WM002",
+            Code::Wm003 => "WM003",
+            Code::Wm004 => "WM004",
         }
     }
 
@@ -285,6 +333,16 @@ impl Code {
             Code::Ws102 => "panic site reachable from a data-path handler",
             Code::Ws103 => "blocking operation while a tracked lock guard is live",
             Code::Ws104 => "metrics discipline violation",
+            Code::Ws105 => "unresolved/widened call sites reachable from data-path entries",
+            Code::Ws110 => "epoch-bearing handler arm mutates state without an epoch guard",
+            Code::Ws111 => "request handler arm emits no reply on any extracted path",
+            Code::Ws112 => "reply emitted before the arm's state mutation commits",
+            Code::Ws113 => "epoch overwritten from a foreign value with no monotonic guard",
+            Code::Ws114 => "handler arm extracted to an empty transition (model blind spot)",
+            Code::Wm001 => "split-brain: two nodes acted as primary in one epoch",
+            Code::Wm002 => "a node's epoch moved backwards",
+            Code::Wm003 => "acknowledged write lost across failover",
+            Code::Wm004 => "live replicas failed to converge after quiescence",
         }
     }
 }
@@ -470,10 +528,11 @@ mod tests {
             .iter()
             .chain(ALL_CHECK_CODES.iter())
             .chain(ALL_AUDIT_CODES.iter())
+            .chain(ALL_MODEL_CODES.iter())
         {
             assert!(seen.insert(c.as_str()), "duplicate code {c}");
             assert!(!c.describe().is_empty());
         }
-        assert_eq!(seen.len(), 30);
+        assert_eq!(seen.len(), 40);
     }
 }

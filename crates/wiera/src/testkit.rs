@@ -37,6 +37,25 @@ impl Cluster {
         seed: u64,
         controller_config: ControllerConfig,
     ) -> Cluster {
+        Self::launch_full(
+            regions,
+            time_scale,
+            seed,
+            controller_config,
+            CoordConfig::default(),
+        )
+    }
+
+    /// Like [`Cluster::launch_with`] but with an explicit coordination
+    /// config — e.g. a session timeout widened for heavily loaded hosts
+    /// where heartbeat threads can stall for many wall milliseconds.
+    pub fn launch_full(
+        regions: &[Region],
+        time_scale: f64,
+        seed: u64,
+        controller_config: ControllerConfig,
+        coord_config: CoordConfig,
+    ) -> Cluster {
         let fabric = Arc::new(Fabric::multicloud(seed));
         let clock: SharedClock = ScaledClock::shared(time_scale);
         let data_mesh = Mesh::new(fabric.clone(), clock.clone());
@@ -44,7 +63,6 @@ impl Cluster {
 
         // Coordination service co-located with the controller (§5: "Zookeeper
         // is also running with Wiera on the same instance").
-        let coord_config = CoordConfig::default();
         let coord = CoordService::spawn(
             coord_mesh.clone(),
             NodeId::new(controller_config.region, "zk"),
