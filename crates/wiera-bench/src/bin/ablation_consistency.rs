@@ -64,12 +64,9 @@ struct Record {
 }
 
 fn mean_put(cluster: &Cluster, dep: &Arc<wiera::deployment::WieraDeployment>, n: usize) -> f64 {
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsWest,
-        "probe",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsWest, "probe")
+        .replicas(dep.replicas())
+        .build();
     let mut total = 0.0;
     for i in 0..n {
         let view = client
@@ -174,12 +171,9 @@ fn flush(seed: u64) -> Vec<FlushRow> {
                 },
             )
             .unwrap();
-        let client = WieraClient::connect(
-            cluster.data_mesh.clone(),
-            Region::UsWest,
-            "probe",
-            dep.replicas(),
-        );
+        let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsWest, "probe")
+            .replicas(dep.replicas())
+            .build();
         let replicas = cluster.deployment_replicas("ev");
         let tokyo = replicas
             .iter()

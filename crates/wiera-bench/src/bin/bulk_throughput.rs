@@ -70,12 +70,9 @@ fn run_at_batch(seed: u64, n_ops: u64, batch: usize) -> Row {
         .controller
         .start_instances("bulk", "bulk", DeploymentConfig::default())
         .unwrap();
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "bulk-app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "bulk-app")
+        .replicas(dep.replicas())
+        .build();
 
     let ledger = Arc::new(Ledger::new());
     let driver = ClientDriver::new(

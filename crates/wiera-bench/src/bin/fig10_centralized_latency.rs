@@ -59,6 +59,8 @@ fn main() {
             flush_interval: SimDuration::from_secs(1),
             coord: None,
             forward_gets_to: None,
+            shard_group: None,
+            service_time: None,
         },
     )
     .expect("replica spawns");

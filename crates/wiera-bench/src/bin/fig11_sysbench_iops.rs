@@ -103,6 +103,8 @@ fn run_remote(nic_cap_mbps: f64, seed: u64) -> f64 {
             flush_interval: SimDuration::from_millis(500),
             coord: None,
             forward_gets_to: None,
+            shard_group: None,
+            service_time: None,
         },
     )
     .expect("replica spawns");
@@ -117,6 +119,8 @@ fn run_remote(nic_cap_mbps: f64, seed: u64) -> f64 {
             flush_interval: SimDuration::from_millis(500),
             coord: None,
             forward_gets_to: None,
+            shard_group: None,
+            service_time: None,
         },
     )
     .expect("replica spawns");
@@ -127,12 +131,10 @@ fn run_remote(nic_cap_mbps: f64, seed: u64) -> f64 {
 
     // SysBench runs on the Azure VM; its POSIX calls land on Wiera via the
     // FUSE shim (our WieraFs) — the application itself is unmodified.
-    let client = wiera::client::WieraClient::connect(
-        mesh.clone(),
-        Region::AzureUsEast,
-        "sysbench-vm",
-        vec![azure.node.clone()],
-    );
+    let client =
+        wiera::client::WieraClient::builder(mesh.clone(), Region::AzureUsEast, "sysbench-vm")
+            .replicas(vec![azure.node.clone()])
+            .build();
     let fs = WieraFs::new(client, FsConfig::direct(16 * 1024));
     let cfg = bench_cfg(seed);
     Sysbench::prepare(&fs, &cfg).unwrap();

@@ -93,6 +93,8 @@ fn run_remote(nic_cap_mbps: f64, seed: u64) -> f64 {
             flush_interval: SimDuration::from_millis(500),
             coord: None,
             forward_gets_to: None,
+            shard_group: None,
+            service_time: None,
         },
     )
     .expect("replica spawns");
@@ -107,6 +109,8 @@ fn run_remote(nic_cap_mbps: f64, seed: u64) -> f64 {
             flush_interval: SimDuration::from_millis(500),
             coord: None,
             forward_gets_to: None,
+            shard_group: None,
+            service_time: None,
         },
     )
     .expect("replica spawns");
@@ -115,12 +119,9 @@ fn run_remote(nic_cap_mbps: f64, seed: u64) -> f64 {
     aws.set_peers_direct(peers, Some(azure.node.clone()), 1);
     azure.set_forward_gets_to(Some(aws.node.clone()));
 
-    let client = wiera::client::WieraClient::connect(
-        mesh.clone(),
-        Region::AzureUsEast,
-        "rubis-vm",
-        vec![azure.node.clone()],
-    );
+    let client = wiera::client::WieraClient::builder(mesh.clone(), Region::AzureUsEast, "rubis-vm")
+        .replicas(vec![azure.node.clone()])
+        .build();
     let fs = WieraFs::new(client, FsConfig::direct(16 * 1024));
     let (rubis, _) = Rubis::populate(fs, rubis_cfg(seed)).unwrap();
     let rps = rubis.run_paced(&mesh.clock).throughput;

@@ -101,12 +101,10 @@ fn main() {
         Region::EuWest,
         Region::AsiaEast,
     ] {
-        let client = WieraClient::connect(
-            cluster.data_mesh.clone(),
-            region,
-            format!("app-{region}"),
-            dep.replicas(),
-        );
+        let client =
+            WieraClient::builder(cluster.data_mesh.clone(), region, format!("app-{region}"))
+                .replicas(dep.replicas())
+                .build();
         let clock = clock.clone();
         let stop = stop.clone();
         let series = if region == Region::UsWest {

@@ -102,12 +102,13 @@ fn run(label: &str, changing: bool, seed: u64) -> RunResult {
     for (ri, &region) in REGIONS.iter().enumerate() {
         let sched = schedules[ri].clone();
         for c in 0..CLIENTS_PER_REGION {
-            let client = WieraClient::connect(
+            let client = WieraClient::builder(
                 cluster.data_mesh.clone(),
                 region,
                 format!("cli-{region}-{c}"),
-                dep.replicas(),
-            );
+            )
+            .replicas(dep.replicas())
+            .build();
             let clock = clock.clone();
             let stop = stop.clone();
             let ledger = ledger.clone();

@@ -1,0 +1,282 @@
+//! Fleet throughput: what consistent-hash sharding buys in aggregate.
+//!
+//! One replica group replicates every object to all of its replicas, so
+//! its write path is the whole deployment's throughput ceiling. The fleet
+//! spreads the keyspace over many groups behind the shard map; this bench
+//! measures how aggregate throughput scales as the SAME workload is served
+//! by 1, 2, 4, and 8 groups.
+//!
+//! Setup: a two-region eventual-consistency fleet (2 replicas per group,
+//! one per region), 64 shards on the ring, and a modeled per-replica
+//! service time — each replica is a saturable single server capping out at
+//! `1/service_time` ops/sec, so capacity genuinely grows with groups. A
+//! closed-loop pool of Zipfian clients (half per region, YCSB-style
+//! read-mostly mix over a 100k-record keyspace) drives every
+//! configuration; throughput is total ops over elapsed *sim* time.
+//!
+//! Shape checks:
+//!
+//! * near-linear scaling — 8 groups must deliver ≥4× the aggregate
+//!   ops/sec of 1 group (sub-linear headroom comes from the Zipfian head:
+//!   the hottest group serves more than 1/N of the load);
+//! * shard balance — no group's request share may exceed 35 % at 8
+//!   groups, i.e. the ring spreads even a skewed keyspace.
+
+use serde::Serialize;
+use std::sync::Arc;
+use wiera::client::WieraClient;
+use wiera::deployment::DeploymentConfig;
+use wiera::fleet::{FleetConfig, WieraFleet};
+use wiera::testkit::{bodies, Cluster};
+use wiera_net::Region;
+use wiera_sim::{SimDuration, SimRng};
+use wiera_workload::{ClientDriver, KeyChooser, Ledger, WorkloadSpec};
+
+/// Gentle time compression, like the other closed-loop throughput benches
+/// (`fig11`/`fig12` pace at 4x): modeled sleeps must dominate real compute
+/// overhead or wall-clock scheduling noise pollutes the sim-time axis.
+const SCALE: f64 = 2.0;
+const SHARDS: u32 = 64;
+const VNODES: u32 = 8;
+const VALUE_BYTES: usize = 64;
+/// Per-replica modeled service time: each replica saturates at ~200
+/// ops/sec, so one 2-replica group caps near 400 ops/sec aggregate.
+const SERVICE_MS: f64 = 5.0;
+/// Zipf exponent for the client key distribution. 0.9 is a heavy skew
+/// (the hot head carries a large share) while still letting the hottest
+/// group stay under the balance bound at 8 groups.
+const THETA: f64 = 0.9;
+
+#[derive(Serialize)]
+struct Row {
+    groups: u32,
+    clients: usize,
+    ops: u64,
+    errors: u64,
+    sim_seconds: f64,
+    ops_per_sec: f64,
+    speedup_vs_1: f64,
+    /// Analytic request share of the most-loaded group under the Zipfian
+    /// distribution and this run's shard map.
+    hottest_group_share: f64,
+    mean_put_ms: f64,
+    mean_get_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Record {
+    experiment: &'static str,
+    shards: u32,
+    vnodes: u32,
+    keyspace: usize,
+    service_time_ms: f64,
+    zipf_theta: f64,
+    rows: Vec<Row>,
+}
+
+/// Request-weighted load share of each group: sum the Zipfian probability
+/// mass of the head of the keyspace (which carries almost all requests)
+/// into the owning group.
+fn group_shares(map: &wiera_coord::shard::ShardMap, keyspace: usize) -> Vec<f64> {
+    let head = keyspace.min(20_000);
+    let mut shares = vec![0.0f64; map.num_groups() as usize];
+    let mut total = 0.0;
+    for rank in 0..head {
+        let p = 1.0 / ((rank + 1) as f64).powf(THETA);
+        let g = map.group_of(&format!("user{rank:08}"));
+        shares[g as usize] += p;
+        total += p;
+    }
+    for s in &mut shares {
+        *s /= total;
+    }
+    shares
+}
+
+/// Drive the closed-loop client pool against a fresh fleet of `groups`
+/// groups and report aggregate throughput in ops per sim-second.
+fn run_at_groups(
+    seed: u64,
+    groups: u32,
+    clients: usize,
+    keyspace: usize,
+    ops_per_client: u64,
+) -> Row {
+    let cluster = Cluster::launch(&[Region::UsEast, Region::UsWest], SCALE, seed);
+    cluster
+        .register_policy_over(
+            "fleetbench",
+            &[("US-East", true), ("US-West", false)],
+            bodies::EVENTUAL,
+        )
+        .unwrap();
+    let fleet = WieraFleet::launch(
+        cluster.controller.clone(),
+        cluster.data_mesh.clone(),
+        "fleetbench",
+        FleetConfig::new("fleetbench")
+            .with_groups(groups)
+            .with_shards(SHARDS, VNODES)
+            .with_deployment(DeploymentConfig {
+                service_time_ms: Some(SERVICE_MS),
+                ..DeploymentConfig::default()
+            }),
+    )
+    .unwrap();
+
+    let shares = group_shares(&fleet.view().map(), keyspace);
+    let hottest = shares.iter().cloned().fold(0.0, f64::max);
+
+    // One shared ledger so freshness tracking spans the whole pool; one
+    // driver per client so latency recorders never contend.
+    let ledger = Arc::new(Ledger::new());
+    let spec = WorkloadSpec {
+        name: "fleet-read-mostly",
+        get_prop: 0.95,
+        put_prop: 0.05,
+        rmw_prop: 0.0,
+        keys: KeyChooser::zipfian_theta(keyspace, THETA),
+        value_bytes: VALUE_BYTES,
+    };
+    let pool: Vec<(Arc<WieraClient>, Arc<ClientDriver>)> = (0..clients)
+        .map(|i| {
+            let region = if i % 2 == 0 {
+                Region::UsEast
+            } else {
+                Region::UsWest
+            };
+            let client =
+                WieraClient::builder(cluster.data_mesh.clone(), region, format!("fleet-app-{i}"))
+                    .fleet(fleet.view())
+                    .max_attempts(40)
+                    .build();
+            let driver = ClientDriver::new(spec.clone(), ledger.clone(), SimDuration::ZERO);
+            (client, driver)
+        })
+        .collect();
+
+    // Measure only the driven workload, not fleet launch traffic.
+    wiera_bench::reset_observability();
+    let t0 = cluster.clock.now();
+    std::thread::scope(|s| {
+        for (i, (client, driver)) in pool.iter().enumerate() {
+            let clock = &cluster.clock;
+            s.spawn(move || {
+                let mut rng = SimRng::new(seed ^ 0xf1ee).child(&format!("client-{i}"));
+                driver.run_ops(&**client, clock, &mut rng, ops_per_client);
+            });
+        }
+    });
+    let sim_seconds = cluster.clock.now().elapsed_since(t0).as_secs_f64();
+
+    let drivers: Vec<Arc<ClientDriver>> = pool.iter().map(|(_, d)| d.clone()).collect();
+    let report = ClientDriver::merged_report(&drivers);
+    fleet.stop_all();
+    cluster.shutdown();
+
+    Row {
+        groups,
+        clients,
+        ops: report.ops,
+        errors: report.errors,
+        sim_seconds,
+        ops_per_sec: report.ops as f64 / sim_seconds.max(1e-9),
+        speedup_vs_1: 0.0, // filled once the 1-group baseline is known
+        hottest_group_share: hottest,
+        mean_put_ms: report.put_latency.mean_ms,
+        mean_get_ms: report.get_latency.mean_ms,
+    }
+}
+
+fn main() {
+    let seed = wiera_bench::default_seed();
+    let smoke = wiera_bench::is_smoke();
+    // Smoke shrinks the pool and keyspace but keeps the full group sweep,
+    // so CI still exercises the 8-group fleet end to end.
+    let (clients, keyspace, ops_per_client) = if smoke {
+        (16, 10_000, 30)
+    } else {
+        (64, 100_000, 150)
+    };
+
+    let mut rows: Vec<Row> = [1u32, 2, 4, 8]
+        .iter()
+        .map(|&g| run_at_groups(seed, g, clients, keyspace, ops_per_client))
+        .collect();
+    let base = rows[0].ops_per_sec;
+    for r in &mut rows {
+        r.speedup_vs_1 = r.ops_per_sec / base;
+    }
+
+    wiera_bench::print_table(
+        &format!(
+            "Fleet throughput: {clients} Zipfian clients (θ={THETA}), {keyspace} keys, \
+             {SHARDS} shards, {SERVICE_MS} ms/op replicas, eventual consistency"
+        ),
+        &[
+            "Groups",
+            "Ops",
+            "Sim s",
+            "Ops/s",
+            "Speedup",
+            "Hottest grp",
+            "Put (ms)",
+            "Get (ms)",
+            "Errors",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.groups.to_string(),
+                    r.ops.to_string(),
+                    format!("{:.2}", r.sim_seconds),
+                    format!("{:.0}", r.ops_per_sec),
+                    format!("{:.2}x", r.speedup_vs_1),
+                    format!("{:.0}%", r.hottest_group_share * 100.0),
+                    format!("{:.2}", r.mean_put_ms),
+                    format!("{:.2}", r.mean_get_ms),
+                    r.errors.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let total_ops = clients as u64 * ops_per_client;
+    for r in &rows {
+        assert_eq!(r.ops, total_ops, "{} groups must drive every op", r.groups);
+        assert_eq!(r.errors, 0, "{} groups saw op errors", r.groups);
+    }
+    let eight = rows.iter().find(|r| r.groups == 8).unwrap();
+    assert!(
+        eight.hottest_group_share < 0.35,
+        "shard imbalance: hottest group carries {:.0}% of requests",
+        eight.hottest_group_share * 100.0
+    );
+    // Smoke runs are small enough that queueing never fully dominates, so
+    // the gate is relaxed there; the committed full run must show ≥4×.
+    let need = if smoke { 2.0 } else { 4.0 };
+    assert!(
+        eight.speedup_vs_1 >= need,
+        "8 groups must scale ≥{need}x over 1, got {:.2}x",
+        eight.speedup_vs_1
+    );
+
+    println!(
+        "\nshape-check: 8 groups deliver {:.2}x aggregate throughput (≥{need}x) with \
+         hottest group at {:.0}%  [OK]",
+        eight.speedup_vs_1,
+        eight.hottest_group_share * 100.0
+    );
+    let record = Record {
+        experiment: "fleet_throughput",
+        shards: SHARDS,
+        vnodes: VNODES,
+        keyspace,
+        service_time_ms: SERVICE_MS,
+        zipf_theta: THETA,
+        rows,
+    };
+    wiera_bench::emit("fleet_throughput", &record);
+    wiera_bench::emit_metrics("fleet_throughput");
+}

@@ -177,12 +177,9 @@ fn run_replicated(cfg: &BenchConfig, seed: u64) -> f64 {
         .controller
         .start_instances("hotpath", "hotpath", DeploymentConfig::default())
         .unwrap_or_else(|e| panic!("deploy: {e}"));
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "hotpath-app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "hotpath-app")
+        .replicas(dep.replicas())
+        .build();
 
     let t0 = Instant::now();
     let mut done = 0usize;

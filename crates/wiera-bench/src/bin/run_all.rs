@@ -18,7 +18,7 @@
 use std::process::Command;
 use wiera_sim::RegistrySnapshot;
 
-const EXPERIMENTS: [(&str, &str); 12] = [
+const EXPERIMENTS: [(&str, &str); 13] = [
     ("table4_costs", "Table 4: storage tier prices"),
     ("fig9_tier_latency", "Fig. 9: per-tier 4KB latency"),
     (
@@ -58,11 +58,15 @@ const EXPERIMENTS: [(&str, &str); 12] = [
         "hotpath",
         "Hot path: wall-clock engine throughput + copied-bytes counter",
     ),
+    (
+        "fleet_throughput",
+        "Fleet sharding: aggregate ops/sec scaling over 1→8 replica groups",
+    ),
 ];
 
 /// Binaries that export a `results/metrics_<name>.json` registry snapshot,
 /// with the counter/histogram invariants the smoke gate asserts on each.
-const METRIC_CHECKS: [(&str, &[Invariant]); 8] = [
+const METRIC_CHECKS: [(&str, &[Invariant]); 9] = [
     (
         "fig9_tier_latency",
         &[
@@ -130,6 +134,17 @@ const METRIC_CHECKS: [(&str, &[Invariant]); 8] = [
         &[
             Invariant::CounterPositive("tiera_ops_total"),
             Invariant::CounterPositive("tier_ops_total"),
+        ],
+    ),
+    (
+        "fleet_throughput",
+        &[
+            Invariant::CounterPositive("net_rpc_total"),
+            Invariant::CounterPositive("wiera_put_total"),
+            Invariant::CounterPositive("wiera_get_total"),
+            // The map is stable while the pool runs: with no shard moving,
+            // every op must route correctly on the first try.
+            Invariant::CounterZero("wiera_wrong_shard_total"),
         ],
     ),
 ];

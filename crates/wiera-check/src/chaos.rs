@@ -242,17 +242,18 @@ fn run_protocol(p: &Protocol, seed: u64) -> ChaosReport {
     let clients: Vec<Arc<WieraClient>> = REGIONS
         .iter()
         .map(|&region| {
-            WieraClient::connect_with_policy(
+            WieraClient::builder(
                 cluster.data_mesh.clone(),
                 region,
                 format!("chaos-app-{region}"),
-                dep.replicas(),
-                RetryPolicy {
-                    seed: rng.child("client").seed(),
-                    max_attempts: 6,
-                    ..Default::default()
-                },
             )
+            .replicas(dep.replicas())
+            .policy(RetryPolicy {
+                seed: rng.child("client").seed(),
+                max_attempts: 6,
+                ..Default::default()
+            })
+            .build()
         })
         .collect();
 

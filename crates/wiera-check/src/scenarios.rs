@@ -131,6 +131,25 @@ pub fn all_scenarios() -> &'static [Scenario] {
             run: run_session_expiry,
         },
         Scenario {
+            name: "fleet-sharded-routing",
+            kind: ScenarioKind::Corpus,
+            describe: "two-group consistent-hash fleet under sync \
+                       primary-backup: shard-routed single-key and batch \
+                       traffic from both regions, linearizability per key",
+            expect: &[],
+            run: run_fleet_sharded_routing,
+        },
+        Scenario {
+            name: "fleet-shard-move",
+            kind: ScenarioKind::Corpus,
+            describe: "shard move under concurrent writers with a \
+                       target-group backup crashed mid-handoff: every acked \
+                       write survives, the target group is digest-equal \
+                       after heal, and the history stays clean",
+            expect: &[],
+            run: run_fleet_shard_move,
+        },
+        Scenario {
             name: "adv-abba-deadlock",
             kind: ScenarioKind::Adversarial,
             describe: "planted ABBA: two threads take two tracked locks in \
@@ -403,18 +422,12 @@ fn run_batched_bulk_ops() -> Vec<Diagnostic> {
         Ok(b) => b,
         Err(e) => return err_diag("launch", e),
     };
-    let east = wiera::WieraClient::connect(
-        b.cluster.data_mesh.clone(),
-        Region::UsEast,
-        "app-e",
-        b.dep.replicas(),
-    );
-    let west = wiera::WieraClient::connect(
-        b.cluster.data_mesh.clone(),
-        Region::UsWest,
-        "app-w",
-        b.dep.replicas(),
-    );
+    let east = wiera::WieraClient::builder(b.cluster.data_mesh.clone(), Region::UsEast, "app-e")
+        .replicas(b.dep.replicas())
+        .build();
+    let west = wiera::WieraClient::builder(b.cluster.data_mesh.clone(), Region::UsWest, "app-w")
+        .replicas(b.dep.replicas())
+        .build();
     let keys: Vec<String> = (0..3).map(|i| format!("b{i}")).collect();
     // Round 1 from the primary side, round 2 from the backup side (one
     // forwarded MultiPut); both record per-item mput spans the oracle must
@@ -471,12 +484,9 @@ fn run_batched_eventual() -> Vec<Diagnostic> {
         Ok(b) => b,
         Err(e) => return err_diag("launch", e),
     };
-    let east = wiera::WieraClient::connect(
-        b.cluster.data_mesh.clone(),
-        Region::UsEast,
-        "app-e",
-        b.dep.replicas(),
-    );
+    let east = wiera::WieraClient::builder(b.cluster.data_mesh.clone(), Region::UsEast, "app-e")
+        .replicas(b.dep.replicas())
+        .build();
     // Two batches of local writes to distinct keys: each flush interval must
     // drain the whole queue as one coalesced ReplicateBatch per peer, and
     // the LWW applies at the peer must converge.
@@ -502,12 +512,10 @@ fn run_batched_eventual() -> Vec<Diagnostic> {
     quiesce(80);
     let read_keys: Vec<String> = (0..4).map(|i| format!("ev{i}")).collect();
     for client_region in [Region::UsEast, Region::EuWest] {
-        let reader = wiera::WieraClient::connect(
-            b.cluster.data_mesh.clone(),
-            client_region,
-            "app-r",
-            b.dep.replicas(),
-        );
+        let reader =
+            wiera::WieraClient::builder(b.cluster.data_mesh.clone(), client_region, "app-r")
+                .replicas(b.dep.replicas())
+                .build();
         match reader.get_batch(&read_keys) {
             Ok(results) => {
                 if let Some(e) = results.into_iter().filter_map(Result::err).next() {
@@ -621,6 +629,253 @@ fn run_session_expiry() -> Vec<Diagnostic> {
         }
     }
     collect(b, Vec::new())
+}
+
+// ---- fleet sharding --------------------------------------------------------
+
+struct FleetBench {
+    cluster: Cluster,
+    fleet: Arc<wiera::fleet::WieraFleet>,
+    model: Option<ConsistencyModel>,
+}
+
+/// Stand up a two-region cluster and a sharded fleet of `groups` sync
+/// primary-backup deployments over it, tracer and lock registry reset.
+/// PB-sync on purpose: every ack is synchronously replicated, so the
+/// post-move digest comparison and the per-key linearizability check are
+/// exact (an eventual-mode fleet would race its own queues).
+fn fleet_bench(id: &str, groups: u32, time_scale: f64) -> Result<FleetBench, String> {
+    Tracer::global().clear();
+    LockRegistry::global().reset();
+    let layout: &[(&str, bool)] = &[("US-East", true), ("US-West", false)];
+    let mut coord_config = CoordConfig::default();
+    let wall_floor = SimDuration::from_secs_f64((0.1 * time_scale).min(250.0));
+    if coord_config.session_timeout < wall_floor {
+        coord_config.session_timeout = wall_floor;
+    }
+    let cluster = Cluster::launch_full(
+        &[Region::UsEast, Region::UsWest],
+        time_scale,
+        7,
+        ControllerConfig::default(),
+        coord_config,
+    );
+    let src = policy_src(id, layout, bodies::PRIMARY_BACKUP_SYNC);
+    cluster.controller.register_policy(id, &src)?;
+    let fleet = wiera::fleet::WieraFleet::launch(
+        cluster.controller.clone(),
+        cluster.data_mesh.clone(),
+        id,
+        wiera::fleet::FleetConfig::new(id)
+            .with_groups(groups)
+            .with_shards(16, 8),
+    )?;
+    let model = deduced_model(&src);
+    Ok(FleetBench {
+        cluster,
+        fleet,
+        model,
+    })
+}
+
+fn fleet_collect(b: FleetBench, extra: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    b.fleet.stop_all();
+    b.cluster.shutdown();
+    quiesce(20);
+    let events: Vec<TraceEvent> = Tracer::global().events();
+    let (history, mut diags) = extract_history(&events);
+    diags.extend(check_history(&history, b.model));
+    diags.extend(registry_diagnostics(LockRegistry::global()));
+    diags.extend(extra);
+    diags
+}
+
+fn fleet_client(b: &FleetBench, region: Region, name: &str) -> Arc<wiera::WieraClient> {
+    wiera::WieraClient::builder(b.cluster.data_mesh.clone(), region, name)
+        .fleet(b.fleet.view())
+        .max_attempts(40)
+        .build()
+}
+
+fn run_fleet_sharded_routing() -> Vec<Diagnostic> {
+    let b = match fleet_bench("chk-fleet", 2, 2000.0) {
+        Ok(b) => b,
+        Err(e) => return err_diag("launch", e),
+    };
+    let east = fleet_client(&b, Region::UsEast, "app-e");
+    let west = fleet_client(&b, Region::UsWest, "app-w");
+    let keys: Vec<String> = (0..8).map(|i| format!("f{i}")).collect();
+    // Interleaved single-key writes from both regions: each key's history
+    // lives entirely inside its owning group, and must linearize there.
+    for round in 0..2u8 {
+        for (i, key) in keys.iter().enumerate() {
+            let client = if i % 2 == 0 { &east } else { &west };
+            if let Err(e) = client.put(key, Bytes::from(vec![(round << 4) | i as u8; 64])) {
+                return fleet_collect(b, err_diag("put", e));
+            }
+        }
+        quiesce(15);
+    }
+    // One batch per side: split per owning group, fanned out concurrently.
+    let items: Vec<(String, Bytes)> = keys
+        .iter()
+        .map(|k| (k.clone(), Bytes::from(vec![0xF0; 64])))
+        .collect();
+    match east.put_batch(&items) {
+        Ok(results) => {
+            if let Some(e) = results.into_iter().filter_map(Result::err).next() {
+                return fleet_collect(b, err_diag("batch put", e));
+            }
+        }
+        Err(e) => return fleet_collect(b, err_diag("batch put", e)),
+    }
+    quiesce(40);
+    for client in [&east, &west] {
+        match client.get_batch(&keys) {
+            Ok(results) => {
+                if let Some(e) = results.into_iter().filter_map(Result::err).next() {
+                    return fleet_collect(b, err_diag("batch get", e));
+                }
+            }
+            Err(e) => return fleet_collect(b, err_diag("batch get", e)),
+        }
+    }
+    fleet_collect(b, Vec::new())
+}
+
+fn run_fleet_shard_move() -> Vec<Diagnostic> {
+    let b = match fleet_bench("chk-move", 2, 2000.0) {
+        Ok(b) => b,
+        Err(e) => return err_diag("launch", e),
+    };
+    let client = fleet_client(&b, Region::UsEast, "app-m");
+    // Keys all in one group-0 shard, so the move window covers them.
+    let map = b.fleet.view().map();
+    let shard = map.shards_of_group(0)[0];
+    let keys: Vec<String> = (0..)
+        .map(|i| format!("mv{i}"))
+        .filter(|k| map.shard_of(k) == shard)
+        .take(5)
+        .collect();
+    for key in &keys {
+        if let Err(e) = client.put(key, Bytes::from(vec![0x01; 64])) {
+            return fleet_collect(b, err_diag("seed put", e));
+        }
+    }
+
+    // Chaos: a target-group backup is down for the whole handoff. The move
+    // must still complete (the target primary carries the install) and the
+    // restarted backup must converge through rejoin anti-entropy plus a
+    // shard-view refresh.
+    let target_reps = b.cluster.deployment_replicas("chk-move-g1");
+    let Some(backup) = target_reps
+        .iter()
+        .find(|r| r.primary() != Some(r.node.clone()))
+        .cloned()
+    else {
+        return fleet_collect(b, err_diag("setup", "target group has no backup"));
+    };
+    backup.crash();
+
+    // Concurrent writers hammer the moving shard; every ack is recorded.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let (acked, move_result) = std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            let mut acked: Vec<(String, u64)> = Vec::new();
+            let mut round = 0u8;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                for key in &keys {
+                    if let Ok(view) = client.put(key, Bytes::from(vec![round; 64])) {
+                        acked.push((key.clone(), view.version));
+                    }
+                }
+                round = round.wrapping_add(1);
+            }
+            acked
+        });
+        let move_result = b.fleet.move_shard(shard, 1);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        (writer.join().unwrap_or_default(), move_result)
+    });
+    if let Err(e) = move_result {
+        return fleet_collect(b, err_diag("move_shard", e));
+    }
+
+    // Heal: restart the crashed backup, let rejoin anti-entropy pull the
+    // moved objects, and re-push the current shard map slice.
+    let mut extra = Vec::new();
+    if let Err(e) = backup.restart() {
+        extra.push(Diagnostic::note(
+            Code::Wc013,
+            format!("backup restart failed ({e}); heal incomplete"),
+        ));
+    }
+    quiesce(60);
+    for r in &target_reps {
+        r.anti_entropy();
+    }
+    b.fleet.refresh_shard_views();
+    quiesce(40);
+
+    // Every acked write must be readable at an equal-or-newer version
+    // through the re-routed client: a WrongShard window is retried, never
+    // a lost ack.
+    if acked.is_empty() {
+        extra.push(Diagnostic::note(
+            Code::Wc013,
+            "no write was acked during the move; handoff window unchecked",
+        ));
+    }
+    for (key, version) in &acked {
+        match client.get(key) {
+            Ok(view) if view.version >= *version => {}
+            Ok(view) => extra.push(Diagnostic::deny(
+                Code::Wc010,
+                format!(
+                    "acked write lost across shard move: {key} acked at \
+                     v{version}, target serves v{}",
+                    view.version
+                ),
+            )),
+            Err(e) => extra.push(Diagnostic::deny(
+                Code::Wc010,
+                format!("acked key {key} unreadable after shard move: {e}"),
+            )),
+        }
+    }
+
+    // Post-heal digest equality across the target group (the moved shard's
+    // new home), including the restarted backup.
+    let tables: Vec<Vec<(String, u64, u64)>> = target_reps
+        .iter()
+        .map(|r| {
+            let mut t: Vec<(String, u64, u64)> = r
+                .digest_table()
+                .into_iter()
+                .map(|e| (e.key, e.version, e.digest))
+                .collect();
+            t.sort();
+            t
+        })
+        .collect();
+    if !tables.windows(2).all(|w| w[0] == w[1]) {
+        extra.push(Diagnostic::deny(
+            Code::Wc012,
+            "target group digest mismatch after shard move + heal",
+        ));
+    }
+    // And the source group retired the shard: no moved key lingers there.
+    for r in b.cluster.deployment_replicas("chk-move-g0") {
+        for e in r.digest_table() {
+            if keys.contains(&e.key) {
+                extra.push(Diagnostic::deny(
+                    Code::Wc012,
+                    format!("moved key {} not retired from source {}", e.key, r.node),
+                ));
+            }
+        }
+    }
+    fleet_collect(b, extra)
 }
 
 // ---- adversarial -----------------------------------------------------------

@@ -24,7 +24,9 @@
 pub mod client;
 pub mod msg;
 pub mod service;
+pub mod shard;
 
 pub use client::{CoordClient, CoordError, LockGuard};
 pub use msg::CoordMsg;
 pub use service::{CoordConfig, CoordService};
+pub use shard::{key_hash, ShardMap};

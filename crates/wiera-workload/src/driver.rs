@@ -14,54 +14,12 @@ pub struct OpSample {
     pub version: u64,
 }
 
-/// Why a store operation failed, as much structure as the driver needs:
-/// a missing key is workload noise, anything else is a real error.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum KvErrorKind {
-    NotFound,
-    Other,
-}
-
-/// A structured store failure.
-#[derive(Debug, Clone)]
-pub struct KvError {
-    pub kind: KvErrorKind,
-    pub message: String,
-}
-
-impl KvError {
-    pub fn not_found(message: impl Into<String>) -> KvError {
-        KvError {
-            kind: KvErrorKind::NotFound,
-            message: message.into(),
-        }
-    }
-
-    pub fn other(message: impl Into<String>) -> KvError {
-        KvError {
-            kind: KvErrorKind::Other,
-            message: message.into(),
-        }
-    }
-
-    pub fn is_not_found(&self) -> bool {
-        self.kind == KvErrorKind::NotFound
-    }
-}
-
-impl std::fmt::Display for KvError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.message)
-    }
-}
-
-impl std::error::Error for KvError {}
-
-impl From<KvError> for String {
-    fn from(e: KvError) -> String {
-        e.message
-    }
-}
+/// Why a store operation failed. Historically the driver had its own
+/// error struct; it is now the unified [`wiera::WieraError`] — a missing
+/// key is workload noise ([`WieraError::is_not_found`]), anything else is
+/// a real error. Substrate adapters construct it with
+/// [`WieraError::not_found`] / [`WieraError::other`].
+pub use wiera::WieraError as KvError;
 
 /// Anything a driver can load: `WieraClient` implements this, and the app
 /// substrates provide their own adapters.
@@ -88,14 +46,6 @@ pub trait KvStore: Send + Sync {
     }
 }
 
-fn app_err(e: wiera::replica::AppError) -> KvError {
-    if e.is_not_found() {
-        KvError::not_found(e.to_string())
-    } else {
-        KvError::other(e.to_string())
-    }
-}
-
 fn view_sample(view: &wiera::replica::OpView) -> OpSample {
     OpSample {
         latency: view.latency,
@@ -105,17 +55,15 @@ fn view_sample(view: &wiera::replica::OpView) -> OpSample {
 
 impl KvStore for wiera::client::WieraClient {
     fn kv_put(&self, key: &str, value: Bytes) -> Result<OpSample, KvError> {
-        self.put(key, value)
-            .map(|v| view_sample(&v))
-            .map_err(app_err)
+        self.put(key, value).map(|v| view_sample(&v))
     }
 
     fn kv_get(&self, key: &str) -> Result<OpSample, KvError> {
-        self.get(key).map(|v| view_sample(&v)).map_err(app_err)
+        self.get(key).map(|v| view_sample(&v))
     }
 
     fn kv_get_value(&self, key: &str) -> Result<(Bytes, OpSample), KvError> {
-        let view = self.get(key).map_err(app_err)?;
+        let view = self.get(key)?;
         let sample = view_sample(&view);
         Ok((view.value.unwrap_or_default(), sample))
     }
@@ -124,12 +72,9 @@ impl KvStore for wiera::client::WieraClient {
         match self.put_batch(items) {
             Ok(results) => results
                 .into_iter()
-                .map(|r| r.map(|v| view_sample(&v)).map_err(app_err))
+                .map(|r| r.map(|v| view_sample(&v)))
                 .collect(),
-            Err(e) => {
-                let shared = app_err(e);
-                items.iter().map(|_| Err(shared.clone())).collect()
-            }
+            Err(shared) => items.iter().map(|_| Err(shared.clone())).collect(),
         }
     }
 
@@ -137,12 +82,9 @@ impl KvStore for wiera::client::WieraClient {
         match self.get_batch(keys) {
             Ok(results) => results
                 .into_iter()
-                .map(|r| r.map(|v| view_sample(&v)).map_err(app_err))
+                .map(|r| r.map(|v| view_sample(&v)))
                 .collect(),
-            Err(e) => {
-                let shared = app_err(e);
-                keys.iter().map(|_| Err(shared.clone())).collect()
-            }
+            Err(shared) => keys.iter().map(|_| Err(shared.clone())).collect(),
         }
     }
 }

@@ -1,5 +1,6 @@
 //! Request-key distributions, following YCSB's generators.
 
+use std::sync::Arc;
 use wiera_sim::SimRng;
 
 /// How a client picks which record to operate on.
@@ -10,21 +11,24 @@ pub enum KeyChooser {
     /// YCSB's zipfian generator: popularity follows a Zipf law with
     /// exponent `theta` (YCSB default 0.99). "Huge fraction of data is
     /// accessed infrequently or not at all" — §5.3's Facebook observation.
-    Zipfian {
-        records: usize,
-        theta: f64,
-        zeta_n: f64,
-    },
+    /// Sampled by inverse CDF over a precomputed cumulative table, so a
+    /// draw is a binary search, not a linear scan — large keyspaces
+    /// (100k+ records) stay cheap even for big closed-loop client pools.
+    Zipfian { records: usize, cdf: Arc<[f64]> },
     /// Skewed toward the most recently inserted records.
-    Latest {
-        records: usize,
-        theta: f64,
-        zeta_n: f64,
-    },
+    Latest { records: usize, cdf: Arc<[f64]> },
 }
 
-fn zeta(n: usize, theta: f64) -> f64 {
-    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+/// Cumulative (unnormalized) Zipf mass: `cdf[i]` = Σ_{j≤i} 1/(j+1)^theta.
+fn zipf_cdf(n: usize, theta: f64) -> Arc<[f64]> {
+    let mut acc = 0.0;
+    let cdf: Vec<f64> = (0..n)
+        .map(|i| {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            acc
+        })
+        .collect();
+    cdf.into()
 }
 
 impl KeyChooser {
@@ -42,8 +46,7 @@ impl KeyChooser {
         let n = records.max(1);
         KeyChooser::Zipfian {
             records: n,
-            theta,
-            zeta_n: zeta(n, theta),
+            cdf: zipf_cdf(n, theta),
         }
     }
 
@@ -51,8 +54,7 @@ impl KeyChooser {
         let n = records.max(1);
         KeyChooser::Latest {
             records: n,
-            theta: 0.99,
-            zeta_n: zeta(n, theta_default()),
+            cdf: zipf_cdf(n, 0.99),
         }
     }
 
@@ -69,38 +71,14 @@ impl KeyChooser {
     pub fn next(&self, rng: &mut SimRng) -> usize {
         match self {
             KeyChooser::Uniform { records } => rng.gen_range_usize(0, *records),
-            KeyChooser::Zipfian {
-                records,
-                theta,
-                zeta_n,
+            KeyChooser::Zipfian { records, cdf } | KeyChooser::Latest { records, cdf } => {
+                let total = cdf[cdf.len() - 1];
+                let target = rng.gen_range_f64(0.0, 1.0) * total;
+                // First rank whose cumulative mass reaches the target.
+                cdf.partition_point(|&c| c < target).min(records - 1)
             }
-            | KeyChooser::Latest {
-                records,
-                theta,
-                zeta_n,
-            } => zipf_sample(rng, *records, *theta, *zeta_n),
         }
     }
-}
-
-fn theta_default() -> f64 {
-    0.99
-}
-
-/// Inverse-CDF zipf sampling (the YCSB algorithm, simplified).
-fn zipf_sample(rng: &mut SimRng, n: usize, theta: f64, zeta_n: f64) -> usize {
-    let u = rng.gen_range_f64(0.0, 1.0);
-    let target = u * zeta_n;
-    let mut acc = 0.0;
-    // Popular ranks are hit with high probability, so the linear scan's
-    // expected cost is tiny; fall through to the tail rarely.
-    for i in 0..n {
-        acc += 1.0 / ((i + 1) as f64).powf(theta);
-        if acc >= target {
-            return i;
-        }
-    }
-    n - 1
 }
 
 #[cfg(test)]
@@ -152,6 +130,29 @@ mod tests {
         }
         assert!(counts[0] > counts[10]);
         assert!(counts[10] > counts[50]);
+    }
+
+    #[test]
+    fn zipf_rank_share_matches_the_law() {
+        // The CDF-table sampler must reproduce the analytic Zipf shares:
+        // rank 0 of 1000 at θ=0.99 carries ~1/ζ of the mass.
+        let n = 1000;
+        let c = KeyChooser::zipfian(n);
+        let zeta: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(0.99)).sum();
+        let want = 1.0 / zeta;
+        let mut rng = SimRng::new(11);
+        let draws = 100_000;
+        let mut top = 0usize;
+        for _ in 0..draws {
+            if c.next(&mut rng) == 0 {
+                top += 1;
+            }
+        }
+        let got = top as f64 / draws as f64;
+        assert!(
+            (got - want).abs() < want * 0.15,
+            "rank-0 share {got:.4}, analytic {want:.4}"
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod ledger;
 pub mod spec;
 
 pub use diurnal::ActiveSchedule;
-pub use driver::{ClientDriver, DriverReport, KvError, KvErrorKind, KvStore, OpSample};
+pub use driver::{ClientDriver, DriverReport, KvError, KvStore, OpSample};
 pub use keychooser::KeyChooser;
 pub use ledger::Ledger;
 pub use spec::{OpKind, WorkloadSpec};

@@ -6,16 +6,23 @@
 //! then it tries to send requests to the second closest instance, and so
 //! on". Applications stay *unmodified*: this is the only integration point.
 //!
-//! Every method funnels through one failover loop with one retry/timeout
-//! policy: transport failures advance to the next-closest replica, semantic
-//! (`Fail`) replies are final. The batch calls (`put_batch`/`get_batch`)
-//! ship one amortized-header message per batch and report per-item results,
-//! so a partial failure inside a batch never hides the items that succeeded.
+//! Clients are built with [`WieraClient::builder`] and always route
+//! through a [`FleetView`] — a versioned shard map plus the replica list
+//! of every group. A single-deployment client is just the degenerate
+//! one-shard, one-group view, so legacy and fleet routing share one code
+//! path. Single-key operations hash the key, pick the owning group, and
+//! sweep that group's replicas closest-first; the batch calls
+//! (`put_batch`/`get_batch`) split the batch per owning group, fan the
+//! sub-batches out concurrently, and report per-item results. A
+//! `WrongShard` refusal means the map went stale under us (a shard move):
+//! the client re-reads the view and re-routes rather than failing.
 
+use crate::fleet::FleetView;
 use crate::msg::{DataMsg, FailCode, PutItem};
 use crate::replica::{view_of_item, view_of_reply, AppError, OpView, DATA_TIMEOUT};
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use wiera_net::{Mesh, NetError, NodeId, Region, RpcReply};
 use wiera_sim::{derive_seed, MetricsRegistry, SimDuration, SimRng};
@@ -47,70 +54,199 @@ impl Default for RetryPolicy {
     }
 }
 
-/// An application's connection to a Wiera deployment.
+/// Builder for [`WieraClient`]: routing source (a shared fleet view or a
+/// plain replica list), retry/backoff policy, and the shard-map refresh
+/// pause after a `WrongShard` redirect.
+pub struct WieraClientBuilder {
+    mesh: Arc<Mesh<DataMsg>>,
+    region: Region,
+    name: String,
+    policy: RetryPolicy,
+    refresh_backoff_ms: f64,
+    fleet: Option<Arc<FleetView>>,
+    replicas: Vec<NodeId>,
+}
+
+impl WieraClientBuilder {
+    /// Route through a shared fleet view (shard map + per-group replica
+    /// lists). The view is live: a shard move installed into it re-routes
+    /// this client on its next operation.
+    pub fn fleet(mut self, view: Arc<FleetView>) -> Self {
+        self.fleet = Some(view);
+        self
+    }
+
+    /// Route to one replica group directly (the pre-fleet mode). Internally
+    /// this still builds a one-shard [`FleetView`], so every operation takes
+    /// the same shard-routing path.
+    pub fn replicas(mut self, replicas: Vec<NodeId>) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Replace the whole retry policy.
+    pub fn policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Cap total RPC attempts per operation.
+    pub fn max_attempts(mut self, attempts: u32) -> Self {
+        self.policy.max_attempts = attempts;
+        self
+    }
+
+    /// Sweep backoff: initial and cap, ms (sim time).
+    pub fn backoff(mut self, base_ms: f64, max_ms: f64) -> Self {
+        self.policy.base_backoff_ms = base_ms;
+        self.policy.max_backoff_ms = max_ms;
+        self
+    }
+
+    /// Seed for the jitter RNG (chaos campaigns pin it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.policy.seed = seed;
+        self
+    }
+
+    /// How long to pause before re-resolving after a `WrongShard` refusal,
+    /// ms (sim time). During a shard-move handoff the old owner already
+    /// refuses and the new one does not serve yet; this is the poll period
+    /// of the redirect loop.
+    pub fn map_refresh_backoff_ms(mut self, ms: f64) -> Self {
+        self.refresh_backoff_ms = ms;
+        self
+    }
+
+    pub fn build(self) -> Arc<WieraClient> {
+        let fleet = self
+            .fleet
+            .unwrap_or_else(|| FleetView::single_group(self.replicas));
+        let me = NodeId::new(self.region, self.name);
+        let rng = SimRng::new(derive_seed(self.policy.seed, me.name.as_ref()));
+        Arc::new(WieraClient {
+            mesh: self.mesh,
+            me,
+            fleet,
+            policy: self.policy,
+            refresh_backoff: SimDuration::from_millis_f64(self.refresh_backoff_ms),
+            rng: Mutex::new(rng),
+        })
+    }
+}
+
+/// An application's connection to a Wiera deployment or fleet.
 pub struct WieraClient {
     mesh: Arc<Mesh<DataMsg>>,
     /// The application's own address (its region determines routing).
     pub me: NodeId,
-    /// Candidate replicas, closest first.
-    replicas: RwLock<Vec<NodeId>>,
+    /// Shard map + group membership this client routes through.
+    fleet: Arc<FleetView>,
     policy: RetryPolicy,
+    refresh_backoff: SimDuration,
     /// Jitter source, derived from the policy seed and the client name.
     rng: Mutex<SimRng>,
 }
 
 impl WieraClient {
-    /// Connect from `region`, ordering `replicas` closest-first by base RTT.
+    /// Start building a client that connects from `region` as `name`.
+    pub fn builder(
+        mesh: Arc<Mesh<DataMsg>>,
+        region: Region,
+        name: impl Into<String>,
+    ) -> WieraClientBuilder {
+        WieraClientBuilder {
+            mesh,
+            region,
+            name: name.into(),
+            policy: RetryPolicy::default(),
+            refresh_backoff_ms: 50.0,
+            fleet: None,
+            replicas: Vec::new(),
+        }
+    }
+
+    /// Connect from `region` to one replica group.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use WieraClient::builder(..).replicas(..).build(); \
+                direct replica addressing is a one-group shard map"
+    )]
     pub fn connect(
         mesh: Arc<Mesh<DataMsg>>,
         region: Region,
         name: impl Into<String>,
         replicas: Vec<NodeId>,
     ) -> Arc<Self> {
-        Self::connect_with_policy(mesh, region, name, replicas, RetryPolicy::default())
+        Self::builder(mesh, region, name).replicas(replicas).build()
     }
 
-    /// [`Self::connect`] with an explicit retry policy (chaos campaigns pin
-    /// the seed; latency-sensitive apps shrink the attempt cap).
+    /// [`Self::builder`] shorthand with an explicit retry policy.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use WieraClient::builder(..).replicas(..).policy(..).build()"
+    )]
     pub fn connect_with_policy(
         mesh: Arc<Mesh<DataMsg>>,
         region: Region,
         name: impl Into<String>,
-        mut replicas: Vec<NodeId>,
+        replicas: Vec<NodeId>,
         policy: RetryPolicy,
     ) -> Arc<Self> {
-        replicas.sort_by(|a, b| {
-            let ra = mesh.fabric.base_rtt_ms(region, a.region);
-            let rb = mesh.fabric.base_rtt_ms(region, b.region);
-            ra.total_cmp(&rb)
-        });
-        let me = NodeId::new(region, name.into());
-        let rng = SimRng::new(derive_seed(policy.seed, me.name.as_ref()));
-        Arc::new(WieraClient {
-            mesh,
-            me,
-            replicas: RwLock::new(replicas),
-            policy,
-            rng: Mutex::new(rng),
-        })
+        Self::builder(mesh, region, name)
+            .replicas(replicas)
+            .policy(policy)
+            .build()
     }
 
-    /// Refresh the candidate list (e.g. after `getInstances`).
-    pub fn update_replicas(&self, mut replicas: Vec<NodeId>) {
+    /// The fleet view this client routes through.
+    pub fn fleet(&self) -> Arc<FleetView> {
+        self.fleet.clone()
+    }
+
+    /// Refresh the candidate list (e.g. after `getInstances`). Legacy
+    /// single-group API: replaces group 0 of the client's view.
+    pub fn update_replicas(&self, replicas: Vec<NodeId>) {
+        self.fleet.set_group(0, replicas);
+    }
+
+    /// The closest replica across the whole fleet, by base RTT.
+    pub fn closest(&self) -> Option<NodeId> {
+        let mut all = self.fleet.all_replicas();
+        self.sort_by_rtt(&mut all);
+        all.into_iter().next()
+    }
+
+    fn sort_by_rtt(&self, replicas: &mut [NodeId]) {
         replicas.sort_by(|a, b| {
             let ra = self.mesh.fabric.base_rtt_ms(self.me.region, a.region);
             let rb = self.mesh.fabric.base_rtt_ms(self.me.region, b.region);
             ra.total_cmp(&rb)
         });
-        *self.replicas.write() = replicas;
     }
 
-    pub fn closest(&self) -> Option<NodeId> {
-        self.replicas.read().first().cloned()
+    /// The replicas of the group that owns `key` under the current map,
+    /// closest first.
+    fn candidates_for(&self, key: &str) -> Vec<NodeId> {
+        let group = self.fleet.map().group_of(key);
+        let mut reps = self.fleet.group_replicas(group);
+        self.sort_by_rtt(&mut reps);
+        reps
     }
 
-    /// Issue an operation with closest-first failover: transport failures
-    /// and stale-epoch refusals advance to the next-closest replica; any
+    /// Sorted replicas of an explicit group (batch fan-out path).
+    fn candidates_of_group(&self, group: u32) -> Vec<NodeId> {
+        let mut reps = self.fleet.group_replicas(group);
+        self.sort_by_rtt(&mut reps);
+        reps
+    }
+
+    /// Issue an operation with closest-first failover over the candidates
+    /// `resolve` yields (re-resolved each sweep — a failover or shard move
+    /// may have refreshed the list): transport failures and stale-epoch
+    /// refusals advance to the next-closest replica; a `WrongShard` refusal
+    /// returns immediately (every replica of the group shares the same
+    /// ownership view, so the *caller* must re-route on a fresh map); any
     /// other semantic (`Fail`) reply is final — it came from a live replica
     /// that understood the request, so retrying elsewhere can only mask the
     /// answer. After a full sweep of the candidate list the client backs off
@@ -119,6 +255,7 @@ impl WieraClient {
     /// share one retry/timeout/failover policy.
     fn with_failover<T>(
         &self,
+        resolve: impl Fn() -> Vec<NodeId>,
         make: impl Fn() -> DataMsg,
         parse: impl Fn(RpcReply<DataMsg>, &NodeId) -> Result<T, AppError>,
     ) -> Result<T, AppError> {
@@ -126,8 +263,7 @@ impl WieraClient {
         let mut sweep: u32 = 0;
         let mut last: Option<AppError> = None;
         loop {
-            // Re-read each sweep: a failover may have refreshed the list.
-            let candidates = self.replicas.read().clone();
+            let candidates = resolve();
             if candidates.is_empty() {
                 return Err(AppError::blocked("no replicas configured"));
             }
@@ -153,6 +289,21 @@ impl WieraClient {
                         self.note_retry("stale-epoch");
                         last = Some(AppError::Remote {
                             code: FailCode::StaleEpoch,
+                            why,
+                        });
+                    }
+                    // The group does not own the key's shard (stale map or
+                    // mid-move handoff): bubble up for re-routing.
+                    Ok(RpcReply {
+                        msg:
+                            DataMsg::Fail {
+                                code: FailCode::WrongShard,
+                                why,
+                            },
+                        ..
+                    }) => {
+                        return Err(AppError::Remote {
+                            code: FailCode::WrongShard,
                             why,
                         });
                     }
@@ -184,36 +335,64 @@ impl WieraClient {
         MetricsRegistry::global().inc("client_retries", &[("reason", reason)]);
     }
 
+    /// Route a single-key operation: hash the key to its owning group,
+    /// sweep that group with failover, and on a `WrongShard` refusal pause
+    /// briefly and re-resolve from the (live) view — the redirect loop of
+    /// the fleet API. Redirects share the operation's attempt budget.
+    fn routed<T>(
+        &self,
+        key: &str,
+        make: impl Fn() -> DataMsg,
+        parse: impl Fn(RpcReply<DataMsg>, &NodeId) -> Result<T, AppError>,
+    ) -> Result<T, AppError> {
+        let mut redirects: u32 = 0;
+        loop {
+            let result = self.with_failover(|| self.candidates_for(key), &make, &parse);
+            match result {
+                Err(e) if e.code() == Some(FailCode::WrongShard) => {
+                    redirects += 1;
+                    if redirects >= self.policy.max_attempts {
+                        return Err(e);
+                    }
+                    self.note_retry("wrong-shard");
+                    self.mesh.clock.sleep(self.refresh_backoff);
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// The common case: one request, one `OpView`-shaped answer.
-    fn op(&self, make: impl Fn() -> DataMsg) -> Result<OpView, AppError> {
-        self.with_failover(make, |reply, target| {
+    fn op(&self, key: &str, make: impl Fn() -> DataMsg) -> Result<OpView, AppError> {
+        self.routed(key, make, |reply, target| {
             let latency = reply.total();
             view_of_reply(reply.msg, latency, target)
         })
     }
 
     pub fn put(&self, key: &str, value: Bytes) -> Result<OpView, AppError> {
-        self.op(|| DataMsg::Put {
+        self.op(key, || DataMsg::Put {
             key: key.to_string(),
             value: value.clone(),
         })
     }
 
     pub fn get(&self, key: &str) -> Result<OpView, AppError> {
-        self.op(|| DataMsg::Get {
+        self.op(key, || DataMsg::Get {
             key: key.to_string(),
         })
     }
 
     pub fn get_version(&self, key: &str, version: u64) -> Result<OpView, AppError> {
-        self.op(|| DataMsg::GetVersion {
+        self.op(key, || DataMsg::GetVersion {
             key: key.to_string(),
             version,
         })
     }
 
     pub fn get_version_list(&self, key: &str) -> Result<Vec<u64>, AppError> {
-        self.with_failover(
+        self.routed(
+            key,
             || DataMsg::GetVersionList {
                 key: key.to_string(),
             },
@@ -226,7 +405,7 @@ impl WieraClient {
     }
 
     pub fn update(&self, key: &str, version: u64, value: Bytes) -> Result<OpView, AppError> {
-        self.op(|| DataMsg::Update {
+        self.op(key, || DataMsg::Update {
             key: key.to_string(),
             version,
             value: value.clone(),
@@ -234,23 +413,25 @@ impl WieraClient {
     }
 
     pub fn remove(&self, key: &str) -> Result<OpView, AppError> {
-        self.op(|| DataMsg::Remove {
+        self.op(key, || DataMsg::Remove {
             key: key.to_string(),
         })
     }
 
     pub fn remove_version(&self, key: &str, version: u64) -> Result<OpView, AppError> {
-        self.op(|| DataMsg::RemoveVersion {
+        self.op(key, || DataMsg::RemoveVersion {
             key: key.to_string(),
             version,
         })
     }
 
-    /// Write a batch of keys in one request (one wire header for the whole
-    /// batch). The outer `Result` is transport-level — a replica that cannot
-    /// be reached fails the whole batch over to the next candidate. The
-    /// inner per-item results carry semantic failures individually, so a
-    /// partial failure reports exactly which items lost.
+    /// Write a batch of keys in one request per owning group (one wire
+    /// header per sub-batch). The batch is split by shard ownership, the
+    /// sub-batches fan out concurrently, and per-item results are returned
+    /// in input order, so a partial failure never hides the items that
+    /// succeeded. A group whose sub-batch is refused `WrongShard` is
+    /// re-split on the refreshed map and retried; a group that stays
+    /// unreachable fails only its own items.
     pub fn put_batch(
         &self,
         items: &[(String, Bytes)],
@@ -262,23 +443,116 @@ impl WieraClient {
                 value: value.clone(),
             })
             .collect();
-        self.with_failover(
-            || DataMsg::MultiPut {
-                items: payload.clone(),
+        self.fan_out(
+            &items.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            |idxs| DataMsg::MultiPut {
+                items: idxs.iter().map(|&i| payload[i].clone()).collect(),
             },
-            batch_views,
         )
     }
 
-    /// Read a batch of keys in one request; same failover and per-item
+    /// Read a batch of keys; same splitting, fan-out, and per-item
     /// semantics as [`Self::put_batch`].
     pub fn get_batch(&self, keys: &[String]) -> Result<Vec<Result<OpView, AppError>>, AppError> {
-        self.with_failover(
-            || DataMsg::MultiGet {
-                keys: keys.to_vec(),
+        self.fan_out(
+            &keys.iter().map(String::as_str).collect::<Vec<_>>(),
+            |idxs| DataMsg::MultiGet {
+                keys: idxs.iter().map(|&i| keys[i].clone()).collect(),
             },
-            batch_views,
         )
+    }
+
+    /// Split item indices by owning group under the current map, issue one
+    /// group message per group concurrently, and stitch per-item results
+    /// back in input order. Indices whose group answers `WrongShard` are
+    /// re-split on the next round (the map moved under us); the redirect
+    /// round count is capped by the retry policy's attempt budget.
+    fn fan_out(
+        &self,
+        keys: &[&str],
+        make_group_msg: impl Fn(&[usize]) -> DataMsg + Sync,
+    ) -> Result<Vec<Result<OpView, AppError>>, AppError> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut results: Vec<Option<Result<OpView, AppError>>> =
+            (0..keys.len()).map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..keys.len()).collect();
+        let mut rounds: u32 = 0;
+        let mut last_refusal: Option<AppError> = None;
+        while !pending.is_empty() {
+            let map = self.fleet.map();
+            let mut by_group: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+            for &i in &pending {
+                by_group.entry(map.group_of(keys[i])).or_default().push(i);
+            }
+            let make_ref = &make_group_msg;
+            type GroupOutcome = (Vec<usize>, Result<Vec<Result<OpView, AppError>>, AppError>);
+            let outcomes: Vec<GroupOutcome> = std::thread::scope(|s| {
+                let handles: Vec<_> = by_group
+                    .into_iter()
+                    .map(|(group, idxs)| {
+                        s.spawn(move || {
+                            let result = self.with_failover(
+                                || self.candidates_of_group(group),
+                                || make_ref(&idxs),
+                                batch_views,
+                            );
+                            (idxs, result)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(outcome) => outcome,
+                        Err(_) => (
+                            Vec::new(),
+                            Err(AppError::internal("batch fan-out worker panicked")),
+                        ),
+                    })
+                    .collect()
+            });
+            let mut wrong: Vec<usize> = Vec::new();
+            for (idxs, result) in outcomes {
+                match result {
+                    Ok(views) => {
+                        for (i, view) in idxs.into_iter().zip(views) {
+                            results[i] = Some(view);
+                        }
+                    }
+                    Err(e) if e.code() == Some(FailCode::WrongShard) => {
+                        last_refusal = Some(e);
+                        wrong.extend(idxs);
+                    }
+                    Err(e) => {
+                        for i in idxs {
+                            results[i] = Some(Err(e.clone()));
+                        }
+                    }
+                }
+            }
+            pending = wrong;
+            if pending.is_empty() {
+                break;
+            }
+            rounds += 1;
+            if rounds >= self.policy.max_attempts {
+                let e = last_refusal
+                    .take()
+                    .unwrap_or_else(|| AppError::blocked("shard map never settled"));
+                for i in pending.drain(..) {
+                    results[i] = Some(Err(e.clone()));
+                }
+                break;
+            }
+            self.note_retry("wrong-shard");
+            self.mesh.clock.sleep(self.refresh_backoff);
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|| Err(AppError::internal("batch item unreached"))))
+            .collect())
     }
 }
 

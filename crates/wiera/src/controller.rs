@@ -264,6 +264,8 @@ impl WieraController {
                 max_versions: config.max_versions,
                 monitors: config.monitors.clone(),
                 needs_coord,
+                shard_group: config.shard_group,
+                service_time_ms: config.service_time_ms,
             };
             if template.is_none() {
                 template = Some(spec.clone());

@@ -31,6 +31,12 @@ pub struct DeploymentConfig {
     /// Keep at least this many live replicas (§4.4 repair). `None` disables
     /// automatic repair.
     pub min_replicas: Option<usize>,
+    /// Fleet shard group this deployment serves, if it is one group of a
+    /// sharded fleet ([`crate::fleet::WieraFleet`] sets this per group).
+    pub shard_group: Option<u32>,
+    /// Modeled per-op service time at each replica, ms. See
+    /// [`ReplicaSpec::service_time_ms`].
+    pub service_time_ms: Option<f64>,
 }
 
 impl Default for DeploymentConfig {
@@ -40,6 +46,8 @@ impl Default for DeploymentConfig {
             monitors: MonitorSpec::default(),
             max_versions: None,
             min_replicas: None,
+            shard_group: None,
+            service_time_ms: None,
         }
     }
 }
@@ -232,12 +240,9 @@ impl WieraDeployment {
         clients
             .entry(from.clone())
             .or_insert_with(|| {
-                WieraClient::connect(
-                    self.mesh.clone(),
-                    from.region,
-                    from.name.to_string(),
-                    self.replicas(),
-                )
+                WieraClient::builder(self.mesh.clone(), from.region, from.name.to_string())
+                    .replicas(self.replicas())
+                    .build()
             })
             .clone()
     }

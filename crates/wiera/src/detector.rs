@@ -105,8 +105,18 @@ impl FailureDetector {
                         continue;
                     }
                     // No lease, no answer, long enough: declare suspect.
+                    // The event is scoped to the replica's shard group: in a
+                    // fleet there is one primary per group, and a suspect in
+                    // group 3 says nothing about the other groups' leaders.
                     let region = replica.node.region.to_string();
-                    MetricsRegistry::global().inc("wiera_suspects", &[("region", region.as_str())]);
+                    let group = replica
+                        .shard_group()
+                        .map(|g| g.to_string())
+                        .unwrap_or_else(|| "-".into());
+                    MetricsRegistry::global().inc(
+                        "wiera_suspects",
+                        &[("region", region.as_str()), ("group", group.as_str())],
+                    );
                     triggers2.fetch_add(1, Ordering::Relaxed);
                     replica.run_election(&primary);
                     // Whatever happened — we won, another backup won, or the

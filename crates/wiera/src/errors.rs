@@ -1,0 +1,141 @@
+//! The one public error type for everything above the wire.
+//!
+//! Historically three types overlapped: `AppError` (client/replica ops),
+//! the workload driver's `KvError`, and the wire-level [`FailCode`].
+//! Client code ended up pattern-matching all three to answer one question
+//! — *should I retry this?* They are now unified: [`WieraError`] is the
+//! single public error enum, `AppError` and the driver's `KvError` are
+//! aliases of it, and [`FailCode`] survives only as the wire tag, kept
+//! compatible via `From` impls. The [`WieraError::retryable`] predicate
+//! is the routing-layer contract: a retryable error means "re-resolve and
+//! try again" (transport failure, fenced epoch, stale shard map), a
+//! non-retryable one is a final answer.
+
+use crate::msg::FailCode;
+use wiera_net::NetError;
+
+/// Application-level operation failure: a transport error (candidate for
+/// client failover, §4.4) or a structured semantic error from the replica.
+#[derive(Debug, Clone)]
+pub enum WieraError {
+    Net(NetError),
+    Remote { code: FailCode, why: String },
+}
+
+impl WieraError {
+    pub fn remote(code: FailCode, why: impl Into<String>) -> WieraError {
+        WieraError::Remote {
+            code,
+            why: why.into(),
+        }
+    }
+
+    pub fn blocked(why: impl Into<String>) -> WieraError {
+        WieraError::remote(FailCode::Blocked, why)
+    }
+
+    pub fn internal(why: impl Into<String>) -> WieraError {
+        WieraError::remote(FailCode::Internal, why)
+    }
+
+    pub fn not_found(why: impl Into<String>) -> WieraError {
+        WieraError::remote(FailCode::NotFound, why)
+    }
+
+    /// Catch-all constructor for callers without a structured code (the
+    /// old `KvError::other`).
+    pub fn other(why: impl Into<String>) -> WieraError {
+        WieraError::internal(why)
+    }
+
+    /// The structured failure code, if this is a remote semantic error.
+    pub fn code(&self) -> Option<FailCode> {
+        match self {
+            WieraError::Net(_) => None,
+            WieraError::Remote { code, .. } => Some(*code),
+        }
+    }
+
+    pub fn is_not_found(&self) -> bool {
+        matches!(
+            self.code(),
+            Some(FailCode::NotFound | FailCode::VersionMissing)
+        )
+    }
+
+    /// Whether retrying the operation can succeed without operator
+    /// intervention: transport failures (another replica may answer), a
+    /// fenced epoch (leadership moved — re-resolve the primary), or a
+    /// stale shard map (ownership moved — refresh and re-route). Semantic
+    /// errors (`NotFound`, `Blocked`, …) are final answers.
+    pub fn retryable(&self) -> bool {
+        match self {
+            WieraError::Net(_) => true,
+            WieraError::Remote { code, .. } => {
+                matches!(code, FailCode::StaleEpoch | FailCode::WrongShard)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for WieraError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WieraError::Net(e) => write!(f, "network: {e}"),
+            WieraError::Remote { code, why } => write!(f, "{code}: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WieraError {}
+
+impl From<NetError> for WieraError {
+    fn from(e: NetError) -> WieraError {
+        WieraError::Net(e)
+    }
+}
+
+/// Wire compatibility: a bare [`FailCode`] lifts into the unified error.
+impl From<FailCode> for WieraError {
+    fn from(code: FailCode) -> WieraError {
+        WieraError::remote(code, String::new())
+    }
+}
+
+/// Workload drivers historically bubbled errors as strings.
+impl From<WieraError> for String {
+    fn from(e: WieraError) -> String {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_is_exactly_transport_fencing_and_routing() {
+        assert!(WieraError::remote(FailCode::StaleEpoch, "fenced").retryable());
+        assert!(WieraError::remote(FailCode::WrongShard, "moved").retryable());
+        assert!(!WieraError::not_found("nope").retryable());
+        assert!(!WieraError::blocked("switching").retryable());
+        assert!(!WieraError::internal("bug").retryable());
+        assert!(!WieraError::remote(FailCode::VersionMissing, "v9").retryable());
+    }
+
+    #[test]
+    fn wire_code_lifts_and_stringifies() {
+        let e: WieraError = FailCode::WrongShard.into();
+        assert_eq!(e.code(), Some(FailCode::WrongShard));
+        assert!(e.retryable());
+        let s: String = WieraError::not_found("user42").into();
+        assert_eq!(s, "not-found: user42");
+    }
+
+    #[test]
+    fn not_found_covers_missing_versions() {
+        assert!(WieraError::remote(FailCode::VersionMissing, "v3").is_not_found());
+        assert!(WieraError::not_found("k").is_not_found());
+        assert!(!WieraError::blocked("x").is_not_found());
+    }
+}

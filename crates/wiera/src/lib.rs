@@ -38,15 +38,19 @@ pub mod client;
 pub mod controller;
 pub mod deployment;
 pub mod detector;
+pub mod errors;
+pub mod fleet;
 pub mod monitor;
 pub mod msg;
 pub mod replica;
 pub mod server;
 pub mod testkit;
 
-pub use client::WieraClient;
+pub use client::{WieraClient, WieraClientBuilder};
 pub use controller::{ControllerConfig, WieraController};
 pub use deployment::{DeploymentConfig, WieraDeployment};
+pub use errors::WieraError;
+pub use fleet::{FleetConfig, FleetView, WieraFleet};
 pub use msg::DataMsg;
 pub use replica::ReplicaNode;
 pub use server::TieraServer;

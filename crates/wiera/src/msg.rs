@@ -151,6 +151,26 @@ pub enum DataMsg {
         primary: Option<NodeId>,
         epoch: u64,
     },
+    /// Install a replica's slice of the fleet shard map: the shards its
+    /// group owns under `map_version`, plus the ring parameters so the
+    /// replica rebuilds the identical ring locally ([`ShardMap`] hashing
+    /// is pinned). Versioned like epochs: a receiver at a higher map
+    /// version refuses the install (`WrongShard`), so a stale fleet
+    /// manager can never regress ownership.
+    SetShards {
+        shards: Vec<u32>,
+        num_shards: u32,
+        vnodes: u32,
+        map_version: u64,
+    },
+    /// Retire a shard after a completed move handoff: delete every local
+    /// object of `shard`. Guarded by `map_version` — refused unless the
+    /// replica has already adopted a map at or above that version that no
+    /// longer assigns it the shard.
+    DropShard {
+        shard: u32,
+        map_version: u64,
+    },
     /// Liveness probe (TSM heartbeat / network monitor ping).
     Ping,
     Pong,
@@ -215,6 +235,16 @@ pub struct ReplicaSpec {
     pub monitors: MonitorSpec,
     /// Whether the replica should take the multi-primaries lock path.
     pub needs_coord: bool,
+    /// The fleet shard group this replica belongs to, if the deployment is
+    /// one group of a sharded fleet. Failover and suspect events carry this
+    /// id so per-group primaries are never conflated with a global one.
+    pub shard_group: Option<u32>,
+    /// Modeled per-op service time at this replica, ms. `None` (the
+    /// default) keeps the pre-fleet behavior: ops cost only their wire and
+    /// storage time. Benchmarks set it to model a saturable server, so
+    /// aggregate throughput scales with the number of groups instead of
+    /// with client count alone.
+    pub service_time_ms: Option<f64>,
 }
 
 /// Which monitor threads a replica should run (§3.2.3 / §4.3).
@@ -300,6 +330,11 @@ pub enum FailCode {
     /// The sender's deployment epoch is older than the receiver's: a deposed
     /// primary (or a stale controller broadcast) was fenced off (§4.4).
     StaleEpoch,
+    /// The key's shard is not owned by this replica's group under the
+    /// current shard map — the client routed on a stale map (or the shard
+    /// is mid-move and nobody serves it yet). Retryable: refresh the map
+    /// and re-route.
+    WrongShard,
 }
 
 impl std::fmt::Display for FailCode {
@@ -310,6 +345,7 @@ impl std::fmt::Display for FailCode {
             FailCode::Blocked => "blocked",
             FailCode::Internal => "internal",
             FailCode::StaleEpoch => "stale-epoch",
+            FailCode::WrongShard => "wrong-shard",
         };
         f.write_str(s)
     }
@@ -393,6 +429,7 @@ impl DataMsg {
             DataMsg::MultiGet { keys } => {
                 HDR + keys.iter().map(|k| k.len() as u64 + ITEM).sum::<u64>()
             }
+            DataMsg::SetShards { shards, .. } => HDR + shards.len() as u64 * 4 + 16,
             DataMsg::MultiReply { results } => {
                 HDR + results.iter().map(|r| r.wire_bytes()).sum::<u64>()
             }

@@ -23,8 +23,8 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use tiera::{BatchOp, InstanceConfig, TieraError, TieraInstance};
-use wiera_coord::CoordClient;
-use wiera_net::{Delivery, Mesh, NetError, NodeId};
+use wiera_coord::{CoordClient, ShardMap};
+use wiera_net::{Delivery, Mesh, NodeId};
 use wiera_policy::ConsistencyModel;
 use wiera_sim::lockreg::{TrackedMutex, TrackedRwLock};
 use wiera_sim::{MetricsRegistry, SimDuration, SimInstant, Tracer};
@@ -124,6 +124,22 @@ pub struct ReplicaConfig {
     pub coord: Option<Arc<CoordClient>>,
     /// Route application GETs to another node (§5.4's remote-memory reads).
     pub forward_gets_to: Option<NodeId>,
+    /// The fleet shard group this replica belongs to (None outside fleets).
+    pub shard_group: Option<u32>,
+    /// Modeled per-op service time: ops queue behind a single modeled
+    /// server, so a saturated replica caps out at `1/service_time` ops/sec
+    /// regardless of client count. `None` (the default) disables the
+    /// admission model entirely.
+    pub service_time: Option<SimDuration>,
+}
+
+/// A replica's installed slice of the fleet shard map: the ring (rebuilt
+/// locally from the pinned hash — only parameters travel) plus the shard
+/// ids this replica's group owns at `version`.
+struct ShardView {
+    ring: ShardMap,
+    owned: HashSet<u32>,
+    version: u64,
 }
 
 /// Observable counters for cost accounting and monitors.
@@ -161,6 +177,16 @@ pub struct ReplicaNode {
     /// refused (clients fail over) until the node has converged.
     catching_up: AtomicBool,
     pub stats: ReplicaStats,
+    /// Fleet shard ownership; `None` until a [`DataMsg::SetShards`] arrives
+    /// (single-group deployments never install one and serve every key).
+    shard_view: TrackedRwLock<Option<ShardView>>,
+    /// The fleet shard group this replica belongs to, for failover events.
+    shard_group: Option<u32>,
+    /// Modeled single-server admission: when `service_time` is set, each
+    /// application op claims the next free service slot and sleeps until
+    /// its slot completes, so throughput saturates per replica.
+    service_time: Option<SimDuration>,
+    service_until: TrackedMutex<SimInstant>,
     /// (time, put latency ms) samples for the latency monitor.
     put_window: TrackedMutex<VecDeque<(SimInstant, f64)>>,
     /// Puts received directly from applications (time-stamped).
@@ -203,6 +229,10 @@ impl ReplicaNode {
             generation: AtomicU64::new(0),
             catching_up: AtomicBool::new(false),
             stats: ReplicaStats::default(),
+            shard_view: TrackedRwLock::new("replica.shards", None),
+            shard_group: config.shard_group,
+            service_time: config.service_time,
+            service_until: TrackedMutex::new("replica.service_until", SimInstant::EPOCH),
             put_window: TrackedMutex::new("replica.put_window", VecDeque::new()),
             direct_puts: TrackedMutex::new("replica.direct_puts", VecDeque::new()),
             forwarded_puts: TrackedMutex::new("replica.forwarded_puts", HashMap::new()),
@@ -292,6 +322,30 @@ impl ReplicaNode {
 
     pub fn epoch(&self) -> u64 {
         self.state.read().epoch
+    }
+
+    /// The fleet shard group this replica was spawned into, if any.
+    pub fn shard_group(&self) -> Option<u32> {
+        self.shard_group
+    }
+
+    /// The shard-map version this replica last adopted (None before the
+    /// first [`DataMsg::SetShards`]).
+    pub fn shard_map_version(&self) -> Option<u64> {
+        self.shard_view.read().as_ref().map(|v| v.version)
+    }
+
+    /// The shard ids this replica currently serves, sorted. Empty when no
+    /// shard view is installed (then every key is served).
+    pub fn owned_shards(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .shard_view
+            .read()
+            .as_ref()
+            .map(|v| v.owned.iter().copied().collect())
+            .unwrap_or_default();
+        out.sort_unstable();
+        out
     }
 
     pub fn queue_len(&self) -> usize {
@@ -643,6 +697,39 @@ impl ReplicaNode {
                 let n = objects.len();
                 self.load_state(objects);
                 reply(d.reply, DataMsg::Ok, SimDuration::from_millis(n as u64));
+            }
+            DataMsg::SetShards {
+                shards,
+                num_shards,
+                vnodes,
+                map_version,
+            } => match self.install_shards(shards, num_shards, vnodes, map_version) {
+                Ok(()) => reply(d.reply, DataMsg::Ok, SimDuration::from_micros(300)),
+                Err((code, why)) => {
+                    self.note_fenced("set_shards");
+                    reply(
+                        d.reply,
+                        DataMsg::Fail { code, why },
+                        SimDuration::from_micros(200),
+                    );
+                }
+            },
+            DataMsg::DropShard { shard, map_version } => {
+                match self.drop_shard(shard, map_version) {
+                    Ok(n) => reply(
+                        d.reply,
+                        DataMsg::Ok,
+                        SimDuration::from_millis(1 + n.min(50) as u64),
+                    ),
+                    Err((code, why)) => {
+                        self.note_fenced("drop_shard");
+                        reply(
+                            d.reply,
+                            DataMsg::Fail { code, why },
+                            SimDuration::from_micros(200),
+                        );
+                    }
+                }
             }
             DataMsg::Stop => {
                 reply(d.reply, DataMsg::Ok, SimDuration::ZERO);
@@ -1046,13 +1133,25 @@ impl ReplicaNode {
             s.epoch
         };
         let region = self.node.region.to_string();
-        MetricsRegistry::global().inc("wiera_failovers", &[("region", region.as_str())]);
+        // Failover events are per shard group: a fleet runs one primary per
+        // group, so the event names which group's leadership moved instead
+        // of implying a deployment-global primary.
+        let group_label = self
+            .shard_group
+            .map(|g| g.to_string())
+            .unwrap_or_else(|| "-".into());
+        MetricsRegistry::global().inc(
+            "wiera_failovers",
+            &[("region", region.as_str()), ("group", group_label.as_str())],
+        );
         let now = self.mesh.clock.now();
         Tracer::global()
             .span(now, "wiera", "failover")
             .region(region)
             .node(self.node.name.as_ref())
-            .detail(format!("deposed={suspect} epoch={epoch}"))
+            .detail(format!(
+                "deposed={suspect} epoch={epoch} group={group_label}"
+            ))
             .finish(now);
         for peer in self.peers() {
             if peer == *suspect || peer == self.node {
@@ -1084,6 +1183,126 @@ impl ReplicaNode {
         MetricsRegistry::global().inc("wiera_fenced_total", &[("msg", what)]);
     }
 
+    // ---- fleet sharding (shard map slice, ownership, retirement) -----------
+
+    /// Adopt a shard-map slice at `map_version`. Like epochs, versions are
+    /// monotonic: a lower version than the installed one is a stale fleet
+    /// manager and is refused with `WrongShard`.
+    fn install_shards(
+        &self,
+        shards: Vec<u32>,
+        num_shards: u32,
+        vnodes: u32,
+        map_version: u64,
+    ) -> Result<(), (FailCode, String)> {
+        // Rebuild the ring locally from parameters; `key_hash` is pinned,
+        // so every party materializes the identical ring.
+        let ring = ShardMap::new(num_shards, vnodes, 1)
+            .map_err(|e| (FailCode::Internal, format!("bad shard parameters: {e}")))?;
+        let mut view = self.shard_view.write();
+        if let Some(v) = view.as_ref() {
+            if map_version < v.version {
+                return Err((
+                    FailCode::WrongShard,
+                    format!("stale shard map v{map_version} < v{}", v.version),
+                ));
+            }
+        }
+        *view = Some(ShardView {
+            ring,
+            owned: shards.into_iter().collect(),
+            version: map_version,
+        });
+        Ok(())
+    }
+
+    /// Retire a moved shard: delete every local object belonging to it.
+    /// Refused unless this replica has already adopted a map at or above
+    /// `map_version` that no longer assigns it the shard — so a stale (or
+    /// reordered) retire can never destroy data still being served.
+    fn drop_shard(&self, shard: u32, map_version: u64) -> Result<usize, (FailCode, String)> {
+        let view = self.shard_view.read();
+        let Some(v) = view.as_ref() else {
+            return Ok(0); // never sharded: nothing to retire
+        };
+        if map_version < v.version {
+            return Err((
+                FailCode::WrongShard,
+                format!("stale retire v{map_version} < v{}", v.version),
+            ));
+        }
+        if v.owned.contains(&shard) {
+            return Err((
+                FailCode::WrongShard,
+                format!("still serving shard {shard} at map v{}", v.version),
+            ));
+        }
+        let mut dropped = 0usize;
+        for key in self.inst.meta().keys() {
+            if v.ring.shard_of(&key) == shard {
+                let _ = self.inst.remove(&key);
+                dropped += 1;
+            }
+        }
+        let region = self.node.region.to_string();
+        MetricsRegistry::global()
+            .counter("wiera_shard_retired_keys", &[("region", region.as_str())])
+            .add(dropped as u64);
+        Ok(dropped)
+    }
+
+    /// The `WrongShard` gate on the application path: with a shard view
+    /// installed, any op whose key hashes outside this group's owned
+    /// shards is refused whole (batches included — the client re-splits on
+    /// a fresh map). Without a view (single-group deployments) every key
+    /// is served, preserving pre-fleet behavior.
+    fn wrong_shard_refusal(&self, msg: &DataMsg) -> Option<DataMsg> {
+        let view = self.shard_view.read();
+        let v = view.as_ref()?;
+        let owns = |key: &str| v.owned.contains(&v.ring.shard_of(key));
+        let offending = match msg {
+            DataMsg::Put { key, .. }
+            | DataMsg::Get { key }
+            | DataMsg::GetVersion { key, .. }
+            | DataMsg::GetVersionList { key }
+            | DataMsg::Update { key, .. }
+            | DataMsg::Remove { key }
+            | DataMsg::RemoveVersion { key, .. }
+            | DataMsg::ForwardPut { key, .. } => (!owns(key)).then(|| key.clone()),
+            DataMsg::MultiPut { items } => {
+                items.iter().find(|i| !owns(&i.key)).map(|i| i.key.clone())
+            }
+            DataMsg::MultiGet { keys } => keys.iter().find(|k| !owns(k)).cloned(),
+            _ => None,
+        };
+        let key = offending?;
+        let shard = v.ring.shard_of(&key);
+        let region = self.node.region.to_string();
+        MetricsRegistry::global().inc("wiera_wrong_shard_total", &[("region", region.as_str())]);
+        Some(DataMsg::Fail {
+            code: FailCode::WrongShard,
+            why: format!(
+                "shard {shard} (key '{key}') not owned at map v{}",
+                v.version
+            ),
+        })
+    }
+
+    /// Single-server admission: claim the next free service slot and wait
+    /// until it completes. Models a saturable replica — under closed-loop
+    /// load, throughput caps at `1/service_time` per replica, which is
+    /// what makes fleet scaling measurable in sim time.
+    fn admit(&self, service_time: SimDuration) {
+        let now = self.mesh.clock.now();
+        let done = {
+            let mut until = self.service_until.lock();
+            let start = if *until > now { *until } else { now };
+            *until = start + service_time;
+            *until
+        };
+        self.mesh.clock.sleep(done.elapsed_since(now));
+    }
+
     // ---- application operations ---------------------------------------------
 
     fn handle_app_op(self: &Arc<Self>, d: Delivery<DataMsg>) {
@@ -1108,6 +1327,19 @@ impl ReplicaNode {
                 slot.reply(msg, SimDuration::from_micros(200), bytes);
             }
             return;
+        }
+        // Fleet routing enforcement: a key outside this group's owned
+        // shards means the client routed on a stale map (or the shard is
+        // mid-move) — refuse so it refreshes and re-routes.
+        if let Some(fail) = self.wrong_shard_refusal(&d.msg) {
+            if let Some(slot) = d.reply {
+                let bytes = fail.wire_bytes();
+                slot.reply(fail, SimDuration::from_micros(200), bytes);
+            }
+            return;
+        }
+        if let Some(service_time) = self.service_time {
+            self.admit(service_time);
         }
         let (msg, took) = match d.msg {
             DataMsg::Put { key, value } => {
@@ -2129,56 +2361,9 @@ pub struct OpView {
     pub served_by: NodeId,
 }
 
-/// Application-level operation failure: a transport error (candidate for
-/// client failover, §4.4) or a structured semantic error from the replica.
-#[derive(Debug, Clone)]
-pub enum AppError {
-    Net(NetError),
-    Remote { code: FailCode, why: String },
-}
-
-impl AppError {
-    pub fn remote(code: FailCode, why: impl Into<String>) -> AppError {
-        AppError::Remote {
-            code,
-            why: why.into(),
-        }
-    }
-
-    pub fn blocked(why: impl Into<String>) -> AppError {
-        AppError::remote(FailCode::Blocked, why)
-    }
-
-    pub fn internal(why: impl Into<String>) -> AppError {
-        AppError::remote(FailCode::Internal, why)
-    }
-
-    /// The structured failure code, if this is a remote semantic error.
-    pub fn code(&self) -> Option<FailCode> {
-        match self {
-            AppError::Net(_) => None,
-            AppError::Remote { code, .. } => Some(*code),
-        }
-    }
-
-    pub fn is_not_found(&self) -> bool {
-        matches!(
-            self.code(),
-            Some(FailCode::NotFound | FailCode::VersionMissing)
-        )
-    }
-}
-
-impl std::fmt::Display for AppError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            AppError::Net(e) => write!(f, "network: {e}"),
-            AppError::Remote { code, why } => write!(f, "{code}: {why}"),
-        }
-    }
-}
-
-impl std::error::Error for AppError {}
+/// Historical name for the unified [`crate::errors::WieraError`], kept so
+/// replica-layer signatures keep reading as application errors.
+pub use crate::errors::WieraError as AppError;
 
 /// Translate a replica's reply into the client-visible [`OpView`], the one
 /// place where wire messages become typed results (shared by [`app_rpc`]
@@ -2305,6 +2490,8 @@ mod tests {
                 flush_interval: SimDuration::from_millis(200),
                 coord: None,
                 forward_gets_to: None,
+                shard_group: None,
+                service_time: None,
             },
         )
         .expect("replica spawns")

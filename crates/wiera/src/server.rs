@@ -221,6 +221,8 @@ impl TieraServer {
                 flush_interval: SimDuration::from_millis_f64(spec.flush_ms),
                 coord: coord_client,
                 forward_gets_to: None,
+                shard_group: spec.shard_group,
+                service_time: spec.service_time_ms.map(SimDuration::from_millis_f64),
             },
         )
         .map_err(|e| format!("replica spawn: {e}"))?;

@@ -70,8 +70,9 @@ fn replicas_sort_closest_first_and_serve_locally() {
         (Region::UsWest, Region::UsWest),
         (Region::EuWest, Region::EuWest),
     ] {
-        let client =
-            WieraClient::connect(cluster.data_mesh.clone(), region, "sorted", dep.replicas());
+        let client = WieraClient::builder(cluster.data_mesh.clone(), region, "sorted")
+            .replicas(dep.replicas())
+            .build();
         assert_eq!(
             client.closest().unwrap().region,
             want,
@@ -91,20 +92,14 @@ fn transport_error_advances_to_next_closest() {
     let _serial = serial();
     let (cluster, dep) = unsynced_cluster(42);
     // Seed a key onto the SECOND-closest replica (US-West) only.
-    let west_client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsWest,
-        "seeder",
-        dep.replicas(),
-    );
+    let west_client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsWest, "seeder")
+        .replicas(dep.replicas())
+        .build();
     west_client.put("west-only", payload(16)).unwrap();
 
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app")
+        .replicas(dep.replicas())
+        .build();
     // Crash the closest replica: the client's RPC fails at the transport
     // level and failover must find US-West (next closest for US-East).
     let replicas = cluster.deployment_replicas("fo");
@@ -129,20 +124,14 @@ fn semantic_error_is_final_not_retried_elsewhere() {
     // The key exists ONLY on US-West (eventual queue never flushes). A
     // healthy US-East replica answers NotFound; if the client treated that
     // as retryable it would reach US-West and "succeed" — masking the miss.
-    let west_client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsWest,
-        "seeder",
-        dep.replicas(),
-    );
+    let west_client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsWest, "seeder")
+        .replicas(dep.replicas())
+        .build();
     west_client.put("west-only", payload(16)).unwrap();
 
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app")
+        .replicas(dep.replicas())
+        .build();
     let err = client.get("west-only").unwrap_err();
     assert!(
         err.is_not_found(),
@@ -156,12 +145,9 @@ fn semantic_error_is_final_not_retried_elsewhere() {
 fn structured_codes_distinguish_failure_kinds() {
     let _serial = serial();
     let (cluster, dep) = unsynced_cluster(44);
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app")
+        .replicas(dep.replicas())
+        .build();
     client.put("versioned", payload(16)).unwrap();
     // Present key, absent version: a distinct error code from NotFound.
     let err = client.get_version("versioned", 999).unwrap_err();
@@ -176,12 +162,9 @@ fn structured_codes_distinguish_failure_kinds() {
 fn batch_reports_partial_failures_per_item() {
     let _serial = serial();
     let (cluster, dep) = unsynced_cluster(45);
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app")
+        .replicas(dep.replicas())
+        .build();
     let items: Vec<(String, Bytes)> = (0..3).map(|i| (format!("b{i}"), payload(8))).collect();
     for r in client.put_batch(&items).unwrap() {
         r.unwrap();
@@ -202,12 +185,9 @@ fn batch_reports_partial_failures_per_item() {
 fn batch_fails_over_whole_batch_on_transport_error() {
     let _serial = serial();
     let (cluster, dep) = unsynced_cluster(46);
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app")
+        .replicas(dep.replicas())
+        .build();
     let replicas = cluster.deployment_replicas("fo");
     replicas
         .iter()
@@ -237,13 +217,10 @@ fn retries_back_off_with_seeded_jitter_until_attempt_cap() {
         max_attempts: 5,
         seed: 1234,
     };
-    let client = WieraClient::connect_with_policy(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "app",
-        dep.replicas(),
-        policy,
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app")
+        .replicas(dep.replicas())
+        .policy(policy)
+        .build();
     let retries_before = MetricsRegistry::global()
         .snapshot()
         .counter_sum("client_retries");

@@ -107,12 +107,9 @@ fn pb_sync_primary_crash_elects_backup_and_rejoins_digest_equal() {
     let eu = by_region(&replicas, Region::EuWest);
     assert_eq!(dep.primary().unwrap(), east.node);
 
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsWest,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsWest, "app")
+        .replicas(dep.replicas())
+        .build();
     // Pre-crash workload: forwarded to the primary, synchronously
     // replicated everywhere.
     for i in 0..8 {
@@ -230,12 +227,9 @@ fn deposed_primary_is_fenced_and_rolled_back_after_partition_heals() {
     let eu = by_region(&replicas, Region::EuWest);
     assert_eq!(dep.primary().unwrap(), west.node);
 
-    let east_client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "app",
-        dep.replicas(),
-    );
+    let east_client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app")
+        .replicas(dep.replicas())
+        .build();
     east_client.put("pre", payload(32)).unwrap();
     let old_epoch = west.epoch();
 
@@ -445,12 +439,9 @@ fn change_primary_racing_partition_converges_after_heal() {
     );
 
     // The moved-to primary actually serves writes.
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsWest,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsWest, "app")
+        .replicas(dep.replicas())
+        .build();
     client.put("after-heal", payload(16)).unwrap();
     assert!(west.instance().get("after-heal").is_ok());
     cluster.shutdown();

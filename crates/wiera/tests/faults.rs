@@ -47,12 +47,9 @@ fn multi_primaries_put_succeeds_with_partitioned_peer() {
         .controller
         .start_instances("mp", "multi-primaries", DeploymentConfig::default())
         .unwrap();
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsWest,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsWest, "app")
+        .replicas(dep.replicas())
+        .build();
     client.put("before", payload(64)).unwrap();
 
     cluster.fabric.set_partitioned(Region::EuWest, true);
@@ -112,12 +109,9 @@ fn eventual_replication_retries_not_required_for_liveness() {
             },
         )
         .unwrap();
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app")
+        .replicas(dep.replicas())
+        .build();
 
     cluster.fabric.set_partitioned(Region::UsWest, true);
     for i in 0..5 {
@@ -171,12 +165,9 @@ fn strong_put_latency_tracks_injected_delay() {
         .controller
         .start_instances("mp2", "mp2", DeploymentConfig::default())
         .unwrap();
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsWest,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsWest, "app")
+        .replicas(dep.replicas())
+        .build();
     let base = client.put("a", payload(64)).unwrap().latency;
     cluster.fabric.inject_link_delay(
         Region::UsWest,
@@ -216,12 +207,9 @@ fn client_times_out_against_black_hole_then_fails_over() {
         )
         .unwrap();
     // Write and wait for full replication first.
-    let seed_client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsWest,
-        "seed",
-        dep.replicas(),
-    );
+    let seed_client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsWest, "seed")
+        .replicas(dep.replicas())
+        .build();
     seed_client.put("k", payload(16)).unwrap();
     let replicas = cluster.deployment_replicas("fo2");
     wait_until(
@@ -233,12 +221,9 @@ fn client_times_out_against_black_hole_then_fails_over() {
     // closest). Partition EU-West's replica region: the EU client itself
     // lives there, so instead partition the *closest remote* choice for a
     // US-East client: US-East replica itself.
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app")
+        .replicas(dep.replicas())
+        .build();
     let east = replicas
         .iter()
         .find(|r| r.node.region == Region::UsEast)
@@ -269,12 +254,9 @@ fn concurrent_multi_primaries_writers_serialize_via_lock() {
         .unwrap();
     let mut handles = Vec::new();
     for region in [Region::UsWest, Region::UsEast] {
-        let client = WieraClient::connect(
-            cluster.data_mesh.clone(),
-            region,
-            format!("w-{region}"),
-            dep.replicas(),
-        );
+        let client = WieraClient::builder(cluster.data_mesh.clone(), region, format!("w-{region}"))
+            .replicas(dep.replicas())
+            .build();
         handles.push(std::thread::spawn(move || {
             let mut versions = Vec::new();
             for _ in 0..8 {

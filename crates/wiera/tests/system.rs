@@ -111,12 +111,9 @@ fn multi_primaries_put_pays_lock_and_broadcast() {
         .unwrap();
     assert_eq!(dep.consistency(), ConsistencyModel::MultiPrimaries);
 
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsWest,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsWest, "app")
+        .replicas(dep.replicas())
+        .build();
     let put = client.put("k", payload(1024)).unwrap();
     // Lock RTT to US-East (70 ms) + slowest replica RTT from US-West
     // (EU-West, 145 ms) + local writes: a strong put in the hundreds of ms,
@@ -165,12 +162,9 @@ fn eventual_put_fast_then_converges() {
             },
         )
         .unwrap();
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app")
+        .replicas(dep.replicas())
+        .build();
     let put = client.put("k", payload(512)).unwrap();
     assert!(
         put.latency.as_millis_f64() < 10.0,
@@ -206,12 +200,9 @@ fn client_failover_to_second_closest() {
             },
         )
         .unwrap();
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app")
+        .replicas(dep.replicas())
+        .build();
     client.put("k", payload(64)).unwrap();
     // Let replication reach all replicas first.
     let replicas = cluster.deployment_replicas("fo");
@@ -251,12 +242,9 @@ fn runtime_consistency_switch_via_deployment() {
         .controller
         .start_instances("sw", "multi-primaries", DeploymentConfig::default())
         .unwrap();
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsWest,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsWest, "app")
+        .replicas(dep.replicas())
+        .build();
     let strong = client.put("a", payload(128)).unwrap();
     dep.change_consistency(ConsistencyModel::Eventual);
     for r in cluster.deployment_replicas("sw") {
@@ -299,12 +287,10 @@ fn change_primary_redirects_forwarding() {
         .unwrap()
         .clone();
 
-    let client_tokyo = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::AsiaEast,
-        "app-tokyo",
-        dep.replicas(),
-    );
+    let client_tokyo =
+        WieraClient::builder(cluster.data_mesh.clone(), Region::AsiaEast, "app-tokyo")
+            .replicas(dep.replicas())
+            .build();
     let before = client_tokyo.put("k1", payload(64)).unwrap();
     assert!(
         before.latency.as_millis_f64() > 100.0,
@@ -345,12 +331,9 @@ fn latency_monitor_switches_and_recovers_end_to_end() {
             DeploymentConfig::default().with_dynamic_consistency(800.0, 10_000.0),
         )
         .unwrap();
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsWest,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsWest, "app")
+        .replicas(dep.replicas())
+        .build();
 
     // Background writer keeps puts flowing so the monitor has samples.
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -415,12 +398,10 @@ fn requests_monitor_moves_primary_toward_load() {
         )
         .unwrap();
     assert_eq!(dep.primary().unwrap().region, Region::UsWest);
-    let client_tokyo = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::AsiaEast,
-        "app-tokyo",
-        dep.replicas(),
-    );
+    let client_tokyo =
+        WieraClient::builder(cluster.data_mesh.clone(), Region::AsiaEast, "app-tokyo")
+            .replicas(dep.replicas())
+            .build();
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let writer = {
         let c = client_tokyo.clone();
@@ -470,12 +451,9 @@ fn replica_repair_restores_replication_factor() {
         .unwrap();
     // The eventual policy declares two regions (US-West, US-East); EU-West
     // hosts a spare server.
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app")
+        .replicas(dep.replicas())
+        .build();
     for i in 0..10 {
         client.put(&format!("k{i}"), payload(64)).unwrap();
     }

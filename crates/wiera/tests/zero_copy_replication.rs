@@ -33,12 +33,9 @@ fn replication_fan_out_does_not_deep_copy_values() {
         .controller
         .start_instances("zc-repl", "zc-repl", DeploymentConfig::default())
         .unwrap();
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "zc-app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "zc-app")
+        .replicas(dep.replicas())
+        .build();
 
     static PAYLOAD: &[u8] = &[0x5a; 2048];
     let items: Vec<(String, bytes::Bytes)> = (0..16)

@@ -30,12 +30,9 @@ fn main() {
             DeploymentConfig::default().with_dynamic_consistency(800.0, 8_000.0),
         )
         .unwrap();
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsWest,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsWest, "app")
+        .replicas(dep.replicas())
+        .build();
 
     let put_once = |label: &str| {
         let view = client.put("status", Bytes::from_static(b"ok")).unwrap();

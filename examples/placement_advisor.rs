@@ -86,12 +86,9 @@ fn main() {
         .unwrap();
 
     // Measure from the dominant region and compare against the estimate.
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::EuWest,
-        "eu-app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::EuWest, "eu-app")
+        .replicas(dep.replicas())
+        .build();
     let mut put_ms = 0.0;
     let mut get_ms = 0.0;
     let n = 20;

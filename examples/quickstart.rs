@@ -41,18 +41,12 @@ fn main() {
     );
 
     // An application connects to the closest instance (§4.1 step 8).
-    let west = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsWest,
-        "app-west",
-        deployment.replicas(),
-    );
-    let east = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "app-east",
-        deployment.replicas(),
-    );
+    let west = WieraClient::builder(cluster.data_mesh.clone(), Region::UsWest, "app-west")
+        .replicas(deployment.replicas())
+        .build();
+    let east = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app-east")
+        .replicas(deployment.replicas())
+        .build();
 
     let put = west
         .put("hello", Bytes::from_static(b"world"))

@@ -70,6 +70,8 @@ fn main() {
             flush_interval: SimDuration::from_millis(500),
             coord: None,
             forward_gets_to: None,
+            shard_group: None,
+            service_time: None,
         },
     )
     .expect("replica spawns");
@@ -84,6 +86,8 @@ fn main() {
             flush_interval: SimDuration::from_millis(500),
             coord: None,
             forward_gets_to: None,
+            shard_group: None,
+            service_time: None,
         },
     )
     .expect("replica spawns");
@@ -91,12 +95,9 @@ fn main() {
     azure.set_peers_direct(peers.clone(), Some(azure.node.clone()), 1);
     aws.set_peers_direct(peers, Some(azure.node.clone()), 1);
     azure.set_forward_gets_to(Some(aws.node.clone()));
-    let client = wiera::client::WieraClient::connect(
-        mesh.clone(),
-        Region::AzureUsEast,
-        "rubis-vm",
-        vec![azure.node.clone()],
-    );
+    let client = wiera::client::WieraClient::builder(mesh.clone(), Region::AzureUsEast, "rubis-vm")
+        .replicas(vec![azure.node.clone()])
+        .build();
     let remote = run_on(client, &mesh.clock, "remote AWS memory via Wiera");
 
     println!(

@@ -42,12 +42,9 @@ fn policy_text_to_running_deployment() {
             },
         )
         .unwrap();
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app")
+        .replicas(dep.replicas())
+        .build();
     for i in 0..20 {
         client
             .put(&format!("k{i}"), Bytes::from(vec![i as u8; 256]))
@@ -82,12 +79,9 @@ fn ycsb_driver_against_live_deployment() {
             },
         )
         .unwrap();
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "ycsb",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "ycsb")
+        .replicas(dep.replicas())
+        .build();
     let ledger = Arc::new(Ledger::new());
     let driver = ClientDriver::new(
         WorkloadSpec::ycsb_a(50, 128),
@@ -133,12 +127,9 @@ fn posix_files_on_a_geo_deployment() {
             },
         )
         .unwrap();
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "fs-app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "fs-app")
+        .replicas(dep.replicas())
+        .build();
     let fs = WieraFs::new(client, FsConfig::default());
     fs.create_filled("/data/report.bin", 100_000, 0xCD).unwrap();
     let (data, lat) = fs.read_at("/data/report.bin", 50_000, 10_000).unwrap();
@@ -166,12 +157,9 @@ fn cost_meters_run_through_the_stack() {
         .controller
         .start_instances("solo-dep", "solo", DeploymentConfig::default())
         .unwrap();
-    let client = WieraClient::connect(
-        cluster.data_mesh.clone(),
-        Region::UsEast,
-        "app",
-        dep.replicas(),
-    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app")
+        .replicas(dep.replicas())
+        .build();
     for i in 0..25 {
         client
             .put(&format!("k{i}"), Bytes::from(vec![0u8; 1024]))
@@ -213,8 +201,12 @@ fn multi_deployment_isolation() {
         .controller
         .start_instances("app-b", "iso", DeploymentConfig::default())
         .unwrap();
-    let ca = WieraClient::connect(cluster.data_mesh.clone(), Region::UsEast, "a", a.replicas());
-    let cb = WieraClient::connect(cluster.data_mesh.clone(), Region::UsEast, "b", b.replicas());
+    let ca = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "a")
+        .replicas(a.replicas())
+        .build();
+    let cb = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "b")
+        .replicas(b.replicas())
+        .build();
     ca.put("shared-key", Bytes::from_static(b"from-a")).unwrap();
     cb.put("shared-key", Bytes::from_static(b"from-b")).unwrap();
     assert_eq!(
