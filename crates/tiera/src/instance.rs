@@ -27,7 +27,9 @@ use wiera_policy::compile::{
     Action, CondValue, Condition, Env, EnvValue, EventKind, Rule, Selector, Target, TierLayout,
 };
 use wiera_sim::lockreg::TrackedMutex;
-use wiera_sim::{SharedClock, SimDuration, SimInstant, SimRng};
+use wiera_sim::{
+    BreakerConfig, BreakerState, CircuitBreaker, SharedClock, SimDuration, SimInstant, SimRng,
+};
 use wiera_tiers::{SimTier, TierError, TierKind, TierSpec};
 
 /// Metadata bookkeeping cost charged to every standalone data operation.
@@ -45,6 +47,9 @@ pub enum TieraError {
     NoSuchTier(String),
     ReadOnlyTier(String),
     Corrupt(String),
+    /// The thread-scoped op budget (see [`crate::deadline`]) ran out before
+    /// the operation started; no work was done.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for TieraError {
@@ -56,6 +61,7 @@ impl std::fmt::Display for TieraError {
             TieraError::NoSuchTier(t) => write!(f, "no tier labeled '{t}'"),
             TieraError::ReadOnlyTier(t) => write!(f, "tier '{t}' is read-only"),
             TieraError::Corrupt(w) => write!(f, "corrupt object data: {w}"),
+            TieraError::DeadlineExceeded => write!(f, "op budget spent before the operation ran"),
         }
     }
 }
@@ -243,6 +249,11 @@ pub struct TieraInstance {
     all_local_tiers: bool,
     /// Edge-trigger memory for tier-filled rules (rule index → armed).
     filled_armed: TrackedMutex<HashMap<usize, bool>>,
+    /// One circuit breaker per tier, keyed in tier order. The read path
+    /// feeds every tier access into its breaker and *deprioritizes* (never
+    /// rejects) holders whose breaker is not closed — a browned-out tier
+    /// may be the only holder of a version.
+    tier_breakers: Vec<(String, CircuitBreaker)>,
     pub stats: InstanceStats,
     rng: TrackedMutex<SimRng>,
 }
@@ -269,6 +280,7 @@ impl TieraInstance {
             tiers.push((layout.label.clone(), TierHandle::Local(tier)));
         }
         let rng = TrackedMutex::new("inst.rng", SimRng::new(config.seed).child(&config.name));
+        let tier_breakers = Self::build_breakers(&config.name, &tiers);
         Ok(Arc::new(TieraInstance {
             config,
             clock,
@@ -276,9 +288,34 @@ impl TieraInstance {
             meta: MetaStore::new(),
             all_local_tiers: true,
             filled_armed: TrackedMutex::new("inst.filled_armed", HashMap::new()),
+            tier_breakers,
             stats: InstanceStats::default(),
             rng,
         }))
+    }
+
+    /// One breaker per tier. The latency threshold is relative to the tier's
+    /// own typical get latency (with a small floor), so a memory tier and an
+    /// archival tier each trip only on *their* kind of brownout; healthy
+    /// jitter never reaches 20x the median EWMA-smoothed.
+    fn build_breakers(
+        name: &str,
+        tiers: &[(String, TierHandle)],
+    ) -> Vec<(String, CircuitBreaker)> {
+        tiers
+            .iter()
+            .map(|(label, h)| {
+                let threshold = SimDuration::from_millis_f64((h.typical_get_ms() * 20.0).max(2.0));
+                let cfg = BreakerConfig {
+                    latency_threshold: Some(threshold),
+                    ..BreakerConfig::default()
+                };
+                (
+                    label.clone(),
+                    CircuitBreaker::new(format!("{name}:{label}"), cfg),
+                )
+            })
+            .collect()
     }
 
     /// Mount another instance as an additional tier (§3.2.2 modular
@@ -305,6 +342,7 @@ impl TieraInstance {
         }
         tiers.push((label.to_string(), TierHandle::Instance { inst, read_only }));
         let all_local_tiers = tiers.iter().all(|(_, h)| matches!(h, TierHandle::Local(_)));
+        let tier_breakers = Self::build_breakers(&self.config.name, &tiers);
         Arc::new(TieraInstance {
             config: InstanceConfig {
                 name: self.config.name.clone(),
@@ -322,6 +360,7 @@ impl TieraInstance {
             meta: MetaStore::new(),
             all_local_tiers,
             filled_armed: TrackedMutex::new("inst.filled_armed", HashMap::new()),
+            tier_breakers,
             stats: InstanceStats::default(),
             rng: TrackedMutex::new("inst.rng", SimRng::new(self.config.seed).child("mounted")),
         })
@@ -360,6 +399,34 @@ impl TieraInstance {
             .ok_or_else(|| TieraError::NoSuchTier(label.to_string()))
     }
 
+    /// The circuit breaker guarding one tier.
+    pub fn tier_breaker(&self, label: &str) -> Option<&CircuitBreaker> {
+        self.tier_breakers
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, b)| b)
+    }
+
+    /// True while any tier's breaker is not closed — the instance-level
+    /// brownout signal Wiera's replica health reporting reads.
+    pub fn browned_out(&self) -> bool {
+        self.tier_breakers
+            .iter()
+            .any(|(_, b)| b.state() != BreakerState::Closed)
+    }
+
+    /// Fail fast when the thread-scoped op budget is already spent.
+    fn check_deadline(&self) -> Result<(), TieraError> {
+        if crate::deadline::expired(self.clock.now()) {
+            wiera_sim::MetricsRegistry::global().inc(
+                "tiera_deadline_exceeded",
+                &[("instance", self.config.name.as_str())],
+            );
+            return Err(TieraError::DeadlineExceeded);
+        }
+        Ok(())
+    }
+
     fn default_tier_label(&self) -> &str {
         self.tiers
             .first()
@@ -388,6 +455,7 @@ impl TieraInstance {
         value: Bytes,
         tags: &[&str],
     ) -> Result<OpOutcome, TieraError> {
+        self.check_deadline()?;
         self.stats.app_puts.fetch_add(1, Ordering::Relaxed);
         let outcome = self.ingest(key, value, tags, None, None, META_OVERHEAD)?;
         self.note_op("put", outcome.latency);
@@ -412,6 +480,11 @@ impl TieraInstance {
         &self,
         ops: &[BatchOp],
     ) -> (Vec<Result<OpOutcome, TieraError>>, SimDuration) {
+        // The budget gates the whole batch: items admitted together run
+        // together (checking per item would tear a half-expired batch).
+        if let Err(e) = self.check_deadline() {
+            return (ops.iter().map(|_| Err(e.clone())).collect(), META_OVERHEAD);
+        }
         if !self.all_local_tiers {
             return self.apply_batch_per_item(ops);
         }
@@ -929,6 +1002,7 @@ impl TieraInstance {
 
     /// Retrieve the latest version (GET).
     pub fn get(&self, key: &str) -> Result<OpOutcome, TieraError> {
+        self.check_deadline()?;
         self.stats.app_gets.fetch_add(1, Ordering::Relaxed);
         let version = self
             .meta
@@ -943,6 +1017,7 @@ impl TieraInstance {
 
     /// Retrieve a specific version.
     pub fn get_version(&self, key: &str, version: VersionId) -> Result<OpOutcome, TieraError> {
+        self.check_deadline()?;
         self.stats.app_gets.fetch_add(1, Ordering::Relaxed);
         let out = self.read_version(key, version)?;
         self.note_op("get", out.latency);
@@ -1065,12 +1140,7 @@ impl TieraInstance {
             })
             .ok_or_else(|| TieraError::VersionNotFound(key.to_string(), version))?;
 
-        let mut ordered: Vec<String> = holders;
-        ordered.sort_by(|a, b| {
-            let la = self.tier(a).map(|h| h.typical_get_ms()).unwrap_or(f64::MAX);
-            let lb = self.tier(b).map(|h| h.typical_get_ms()).unwrap_or(f64::MAX);
-            la.total_cmp(&lb)
-        });
+        let ordered = self.holder_order(holders, now);
 
         let skey = storage_key(key, version);
         let mut latency = SimDuration::from_micros(100);
@@ -1082,6 +1152,9 @@ impl TieraInstance {
             };
             match h.get(&skey) {
                 Ok((mut data, l)) => {
+                    if let Some(b) = self.tier_breaker(label) {
+                        b.record_success(self.clock.now(), l);
+                    }
                     latency += l;
                     if encrypted {
                         data = transform::decrypt(&data, self.config.encryption_key);
@@ -1104,10 +1177,57 @@ impl TieraInstance {
                         latency,
                     });
                 }
-                Err(_) => lost.push(label.clone()),
+                Err(_) => {
+                    if let Some(b) = self.tier_breaker(label) {
+                        b.record_failure(self.clock.now());
+                    }
+                    lost.push(label.clone())
+                }
             }
         }
         Err(TieraError::NotFound(key.to_string()))
+    }
+
+    /// Order candidate holders for a read: fastest typical latency first,
+    /// with two breaker-driven exceptions. A holder whose breaker is not
+    /// closed is *deprioritized*, never rejected — it may hold the only
+    /// copy. And when an open breaker's cooldown has expired, that holder
+    /// is promoted to the very front so this read doubles as the probe;
+    /// without real probe traffic a healed tier could never close again
+    /// while a healthy replica keeps absorbing all reads.
+    fn holder_order(&self, holders: Vec<String>, now: SimInstant) -> Vec<String> {
+        let mut ordered = holders;
+        ordered.sort_by(|a, b| {
+            let la = self.tier(a).map(|h| h.typical_get_ms()).unwrap_or(f64::MAX);
+            let lb = self.tier(b).map(|h| h.typical_get_ms()).unwrap_or(f64::MAX);
+            la.total_cmp(&lb)
+        });
+        let mut probe_first: Vec<String> = Vec::new();
+        let mut healthy: Vec<String> = Vec::new();
+        let mut suspect: Vec<String> = Vec::new();
+        for label in ordered {
+            match self.tier_breaker(&label) {
+                None => healthy.push(label),
+                Some(b) if b.state() == BreakerState::Closed => healthy.push(label),
+                Some(b) => {
+                    wiera_sim::MetricsRegistry::global().inc(
+                        "tiera_tier_deferrals",
+                        &[
+                            ("instance", self.config.name.as_str()),
+                            ("tier", label.as_str()),
+                        ],
+                    );
+                    if b.admit(now) == wiera_sim::Admit::Probe {
+                        probe_first.push(label);
+                    } else {
+                        suspect.push(label);
+                    }
+                }
+            }
+        }
+        probe_first.extend(healthy);
+        probe_first.extend(suspect);
+        probe_first
     }
 
     /// Phased read for tier stacks containing mounted instances: holder
@@ -1132,13 +1252,8 @@ impl TieraInstance {
             .flatten()
             .ok_or_else(|| TieraError::VersionNotFound(key.to_string(), version))?;
 
-        // Fastest holder first.
-        let mut ordered: Vec<String> = holders.clone();
-        ordered.sort_by(|a, b| {
-            let la = self.tier(a).map(|h| h.typical_get_ms()).unwrap_or(f64::MAX);
-            let lb = self.tier(b).map(|h| h.typical_get_ms()).unwrap_or(f64::MAX);
-            la.total_cmp(&lb)
-        });
+        // Fastest healthy holder first.
+        let ordered = self.holder_order(holders, now);
 
         let skey = storage_key(key, version);
         let mut latency = SimDuration::from_micros(100);
@@ -1150,6 +1265,9 @@ impl TieraInstance {
             };
             match h.get(&skey) {
                 Ok((mut data, l)) => {
+                    if let Some(b) = self.tier_breaker(label) {
+                        b.record_success(self.clock.now(), l);
+                    }
                     latency += l;
                     if encrypted {
                         data = transform::decrypt(&data, self.config.encryption_key);
@@ -1181,7 +1299,12 @@ impl TieraInstance {
                         latency,
                     });
                 }
-                Err(_) => lost.push(label.clone()),
+                Err(_) => {
+                    if let Some(b) = self.tier_breaker(label) {
+                        b.record_failure(self.clock.now());
+                    }
+                    lost.push(label.clone())
+                }
             }
         }
         Err(TieraError::NotFound(key.to_string()))
@@ -2061,6 +2184,93 @@ mod tests {
             total < item_sum + SimDuration::from_micros(300),
             "no per-item overhead stacking: {total} vs {item_sum}"
         );
+    }
+
+    #[test]
+    fn expired_deadline_fails_ops_fast() {
+        let clock = ManualClock::new();
+        let inst = TieraInstance::build(
+            InstanceConfig::new("dl", Region::UsEast).with_tier("tier1", "EBS", 1 << 30),
+            clock.clone(),
+        )
+        .unwrap();
+        inst.put("k", bytes(8)).unwrap();
+        let deadline = SimInstant::EPOCH + SimDuration::from_millis(10);
+        clock.advance(SimDuration::from_millis(20));
+        crate::deadline::with_deadline(Some(deadline), || {
+            assert_eq!(inst.get("k").unwrap_err(), TieraError::DeadlineExceeded);
+            assert_eq!(
+                inst.put("k", bytes(8)).unwrap_err(),
+                TieraError::DeadlineExceeded
+            );
+            let (results, _) = inst.apply_batch(&[BatchOp::Get { key: "k".into() }]);
+            assert_eq!(
+                results[0].as_ref().unwrap_err(),
+                &TieraError::DeadlineExceeded
+            );
+        });
+        // Outside the scope the same ops succeed: nothing was torn down.
+        assert!(inst.get("k").is_ok());
+    }
+
+    #[test]
+    fn open_tier_breaker_reroutes_reads_to_replica_holder() {
+        // Both tiers hold the object; brown out the fast one until its
+        // breaker opens, then the read must go to the healthy slow tier.
+        let src = "Tiera T() {
+            event(insert.into) : response {
+                store(what:insert.object, to:tier1);
+                copy(what:insert.object, to:tier2);
+            }
+        }";
+        let compiled = compile(&parse(src).unwrap()).unwrap();
+        let cfg = InstanceConfig::new("bo", Region::UsEast)
+            .with_tier("tier1", "Memcached", 1 << 20)
+            .with_tier("tier2", "EBS", 1 << 30)
+            .with_rules(compiled.rules);
+        let clock = ManualClock::new();
+        let inst = TieraInstance::build(cfg, clock.clone()).unwrap();
+        inst.put("k", bytes(64)).unwrap();
+
+        let mem = inst.tier("tier1").unwrap().as_local().unwrap().clone();
+        mem.set_degraded(500.0);
+        // Feed the breaker until the latency EWMA trips it.
+        for _ in 0..40 {
+            clock.advance(SimDuration::from_millis(5));
+            inst.get("k").unwrap();
+            if inst.tier_breaker("tier1").unwrap().state() == BreakerState::Open {
+                break;
+            }
+        }
+        assert_eq!(
+            inst.tier_breaker("tier1").unwrap().state(),
+            BreakerState::Open,
+            "sustained brownout must open the tier breaker"
+        );
+        assert!(inst.browned_out());
+        // With tier1 deprioritized, the read is served by tier2 at EBS
+        // speed instead of the browned-out memory tier's 500x latency.
+        let out = inst.get("k").unwrap();
+        assert!(
+            out.latency.as_millis_f64() < 50.0,
+            "read rerouted around the brownout: {}",
+            out.latency
+        );
+        // Heal: probes close the breaker again and memory-speed reads return.
+        mem.set_degraded(1.0);
+        for _ in 0..40 {
+            clock.advance(SimDuration::from_millis(200));
+            inst.get("k").unwrap();
+            if inst.tier_breaker("tier1").unwrap().state() == BreakerState::Closed {
+                break;
+            }
+        }
+        assert_eq!(
+            inst.tier_breaker("tier1").unwrap().state(),
+            BreakerState::Closed,
+            "healed tier must close again via probes"
+        );
+        assert!(!inst.browned_out());
     }
 
     #[test]

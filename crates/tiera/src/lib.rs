@@ -20,6 +20,10 @@
 //!   checks and cold-data scans running on dedicated threads against the
 //!   shared clock.
 //!
+//! Two robustness hooks thread through the instance: a thread-scoped op
+//! budget ([`deadline`]) that fails operations fast once spent, and a
+//! per-tier circuit breaker that deprioritizes browned-out tiers on reads.
+//!
 //! Instances are deliberately network-free: geo-replication, forwarding and
 //! consistency live one layer up in the `wiera` crate, which wraps instances
 //! in mesh endpoints — mirroring the paper's split where "Tiera is
@@ -27,6 +31,7 @@
 //! DC" while "Wiera manages data placement and movement across Tiera
 //! instances".
 
+pub mod deadline;
 pub mod engine;
 pub mod instance;
 pub mod metastore;

@@ -17,8 +17,9 @@ use serde::Serialize;
 use wiera_check::run_campaign;
 
 /// Fixed campaign seeds. The first is the one the unit test pins; the rest
-/// widen fault-script coverage (crash-primary appears under 1 and 7).
-const SEEDS: [u64; 3] = [20_160_601, 1, 7];
+/// widen fault-script coverage (crash-primary appears under 1 and 7,
+/// tier-brownout under 20160601, latency-jitter under 11).
+const SEEDS: [u64; 4] = [20_160_601, 1, 7, 11];
 
 #[derive(Serialize)]
 struct ProtocolRow {

@@ -61,6 +61,7 @@ fn main() {
             forward_gets_to: None,
             shard_group: None,
             service_time: None,
+            overload: None,
         },
     )
     .expect("replica spawns");

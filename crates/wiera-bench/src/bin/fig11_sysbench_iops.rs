@@ -105,6 +105,7 @@ fn run_remote(nic_cap_mbps: f64, seed: u64) -> f64 {
             forward_gets_to: None,
             shard_group: None,
             service_time: None,
+            overload: None,
         },
     )
     .expect("replica spawns");
@@ -121,6 +122,7 @@ fn run_remote(nic_cap_mbps: f64, seed: u64) -> f64 {
             forward_gets_to: None,
             shard_group: None,
             service_time: None,
+            overload: None,
         },
     )
     .expect("replica spawns");

@@ -18,7 +18,7 @@
 use std::process::Command;
 use wiera_sim::RegistrySnapshot;
 
-const EXPERIMENTS: [(&str, &str); 13] = [
+const EXPERIMENTS: [(&str, &str); 14] = [
     ("table4_costs", "Table 4: storage tier prices"),
     ("fig9_tier_latency", "Fig. 9: per-tier 4KB latency"),
     (
@@ -62,11 +62,15 @@ const EXPERIMENTS: [(&str, &str); 13] = [
         "fleet_throughput",
         "Fleet sharding: aggregate ops/sec scaling over 1→8 replica groups",
     ),
+    (
+        "brownout",
+        "Brownout: goodput under a degraded tier, hedged vs plain clients",
+    ),
 ];
 
 /// Binaries that export a `results/metrics_<name>.json` registry snapshot,
 /// with the counter/histogram invariants the smoke gate asserts on each.
-const METRIC_CHECKS: [(&str, &[Invariant]); 9] = [
+const METRIC_CHECKS: [(&str, &[Invariant]); 10] = [
     (
         "fig9_tier_latency",
         &[
@@ -145,6 +149,18 @@ const METRIC_CHECKS: [(&str, &[Invariant]); 9] = [
             // The map is stable while the pool runs: with no shard moving,
             // every op must route correctly on the first try.
             Invariant::CounterZero("wiera_wrong_shard_total"),
+        ],
+    ),
+    (
+        "brownout",
+        &[
+            Invariant::CounterPositive("net_rpc_total"),
+            Invariant::CounterPositive("wiera_get_total"),
+            // Hedges must fire and win under the browned-out tier.
+            Invariant::CounterPositive("client_hedges"),
+            // Sequential clients never build an admission backlog, so the
+            // armed overload machinery must not shed a single op.
+            Invariant::CounterZero("wiera_shed_total"),
         ],
     ),
 ];

@@ -81,6 +81,14 @@ enum Fault {
     CoordSessionExpiry,
     /// Degrade one replica's durable tier by 4x, restore after the burst.
     SlowTier,
+    /// Brownout: one replica's durable tier slows 50x — not down, just
+    /// nearly unusable. The failover/degradation machinery must keep ops
+    /// flowing; heal restores full speed.
+    SlowTierBrownout,
+    /// Inject per-message latency jitter at one region's edge, remove
+    /// after the burst. Retries and timeouts must absorb it without
+    /// consistency damage.
+    LatencyJitter,
 }
 
 struct Protocol {
@@ -104,14 +112,26 @@ const PROTOCOLS: &[Protocol] = &[
         name: "eventual",
         body: bodies::EVENTUAL,
         layout: &[("US-East", false), ("US-West", false), ("EU-West", false)],
-        menu: &[Fault::CrashBackup, Fault::PartitionAndHeal, Fault::SlowTier],
+        menu: &[
+            Fault::CrashBackup,
+            Fault::PartitionAndHeal,
+            Fault::SlowTier,
+            Fault::SlowTierBrownout,
+            Fault::LatencyJitter,
+        ],
         detector: false,
     },
     Protocol {
         name: "pb-sync",
         body: bodies::PRIMARY_BACKUP_SYNC,
         layout: &[("US-East", false), ("US-West", true), ("EU-West", false)],
-        menu: &[Fault::CrashPrimary, Fault::CrashBackup, Fault::SlowTier],
+        menu: &[
+            Fault::CrashPrimary,
+            Fault::CrashBackup,
+            Fault::SlowTier,
+            Fault::SlowTierBrownout,
+            Fault::LatencyJitter,
+        ],
         detector: true,
     },
     Protocol {
@@ -122,14 +142,19 @@ const PROTOCOLS: &[Protocol] = &[
         // so a primary crash loses acked writes by design — the oracle
         // would (correctly) deny. Backup crashes are maskable: the acked
         // copy survives on the primary and rejoin pulls it back.
-        menu: &[Fault::CrashBackup, Fault::SlowTier],
+        menu: &[
+            Fault::CrashBackup,
+            Fault::SlowTier,
+            Fault::SlowTierBrownout,
+            Fault::LatencyJitter,
+        ],
         detector: true,
     },
     Protocol {
         name: "multi-primaries",
         body: bodies::MULTI_PRIMARIES,
         layout: &[("US-East", true), ("US-West", false), ("EU-West", false)],
-        menu: &[Fault::CoordSessionExpiry, Fault::SlowTier],
+        menu: &[Fault::CoordSessionExpiry, Fault::SlowTier, Fault::LatencyJitter],
         detector: false,
     },
 ];
@@ -338,6 +363,29 @@ fn run_protocol(p: &Protocol, seed: u64) -> ChaosReport {
                     }
                 })
             }
+            Fault::SlowTierBrownout => {
+                let idx = rng.gen_range_usize(0, replicas.len());
+                let r = replicas[idx].clone();
+                script.push(format!("burst {burst}: tier-brownout on {}", r.node));
+                MetricsRegistry::global().inc("chaos_faults", &[("kind", "tier-brownout")]);
+                if let Some(t) = r.instance().tier("tier2").and_then(|t| t.as_local()) {
+                    t.set_degraded(50.0);
+                }
+                Box::new(move || {
+                    if let Some(t) = r.instance().tier("tier2").and_then(|t| t.as_local()) {
+                        t.set_degraded(1.0);
+                    }
+                })
+            }
+            Fault::LatencyJitter => {
+                let region = REGIONS[rng.gen_range_usize(0, REGIONS.len())];
+                let ms = 50.0 + rng.gen_range_f64(0.0, 200.0);
+                script.push(format!("burst {burst}: latency-jitter {region} {ms:.0}ms"));
+                MetricsRegistry::global().inc("chaos_faults", &[("kind", "latency-jitter")]);
+                cluster.fabric.set_region_jitter_ms(region, Some(ms));
+                let fabric = cluster.fabric.clone();
+                Box::new(move || fabric.set_region_jitter_ms(region, None))
+            }
         };
 
         // Workload burst under the fault.
@@ -480,13 +528,31 @@ mod tests {
     }
 
     /// The schedule is a pure function of the seed: two runs with the same
-    /// seed must execute the same fault script.
+    /// seed must execute the same fault script. Crash victims are the one
+    /// exception — a crash fault hits whichever node holds (or doesn't
+    /// hold) the primary role *at injection time*, and after an earlier
+    /// election that role assignment is timing-dependent — so the victim
+    /// name is normalized away while every RNG-drawn part (fault kinds and
+    /// order, partition pairs, jitter magnitudes, target indices) must
+    /// replay exactly.
     #[test]
     fn fault_script_is_replayable_from_seed() {
         let a = run_campaign(42);
         let b = run_campaign(42);
+        let normalize = |line: &str| -> String {
+            for prefix in ["crash-primary ", "crash-backup "] {
+                if let Some(at) = line.find(prefix) {
+                    if !line.ends_with("(none live)") {
+                        return format!("{}{}<victim>", &line[..at], prefix);
+                    }
+                }
+            }
+            line.to_string()
+        };
         let scripts = |rs: &[ChaosReport]| -> Vec<Vec<String>> {
-            rs.iter().map(|r| r.script.clone()).collect()
+            rs.iter()
+                .map(|r| r.script.iter().map(|l| normalize(l)).collect())
+                .collect()
         };
         assert_eq!(scripts(&a), scripts(&b));
     }

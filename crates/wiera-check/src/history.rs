@@ -51,6 +51,12 @@ pub struct HistoryEvent {
     pub node: String,
     pub start_us: u64,
     pub end_us: u64,
+    /// The replica served this read from possibly-stale local state under
+    /// overload, with the client's explicit consent (`degraded=1` in the
+    /// record). Such reads opt out of freshness: the oracle exempts them
+    /// from read-your-writes, and only them — an *unmarked* stale read is
+    /// still a finding.
+    pub degraded: bool,
 }
 
 /// Pull history records out of a raw trace. Records that fail to parse
@@ -69,7 +75,7 @@ pub fn extract_history(events: &[TraceEvent]) -> (Vec<HistoryEvent>, Vec<Diagnos
             _ => continue,
         };
         match parse_detail(e) {
-            Some((key, version, digest)) => out.push(HistoryEvent {
+            Some((key, version, digest, degraded)) => out.push(HistoryEvent {
                 kind,
                 key,
                 version,
@@ -77,6 +83,7 @@ pub fn extract_history(events: &[TraceEvent]) -> (Vec<HistoryEvent>, Vec<Diagnos
                 node: e.node.clone().unwrap_or_else(|| "?".into()),
                 start_us: e.t_us,
                 end_us: e.t_us + e.dur_us.unwrap_or(0),
+                degraded,
             }),
             None => diags.push(Diagnostic::note(
                 Code::Wc013,
@@ -91,11 +98,12 @@ pub fn extract_history(events: &[TraceEvent]) -> (Vec<HistoryEvent>, Vec<Diagnos
     (out, diags)
 }
 
-fn parse_detail(e: &TraceEvent) -> Option<(String, u64, u64)> {
+fn parse_detail(e: &TraceEvent) -> Option<(String, u64, u64, bool)> {
     let detail = e.detail.as_deref()?;
     let mut key = None;
     let mut ver = None;
     let mut val = None;
+    let mut degraded = false;
     for part in detail.split_whitespace() {
         if let Some(k) = part.strip_prefix("key=") {
             key = Some(k.to_string());
@@ -103,9 +111,11 @@ fn parse_detail(e: &TraceEvent) -> Option<(String, u64, u64)> {
             ver = v.parse::<u64>().ok();
         } else if let Some(d) = part.strip_prefix("val=") {
             val = u64::from_str_radix(d, 16).ok();
+        } else if part == "degraded=1" {
+            degraded = true;
         }
     }
-    Some((key?, ver?, val?))
+    Some((key?, ver?, val?, degraded))
 }
 
 /// One logical write: duplicate records of the same `(key, version)` —
@@ -310,12 +320,14 @@ fn check_linearizable(
 }
 
 /// A node that acknowledged its own write must see it (or newer) on every
-/// later read it serves.
+/// later read it serves. Reads explicitly marked degraded (served from
+/// possibly-stale local state under overload, with client consent) are
+/// exempt — the marker is precisely the record of that consent.
 fn check_read_your_writes(key: &str, events: &[&HistoryEvent], diags: &mut Vec<Diagnostic>) {
     for p in events.iter().filter(|e| e.kind == HistoryKind::Put) {
         for g in events
             .iter()
-            .filter(|e| e.kind == HistoryKind::Get && e.node == p.node)
+            .filter(|e| e.kind == HistoryKind::Get && e.node == p.node && !e.degraded)
         {
             if g.start_us >= p.end_us && g.version < p.version {
                 diags.push(Diagnostic::warn(
@@ -389,6 +401,7 @@ mod tests {
             node: node.into(),
             start_us: span.0,
             end_us: span.1,
+            degraded: false,
         }
     }
 
@@ -472,6 +485,45 @@ mod tests {
         ];
         let diags = check_history(&h, Some(ConsistencyModel::Eventual));
         assert!(diags.iter().any(|d| d.code == Code::Wc011));
+    }
+
+    #[test]
+    fn degraded_read_is_exempt_from_ryw_but_unmarked_twin_is_not() {
+        // Same stale local read twice: marked degraded it is consented-to
+        // staleness, unmarked it is a finding.
+        let stale = |degraded| {
+            let mut g = ev(HistoryKind::Get, "k", 4, 0xdd, "a", (20, 21));
+            g.degraded = degraded;
+            vec![
+                ev(HistoryKind::Put, "k", 5, 0xee, "a", (0, 10)),
+                g,
+                ev(HistoryKind::Put, "k", 4, 0xdd, "b", (0, 10)),
+                ev(HistoryKind::ReplicateApply, "k", 5, 0xee, "b", (40, 41)),
+            ]
+        };
+        let diags = check_history(&stale(true), Some(ConsistencyModel::Eventual));
+        assert!(
+            !diags.iter().any(|d| d.code == Code::Wc011),
+            "a marked degraded read must not count as a RYW violation: {diags:?}"
+        );
+        let diags = check_history(&stale(false), Some(ConsistencyModel::Eventual));
+        assert!(diags.iter().any(|d| d.code == Code::Wc011));
+    }
+
+    #[test]
+    fn degraded_marker_roundtrips_from_the_wire_detail() {
+        let e = TraceEvent {
+            t_us: 100,
+            subsystem: "history".into(),
+            op: "get".into(),
+            region: Some("UsEast".into()),
+            node: Some("r1".into()),
+            dur_us: Some(10),
+            detail: Some("key=obj-1 ver=3 val=00000000deadbeef degraded=1".into()),
+        };
+        let (hist, diags) = extract_history(&[e]);
+        assert!(diags.is_empty());
+        assert!(hist[0].degraded);
     }
 
     #[test]

@@ -187,6 +187,7 @@ mod tests {
             node: "n".into(),
             start_us: 0,
             end_us: 1,
+            degraded: false,
         }
     }
 

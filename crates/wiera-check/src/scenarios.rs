@@ -150,6 +150,16 @@ pub fn all_scenarios() -> &'static [Scenario] {
             run: run_fleet_shard_move,
         },
         Scenario {
+            name: "overload-degraded-read",
+            kind: ScenarioKind::Corpus,
+            describe: "eventual deployment with admission control: a forced \
+                       backlog sheds plain clients to the healthy region, a \
+                       consenting client gets an explicitly-marked degraded \
+                       local read, and the history stays clean after heal",
+            expect: &[],
+            run: run_overload_degraded_read,
+        },
+        Scenario {
             name: "adv-abba-deadlock",
             kind: ScenarioKind::Adversarial,
             describe: "planted ABBA: two threads take two tracked locks in \
@@ -239,6 +249,19 @@ fn bench(
     body: &str,
     time_scale: f64,
 ) -> Result<Bench, String> {
+    bench_with(id, regions, layout, body, time_scale, DeploymentConfig::default())
+}
+
+/// [`bench`] with a caller-supplied deployment config (overload knobs,
+/// flush cadence, …).
+fn bench_with(
+    id: &str,
+    regions: &[Region],
+    layout: &[(&str, bool)],
+    body: &str,
+    time_scale: f64,
+    dep_config: DeploymentConfig,
+) -> Result<Bench, String> {
     Tracer::global().clear();
     LockRegistry::global().reset();
     // Session expiry is judged in sim time but heartbeat threads run on the
@@ -263,9 +286,7 @@ fn bench(
     );
     let src = policy_src(id, layout, body);
     cluster.controller.register_policy(id, &src)?;
-    let dep = cluster
-        .controller
-        .start_instances(id, id, DeploymentConfig::default())?;
+    let dep = cluster.controller.start_instances(id, id, dep_config)?;
     let model = deduced_model(&src);
     Ok(Bench {
         cluster,
@@ -629,6 +650,117 @@ fn run_session_expiry() -> Vec<Diagnostic> {
         }
     }
     collect(b, Vec::new())
+}
+
+fn run_overload_degraded_read() -> Vec<Diagnostic> {
+    let b = match bench_with(
+        "chk-overload",
+        &[Region::UsEast, Region::EuWest],
+        &[("US-East", true), ("EU-West", false)],
+        bodies::EVENTUAL,
+        2000.0,
+        DeploymentConfig {
+            overload: Some(wiera::OverloadSpec {
+                target_delay_ms: 5.0,
+                interval_ms: 0.0,
+            }),
+            ..Default::default()
+        },
+    ) {
+        Ok(b) => b,
+        Err(e) => return err_diag("launch", e),
+    };
+    let plain = wiera::WieraClient::builder(b.cluster.data_mesh.clone(), Region::UsEast, "app-p")
+        .replicas(b.dep.replicas())
+        .build();
+    let consenting =
+        wiera::WieraClient::builder(b.cluster.data_mesh.clone(), Region::UsEast, "app-d")
+            .replicas(b.dep.replicas())
+            .allow_degraded(true)
+            .build();
+
+    // Seed and let queued distribution reach EU.
+    if let Err(e) = plain.put("ov", Bytes::from(vec![0x11; 64])) {
+        return collect(b, err_diag("seed put", e));
+    }
+    quiesce(60);
+
+    // Brown out the US-East replica's admission queue (white-box: a huge
+    // standing backlog, patience already spent).
+    let reps = b.cluster.deployment_replicas("chk-overload");
+    let Some(east_rep) = reps
+        .iter()
+        .find(|r| r.node.region == Region::UsEast)
+        .cloned()
+    else {
+        return collect(b, err_diag("setup", "no US-East replica"));
+    };
+    east_rep.force_backlog(SimDuration::from_secs(3600));
+
+    let mut extra = Vec::new();
+    // A plain client is shed at US-East and must be served by the healthy
+    // EU replica — graceful routing, not an error.
+    match plain.get("ov") {
+        Ok(view) => {
+            if view.served_by.region != Region::EuWest {
+                extra.push(Diagnostic::deny(
+                    Code::Wc013,
+                    format!(
+                        "shed client was served by {} instead of failing \
+                         over to the healthy region",
+                        view.served_by
+                    ),
+                ));
+            }
+            if view.degraded {
+                extra.push(Diagnostic::deny(
+                    Code::Wc010,
+                    "non-consenting client received a degraded read",
+                ));
+            }
+        }
+        Err(e) => return collect(b, err_diag("shed failover get", e)),
+    }
+    // A consenting client gets a local answer despite the backlog — and
+    // the reply must carry the explicit degraded marker.
+    match consenting.get("ov") {
+        Ok(view) => {
+            if view.served_by.region != Region::UsEast {
+                extra.push(Diagnostic::deny(
+                    Code::Wc013,
+                    format!(
+                        "degraded-consenting get was served by {} instead \
+                         of the overloaded local replica",
+                        view.served_by
+                    ),
+                ));
+            } else if !view.degraded {
+                extra.push(Diagnostic::deny(
+                    Code::Wc010,
+                    "read served from an overloaded replica's local state \
+                     without the degraded marker",
+                ));
+            }
+        }
+        Err(e) => return collect(b, err_diag("degraded get", e)),
+    }
+
+    // Heal the backlog; normal service resumes and the history must close
+    // clean (the one degraded read is marked, everything else is fresh).
+    east_rep.force_backlog(SimDuration::ZERO);
+    if let Err(e) = plain.put("ov", Bytes::from(vec![0x22; 64])) {
+        return collect(b, err_diag("post-heal put", e));
+    }
+    quiesce(60);
+    for (region, name) in [(Region::UsEast, "app-p"), (Region::EuWest, "app-r")] {
+        let reader = wiera::WieraClient::builder(b.cluster.data_mesh.clone(), region, name)
+            .replicas(b.dep.replicas())
+            .build();
+        if let Err(e) = reader.get("ov") {
+            return collect(b, err_diag("post-heal get", e));
+        }
+    }
+    collect(b, extra)
 }
 
 // ---- fleet sharding --------------------------------------------------------

@@ -31,6 +31,10 @@ struct Dynamics {
     cut_links: HashSet<(Region, Region)>,
     /// Outbound bandwidth cap (Mbit/s), e.g. a small Azure VM size.
     egress_cap_mbps: HashMap<Region, f64>,
+    /// Extra *random* one-way delay (uniform in `0..ms`) on every message
+    /// touching the site — modeled WAN jitter, drawn per message from the
+    /// fabric's seeded RNG.
+    node_jitter_ms: HashMap<Region, f64>,
 }
 
 fn link_key(a: Region, b: Region) -> (Region, Region) {
@@ -151,7 +155,33 @@ impl Fabric {
         } else {
             SimDuration::from_millis_f64(dist.typical_ms())
         };
-        prop + self.transfer_time(from, to, bytes) + self.injected_one_way(from, to)
+        prop
+            + self.transfer_time(from, to, bytes)
+            + self.injected_one_way(from, to)
+            + self.sampled_jitter(from, to)
+    }
+
+    /// Per-message random jitter for injected [`Fabric::set_region_jitter_ms`]
+    /// dynamics. Sampled from the fabric RNG even when base-latency jitter is
+    /// disabled: injected jitter is an explicit fault, not ambient noise.
+    fn sampled_jitter(&self, from: Region, to: Region) -> SimDuration {
+        let bound_ms = {
+            let d = self.dyn_state.read();
+            let mut ms = 0.0;
+            if let Some(&j) = d.node_jitter_ms.get(&from) {
+                ms += j;
+            }
+            if to != from {
+                if let Some(&j) = d.node_jitter_ms.get(&to) {
+                    ms += j;
+                }
+            }
+            ms
+        };
+        if bound_ms <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_millis_f64(self.rng.lock().gen_range_f64(0.0, bound_ms))
     }
 
     /// Like [`Fabric::one_way`], but when either endpoint has an egress cap
@@ -261,6 +291,25 @@ impl Fabric {
     pub fn heal_partition(&self, a: Region, b: Region) {
         self.dyn_state.write().cut_links.remove(&link_key(a, b));
         self.note_outage("heal_partition", &format!("{}-{}", a.name(), b.name()));
+    }
+
+    /// Add random one-way delay (uniform in `0..ms` per message) to all
+    /// traffic touching `site` — the chaos menu's `latency-jitter` fault.
+    /// `None` heals. Also cleared by [`Fabric::clear_all_dynamics`].
+    pub fn set_region_jitter_ms(&self, site: Region, ms: Option<f64>) {
+        let mut d = self.dyn_state.write();
+        match ms {
+            Some(m) => {
+                d.node_jitter_ms.insert(site, m);
+                drop(d);
+                self.note_outage("jitter", site.name());
+            }
+            None => {
+                d.node_jitter_ms.remove(&site);
+                drop(d);
+                self.note_outage("heal_jitter", site.name());
+            }
+        }
     }
 
     /// Cap a site's NIC bandwidth (Azure VM-size throttling).
@@ -397,13 +446,37 @@ mod tests {
     }
 
     #[test]
+    fn region_jitter_adds_bounded_random_delay_and_heals() {
+        let f = fabric(); // base latency jitter off: only injected jitter moves
+        let base = f.one_way(UsEast, UsWest, 0);
+        f.set_region_jitter_ms(UsWest, Some(200.0));
+        let mut max_extra = 0.0f64;
+        for _ in 0..100 {
+            let d = f.one_way(UsEast, UsWest, 0);
+            assert!(d >= base, "jitter only adds delay");
+            let extra = d.as_millis_f64() - base.as_millis_f64();
+            assert!(extra <= 200.0, "jitter bounded by the configured cap");
+            max_extra = max_extra.max(extra);
+        }
+        assert!(max_extra > 50.0, "jitter actually fires: max {max_extra}ms");
+        f.set_region_jitter_ms(UsWest, None);
+        assert_eq!(f.one_way(UsEast, UsWest, 0), base, "heal restores base");
+    }
+
+    #[test]
     fn clear_all_dynamics_resets_everything() {
         let f = fabric();
         f.inject_node_delay(UsEast, SimDuration::from_millis(50));
         f.set_partitioned(UsWest, true);
         f.partition(UsEast, EuWest);
         f.set_egress_cap_mbps(EuWest, Some(10.0));
+        f.set_region_jitter_ms(AsiaEast, Some(500.0));
         f.clear_all_dynamics();
+        assert_eq!(
+            f.one_way(UsEast, AsiaEast, 0),
+            SimDuration::from_millis(85),
+            "jitter cleared with the rest of the dynamics"
+        );
         assert_eq!(f.one_way(UsEast, UsWest, 0), SimDuration::from_millis(35));
         assert!(f.is_reachable(UsEast, UsWest));
         assert!(f.is_reachable(UsEast, EuWest));

@@ -27,7 +27,11 @@
 //! * [`lockreg`] — [`TrackedMutex`] / [`TrackedRwLock`] wrappers feeding a
 //!   process-wide lock-order graph; Tarjan-SCC cycle detection surfaces
 //!   potential (ABBA-style) deadlocks for `wiera-check`.
+//! * [`breaker`] — closed/open/half-open circuit breaker on error-rate and
+//!   latency EWMAs, used by the client failover loop and the tier engine to
+//!   probe browned-out dependencies instead of hammering them.
 
+pub mod breaker;
 pub mod clock;
 pub mod dist;
 pub mod lockreg;
@@ -37,6 +41,7 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
+pub use breaker::{Admit, BreakerConfig, BreakerState, CircuitBreaker};
 pub use clock::{Clock, FrozenClock, ManualClock, ScaledClock, SharedClock};
 pub use dist::LatencyDist;
 pub use lockreg::{LockOrderSnapshot, LockRegistry, TrackedMutex, TrackedRwLock};

@@ -22,10 +22,38 @@ use crate::msg::{DataMsg, FailCode, PutItem};
 use crate::replica::{view_of_item, view_of_reply, AppError, OpView, DATA_TIMEOUT};
 use bytes::Bytes;
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use wiera_net::{Mesh, NetError, NodeId, Region, RpcReply};
-use wiera_sim::{derive_seed, MetricsRegistry, SimDuration, SimRng};
+use wiera_sim::{
+    derive_seed, Admit, BreakerConfig, CircuitBreaker, MetricsRegistry, SimDuration, SimInstant,
+    SimRng,
+};
+
+/// How many recent get latencies feed the hedged-read trigger.
+const HEDGE_WINDOW: usize = 128;
+/// Samples required before the p95 trigger is trusted; below this the
+/// hedge fires after [`HEDGE_DEFAULT_DELAY`].
+const HEDGE_MIN_SAMPLES: usize = 8;
+/// Cold-start hedge delay, before enough latency samples exist.
+const HEDGE_DEFAULT_DELAY: SimDuration = SimDuration::from_millis(30);
+
+/// Client-side resilience policy. Everything here defaults to *off*, so a
+/// plain-built client behaves exactly like the pre-overload code: no
+/// budget envelopes on the wire, no breaker gating, no hedging.
+#[derive(Debug, Clone, Default)]
+struct Resilience {
+    /// Per-operation budget; each op computes an absolute deadline at
+    /// start, carries it in a [`DataMsg::WithBudget`] envelope, and stops
+    /// retrying (and backing off) once it is spent.
+    deadline: Option<SimDuration>,
+    /// Consent to possibly-stale degraded reads under replica overload.
+    allow_degraded: bool,
+    /// Per-replica circuit breakers in the failover loop.
+    breakers: bool,
+    /// Latency-percentile-triggered hedged gets.
+    hedged_reads: bool,
+}
 
 /// Retry behavior for the client failover loop (§4.4): candidates are swept
 /// closest-first; between sweeps the client backs off exponentially with
@@ -65,6 +93,7 @@ pub struct WieraClientBuilder {
     refresh_backoff_ms: f64,
     fleet: Option<Arc<FleetView>>,
     replicas: Vec<NodeId>,
+    resilience: Resilience,
 }
 
 impl WieraClientBuilder {
@@ -118,6 +147,41 @@ impl WieraClientBuilder {
         self
     }
 
+    /// Give every operation a budget of `ms` (sim time). The absolute
+    /// deadline travels with the request, so replicas and tiers drop work
+    /// that can no longer be answered in time, and the retry loop stops
+    /// sweeping (and backing off) once the budget is spent. Off by default.
+    pub fn deadline_ms(mut self, ms: f64) -> Self {
+        self.resilience.deadline = Some(SimDuration::from_millis_f64(ms));
+        self
+    }
+
+    /// Consent to degraded reads: under overload an eventual-policy replica
+    /// may answer a get from local state instead of shedding it. The reply
+    /// (and [`OpView::degraded`]) carries an explicit staleness marker.
+    /// Off by default.
+    pub fn allow_degraded(mut self, yes: bool) -> Self {
+        self.resilience.allow_degraded = yes;
+        self
+    }
+
+    /// Run a circuit breaker per replica: repeated transport failures or
+    /// shed (`Overloaded`) replies open the breaker, and the failover loop
+    /// then skips that replica until a cooldown probe succeeds. Off by
+    /// default.
+    pub fn breakers(mut self, on: bool) -> Self {
+        self.resilience.breakers = on;
+        self
+    }
+
+    /// Hedge slow gets: when the closest replica has not answered within
+    /// the client's observed p95 get latency, a second request races to the
+    /// next-closest replica and the first answer wins. Off by default.
+    pub fn hedged_reads(mut self, on: bool) -> Self {
+        self.resilience.hedged_reads = on;
+        self
+    }
+
     pub fn build(self) -> Arc<WieraClient> {
         let fleet = self
             .fleet
@@ -131,6 +195,9 @@ impl WieraClientBuilder {
             policy: self.policy,
             refresh_backoff: SimDuration::from_millis_f64(self.refresh_backoff_ms),
             rng: Mutex::new(rng),
+            resilience: self.resilience,
+            breakers: Mutex::new(HashMap::new()),
+            get_window: Mutex::new(VecDeque::new()),
         })
     }
 }
@@ -146,6 +213,12 @@ pub struct WieraClient {
     refresh_backoff: SimDuration,
     /// Jitter source, derived from the policy seed and the client name.
     rng: Mutex<SimRng>,
+    /// Overload-resilience policy (all off unless the builder enabled it).
+    resilience: Resilience,
+    /// One breaker per replica this client has talked to (lazily created).
+    breakers: Mutex<HashMap<NodeId, Arc<CircuitBreaker>>>,
+    /// Recent get latencies (ms), the hedged-read p95 trigger source.
+    get_window: Mutex<VecDeque<f64>>,
 }
 
 impl WieraClient {
@@ -163,6 +236,7 @@ impl WieraClient {
             refresh_backoff_ms: 50.0,
             fleet: None,
             replicas: Vec::new(),
+            resilience: Resilience::default(),
         }
     }
 
@@ -241,20 +315,68 @@ impl WieraClient {
         reps
     }
 
+    /// The breaker guarding `node`, created on first contact.
+    fn breaker_for(&self, node: &NodeId) -> Arc<CircuitBreaker> {
+        self.breakers
+            .lock()
+            .entry(node.clone())
+            .or_insert_with(|| {
+                Arc::new(CircuitBreaker::new(
+                    format!("client:{}", node.name),
+                    BreakerConfig::default(),
+                ))
+            })
+            .clone()
+    }
+
+    /// This op's absolute deadline, if the client carries a budget.
+    fn op_deadline(&self) -> Option<SimInstant> {
+        self.resilience
+            .deadline
+            .map(|d| self.mesh.clock.now() + d)
+    }
+
+    /// Wrap a request in the budget envelope when the client has one (or
+    /// consents to degraded reads). A client with neither sends the bare
+    /// message — bit-identical wire traffic to the pre-overload code.
+    fn wrap_budget(&self, deadline: Option<SimInstant>, msg: DataMsg) -> DataMsg {
+        if deadline.is_none() && !self.resilience.allow_degraded {
+            return msg;
+        }
+        DataMsg::WithBudget {
+            deadline_us: deadline.map(|t| t.elapsed_since(SimInstant::EPOCH).as_micros()),
+            allow_degraded: self.resilience.allow_degraded,
+            inner: Box::new(msg),
+        }
+    }
+
+    fn budget_spent(why: &str) -> AppError {
+        AppError::Remote {
+            code: FailCode::DeadlineExceeded,
+            why: why.into(),
+        }
+    }
+
     /// Issue an operation with closest-first failover over the candidates
     /// `resolve` yields (re-resolved each sweep — a failover or shard move
-    /// may have refreshed the list): transport failures and stale-epoch
-    /// refusals advance to the next-closest replica; a `WrongShard` refusal
-    /// returns immediately (every replica of the group shares the same
-    /// ownership view, so the *caller* must re-route on a fresh map); any
-    /// other semantic (`Fail`) reply is final — it came from a live replica
-    /// that understood the request, so retrying elsewhere can only mask the
-    /// answer. After a full sweep of the candidate list the client backs off
-    /// (exponential + seeded jitter, sim-time) and sweeps again until the
-    /// attempt cap. Every client method routes through here, so they all
-    /// share one retry/timeout/failover policy.
+    /// may have refreshed the list): transport failures, stale-epoch
+    /// refusals and shed (`Overloaded`) replies advance to the next-closest
+    /// replica; a `WrongShard` refusal returns immediately (every replica of
+    /// the group shares the same ownership view, so the *caller* must
+    /// re-route on a fresh map); any other semantic (`Fail`) reply is final
+    /// — it came from a live replica that understood the request, so
+    /// retrying elsewhere can only mask the answer. After a full sweep of
+    /// the candidate list the client backs off (exponential + seeded jitter,
+    /// sim-time) and sweeps again until the attempt cap — or until the op's
+    /// budget is spent, when a deadline is configured. With breakers
+    /// enabled, candidates whose breaker refuses admission are skipped
+    /// without touching them, and every call that does go out settles its
+    /// breaker (success for any reply except a shed, failure for transport
+    /// errors and sheds). Every client method routes through here, so they
+    /// all share one retry/timeout/failover policy.
     fn with_failover<T>(
         &self,
+        deadline: Option<SimInstant>,
         resolve: impl Fn() -> Vec<NodeId>,
         make: impl Fn() -> DataMsg,
         parse: impl Fn(RpcReply<DataMsg>, &NodeId) -> Result<T, AppError>,
@@ -271,10 +393,46 @@ impl WieraClient {
                 if attempts >= self.policy.max_attempts {
                     return Err(last.unwrap_or_else(|| AppError::blocked("all replicas failed")));
                 }
+                if deadline.is_some_and(|dl| self.mesh.clock.now() >= dl) {
+                    return Err(last
+                        .unwrap_or_else(|| Self::budget_spent("op budget spent mid-failover")));
+                }
+                // Breaker gating: an open breaker skips the replica without
+                // touching it. `admit` may hand out a half-open probe slot,
+                // so every admitted call below MUST settle the breaker.
+                let breaker = if self.resilience.breakers {
+                    let b = self.breaker_for(target);
+                    match b.admit(self.mesh.clock.now()) {
+                        Admit::No => {
+                            self.note_retry("breaker-open");
+                            continue;
+                        }
+                        Admit::Yes | Admit::Probe => Some(b),
+                    }
+                } else {
+                    None
+                };
                 attempts += 1;
-                let msg = make();
+                let msg = self.wrap_budget(deadline, make());
                 let bytes = msg.wire_bytes();
-                match self.mesh.rpc(&self.me, target, msg, bytes, DATA_TIMEOUT) {
+                let outcome = self.mesh.rpc(&self.me, target, msg, bytes, DATA_TIMEOUT);
+                if let Some(b) = &breaker {
+                    match &outcome {
+                        // A shed reply is the overload signal the breaker
+                        // exists for; any other reply proves liveness.
+                        Ok(RpcReply {
+                            msg:
+                                DataMsg::Fail {
+                                    code: FailCode::Overloaded,
+                                    ..
+                                },
+                            ..
+                        })
+                        | Err(_) => b.record_failure(self.mesh.clock.now()),
+                        Ok(reply) => b.record_success(self.mesh.clock.now(), reply.total()),
+                    }
+                }
+                match outcome {
                     // A fenced (deposed-epoch) refusal means the deployment
                     // just failed over: retry, the next candidate (or the
                     // next sweep) will be current.
@@ -289,6 +447,22 @@ impl WieraClient {
                         self.note_retry("stale-epoch");
                         last = Some(AppError::Remote {
                             code: FailCode::StaleEpoch,
+                            why,
+                        });
+                    }
+                    // A shed: this replica refuses new client load but
+                    // another may have headroom — advance.
+                    Ok(RpcReply {
+                        msg:
+                            DataMsg::Fail {
+                                code: FailCode::Overloaded,
+                                why,
+                            },
+                        ..
+                    }) => {
+                        self.note_retry("overloaded");
+                        last = Some(AppError::Remote {
+                            code: FailCode::Overloaded,
                             why,
                         });
                     }
@@ -320,13 +494,22 @@ impl WieraClient {
             if attempts >= self.policy.max_attempts {
                 return Err(last.unwrap_or_else(|| AppError::blocked("all replicas failed")));
             }
-            // Whole list down (or fenced): back off before the next sweep.
+            // Whole list down (or fenced): back off before the next sweep —
+            // but never sleep past the op's deadline.
             let exp = self.policy.base_backoff_ms * f64::powi(2.0, sweep as i32);
             let capped = exp.min(self.policy.max_backoff_ms);
             let jitter = self.rng.lock().gen_range_f64(0.0, capped);
-            self.mesh
-                .clock
-                .sleep(SimDuration::from_millis_f64(capped + jitter));
+            let mut pause = SimDuration::from_millis_f64(capped + jitter);
+            if let Some(dl) = deadline {
+                let now = self.mesh.clock.now();
+                if now >= dl {
+                    return Err(
+                        last.unwrap_or_else(|| Self::budget_spent("op budget spent mid-failover"))
+                    );
+                }
+                pause = pause.min(dl.elapsed_since(now));
+            }
+            self.mesh.clock.sleep(pause);
             sweep += 1;
         }
     }
@@ -345,14 +528,18 @@ impl WieraClient {
         make: impl Fn() -> DataMsg,
         parse: impl Fn(RpcReply<DataMsg>, &NodeId) -> Result<T, AppError>,
     ) -> Result<T, AppError> {
+        let deadline = self.op_deadline();
         let mut redirects: u32 = 0;
         loop {
-            let result = self.with_failover(|| self.candidates_for(key), &make, &parse);
+            let result = self.with_failover(deadline, || self.candidates_for(key), &make, &parse);
             match result {
                 Err(e) if e.code() == Some(FailCode::WrongShard) => {
                     redirects += 1;
                     if redirects >= self.policy.max_attempts {
                         return Err(e);
+                    }
+                    if deadline.is_some_and(|dl| self.mesh.clock.now() >= dl) {
+                        return Err(Self::budget_spent("op budget spent during re-routing"));
                     }
                     self.note_retry("wrong-shard");
                     self.mesh.clock.sleep(self.refresh_backoff);
@@ -378,9 +565,151 @@ impl WieraClient {
     }
 
     pub fn get(&self, key: &str) -> Result<OpView, AppError> {
-        self.op(key, || DataMsg::Get {
+        if self.resilience.hedged_reads {
+            if let Some(raced) = self.hedged_get(key) {
+                if let Ok(view) = &raced {
+                    self.record_get_latency(view.latency);
+                }
+                return raced;
+            }
+        }
+        let out = self.op(key, || DataMsg::Get {
             key: key.to_string(),
-        })
+        });
+        if let Ok(view) = &out {
+            self.record_get_latency(view.latency);
+        }
+        out
+    }
+
+    fn record_get_latency(&self, latency: SimDuration) {
+        let mut w = self.get_window.lock();
+        w.push_back(latency.as_millis_f64());
+        while w.len() > HEDGE_WINDOW {
+            w.pop_front();
+        }
+    }
+
+    /// When to fire the hedge: the p95 of this client's recent get
+    /// latencies, or a fixed cold-start delay before enough samples exist.
+    fn hedge_delay(&self) -> SimDuration {
+        let w = self.get_window.lock();
+        if w.len() < HEDGE_MIN_SAMPLES {
+            return HEDGE_DEFAULT_DELAY;
+        }
+        let mut v: Vec<f64> = w.iter().copied().collect();
+        v.sort_by(f64::total_cmp);
+        let idx = ((v.len() as f64 * 0.95).ceil() as usize).clamp(1, v.len()) - 1;
+        SimDuration::from_millis_f64(v[idx].max(1.0))
+    }
+
+    /// Race a get against the two closest replicas of the owning group: the
+    /// primary attempt goes out immediately, the hedge follows after
+    /// [`Self::hedge_delay`] unless the primary already answered, and the
+    /// first well-formed reply wins. The legs are detached threads — the
+    /// caller returns as soon as one leg is decisive, it never waits for
+    /// the loser (a hedge that cannot abandon a slow primary bounds
+    /// nothing). Transport failures on both legs return `None` so the
+    /// caller falls back to the full failover sweep (which owns
+    /// retry/backoff policy); a semantic reply from either leg is final.
+    /// Hedges never consult breakers for admission (the race *is* the
+    /// latency hedge) but each leg settles its outcome into them even when
+    /// it loses, so a browned-out primary still accumulates evidence.
+    fn hedged_get(&self, key: &str) -> Option<Result<OpView, AppError>> {
+        let candidates = self.candidates_for(key);
+        if candidates.len() < 2 {
+            return None;
+        }
+        let deadline = self.op_deadline();
+        let primary = candidates[0].clone();
+        let hedge = candidates[1].clone();
+        let delay = self.hedge_delay();
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        type Leg = Option<(Result<RpcReply<DataMsg>, NetError>, NodeId)>;
+        let spawn_leg = |target: NodeId, fire_after: Option<SimDuration>| {
+            let mesh = self.mesh.clone();
+            let me = self.me.clone();
+            let breaker = self.resilience.breakers.then(|| self.breaker_for(&target));
+            let msg = self.wrap_budget(
+                deadline,
+                DataMsg::Get {
+                    key: key.to_string(),
+                },
+            );
+            let tx = tx.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                if let Some(wait) = fire_after {
+                    mesh.clock.sleep(wait);
+                    if done.load(std::sync::atomic::Ordering::Acquire) {
+                        let leg: Leg = None;
+                        let _ = tx.send(leg);
+                        return;
+                    }
+                    MetricsRegistry::global().inc("client_hedges", &[("event", "fired")]);
+                }
+                let bytes = msg.wire_bytes();
+                let out = mesh.rpc(&me, &target, msg, bytes, DATA_TIMEOUT);
+                if let Some(b) = breaker {
+                    match &out {
+                        Ok(RpcReply {
+                            msg:
+                                DataMsg::Fail {
+                                    code: FailCode::Overloaded,
+                                    ..
+                                },
+                            ..
+                        })
+                        | Err(_) => b.record_failure(mesh.clock.now()),
+                        Ok(reply) => b.record_success(mesh.clock.now(), reply.total()),
+                    }
+                }
+                let leg: Leg = Some((out, target));
+                let _ = tx.send(leg);
+            });
+        };
+        spawn_leg(primary, None);
+        spawn_leg(hedge.clone(), Some(delay));
+        drop(tx);
+        let mut legs = 0;
+        while legs < 2 {
+            let Ok(leg) = rx.recv() else { break };
+            legs += 1;
+            let Some((outcome, target)) = leg else {
+                continue; // hedge skipped: the primary had answered
+            };
+            match outcome {
+                Ok(reply) => {
+                    let latency = reply.total();
+                    match reply.msg {
+                        // Retryable refusals are not answers: leave the
+                        // race open for the other leg, and fall back to
+                        // the failover sweep (which owns retry and
+                        // re-routing policy) if both legs refuse.
+                        DataMsg::Fail {
+                            code:
+                                FailCode::Overloaded | FailCode::StaleEpoch | FailCode::WrongShard,
+                            ..
+                        } => {}
+                        msg => {
+                            done.store(true, std::sync::atomic::Ordering::Release);
+                            let won = if target == hedge {
+                                "hedge-won"
+                            } else {
+                                "primary-won"
+                            };
+                            MetricsRegistry::global().inc("client_hedges", &[("event", won)]);
+                            return Some(view_of_reply(msg, latency, &target));
+                        }
+                    }
+                }
+                // Transport failure: let the other leg (or the caller's
+                // failover sweep) decide.
+                Err(_) => {}
+            }
+        }
+        None
     }
 
     pub fn get_version(&self, key: &str, version: u64) -> Result<OpView, AppError> {
@@ -475,6 +804,7 @@ impl WieraClient {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
+        let deadline = self.op_deadline();
         let mut results: Vec<Option<Result<OpView, AppError>>> =
             (0..keys.len()).map(|_| None).collect();
         let mut pending: Vec<usize> = (0..keys.len()).collect();
@@ -494,6 +824,7 @@ impl WieraClient {
                     .map(|(group, idxs)| {
                         s.spawn(move || {
                             let result = self.with_failover(
+                                deadline,
                                 || self.candidates_of_group(group),
                                 || make_ref(&idxs),
                                 batch_views,

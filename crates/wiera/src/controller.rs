@@ -266,6 +266,7 @@ impl WieraController {
                 needs_coord,
                 shard_group: config.shard_group,
                 service_time_ms: config.service_time_ms,
+                overload: config.overload,
             };
             if template.is_none() {
                 template = Some(spec.clone());

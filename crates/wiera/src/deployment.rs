@@ -37,6 +37,9 @@ pub struct DeploymentConfig {
     /// Modeled per-op service time at each replica, ms. See
     /// [`ReplicaSpec::service_time_ms`].
     pub service_time_ms: Option<f64>,
+    /// CoDel-style load shedding over each replica's admission queue. See
+    /// [`ReplicaSpec::overload`]; `None` (the default) never sheds.
+    pub overload: Option<crate::msg::OverloadSpec>,
 }
 
 impl Default for DeploymentConfig {
@@ -48,6 +51,7 @@ impl Default for DeploymentConfig {
             min_replicas: None,
             shard_group: None,
             service_time_ms: None,
+            overload: None,
         }
     }
 }

@@ -65,15 +65,26 @@ impl WieraError {
 
     /// Whether retrying the operation can succeed without operator
     /// intervention: transport failures (another replica may answer), a
-    /// fenced epoch (leadership moved — re-resolve the primary), or a
-    /// stale shard map (ownership moved — refresh and re-route). Semantic
-    /// errors (`NotFound`, `Blocked`, …) are final answers.
+    /// fenced epoch (leadership moved — re-resolve the primary), a stale
+    /// shard map (ownership moved — refresh and re-route), or a shed
+    /// request (another replica may have admission headroom). Semantic
+    /// errors (`NotFound`, `Blocked`, …) are final answers, and so is
+    /// `DeadlineExceeded` — the budget is spent, only the caller can
+    /// grant a new one.
+    ///
+    /// Every code is matched explicitly: a new [`FailCode`] variant must
+    /// decide its retry semantics here, not inherit them from a wildcard.
     pub fn retryable(&self) -> bool {
         match self {
             WieraError::Net(_) => true,
-            WieraError::Remote { code, .. } => {
-                matches!(code, FailCode::StaleEpoch | FailCode::WrongShard)
-            }
+            WieraError::Remote { code, .. } => match code {
+                FailCode::StaleEpoch | FailCode::WrongShard | FailCode::Overloaded => true,
+                FailCode::NotFound
+                | FailCode::VersionMissing
+                | FailCode::Blocked
+                | FailCode::Internal
+                | FailCode::DeadlineExceeded => false,
+            },
         }
     }
 }
@@ -114,13 +125,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn retryable_is_exactly_transport_fencing_and_routing() {
-        assert!(WieraError::remote(FailCode::StaleEpoch, "fenced").retryable());
-        assert!(WieraError::remote(FailCode::WrongShard, "moved").retryable());
-        assert!(!WieraError::not_found("nope").retryable());
-        assert!(!WieraError::blocked("switching").retryable());
-        assert!(!WieraError::internal("bug").retryable());
-        assert!(!WieraError::remote(FailCode::VersionMissing, "v9").retryable());
+    fn retryable_is_exactly_transport_fencing_routing_and_shedding() {
+        // Every FailCode variant appears here: a new code without an
+        // explicit expectation fails this enumeration.
+        let expectations = [
+            (FailCode::NotFound, false),
+            (FailCode::VersionMissing, false),
+            (FailCode::Blocked, false),
+            (FailCode::Internal, false),
+            (FailCode::StaleEpoch, true),
+            (FailCode::WrongShard, true),
+            (FailCode::Overloaded, true),
+            (FailCode::DeadlineExceeded, false),
+        ];
+        for (code, want) in expectations {
+            assert_eq!(
+                WieraError::remote(code, "x").retryable(),
+                want,
+                "retryable({code}) should be {want}"
+            );
+        }
     }
 
     #[test]

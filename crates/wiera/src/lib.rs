@@ -51,8 +51,8 @@ pub use controller::{ControllerConfig, WieraController};
 pub use deployment::{DeploymentConfig, WieraDeployment};
 pub use errors::WieraError;
 pub use fleet::{FleetConfig, FleetView, WieraFleet};
-pub use msg::DataMsg;
-pub use replica::ReplicaNode;
+pub use msg::{DataMsg, OverloadSpec};
+pub use replica::{OverloadConfig, ReplicaNode};
 pub use server::TieraServer;
 
 /// Map a policy-language region name to a fabric site.

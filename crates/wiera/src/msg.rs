@@ -15,6 +15,20 @@ use wiera_sim::SimInstant;
 #[derive(Debug, Clone)]
 pub enum DataMsg {
     // ---- application ↔ instance (Table 2 API) ----
+    /// Op-budget envelope around an application request. Carries the
+    /// absolute deadline (on the shared modeled clock, so every hop can
+    /// drop work that can no longer be answered in time) and whether the
+    /// caller accepts a possibly-stale degraded answer under overload.
+    /// Replicas unwrap it before dispatching the inner op.
+    WithBudget {
+        /// Absolute deadline, µs since [`SimInstant::EPOCH`]. `None`
+        /// means unbounded (legacy behavior).
+        deadline_us: Option<u64>,
+        /// Under overload an eventual-policy Get may be answered from
+        /// local state without queueing; the reply is marked `degraded`.
+        allow_degraded: bool,
+        inner: Box<DataMsg>,
+    },
     Put {
         key: String,
         value: Bytes,
@@ -60,11 +74,15 @@ pub enum DataMsg {
     PutAck {
         version: u64,
     },
-    /// Successful read.
+    /// Successful read. `degraded` is the explicit staleness marker: the
+    /// value was served from local state under overload (eventual policy
+    /// only, and only when the request allowed it) and may lag the newest
+    /// acknowledged write.
     GetReply {
         value: Bytes,
         version: u64,
         modified: SimInstant,
+        degraded: bool,
     },
     VersionList {
         versions: Vec<u64>,
@@ -245,6 +263,18 @@ pub struct ReplicaSpec {
     /// aggregate throughput scales with the number of groups instead of
     /// with client count alone.
     pub service_time_ms: Option<f64>,
+    /// CoDel-style load shedding over the admission queue. `None` (the
+    /// default) never sheds; only meaningful with `service_time_ms` set.
+    pub overload: Option<OverloadSpec>,
+}
+
+/// Wire form of the replica's shedding policy (see the replica's
+/// `OverloadConfig` for semantics: shed client ops once the admission
+/// backlog has stayed above `target_delay_ms` for `interval_ms`).
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadSpec {
+    pub target_delay_ms: f64,
+    pub interval_ms: f64,
 }
 
 /// Which monitor threads a replica should run (§3.2.3 / §4.3).
@@ -335,6 +365,15 @@ pub enum FailCode {
     /// is mid-move and nobody serves it yet). Retryable: refresh the map
     /// and re-route.
     WrongShard,
+    /// The replica shed the request before queueing it: its admission
+    /// controller judged the backlog unserviceable within an acceptable
+    /// delay. Retryable — another replica (or a later attempt) may have
+    /// headroom.
+    Overloaded,
+    /// The request's deadline expired before the work completed; partial
+    /// work was dropped. Not retryable: the budget is spent, and a fresh
+    /// attempt needs a fresh deadline from the caller.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for FailCode {
@@ -346,6 +385,8 @@ impl std::fmt::Display for FailCode {
             FailCode::Internal => "internal",
             FailCode::StaleEpoch => "stale-epoch",
             FailCode::WrongShard => "wrong-shard",
+            FailCode::Overloaded => "overloaded",
+            FailCode::DeadlineExceeded => "deadline-exceeded",
         };
         f.write_str(s)
     }
@@ -397,6 +438,9 @@ impl DataMsg {
         /// Per-item framing inside a batch (length prefixes + tag).
         const ITEM: u64 = 8;
         match self {
+            // The envelope adds a deadline + flags word on top of the
+            // inner request's cost.
+            DataMsg::WithBudget { inner, .. } => 16 + inner.wire_bytes(),
             DataMsg::Put { key, value } => HDR + key.len() as u64 + value.len() as u64,
             DataMsg::Update { key, value, .. } => HDR + key.len() as u64 + value.len() as u64,
             DataMsg::Replicate { key, value, .. } => HDR + key.len() as u64 + value.len() as u64,
@@ -523,6 +567,7 @@ mod tests {
                         value: Bytes::from(vec![0u8; 32]),
                         version: 1,
                         modified: SimInstant::EPOCH,
+                        degraded: false,
                     }
                     .wire_bytes()
             })

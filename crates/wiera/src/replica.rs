@@ -109,8 +109,39 @@ fn fail_code(e: &TieraError) -> FailCode {
     match e {
         TieraError::NotFound(_) => FailCode::NotFound,
         TieraError::VersionNotFound(..) => FailCode::VersionMissing,
+        TieraError::DeadlineExceeded => FailCode::DeadlineExceeded,
         _ => FailCode::Internal,
     }
+}
+
+/// CoDel-style load-shedding configuration for a replica's admission queue.
+///
+/// The admission model ([`ReplicaConfig::service_time`]) gives each replica a
+/// modeled single-server queue; its *sojourn delay* (how long a newly
+/// admitted op would wait for its service slot) is the congestion signal.
+/// Transient bursts ride through: shedding starts only once the delay has
+/// stayed above `target_delay` continuously for `interval`, and stops the
+/// moment the backlog dips back under target — the same standing-queue test
+/// CoDel applies to packet sojourn times. Only client operations are shed;
+/// replication, anti-entropy and control traffic is handled inline and is
+/// never subject to admission, so a replica keeps converging even while it
+/// refuses new client load.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadConfig {
+    /// Acceptable standing backlog in the admission queue.
+    pub target_delay: SimDuration,
+    /// How long the backlog must stay above `target_delay` before client
+    /// ops are shed with [`FailCode::Overloaded`].
+    pub interval: SimDuration,
+}
+
+/// Per-op budget carried by [`DataMsg::WithBudget`], unwrapped at dispatch.
+#[derive(Debug, Clone, Copy, Default)]
+struct OpBudget {
+    /// Absolute deadline on the shared modeled clock.
+    deadline: Option<SimInstant>,
+    /// The caller accepts a possibly-stale degraded answer under overload.
+    allow_degraded: bool,
 }
 
 /// Construction parameters for a replica.
@@ -131,6 +162,9 @@ pub struct ReplicaConfig {
     /// regardless of client count. `None` (the default) disables the
     /// admission model entirely.
     pub service_time: Option<SimDuration>,
+    /// CoDel-style shedding over the admission queue. `None` (the default)
+    /// never sheds; only meaningful together with `service_time`.
+    pub overload: Option<OverloadConfig>,
 }
 
 /// A replica's installed slice of the fleet shard map: the ring (rebuilt
@@ -187,6 +221,11 @@ pub struct ReplicaNode {
     /// its slot completes, so throughput saturates per replica.
     service_time: Option<SimDuration>,
     service_until: TrackedMutex<SimInstant>,
+    /// Load-shedding policy over the admission queue, if enabled.
+    overload: Option<OverloadConfig>,
+    /// CoDel state: when the admission backlog first exceeded the target
+    /// delay without dipping back under it (`None` = backlog acceptable).
+    shed_above_since: TrackedMutex<Option<SimInstant>>,
     /// (time, put latency ms) samples for the latency monitor.
     put_window: TrackedMutex<VecDeque<(SimInstant, f64)>>,
     /// Puts received directly from applications (time-stamped).
@@ -233,6 +272,8 @@ impl ReplicaNode {
             shard_group: config.shard_group,
             service_time: config.service_time,
             service_until: TrackedMutex::new("replica.service_until", SimInstant::EPOCH),
+            overload: config.overload,
+            shed_above_since: TrackedMutex::new("replica.shed_above_since", None),
             put_window: TrackedMutex::new("replica.put_window", VecDeque::new()),
             direct_puts: TrackedMutex::new("replica.direct_puts", VecDeque::new()),
             forwarded_puts: TrackedMutex::new("replica.forwarded_puts", HashMap::new()),
@@ -483,6 +524,21 @@ impl ReplicaNode {
     // ---- message dispatch ---------------------------------------------------
 
     fn dispatch(self: &Arc<Self>, d: Delivery<DataMsg>) {
+        let mut d = d;
+        // Peel the budget envelope first so routing sees the inner op.
+        let mut budget = OpBudget::default();
+        if let DataMsg::WithBudget {
+            deadline_us,
+            allow_degraded,
+            inner,
+        } = d.msg
+        {
+            budget = OpBudget {
+                deadline: deadline_us.map(|us| SimInstant::EPOCH + SimDuration::from_micros(us)),
+                allow_degraded,
+            };
+            d.msg = *inner;
+        }
         match &d.msg {
             // Application operations may block on WAN round trips: spawn.
             DataMsg::Put { .. }
@@ -498,7 +554,7 @@ impl ReplicaNode {
                 let r = self.clone();
                 if let Err(e) = std::thread::Builder::new()
                     .name("replica-worker".into())
-                    .spawn(move || r.handle_app_op(d))
+                    .spawn(move || r.handle_app_op(d, budget))
                 {
                     // The delivery (and its reply slot) died with the
                     // closure; the caller observes an RPC failure rather
@@ -903,6 +959,17 @@ impl ReplicaNode {
         }
     }
 
+    /// Drive the admission model into an artificial backlog, as if
+    /// `backlog` of service time were already queued, with the overload
+    /// patience window already elapsed (white-box; lets tests and check
+    /// scenarios exercise shedding and degraded reads deterministically
+    /// instead of racing real load). `SimDuration::ZERO` heals.
+    pub fn force_backlog(&self, backlog: SimDuration) {
+        let now = self.mesh.clock.now();
+        *self.service_until.lock() = now + backlog;
+        *self.shed_above_since.lock() = Some(SimInstant::EPOCH);
+    }
+
     // ---- failure lifecycle: anti-entropy and election (§4.4) ---------------
 
     /// Per-key latest version + content digest — the anti-entropy exchange
@@ -1292,7 +1359,7 @@ impl ReplicaNode {
     /// until it completes. Models a saturable replica — under closed-loop
     /// load, throughput caps at `1/service_time` per replica, which is
     /// what makes fleet scaling measurable in sim time.
-    fn admit(&self, service_time: SimDuration) {
+    fn claim_service_slot(&self, service_time: SimDuration) {
         let now = self.mesh.clock.now();
         let done = {
             let mut until = self.service_until.lock();
@@ -1303,9 +1370,75 @@ impl ReplicaNode {
         self.mesh.clock.sleep(done.elapsed_since(now));
     }
 
+    /// The CoDel standing-queue test: shed when the admission backlog has
+    /// stayed above the configured target continuously for the configured
+    /// interval. Transient bursts start the patience timer but are still
+    /// admitted; a backlog that dips back under target resets it.
+    fn should_shed(&self, now: SimInstant) -> bool {
+        let Some(cfg) = self.overload else {
+            return false;
+        };
+        let until = *self.service_until.lock();
+        let backlog = if until > now {
+            until.elapsed_since(now)
+        } else {
+            SimDuration::ZERO
+        };
+        let mut above = self.shed_above_since.lock();
+        if backlog <= cfg.target_delay {
+            *above = None;
+            return false;
+        }
+        match *above {
+            None => {
+                *above = Some(now);
+                false
+            }
+            Some(since) => now.elapsed_since(since) >= cfg.interval,
+        }
+    }
+
+    /// Degraded read: answer an eventual-policy Get from local state
+    /// without paying the admission queue. The reply is explicitly marked
+    /// `degraded` and the history event carries `degraded=1`, so the
+    /// consistency oracle knows this read opted out of freshness.
+    fn degraded_get(&self, key: &str) -> Option<(DataMsg, SimDuration)> {
+        let started = self.mesh.clock.now();
+        let out = self.inst.get(key).ok()?;
+        let value = out.value?;
+        let modified = self
+            .inst
+            .meta()
+            .with(key, |o| o.versions.get(&out.version).map(|m| m.modified))
+            .flatten()
+            .unwrap_or(SimInstant::EPOCH);
+        let region = self.node.region.to_string();
+        MetricsRegistry::global()
+            .inc("wiera_degraded_reads_total", &[("region", region.as_str())]);
+        Tracer::global()
+            .span(started, "history", "get")
+            .region(region)
+            .node(self.node.name.as_ref())
+            .detail(format!(
+                "key={key} ver={} val={:016x} degraded=1",
+                out.version,
+                value_digest(&value)
+            ))
+            .finish(started + out.latency);
+        Some((
+            DataMsg::GetReply {
+                value,
+                version: out.version,
+                modified,
+                degraded: true,
+            },
+            out.latency,
+        ))
+    }
+
     // ---- application operations ---------------------------------------------
 
-    fn handle_app_op(self: &Arc<Self>, d: Delivery<DataMsg>) {
+    fn handle_app_op(self: &Arc<Self>, d: Delivery<DataMsg>, budget: OpBudget) {
         self.gate.wait_open();
         // A rejoining node refuses reads until anti-entropy has converged:
         // serving a pre-crash view would be a stale read the model forbids.
@@ -1338,10 +1471,81 @@ impl ReplicaNode {
             }
             return;
         }
-        if let Some(service_time) = self.service_time {
-            self.admit(service_time);
+        let refuse = |slot: Option<wiera_net::ReplySlot<DataMsg>>, code: FailCode, why: &str| {
+            if let Some(slot) = slot {
+                let msg = DataMsg::Fail {
+                    code,
+                    why: why.into(),
+                };
+                let bytes = msg.wire_bytes();
+                slot.reply(msg, SimDuration::from_micros(100), bytes);
+            }
+        };
+        let region = self.node.region.to_string();
+        // A spent budget fails fast, before any queueing or engine work.
+        if budget
+            .deadline
+            .is_some_and(|dl| self.mesh.clock.now() >= dl)
+        {
+            MetricsRegistry::global()
+                .inc("wiera_deadline_exceeded_total", &[("region", region.as_str())]);
+            refuse(
+                d.reply,
+                FailCode::DeadlineExceeded,
+                "op budget spent before admission",
+            );
+            return;
         }
-        let (msg, took) = match d.msg {
+        // Admission control: replication and control traffic is handled
+        // inline (never here); ForwardPut is protocol traffic that already
+        // paid admission at the origin replica, so only direct client ops
+        // are sheddable.
+        let sheddable = !matches!(d.msg, DataMsg::ForwardPut { .. });
+        if sheddable && self.should_shed(self.mesh.clock.now()) {
+            // A client that tolerates staleness gets a local answer instead
+            // of a refusal (eventual policy only — under a strong model a
+            // stale local read would violate the consistency contract).
+            if budget.allow_degraded
+                && matches!(self.consistency(), ConsistencyModel::Eventual)
+            {
+                if let DataMsg::Get { key } = &d.msg {
+                    if let Some((msg, took)) = self.degraded_get(key) {
+                        if let Some(slot) = d.reply {
+                            let bytes = msg.wire_bytes();
+                            slot.reply(msg, took, bytes);
+                        }
+                        return;
+                    }
+                }
+            }
+            MetricsRegistry::global().inc("wiera_shed_total", &[("region", region.as_str())]);
+            refuse(
+                d.reply,
+                FailCode::Overloaded,
+                "admission backlog above target; retry elsewhere",
+            );
+            return;
+        }
+        if let Some(service_time) = self.service_time {
+            self.claim_service_slot(service_time);
+            // The queue wait may have burned the whole budget; drop the op
+            // now rather than doing work nobody is waiting for.
+            if budget
+                .deadline
+                .is_some_and(|dl| self.mesh.clock.now() >= dl)
+            {
+                MetricsRegistry::global()
+                    .inc("wiera_deadline_exceeded_total", &[("region", region.as_str())]);
+                refuse(
+                    d.reply,
+                    FailCode::DeadlineExceeded,
+                    "op budget spent waiting for admission",
+                );
+                return;
+            }
+        }
+        let Delivery { msg: op, reply, .. } = d;
+        let (msg, took) = tiera::deadline::with_deadline(budget.deadline, || match op {
             DataMsg::Put { key, value } => {
                 let started = self.mesh.clock.now();
                 self.direct_puts.lock().push_back(started);
@@ -1441,6 +1645,7 @@ impl ReplicaNode {
                                 value,
                                 version,
                                 modified,
+                                degraded: false,
                             },
                             latency,
                         )
@@ -1460,6 +1665,7 @@ impl ReplicaNode {
                         value,
                         version,
                         modified,
+                        degraded: false,
                     },
                     latency,
                 ),
@@ -1532,8 +1738,8 @@ impl ReplicaNode {
                 },
                 SimDuration::ZERO,
             ),
-        };
-        if let Some(slot) = d.reply {
+        });
+        if let Some(slot) = reply {
             let bytes = msg.wire_bytes();
             slot.reply(msg, took, bytes);
         }
@@ -2085,6 +2291,7 @@ impl ReplicaNode {
                                 value,
                                 version,
                                 modified,
+                                ..
                             } => {
                                 metrics.inc("wiera_get_total", &labels);
                                 metrics.observe("wiera_get_latency", &labels, total);
@@ -2359,6 +2566,10 @@ pub struct OpView {
     pub modified: SimInstant,
     pub latency: SimDuration,
     pub served_by: NodeId,
+    /// The value was served degraded (possibly stale; eventual policy under
+    /// overload, with the client's explicit consent). Always `false` for
+    /// writes and for reads served normally.
+    pub degraded: bool,
 }
 
 /// Historical name for the unified [`crate::errors::WieraError`], kept so
@@ -2380,17 +2591,20 @@ pub(crate) fn view_of_reply(
             modified: SimInstant::EPOCH,
             latency,
             served_by: served_by.clone(),
+            degraded: false,
         }),
         DataMsg::GetReply {
             value,
             version,
             modified,
+            degraded,
         } => Ok(OpView {
             version,
             value: Some(value),
             modified,
             latency,
             served_by: served_by.clone(),
+            degraded,
         }),
         DataMsg::VersionList { versions } => Ok(OpView {
             version: versions.last().copied().unwrap_or(0),
@@ -2398,6 +2612,7 @@ pub(crate) fn view_of_reply(
             modified: SimInstant::EPOCH,
             latency,
             served_by: served_by.clone(),
+            degraded: false,
         }),
         DataMsg::Removed | DataMsg::Ok => Ok(OpView {
             version: 0,
@@ -2405,6 +2620,7 @@ pub(crate) fn view_of_reply(
             modified: SimInstant::EPOCH,
             latency,
             served_by: served_by.clone(),
+            degraded: false,
         }),
         DataMsg::Fail { code, why } => Err(AppError::Remote { code, why }),
         other => Err(AppError::internal(format!("unexpected reply {other:?}"))),
@@ -2425,6 +2641,7 @@ pub(crate) fn view_of_item(
             modified: SimInstant::EPOCH,
             latency,
             served_by: served_by.clone(),
+            degraded: false,
         }),
         ItemResult::Value {
             value,
@@ -2436,6 +2653,7 @@ pub(crate) fn view_of_item(
             modified,
             latency,
             served_by: served_by.clone(),
+            degraded: false,
         }),
         ItemResult::Err { code, why } => Err(AppError::Remote { code, why }),
     }
@@ -2492,6 +2710,7 @@ mod tests {
                 forward_gets_to: None,
                 shard_group: None,
                 service_time: None,
+                overload: None,
             },
         )
         .expect("replica spawns")
@@ -2843,6 +3062,173 @@ mod tests {
         .is_err());
         app_rpc(&m, &cli, &a.node, DataMsg::Remove { key: "k".into() }).unwrap();
         assert!(app_rpc(&m, &cli, &a.node, DataMsg::Get { key: "k".into() }).is_err());
+    }
+
+    /// Spawn an eventual-consistency replica with the admission model and
+    /// CoDel shedding enabled (zero patience interval, so the second op
+    /// above target sheds — deterministic for tests).
+    fn overloaded_replica(m: &Arc<Mesh<DataMsg>>) -> Arc<ReplicaNode> {
+        let node = NodeId::new(Region::UsEast, "ov");
+        let instance = InstanceConfig::new("ov", Region::UsEast)
+            .with_tier("tier1", "Memcached", 1 << 30)
+            .with_sleep(true, false);
+        ReplicaNode::spawn(
+            m.clone(),
+            ReplicaConfig {
+                node,
+                instance,
+                consistency: ConsistencyModel::Eventual,
+                flush_interval: SimDuration::from_millis(200),
+                coord: None,
+                forward_gets_to: None,
+                shard_group: None,
+                service_time: Some(SimDuration::from_millis(1)),
+                overload: Some(OverloadConfig {
+                    target_delay: SimDuration::from_millis(10),
+                    interval: SimDuration::ZERO,
+                }),
+            },
+        )
+        .expect("replica spawns")
+    }
+
+    /// Force the admission queue into a standing-overload state: a huge
+    /// modeled backlog that has been above target since the epoch.
+    fn force_overload(r: &Arc<ReplicaNode>) {
+        r.force_backlog(SimDuration::from_secs(3600));
+    }
+
+    #[test]
+    fn overloaded_replica_sheds_clients_but_not_replication() {
+        let m = mesh(3000.0);
+        let a = overloaded_replica(&m);
+        wire(&[&a], None);
+        let cli = NodeId::new(Region::UsEast, "cli");
+        force_overload(&a);
+        // Client traffic is shed with the retryable Overloaded code.
+        let err = app_rpc(
+            &m,
+            &cli,
+            &a.node,
+            DataMsg::Put {
+                key: "k".into(),
+                value: Bytes::from_static(b"v"),
+            },
+        )
+        .unwrap_err();
+        match &err {
+            AppError::Remote { code, .. } => assert_eq!(*code, FailCode::Overloaded),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert!(err.retryable(), "shed ops must be retryable");
+        // Replication is handled inline, bypassing admission entirely: a
+        // peer's update still applies while clients are refused.
+        let peer = NodeId::new(Region::EuWest, "peer");
+        let reply = m
+            .rpc(
+                &peer,
+                &a.node,
+                DataMsg::Replicate {
+                    key: "r".into(),
+                    version: 1,
+                    modified: m.clock.now(),
+                    value: Bytes::from_static(b"from-peer"),
+                    epoch: 1,
+                },
+                128,
+                SimDuration::from_secs(30),
+            )
+            .expect("replication admitted under overload");
+        assert!(matches!(reply.msg, DataMsg::ReplicateAck { applied: true }));
+        assert_eq!(a.instance().get("r").unwrap().value.unwrap().as_ref(), b"from-peer");
+    }
+
+    #[test]
+    fn degraded_get_answers_locally_when_shedding() {
+        let m = mesh(3000.0);
+        let a = overloaded_replica(&m);
+        wire(&[&a], None);
+        let cli = NodeId::new(Region::UsEast, "cli");
+        app_rpc(
+            &m,
+            &cli,
+            &a.node,
+            DataMsg::Put {
+                key: "k".into(),
+                value: Bytes::from_static(b"v"),
+            },
+        )
+        .unwrap();
+        force_overload(&a);
+        // Without consent the read is shed…
+        let err = app_rpc(&m, &cli, &a.node, DataMsg::Get { key: "k".into() }).unwrap_err();
+        assert!(matches!(
+            err,
+            AppError::Remote {
+                code: FailCode::Overloaded,
+                ..
+            }
+        ));
+        // …with consent it is served from local state, explicitly marked.
+        let got = app_rpc(
+            &m,
+            &cli,
+            &a.node,
+            DataMsg::WithBudget {
+                deadline_us: None,
+                allow_degraded: true,
+                inner: Box::new(DataMsg::Get { key: "k".into() }),
+            },
+        )
+        .unwrap();
+        assert!(got.degraded, "reply must carry the staleness marker");
+        assert_eq!(got.value.unwrap().as_ref(), b"v");
+    }
+
+    #[test]
+    fn spent_budget_fails_fast_with_deadline_exceeded() {
+        let m = mesh(3000.0);
+        let a = replica(&m, Region::UsEast, "a", ConsistencyModel::Eventual);
+        wire(&[&a], None);
+        let cli = NodeId::new(Region::UsEast, "cli");
+        // Deadline at the epoch: already spent when the replica sees it.
+        let err = app_rpc(
+            &m,
+            &cli,
+            &a.node,
+            DataMsg::WithBudget {
+                deadline_us: Some(0),
+                allow_degraded: false,
+                inner: Box::new(DataMsg::Put {
+                    key: "k".into(),
+                    value: Bytes::from_static(b"v"),
+                }),
+            },
+        )
+        .unwrap_err();
+        match &err {
+            AppError::Remote { code, .. } => assert_eq!(*code, FailCode::DeadlineExceeded),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(!err.retryable(), "a spent budget must not auto-retry");
+        assert!(a.instance().get("k").is_err(), "no work after the deadline");
+        // A generous budget behaves exactly like an unwrapped op.
+        let ok = app_rpc(
+            &m,
+            &cli,
+            &a.node,
+            DataMsg::WithBudget {
+                deadline_us: Some(3_600_000_000),
+                allow_degraded: false,
+                inner: Box::new(DataMsg::Put {
+                    key: "k".into(),
+                    value: Bytes::from_static(b"v"),
+                }),
+            },
+        )
+        .unwrap();
+        assert_eq!(ok.version, 1);
+        assert!(!ok.degraded);
     }
 
     #[test]

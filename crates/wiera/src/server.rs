@@ -223,6 +223,10 @@ impl TieraServer {
                 forward_gets_to: None,
                 shard_group: spec.shard_group,
                 service_time: spec.service_time_ms.map(SimDuration::from_millis_f64),
+                overload: spec.overload.map(|o| crate::replica::OverloadConfig {
+                    target_delay: SimDuration::from_millis_f64(o.target_delay_ms),
+                    interval: SimDuration::from_millis_f64(o.interval_ms),
+                }),
             },
         )
         .map_err(|e| format!("replica spawn: {e}"))?;

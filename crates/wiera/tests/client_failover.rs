@@ -10,12 +10,13 @@
 //!   hides the items that succeeded.
 
 use bytes::Bytes;
+use std::sync::Arc;
 use wiera::client::{RetryPolicy, WieraClient};
 use wiera::deployment::DeploymentConfig;
-use wiera::msg::FailCode;
+use wiera::msg::{DataMsg, FailCode};
 use wiera::replica::AppError;
 use wiera::testkit::{bodies, Cluster};
-use wiera_net::Region;
+use wiera_net::{Mesh, NodeId, Region};
 use wiera_sim::{MetricsRegistry, SimDuration};
 
 fn payload(n: usize) -> Bytes {
@@ -204,6 +205,158 @@ fn batch_fails_over_whole_batch_on_transport_error() {
             "the whole batch must land on the next-closest replica"
         );
     }
+    cluster.shutdown();
+}
+
+/// Register a bare mesh endpoint that sheds every request — a stand-in for
+/// a replica whose admission controller has collapsed under load.
+fn spawn_shedder(mesh: &Arc<Mesh<DataMsg>>, region: Region, name: &str) -> NodeId {
+    let node = NodeId::new(region, name.to_string());
+    let inbox = mesh.register(node.clone());
+    std::thread::spawn(move || {
+        while let Ok(d) = inbox.recv() {
+            if let Some(slot) = d.reply {
+                let msg = DataMsg::Fail {
+                    code: FailCode::Overloaded,
+                    why: "admission backlog above target; retry elsewhere".to_string(),
+                };
+                let bytes = msg.wire_bytes();
+                slot.reply(msg, SimDuration::from_micros(50), bytes);
+            }
+        }
+    });
+    node
+}
+
+fn counter(key: &str) -> u64 {
+    MetricsRegistry::global()
+        .snapshot()
+        .counters
+        .get(key)
+        .copied()
+        .unwrap_or(0)
+}
+
+#[test]
+fn shed_reply_advances_to_the_next_replica() {
+    let _serial = serial();
+    let (cluster, dep) = unsynced_cluster(48);
+    // The shedder is the only candidate in the client's region, so it is
+    // tried first; the real US-West replica is the next-closest.
+    let shedder = spawn_shedder(&cluster.data_mesh, Region::UsEast, "shedder");
+    let mut replicas = vec![shedder];
+    replicas.extend(
+        dep.replicas()
+            .into_iter()
+            .filter(|n| n.region != Region::UsEast),
+    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app")
+        .replicas(replicas)
+        .build();
+    let before = counter("client_retries{reason=overloaded}");
+    let view = client.put("shed-key", payload(16)).unwrap();
+    assert_eq!(
+        view.served_by.region,
+        Region::UsWest,
+        "a shed is retryable: the op must land on the next-closest replica"
+    );
+    assert!(
+        counter("client_retries{reason=overloaded}") > before,
+        "the shed retry must be counted under its own reason label"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn breaker_opens_on_a_persistently_shedding_replica() {
+    let _serial = serial();
+    let (cluster, dep) = unsynced_cluster(49);
+    let shedder = spawn_shedder(&cluster.data_mesh, Region::UsEast, "shed-brk");
+    let mut replicas = vec![shedder];
+    replicas.extend(
+        dep.replicas()
+            .into_iter()
+            .filter(|n| n.region != Region::UsEast),
+    );
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app")
+        .replicas(replicas)
+        .breakers(true)
+        .build();
+    // Every put sheds at the closest replica and lands on US-West; the
+    // breaker accumulates one failure sample per admitted attempt and must
+    // open once past its sample floor — without ever failing the op.
+    for i in 0..12 {
+        let view = client.put(&format!("bk{i}"), payload(8)).unwrap();
+        assert_eq!(view.served_by.region, Region::UsWest);
+    }
+    let snap = MetricsRegistry::global().snapshot();
+    assert!(
+        snap.counters.keys().any(|k| {
+            k.starts_with("breaker_transitions{")
+                && k.contains("client:shed-brk")
+                && k.contains("to=open")
+        }),
+        "persistent sheds must trip the per-replica breaker: {:?}",
+        snap.counters.keys().collect::<Vec<_>>()
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn spent_deadline_fails_fast_with_deadline_exceeded() {
+    let _serial = serial();
+    let (cluster, dep) = unsynced_cluster(50);
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app")
+        .replicas(dep.replicas())
+        .deadline_ms(0.0)
+        .build();
+    let err = client.put("dl", payload(8)).unwrap_err();
+    assert_eq!(
+        err.code(),
+        Some(FailCode::DeadlineExceeded),
+        "a spent budget surfaces as DeadlineExceeded, not a transport error: {err}"
+    );
+    // A generous budget behaves like no budget at all.
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app")
+        .replicas(dep.replicas())
+        .deadline_ms(3_600_000.0)
+        .build();
+    client.put("dl", payload(8)).unwrap();
+    cluster.shutdown();
+}
+
+#[test]
+fn hedged_get_recovers_from_a_dead_primary() {
+    let _serial = serial();
+    let (cluster, dep) = unsynced_cluster(51);
+    // Seed the key on US-West; then kill the client's closest replica so
+    // the primary leg of the race fails at the transport level and the
+    // hedge leg must produce the answer.
+    let west_client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsWest, "seeder")
+        .replicas(dep.replicas())
+        .build();
+    west_client.put("west-only", payload(16)).unwrap();
+    let client = WieraClient::builder(cluster.data_mesh.clone(), Region::UsEast, "app")
+        .replicas(dep.replicas())
+        .hedged_reads(true)
+        .build();
+    let replicas = cluster.deployment_replicas("fo");
+    replicas
+        .iter()
+        .find(|r| r.node.region == Region::UsEast)
+        .unwrap()
+        .stop();
+    let won_before = counter("client_hedges{event=hedge-won}");
+    let view = client.get("west-only").unwrap();
+    assert_eq!(
+        view.served_by.region,
+        Region::UsWest,
+        "the hedge leg must serve when the primary is dead"
+    );
+    assert!(
+        counter("client_hedges{event=hedge-won}") > won_before,
+        "the hedge win must be visible in metrics"
+    );
     cluster.shutdown();
 }
 

@@ -72,6 +72,7 @@ fn main() {
             forward_gets_to: None,
             shard_group: None,
             service_time: None,
+            overload: None,
         },
     )
     .expect("replica spawns");
@@ -88,6 +89,7 @@ fn main() {
             forward_gets_to: None,
             shard_group: None,
             service_time: None,
+            overload: None,
         },
     )
     .expect("replica spawns");
